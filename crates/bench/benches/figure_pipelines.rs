@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the figure pipelines themselves: short
+//! (statistically down-scaled) versions of the paper's experiments, so
+//! `cargo bench` exercises every experiment path end to end and tracks
+//! simulator throughput regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqms::prelude::*;
+use std::hint::black_box;
+
+const LEN: RunLength = RunLength {
+    instructions: 10_000,
+    max_dram_cycles: 2_000_000,
+};
+
+fn bench_solo_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_solo_run");
+    group.sample_size(10);
+    for name in ["art", "apsi", "vpr", "crafty"] {
+        let profile = by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| run_solo(black_box(*p), LEN.instructions, LEN.max_dram_cycles, 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_two_core_vs_art");
+    group.sample_size(10);
+    let art = by_name("art").unwrap();
+    let vpr = by_name("vpr").unwrap();
+    for sched in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::FrVftf,
+        SchedulerKind::FqVftf,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sched.name()),
+            &sched,
+            |b, &s| {
+                b.iter(|| two_core_run(black_box(vpr), black_box(art), s, LEN, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_four_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_four_core_workload1");
+    group.sample_size(10);
+    let mix = four_core_workloads()[0];
+    for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sched.name()),
+            &sched,
+            |b, &s| {
+                b.iter(|| four_core_run(black_box(&mix), s, LEN, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_time_scaled");
+    group.sample_size(10);
+    let swim = by_name("swim").unwrap();
+    for factor in [1u64, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            b.iter(|| {
+                run_private_baseline(
+                    black_box(swim),
+                    f,
+                    LEN.instructions,
+                    LEN.max_dram_cycles * f,
+                    3,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solo_runs,
+    bench_two_core,
+    bench_four_core,
+    bench_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks of the simulator's hot paths: the memory
+//! controller's per-cycle scheduling decision under each policy, the DRAM
+//! device's readiness checks, and VTMS updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqms_dram::device::{DramDevice, Geometry};
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::config::McConfig;
+use fqms_memctrl::controller::MemoryController;
+use fqms_memctrl::policy::SchedulerKind;
+use fqms_memctrl::request::{RequestKind, ThreadId};
+use fqms_memctrl::vtms::Vtms;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::rng::SimRng;
+use std::hint::black_box;
+
+/// Steps a 4-thread controller under sustained random load for `cycles`.
+fn drive_controller(kind: SchedulerKind, cycles: u64, seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    let mut mc = MemoryController::new(
+        McConfig::paper(4, kind),
+        Geometry::paper(),
+        TimingParams::ddr2_800(),
+    )
+    .unwrap();
+    let mut completed = 0u64;
+    for c in 1..=cycles {
+        let now = DramCycle::new(c);
+        // Keep the buffers pressurized.
+        for t in 0..4 {
+            let thread = ThreadId::new(t);
+            if mc.can_accept(thread, RequestKind::Read) && rng.chance(0.6) {
+                let _ = mc.try_submit(thread, RequestKind::Read, rng.next_below(1 << 24) * 64, now);
+            }
+        }
+        completed += mc.step(now).len() as u64;
+    }
+    completed
+}
+
+fn bench_scheduler_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_step_per_cycle");
+    for kind in SchedulerKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| drive_controller(black_box(kind), 5_000, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dram_readiness(c: &mut Criterion) {
+    use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
+    let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+    dram.issue(
+        &Command::Activate {
+            rank: RankId::new(0),
+            bank: BankId::new(0),
+            row: RowId::new(1),
+        },
+        DramCycle::new(0),
+    );
+    let rd = Command::Read {
+        rank: RankId::new(0),
+        bank: BankId::new(0),
+        col: ColId::new(0),
+    };
+    c.bench_function("dram_is_ready", |b| {
+        b.iter(|| dram.is_ready(black_box(&rd), black_box(DramCycle::new(10))))
+    });
+}
+
+fn bench_vtms_update(c: &mut Criterion) {
+    let t = TimingParams::ddr2_800();
+    c.bench_function("vtms_finish_time_and_update", |b| {
+        let mut v = Vtms::new(0.25, 8).unwrap();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 10;
+            let f = v.virtual_finish_time(DramCycle::new(cycle), 3, 10, 4);
+            v.apply_command(
+                fqms_dram::command::CommandKind::Read,
+                DramCycle::new(cycle),
+                3,
+                &t,
+            );
+            black_box(f)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_step,
+    bench_dram_readiness,
+    bench_vtms_update
+);
+criterion_main!(benches);

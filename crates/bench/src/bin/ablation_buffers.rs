@@ -1,0 +1,63 @@
+//! Ablation: buffer organisation (the paper's second future-work item).
+//! The paper's static per-thread buffer partitions are compared against a
+//! naive shared pool. With the pool, the aggressive background thread
+//! occupies all admission slots, so the subject is starved *before* the
+//! fair scheduler ever sees its requests — demonstrating that the paper's
+//! per-thread back-pressure is a necessary ingredient of QoS, not an
+//! implementation detail.
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+use fqms_memctrl::policy::BufferSharing;
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let art = by_name("art").unwrap();
+    // Four threads: the subject vs three aggressive streams. Three cores'
+    // worth of in-flight demand (3 x 16 MSHRs + writebacks) oversubscribes
+    // the pooled 64-entry transaction buffer, so shared-pool admission
+    // becomes the bottleneck the scheduler cannot fix; with the paper's
+    // partitions each aggressor saturates only its own 16 entries.
+    header(&[
+        "subject",
+        "buffers",
+        "subject_norm_ipc",
+        "subject_nacks",
+        "aggressors_bus",
+    ]);
+    for subject_name in ["vpr", "twolf", "galgel", "equake"] {
+        let subject = by_name(subject_name).unwrap();
+        let base =
+            run_private_baseline(subject, 4, len.instructions, len.max_dram_cycles * 4, seed);
+        for (label, sharing) in [
+            ("partitioned", BufferSharing::Partitioned),
+            ("shared", BufferSharing::Shared),
+        ] {
+            let mut sys = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .buffer_sharing(sharing)
+                .seed(seed)
+                .workload(subject)
+                .workload(art)
+                .workload(art)
+                .workload(art)
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            let nacks = sys
+                .controller()
+                .thread_stats(fqms_memctrl::request::ThreadId::new(0))
+                .nacks;
+            let aggressors: f64 = m.threads[1..].iter().map(|t| t.bus_utilization).sum();
+            row(&[
+                subject_name.to_string(),
+                label.to_string(),
+                f(m.threads[0].ipc / base.ipc),
+                nacks.to_string(),
+                f(aggressors),
+            ]);
+        }
+    }
+    eprintln!("# the shared pool moves contention to the admission path (NACK storms) where the scheduler cannot arbitrate");
+}

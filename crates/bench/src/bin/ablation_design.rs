@@ -1,0 +1,91 @@
+//! Ablation of the FQ scheduler's two secondary design choices the paper
+//! discusses but does not plot:
+//!
+//! * **VFT binding** (Section 3.2): binding virtual finish times at
+//!   arrival with an average service estimate (the "first solution")
+//!   versus at first-ready with the actual bank state (the evaluated
+//!   "second solution"). The paper predicts arrival binding "is likely to
+//!   penalize threads ... with a large number of open row buffer hits".
+//! * **Row policy** (Section 2.2): closed-row (the paper's choice, after
+//!   Natarajan et al.) versus open-row, on multiprogrammed mixes.
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let art = by_name("art").unwrap();
+
+    println!("== VFT binding: at-arrival (average service) vs first-ready (actual) ==");
+    header(&[
+        "subject",
+        "binding",
+        "subject_norm_ipc",
+        "background_norm_ipc",
+        "data_bus_utilization",
+    ]);
+    let base_art = run_private_baseline(art, 2, len.instructions, len.max_dram_cycles * 2, seed);
+    // mgrid/applu stream with high row locality (many row hits — the
+    // threads arrival-binding should penalize); twolf/vpr are low-MLP.
+    for subject_name in ["mgrid", "applu", "twolf", "vpr"] {
+        let subject = by_name(subject_name).unwrap();
+        let base =
+            run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
+        for (label, binding) in [
+            ("first-ready", VftBinding::FirstReady),
+            ("at-arrival", VftBinding::AtArrival),
+        ] {
+            let mut sys = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .vft_binding(binding)
+                .seed(seed)
+                .workload(subject)
+                .workload(art)
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            row(&[
+                subject_name.to_string(),
+                label.to_string(),
+                f(m.threads[0].ipc / base.ipc),
+                f(m.threads[1].ipc / base_art.ipc),
+                f(m.data_bus_utilization),
+            ]);
+        }
+    }
+
+    println!();
+    println!("== Row policy: closed (paper) vs open, four-core workload 1 ==");
+    header(&[
+        "scheduler",
+        "row_policy",
+        "hmean_norm_ipc",
+        "data_bus_utilization",
+        "bank_utilization",
+    ]);
+    let mix = four_core_workloads()[0];
+    let baselines: Vec<f64> = mix
+        .iter()
+        .map(|p| run_private_baseline(*p, 4, len.instructions, len.max_dram_cycles * 4, seed).ipc)
+        .collect();
+    for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+        for (label, policy) in [("closed", RowPolicy::Closed), ("open", RowPolicy::Open)] {
+            let mut sys = SystemBuilder::new()
+                .scheduler(sched)
+                .row_policy(policy)
+                .seed(seed)
+                .workloads(mix.iter().copied())
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            row(&[
+                sched.to_string(),
+                label.to_string(),
+                f(m.harmonic_mean_normalized_ipc(&baselines)),
+                f(m.data_bus_utilization),
+                f(m.bank_utilization),
+            ]);
+        }
+    }
+}

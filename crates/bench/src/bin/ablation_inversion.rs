@@ -1,0 +1,63 @@
+//! Ablation: the FQ bank scheduler's priority-inversion bound `x`
+//! (Section 3.3). The paper picks `x = tRAS` as "a tight bound on priority
+//! inversion blocking time, which offers better QoS, but may decrease data
+//! bus utilization". This sweep quantifies that trade-off: subject QoS and
+//! aggregate bus utilization as `x` varies from 0 (lock immediately after
+//! activation) to unbounded (degenerates into FR-VFTF).
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let art = by_name("art").unwrap();
+    let t_ras = fqms_dram::timing::TimingParams::ddr2_800().t_ras;
+    let bounds: Vec<(String, InversionBound)> = vec![
+        ("0".into(), InversionBound::Cycles(0)),
+        (
+            format!("tRAS/2={}", t_ras / 2),
+            InversionBound::Cycles(t_ras / 2),
+        ),
+        (format!("tRAS={t_ras}"), InversionBound::TRas),
+        (
+            format!("2tRAS={}", 2 * t_ras),
+            InversionBound::Cycles(2 * t_ras),
+        ),
+        (
+            format!("4tRAS={}", 4 * t_ras),
+            InversionBound::Cycles(4 * t_ras),
+        ),
+        ("unbounded".into(), InversionBound::Unbounded),
+    ];
+    header(&[
+        "subject",
+        "inversion_bound_x",
+        "subject_norm_ipc",
+        "subject_latency_cpu",
+        "data_bus_utilization",
+    ]);
+    for subject_name in ["vpr", "twolf", "ammp", "galgel"] {
+        let subject = by_name(subject_name).unwrap();
+        let base =
+            run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
+        for (label, bound) in &bounds {
+            let mut sys = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .inversion_bound(*bound)
+                .seed(seed)
+                .workload(subject)
+                .workload(art)
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            row(&[
+                subject_name.to_string(),
+                label.clone(),
+                f(m.threads[0].ipc / base.ipc),
+                f(m.threads[0].avg_read_latency),
+                f(m.data_bus_utilization),
+            ]);
+        }
+    }
+}

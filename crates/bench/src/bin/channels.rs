@@ -1,0 +1,55 @@
+//! Extension study: channel scaling (the paper's future work). How do
+//! bandwidth-bound and latency-bound threads respond to 1/2/4
+//! line-interleaved channels, and does FQ-VFTF's QoS hold with multiple
+//! channels?
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+
+    println!("== Solo IPC vs channel count ==");
+    header(&["benchmark", "channels", "ipc", "bus_utilization_of_total"]);
+    for name in ["art", "swim", "mcf", "vpr", "crafty"] {
+        for channels in [1usize, 2, 4] {
+            let mut sys = SystemBuilder::new()
+                .channels(channels)
+                .seed(seed)
+                .workload(by_name(name).unwrap())
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            row(&[
+                name.to_string(),
+                channels.to_string(),
+                f(m.threads[0].ipc),
+                f(m.threads[0].bus_utilization),
+            ]);
+        }
+    }
+
+    println!();
+    println!("== Four-core workload 1 on 2 channels: FR-FCFS vs FQ-VFTF ==");
+    header(&["scheduler", "thread", "ipc", "bus_share_of_total"]);
+    let mix = four_core_workloads()[0];
+    for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+        let mut sys = SystemBuilder::new()
+            .channels(2)
+            .scheduler(sched)
+            .seed(seed)
+            .workloads(mix.iter().copied())
+            .build()
+            .expect("valid config");
+        let m = sys.run(len.instructions, len.max_dram_cycles);
+        for t in &m.threads {
+            row(&[
+                sched.to_string(),
+                t.name.clone(),
+                f(t.ipc),
+                f(t.bus_utilization),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Extension study: DRAM energy cost of QoS. Compares the schedulers'
+//! energy breakdown and energy-per-access on the heavy four-core workload
+//! — quantifying the paper's observation that providing QoS increases
+//! bank activity (more activates/precharges per useful burst).
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+use fqms_dram::power::{estimate_energy, PowerParams};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let mix = four_core_workloads()[0];
+    let p = PowerParams::ddr2_800_typical();
+
+    header(&[
+        "scheduler",
+        "energy_total_uJ",
+        "act_pre_uJ",
+        "burst_uJ",
+        "background_uJ",
+        "energy_per_access_nJ",
+        "row_hit_rate",
+    ]);
+    for sched in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::FrVftf,
+        SchedulerKind::FqVftf,
+    ] {
+        let mut sys = SystemBuilder::new()
+            .scheduler(sched)
+            .seed(seed)
+            .workloads(mix.iter().copied())
+            .build()
+            .expect("valid config");
+        let m = sys.run(len.instructions, len.max_dram_cycles);
+        let mc = sys.controller();
+        let mut total = fqms_dram::power::EnergyBreakdown::default();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for ch in 0..mc.num_channels() {
+            let dram = mc.channel(ch).dram();
+            let e = estimate_energy(dram, m.elapsed_dram_cycles, &p);
+            total.activate += e.activate;
+            total.read += e.read;
+            total.write += e.write;
+            total.refresh += e.refresh;
+            total.background += e.background;
+            let (_, _, r, w, _) = dram.command_counts();
+            reads += r;
+            writes += w;
+        }
+        let hit_rate = {
+            let agg: Vec<_> = m.threads.iter().map(|t| t.row_hit_rate).collect();
+            agg.iter().sum::<f64>() / agg.len() as f64
+        };
+        row(&[
+            sched.to_string(),
+            f(total.total() / 1000.0),
+            f(total.activate / 1000.0),
+            f((total.read + total.write) / 1000.0),
+            f(total.background / 1000.0),
+            f(total.energy_per_access(reads, writes)),
+            f(hit_rate),
+        ]);
+    }
+    eprintln!("# expectation: FQ-VFTF pays more activate energy per access (lower row-hit rate) for its QoS");
+}

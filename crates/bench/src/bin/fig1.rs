@@ -1,0 +1,46 @@
+//! Figure 1: memory latency and IPC for benchmark `vpr` when it runs
+//! alone, co-scheduled with `crafty`, and co-scheduled with `art`, all
+//! under the FR-FCFS scheduler (the motivating experiment).
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let vpr = by_name("vpr").unwrap();
+
+    header(&[
+        "configuration",
+        "vpr_ipc",
+        "vpr_norm_ipc",
+        "vpr_avg_read_latency_cpu",
+        "vpr_bus_utilization",
+    ]);
+
+    let solo = run_solo(vpr, len.instructions, len.max_dram_cycles, seed);
+    row(&[
+        "vpr alone".into(),
+        f(solo.ipc),
+        f(1.0),
+        f(solo.avg_read_latency),
+        f(solo.bus_utilization),
+    ]);
+
+    for partner in ["crafty", "art"] {
+        let m = two_core_run(
+            vpr,
+            by_name(partner).unwrap(),
+            SchedulerKind::FrFcfs,
+            len,
+            seed,
+        );
+        row(&[
+            format!("vpr + {partner}"),
+            f(m.threads[0].ipc),
+            f(m.threads[0].ipc / solo.ipc),
+            f(m.threads[0].avg_read_latency),
+            f(m.threads[0].bus_utilization),
+        ]);
+    }
+}

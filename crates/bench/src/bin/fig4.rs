@@ -1,0 +1,29 @@
+//! Figure 4: data-bus utilization of each benchmark running alone on a
+//! single processor with the FR-FCFS memory scheduler, ordered
+//! most-aggressive first.
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed, solo_metrics};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    header(&[
+        "benchmark",
+        "bus_utilization",
+        "ipc",
+        "avg_read_latency_cpu",
+        "mem_reads",
+        "mem_writes",
+    ]);
+    for m in solo_metrics(&SPEC_PROFILES, len, seed) {
+        row(&[
+            m.name.clone(),
+            f(m.bus_utilization),
+            f(m.ipc),
+            f(m.avg_read_latency),
+            m.mem_reads.to_string(),
+            m.mem_writes.to_string(),
+        ]);
+    }
+}

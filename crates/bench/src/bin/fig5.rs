@@ -1,0 +1,46 @@
+//! Figure 5: the subject thread's normalized IPC (top), average memory
+//! read latency (middle), and data-bus utilization (bottom) when
+//! co-scheduled with the aggressive `art` background thread on a two-core
+//! CMP, under FR-FCFS, FR-VFTF, and FQ-VFTF. IPC is normalized to the same
+//! benchmark on a private memory system time-scaled ×2.
+
+use fqms_bench::{f, header, paper_schedulers, row, run_length, seed, two_core_sweep};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let entries = two_core_sweep(&paper_schedulers(), len, seed);
+    header(&[
+        "subject",
+        "scheduler",
+        "subject_norm_ipc",
+        "subject_avg_read_latency_cpu",
+        "subject_bus_utilization",
+    ]);
+    for e in &entries {
+        row(&[
+            e.subject.clone(),
+            e.scheduler.to_string(),
+            f(e.subject_norm_ipc()),
+            f(e.metrics.threads[0].avg_read_latency),
+            f(e.metrics.threads[0].bus_utilization),
+        ]);
+    }
+    // Summary lines (the paper's headline claims for this figure).
+    for sched in paper_schedulers() {
+        let norm: Vec<f64> = entries
+            .iter()
+            .filter(|e| e.scheduler == sched)
+            .map(|e| e.subject_norm_ipc())
+            .collect();
+        let below_qos = norm.iter().filter(|&&x| x < 0.98).count();
+        let mean = norm.iter().sum::<f64>() / norm.len() as f64;
+        let min = norm.iter().copied().fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "# {sched}: mean subject norm IPC {:.3}, min {:.3}, below QoS on {below_qos}/{} workloads",
+            mean,
+            min,
+            norm.len()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 6: normalized IPC of the `art` background thread in the
+//! two-core sweep of Figure 5. Demanding subjects force an even bandwidth
+//! split (background normalized IPC ≈ 1); light subjects leave excess
+//! bandwidth that the fair scheduler hands to the background thread
+//! (normalized IPC rises above 1).
+
+use fqms_bench::{f, header, paper_schedulers, row, run_length, seed, two_core_sweep};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let entries = two_core_sweep(&paper_schedulers(), len, seed);
+    header(&[
+        "subject",
+        "scheduler",
+        "background_norm_ipc",
+        "background_bus_utilization",
+    ]);
+    for e in &entries {
+        row(&[
+            e.subject.clone(),
+            e.scheduler.to_string(),
+            f(e.background_norm_ipc()),
+            f(e.metrics.threads[1].bus_utilization),
+        ]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 7: aggregate results of the two-core sweep — performance
+//! improvement over FR-FCFS (top; harmonic mean of the co-scheduled
+//! threads' normalized IPCs), aggregate data-bus utilization (middle), and
+//! aggregate bank utilization (bottom).
+
+use fqms_bench::{f, header, paper_schedulers, row, run_length, seed, two_core_sweep};
+use fqms_memctrl::policy::SchedulerKind;
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let entries = two_core_sweep(&paper_schedulers(), len, seed);
+    header(&[
+        "subject",
+        "scheduler",
+        "hmean_norm_ipc",
+        "improvement_over_frfcfs",
+        "data_bus_utilization",
+        "bank_utilization",
+    ]);
+    let subjects: Vec<String> = entries
+        .iter()
+        .filter(|e| e.scheduler == SchedulerKind::FrFcfs)
+        .map(|e| e.subject.clone())
+        .collect();
+    let mut sums = std::collections::BTreeMap::new();
+    for subject in &subjects {
+        let get = |sched: SchedulerKind| {
+            entries
+                .iter()
+                .find(|e| &e.subject == subject && e.scheduler == sched)
+                .expect("complete sweep")
+        };
+        let base = get(SchedulerKind::FrFcfs).hmean_norm_ipc();
+        for sched in paper_schedulers() {
+            let e = get(sched);
+            let hm = e.hmean_norm_ipc();
+            let imp = if base > 0.0 { hm / base - 1.0 } else { 0.0 };
+            row(&[
+                subject.clone(),
+                sched.to_string(),
+                f(hm),
+                f(imp),
+                f(e.metrics.data_bus_utilization),
+                f(e.metrics.bank_utilization),
+            ]);
+            let s = sums
+                .entry(sched.to_string())
+                .or_insert((0.0, 0.0, 0.0, 0usize, 0.0f64));
+            s.0 += imp;
+            s.1 += e.metrics.data_bus_utilization;
+            s.2 += e.metrics.bank_utilization;
+            s.3 += 1;
+            s.4 = s.4.max(imp);
+        }
+    }
+    for (sched, (imp, bus, bank, n, max_imp)) in sums {
+        eprintln!(
+            "# {sched}: avg improvement over FR-FCFS {:+.1}% (max {:+.1}%), avg bus util {:.2}, avg bank util {:.2}",
+            100.0 * imp / n as f64,
+            100.0 * max_imp,
+            bus / n as f64,
+            bank / n as f64
+        );
+    }
+}

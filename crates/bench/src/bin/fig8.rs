@@ -1,0 +1,64 @@
+//! Figure 8: normalized IPC (top) and data-bus utilization (bottom) of the
+//! individual threads in the four four-processor workloads, under FR-FCFS
+//! and FQ-VFTF. IPC is normalized to the benchmark running alone on a
+//! private memory system time-scaled ×4. Also prints the per-workload
+//! performance improvement the paper quotes (41%, -2%, -2%, 14%-shaped).
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let workloads = four_core_workloads();
+    header(&[
+        "workload",
+        "thread",
+        "scheduler",
+        "norm_ipc",
+        "bus_utilization",
+        "avg_read_latency_cpu",
+    ]);
+    let schedulers = [SchedulerKind::FrFcfs, SchedulerKind::FqVftf];
+    let mut improvements = Vec::new();
+    for (w, mix) in workloads.iter().enumerate() {
+        let baselines: Vec<f64> = mix
+            .iter()
+            .map(|p| {
+                run_private_baseline(*p, 4, len.instructions, len.max_dram_cycles * 4, seed).ipc
+            })
+            .collect();
+        let mut hmeans = [0.0f64; 2];
+        for (si, &sched) in schedulers.iter().enumerate() {
+            let m = four_core_run(mix, sched, len, seed);
+            for (t, tm) in m.threads.iter().enumerate() {
+                row(&[
+                    format!("WL{}", w + 1),
+                    tm.name.clone(),
+                    sched.to_string(),
+                    f(tm.ipc / baselines[t]),
+                    f(tm.bus_utilization),
+                    f(tm.avg_read_latency),
+                ]);
+            }
+            hmeans[si] = m.harmonic_mean_normalized_ipc(&baselines);
+        }
+        let imp = hmeans[1] / hmeans[0] - 1.0;
+        improvements.push(imp);
+        eprintln!(
+            "# WL{}: FQ-VFTF improvement over FR-FCFS {:+.1}%",
+            w + 1,
+            100.0 * imp
+        );
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let max = improvements
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    eprintln!(
+        "# overall: avg improvement {:+.1}%, max {:+.1}% (paper: +14% avg, +41% max)",
+        100.0 * avg,
+        100.0 * max
+    );
+}

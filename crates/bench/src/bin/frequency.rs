@@ -1,0 +1,68 @@
+//! Extension study: memory speed grades. The same workloads on DDR2-800 /
+//! -667 / -533 (each with the matching CPU:DRAM clock ratio for a ~2 GHz
+//! core): bandwidth-bound threads scale with the data-rate, and FQ-VFTF's
+//! QoS holds at every speed grade.
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+use fqms_dram::timing::TimingParams;
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let grades: [(&str, TimingParams, u64); 3] = [
+        ("DDR2-800", TimingParams::ddr2_800(), 5),
+        ("DDR2-667", TimingParams::ddr2_667(), 6),
+        ("DDR2-533", TimingParams::ddr2_533(), 8),
+    ];
+
+    println!("== Solo IPC by speed grade ==");
+    header(&["benchmark", "grade", "ipc", "bus_utilization"]);
+    for name in ["swim", "mcf", "vpr"] {
+        for (label, timing, ratio) in grades {
+            let mut sys = SystemBuilder::new()
+                .timing(timing)
+                .cpu_ratio(ratio)
+                .seed(seed)
+                .workload(by_name(name).unwrap())
+                .build()
+                .expect("valid config");
+            let m = sys.run(len.instructions, len.max_dram_cycles);
+            row(&[
+                name.to_string(),
+                label.to_string(),
+                f(m.threads[0].ipc),
+                f(m.threads[0].bus_utilization),
+            ]);
+        }
+    }
+
+    println!();
+    println!("== vpr + art QoS by speed grade (FQ-VFTF) ==");
+    header(&["grade", "vpr_norm_ipc"]);
+    for (label, timing, ratio) in grades {
+        let vpr = by_name("vpr").unwrap();
+        let art = by_name("art").unwrap();
+        let base = {
+            let mut sys = SystemBuilder::new()
+                .timing(timing.time_scaled(2))
+                .cpu_ratio(ratio)
+                .seed(seed)
+                .workload(vpr)
+                .build()
+                .expect("valid config");
+            sys.run(len.instructions, len.max_dram_cycles * 2).threads[0].ipc
+        };
+        let mut sys = SystemBuilder::new()
+            .timing(timing)
+            .cpu_ratio(ratio)
+            .scheduler(SchedulerKind::FqVftf)
+            .seed(seed)
+            .workload(vpr)
+            .workload(art)
+            .build()
+            .expect("valid config");
+        let m = sys.run(len.instructions, len.max_dram_cycles);
+        row(&[label.to_string(), f(m.threads[0].ipc / base)]);
+    }
+}

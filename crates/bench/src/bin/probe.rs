@@ -1,0 +1,43 @@
+//! Development probe: subject+art under all schedulers (not a paper
+//! figure; kept for debugging scheduler behaviour).
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let subject_name = std::env::args().nth(1).unwrap_or_else(|| "vpr".into());
+    let subject = by_name(&subject_name).expect("unknown benchmark");
+    let art = by_name("art").unwrap();
+    let base_subj =
+        run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
+    let base_art = run_private_baseline(art, 2, len.instructions, len.max_dram_cycles * 2, seed);
+    header(&[
+        "scheduler",
+        "subj_norm_ipc",
+        "bg_norm_ipc",
+        "subj_latency",
+        "subj_bus",
+        "bg_bus",
+        "total_bus",
+    ]);
+    for sched in SchedulerKind::all() {
+        let m = two_core_run(subject, art, sched, len, seed);
+        row(&[
+            sched.to_string(),
+            f(m.threads[0].ipc / base_subj.ipc),
+            f(m.threads[1].ipc / base_art.ipc),
+            f(m.threads[0].avg_read_latency),
+            f(m.threads[0].bus_utilization),
+            f(m.threads[1].bus_utilization),
+            f(m.data_bus_utilization),
+        ]);
+    }
+    eprintln!(
+        "baseline x2: subj ipc {} latency {}, art ipc {}",
+        f(base_subj.ipc),
+        f(base_subj.avg_read_latency),
+        f(base_art.ipc)
+    );
+}

@@ -1,0 +1,153 @@
+//! Ad-hoc simulation driver: compose any mix of the shipped workloads
+//! with any scheduler/share/channel configuration from the command line.
+//!
+//! ```text
+//! cargo run --release -p fqms-bench --bin simulate -- \
+//!     --scheduler fq-vftf --workloads art,vpr --shares 0.5,0.5 \
+//!     --channels 1 --instructions 300000 [--seed 42] [--open-rows]
+//! ```
+
+use fqms::prelude::*;
+use std::process::exit;
+
+struct Args {
+    scheduler: SchedulerKind,
+    workloads: Vec<String>,
+    shares: Option<Vec<f64>>,
+    channels: usize,
+    instructions: u64,
+    seed: u64,
+    open_rows: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate --workloads a,b,... [--scheduler fcfs|fr-fcfs|fr-vftf|fq-vftf]\n\
+         \x20              [--shares f,f,...] [--channels N] [--instructions N]\n\
+         \x20              [--seed N] [--open-rows]\n\
+         workloads: {}",
+        SPEC_PROFILES
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "fcfs" => Some(SchedulerKind::Fcfs),
+        "fr-fcfs" | "frfcfs" => Some(SchedulerKind::FrFcfs),
+        "fr-vftf" | "frvftf" => Some(SchedulerKind::FrVftf),
+        "fq-vftf" | "fqvftf" | "fq" => Some(SchedulerKind::FqVftf),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheduler: SchedulerKind::FqVftf,
+        workloads: Vec::new(),
+        shares: None,
+        channels: 1,
+        instructions: 300_000,
+        seed: 42,
+        open_rows: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            argv.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--scheduler" => {
+                args.scheduler = parse_scheduler(take(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--workloads" => {
+                args.workloads = take(&mut i).split(',').map(str::to_string).collect();
+            }
+            "--shares" => {
+                args.shares = Some(
+                    take(&mut i)
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--channels" => args.channels = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--instructions" => {
+                args.instructions = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--open-rows" => args.open_rows = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if args.workloads.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut builder = SystemBuilder::new()
+        .scheduler(args.scheduler)
+        .channels(args.channels)
+        .seed(args.seed)
+        .row_policy(if args.open_rows {
+            RowPolicy::Open
+        } else {
+            RowPolicy::Closed
+        });
+    for name in &args.workloads {
+        let Some(profile) = by_name(name) else {
+            eprintln!("unknown workload: {name}");
+            usage();
+        };
+        builder = builder.workload(profile);
+    }
+    if let Some(shares) = args.shares.clone() {
+        builder = builder.shares(shares);
+    }
+    let mut system = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("configuration error: {e}");
+            exit(1);
+        }
+    };
+    let metrics = system.run(
+        args.instructions,
+        args.instructions.saturating_mul(200).max(1_000_000),
+    );
+    println!(
+        "# scheduler={} channels={} seed={} instructions={}",
+        args.scheduler, args.channels, args.seed, args.instructions
+    );
+    println!("#thread\tname\tipc\tavg_read_latency\tp95_latency\tbus_share\tmem_reads\tmem_writes");
+    for (i, t) in metrics.threads.iter().enumerate() {
+        println!(
+            "{i}\t{}\t{:.4}\t{:.1}\t{}\t{:.4}\t{}\t{}",
+            t.name,
+            t.ipc,
+            t.avg_read_latency,
+            t.p95_read_latency,
+            t.bus_utilization,
+            t.mem_reads,
+            t.mem_writes
+        );
+    }
+    println!(
+        "# aggregate: data_bus {:.3}, banks {:.3}, {} dram-cycles",
+        metrics.data_bus_utilization, metrics.bank_utilization, metrics.elapsed_dram_cycles
+    );
+}

@@ -1,0 +1,90 @@
+//! Tables 3-6: the static configuration tables of the paper, printed from
+//! the live constants the simulator actually uses (so a drift between the
+//! paper's values and the code is impossible to miss).
+
+use fqms_cpu::core::CoreConfig;
+use fqms_dram::bank::BankState;
+use fqms_dram::command::{CommandKind, RowId};
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::vtms::{bank_service, update_service};
+
+fn main() {
+    let t = TimingParams::ddr2_800();
+
+    println!("== Table 3: bank service B.L by bank state ==");
+    let row = RowId::new(7);
+    println!(
+        "open - bank conflict\ttRP+tRCD+tCL\t{}",
+        bank_service(BankState::Open(RowId::new(9)), row, &t)
+    );
+    println!(
+        "closed\ttRCD+tCL\t{}",
+        bank_service(BankState::Closed, row, &t)
+    );
+    println!(
+        "open - row buffer hit\ttCL\t{}",
+        bank_service(BankState::Open(row), row, &t)
+    );
+
+    println!();
+    println!("== Table 4: VTMS update service times per SDRAM command ==");
+    for kind in [
+        CommandKind::Precharge,
+        CommandKind::Activate,
+        CommandKind::Read,
+        CommandKind::Write,
+    ] {
+        let (bank, chan) = update_service(kind, &t);
+        println!(
+            "{kind}\tB_cmd.L={bank}\tC_cmd.L={}",
+            chan.map_or("n/a".to_string(), |c| c.to_string())
+        );
+    }
+
+    println!();
+    println!("== Table 5: processor / system configuration ==");
+    let c = CoreConfig::paper();
+    println!("issue width\t{}", c.issue_width);
+    println!("reorder buffer\t{} entries", c.rob_size);
+    println!(
+        "D-cache\t{} KB, {}-way, {} B lines, {}-cycle, {} MSHRs",
+        c.l1d.size_bytes / 1024,
+        c.l1d.ways,
+        c.l1d.line_bytes,
+        c.l1d.latency,
+        c.mshrs
+    );
+    println!(
+        "L2\t{} KB private, {}-way, {} B lines, {}-cycle",
+        c.l2.size_bytes / 1024,
+        c.l2.ways,
+        c.l2.line_bytes,
+        c.l2.latency
+    );
+    println!(
+        "memory controller\t16 transaction + 8 write buffer entries per thread, closed page policy"
+    );
+    let g = Geometry::paper();
+    println!(
+        "SDRAM\t{} channel(s), {} rank(s), {} banks",
+        1, g.ranks, g.banks
+    );
+
+    println!();
+    println!("== Table 6: Micron DDR2-800 timing constraints (DRAM cycles) ==");
+    println!("tRCD\t{}", t.t_rcd);
+    println!("tCL\t{}", t.t_cl);
+    println!("tWL\t{}", t.t_wl);
+    println!("tCCD\t{}", t.t_ccd);
+    println!("tWTR\t{}", t.t_wtr);
+    println!("tWR\t{}", t.t_wr);
+    println!("tRTP\t{}", t.t_rtp);
+    println!("tRP\t{}", t.t_rp);
+    println!("tRRD\t{}", t.t_rrd);
+    println!("tRAS\t{}", t.t_ras);
+    println!("tRC\t{}", t.t_rc);
+    println!("BL/2\t{}", t.burst);
+    println!("tRFC\t{}", t.t_rfc);
+    println!("tREFI\t{}", t.t_refi);
+}

@@ -1,0 +1,36 @@
+//! Prints the twenty shipped workload profiles (the SPEC 2000 stand-ins)
+//! with their tuned parameters, in Figure 4 order.
+
+use fqms::prelude::*;
+use fqms_bench::{header, row};
+
+fn main() {
+    header(&[
+        "benchmark",
+        "work_per_access",
+        "footprint",
+        "row_locality",
+        "dependence",
+        "write_fraction",
+        "burstiness",
+        "burst_len",
+    ]);
+    for p in &SPEC_PROFILES {
+        let footprint = if p.footprint_bytes >= 1024 * 1024 {
+            format!("{}M", p.footprint_bytes / (1024 * 1024))
+        } else {
+            format!("{}K", p.footprint_bytes / 1024)
+        };
+        row(&[
+            p.name.to_string(),
+            format!("{}", p.work_per_access),
+            footprint,
+            format!("{}", p.row_locality),
+            format!("{}", p.dependence),
+            format!("{}", p.write_fraction),
+            format!("{}", p.burstiness),
+            format!("{}", p.burst_len),
+        ]);
+    }
+    eprintln!("# see fqms-workloads::spec for the tuning rationale (Figure 4 shape)");
+}

@@ -1,0 +1,86 @@
+//! Private time-scaled baseline systems.
+//!
+//! The paper's QoS objective is defined against a *virtual private memory
+//! system*: "a thread i that is allocated a fraction phi of the memory
+//! system bandwidth will run no slower than the same thread on a private
+//! memory system running at phi of the frequency of the shared physical
+//! memory system". The evaluation therefore normalizes IPC to runs on a
+//! single-processor system whose DRAM timing constraints are **time scaled
+//! by 1/phi** (×2 for the two-core experiments, ×4 for the four-core
+//! ones).
+
+use crate::metrics::ThreadMetrics;
+use crate::system::SystemBuilder;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::policy::SchedulerKind;
+use fqms_workloads::profile::WorkloadProfile;
+
+/// Runs `profile` alone on a private memory system time-scaled by
+/// `factor` (1 = the real memory, 2 = the two-core baseline, 4 = the
+/// four-core baseline), and returns its metrics.
+///
+/// The run retires `instructions` instructions (bounded by
+/// `max_dram_cycles`); the scheduler is FR-FCFS, which for a single thread
+/// is the paper's best-performing configuration.
+pub fn run_private_baseline(
+    profile: WorkloadProfile,
+    factor: u64,
+    instructions: u64,
+    max_dram_cycles: u64,
+    seed: u64,
+) -> ThreadMetrics {
+    let timing = TimingParams::ddr2_800().time_scaled(factor);
+    let mut sys = SystemBuilder::new()
+        .scheduler(SchedulerKind::FrFcfs)
+        .timing(timing)
+        .seed(seed)
+        .workload(profile)
+        .build()
+        .expect("baseline system configuration is static and valid");
+    let m = sys.run(instructions, max_dram_cycles);
+    m.threads.into_iter().next().expect("one thread")
+}
+
+/// Runs `profile` alone on the unscaled memory system — the paper's "solo"
+/// configuration used for Figure 4 and for latency/target-utilization
+/// normalization in Figure 9.
+pub fn run_solo(
+    profile: WorkloadProfile,
+    instructions: u64,
+    max_dram_cycles: u64,
+    seed: u64,
+) -> ThreadMetrics {
+    run_private_baseline(profile, 1, instructions, max_dram_cycles, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_workloads::spec::by_name;
+
+    #[test]
+    fn scaling_slows_memory_bound_threads() {
+        let art = by_name("art").unwrap();
+        let fast = run_solo(art, 20_000, 2_000_000, 3);
+        let slow = run_private_baseline(art, 4, 20_000, 8_000_000, 3);
+        assert!(
+            slow.ipc < fast.ipc * 0.7,
+            "x4 scaling barely changed IPC: {} vs {}",
+            slow.ipc,
+            fast.ipc
+        );
+    }
+
+    #[test]
+    fn scaling_barely_affects_cache_resident_threads() {
+        let crafty = by_name("crafty").unwrap();
+        let fast = run_solo(crafty, 50_000, 4_000_000, 3);
+        let slow = run_private_baseline(crafty, 4, 50_000, 16_000_000, 3);
+        assert!(
+            slow.ipc > fast.ipc * 0.8,
+            "crafty should be memory-insensitive: {} vs {}",
+            slow.ipc,
+            fast.ipc
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared experiment runners for the paper's evaluation (Section 4).
+//!
+//! These helpers are the building blocks the figure-regeneration binaries
+//! (crate `fqms-bench`) and the integration tests compose: solo runs
+//! (Figure 4), the two-core subject/background sweep (Figures 1 and 5-7),
+//! and the four-core heterogeneous workloads (Figures 8-9).
+
+use crate::metrics::{SystemMetrics, ThreadMetrics};
+use crate::system::SystemBuilder;
+use fqms_memctrl::policy::SchedulerKind;
+use fqms_workloads::profile::WorkloadProfile;
+use fqms_workloads::spec::SPEC_PROFILES;
+
+/// How long to simulate: the per-thread instruction target and a hard
+/// cycle bound (so pathological configurations cannot hang a sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLength {
+    /// Instructions each thread must retire.
+    pub instructions: u64,
+    /// Hard bound on simulated DRAM cycles.
+    pub max_dram_cycles: u64,
+}
+
+impl RunLength {
+    /// Short runs for unit/integration tests (~tens of ms each).
+    pub const fn quick() -> Self {
+        RunLength {
+            instructions: 30_000,
+            max_dram_cycles: 3_000_000,
+        }
+    }
+
+    /// Standard figure-quality runs.
+    pub const fn standard() -> Self {
+        RunLength {
+            instructions: 300_000,
+            max_dram_cycles: 40_000_000,
+        }
+    }
+
+    /// Long runs for final numbers.
+    pub const fn full() -> Self {
+        RunLength {
+            instructions: 1_000_000,
+            max_dram_cycles: 150_000_000,
+        }
+    }
+}
+
+impl Default for RunLength {
+    fn default() -> Self {
+        RunLength::standard()
+    }
+}
+
+/// Runs every one of the twenty profiles alone on the unscaled memory
+/// system (Figure 4). Results are in `SPEC_PROFILES` order.
+pub fn solo_sweep(len: RunLength, seed: u64) -> Vec<ThreadMetrics> {
+    SPEC_PROFILES
+        .iter()
+        .map(|p| crate::baseline::run_solo(*p, len.instructions, len.max_dram_cycles, seed))
+        .collect()
+}
+
+/// Runs a two-core CMP: `subject` on thread 0, `background` on thread 1,
+/// with equal shares under `scheduler` (the Figures 1/5/6/7 platform).
+pub fn two_core_run(
+    subject: WorkloadProfile,
+    background: WorkloadProfile,
+    scheduler: SchedulerKind,
+    len: RunLength,
+    seed: u64,
+) -> SystemMetrics {
+    let mut sys = SystemBuilder::new()
+        .scheduler(scheduler)
+        .seed(seed)
+        .workload(subject)
+        .workload(background)
+        .build()
+        .expect("two-core configuration is valid");
+    sys.run(len.instructions, len.max_dram_cycles)
+}
+
+/// Runs a four-core CMP with the given workload mix and equal shares
+/// (the Figures 8/9 platform).
+pub fn four_core_run(
+    mix: &[WorkloadProfile; 4],
+    scheduler: SchedulerKind,
+    len: RunLength,
+    seed: u64,
+) -> SystemMetrics {
+    let mut sys = SystemBuilder::new()
+        .scheduler(scheduler)
+        .seed(seed)
+        .workloads(mix.iter().copied())
+        .build()
+        .expect("four-core configuration is valid");
+    sys.run(len.instructions, len.max_dram_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_workloads::spec::by_name;
+
+    #[test]
+    fn two_core_run_keeps_thread_order() {
+        let m = two_core_run(
+            by_name("vpr").unwrap(),
+            by_name("art").unwrap(),
+            SchedulerKind::FrFcfs,
+            RunLength::quick(),
+            3,
+        );
+        assert_eq!(m.threads[0].name, "vpr");
+        assert_eq!(m.threads[1].name, "art");
+    }
+
+    #[test]
+    fn four_core_run_covers_all_threads() {
+        let mix = fqms_workloads::spec::four_core_workloads()[0];
+        let m = four_core_run(&mix, SchedulerKind::FqVftf, RunLength::quick(), 3);
+        assert_eq!(m.threads.len(), 4);
+        assert!(m.threads.iter().all(|t| t.instructions > 0));
+    }
+
+    #[test]
+    fn run_length_presets_are_ordered() {
+        assert!(RunLength::quick().instructions < RunLength::standard().instructions);
+        assert!(RunLength::standard().instructions < RunLength::full().instructions);
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's target-bus-utilization fair-share solver (Figure 9).
+//!
+//! "A thread's target data bus utilization is the smaller of 1) its data
+//! bus utilization when running alone (solo) on the CMP and 2) the sum of
+//! its allocated service share plus its fair share of excess memory
+//! bandwidth. ... A thread's fair-share of excess bandwidth is determined
+//! by incrementally adding equal portions of excess service to each thread
+//! that demands service until all excess service is allocated or there are
+//! no threads that demand more service."
+//!
+//! This is progressive water-filling over the data bus: satisfied threads
+//! (target = solo demand) return their unused share to the pool, which is
+//! split equally among still-unsatisfied threads, iterating to a fixed
+//! point.
+
+/// Computes each thread's target data-bus utilization given its solo
+/// utilization and its allocated share.
+///
+/// `solo` and `shares` must be the same length; `shares` should sum to at
+/// most 1. Returns one target per thread.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use fqms::fairshare::target_utilizations;
+///
+/// // Two saturating threads split the bus evenly.
+/// let t = target_utilizations(&[0.9, 0.9], &[0.5, 0.5]);
+/// assert!((t[0] - 0.5).abs() < 1e-9);
+///
+/// // A light thread keeps its demand; the heavy one gets the excess.
+/// let t = target_utilizations(&[0.1, 0.9], &[0.5, 0.5]);
+/// assert!((t[0] - 0.1).abs() < 1e-9);
+/// assert!((t[1] - 0.9).abs() < 1e-9);
+/// ```
+pub fn target_utilizations(solo: &[f64], shares: &[f64]) -> Vec<f64> {
+    assert_eq!(solo.len(), shares.len(), "one share per thread");
+    assert!(!solo.is_empty(), "at least one thread");
+    let n = solo.len();
+    let mut target: Vec<f64> = shares.to_vec();
+    // Iterate: clamp satisfied threads to their demand, redistribute the
+    // freed bandwidth equally among unsatisfied threads.
+    for _ in 0..64 {
+        let mut freed = 0.0;
+        let mut unsatisfied = 0usize;
+        for i in 0..n {
+            if target[i] >= solo[i] {
+                freed += target[i] - solo[i];
+            } else {
+                unsatisfied += 1;
+            }
+        }
+        if freed < 1e-12 || unsatisfied == 0 {
+            break;
+        }
+        let bump = freed / unsatisfied as f64;
+        for i in 0..n {
+            if target[i] >= solo[i] {
+                target[i] = solo[i];
+            } else {
+                target[i] += bump;
+            }
+        }
+    }
+    for i in 0..n {
+        target[i] = target[i].min(solo[i]);
+    }
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn all_saturating_threads_get_their_share() {
+        let t = target_utilizations(&[1.0, 1.0, 1.0, 1.0], &[0.25; 4]);
+        assert_close(&t, &[0.25; 4]);
+    }
+
+    #[test]
+    fn light_threads_cap_at_demand() {
+        let t = target_utilizations(&[0.05, 0.05, 0.9, 0.9], &[0.25; 4]);
+        // 0.4 of freed bandwidth split between the two heavy threads.
+        assert_close(&t, &[0.05, 0.05, 0.45, 0.45]);
+    }
+
+    #[test]
+    fn cascading_redistribution() {
+        // Middle thread saturates at 0.3 only after receiving some excess.
+        let t = target_utilizations(&[0.1, 0.3, 0.9], &[1.0 / 3.0; 3]);
+        // Round 1: thread0 frees 0.2333 -> bump 0.1167 each to t1,t2.
+        // t1 = 0.45 > 0.3 -> clamps, freeing again to t2.
+        assert!((t[0] - 0.1).abs() < 1e-6);
+        assert!((t[1] - 0.3).abs() < 1e-6);
+        assert!((t[2] - 0.6).abs() < 1e-6);
+        let total: f64 = t.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn targets_never_exceed_solo_or_waste_bus() {
+        let solo = [0.8, 0.6, 0.2, 0.05];
+        let t = target_utilizations(&solo, &[0.25; 4]);
+        for i in 0..4 {
+            assert!(t[i] <= solo[i] + 1e-9);
+        }
+        let total: f64 = t.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+        // Demand exceeds capacity, so the bus should be fully allocated.
+        assert!(total > 0.99, "total {total}");
+    }
+
+    #[test]
+    fn unequal_shares_respected() {
+        let t = target_utilizations(&[1.0, 1.0], &[0.75, 0.25]);
+        assert_close(&t, &[0.75, 0.25]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        target_utilizations(&[0.5], &[0.25, 0.25]);
+    }
+}

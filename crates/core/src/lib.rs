@@ -1,0 +1,62 @@
+//! # Fair Queuing Memory Systems
+//!
+//! A from-scratch Rust reproduction of *Fair Queuing Memory Systems*
+//! (Nesbit, Aggarwal, Laudon, Smith — MICRO 2006): a QoS-providing,
+//! fair multi-thread DRAM scheduler built on network fair-queuing theory,
+//! together with the full simulation stack the paper evaluates it on.
+//!
+//! The workspace layers:
+//!
+//! * [`fqms_dram`] — cycle-accurate DDR2-800 device timing model,
+//! * [`fqms_memctrl`] — the memory controller with FR-FCFS / FR-VFTF /
+//!   FQ-VFTF schedulers and the Virtual Time Memory System registers,
+//! * [`fqms_cpu`] — trace-driven cores with private caches and MSHRs,
+//! * [`fqms_workloads`] — twenty synthetic SPEC-2000-like profiles,
+//! * this crate — system assembly ([`system::SystemBuilder`]), baselines
+//!   ([`baseline`]), metrics ([`metrics`]), the target-utilization solver
+//!   ([`fairshare`]), and experiment runners ([`experiment`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fqms::prelude::*;
+//!
+//! // Co-schedule latency-sensitive vpr with the aggressive art stream
+//! // under the Fair Queuing scheduler, with equal bandwidth shares.
+//! let mut system = SystemBuilder::new()
+//!     .scheduler(SchedulerKind::FqVftf)
+//!     .seed(42)
+//!     .workload(by_name("vpr").unwrap())
+//!     .workload(by_name("art").unwrap())
+//!     .build()?;
+//! let metrics = system.run(20_000, 2_000_000);
+//! assert!(metrics.threads[0].ipc > 0.0);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod experiment;
+pub mod fairshare;
+pub mod metrics;
+pub mod system;
+pub mod theory;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::baseline::{run_private_baseline, run_solo};
+    pub use crate::experiment::{four_core_run, solo_sweep, two_core_run, RunLength};
+    pub use crate::fairshare::target_utilizations;
+    pub use crate::metrics::{improvement, SystemMetrics, ThreadMetrics};
+    pub use crate::system::{System, SystemBuilder};
+    pub use crate::theory::ServiceLagTracker;
+    pub use fqms_memctrl::policy::{
+        BufferSharing, InversionBound, RowPolicy, SchedulerKind, VftBinding,
+    };
+    pub use fqms_sim::stats::harmonic_mean;
+    pub use fqms_workloads::spec::{by_name, four_core_workloads, SPEC_PROFILES};
+}
+
+pub use prelude::*;

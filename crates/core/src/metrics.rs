@@ -1,0 +1,143 @@
+//! Result metrics for simulation runs.
+
+use fqms_sim::stats::harmonic_mean;
+
+/// Per-thread results of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadMetrics {
+    /// Workload name (profile identity).
+    pub name: String,
+    /// Instructions retired inside the measurement window.
+    pub instructions: u64,
+    /// CPU cycles the thread took to retire them (its finish line).
+    pub cpu_cycles: u64,
+    /// Instructions per CPU cycle.
+    pub ipc: f64,
+    /// Average load-miss (memory read) round-trip latency in CPU cycles,
+    /// as observed by the core (includes the fixed memory overhead).
+    pub avg_read_latency: f64,
+    /// 95th-percentile load-miss latency in CPU cycles (tail behaviour —
+    /// priority-inversion blocking shows up here first).
+    pub p95_read_latency: u64,
+    /// Fraction of peak data-bus bandwidth this thread consumed over the
+    /// run window.
+    pub bus_utilization: f64,
+    /// Fraction of the thread's serviced CAS commands that were row-buffer
+    /// hits.
+    pub row_hit_rate: f64,
+    /// Demand reads sent to memory.
+    pub mem_reads: u64,
+    /// Writebacks sent to memory.
+    pub mem_writes: u64,
+}
+
+/// Whole-system results of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemMetrics {
+    /// Per-thread metrics, in thread order.
+    pub threads: Vec<ThreadMetrics>,
+    /// DRAM command-clock cycles simulated.
+    pub elapsed_dram_cycles: u64,
+    /// Aggregate data-bus utilization (busy burst cycles / elapsed).
+    pub data_bus_utilization: f64,
+    /// Aggregate bank utilization (mean over banks of busy fraction).
+    pub bank_utilization: f64,
+}
+
+impl SystemMetrics {
+    /// Harmonic mean of the threads' IPCs normalized by `baselines` (one
+    /// baseline IPC per thread) — the paper's aggregate performance metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baselines` has a different length than the thread list.
+    pub fn harmonic_mean_normalized_ipc(&self, baselines: &[f64]) -> f64 {
+        assert_eq!(
+            baselines.len(),
+            self.threads.len(),
+            "one baseline IPC per thread required"
+        );
+        let normalized: Vec<f64> = self
+            .threads
+            .iter()
+            .zip(baselines)
+            .map(|(t, &b)| if b > 0.0 { t.ipc / b } else { 0.0 })
+            .collect();
+        harmonic_mean(&normalized)
+    }
+
+    /// The metrics of one thread by index.
+    pub fn thread(&self, idx: usize) -> &ThreadMetrics {
+        &self.threads[idx]
+    }
+}
+
+/// Relative performance improvement of `new` over `base` (e.g. 0.31 for
+/// "+31%").
+///
+/// # Example
+///
+/// ```
+/// use fqms::metrics::improvement;
+///
+/// assert!((improvement(1.31, 1.0) - 0.31).abs() < 1e-12);
+/// ```
+pub fn improvement(new: f64, base: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        new / base - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm(name: &str, ipc: f64) -> ThreadMetrics {
+        ThreadMetrics {
+            name: name.into(),
+            instructions: 1000,
+            cpu_cycles: 1000,
+            ipc,
+            avg_read_latency: 100.0,
+            p95_read_latency: 200,
+            bus_utilization: 0.2,
+            row_hit_rate: 0.5,
+            mem_reads: 10,
+            mem_writes: 5,
+        }
+    }
+
+    #[test]
+    fn hmean_normalized_ipc() {
+        let m = SystemMetrics {
+            threads: vec![tm("a", 1.0), tm("b", 0.5)],
+            elapsed_dram_cycles: 1000,
+            data_bus_utilization: 0.5,
+            bank_utilization: 0.4,
+        };
+        // Normalized: 1.0/1.0 = 1, 0.5/1.0 = 0.5 -> harmonic mean = 2/3.
+        let h = m.harmonic_mean_normalized_ipc(&[1.0, 1.0]);
+        assert!((h - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_baselines_panic() {
+        let m = SystemMetrics {
+            threads: vec![tm("a", 1.0)],
+            elapsed_dram_cycles: 1,
+            data_bus_utilization: 0.0,
+            bank_utilization: 0.0,
+        };
+        m.harmonic_mean_normalized_ipc(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement(1.5, 1.0) - 0.5).abs() < 1e-12);
+        assert!((improvement(0.9, 1.0) + 0.1).abs() < 1e-12);
+        assert_eq!(improvement(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,566 @@
+//! System assembly and the coupled simulation loop.
+//!
+//! A [`System`] is a CMP: one [`fqms_cpu::core::Core`] per workload, all
+//! sharing a single [`MultiChannelController`] over DDR2 devices — the
+//! paper's evaluation platform, where "the SDRAM memory system is the only
+//! shared resource in the system".
+//!
+//! Build one with [`SystemBuilder`], then call [`System::run`] to simulate
+//! until every thread has retired an instruction target (the paper's
+//! per-benchmark trace length, scaled down for tractable runs).
+
+use crate::metrics::{SystemMetrics, ThreadMetrics};
+use fqms_cpu::cache::Cache;
+use fqms_cpu::core::{Core, CoreConfig};
+use fqms_cpu::trace::TraceSource;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::config::McConfig;
+use fqms_memctrl::multichannel::MultiChannelController;
+use fqms_memctrl::policy::{BufferSharing, InversionBound, RowPolicy, SchedulerKind, VftBinding};
+use fqms_memctrl::request::{RequestKind, ThreadId};
+use fqms_sim::clock::{ClockDomains, CpuCycle, DramCycle};
+use fqms_workloads::generator::SyntheticTrace;
+use fqms_workloads::profile::WorkloadProfile;
+
+/// Incrementally configures and builds a [`System`].
+///
+/// # Example
+///
+/// ```
+/// use fqms::system::SystemBuilder;
+/// use fqms_memctrl::policy::SchedulerKind;
+/// use fqms_workloads::spec::by_name;
+///
+/// let mut system = SystemBuilder::new()
+///     .scheduler(SchedulerKind::FqVftf)
+///     .seed(7)
+///     .workload(by_name("vpr").unwrap())
+///     .workload(by_name("art").unwrap())
+///     .build()?;
+/// let metrics = system.run(20_000, 1_000_000);
+/// assert_eq!(metrics.threads.len(), 2);
+/// # Ok::<(), String>(())
+/// ```
+enum WorkloadEntry {
+    /// A statistical profile: the trace is synthesized per thread.
+    Profile(WorkloadProfile),
+    /// A caller-supplied trace source with a display name and an explicit
+    /// cache-prewarm access count.
+    Custom {
+        name: String,
+        trace: Box<dyn TraceSource>,
+        prewarm_accesses: u64,
+    },
+}
+
+impl std::fmt::Debug for WorkloadEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadEntry::Profile(p) => write!(f, "Profile({})", p.name),
+            WorkloadEntry::Custom { name, .. } => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+/// Incrementally configures and builds a [`System`]; see the example
+/// above.
+#[derive(Debug)]
+pub struct SystemBuilder {
+    scheduler: SchedulerKind,
+    shares: Option<Vec<f64>>,
+    geometry: Geometry,
+    timing: TimingParams,
+    core: CoreConfig,
+    cpu_ratio: u64,
+    seed: u64,
+    inversion_bound: InversionBound,
+    row_policy: RowPolicy,
+    vft_binding: VftBinding,
+    buffer_sharing: BufferSharing,
+    prewarm: bool,
+    channels: usize,
+    shared_l2: bool,
+    workloads: Vec<WorkloadEntry>,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's configuration (Tables 5 and 6): DDR2-800,
+    /// 1 rank × 8 banks, the Table 5 core, CPU:DRAM clock ratio 5,
+    /// FR-FCFS scheduling, equal shares.
+    pub fn new() -> Self {
+        SystemBuilder {
+            scheduler: SchedulerKind::FrFcfs,
+            shares: None,
+            geometry: Geometry::paper(),
+            timing: TimingParams::ddr2_800(),
+            core: CoreConfig::paper(),
+            cpu_ratio: 5,
+            seed: 1,
+            inversion_bound: InversionBound::TRas,
+            row_policy: RowPolicy::Closed,
+            vft_binding: VftBinding::FirstReady,
+            buffer_sharing: BufferSharing::Partitioned,
+            prewarm: true,
+            channels: 1,
+            shared_l2: false,
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Selects the memory scheduling algorithm.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets explicit per-thread shares (default: equal `1/n`).
+    pub fn shares(mut self, shares: Vec<f64>) -> Self {
+        self.shares = Some(shares);
+        self
+    }
+
+    /// Overrides the DRAM timing parameters (e.g. a time-scaled private
+    /// baseline memory).
+    pub fn timing(mut self, timing: TimingParams) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the memory geometry.
+    pub fn geometry(mut self, geometry: Geometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Overrides the core configuration.
+    pub fn core_config(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Sets the CPU:DRAM clock ratio (default 5).
+    pub fn cpu_ratio(mut self, ratio: u64) -> Self {
+        self.cpu_ratio = ratio;
+        self
+    }
+
+    /// Sets the master random seed (each thread's trace derives its own
+    /// stream from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the FQ bank scheduler's priority-inversion bound.
+    pub fn inversion_bound(mut self, bound: InversionBound) -> Self {
+        self.inversion_bound = bound;
+        self
+    }
+
+    /// Sets the number of line-interleaved memory channels (default: 1,
+    /// the paper's configuration; more channels exercise the paper's
+    /// multi-channel future-work extension).
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the row-buffer management policy (default: closed, per the
+    /// paper).
+    pub fn row_policy(mut self, policy: RowPolicy) -> Self {
+        self.row_policy = policy;
+        self
+    }
+
+    /// Sets when virtual finish times are bound (default: at first-ready,
+    /// the paper's evaluated design).
+    pub fn vft_binding(mut self, binding: VftBinding) -> Self {
+        self.vft_binding = binding;
+        self
+    }
+
+    /// Sets the buffer organisation (default: the paper's static
+    /// per-thread partitions; `Shared` is the future-work ablation).
+    pub fn buffer_sharing(mut self, sharing: BufferSharing) -> Self {
+        self.buffer_sharing = sharing;
+        self
+    }
+
+    /// Makes all cores share one L2 cache (of the core config's L2
+    /// geometry) instead of the paper's private L2s. An extension used to
+    /// demonstrate that memory-scheduler QoS does not survive cache
+    /// contention — the paper's isolation argument assumes private caches.
+    pub fn shared_l2(mut self, shared: bool) -> Self {
+        self.shared_l2 = shared;
+        self
+    }
+
+    /// Enables or disables functional cache prewarming before the run
+    /// (default: enabled). Prewarming streams ~4 footprints of references
+    /// through each core's caches with no timing, so measurement starts
+    /// from warm caches — the paper's sampled traces are likewise
+    /// statistically representative of steady state, not cold start.
+    pub fn prewarm(mut self, enabled: bool) -> Self {
+        self.prewarm = enabled;
+        self
+    }
+
+    /// Adds one workload; each workload becomes a hardware thread on its
+    /// own core.
+    pub fn workload(mut self, profile: WorkloadProfile) -> Self {
+        self.workloads.push(WorkloadEntry::Profile(profile));
+        self
+    }
+
+    /// Adds several workloads at once.
+    pub fn workloads<I: IntoIterator<Item = WorkloadProfile>>(mut self, profiles: I) -> Self {
+        self.workloads
+            .extend(profiles.into_iter().map(WorkloadEntry::Profile));
+        self
+    }
+
+    /// Adds a thread driven by a caller-supplied trace source (e.g. one of
+    /// the `fqms_workloads::patterns` generators or a recorded trace).
+    /// `prewarm_accesses` references are streamed through the caches
+    /// before measurement if prewarming is enabled.
+    pub fn workload_trace(
+        mut self,
+        name: impl Into<String>,
+        trace: Box<dyn TraceSource>,
+        prewarm_accesses: u64,
+    ) -> Self {
+        self.workloads.push(WorkloadEntry::Custom {
+            name: name.into(),
+            trace,
+            prewarm_accesses,
+        });
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if no workloads were added or any component
+    /// configuration is invalid.
+    pub fn build(self) -> Result<System, String> {
+        if self.workloads.is_empty() {
+            return Err("add at least one workload".into());
+        }
+        let n = self.workloads.len();
+        let shares = self.shares.unwrap_or_else(|| vec![1.0 / n as f64; n]);
+        if shares.len() != n {
+            return Err(format!(
+                "{} shares provided for {} workloads",
+                shares.len(),
+                n
+            ));
+        }
+        let mut mc_config = McConfig::with_shares(self.scheduler, shares);
+        mc_config.inversion_bound = self.inversion_bound;
+        mc_config.row_policy = self.row_policy;
+        mc_config.vft_binding = self.vft_binding;
+        mc_config.buffer_sharing = self.buffer_sharing;
+        let mc = MultiChannelController::new(self.channels, mc_config, self.geometry, self.timing)?;
+        let mut cores = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let prewarm = self.prewarm;
+        let core_cfg = self.core;
+        let seed = self.seed;
+        let shared_l2 = if self.shared_l2 {
+            Some(std::rc::Rc::new(std::cell::RefCell::new(Cache::new(
+                core_cfg.l2,
+            )?)))
+        } else {
+            None
+        };
+        for (i, entry) in self.workloads.into_iter().enumerate() {
+            let (name, trace, prewarm_accesses): (String, Box<dyn TraceSource>, u64) = match entry {
+                WorkloadEntry::Profile(profile) => {
+                    let trace = SyntheticTrace::for_thread(profile, seed, i as u32)?;
+                    // ~4 passes over the footprint bounds the cold-miss share.
+                    let lines = profile.footprint_bytes / core_cfg.l1d.line_bytes;
+                    (
+                        profile.name.to_string(),
+                        Box::new(trace),
+                        (4 * lines).min(4_000_000),
+                    )
+                }
+                WorkloadEntry::Custom {
+                    name,
+                    trace,
+                    prewarm_accesses,
+                } => (name, trace, prewarm_accesses),
+            };
+            let mut core = match &shared_l2 {
+                Some(l2) => Core::with_shared_l2(
+                    core_cfg,
+                    ThreadId::new(i as u32),
+                    trace,
+                    std::rc::Rc::clone(l2),
+                )?,
+                None => Core::new(core_cfg, ThreadId::new(i as u32), trace)?,
+            };
+            if prewarm {
+                core.prewarm_caches(prewarm_accesses);
+            }
+            cores.push(core);
+            names.push(name);
+        }
+        Ok(System {
+            cores,
+            names,
+            mc,
+            clocks: ClockDomains::new(self.cpu_ratio),
+            overhead: self.core.memory_overhead,
+            dram_now: DramCycle::ZERO,
+            finish_cycles: vec![None; n],
+            finish_insts: vec![0; n],
+        })
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+/// A simulated CMP: cores + shared memory controller + DRAM.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    names: Vec<String>,
+    mc: MultiChannelController,
+    clocks: ClockDomains,
+    overhead: u64,
+    dram_now: DramCycle,
+    /// CPU cycle at which each core crossed the instruction target.
+    finish_cycles: Vec<Option<u64>>,
+    /// Instructions retired when the target was crossed.
+    finish_insts: Vec<u64>,
+}
+
+impl System {
+    /// Starts building a system (same as [`SystemBuilder::new`]).
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
+    /// Number of cores/threads.
+    pub fn num_threads(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The shared memory system (for inspection); single-channel systems
+    /// have exactly one channel.
+    pub fn controller(&self) -> &MultiChannelController {
+        &self.mc
+    }
+
+    /// One core (for inspection).
+    pub fn core(&self, idx: usize) -> &Core {
+        &self.cores[idx]
+    }
+
+    /// Advances the whole system by one DRAM cycle (`cpu_ratio` CPU cycles
+    /// per core, then one controller step, then completion routing).
+    pub fn step(&mut self) {
+        self.dram_now.tick();
+        let ratio = self.clocks.cpu_ratio();
+        let base_cpu = self.dram_now.as_u64() * ratio;
+        for sub in 0..ratio {
+            let now_cpu = CpuCycle::new(base_cpu + sub);
+            for core in &mut self.cores {
+                core.tick(now_cpu, self.dram_now, &mut self.mc);
+            }
+        }
+        for c in self.mc.step(self.dram_now) {
+            if c.kind == RequestKind::Read {
+                let ready = CpuCycle::new(c.finish.as_u64() * ratio + self.overhead);
+                self.cores[c.thread.as_usize()].on_completion(&c, ready);
+            }
+        }
+    }
+
+    /// Zeroes all measurement counters (core IPC accounting, controller and
+    /// DRAM statistics) while preserving microarchitectural state: warm
+    /// caches, queued requests, open rows, VTMS registers.
+    pub fn reset_measurement(&mut self) {
+        for core in &mut self.cores {
+            core.reset_stats();
+        }
+        self.mc.reset_stats(self.dram_now);
+        self.finish_cycles = vec![None; self.cores.len()];
+        self.finish_insts = vec![0; self.cores.len()];
+    }
+
+    /// Runs a warmup phase of `instructions_per_thread` instructions whose
+    /// statistics are discarded — the equivalent of the paper's sampled
+    /// traces starting with warmed caches. Call before [`System::run`].
+    pub fn warm_up(&mut self, instructions_per_thread: u64, max_dram_cycles: u64) {
+        let _ = self.run(instructions_per_thread, max_dram_cycles);
+    }
+
+    /// Runs until **every** thread has retired at least
+    /// `instructions_per_thread` further instructions, or `max_dram_cycles`
+    /// have elapsed. Measurement counters are reset at entry; each thread's
+    /// IPC is measured at its own finish line (the standard multiprogram
+    /// methodology: faster threads keep running and keep contending, but
+    /// their extra progress is not credited).
+    ///
+    /// Returns the run's metrics.
+    pub fn run(&mut self, instructions_per_thread: u64, max_dram_cycles: u64) -> SystemMetrics {
+        self.reset_measurement();
+        let start = self.dram_now;
+        loop {
+            self.step();
+            let mut all_done = true;
+            for (i, core) in self.cores.iter().enumerate() {
+                if self.finish_cycles[i].is_none() {
+                    if core.retired() >= instructions_per_thread {
+                        self.finish_cycles[i] = Some(core.cycles());
+                        self.finish_insts[i] = core.retired();
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if self.dram_now - start >= max_dram_cycles {
+                // Record whatever progress the stragglers made.
+                for (i, core) in self.cores.iter().enumerate() {
+                    if self.finish_cycles[i].is_none() {
+                        self.finish_cycles[i] = Some(core.cycles());
+                        self.finish_insts[i] = core.retired();
+                    }
+                }
+                break;
+            }
+        }
+        self.mc.finish(self.dram_now);
+        self.metrics(start)
+    }
+
+    /// Computes metrics for the window starting at `start`.
+    fn metrics(&self, start: DramCycle) -> SystemMetrics {
+        let elapsed = self.dram_now - start;
+        let elapsed = elapsed.max(1);
+        let threads = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let cycles = self.finish_cycles[i].unwrap_or(0).max(1);
+                let insts = self.finish_insts[i];
+                let mcs = self.mc.thread_stats(ThreadId::new(i as u32));
+                ThreadMetrics {
+                    name: self.names[i].clone(),
+                    instructions: insts,
+                    cpu_cycles: cycles,
+                    ipc: insts as f64 / cycles as f64,
+                    avg_read_latency: core.stats().avg_miss_latency(),
+                    p95_read_latency: core.latency_histogram().percentile(0.95),
+                    // Fraction of *total* peak bandwidth across channels.
+                    bus_utilization: mcs.bus_utilization(elapsed * self.mc.num_channels() as u64),
+                    row_hit_rate: mcs.row_hit_rate(),
+                    mem_reads: mcs.reads_completed,
+                    mem_writes: mcs.writes_completed,
+                }
+            })
+            .collect();
+        let total_banks = self.mc.total_banks() as u64;
+        let channels = self.mc.num_channels() as u64;
+        SystemMetrics {
+            threads,
+            elapsed_dram_cycles: elapsed,
+            data_bus_utilization: self.mc.bus_busy_cycles() as f64 / (elapsed * channels) as f64,
+            bank_utilization: self.mc.bank_busy_cycles() as f64 / (elapsed * total_banks) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_workloads::spec::by_name;
+
+    #[test]
+    fn build_requires_workloads() {
+        assert!(SystemBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn share_count_must_match() {
+        let r = SystemBuilder::new()
+            .workload(by_name("art").unwrap())
+            .shares(vec![0.5, 0.5])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_thread_run_produces_metrics() {
+        let mut sys = SystemBuilder::new()
+            .workload(by_name("swim").unwrap())
+            .seed(3)
+            .build()
+            .unwrap();
+        let m = sys.run(20_000, 2_000_000);
+        assert_eq!(m.threads.len(), 1);
+        let t = &m.threads[0];
+        assert!(t.instructions >= 20_000);
+        assert!(t.ipc > 0.0);
+        assert!(t.bus_utilization > 0.0);
+        assert!(m.data_bus_utilization > 0.0);
+        assert!(m.bank_utilization > 0.0);
+        assert_eq!(t.name, "swim");
+    }
+
+    #[test]
+    fn two_thread_run_is_deterministic() {
+        let run = || {
+            let mut sys = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .workload(by_name("art").unwrap())
+                .workload(by_name("vpr").unwrap())
+                .seed(9)
+                .build()
+                .unwrap();
+            sys.run(10_000, 2_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_cycles_bound_is_respected() {
+        let mut sys = SystemBuilder::new()
+            .workload(by_name("art").unwrap())
+            .seed(3)
+            .build()
+            .unwrap();
+        let m = sys.run(u64::MAX / 2, 5_000);
+        assert!(m.elapsed_dram_cycles <= 5_001);
+    }
+
+    #[test]
+    fn cache_resident_workload_uses_no_bus() {
+        let mut sys = SystemBuilder::new()
+            .workload(by_name("crafty").unwrap())
+            .seed(5)
+            .build()
+            .unwrap();
+        let m = sys.run(50_000, 2_000_000);
+        assert!(
+            m.data_bus_utilization < 0.05,
+            "crafty used {}",
+            m.data_bus_utilization
+        );
+        assert!(m.threads[0].ipc > 2.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fair-queuing theory instrumentation: GPS service lag.
+//!
+//! The FQ memory scheduler approximates a *generalized processor sharing*
+//! (GPS) server over the memory system (paper Section 2.3): during any
+//! interval in which thread `i` is backlogged, GPS would give it at least
+//! `phi_i` of the aggregate service. A real packet-by-packet (here:
+//! burst-by-burst) scheduler can only approximate GPS; the quality of the
+//! approximation is its **service lag** — how far a thread's received
+//! service falls behind its GPS entitlement:
+//!
+//! ```text
+//! lag_i(t) = service_i(t) − phi_i × total_service(t)
+//! ```
+//!
+//! A scheduler provides QoS in the paper's sense exactly when every
+//! backlogged thread's lag is bounded below by a constant (independent of
+//! other threads' behaviour). [`ServiceLagTracker`] samples cumulative
+//! per-thread data-bus service and records each thread's worst (most
+//! negative) lag, so tests and studies can measure the bound directly —
+//! and show that FR-FCFS has no such bound while FQ-VFTF does.
+
+/// Tracks per-thread worst-case GPS service lag from periodic samples of
+/// cumulative service.
+///
+/// # Example
+///
+/// ```
+/// use fqms::theory::ServiceLagTracker;
+///
+/// let mut lag = ServiceLagTracker::new(vec![0.5, 0.5]).unwrap();
+/// lag.observe(&[100, 100]); // even split: zero lag
+/// lag.observe(&[150, 250]); // thread 0 fell 50 cycles behind its half
+/// assert_eq!(lag.worst_lag(0), -50.0);
+/// assert_eq!(lag.worst_lag(1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceLagTracker {
+    shares: Vec<f64>,
+    worst: Vec<f64>,
+    samples: u64,
+}
+
+impl ServiceLagTracker {
+    /// Creates a tracker for threads with the given shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shares` is empty or any share is outside
+    /// `(0, 1]`.
+    pub fn new(shares: Vec<f64>) -> Result<Self, String> {
+        if shares.is_empty() {
+            return Err("at least one share required".into());
+        }
+        for (i, &phi) in shares.iter().enumerate() {
+            if !(phi > 0.0 && phi <= 1.0) {
+                return Err(format!("share {i} must be in (0, 1], got {phi}"));
+            }
+        }
+        let n = shares.len();
+        Ok(ServiceLagTracker {
+            shares,
+            worst: vec![0.0; n],
+            samples: 0,
+        })
+    }
+
+    /// Number of threads tracked.
+    pub fn num_threads(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Records one sample of *cumulative* per-thread service (e.g.
+    /// data-bus busy cycles attributed to each thread since measurement
+    /// start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the share count.
+    pub fn observe(&mut self, cumulative_service: &[u64]) {
+        assert_eq!(
+            cumulative_service.len(),
+            self.shares.len(),
+            "one sample per thread"
+        );
+        let total: u64 = cumulative_service.iter().sum();
+        for (i, &s) in cumulative_service.iter().enumerate() {
+            let lag = s as f64 - self.shares[i] * total as f64;
+            if lag < self.worst[i] {
+                self.worst[i] = lag;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// The worst (most negative) lag observed for `thread`, in service
+    /// units (bus cycles). 0.0 if the thread never fell behind.
+    pub fn worst_lag(&self, thread: usize) -> f64 {
+        self.worst[thread]
+    }
+
+    /// The worst lag across all threads.
+    pub fn worst_overall(&self) -> f64 {
+        self.worst.iter().copied().fold(0.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shares() {
+        assert!(ServiceLagTracker::new(vec![]).is_err());
+        assert!(ServiceLagTracker::new(vec![0.0]).is_err());
+        assert!(ServiceLagTracker::new(vec![1.5]).is_err());
+    }
+
+    #[test]
+    fn perfect_gps_has_zero_lag() {
+        let mut t = ServiceLagTracker::new(vec![0.25; 4]).unwrap();
+        for k in 1..100u64 {
+            t.observe(&[k * 10; 4]);
+        }
+        assert_eq!(t.worst_overall(), 0.0);
+        assert_eq!(t.samples(), 99);
+    }
+
+    #[test]
+    fn starved_thread_accumulates_lag() {
+        let mut t = ServiceLagTracker::new(vec![0.5, 0.5]).unwrap();
+        // Thread 1 hogs everything.
+        for k in 1..=10u64 {
+            t.observe(&[0, k * 100]);
+        }
+        assert_eq!(t.worst_lag(0), -500.0);
+        assert_eq!(t.worst_lag(1), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_shares_shift_the_entitlement() {
+        let mut t = ServiceLagTracker::new(vec![0.75, 0.25]).unwrap();
+        // An even split short-changes the 0.75 thread.
+        t.observe(&[100, 100]);
+        assert_eq!(t.worst_lag(0), -50.0);
+        assert_eq!(t.worst_lag(1), 0.0);
+    }
+
+    #[test]
+    fn lag_is_monotone_worst_case() {
+        let mut t = ServiceLagTracker::new(vec![0.5, 0.5]).unwrap();
+        t.observe(&[0, 100]); // lag0 = -50
+        t.observe(&[100, 100]); // recovered, but worst stays
+        assert_eq!(t.worst_lag(0), -50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sample_length_panics() {
+        let mut t = ServiceLagTracker::new(vec![0.5, 0.5]).unwrap();
+        t.observe(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Set-associative cache model with LRU replacement and write-back lines.
+//!
+//! The model is a *performance* model: it tracks which lines are present
+//! and dirty, not their data. Both the private L1 data cache and the
+//! private L2 of the paper's Table 5 are instances of this type.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in CPU cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 D-cache: 32 KB, 4-way, 64-byte lines, 2-cycle.
+    pub const fn paper_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 2,
+        }
+    }
+
+    /// The paper's private L2: 512 KB, 8-way, 64-byte lines, 12-cycle.
+    pub const fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 12,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes)
+    }
+
+    /// Validates the configuration (power-of-two sets and line size,
+    /// non-zero everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated requirement.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err("cache dimensions must be non-zero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
+        }
+        if self.size_bytes % (self.ways as u64 * self.line_bytes) != 0 {
+            return Err("size must be divisible by ways * line".into());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("set count {} must be a power of two", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line is present.
+    Hit,
+    /// The line is absent.
+    Miss,
+}
+
+/// A set-associative, write-back cache (performance model).
+///
+/// # Example
+///
+/// ```
+/// use fqms_cpu::cache::{Cache, CacheConfig, Lookup};
+///
+/// let mut c = Cache::new(CacheConfig::paper_l1d()).unwrap();
+/// assert_eq!(c.probe(0x1000, false), Lookup::Miss);
+/// c.fill(0x1000, false);
+/// assert_eq!(c.probe(0x1000, false), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Cache {
+            config,
+            sets: vec![Vec::new(); config.sets() as usize],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.config.sets()) as usize;
+        let tag = line / self.config.sets();
+        (set, tag)
+    }
+
+    /// Looks up `addr`; on a hit updates LRU and, if `write`, marks the
+    /// line dirty. Does **not** allocate on miss — use [`Cache::fill`].
+    pub fn probe(&mut self, addr: u64, write: bool) -> Lookup {
+        let (set, tag) = self.index_tag(addr);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            line.lru = stamp;
+            if write {
+                line.dirty = true;
+            }
+            self.hits += 1;
+            Lookup::Hit
+        } else {
+            self.misses += 1;
+            Lookup::Miss
+        }
+    }
+
+    /// Inserts the line containing `addr` (marking it dirty if `write`),
+    /// evicting the LRU line of the set if full.
+    ///
+    /// Returns the *byte address* of an evicted dirty line (a writeback the
+    /// caller must propagate), if any.
+    pub fn fill(&mut self, addr: u64, write: bool) -> Option<u64> {
+        let (set, tag) = self.index_tag(addr);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.config.ways as usize;
+        let set_vec = &mut self.sets[set];
+        if let Some(line) = set_vec.iter_mut().find(|l| l.tag == tag) {
+            // Already present (e.g. racing fills); just refresh.
+            line.lru = stamp;
+            if write {
+                line.dirty = true;
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if set_vec.len() >= ways {
+            let victim = set_vec
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let v = set_vec.swap_remove(victim);
+            if v.dirty {
+                evicted = Some(self.line_addr(set, v.tag));
+            }
+        }
+        self.sets[set].push(Line {
+            tag,
+            dirty: write,
+            lru: stamp,
+        });
+        evicted
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.config.sets() + set as u64) * self.config.line_bytes
+    }
+
+    /// `(hits, misses)` counted so far.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_configs_are_valid() {
+        CacheConfig::paper_l1d().validate().unwrap();
+        CacheConfig::paper_l2().validate().unwrap();
+        assert_eq!(CacheConfig::paper_l1d().sets(), 128);
+        assert_eq!(CacheConfig::paper_l2().sets(), 1024);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0, false), Lookup::Miss);
+        assert_eq!(c.fill(0, false), None);
+        assert_eq!(c.probe(0, false), Lookup::Hit);
+        assert_eq!(c.hit_miss_counts(), (1, 1));
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny();
+        c.fill(0x40, false);
+        assert_eq!(c.probe(0x7F, false), Lookup::Hit);
+        assert_eq!(c.probe(0x80, false), Lookup::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines 0 and 2 (line index even -> set 0).
+        c.fill(0 * 64, false);
+        c.fill(2 * 64, false);
+        c.probe(0 * 64, false); // touch line 0: line 2 is now LRU
+        let evicted = c.fill(4 * 64, false);
+        assert_eq!(evicted, None); // clean eviction is silent
+        assert_eq!(c.probe(0 * 64, false), Lookup::Hit);
+        assert_eq!(c.probe(2 * 64, false), Lookup::Miss);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0 * 64, true); // dirty
+        c.fill(2 * 64, false);
+        let evicted = c.fill(4 * 64, false); // evicts line 0 (LRU, dirty)
+        assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn write_probe_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.probe(0, true); // dirty via store hit
+        c.fill(2 * 64, false);
+        let evicted = c.fill(4 * 64, false);
+        assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn refill_of_present_line_is_silent() {
+        let mut c = tiny();
+        c.fill(0, true);
+        assert_eq!(c.fill(0, false), None);
+        // Dirty bit preserved.
+        c.fill(2 * 64, false);
+        assert_eq!(c.fill(4 * 64, false), Some(0));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+            latency: 1
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,904 @@
+//! The trace-driven processor core model.
+//!
+//! A deliberately simplified out-of-order core that preserves exactly the
+//! mechanisms this paper's results depend on:
+//!
+//! * **retirement-limited IPC** — up to `issue_width` instructions retire
+//!   per cycle, in order; a load miss at the head of the ROB stalls
+//!   retirement until its data returns, so memory latency costs IPC,
+//! * **bounded memory-level parallelism** — dispatch may run at most
+//!   `rob_size` instructions ahead of retirement and at most `mshrs` load
+//!   misses may be outstanding, so latency can only be overlapped up to the
+//!   workload's MLP (and `dependent` accesses serialize on the previous
+//!   load, modelling pointer chasing),
+//! * **private two-level caches** — misses filter through L1/L2 (Table 5
+//!   geometry) before reaching the shared memory controller; dirty L2
+//!   evictions generate writeback traffic,
+//! * **back-pressure** — when the controller NACKs (per-thread buffer
+//!   partitions full) dispatch stalls and retries, exactly the paper's
+//!   per-thread flow control.
+//!
+//! Stores are idealized through the L2 store-merge buffer of Table 5: they
+//! allocate directly into L2 without a read-for-ownership fetch, so write
+//! memory traffic consists of dirty writebacks (documented substitution;
+//! see DESIGN.md).
+
+use crate::cache::{Cache, CacheConfig, Lookup};
+use crate::trace::{TraceOp, TraceSource};
+use fqms_memctrl::controller::Completion;
+use fqms_memctrl::port::MemoryPort;
+use fqms_memctrl::request::{RequestId, RequestKind, ThreadId};
+use fqms_sim::clock::{CpuCycle, DramCycle};
+use fqms_sim::stats::Histogram;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Configuration of one core (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Maximum instructions dispatched/retired per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: u32,
+    /// Maximum outstanding load misses (D-cache MSHRs).
+    pub mshrs: u32,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Private L2 geometry.
+    pub l2: CacheConfig,
+    /// Fixed CPU-cycle overhead added to every memory read round trip
+    /// (interconnect crossing, controller front-end, return path);
+    /// calibrated so the unloaded read latency lands near the paper's
+    /// ~180 processor cycles.
+    pub memory_overhead: u64,
+    /// Writeback queue depth; dispatch of memory ops stalls when full.
+    pub writeback_queue: usize,
+    /// Next-line prefetch degree: on each demand L2 miss, also fetch the
+    /// next `prefetch_degree` sequential lines (0 disables prefetching,
+    /// the paper's configuration). Prefetches share the MSHR file and
+    /// memory bandwidth with demand misses.
+    pub prefetch_degree: u32,
+}
+
+impl CoreConfig {
+    /// The paper's Table 5 processor configuration.
+    pub const fn paper() -> Self {
+        CoreConfig {
+            issue_width: 8,
+            rob_size: 128,
+            mshrs: 16,
+            l1d: CacheConfig::paper_l1d(),
+            l2: CacheConfig::paper_l2(),
+            memory_overhead: 96,
+            writeback_queue: 16,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated requirement.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.issue_width == 0 || self.rob_size == 0 || self.mshrs == 0 {
+            return Err("issue width, ROB size, and MSHR count must be non-zero".into());
+        }
+        if self.writeback_queue == 0 {
+            return Err("writeback queue must be non-zero".into());
+        }
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if self.l1d.line_bytes != self.l2.line_bytes {
+            return Err("L1 and L2 line sizes must match".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper()
+    }
+}
+
+/// Execution statistics for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Loads that hit in L1.
+    pub l1_hits: u64,
+    /// Loads that hit in L2.
+    pub l2_hits: u64,
+    /// Demand load misses sent to memory (after MSHR coalescing).
+    pub mem_reads: u64,
+    /// Loads coalesced into an existing MSHR.
+    pub coalesced: u64,
+    /// Dirty-line writebacks sent to memory.
+    pub writebacks: u64,
+    /// Cycles dispatch stalled on a full MSHR file or a controller NACK.
+    pub backpressure_stall_cycles: u64,
+    /// Cycles dispatch stalled on an address dependence (pointer chase).
+    pub dependence_stall_cycles: u64,
+    /// Sum of load-miss round-trip latencies in CPU cycles.
+    pub miss_latency_total: u64,
+    /// Number of load-miss round trips measured.
+    pub miss_latency_count: u64,
+    /// Prefetch requests issued to memory.
+    pub prefetches_issued: u64,
+    /// Demand loads that hit a line brought in (or in flight) by a
+    /// prefetch.
+    pub prefetch_hits: u64,
+}
+
+impl CoreStats {
+    /// Average memory read (load miss) latency in CPU cycles.
+    pub fn avg_miss_latency(&self) -> f64 {
+        if self.miss_latency_count == 0 {
+            0.0
+        } else {
+            self.miss_latency_total as f64 / self.miss_latency_count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    count: u32,
+    ready_at: CpuCycle,
+}
+
+#[derive(Debug, Clone)]
+struct OutstandingMiss {
+    line: u64,
+    entry_seqs: Vec<u64>,
+    issued_at: CpuCycle,
+    /// True if this request was initiated by the prefetcher (no ROB entry
+    /// waits on it and it does not count toward latency statistics unless
+    /// a demand load later coalesces onto it).
+    is_prefetch: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CurrentOp {
+    work_left: u32,
+    access: Option<crate::trace::MemAccess>,
+}
+
+/// A core's second-level cache: private (the paper's configuration) or a
+/// handle to a cache shared among cores (an extension used to demonstrate
+/// that the FQ *memory* scheduler cannot isolate threads once the cache
+/// itself is a contended resource — the paper deliberately gives each core
+/// private caches so "the SDRAM memory system is the only shared
+/// resource").
+#[derive(Debug, Clone)]
+pub enum L2Handle {
+    /// A private per-core L2.
+    Private(Box<Cache>),
+    /// A cache shared by several cores (single-threaded simulation, so a
+    /// plain `Rc<RefCell>` suffices).
+    Shared(Rc<RefCell<Cache>>),
+}
+
+impl L2Handle {
+    fn probe(&mut self, addr: u64, write: bool) -> Lookup {
+        match self {
+            L2Handle::Private(c) => c.probe(addr, write),
+            L2Handle::Shared(c) => c.borrow_mut().probe(addr, write),
+        }
+    }
+
+    fn fill(&mut self, addr: u64, write: bool) -> Option<u64> {
+        match self {
+            L2Handle::Private(c) => c.fill(addr, write),
+            L2Handle::Shared(c) => c.borrow_mut().fill(addr, write),
+        }
+    }
+}
+
+/// A trace-driven core attached to a shared memory controller as one
+/// hardware thread.
+///
+/// Drive it by calling [`Core::tick`] once per CPU cycle and routing read
+/// [`Completion`]s from the controller back via [`Core::on_completion`].
+pub struct Core {
+    config: CoreConfig,
+    thread: ThreadId,
+    trace: Box<dyn TraceSource>,
+    l1d: Cache,
+    l2: L2Handle,
+    rob: VecDeque<RobEntry>,
+    rob_insts: u32,
+    next_seq: u64,
+    current: Option<CurrentOp>,
+    outstanding: HashMap<RequestId, OutstandingMiss>,
+    mshr_by_line: HashMap<u64, RequestId>,
+    last_load_miss: Option<RequestId>,
+    writeback_q: VecDeque<u64>,
+    retired: u64,
+    cycles: u64,
+    stats: CoreStats,
+    /// Load-miss round-trip latency distribution (CPU cycles; 32-cycle
+    /// buckets out to ~8K cycles).
+    latency_hist: Histogram,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("thread", &self.thread)
+            .field("retired", &self.retired)
+            .field("cycles", &self.cycles)
+            .field("rob_insts", &self.rob_insts)
+            .field("outstanding", &self.outstanding.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core for hardware thread `thread` fed by `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is invalid.
+    pub fn new(
+        config: CoreConfig,
+        thread: ThreadId,
+        trace: Box<dyn TraceSource>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Core {
+            l1d: Cache::new(config.l1d)?,
+            l2: L2Handle::Private(Box::new(Cache::new(config.l2)?)),
+            config,
+            thread,
+            trace,
+            rob: VecDeque::new(),
+            rob_insts: 0,
+            next_seq: 0,
+            current: None,
+            outstanding: HashMap::new(),
+            mshr_by_line: HashMap::new(),
+            last_load_miss: None,
+            writeback_q: VecDeque::new(),
+            retired: 0,
+            cycles: 0,
+            stats: CoreStats::default(),
+            latency_hist: Histogram::new(32, 256),
+        })
+    }
+
+    /// Creates a core whose L2 is `shared` (see [`L2Handle`]); the
+    /// config's `l2` geometry is ignored in favour of the shared cache's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is invalid.
+    pub fn with_shared_l2(
+        config: CoreConfig,
+        thread: ThreadId,
+        trace: Box<dyn TraceSource>,
+        shared: Rc<RefCell<Cache>>,
+    ) -> Result<Self, String> {
+        let mut core = Core::new(config, thread, trace)?;
+        core.l2 = L2Handle::Shared(shared);
+        Ok(core)
+    }
+
+    /// This core's hardware thread id.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// CPU cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions per cycle so far (0.0 before the first cycle).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The distribution of load-miss round-trip latencies in CPU cycles.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    /// Zeroes the measurement counters (retired instructions, cycles,
+    /// statistics) while preserving all microarchitectural state — warm
+    /// caches, ROB contents, outstanding misses. Used to exclude warmup
+    /// from measurement.
+    pub fn reset_stats(&mut self) {
+        self.retired = 0;
+        self.cycles = 0;
+        self.stats = CoreStats::default();
+        self.latency_hist = Histogram::new(32, 256);
+    }
+
+    /// Functionally warms the cache hierarchy by running `accesses` memory
+    /// references from the trace through the caches with no timing — the
+    /// equivalent of starting from a sampled trace with warm caches.
+    /// Writeback traffic and timing are discarded; the trace simply
+    /// advances past its warmup prefix.
+    pub fn prewarm_caches(&mut self, accesses: u64) {
+        for _ in 0..accesses {
+            let acc = loop {
+                if let Some(acc) = self.trace.next_op().access {
+                    break acc;
+                }
+            };
+            if acc.is_write {
+                if self.l2.probe(acc.addr, true) == Lookup::Miss {
+                    let _ = self.l2.fill(acc.addr, true);
+                }
+            } else if self.l1d.probe(acc.addr, false) == Lookup::Miss {
+                if self.l2.probe(acc.addr, false) == Lookup::Miss {
+                    let _ = self.l2.fill(acc.addr, false);
+                }
+                let _ = self.l1d.fill(acc.addr, false);
+            }
+        }
+    }
+
+    /// Advances the core by one CPU cycle: retire, drain one writeback,
+    /// dispatch. `now_dram` is the DRAM cycle used to timestamp requests
+    /// submitted to the controller this CPU cycle.
+    pub fn tick<P: MemoryPort>(&mut self, now: CpuCycle, now_dram: DramCycle, mc: &mut P) {
+        self.cycles += 1;
+        self.retire(now);
+        self.drain_writeback(now_dram, mc);
+        self.dispatch(now, now_dram, mc);
+    }
+
+    /// Delivers a completed read. `data_ready` is the CPU cycle at which
+    /// the data becomes usable (burst completion converted to the CPU
+    /// domain plus the fixed memory overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion does not belong to this core or is not a
+    /// read.
+    pub fn on_completion(&mut self, c: &Completion, data_ready: CpuCycle) {
+        assert_eq!(c.thread, self.thread, "completion routed to wrong core");
+        assert_eq!(
+            c.kind,
+            RequestKind::Read,
+            "cores only track read completions"
+        );
+        let miss = self
+            .outstanding
+            .remove(&c.id)
+            .expect("completion for unknown request");
+        self.mshr_by_line.remove(&miss.line);
+        if self.last_load_miss == Some(c.id) {
+            self.last_load_miss = None;
+        }
+        let demand = !miss.is_prefetch || !miss.entry_seqs.is_empty();
+        if demand {
+            let latency = data_ready.as_u64() - miss.issued_at.as_u64();
+            self.stats.miss_latency_total += latency;
+            self.stats.miss_latency_count += 1;
+            self.latency_hist.record(latency);
+        }
+        // Fill the hierarchy; a dirty L2 eviction becomes writeback traffic.
+        if let Some(victim) = self.l2.fill(miss.line, false) {
+            self.writeback_q.push_back(victim);
+            self.stats.writebacks += 1;
+        }
+        if demand {
+            let _ = self.l1d.fill(miss.line, false); // L1 load lines are never dirty
+        }
+        for seq in &miss.entry_seqs {
+            if let Some(e) = self.rob.iter_mut().find(|e| e.seq == *seq) {
+                e.ready_at = data_ready;
+            }
+        }
+    }
+
+    fn retire(&mut self, now: CpuCycle) {
+        let mut budget = self.config.issue_width;
+        while budget > 0 {
+            let Some(front) = self.rob.front_mut() else {
+                break;
+            };
+            if front.ready_at > now {
+                break;
+            }
+            let n = budget.min(front.count);
+            front.count -= n;
+            budget -= n;
+            self.retired += n as u64;
+            self.rob_insts -= n;
+            if front.count == 0 {
+                self.rob.pop_front();
+            }
+        }
+    }
+
+    fn drain_writeback<P: MemoryPort>(&mut self, now_dram: DramCycle, mc: &mut P) {
+        if let Some(&addr) = self.writeback_q.front() {
+            if mc
+                .submit(self.thread, RequestKind::Write, addr, now_dram)
+                .is_ok()
+            {
+                self.writeback_q.pop_front();
+            }
+        }
+    }
+
+    fn push_rob(&mut self, count: u32, ready_at: CpuCycle) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rob.push_back(RobEntry {
+            seq,
+            count,
+            ready_at,
+        });
+        self.rob_insts += count;
+        seq
+    }
+
+    fn dispatch<P: MemoryPort>(&mut self, now: CpuCycle, now_dram: DramCycle, mc: &mut P) {
+        let mut budget = self.config.issue_width;
+        while budget > 0 && self.rob_insts < self.config.rob_size {
+            if self.current.is_none() {
+                let op: TraceOp = self.trace.next_op();
+                self.current = Some(CurrentOp {
+                    work_left: op.work,
+                    access: op.access,
+                });
+            }
+            let cur = self.current.expect("just ensured");
+            if cur.work_left > 0 {
+                let n = budget
+                    .min(cur.work_left)
+                    .min(self.config.rob_size - self.rob_insts);
+                self.push_rob(n, now);
+                budget -= n;
+                self.current = Some(CurrentOp {
+                    work_left: cur.work_left - n,
+                    access: cur.access,
+                });
+                continue;
+            }
+            let Some(acc) = cur.access else {
+                self.current = None;
+                continue;
+            };
+            if acc.dependent {
+                if let Some(prev) = self.last_load_miss {
+                    if self.outstanding.contains_key(&prev) {
+                        self.stats.dependence_stall_cycles += 1;
+                        break; // pointer chase: wait for the previous load
+                    }
+                }
+            }
+            let dispatched = if acc.is_write {
+                self.dispatch_store(acc.addr, now)
+            } else {
+                self.dispatch_load(acc.addr, now, now_dram, mc)
+            };
+            if !dispatched {
+                self.stats.backpressure_stall_cycles += 1;
+                break;
+            }
+            budget -= 1;
+            self.current = None;
+        }
+    }
+
+    /// Stores merge into the private L2 (idealized store-merge buffer):
+    /// no read-for-ownership; dirty evictions become writebacks.
+    fn dispatch_store(&mut self, addr: u64, now: CpuCycle) -> bool {
+        if self.writeback_q.len() >= self.config.writeback_queue {
+            return false;
+        }
+        self.stats.stores += 1;
+        match self.l2.probe(addr, true) {
+            Lookup::Hit => {}
+            Lookup::Miss => {
+                if let Some(victim) = self.l2.fill(addr, true) {
+                    self.writeback_q.push_back(victim);
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        // Keep L1 coherent-ish: if the line is resident in L1, refresh it.
+        let _ = self.l1d.probe(addr, false);
+        self.push_rob(1, now);
+        true
+    }
+
+    fn dispatch_load<P: MemoryPort>(
+        &mut self,
+        addr: u64,
+        now: CpuCycle,
+        now_dram: DramCycle,
+        mc: &mut P,
+    ) -> bool {
+        let line = addr & !(self.config.l1d.line_bytes - 1);
+        // Probe L1.
+        if self.l1d.probe(addr, false) == Lookup::Hit {
+            self.stats.loads += 1;
+            self.stats.l1_hits += 1;
+            self.push_rob(1, now + self.config.l1d.latency);
+            return true;
+        }
+        // Probe L2.
+        if self.l2.probe(addr, false) == Lookup::Hit {
+            self.stats.loads += 1;
+            self.stats.l2_hits += 1;
+            let _ = self.l1d.fill(line, false);
+            self.push_rob(1, now + self.config.l2.latency);
+            return true;
+        }
+        // Memory. Coalesce into an existing MSHR if the line is in flight.
+        if let Some(&req) = self.mshr_by_line.get(&line) {
+            self.stats.loads += 1;
+            self.stats.coalesced += 1;
+            let seq = self.push_rob(1, CpuCycle::MAX);
+            let miss = self.outstanding.get_mut(&req).expect("mshr map consistent");
+            if miss.is_prefetch {
+                self.stats.prefetch_hits += 1;
+            }
+            miss.entry_seqs.push(seq);
+            self.last_load_miss = Some(req);
+            return true;
+        }
+        if self.mshr_by_line.len() >= self.config.mshrs as usize {
+            return false; // all MSHRs busy
+        }
+        match mc.submit(self.thread, RequestKind::Read, addr, now_dram) {
+            Ok(req) => {
+                self.stats.loads += 1;
+                self.stats.mem_reads += 1;
+                let seq = self.push_rob(1, CpuCycle::MAX);
+                self.outstanding.insert(
+                    req,
+                    OutstandingMiss {
+                        line,
+                        entry_seqs: vec![seq],
+                        issued_at: now,
+                        is_prefetch: false,
+                    },
+                );
+                self.mshr_by_line.insert(line, req);
+                self.last_load_miss = Some(req);
+                self.issue_prefetches(line, now, now_dram, mc);
+                true
+            }
+            Err(_) => false, // NACK: retry next cycle
+        }
+    }
+
+    /// Next-line prefetcher: after a demand miss to `line`, speculatively
+    /// fetch the following `prefetch_degree` lines. Best effort: stops at
+    /// the first resource limit (present line, busy MSHRs, NACK).
+    fn issue_prefetches<P: MemoryPort>(
+        &mut self,
+        line: u64,
+        now: CpuCycle,
+        now_dram: DramCycle,
+        mc: &mut P,
+    ) {
+        for k in 1..=self.config.prefetch_degree as u64 {
+            let target = line + k * self.config.l1d.line_bytes;
+            if self.mshr_by_line.contains_key(&target)
+                || self.l2.probe(target, false) == Lookup::Hit
+            {
+                continue;
+            }
+            if self.mshr_by_line.len() >= self.config.mshrs as usize {
+                return;
+            }
+            let Ok(req) = mc.submit(self.thread, RequestKind::Read, target, now_dram) else {
+                return;
+            };
+            self.stats.prefetches_issued += 1;
+            self.outstanding.insert(
+                req,
+                OutstandingMiss {
+                    line: target,
+                    entry_seqs: Vec::new(),
+                    issued_at: now,
+                    is_prefetch: true,
+                },
+            );
+            self.mshr_by_line.insert(target, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemAccess;
+    use fqms_dram::device::Geometry;
+    use fqms_dram::timing::TimingParams;
+    use fqms_memctrl::config::McConfig;
+    use fqms_memctrl::policy::SchedulerKind;
+
+    fn mc() -> fqms_memctrl::controller::MemoryController {
+        fqms_memctrl::controller::MemoryController::new(
+            McConfig::paper(1, SchedulerKind::FrFcfs),
+            Geometry::paper(),
+            TimingParams::ddr2_800(),
+        )
+        .unwrap()
+    }
+
+    /// Runs a core + controller for `cpu_cycles` at ratio 5.
+    fn run(core: &mut Core, mc: &mut fqms_memctrl::controller::MemoryController, cpu_cycles: u64) {
+        let ratio = 5;
+        let overhead = core.config.memory_overhead;
+        for dram_c in 1..=(cpu_cycles / ratio) {
+            let now_dram = DramCycle::new(dram_c);
+            for sub in 0..ratio {
+                let now_cpu = CpuCycle::new(dram_c * ratio + sub);
+                core.tick(now_cpu, now_dram, mc);
+            }
+            for c in mc.step(now_dram) {
+                if c.kind == RequestKind::Read {
+                    let ready = CpuCycle::new(c.finish.as_u64() * ratio + overhead);
+                    core.on_completion(&c, ready);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_compute_reaches_issue_width_ipc() {
+        let mut core = Core::new(
+            CoreConfig::paper(),
+            ThreadId::new(0),
+            Box::new(|| TraceOp::compute(64)),
+        )
+        .unwrap();
+        let mut mc = mc();
+        run(&mut core, &mut mc, 10_000);
+        assert!(core.ipc() > 7.8, "ipc was {}", core.ipc());
+    }
+
+    #[test]
+    fn cache_resident_loads_dont_touch_memory() {
+        // A tiny working set: after warmup everything hits in L1.
+        let mut i = 0u64;
+        let trace = move || {
+            i += 1;
+            TraceOp {
+                work: 3,
+                access: Some(MemAccess {
+                    addr: (i % 16) * 64,
+                    is_write: false,
+                    dependent: false,
+                }),
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mc = mc();
+        run(&mut core, &mut mc, 50_000);
+        let s = *core.stats();
+        assert!(s.l1_hits > 0);
+        assert!(s.mem_reads <= 16, "only compulsory misses: {}", s.mem_reads);
+        assert!(core.ipc() > 3.0, "ipc was {}", core.ipc());
+    }
+
+    #[test]
+    fn streaming_misses_overlap_with_mlp() {
+        // Independent sequential misses: IPC should stay reasonable because
+        // misses overlap (MLP), despite every line coming from memory.
+        let mut i = 0u64;
+        let trace = move || {
+            i += 1;
+            TraceOp {
+                work: 7,
+                access: Some(MemAccess {
+                    addr: i * 64,
+                    is_write: false,
+                    dependent: false,
+                }),
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mc = mc();
+        run(&mut core, &mut mc, 100_000);
+        assert!(core.stats().mem_reads > 100);
+        let mlp_ipc = core.ipc();
+
+        // Same stream but fully dependent: IPC should collapse.
+        let mut j = 0u64;
+        let dep_trace = move || {
+            j += 1;
+            TraceOp {
+                work: 7,
+                access: Some(MemAccess {
+                    addr: j * 64,
+                    is_write: false,
+                    dependent: true,
+                }),
+            }
+        };
+        let mut dep_core =
+            Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(dep_trace)).unwrap();
+        let mut mc2 = self::tests::mc();
+        run(&mut dep_core, &mut mc2, 100_000);
+        assert!(
+            dep_core.ipc() < mlp_ipc / 2.0,
+            "dependent {} vs mlp {}",
+            dep_core.ipc(),
+            mlp_ipc
+        );
+        assert!(dep_core.stats().dependence_stall_cycles > 0);
+    }
+
+    #[test]
+    fn stores_generate_writeback_traffic() {
+        // Stream of stores over a footprint larger than L2: dirty evictions
+        // must reach memory as writes.
+        let mut i = 0u64;
+        let trace = move || {
+            i += 1;
+            TraceOp {
+                work: 3,
+                access: Some(MemAccess {
+                    addr: (i * 64) % (4 * 1024 * 1024),
+                    is_write: true,
+                    dependent: false,
+                }),
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mc = mc();
+        run(&mut core, &mut mc, 200_000);
+        assert!(
+            core.stats().writebacks > 100,
+            "writebacks: {}",
+            core.stats().writebacks
+        );
+        assert!(mc.stats().thread(ThreadId::new(0)).writes_completed > 50);
+    }
+
+    #[test]
+    fn mshr_coalescing_merges_same_line() {
+        // Two loads to the same (missing) line back to back: one memory
+        // read, two instructions completed.
+        let mut n = 0;
+        let trace = move || {
+            n += 1;
+            if n <= 2 {
+                TraceOp {
+                    work: 0,
+                    access: Some(MemAccess {
+                        addr: 0x100000 + (n % 2) * 8,
+                        is_write: false,
+                        dependent: false,
+                    }),
+                }
+            } else {
+                TraceOp::compute(1)
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mcc = mc();
+        run(&mut core, &mut mcc, 5_000);
+        assert_eq!(core.stats().mem_reads, 1);
+        assert_eq!(core.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn next_line_prefetcher_helps_sequential_streams() {
+        let run_with = |degree: u32| {
+            let mut i = 0u64;
+            let trace = move || {
+                i += 1;
+                TraceOp {
+                    work: 7,
+                    access: Some(MemAccess {
+                        addr: i * 64,
+                        is_write: false,
+                        dependent: true, // serialize so latency dominates
+                    }),
+                }
+            };
+            let mut cfg = CoreConfig::paper();
+            cfg.prefetch_degree = degree;
+            let mut core = Core::new(cfg, ThreadId::new(0), Box::new(trace)).unwrap();
+            let mut mcc = mc();
+            run(&mut core, &mut mcc, 150_000);
+            (core.ipc(), *core.stats())
+        };
+        let (ipc_off, s_off) = run_with(0);
+        let (ipc_on, s_on) = run_with(2);
+        assert_eq!(s_off.prefetches_issued, 0);
+        assert!(s_on.prefetches_issued > 100, "{s_on:?}");
+        assert!(s_on.prefetch_hits > 100, "{s_on:?}");
+        assert!(
+            ipc_on > 1.3 * ipc_off,
+            "prefetching should help a dependent stream: {ipc_on} vs {ipc_off}"
+        );
+    }
+
+    #[test]
+    fn unloaded_latency_near_paper_value() {
+        // Dependent pointer chase on an idle memory system: the measured
+        // round-trip should land near the paper's ~180 processor cycles.
+        let mut i = 0u64;
+        let trace = move || {
+            i += 1;
+            TraceOp {
+                work: 0,
+                access: Some(MemAccess {
+                    addr: i * 8192, // new row every time: closed-bank accesses
+                    is_write: false,
+                    dependent: true,
+                }),
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mcc = mc();
+        run(&mut core, &mut mcc, 100_000);
+        let lat = core.stats().avg_miss_latency();
+        assert!(
+            (150.0..220.0).contains(&lat),
+            "unloaded latency {lat} outside the calibrated window"
+        );
+    }
+
+    #[test]
+    fn rob_never_exceeds_capacity() {
+        let mut i = 0u64;
+        let trace = move || {
+            i += 1;
+            TraceOp {
+                work: 15,
+                access: Some(MemAccess {
+                    addr: i * 64,
+                    is_write: false,
+                    dependent: false,
+                }),
+            }
+        };
+        let mut core = Core::new(CoreConfig::paper(), ThreadId::new(0), Box::new(trace)).unwrap();
+        let mut mcc = mc();
+        let ratio = 5;
+        for dram_c in 1..=2_000u64 {
+            let now_dram = DramCycle::new(dram_c);
+            for sub in 0..ratio {
+                core.tick(CpuCycle::new(dram_c * ratio + sub), now_dram, &mut mcc);
+                assert!(core.rob_insts <= core.config.rob_size);
+            }
+            for c in mcc.step(now_dram) {
+                if c.kind == RequestKind::Read {
+                    core.on_completion(&c, CpuCycle::new(c.finish.as_u64() * ratio + 96));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = CoreConfig::paper();
+        cfg.issue_width = 0;
+        assert!(Core::new(cfg, ThreadId::new(0), Box::new(|| TraceOp::compute(1))).is_err());
+    }
+}

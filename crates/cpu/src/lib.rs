@@ -1,0 +1,25 @@
+//! Trace-driven processor model for the Fair Queuing Memory Systems
+//! reproduction.
+//!
+//! Provides the paper's Table 5 processor substrate: an issue-width- and
+//! ROB-limited core ([`core::Core`]) with private L1/L2 caches
+//! ([`cache::Cache`]), MSHR-limited memory-level parallelism, and dirty
+//! writeback traffic, fed by an abstract instruction/reference stream
+//! ([`trace::TraceSource`]). Cores attach to a shared
+//! [`fqms_memctrl::controller::MemoryController`] as hardware threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod core;
+pub mod trace;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::cache::{Cache, CacheConfig, Lookup};
+    pub use crate::core::{Core, CoreConfig, CoreStats, L2Handle};
+    pub use crate::trace::{MemAccess, TraceOp, TraceSource};
+}
+
+pub use prelude::*;

@@ -1,0 +1,82 @@
+//! The trace interface between workload generators and the core model.
+//!
+//! A trace is an infinite stream of [`TraceOp`]s: a burst of non-memory
+//! instructions followed by at most one memory access. The paper drives its
+//! cores with 100M-instruction SPEC 2000 sampled traces; our synthetic
+//! generators (crate `fqms-workloads`) implement [`TraceSource`] with
+//! statistically matched streams.
+
+/// One memory reference in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Virtual/physical byte address (the model does no translation).
+    pub addr: u64,
+    /// True for a store, false for a load.
+    pub is_write: bool,
+    /// True if this access's address depends on the most recent load
+    /// (pointer chasing): the core cannot issue it until that load's data
+    /// returns. This is how workloads express limited memory-level
+    /// parallelism (the paper's `vpr` has "little memory parallelism").
+    pub dependent: bool,
+}
+
+/// A trace element: `work` non-memory instructions, then optionally one
+/// memory access (which counts as one further instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory instructions preceding the access.
+    pub work: u32,
+    /// The memory access, if any.
+    pub access: Option<MemAccess>,
+}
+
+impl TraceOp {
+    /// A pure-compute block of `work` instructions.
+    pub fn compute(work: u32) -> Self {
+        TraceOp { work, access: None }
+    }
+
+    /// Total instructions this op contributes.
+    pub fn instructions(&self) -> u64 {
+        self.work as u64 + u64::from(self.access.is_some())
+    }
+}
+
+/// An infinite instruction/reference stream feeding one core.
+pub trait TraceSource {
+    /// Produces the next trace element. Must never terminate (generators
+    /// loop or re-seed internally).
+    fn next_op(&mut self) -> TraceOp;
+}
+
+/// Blanket impl so closures can serve as quick trace sources in tests.
+impl<F: FnMut() -> TraceOp> TraceSource for F {
+    fn next_op(&mut self) -> TraceOp {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counting() {
+        assert_eq!(TraceOp::compute(7).instructions(), 7);
+        let op = TraceOp {
+            work: 3,
+            access: Some(MemAccess {
+                addr: 0,
+                is_write: false,
+                dependent: false,
+            }),
+        };
+        assert_eq!(op.instructions(), 4);
+    }
+
+    #[test]
+    fn closures_are_trace_sources() {
+        let mut src = || TraceOp::compute(1);
+        assert_eq!(TraceSource::next_op(&mut src), TraceOp::compute(1));
+    }
+}

@@ -1,0 +1,117 @@
+//! Differential property tests for the cache model: the set-associative
+//! LRU cache must agree with a naive reference implementation (per-set
+//! ordered lists) on hit/miss outcomes and dirty-eviction addresses for
+//! arbitrary access sequences.
+
+use fqms_cpu::cache::{Cache, CacheConfig, Lookup};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A deliberately simple reference model: per set, an LRU-ordered deque of
+/// (tag, dirty) with most-recently-used at the back.
+struct RefCache {
+    cfg: CacheConfig,
+    sets: Vec<VecDeque<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![VecDeque::new(); cfg.sets() as usize],
+            cfg,
+        }
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        ((line % self.cfg.sets()) as usize, line / self.cfg.sets())
+    }
+
+    fn probe(&mut self, addr: u64, write: bool) -> bool {
+        let (set, tag) = self.index_tag(addr);
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = s.remove(pos).unwrap();
+            s.push_back((t, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64, write: bool) -> Option<u64> {
+        let (set, tag) = self.index_tag(addr);
+        let sets_count = self.cfg.sets();
+        let line_bytes = self.cfg.line_bytes;
+        let ways = self.cfg.ways as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = s.remove(pos).unwrap();
+            s.push_back((t, d || write));
+            return None;
+        }
+        let mut evicted = None;
+        if s.len() >= ways {
+            let (vt, vd) = s.pop_front().unwrap();
+            if vd {
+                evicted = Some((vt * sets_count + set as u64) * line_bytes);
+            }
+        }
+        s.push_back((tag, write));
+        evicted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random probe/fill sequences produce identical hit/miss outcomes and
+    /// identical dirty writebacks in both implementations.
+    #[test]
+    fn cache_matches_reference_model(
+        ops in prop::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..400)
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 1024, // 4 sets x 4 ways
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut cache = Cache::new(cfg).unwrap();
+        let mut reference = RefCache::new(cfg);
+        for (i, &(line, write, do_fill)) in ops.iter().enumerate() {
+            let addr = line * 64;
+            if do_fill {
+                let a = cache.fill(addr, write);
+                let b = reference.fill(addr, write);
+                prop_assert_eq!(a, b, "fill divergence at op {}", i);
+            } else {
+                let a = cache.probe(addr, write) == Lookup::Hit;
+                let b = reference.probe(addr, write);
+                prop_assert_eq!(a, b, "probe divergence at op {}", i);
+            }
+        }
+    }
+
+    /// Capacity invariant: a footprint that fits is fully resident after
+    /// one pass, whatever the access order.
+    #[test]
+    fn fitting_footprint_is_fully_resident(mut lines in prop::collection::vec(0u64..16, 16..64)) {
+        let cfg = CacheConfig {
+            size_bytes: 1024, // holds exactly 16 lines
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut cache = Cache::new(cfg).unwrap();
+        lines.extend(0..16); // make sure every line appears at least once
+        for &l in &lines {
+            if cache.probe(l * 64, false) == Lookup::Miss {
+                cache.fill(l * 64, false);
+            }
+        }
+        for l in 0..16u64 {
+            prop_assert_eq!(cache.probe(l * 64, false), Lookup::Hit, "line {} evicted", l);
+        }
+    }
+}

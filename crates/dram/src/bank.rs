@@ -1,0 +1,360 @@
+//! Per-bank state machine and timing bookkeeping.
+//!
+//! Each bank tracks its open row (if any) and the earliest cycle at which
+//! each command class may legally be issued to it. The bank enforces the
+//! *intra-bank* constraints of Table 6 (tRCD, tRAS, tRC, tRP, tRTP,
+//! write-recovery); *inter-bank* and bus-level constraints (tRRD, tCCD,
+//! tWTR, data-bus occupancy, tRFC) live in [`crate::channel`].
+
+use crate::command::RowId;
+use crate::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// The observable state of a bank, as seen by a scheduler deciding which
+/// SDRAM command a memory request needs next (the paper's Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankState {
+    /// No row is open; an activate is required before any CAS.
+    Closed,
+    /// `row` is open; a CAS to that row is a row-buffer hit, a CAS to any
+    /// other row requires precharge + activate (a bank conflict).
+    Open(RowId),
+}
+
+/// A single DRAM bank: open-row state plus earliest-issue-time registers.
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::bank::Bank;
+/// use fqms_dram::command::RowId;
+/// use fqms_dram::timing::TimingParams;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let t = TimingParams::ddr2_800();
+/// let mut bank = Bank::new();
+/// let now = DramCycle::new(100);
+/// assert!(bank.can_activate(now));
+/// bank.issue_activate(now, RowId::new(7), &t);
+/// assert_eq!(bank.open_row(), Some(RowId::new(7)));
+/// // CAS must wait tRCD:
+/// assert!(!bank.can_read(now));
+/// assert!(bank.can_read(DramCycle::new(105)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<RowId>,
+    /// Earliest cycle an activate may issue (tRC from last activate, tRP
+    /// from last precharge, tRFC from refresh).
+    next_activate: DramCycle,
+    /// Earliest cycle a read may issue (tRCD from activate).
+    next_read: DramCycle,
+    /// Earliest cycle a write may issue (tRCD from activate).
+    next_write: DramCycle,
+    /// Earliest cycle a precharge may issue (tRAS from activate, tRTP from
+    /// read, write-recovery from write).
+    next_precharge: DramCycle,
+    /// Cycle of the most recent activate; `None` if never activated. Used
+    /// by the FQ bank scheduler's priority-inversion bound and by tRAS
+    /// accounting.
+    active_since: Option<DramCycle>,
+}
+
+impl Bank {
+    /// Creates a bank in the precharged (closed) state with no pending
+    /// timing obligations.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            next_activate: DramCycle::ZERO,
+            next_read: DramCycle::ZERO,
+            next_write: DramCycle::ZERO,
+            next_precharge: DramCycle::ZERO,
+            active_since: None,
+        }
+    }
+
+    /// The currently open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<RowId> {
+        self.open_row
+    }
+
+    /// The bank's coarse state (closed vs. open row) for Table 3 service
+    /// classification.
+    #[inline]
+    pub fn state(&self) -> BankState {
+        match self.open_row {
+            Some(row) => BankState::Open(row),
+            None => BankState::Closed,
+        }
+    }
+
+    /// The cycle of the most recent activate, if the bank is open.
+    ///
+    /// The FQ bank scheduler (paper Section 3.3) switches from first-ready
+    /// scheduling to strict earliest-virtual-finish-time scheduling once a
+    /// bank has been active for `x` cycles; this register provides the
+    /// "active for how long" input.
+    #[inline]
+    pub fn active_since(&self) -> Option<DramCycle> {
+        if self.open_row.is_some() {
+            self.active_since
+        } else {
+            None
+        }
+    }
+
+    /// Earliest cycle an activate may issue.
+    #[inline]
+    pub fn next_activate(&self) -> DramCycle {
+        self.next_activate
+    }
+
+    /// Earliest cycle a precharge may issue.
+    #[inline]
+    pub fn next_precharge(&self) -> DramCycle {
+        self.next_precharge
+    }
+
+    /// True if an activate is legal at `now` with respect to this bank's
+    /// constraints (the bank must be closed: we model explicit precharge,
+    /// i.e. no activate to an open bank).
+    #[inline]
+    pub fn can_activate(&self, now: DramCycle) -> bool {
+        self.open_row.is_none() && now >= self.next_activate
+    }
+
+    /// True if a read is legal at `now` (a row must be open and tRCD
+    /// satisfied). Row-match is the *scheduler's* job; the bank only checks
+    /// that some row is open.
+    #[inline]
+    pub fn can_read(&self, now: DramCycle) -> bool {
+        self.open_row.is_some() && now >= self.next_read
+    }
+
+    /// True if a write is legal at `now`.
+    #[inline]
+    pub fn can_write(&self, now: DramCycle) -> bool {
+        self.open_row.is_some() && now >= self.next_write
+    }
+
+    /// True if a precharge is legal at `now` (row open and tRAS/tRTP/tWR
+    /// satisfied).
+    #[inline]
+    pub fn can_precharge(&self, now: DramCycle) -> bool {
+        self.open_row.is_some() && now >= self.next_precharge
+    }
+
+    /// Issues an activate opening `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activate is not legal at `now` (debug-level contract:
+    /// the channel scheduler must have checked [`Bank::can_activate`]).
+    pub fn issue_activate(&mut self, now: DramCycle, row: RowId, t: &TimingParams) {
+        assert!(self.can_activate(now), "illegal ACT at {now}: {self:?}");
+        self.open_row = Some(row);
+        self.active_since = Some(now);
+        self.next_read = now + t.t_rcd;
+        self.next_write = now + t.t_rcd;
+        self.next_precharge = now + t.t_ras;
+        self.next_activate = now + t.t_rc;
+    }
+
+    /// Issues a read from the open row; returns the cycle at which the data
+    /// burst completes on the data bus (`now + tCL + BL/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read is not legal at `now`.
+    pub fn issue_read(&mut self, now: DramCycle, t: &TimingParams) -> DramCycle {
+        assert!(self.can_read(now), "illegal RD at {now}: {self:?}");
+        // Internal read to precharge: tRTP from the read command.
+        self.next_precharge = self.next_precharge.max(now + t.t_rtp);
+        now + t.t_cl + t.burst
+    }
+
+    /// Issues a write to the open row; returns the cycle at which the data
+    /// burst completes on the data bus (`now + tWL + BL/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write is not legal at `now`.
+    pub fn issue_write(&mut self, now: DramCycle, t: &TimingParams) -> DramCycle {
+        assert!(self.can_write(now), "illegal WR at {now}: {self:?}");
+        let burst_end = now + t.t_wl + t.burst;
+        // Write recovery: precharge no earlier than end of data + tWR.
+        self.next_precharge = self.next_precharge.max(burst_end + t.t_wr);
+        burst_end
+    }
+
+    /// Issues a precharge, closing the open row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precharge is not legal at `now`.
+    pub fn issue_precharge(&mut self, now: DramCycle, t: &TimingParams) {
+        assert!(self.can_precharge(now), "illegal PRE at {now}: {self:?}");
+        self.open_row = None;
+        self.next_activate = self.next_activate.max(now + t.t_rp);
+    }
+
+    /// Applies a refresh to this bank: the bank must be closed; after the
+    /// refresh no activate may issue for tRFC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank has an open row.
+    pub fn apply_refresh(&mut self, now: DramCycle, t: &TimingParams) {
+        assert!(
+            self.open_row.is_none(),
+            "refresh issued to bank with open row"
+        );
+        self.next_activate = self.next_activate.max(now + t.t_rfc);
+    }
+
+    /// True if the bank is "busy" at `now` for utilization accounting: it
+    /// has a row open, or is still within a precharge/activate recovery
+    /// window that prevents a new activate.
+    pub fn is_busy(&self, now: DramCycle) -> bool {
+        self.open_row.is_some() || now < self.next_activate
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr2_800()
+    }
+
+    #[test]
+    fn fresh_bank_is_closed_and_ready() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Closed);
+        assert!(b.can_activate(DramCycle::ZERO));
+        assert!(!b.can_read(DramCycle::ZERO));
+        assert!(!b.can_write(DramCycle::ZERO));
+        assert!(!b.can_precharge(DramCycle::ZERO));
+        assert!(!b.is_busy(DramCycle::ZERO));
+    }
+
+    #[test]
+    fn activate_opens_row_and_blocks_cas_for_trcd() {
+        let mut b = Bank::new();
+        let now = DramCycle::new(10);
+        b.issue_activate(now, RowId::new(3), &t());
+        assert_eq!(b.state(), BankState::Open(RowId::new(3)));
+        assert_eq!(b.active_since(), Some(now));
+        assert!(!b.can_read(DramCycle::new(14)));
+        assert!(b.can_read(DramCycle::new(15))); // +tRCD=5
+        assert!(b.can_write(DramCycle::new(15)));
+    }
+
+    #[test]
+    fn precharge_blocked_until_tras() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        assert!(!b.can_precharge(DramCycle::new(17)));
+        assert!(b.can_precharge(DramCycle::new(18))); // tRAS = 18
+    }
+
+    #[test]
+    fn read_pushes_precharge_by_trtp() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        // Read late in the row-open window so tRTP dominates tRAS.
+        let done = b.issue_read(DramCycle::new(20), &t());
+        assert_eq!(done, DramCycle::new(20 + 5 + 4)); // tCL + BL/2
+        assert!(!b.can_precharge(DramCycle::new(22)));
+        assert!(b.can_precharge(DramCycle::new(23))); // 20 + tRTP=3
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        let done = b.issue_write(DramCycle::new(5), &t());
+        assert_eq!(done, DramCycle::new(5 + 4 + 4)); // tWL + BL/2
+                                                     // Precharge: max(tRAS=18, burst_end 13 + tWR 6 = 19).
+        assert!(!b.can_precharge(DramCycle::new(18)));
+        assert!(b.can_precharge(DramCycle::new(19)));
+    }
+
+    #[test]
+    fn precharge_closes_and_enforces_trp() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        b.issue_precharge(DramCycle::new(18), &t());
+        assert_eq!(b.state(), BankState::Closed);
+        assert_eq!(b.active_since(), None);
+        // tRC from activate (22) dominates tRP from precharge (23)... no:
+        // max(tRC: 0+22, tRP: 18+5=23) = 23.
+        assert!(!b.can_activate(DramCycle::new(22)));
+        assert!(b.can_activate(DramCycle::new(23)));
+    }
+
+    #[test]
+    fn trc_enforced_for_back_to_back_activates() {
+        let mut b = Bank::new();
+        let t = t();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t);
+        // Precharge as early as possible (tRAS = 18), then tRP ends at 23,
+        // but tRC (22) is already covered; activate legal at 23.
+        b.issue_precharge(DramCycle::new(18), &t);
+        assert!(!b.can_activate(DramCycle::new(21)));
+        assert!(b.can_activate(DramCycle::new(23)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_activate_panics() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        b.issue_activate(DramCycle::new(30), RowId::new(2), &t());
+    }
+
+    #[test]
+    #[should_panic]
+    fn early_read_panics() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        let _ = b.issue_read(DramCycle::new(2), &t());
+    }
+
+    #[test]
+    #[should_panic]
+    fn refresh_with_open_row_panics() {
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t());
+        b.apply_refresh(DramCycle::new(30), &t());
+    }
+
+    #[test]
+    fn refresh_blocks_activate_for_trfc() {
+        let mut b = Bank::new();
+        b.apply_refresh(DramCycle::new(100), &t());
+        assert!(!b.can_activate(DramCycle::new(100 + 509)));
+        assert!(b.can_activate(DramCycle::new(100 + 510)));
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut b = Bank::new();
+        let t = t();
+        b.issue_activate(DramCycle::new(0), RowId::new(1), &t);
+        assert!(b.is_busy(DramCycle::new(10)));
+        b.issue_precharge(DramCycle::new(18), &t);
+        // During tRP recovery the bank still counts as busy.
+        assert!(b.is_busy(DramCycle::new(20)));
+        assert!(!b.is_busy(DramCycle::new(23)));
+    }
+}

@@ -1,0 +1,438 @@
+//! Channel- and rank-level constraint tracking.
+//!
+//! The channel scheduler (paper Section 2.2) "tracks the state of the
+//! address bus, data bus, and ranks to ensure there are no channel
+//! scheduling conflicts and that no rank timing constraints (e.g. tRRD) are
+//! violated". This module is that tracker:
+//!
+//! * **address bus** — at most one command per cycle (enforced by the caller
+//!   issuing at most one command per cycle; the tracker asserts it),
+//! * **data bus** — burst occupancy windows must not overlap; each CAS
+//!   reserves `BL/2` data-bus cycles starting `tCL`/`tWL` after the command,
+//! * **tCCD** — minimum spacing between CAS commands,
+//! * **tWTR** — end of a write burst to the next read command (same rank),
+//! * **read-to-write turnaround** — a write may not be commanded while an
+//!   earlier read still owns the bus at the write's data time,
+//! * **tRRD** — activate-to-activate spacing across banks of a rank.
+
+use crate::command::RankId;
+use crate::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// Per-rank constraint state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RankState {
+    /// Earliest cycle the next activate may issue to any bank of this rank
+    /// (tRRD from the previous activate to *any* bank of the rank).
+    next_activate: DramCycle,
+    /// Earliest cycle the next read command may issue to this rank
+    /// (tWTR from the end of the last write burst).
+    next_read: DramCycle,
+    /// Earliest cycle the rank is free of an in-progress refresh.
+    refresh_done: DramCycle,
+    /// Ring of the last four activate times (tFAW window).
+    act_history: [DramCycle; 4],
+    act_pos: usize,
+    /// Activates issued to this rank (tFAW warm-up guard).
+    act_count: u64,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            next_activate: DramCycle::ZERO,
+            next_read: DramCycle::ZERO,
+            refresh_done: DramCycle::ZERO,
+            act_history: [DramCycle::ZERO; 4],
+            act_pos: 0,
+            act_count: 0,
+        }
+    }
+
+    /// True if a fifth activate at `now` would violate the four-activate
+    /// window `t_faw` (0 disables the check). The oldest of the last four
+    /// activates must be at least `t_faw` cycles in the past.
+    fn faw_allows(&self, now: DramCycle, t_faw: u64) -> bool {
+        if t_faw == 0 || self.act_count < 4 {
+            return true;
+        }
+        let oldest = self.act_history[self.act_pos];
+        now.as_u64() >= oldest.as_u64() + t_faw
+    }
+
+    fn record_activate(&mut self, now: DramCycle) {
+        self.act_history[self.act_pos] = now;
+        self.act_pos = (self.act_pos + 1) % 4;
+        self.act_count += 1;
+    }
+}
+
+/// Tracks channel-wide (data bus, tCCD) and per-rank (tRRD, tWTR, refresh)
+/// constraints.
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::channel::ChannelTracker;
+/// use fqms_dram::command::RankId;
+/// use fqms_dram::timing::TimingParams;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let t = TimingParams::ddr2_800();
+/// let mut ch = ChannelTracker::new(1);
+/// let r0 = RankId::new(0);
+/// assert!(ch.can_read(r0, DramCycle::new(0), &t));
+/// ch.issue_read(r0, DramCycle::new(0), &t);
+/// // tCCD = 2 blocks cycle 1; the busy data bus blocks cycles 2-3; the
+/// // earliest seamless follow-up read is at cycle 4 (= BL/2).
+/// assert!(!ch.can_read(r0, DramCycle::new(1), &t));
+/// assert!(ch.can_read(r0, DramCycle::new(4), &t));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelTracker {
+    ranks: Vec<RankState>,
+    /// Cycle at which the data bus becomes free (end of the latest reserved
+    /// burst). Bursts are reserved back-to-back, so a single register
+    /// suffices for non-overlap.
+    bus_free_at: DramCycle,
+    /// Earliest cycle the next CAS command (read or write) may issue
+    /// channel-wide (tCCD from the previous CAS).
+    next_cas: DramCycle,
+    /// Last cycle on which a command was issued (address-bus conflict
+    /// detection).
+    last_command_at: Option<DramCycle>,
+    /// Total data-bus busy cycles accumulated (for utilization stats).
+    bus_busy_cycles: u64,
+}
+
+impl ChannelTracker {
+    /// Creates a tracker for a channel with `num_ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks` is zero.
+    pub fn new(num_ranks: usize) -> Self {
+        assert!(num_ranks > 0, "a channel needs at least one rank");
+        ChannelTracker {
+            ranks: vec![RankState::new(); num_ranks],
+            bus_free_at: DramCycle::ZERO,
+            next_cas: DramCycle::ZERO,
+            last_command_at: None,
+            bus_busy_cycles: 0,
+        }
+    }
+
+    /// Number of ranks on the channel.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total cycles the data bus has been reserved so far (utilization
+    /// numerator).
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.bus_busy_cycles
+    }
+
+    /// Cycle at which the data bus becomes free.
+    pub fn bus_free_at(&self) -> DramCycle {
+        self.bus_free_at
+    }
+
+    /// Zeroes the accumulated bus-busy statistics (constraint state is
+    /// untouched); used to exclude warmup from measurement.
+    pub fn reset_stats(&mut self) {
+        self.bus_busy_cycles = 0;
+    }
+
+    fn rank(&self, rank: RankId) -> &RankState {
+        &self.ranks[rank.as_usize()]
+    }
+
+    fn rank_mut(&mut self, rank: RankId) -> &mut RankState {
+        &mut self.ranks[rank.as_usize()]
+    }
+
+    /// True if the rank is currently refreshing at `now`.
+    pub fn rank_refreshing(&self, rank: RankId, now: DramCycle) -> bool {
+        now < self.rank(rank).refresh_done
+    }
+
+    /// True if an activate to any bank of `rank` is legal at `now` w.r.t.
+    /// rank-level constraints (tRRD, the tFAW four-activate window when
+    /// enabled, refresh in progress).
+    pub fn can_activate_timed(&self, rank: RankId, now: DramCycle, t: &TimingParams) -> bool {
+        let r = self.rank(rank);
+        now >= r.next_activate && now >= r.refresh_done && r.faw_allows(now, t.t_faw)
+    }
+
+    /// [`ChannelTracker::can_activate_timed`] without the tFAW check
+    /// (kept for callers that have no timing handy; tFAW-disabled
+    /// semantics).
+    pub fn can_activate(&self, rank: RankId, now: DramCycle) -> bool {
+        let r = self.rank(rank);
+        now >= r.next_activate && now >= r.refresh_done
+    }
+
+    /// True if a read command to `rank` is legal at `now` w.r.t. channel
+    /// constraints: tCCD, tWTR, refresh, and data-bus availability at the
+    /// burst's start (`now + tCL`).
+    pub fn can_read(&self, rank: RankId, now: DramCycle, t: &TimingParams) -> bool {
+        let r = self.rank(rank);
+        now >= self.next_cas
+            && now >= r.next_read
+            && now >= r.refresh_done
+            && now + t.t_cl >= self.bus_free_at
+    }
+
+    /// True if a write command to `rank` is legal at `now` w.r.t. channel
+    /// constraints: tCCD, refresh, and data-bus availability at
+    /// `now + tWL`.
+    pub fn can_write(&self, rank: RankId, now: DramCycle, t: &TimingParams) -> bool {
+        let r = self.rank(rank);
+        now >= self.next_cas && now >= r.refresh_done && now + t.t_wl >= self.bus_free_at
+    }
+
+    /// True if a precharge to `rank` is legal at `now` w.r.t. channel
+    /// constraints (only an in-progress refresh blocks it at this level).
+    pub fn can_precharge(&self, rank: RankId, now: DramCycle) -> bool {
+        now >= self.rank(rank).refresh_done
+    }
+
+    /// True if a refresh to `rank` may start at `now` (no other refresh in
+    /// progress on the rank). Bank-precharged preconditions are checked by
+    /// the device.
+    pub fn can_refresh(&self, rank: RankId, now: DramCycle) -> bool {
+        now >= self.rank(rank).refresh_done
+    }
+
+    fn note_command(&mut self, now: DramCycle) {
+        if let Some(last) = self.last_command_at {
+            assert!(
+                now > last || self.last_command_at.is_none(),
+                "address-bus conflict: two commands at cycle {now}"
+            );
+        }
+        self.last_command_at = Some(now);
+    }
+
+    /// Records an activate to `rank` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activate violates rank constraints.
+    pub fn issue_activate(&mut self, rank: RankId, now: DramCycle, t: &TimingParams) {
+        assert!(
+            self.can_activate_timed(rank, now, t),
+            "illegal rank ACT at {now}"
+        );
+        self.note_command(now);
+        let r = self.rank_mut(rank);
+        r.next_activate = now + t.t_rrd;
+        r.record_activate(now);
+    }
+
+    /// Records a read to `rank` at `now`; reserves the data bus for
+    /// `[now + tCL, now + tCL + BL/2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read violates channel constraints.
+    pub fn issue_read(&mut self, rank: RankId, now: DramCycle, t: &TimingParams) {
+        assert!(self.can_read(rank, now, t), "illegal channel RD at {now}");
+        self.note_command(now);
+        self.next_cas = now + t.t_ccd;
+        self.reserve_bus(now + t.t_cl, t.burst);
+    }
+
+    /// Records a write to `rank` at `now`; reserves the data bus for
+    /// `[now + tWL, now + tWL + BL/2)` and arms tWTR for subsequent reads
+    /// on the rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write violates channel constraints.
+    pub fn issue_write(&mut self, rank: RankId, now: DramCycle, t: &TimingParams) {
+        assert!(self.can_write(rank, now, t), "illegal channel WR at {now}");
+        self.note_command(now);
+        self.next_cas = now + t.t_ccd;
+        let burst_end = now + t.t_wl + t.burst;
+        self.reserve_bus(now + t.t_wl, t.burst);
+        let r = self.rank_mut(rank);
+        r.next_read = r.next_read.max(burst_end + t.t_wtr);
+    }
+
+    /// Records a precharge command (address-bus accounting only).
+    pub fn issue_precharge(&mut self, rank: RankId, now: DramCycle) {
+        assert!(
+            self.can_precharge(rank, now),
+            "illegal channel PRE at {now}"
+        );
+        self.note_command(now);
+    }
+
+    /// Records a refresh to `rank` at `now`; the rank is unavailable for
+    /// tRFC cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a refresh is already in progress on the rank.
+    pub fn issue_refresh(&mut self, rank: RankId, now: DramCycle, t: &TimingParams) {
+        assert!(self.can_refresh(rank, now), "illegal REF at {now}");
+        self.note_command(now);
+        self.rank_mut(rank).refresh_done = now + t.t_rfc;
+    }
+
+    fn reserve_bus(&mut self, start: DramCycle, cycles: u64) {
+        debug_assert!(
+            start >= self.bus_free_at,
+            "data-bus overlap: burst at {start} but bus busy until {}",
+            self.bus_free_at
+        );
+        self.bus_free_at = start + cycles;
+        self.bus_busy_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr2_800()
+    }
+
+    fn r0() -> RankId {
+        RankId::new(0)
+    }
+
+    #[test]
+    fn fresh_channel_allows_everything() {
+        let ch = ChannelTracker::new(2);
+        assert_eq!(ch.num_ranks(), 2);
+        assert!(ch.can_activate(r0(), DramCycle::ZERO));
+        assert!(ch.can_read(r0(), DramCycle::ZERO, &t()));
+        assert!(ch.can_write(r0(), DramCycle::ZERO, &t()));
+        assert_eq!(ch.bus_busy_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = ChannelTracker::new(0);
+    }
+
+    #[test]
+    fn trrd_spacing_between_activates() {
+        let mut ch = ChannelTracker::new(1);
+        ch.issue_activate(r0(), DramCycle::new(0), &t());
+        assert!(!ch.can_activate(r0(), DramCycle::new(2)));
+        assert!(ch.can_activate(r0(), DramCycle::new(3))); // tRRD = 3
+    }
+
+    #[test]
+    fn tccd_spacing_between_cas() {
+        let mut ch = ChannelTracker::new(1);
+        ch.issue_read(r0(), DramCycle::new(0), &t());
+        // Cycle 1: blocked by tCCD (= 2). Cycles 2-3: tCCD ok but the data
+        // bus is busy until 9, so a read (data at now+tCL) must wait until
+        // its burst starts exactly when the previous one ends.
+        assert!(!ch.can_read(r0(), DramCycle::new(1), &t()));
+        assert!(!ch.can_read(r0(), DramCycle::new(3), &t()));
+        assert!(ch.can_read(r0(), DramCycle::new(4), &t()));
+    }
+
+    #[test]
+    fn data_bus_overlap_blocks_cas() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(1);
+        // Read at 0 -> bus [5, 9).
+        ch.issue_read(r0(), DramCycle::new(0), &tp);
+        // Write at 3 -> data at 3 + tWL(4) = 7, overlaps [5,9) -> illegal.
+        assert!(!ch.can_write(r0(), DramCycle::new(3), &tp));
+        // Write at 5 -> data at 9, exactly back-to-back -> legal.
+        assert!(ch.can_write(r0(), DramCycle::new(5), &tp));
+    }
+
+    #[test]
+    fn twtr_blocks_read_after_write() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(1);
+        // Write at 0: burst [4, 8); tWTR=3 -> reads blocked until 11.
+        ch.issue_write(r0(), DramCycle::new(0), &tp);
+        assert!(!ch.can_read(r0(), DramCycle::new(10), &tp));
+        assert!(ch.can_read(r0(), DramCycle::new(11), &tp));
+    }
+
+    #[test]
+    fn twtr_is_per_rank() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(2);
+        ch.issue_write(r0(), DramCycle::new(0), &tp);
+        let r1 = RankId::new(1);
+        // Other rank is not tWTR-blocked, only bus/tCCD-blocked.
+        // At cycle 4: tCCD ok (>=2), bus: read data at 4+5=9 >= bus_free 8 ok.
+        assert!(ch.can_read(r1, DramCycle::new(4), &tp));
+    }
+
+    #[test]
+    fn refresh_locks_rank_for_trfc() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(1);
+        ch.issue_refresh(r0(), DramCycle::new(0), &tp);
+        assert!(ch.rank_refreshing(r0(), DramCycle::new(509)));
+        assert!(!ch.can_activate(r0(), DramCycle::new(509)));
+        assert!(!ch.can_read(r0(), DramCycle::new(509), &tp));
+        assert!(ch.can_activate(r0(), DramCycle::new(510)));
+    }
+
+    #[test]
+    fn bus_busy_accumulates() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(1);
+        ch.issue_read(r0(), DramCycle::new(0), &tp);
+        ch.issue_read(r0(), DramCycle::new(4), &tp);
+        assert_eq!(ch.bus_busy_cycles(), 8); // two 4-cycle bursts
+    }
+
+    #[test]
+    fn tfaw_limits_activate_rate() {
+        let tp = TimingParams::ddr2_800_with_tfaw(); // tFAW = 18
+        let mut ch = ChannelTracker::new(1);
+        // Four activates at the tRRD floor: 0, 3, 6, 9.
+        for &c in &[0u64, 3, 6, 9] {
+            assert!(ch.can_activate_timed(r0(), DramCycle::new(c), &tp));
+            ch.issue_activate(r0(), DramCycle::new(c), &tp);
+        }
+        // A fifth must wait until the first leaves the window: 0 + 18.
+        assert!(!ch.can_activate_timed(r0(), DramCycle::new(12), &tp));
+        assert!(!ch.can_activate_timed(r0(), DramCycle::new(17), &tp));
+        assert!(ch.can_activate_timed(r0(), DramCycle::new(18), &tp));
+        // Disabled tFAW never blocks.
+        let free = TimingParams::ddr2_800();
+        let mut ch2 = ChannelTracker::new(1);
+        for &c in &[0u64, 3, 6, 9, 12] {
+            assert!(ch2.can_activate_timed(r0(), DramCycle::new(c), &free));
+            ch2.issue_activate(r0(), DramCycle::new(c), &free);
+        }
+    }
+
+    #[test]
+    fn tfaw_is_per_rank() {
+        let tp = TimingParams::ddr2_800_with_tfaw();
+        let mut ch = ChannelTracker::new(2);
+        for &c in &[0u64, 3, 6, 9] {
+            ch.issue_activate(r0(), DramCycle::new(c), &tp);
+        }
+        // Rank 1 is unconstrained by rank 0's window.
+        assert!(ch.can_activate_timed(RankId::new(1), DramCycle::new(12), &tp));
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_commands_same_cycle_panics() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(2);
+        ch.issue_activate(RankId::new(0), DramCycle::new(5), &tp);
+        ch.issue_activate(RankId::new(1), DramCycle::new(5), &tp);
+    }
+}

@@ -1,0 +1,421 @@
+//! Independent DDR2 protocol conformance checker.
+//!
+//! [`ProtocolChecker`] re-validates an *issued command stream* against the
+//! DDR2 timing rules using a deliberately different formulation from the
+//! live [`crate::bank`]/[`crate::channel`] trackers: instead of
+//! earliest-next-issue registers, it keeps the full per-bank command
+//! history and checks every pairwise constraint by subtraction. This gives
+//! the test suite a second, independently derived opinion — a scheduler or
+//! device bug would have to be made twice, in two different forms, to slip
+//! through differential testing.
+//!
+//! The checker is an offline/test facility: it favours clarity over speed.
+
+use crate::command::Command;
+use crate::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+use std::collections::HashMap;
+
+/// A protocol violation detected by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle of the offending command.
+    pub cycle: DramCycle,
+    /// The offending command.
+    pub cmd: Command,
+    /// Human-readable rule description.
+    pub rule: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}: {}", self.cmd, self.cycle, self.rule)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankHistory {
+    open: bool,
+    last_activate: Option<u64>,
+    last_read: Option<u64>,
+    last_write: Option<u64>,
+    last_precharge: Option<u64>,
+    last_refresh_end: Option<u64>,
+}
+
+/// Replays a command stream and reports every timing-rule violation.
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::checker::ProtocolChecker;
+/// use fqms_dram::command::{Command, RankId, BankId, RowId, ColId};
+/// use fqms_dram::timing::TimingParams;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let mut chk = ProtocolChecker::new(TimingParams::ddr2_800());
+/// let rank = RankId::new(0);
+/// let bank = BankId::new(0);
+/// chk.check(DramCycle::new(0), &Command::Activate { rank, bank, row: RowId::new(1) });
+/// // A read 2 cycles later violates tRCD = 5:
+/// chk.check(DramCycle::new(2), &Command::Read { rank, bank, col: ColId::new(0) });
+/// assert_eq!(chk.violations().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    t: TimingParams,
+    banks: HashMap<(u32, u32), BankHistory>,
+    /// Per-rank activate history (newest first) for tRRD/tFAW.
+    rank_activates: HashMap<u32, Vec<u64>>,
+    /// All CAS issue times (newest last) for tCCD and bus occupancy.
+    cas_times: Vec<(u64, bool)>, // (cycle, is_write)
+    /// Per-rank last write burst end, for tWTR.
+    write_burst_end: HashMap<u32, u64>,
+    violations: Vec<Violation>,
+    commands_checked: u64,
+}
+
+impl ProtocolChecker {
+    /// Creates a checker for the given timing parameters.
+    pub fn new(t: TimingParams) -> Self {
+        ProtocolChecker {
+            t,
+            banks: HashMap::new(),
+            rank_activates: HashMap::new(),
+            cas_times: Vec::new(),
+            write_burst_end: HashMap::new(),
+            violations: Vec::new(),
+            commands_checked: 0,
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Commands checked so far.
+    pub fn commands_checked(&self) -> u64 {
+        self.commands_checked
+    }
+
+    /// True if no rule has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn flag(&mut self, cycle: DramCycle, cmd: &Command, rule: impl Into<String>) {
+        self.violations.push(Violation {
+            cycle,
+            cmd: *cmd,
+            rule: rule.into(),
+        });
+    }
+
+    fn require(
+        &mut self,
+        cycle: DramCycle,
+        cmd: &Command,
+        earliest: Option<u64>,
+        gap: u64,
+        rule: &str,
+    ) {
+        if let Some(prev) = earliest {
+            if cycle.as_u64() < prev + gap {
+                self.flag(
+                    cycle,
+                    cmd,
+                    format!("{rule}: needs {gap} cycles after {prev}, issued at {cycle}"),
+                );
+            }
+        }
+    }
+
+    /// Validates and records one issued command.
+    pub fn check(&mut self, cycle: DramCycle, cmd: &Command) {
+        self.commands_checked += 1;
+        let now = cycle.as_u64();
+        let t = self.t;
+        match *cmd {
+            Command::Activate { rank, bank, .. } => {
+                let key = (rank.as_u32(), bank.as_u32());
+                let h = self.banks.get(&key).copied().unwrap_or_default();
+                if h.open {
+                    self.flag(cycle, cmd, "ACT to a bank with an open row");
+                }
+                self.require(cycle, cmd, h.last_activate, t.t_rc, "tRC");
+                self.require(cycle, cmd, h.last_precharge, t.t_rp, "tRP");
+                self.require(cycle, cmd, h.last_refresh_end, 0, "tRFC");
+                // Rank-level: tRRD vs the most recent activate; tFAW vs the
+                // 4th most recent.
+                let acts = self
+                    .rank_activates
+                    .get(&rank.as_u32())
+                    .cloned()
+                    .unwrap_or_default();
+                if let Some(&latest) = acts.last() {
+                    if now < latest + t.t_rrd {
+                        self.flag(cycle, cmd, format!("tRRD: ACT at {latest}"));
+                    }
+                }
+                if t.t_faw > 0 && acts.len() >= 4 {
+                    let fourth = acts[acts.len() - 4];
+                    if now < fourth + t.t_faw {
+                        self.flag(cycle, cmd, format!("tFAW: four ACTs since {fourth}"));
+                    }
+                }
+                self.rank_activates
+                    .entry(rank.as_u32())
+                    .or_default()
+                    .push(now);
+                let h = self.banks.entry(key).or_default();
+                h.open = true;
+                h.last_activate = Some(now);
+            }
+            Command::Read { rank, bank, .. } | Command::Write { rank, bank, .. } => {
+                let is_write = matches!(cmd, Command::Write { .. });
+                let key = (rank.as_u32(), bank.as_u32());
+                let h = self.banks.get(&key).copied().unwrap_or_default();
+                if !h.open {
+                    self.flag(cycle, cmd, "CAS to a bank with no open row");
+                }
+                self.require(cycle, cmd, h.last_activate, t.t_rcd, "tRCD");
+                if let Some(&(prev, _)) = self.cas_times.last() {
+                    if now < prev + t.t_ccd {
+                        self.flag(cycle, cmd, format!("tCCD: CAS at {prev}"));
+                    }
+                }
+                // Data bus: this burst must start at or after the previous
+                // burst's end.
+                let start = now + if is_write { t.t_wl } else { t.t_cl };
+                if let Some(&(prev, prev_write)) = self.cas_times.last() {
+                    let prev_start = prev + if prev_write { t.t_wl } else { t.t_cl };
+                    let prev_end = prev_start + t.burst;
+                    if start < prev_end {
+                        self.flag(
+                            cycle,
+                            cmd,
+                            format!(
+                                "data-bus overlap: burst at {start}, bus busy until {prev_end}"
+                            ),
+                        );
+                    }
+                }
+                // tWTR: read after a write burst on the same rank.
+                if !is_write {
+                    if let Some(&end) = self.write_burst_end.get(&rank.as_u32()) {
+                        if now < end + t.t_wtr {
+                            self.flag(cycle, cmd, format!("tWTR: write burst ended {end}"));
+                        }
+                    }
+                }
+                self.cas_times.push((now, is_write));
+                let h = self.banks.entry(key).or_default();
+                if is_write {
+                    h.last_write = Some(now);
+                    self.write_burst_end
+                        .insert(rank.as_u32(), now + t.t_wl + t.burst);
+                } else {
+                    h.last_read = Some(now);
+                }
+            }
+            Command::Precharge { rank, bank } => {
+                let key = (rank.as_u32(), bank.as_u32());
+                let h = self.banks.get(&key).copied().unwrap_or_default();
+                if !h.open {
+                    self.flag(cycle, cmd, "PRE on a closed bank");
+                }
+                self.require(cycle, cmd, h.last_activate, t.t_ras, "tRAS");
+                self.require(cycle, cmd, h.last_read, t.t_rtp, "tRTP");
+                // Write recovery: tWL + burst + tWR after the write command.
+                self.require(
+                    cycle,
+                    cmd,
+                    h.last_write,
+                    t.t_wl + t.burst + t.t_wr,
+                    "write recovery",
+                );
+                let h = self.banks.entry(key).or_default();
+                h.open = false;
+                h.last_precharge = Some(now);
+            }
+            Command::Refresh { rank } => {
+                // Every bank of the rank must be precharged and past tRP.
+                for ((r, _b), h) in self.banks.iter() {
+                    if *r == rank.as_u32() {
+                        if h.open {
+                            self.flag(cycle, cmd, "REF with an open row");
+                            break;
+                        }
+                    }
+                }
+                for b in 0..1024u32 {
+                    // Only banks we have seen.
+                    let key = (rank.as_u32(), b);
+                    let Some(h) = self.banks.get(&key).copied() else {
+                        continue;
+                    };
+                    if let Some(pre) = h.last_precharge {
+                        if now < pre + self.t.t_rp {
+                            self.flag(cycle, cmd, format!("REF before tRP of bank {b}"));
+                            break;
+                        }
+                    }
+                }
+                let rank_u = rank.as_u32();
+                let end = now + self.t.t_rfc;
+                for b in 0..1024u32 {
+                    let key = (rank_u, b);
+                    if let Some(h) = self.banks.get_mut(&key) {
+                        h.last_refresh_end = Some(end);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: validate a whole `(cycle, command)` stream, e.g. a
+    /// drained [`crate::prelude::Command`] log. Returns the violations.
+    pub fn check_stream<'a, I>(&mut self, stream: I) -> &[Violation]
+    where
+        I: IntoIterator<Item = (DramCycle, &'a Command)>,
+    {
+        for (cycle, cmd) in stream {
+            self.check(cycle, cmd);
+        }
+        self.violations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{BankId, ColId, RankId, RowId};
+
+    fn act(bank: u32, row: u32) -> Command {
+        Command::Activate {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            row: RowId::new(row),
+        }
+    }
+
+    fn rd(bank: u32) -> Command {
+        Command::Read {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            col: ColId::new(0),
+        }
+    }
+
+    fn wr(bank: u32) -> Command {
+        Command::Write {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            col: ColId::new(0),
+        }
+    }
+
+    fn pre(bank: u32) -> Command {
+        Command::Precharge {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+        }
+    }
+
+    fn chk() -> ProtocolChecker {
+        ProtocolChecker::new(TimingParams::ddr2_800())
+    }
+
+    #[test]
+    fn legal_transaction_is_clean() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(5), &rd(0));
+        c.check(DramCycle::new(18), &pre(0));
+        c.check(DramCycle::new(23), &act(0, 2));
+        assert!(c.is_clean(), "{:?}", c.violations());
+        assert_eq!(c.commands_checked(), 4);
+    }
+
+    #[test]
+    fn trcd_violation_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(3), &rd(0));
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.violations()[0].rule.contains("tRCD"));
+    }
+
+    #[test]
+    fn tras_violation_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(10), &pre(0));
+        assert!(c.violations().iter().any(|v| v.rule.contains("tRAS")));
+    }
+
+    #[test]
+    fn cas_without_open_row_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &rd(0));
+        assert!(c.violations()[0].rule.contains("no open row"));
+    }
+
+    #[test]
+    fn double_activate_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(30), &act(0, 2));
+        assert!(c.violations().iter().any(|v| v.rule.contains("open row")));
+    }
+
+    #[test]
+    fn data_bus_overlap_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(3), &act(1, 1));
+        c.check(DramCycle::new(8), &rd(0));
+        // Read 2 cycles later: tCCD ok... no, tCCD = 2 so legal at 10, but
+        // its burst at 15 overlaps the first burst [13, 17).
+        c.check(DramCycle::new(10), &rd(1));
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.rule.contains("data-bus overlap")));
+    }
+
+    #[test]
+    fn twtr_violation_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(5), &wr(0));
+        // Write burst ends at 5 + 4 + 4 = 13; read before 13 + 3 = 16 is
+        // illegal (also bus-legal at 12: 12+5=17 >= 13).
+        c.check(DramCycle::new(14), &rd(0));
+        assert!(c.violations().iter().any(|v| v.rule.contains("tWTR")));
+    }
+
+    #[test]
+    fn write_recovery_violation_detected() {
+        let mut c = chk();
+        c.check(DramCycle::new(0), &act(0, 1));
+        c.check(DramCycle::new(5), &wr(0));
+        // Precharge before 5 + 4 + 4 + 6 = 19 is illegal.
+        c.check(DramCycle::new(18), &pre(0));
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.rule.contains("write recovery")));
+    }
+
+    #[test]
+    fn tfaw_violation_detected_when_enabled() {
+        let mut c = ProtocolChecker::new(TimingParams::ddr2_800_with_tfaw());
+        for (i, cyc) in [0u64, 3, 6, 9].iter().enumerate() {
+            c.check(DramCycle::new(*cyc), &act(i as u32, 1));
+        }
+        c.check(DramCycle::new(12), &act(4, 1));
+        assert!(c.violations().iter().any(|v| v.rule.contains("tFAW")));
+    }
+}

@@ -1,0 +1,287 @@
+//! SDRAM commands and device-geometry newtypes.
+//!
+//! The paper groups *read*/*write* as **CAS commands** and
+//! *activate*/*precharge* as **RAS commands**; that distinction drives the
+//! second level of every priority policy ("prioritize CAS commands over RAS
+//! commands"), so it is a first-class predicate here.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize` (for direct array indexing).
+            #[inline]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a rank on the memory channel.
+    RankId
+);
+id_newtype!(
+    /// Index of a bank within a rank.
+    BankId
+);
+id_newtype!(
+    /// Index of a row within a bank.
+    RowId
+);
+id_newtype!(
+    /// Index of a column (cache-line granule) within a row.
+    ColId
+);
+
+/// A fully decoded DRAM location: rank, bank, row and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramAddress {
+    /// Rank on the channel.
+    pub rank: RankId,
+    /// Bank within the rank.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Column (cache-line) within the row.
+    pub col: ColId,
+}
+
+impl fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}b{}/row{}/col{}",
+            self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// The kind of an SDRAM command, without operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Open a row (RAS).
+    Activate,
+    /// Close the open row and precharge the bank (RAS).
+    Precharge,
+    /// Column read from the open row (CAS).
+    Read,
+    /// Column write to the open row (CAS).
+    Write,
+    /// Refresh a rank (all banks must be precharged).
+    Refresh,
+}
+
+impl CommandKind {
+    /// True for *read*/*write* — the paper's "CAS commands".
+    #[inline]
+    pub fn is_cas(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::Write)
+    }
+
+    /// True for *activate*/*precharge* — the paper's "RAS commands".
+    #[inline]
+    pub fn is_ras(self) -> bool {
+        matches!(self, CommandKind::Activate | CommandKind::Precharge)
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+            CommandKind::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete SDRAM command with its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Open `row` in bank `(rank, bank)`.
+    Activate {
+        /// Target rank.
+        rank: RankId,
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Close the open row in bank `(rank, bank)`.
+    Precharge {
+        /// Target rank.
+        rank: RankId,
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Burst-read column `col` from the open row of `(rank, bank)`.
+    Read {
+        /// Target rank.
+        rank: RankId,
+        /// Target bank.
+        bank: BankId,
+        /// Column to read.
+        col: ColId,
+    },
+    /// Burst-write column `col` into the open row of `(rank, bank)`.
+    Write {
+        /// Target rank.
+        rank: RankId,
+        /// Target bank.
+        bank: BankId,
+        /// Column to write.
+        col: ColId,
+    },
+    /// Refresh all banks of `rank`.
+    Refresh {
+        /// Target rank.
+        rank: RankId,
+    },
+}
+
+impl Command {
+    /// The command's kind (operand-free discriminant).
+    #[inline]
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Activate { .. } => CommandKind::Activate,
+            Command::Precharge { .. } => CommandKind::Precharge,
+            Command::Read { .. } => CommandKind::Read,
+            Command::Write { .. } => CommandKind::Write,
+            Command::Refresh { .. } => CommandKind::Refresh,
+        }
+    }
+
+    /// The rank this command targets.
+    #[inline]
+    pub fn rank(&self) -> RankId {
+        match *self {
+            Command::Activate { rank, .. }
+            | Command::Precharge { rank, .. }
+            | Command::Read { rank, .. }
+            | Command::Write { rank, .. }
+            | Command::Refresh { rank } => rank,
+        }
+    }
+
+    /// The bank this command targets, if it is bank-directed (refresh is
+    /// rank-wide).
+    #[inline]
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            Command::Activate { bank, .. }
+            | Command::Precharge { bank, .. }
+            | Command::Read { bank, .. }
+            | Command::Write { bank, .. } => Some(bank),
+            Command::Refresh { .. } => None,
+        }
+    }
+
+    /// True if this is a CAS (read/write) command.
+    #[inline]
+    pub fn is_cas(&self) -> bool {
+        self.kind().is_cas()
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Command::Activate { rank, bank, row } => write!(f, "ACT r{rank}b{bank} row{row}"),
+            Command::Precharge { rank, bank } => write!(f, "PRE r{rank}b{bank}"),
+            Command::Read { rank, bank, col } => write!(f, "RD r{rank}b{bank} col{col}"),
+            Command::Write { rank, bank, col } => write!(f, "WR r{rank}b{bank} col{col}"),
+            Command::Refresh { rank } => write!(f, "REF r{rank}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_ras_classification() {
+        assert!(CommandKind::Read.is_cas());
+        assert!(CommandKind::Write.is_cas());
+        assert!(!CommandKind::Activate.is_cas());
+        assert!(CommandKind::Activate.is_ras());
+        assert!(CommandKind::Precharge.is_ras());
+        assert!(!CommandKind::Refresh.is_cas());
+        assert!(!CommandKind::Refresh.is_ras());
+    }
+
+    #[test]
+    fn command_accessors() {
+        let cmd = Command::Read {
+            rank: RankId::new(0),
+            bank: BankId::new(3),
+            col: ColId::new(17),
+        };
+        assert_eq!(cmd.kind(), CommandKind::Read);
+        assert_eq!(cmd.rank(), RankId::new(0));
+        assert_eq!(cmd.bank(), Some(BankId::new(3)));
+        assert!(cmd.is_cas());
+    }
+
+    #[test]
+    fn refresh_has_no_bank() {
+        let cmd = Command::Refresh {
+            rank: RankId::new(1),
+        };
+        assert_eq!(cmd.bank(), None);
+        assert_eq!(cmd.rank(), RankId::new(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        let cmd = Command::Activate {
+            rank: RankId::new(0),
+            bank: BankId::new(2),
+            row: RowId::new(9),
+        };
+        assert_eq!(cmd.to_string(), "ACT r0b2 row9");
+        assert_eq!(CommandKind::Precharge.to_string(), "PRE");
+    }
+
+    #[test]
+    fn id_newtype_round_trip() {
+        let b = BankId::from(5u32);
+        assert_eq!(b.as_u32(), 5);
+        assert_eq!(b.as_usize(), 5);
+    }
+}

@@ -1,0 +1,517 @@
+//! The assembled DRAM device: ranks × banks behind one channel.
+//!
+//! [`DramDevice`] is the single point through which a memory controller
+//! interacts with memory. It answers *readiness* queries ("could this
+//! command legally issue this cycle?") by combining bank-level and
+//! channel-level constraints, applies issued commands to both trackers, and
+//! keeps the utilization statistics the paper's evaluation reports (data-bus
+//! utilization, bank utilization).
+//!
+//! Refresh is handled here: once every `tREFI` cycles each rank must receive
+//! a refresh command; the device exposes [`DramDevice::refresh_urgent`] and
+//! the controller issues the refresh like any other command (all banks of
+//! the rank must first be precharged).
+
+use crate::bank::{Bank, BankState};
+use crate::channel::ChannelTracker;
+use crate::command::{BankId, Command, RankId, RowId};
+use crate::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// Geometry of the memory system: ranks per channel, banks per rank, rows
+/// per bank, columns (cache lines) per row.
+///
+/// The paper's configuration (Table 5) is 1 channel × 1 rank × 8 banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Ranks on the channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Cache-line columns per row. With 64-byte lines, a 2 KiB row holds 32
+    /// lines.
+    pub cols: u32,
+}
+
+impl Geometry {
+    /// The paper's Table 5 memory geometry: 1 rank, 8 banks, and a
+    /// representative 1 Gb DDR2 part (16K rows × 32 cache lines per row).
+    pub const fn paper() -> Self {
+        Geometry {
+            ranks: 1,
+            banks: 8,
+            rows: 16_384,
+            cols: 32,
+        }
+    }
+
+    /// Total banks across all ranks.
+    pub fn total_banks(&self) -> u32 {
+        self.ranks * self.banks
+    }
+
+    /// Validates that every dimension is non-zero and a power of two (the
+    /// XOR address mapping requires power-of-two dimensions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("rows", self.rows),
+            ("cols", self.cols),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be non-zero"));
+            }
+            if !v.is_power_of_two() {
+                return Err(format!("{name} ({v}) must be a power of two"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::paper()
+    }
+}
+
+/// A cycle-accurate DRAM device model.
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::device::{DramDevice, Geometry};
+/// use fqms_dram::command::{Command, RankId, BankId, RowId, ColId};
+/// use fqms_dram::timing::TimingParams;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+/// let act = Command::Activate {
+///     rank: RankId::new(0), bank: BankId::new(0), row: RowId::new(42),
+/// };
+/// assert!(dram.is_ready(&act, DramCycle::ZERO));
+/// dram.issue(&act, DramCycle::ZERO);
+/// let rd = Command::Read {
+///     rank: RankId::new(0), bank: BankId::new(0), col: ColId::new(3),
+/// };
+/// assert!(!dram.is_ready(&rd, DramCycle::new(4)));
+/// assert!(dram.is_ready(&rd, DramCycle::new(5)));
+/// let data_done = dram.issue(&rd, DramCycle::new(5));
+/// assert_eq!(data_done, Some(DramCycle::new(5 + 5 + 4)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    geometry: Geometry,
+    timing: TimingParams,
+    /// Banks in rank-major order: `banks[rank * banks_per_rank + bank]`.
+    banks: Vec<Bank>,
+    channel: ChannelTracker,
+    /// Next refresh deadline per rank.
+    refresh_due: Vec<DramCycle>,
+    /// Commands issued, by kind, for stats.
+    acts: u64,
+    pres: u64,
+    reads: u64,
+    writes: u64,
+    refreshes: u64,
+    /// Accumulated bank-busy cycle count (sum over banks), advanced by
+    /// [`DramDevice::tick_stats`].
+    bank_busy_cycles: u64,
+    stats_last_tick: DramCycle,
+}
+
+impl DramDevice {
+    /// Creates a device with the given geometry and timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry or timing parameters are invalid.
+    pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        geometry.validate().expect("invalid geometry");
+        timing.validate().expect("invalid timing parameters");
+        DramDevice {
+            geometry,
+            timing,
+            banks: vec![Bank::new(); geometry.total_banks() as usize],
+            channel: ChannelTracker::new(geometry.ranks as usize),
+            refresh_due: vec![DramCycle::new(timing.t_refi); geometry.ranks as usize],
+            acts: 0,
+            pres: 0,
+            reads: 0,
+            writes: 0,
+            refreshes: 0,
+            bank_busy_cycles: 0,
+            stats_last_tick: DramCycle::ZERO,
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing parameters in force.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    fn bank_index(&self, rank: RankId, bank: BankId) -> usize {
+        debug_assert!(rank.as_u32() < self.geometry.ranks);
+        debug_assert!(bank.as_u32() < self.geometry.banks);
+        (rank.as_u32() * self.geometry.banks + bank.as_u32()) as usize
+    }
+
+    /// Immutable view of a bank.
+    pub fn bank(&self, rank: RankId, bank: BankId) -> &Bank {
+        &self.banks[self.bank_index(rank, bank)]
+    }
+
+    /// The bank's coarse state (for Table 3 service classification).
+    pub fn bank_state(&self, rank: RankId, bank: BankId) -> BankState {
+        self.bank(rank, bank).state()
+    }
+
+    /// The row currently open in a bank, if any.
+    pub fn open_row(&self, rank: RankId, bank: BankId) -> Option<RowId> {
+        self.bank(rank, bank).open_row()
+    }
+
+    /// The channel tracker (read-only; used by schedulers for bus state).
+    pub fn channel(&self) -> &ChannelTracker {
+        &self.channel
+    }
+
+    /// True if `cmd` satisfies its **bank-level** constraints at `now`
+    /// (tRCD/tRAS/tRP/tRC/tRTP/write-recovery) regardless of channel
+    /// state. This is what a *bank scheduler* sees: it tracks only its
+    /// bank's timing, and presents its highest-priority bank-ready command
+    /// to the channel scheduler — which may still reject it on bus/rank
+    /// conflicts. The distinction matters: a stream of bank-ready row hits
+    /// keeps occupying a bank scheduler's slot even in cycles where the
+    /// data bus is busy, which is the priority-chaining mechanism of the
+    /// paper's Section 3.3.
+    pub fn bank_ready(&self, cmd: &Command, now: DramCycle) -> bool {
+        match *cmd {
+            Command::Activate { rank, bank, .. } => self.bank(rank, bank).can_activate(now),
+            Command::Precharge { rank, bank } => self.bank(rank, bank).can_precharge(now),
+            Command::Read { rank, bank, .. } => self.bank(rank, bank).can_read(now),
+            Command::Write { rank, bank, .. } => self.bank(rank, bank).can_write(now),
+            Command::Refresh { rank } => self
+                .rank_banks(rank)
+                .all(|b| b.open_row().is_none() && b.next_activate() <= now),
+        }
+    }
+
+    /// True if `cmd` could legally issue at `now`, combining bank and
+    /// channel constraints — the paper's notion of a **ready** command.
+    pub fn is_ready(&self, cmd: &Command, now: DramCycle) -> bool {
+        match *cmd {
+            Command::Activate { rank, bank, .. } => {
+                self.bank(rank, bank).can_activate(now)
+                    && self.channel.can_activate_timed(rank, now, &self.timing)
+            }
+            Command::Precharge { rank, bank } => {
+                self.bank(rank, bank).can_precharge(now) && self.channel.can_precharge(rank, now)
+            }
+            Command::Read { rank, bank, .. } => {
+                self.bank(rank, bank).can_read(now)
+                    && self.channel.can_read(rank, now, &self.timing)
+            }
+            Command::Write { rank, bank, .. } => {
+                self.bank(rank, bank).can_write(now)
+                    && self.channel.can_write(rank, now, &self.timing)
+            }
+            Command::Refresh { rank } => {
+                self.channel.can_refresh(rank, now)
+                    && self.rank_banks(rank).all(|b| {
+                        b.open_row().is_none() && b.next_activate() <= now.saturating_add(0)
+                    })
+            }
+        }
+    }
+
+    fn rank_banks(&self, rank: RankId) -> impl Iterator<Item = &Bank> {
+        let start = (rank.as_u32() * self.geometry.banks) as usize;
+        self.banks[start..start + self.geometry.banks as usize].iter()
+    }
+
+    /// Issues `cmd` at `now`, updating all constraint trackers.
+    ///
+    /// For CAS commands, returns `Some(cycle)` at which the data burst
+    /// completes on the data bus; for RAS/refresh commands returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is not ready at `now` (callers must check
+    /// [`DramDevice::is_ready`] first — the scheduler contract).
+    pub fn issue(&mut self, cmd: &Command, now: DramCycle) -> Option<DramCycle> {
+        assert!(self.is_ready(cmd, now), "command {cmd} not ready at {now}");
+        self.advance_stats(now);
+        match *cmd {
+            Command::Activate { rank, bank, row } => {
+                let idx = self.bank_index(rank, bank);
+                self.banks[idx].issue_activate(now, row, &self.timing);
+                self.channel.issue_activate(rank, now, &self.timing);
+                self.acts += 1;
+                None
+            }
+            Command::Precharge { rank, bank } => {
+                let idx = self.bank_index(rank, bank);
+                self.banks[idx].issue_precharge(now, &self.timing);
+                self.channel.issue_precharge(rank, now);
+                self.pres += 1;
+                None
+            }
+            Command::Read { rank, bank, .. } => {
+                let idx = self.bank_index(rank, bank);
+                let done = self.banks[idx].issue_read(now, &self.timing);
+                self.channel.issue_read(rank, now, &self.timing);
+                self.reads += 1;
+                Some(done)
+            }
+            Command::Write { rank, bank, .. } => {
+                let idx = self.bank_index(rank, bank);
+                let done = self.banks[idx].issue_write(now, &self.timing);
+                self.channel.issue_write(rank, now, &self.timing);
+                self.writes += 1;
+                Some(done)
+            }
+            Command::Refresh { rank } => {
+                self.channel.issue_refresh(rank, now, &self.timing);
+                let start = (rank.as_u32() * self.geometry.banks) as usize;
+                for b in &mut self.banks[start..start + self.geometry.banks as usize] {
+                    b.apply_refresh(now, &self.timing);
+                }
+                self.refresh_due[rank.as_usize()] = now + self.timing.t_refi;
+                self.refreshes += 1;
+                None
+            }
+        }
+    }
+
+    /// True if rank `rank` has reached (or passed) its refresh deadline.
+    /// The controller should drain/block the rank, precharge all its banks,
+    /// and issue [`Command::Refresh`].
+    pub fn refresh_urgent(&self, rank: RankId, now: DramCycle) -> bool {
+        now >= self.refresh_due[rank.as_usize()]
+    }
+
+    /// The next refresh deadline for `rank`.
+    pub fn refresh_deadline(&self, rank: RankId) -> DramCycle {
+        self.refresh_due[rank.as_usize()]
+    }
+
+    /// Advances the bank-busy statistics window to `now`. Called internally
+    /// on every issue; the simulation loop should also call it once at the
+    /// end of the run so trailing busy cycles are counted.
+    pub fn advance_stats(&mut self, now: DramCycle) {
+        if now <= self.stats_last_tick {
+            return;
+        }
+        // Integrate bank busy-ness over (stats_last_tick, now]. Banks only
+        // change state on command issue, so between issues each bank's
+        // busy-ness changes at most once (a recovery window expiring); we
+        // integrate per-bank by clamping each bank's busy horizon.
+        let from = self.stats_last_tick;
+        for b in &self.banks {
+            let busy_until = if b.open_row().is_some() {
+                now
+            } else {
+                b.next_activate().min(now)
+            };
+            if busy_until > from {
+                self.bank_busy_cycles += busy_until - from;
+            }
+        }
+        self.stats_last_tick = now;
+    }
+
+    /// Zeroes all accumulated statistics (bus/bank busy cycles, command
+    /// counts) as of `now`, without touching any timing state. Used to
+    /// exclude cache-warmup from measured utilization.
+    pub fn reset_stats(&mut self, now: DramCycle) {
+        self.advance_stats(now);
+        self.stats_last_tick = now;
+        self.bank_busy_cycles = 0;
+        self.channel.reset_stats();
+        self.acts = 0;
+        self.pres = 0;
+        self.reads = 0;
+        self.writes = 0;
+        self.refreshes = 0;
+    }
+
+    /// Data-bus busy cycles so far (utilization numerator).
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.channel.bus_busy_cycles()
+    }
+
+    /// Sum over banks of cycles each bank was busy (active or in recovery).
+    /// Divide by `total_banks * elapsed` for the paper's aggregate bank
+    /// utilization.
+    pub fn bank_busy_cycles(&self) -> u64 {
+        self.bank_busy_cycles
+    }
+
+    /// Command counts issued so far: (activates, precharges, reads, writes,
+    /// refreshes).
+    pub fn command_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.acts,
+            self.pres,
+            self.reads,
+            self.writes,
+            self.refreshes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ColId;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(Geometry::paper(), TimingParams::ddr2_800())
+    }
+
+    fn act(bank: u32, row: u32) -> Command {
+        Command::Activate {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            row: RowId::new(row),
+        }
+    }
+
+    fn rd(bank: u32, col: u32) -> Command {
+        Command::Read {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            col: ColId::new(col),
+        }
+    }
+
+    fn pre(bank: u32) -> Command {
+        Command::Precharge {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+        }
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let g = Geometry::paper();
+        assert_eq!(g.ranks, 1);
+        assert_eq!(g.banks, 8);
+        assert_eq!(g.total_banks(), 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two() {
+        let g = Geometry {
+            ranks: 1,
+            banks: 6,
+            rows: 1024,
+            cols: 32,
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn read_flow_returns_burst_completion() {
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        let done = d.issue(&rd(0, 0), DramCycle::new(5));
+        assert_eq!(done, Some(DramCycle::new(14))); // 5 + tCL 5 + BL/2 4
+        assert_eq!(d.command_counts(), (1, 0, 1, 0, 0));
+    }
+
+    #[test]
+    fn interleaved_banks_respect_trrd() {
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        assert!(!d.is_ready(&act(1, 1), DramCycle::new(2)));
+        assert!(d.is_ready(&act(1, 1), DramCycle::new(3)));
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_precharged() {
+        let mut d = dev();
+        let refresh = Command::Refresh {
+            rank: RankId::new(0),
+        };
+        d.issue(&act(3, 1), DramCycle::new(0));
+        // Bank 3 open: refresh not ready even after the deadline.
+        assert!(!d.is_ready(&refresh, DramCycle::new(300_000)));
+        d.issue(&pre(3), DramCycle::new(18));
+        // Bank 3 precharging until 23.
+        assert!(!d.is_ready(&refresh, DramCycle::new(22)));
+        assert!(d.is_ready(&refresh, DramCycle::new(23)));
+        d.issue(&refresh, DramCycle::new(23));
+        assert_eq!(d.refresh_deadline(RankId::new(0)), DramCycle::new(280_023));
+        // All banks blocked for tRFC.
+        assert!(!d.is_ready(&act(0, 1), DramCycle::new(23 + 509)));
+        assert!(d.is_ready(&act(0, 1), DramCycle::new(23 + 510)));
+    }
+
+    #[test]
+    fn refresh_urgency_tracks_trefi() {
+        let d = dev();
+        assert!(!d.refresh_urgent(RankId::new(0), DramCycle::new(279_999)));
+        assert!(d.refresh_urgent(RankId::new(0), DramCycle::new(280_000)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn issuing_unready_command_panics() {
+        let mut d = dev();
+        d.issue(&rd(0, 0), DramCycle::new(0)); // no row open
+    }
+
+    #[test]
+    fn bank_busy_stats_integrate() {
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        d.advance_stats(DramCycle::new(10));
+        // Bank 0 busy the whole 10 cycles; others idle.
+        assert_eq!(d.bank_busy_cycles(), 10);
+        d.issue(&pre(0), DramCycle::new(18));
+        d.advance_stats(DramCycle::new(40));
+        // Busy through precharge recovery (ends at 23): 18-10=8 more from
+        // issue-time advance, then 23-18=5 during recovery.
+        assert_eq!(d.bank_busy_cycles(), 23);
+    }
+
+    #[test]
+    fn bus_utilization_counts_bursts() {
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        d.issue(&rd(0, 0), DramCycle::new(5));
+        d.issue(&rd(0, 1), DramCycle::new(9));
+        assert_eq!(d.bus_busy_cycles(), 8);
+    }
+
+    #[test]
+    fn seamless_reads_every_burst_time() {
+        // Back-to-back row hits should sustain 100% bus utilization:
+        // reads at 5, 9, 13, ... each occupying 4 bus cycles.
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        let mut now = 5u64;
+        for i in 0..10 {
+            let cmd = rd(0, i);
+            assert!(d.is_ready(&cmd, DramCycle::new(now)), "read {i} at {now}");
+            d.issue(&cmd, DramCycle::new(now));
+            now += 4;
+        }
+        assert_eq!(d.bus_busy_cycles(), 40);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-accurate DDR2 SDRAM device timing model.
+//!
+//! This crate implements the memory-device substrate of the Fair Queuing
+//! Memory Systems reproduction: DDR2 timing constraints (the paper's
+//! Table 6), per-bank row-buffer state machines, channel/rank-level
+//! constraint tracking (data-bus occupancy, tCCD, tWTR, tRRD, refresh), and
+//! an assembled [`device::DramDevice`] that a memory controller drives one
+//! SDRAM command at a time.
+//!
+//! The model enforces *every* constraint as a hard assertion on issue: a
+//! scheduler bug that issues an illegal command is a panic, not a silently
+//! wrong result. Schedulers query [`device::DramDevice::is_ready`] — the
+//! paper's "ready command" notion — before issuing.
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_dram::prelude::*;
+//! use fqms_sim::clock::DramCycle;
+//!
+//! let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+//! let addr = DramAddress {
+//!     rank: RankId::new(0), bank: BankId::new(2),
+//!     row: RowId::new(100), col: ColId::new(7),
+//! };
+//! let act = Command::Activate { rank: addr.rank, bank: addr.bank, row: addr.row };
+//! dram.issue(&act, DramCycle::new(0));
+//! let rd = Command::Read { rank: addr.rank, bank: addr.bank, col: addr.col };
+//! assert!(dram.is_ready(&rd, DramCycle::new(5)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod channel;
+pub mod checker;
+pub mod command;
+pub mod device;
+pub mod power;
+pub mod timing;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::bank::{Bank, BankState};
+    pub use crate::channel::ChannelTracker;
+    pub use crate::checker::{ProtocolChecker, Violation};
+    pub use crate::command::{BankId, ColId, Command, CommandKind, DramAddress, RankId, RowId};
+    pub use crate::device::{DramDevice, Geometry};
+    pub use crate::power::{estimate_energy, EnergyBreakdown, PowerParams};
+    pub use crate::timing::TimingParams;
+}
+
+pub use prelude::*;

@@ -1,0 +1,269 @@
+//! DRAM energy accounting (an extension beyond the paper).
+//!
+//! Production DRAM simulators ship an energy model alongside the timing
+//! model; this one follows the standard Micron power-calculator
+//! decomposition for DDR2: per-command energies (an activate/precharge
+//! pair, a read burst, a write burst, a refresh) plus background power
+//! split into active-standby (some row open) and precharge-standby (all
+//! rows closed) components.
+//!
+//! Energy is computed *post hoc* from the device's command counts and
+//! busy-cycle statistics — no per-cycle hooks in the hot path. Values are
+//! in nanojoules, with defaults approximating a 1 Gb ×8 DDR2-800 part at
+//! 1.8 V; treat absolute numbers as representative, relative comparisons
+//! (e.g. scheduler energy ablations) as the meaningful output.
+
+use crate::device::DramDevice;
+
+/// Per-command energies and background powers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Energy of one activate + its eventual precharge (nJ).
+    pub e_act_pre: f64,
+    /// Energy of one read burst beyond background (nJ).
+    pub e_read: f64,
+    /// Energy of one write burst beyond background (nJ).
+    pub e_write: f64,
+    /// Energy of one refresh command (nJ).
+    pub e_refresh: f64,
+    /// Active-standby power: nJ per DRAM cycle per bank with a row open.
+    pub p_active_standby: f64,
+    /// Precharge-standby power: nJ per DRAM cycle per idle bank.
+    pub p_precharge_standby: f64,
+}
+
+impl PowerParams {
+    /// Representative values for a 1 Gb ×8 DDR2-800 device (Micron power
+    /// calculator methodology, rounded).
+    pub const fn ddr2_800_typical() -> Self {
+        PowerParams {
+            e_act_pre: 3.0,
+            e_read: 1.6,
+            e_write: 1.7,
+            e_refresh: 25.0,
+            p_active_standby: 0.012,
+            p_precharge_standby: 0.006,
+        }
+    }
+
+    /// Validates that all parameters are non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("e_act_pre", self.e_act_pre),
+            ("e_read", self.e_read),
+            ("e_write", self.e_write),
+            ("e_refresh", self.e_refresh),
+            ("p_active_standby", self.p_active_standby),
+            ("p_precharge_standby", self.p_precharge_standby),
+        ] {
+            if !(v >= 0.0) {
+                return Err(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::ddr2_800_typical()
+    }
+}
+
+/// An energy breakdown for a measurement window, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Activate/precharge energy.
+    pub activate: f64,
+    /// Read burst energy.
+    pub read: f64,
+    /// Write burst energy.
+    pub write: f64,
+    /// Refresh energy.
+    pub refresh: f64,
+    /// Background (standby) energy.
+    pub background: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (nJ).
+    pub fn total(&self) -> f64 {
+        self.activate + self.read + self.write + self.refresh + self.background
+    }
+
+    /// Energy per useful data burst (nJ per read+write), a scheduler
+    /// efficiency metric; 0.0 when no bursts completed.
+    pub fn energy_per_access(&self, reads: u64, writes: u64) -> f64 {
+        let n = reads + writes;
+        if n == 0 {
+            0.0
+        } else {
+            self.total() / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.1} nJ (act/pre {:.1}, rd {:.1}, wr {:.1}, ref {:.1}, bg {:.1})",
+            self.total(),
+            self.activate,
+            self.read,
+            self.write,
+            self.refresh,
+            self.background
+        )
+    }
+}
+
+/// Computes the energy consumed by `device` over a window of `elapsed`
+/// DRAM cycles (the window the device's statistics cover — reset the
+/// device stats at the window start).
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::power::{estimate_energy, PowerParams};
+/// use fqms_dram::prelude::*;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+/// dram.issue(&Command::Activate {
+///     rank: RankId::new(0), bank: BankId::new(0), row: RowId::new(1),
+/// }, DramCycle::new(0));
+/// dram.issue(&Command::Read {
+///     rank: RankId::new(0), bank: BankId::new(0), col: ColId::new(0),
+/// }, DramCycle::new(5));
+/// dram.advance_stats(DramCycle::new(100));
+/// let e = estimate_energy(&dram, 100, &PowerParams::ddr2_800_typical());
+/// assert!(e.activate > 0.0 && e.read > 0.0 && e.background > 0.0);
+/// ```
+pub fn estimate_energy(device: &DramDevice, elapsed: u64, p: &PowerParams) -> EnergyBreakdown {
+    let (acts, _pres, reads, writes, refreshes) = device.command_counts();
+    let total_banks = device.geometry().total_banks() as u64;
+    let active_bank_cycles = device.bank_busy_cycles();
+    let idle_bank_cycles = (elapsed * total_banks).saturating_sub(active_bank_cycles);
+    EnergyBreakdown {
+        activate: acts as f64 * p.e_act_pre,
+        read: reads as f64 * p.e_read,
+        write: writes as f64 * p.e_write,
+        refresh: refreshes as f64 * p.e_refresh,
+        background: active_bank_cycles as f64 * p.p_active_standby
+            + idle_bank_cycles as f64 * p.p_precharge_standby,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{BankId, ColId, Command, RankId, RowId};
+    use crate::device::Geometry;
+    use crate::timing::TimingParams;
+    use fqms_sim::clock::DramCycle;
+
+    fn device_with_traffic() -> DramDevice {
+        let mut d = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+        d.issue(
+            &Command::Activate {
+                rank: RankId::new(0),
+                bank: BankId::new(0),
+                row: RowId::new(1),
+            },
+            DramCycle::new(0),
+        );
+        d.issue(
+            &Command::Read {
+                rank: RankId::new(0),
+                bank: BankId::new(0),
+                col: ColId::new(0),
+            },
+            DramCycle::new(5),
+        );
+        d.issue(
+            &Command::Write {
+                rank: RankId::new(0),
+                bank: BankId::new(0),
+                col: ColId::new(1),
+            },
+            DramCycle::new(10),
+        );
+        d.advance_stats(DramCycle::new(1000));
+        d
+    }
+
+    #[test]
+    fn typical_params_validate() {
+        PowerParams::ddr2_800_typical().validate().unwrap();
+    }
+
+    #[test]
+    fn negative_params_rejected() {
+        let mut p = PowerParams::ddr2_800_typical();
+        p.e_read = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn breakdown_accounts_every_command() {
+        let d = device_with_traffic();
+        let p = PowerParams::ddr2_800_typical();
+        let e = estimate_energy(&d, 1000, &p);
+        assert!((e.activate - p.e_act_pre).abs() < 1e-9);
+        assert!((e.read - p.e_read).abs() < 1e-9);
+        assert!((e.write - p.e_write).abs() < 1e-9);
+        assert_eq!(e.refresh, 0.0);
+        assert!(e.background > 0.0);
+        assert!(e.total() > e.background);
+    }
+
+    #[test]
+    fn idle_device_burns_only_background() {
+        let mut d = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+        d.advance_stats(DramCycle::new(500));
+        let p = PowerParams::ddr2_800_typical();
+        let e = estimate_energy(&d, 500, &p);
+        assert_eq!(e.activate + e.read + e.write + e.refresh, 0.0);
+        // 8 idle banks x 500 cycles x precharge standby.
+        let expected = 8.0 * 500.0 * p.p_precharge_standby;
+        assert!((e.background - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_rows_cost_more_background_than_idle() {
+        let mut open_dev = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+        open_dev.issue(
+            &Command::Activate {
+                rank: RankId::new(0),
+                bank: BankId::new(0),
+                row: RowId::new(1),
+            },
+            DramCycle::new(0),
+        );
+        open_dev.advance_stats(DramCycle::new(1000));
+        let mut idle_dev = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+        idle_dev.advance_stats(DramCycle::new(1000));
+        let p = PowerParams::ddr2_800_typical();
+        let open_bg = estimate_energy(&open_dev, 1000, &p).background;
+        let idle_bg = estimate_energy(&idle_dev, 1000, &p).background;
+        assert!(open_bg > idle_bg);
+    }
+
+    #[test]
+    fn energy_per_access_math() {
+        let e = EnergyBreakdown {
+            activate: 6.0,
+            read: 3.2,
+            write: 0.0,
+            refresh: 0.0,
+            background: 0.8,
+        };
+        assert!((e.energy_per_access(2, 0) - 5.0).abs() < 1e-9);
+        assert_eq!(e.energy_per_access(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the DRAM device: an adversarial "issue whatever is
+//! ready" driver must never trip a timing assertion, and the device's
+//! readiness answers must be internally consistent.
+
+use fqms_dram::prelude::*;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::rng::SimRng;
+use proptest::prelude::*;
+
+/// Enumerate all commands that could conceivably be issued to the device
+/// given the current bank states (bounded row/col space for test speed).
+fn candidate_commands(dram: &DramDevice) -> Vec<Command> {
+    let mut out = Vec::new();
+    let g = *dram.geometry();
+    for r in 0..g.ranks {
+        let rank = RankId::new(r);
+        out.push(Command::Refresh { rank });
+        for b in 0..g.banks {
+            let bank = BankId::new(b);
+            match dram.bank_state(rank, bank) {
+                BankState::Closed => {
+                    for row in 0..4u32 {
+                        out.push(Command::Activate {
+                            rank,
+                            bank,
+                            row: RowId::new(row),
+                        });
+                    }
+                }
+                BankState::Open(_) => {
+                    out.push(Command::Precharge { rank, bank });
+                    for col in 0..4u32 {
+                        out.push(Command::Read {
+                            rank,
+                            bank,
+                            col: ColId::new(col),
+                        });
+                        out.push(Command::Write {
+                            rank,
+                            bank,
+                            col: ColId::new(col),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Issuing any ready command at any cycle never violates a constraint
+    /// (the device's assertions are the oracle), across random interleavings.
+    #[test]
+    fn random_ready_schedules_are_legal(seed in 0u64..500) {
+        let mut rng = SimRng::new(seed);
+        let mut dram = DramDevice::new(
+            Geometry { ranks: 2, banks: 4, rows: 8, cols: 8 },
+            TimingParams::ddr2_800(),
+        );
+        let mut now = DramCycle::ZERO;
+        let mut issued = 0u32;
+        // Drive for a bounded number of cycles, issuing a random ready
+        // command (if any) each cycle.
+        for _ in 0..2_000 {
+            let ready: Vec<Command> = candidate_commands(&dram)
+                .into_iter()
+                .filter(|c| dram.is_ready(c, now))
+                .collect();
+            if !ready.is_empty() && rng.chance(0.7) {
+                let pick = rng.next_below(ready.len() as u64) as usize;
+                // `issue` panics if any constraint is violated.
+                dram.issue(&ready[pick], now);
+                issued += 1;
+            }
+            now.tick();
+        }
+        prop_assert!(issued > 0, "driver never issued anything");
+    }
+
+    /// Readiness is monotonic for a quiescent device: once a command is
+    /// ready it stays ready until something else is issued.
+    #[test]
+    fn readiness_is_monotonic_without_issue(delay in 0u64..64, extra in 1u64..64) {
+        let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+        let act = Command::Activate {
+            rank: RankId::new(0),
+            bank: BankId::new(0),
+            row: RowId::new(1),
+        };
+        dram.issue(&act, DramCycle::ZERO);
+        let rd = Command::Read {
+            rank: RankId::new(0),
+            bank: BankId::new(0),
+            col: ColId::new(0),
+        };
+        let t1 = DramCycle::new(delay);
+        let t2 = DramCycle::new(delay + extra);
+        if dram.is_ready(&rd, t1) {
+            prop_assert!(dram.is_ready(&rd, t2));
+        }
+    }
+
+    /// Time-scaled devices accept the same command sequence at scaled
+    /// times: a legal schedule on the fast device, when stretched by the
+    /// scale factor, is legal on the slow device.
+    #[test]
+    fn scaled_device_accepts_stretched_schedule(seed in 0u64..100, factor in 2u64..4) {
+        let mut rng = SimRng::new(seed);
+        let geo = Geometry { ranks: 1, banks: 4, rows: 8, cols: 8 };
+        let mut fast = DramDevice::new(geo, TimingParams::ddr2_800());
+        let mut slow = DramDevice::new(geo, TimingParams::ddr2_800().time_scaled(factor));
+        let mut now = DramCycle::ZERO;
+        for _ in 0..500 {
+            let ready: Vec<Command> = candidate_commands(&fast)
+                .into_iter()
+                .filter(|c| !matches!(c, Command::Refresh { .. }))
+                .filter(|c| fast.is_ready(c, now))
+                .collect();
+            if !ready.is_empty() && rng.chance(0.5) {
+                let pick = rng.next_below(ready.len() as u64) as usize;
+                let cmd = ready[pick];
+                fast.issue(&cmd, now);
+                let scaled_now = DramCycle::new(now.as_u64() * factor);
+                prop_assert!(
+                    slow.is_ready(&cmd, scaled_now),
+                    "{cmd} legal at {now} on fast but not at {scaled_now} on x{factor}"
+                );
+                slow.issue(&cmd, scaled_now);
+            }
+            now.tick();
+        }
+    }
+}
+
+#[test]
+fn refresh_eventually_blocks_everything_until_serviced() {
+    // If the controller keeps the rank busy past the refresh deadline the
+    // device still *allows* it (refresh policy is the controller's job),
+    // but refresh_urgent flags it.
+    let dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+    assert!(!dram.refresh_urgent(RankId::new(0), DramCycle::new(0)));
+    assert!(dram.refresh_urgent(RankId::new(0), DramCycle::new(280_000)));
+}
+
+#[test]
+fn full_transaction_walkthrough() {
+    // A read transaction on a closed bank: ACT @0, RD @5 (tRCD), data done
+    // @14 (tCL+BL/2), PRE legal @18 (tRAS), next ACT @23 (tRP).
+    let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
+    let rank = RankId::new(0);
+    let bank = BankId::new(0);
+    let act = Command::Activate {
+        rank,
+        bank,
+        row: RowId::new(5),
+    };
+    let rd = Command::Read {
+        rank,
+        bank,
+        col: ColId::new(1),
+    };
+    let pre = Command::Precharge { rank, bank };
+
+    assert!(dram.is_ready(&act, DramCycle::new(0)));
+    dram.issue(&act, DramCycle::new(0));
+
+    assert!(!dram.is_ready(&rd, DramCycle::new(4)));
+    assert!(dram.is_ready(&rd, DramCycle::new(5)));
+    let done = dram.issue(&rd, DramCycle::new(5)).unwrap();
+    assert_eq!(done, DramCycle::new(14));
+
+    assert!(!dram.is_ready(&pre, DramCycle::new(17)));
+    assert!(dram.is_ready(&pre, DramCycle::new(18)));
+    dram.issue(&pre, DramCycle::new(18));
+
+    assert!(!dram.is_ready(&act, DramCycle::new(22)));
+    assert!(dram.is_ready(&act, DramCycle::new(23)));
+}

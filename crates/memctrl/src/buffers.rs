@@ -1,0 +1,210 @@
+//! Per-thread transaction and write buffer accounting.
+//!
+//! The paper statically partitions the controller's buffers: "Each thread
+//! is allocated 16 transaction buffer entries, and 8 write buffer entries.
+//! The memory controller NACKs memory requests from a thread when that
+//! thread's buffer entries are full, thus applying back pressure to that
+//! thread independent of the other threads on the CMP."
+//!
+//! Every accepted request occupies one transaction-buffer entry until it
+//! completes; a write additionally occupies a write-buffer entry (the line
+//! data) until its write command issues to the SDRAM.
+
+use crate::request::RequestKind;
+
+/// Reason a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Nack {
+    /// The thread's transaction buffer partition is full.
+    TransactionBufferFull,
+    /// The thread's write buffer partition is full.
+    WriteBufferFull,
+}
+
+impl std::fmt::Display for Nack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Nack::TransactionBufferFull => f.write_str("transaction buffer full"),
+            Nack::WriteBufferFull => f.write_str("write buffer full"),
+        }
+    }
+}
+
+impl std::error::Error for Nack {}
+
+/// Occupancy tracker for one thread's statically partitioned buffer
+/// entries.
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::buffers::ThreadBuffers;
+/// use fqms_memctrl::request::RequestKind;
+///
+/// let mut b = ThreadBuffers::new(2, 1);
+/// b.try_admit(RequestKind::Read).unwrap();
+/// b.try_admit(RequestKind::Write).unwrap();
+/// assert!(b.try_admit(RequestKind::Read).is_err()); // transaction full
+/// b.release_write_data();       // write command issued
+/// b.complete(RequestKind::Write); // write transaction retires
+/// assert!(b.try_admit(RequestKind::Read).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBuffers {
+    transaction_capacity: usize,
+    write_capacity: usize,
+    transactions: usize,
+    writes: usize,
+}
+
+impl ThreadBuffers {
+    /// Creates a tracker with the given per-thread capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(transaction_capacity: usize, write_capacity: usize) -> Self {
+        assert!(transaction_capacity > 0, "transaction capacity must be > 0");
+        assert!(write_capacity > 0, "write capacity must be > 0");
+        ThreadBuffers {
+            transaction_capacity,
+            write_capacity,
+            transactions: 0,
+            writes: 0,
+        }
+    }
+
+    /// The paper's Table 5 partition: 16 transaction entries and 8 write
+    /// entries per thread.
+    pub fn paper() -> Self {
+        ThreadBuffers::new(16, 8)
+    }
+
+    /// Current transaction-buffer occupancy.
+    pub fn transactions_used(&self) -> usize {
+        self.transactions
+    }
+
+    /// Current write-buffer occupancy.
+    pub fn writes_used(&self) -> usize {
+        self.writes
+    }
+
+    /// True if a request of `kind` would currently be admitted.
+    pub fn can_admit(&self, kind: RequestKind) -> bool {
+        if self.transactions >= self.transaction_capacity {
+            return false;
+        }
+        if kind == RequestKind::Write && self.writes >= self.write_capacity {
+            return false;
+        }
+        true
+    }
+
+    /// Attempts to admit a request, reserving buffer entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Nack`] back-pressure signal if the thread's partition
+    /// is full; the caller (the processor's cache hierarchy) must retry
+    /// later.
+    pub fn try_admit(&mut self, kind: RequestKind) -> Result<(), Nack> {
+        if self.transactions >= self.transaction_capacity {
+            return Err(Nack::TransactionBufferFull);
+        }
+        if kind == RequestKind::Write && self.writes >= self.write_capacity {
+            return Err(Nack::WriteBufferFull);
+        }
+        self.transactions += 1;
+        if kind == RequestKind::Write {
+            self.writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Admits a request unconditionally (shared-pool mode: the pool-level
+    /// capacity check has already been performed by the controller).
+    pub fn force_admit(&mut self, kind: RequestKind) {
+        self.transactions += 1;
+        if kind == RequestKind::Write {
+            self.writes += 1;
+        }
+    }
+
+    /// Releases the write-data entry when the write command has issued to
+    /// the SDRAM (the line data has left the controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no write entry is outstanding.
+    pub fn release_write_data(&mut self) {
+        assert!(self.writes > 0, "write buffer underflow");
+        self.writes -= 1;
+    }
+
+    /// Retires a completed transaction of `kind`, freeing its
+    /// transaction-buffer entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is outstanding.
+    pub fn complete(&mut self, _kind: RequestKind) {
+        assert!(self.transactions > 0, "transaction buffer underflow");
+        self.transactions -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        let b = ThreadBuffers::paper();
+        assert!(b.can_admit(RequestKind::Read));
+        let mut b = b;
+        for _ in 0..16 {
+            b.try_admit(RequestKind::Read).unwrap();
+        }
+        assert_eq!(
+            b.try_admit(RequestKind::Read),
+            Err(Nack::TransactionBufferFull)
+        );
+    }
+
+    #[test]
+    fn write_partition_is_tighter() {
+        let mut b = ThreadBuffers::paper();
+        for _ in 0..8 {
+            b.try_admit(RequestKind::Write).unwrap();
+        }
+        assert_eq!(b.try_admit(RequestKind::Write), Err(Nack::WriteBufferFull));
+        // Reads still admitted: transaction buffer has room.
+        assert!(b.try_admit(RequestKind::Read).is_ok());
+    }
+
+    #[test]
+    fn write_lifecycle_frees_both_entries() {
+        let mut b = ThreadBuffers::new(1, 1);
+        b.try_admit(RequestKind::Write).unwrap();
+        assert!(!b.can_admit(RequestKind::Read));
+        b.release_write_data();
+        // Data left, but the transaction entry is still held.
+        assert!(!b.can_admit(RequestKind::Read));
+        b.complete(RequestKind::Write);
+        assert!(b.can_admit(RequestKind::Write));
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut b = ThreadBuffers::new(1, 1);
+        b.complete(RequestKind::Read);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = ThreadBuffers::new(0, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bounded command-trace logging.
+//!
+//! For debugging scheduler behaviour and for fine-grained analyses (e.g.
+//! inspecting a priority-inversion episode command by command), the
+//! controller can record every issued SDRAM command with its cycle and
+//! owning thread into a bounded ring. Disabled by default — logging is
+//! opt-in and the ring never grows beyond its capacity.
+
+use crate::request::ThreadId;
+use fqms_dram::command::Command;
+use fqms_sim::clock::DramCycle;
+use std::collections::VecDeque;
+
+/// One issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Issue cycle.
+    pub cycle: DramCycle,
+    /// The SDRAM command.
+    pub cmd: Command,
+    /// Owning thread; `None` for unowned commands (closed-row idle
+    /// precharges, refresh machinery).
+    pub thread: Option<ThreadId>,
+}
+
+impl std::fmt::Display for CommandRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.thread {
+            Some(t) => write!(f, "{}: {} ({t})", self.cycle, self.cmd),
+            None => write!(f, "{}: {} (ctrl)", self.cycle, self.cmd),
+        }
+    }
+}
+
+/// A bounded ring of issued commands.
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::cmdlog::{CommandLog, CommandRecord};
+/// use fqms_dram::command::{Command, RankId, BankId, RowId};
+/// use fqms_sim::clock::DramCycle;
+///
+/// let mut log = CommandLog::new(2);
+/// for c in 0..3u64 {
+///     log.record(CommandRecord {
+///         cycle: DramCycle::new(c),
+///         cmd: Command::Precharge { rank: RankId::new(0), bank: BankId::new(0) },
+///         thread: None,
+///     });
+/// }
+/// assert_eq!(log.len(), 2); // oldest entry evicted
+/// assert_eq!(log.iter().next().unwrap().cycle, DramCycle::new(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommandLog {
+    ring: VecDeque<CommandRecord>,
+    capacity: usize,
+    total: u64,
+}
+
+impl CommandLog {
+    /// Creates a log keeping the most recent `capacity` commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be positive");
+        CommandLog {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn record(&mut self, rec: CommandRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+        self.total += 1;
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total commands ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates oldest-to-newest over the retained records.
+    pub fn iter(&self) -> impl Iterator<Item = &CommandRecord> {
+        self.ring.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_dram::command::{BankId, RankId};
+
+    fn rec(c: u64) -> CommandRecord {
+        CommandRecord {
+            cycle: DramCycle::new(c),
+            cmd: Command::Precharge {
+                rank: RankId::new(0),
+                bank: BankId::new(1),
+            },
+            thread: Some(ThreadId::new(2)),
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_entries() {
+        let mut log = CommandLog::new(3);
+        for c in 0..10 {
+            log.record(rec(c));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 10);
+        let cycles: Vec<u64> = log.iter().map(|r| r.cycle.as_u64()).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn display_includes_owner() {
+        let r = rec(5);
+        assert_eq!(r.to_string(), "5 dram-cycles: PRE r0b1 (T2)");
+        let anon = CommandRecord {
+            thread: None,
+            ..rec(6)
+        };
+        assert!(anon.to_string().ends_with("(ctrl)"));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let log = CommandLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = CommandLog::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Memory-controller configuration.
+
+use crate::policy::{
+    BufferSharing, InversionBound, RefreshPolicy, RowPolicy, SchedulerKind, VftBinding,
+};
+
+/// Configuration of a [`crate::controller::MemoryController`].
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::config::McConfig;
+/// use fqms_memctrl::policy::SchedulerKind;
+///
+/// let cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+/// assert_eq!(cfg.shares, vec![0.5, 0.5]);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct McConfig {
+    /// Scheduling algorithm.
+    pub scheduler: SchedulerKind,
+    /// Per-thread service shares `phi_i`; must each lie in `(0, 1]` and sum
+    /// to at most 1 (the EDF schedulability condition the paper invokes).
+    pub shares: Vec<f64>,
+    /// Transaction-buffer entries per thread (paper: 16).
+    pub transaction_entries: usize,
+    /// Write-buffer entries per thread (paper: 8).
+    pub write_entries: usize,
+    /// The FQ bank scheduler's priority-inversion bound `x` (paper: tRAS).
+    pub inversion_bound: InversionBound,
+    /// Row-buffer management policy (paper: closed).
+    pub row_policy: RowPolicy,
+    /// When virtual finish times are bound (paper: at first-ready).
+    pub vft_binding: VftBinding,
+    /// Refresh scheduling policy (default: strict).
+    pub refresh_policy: RefreshPolicy,
+    /// Buffer organisation (default: the paper's static partitions).
+    pub buffer_sharing: BufferSharing,
+    /// Cache-line size in bytes (paper: 64).
+    pub line_bytes: u64,
+}
+
+impl McConfig {
+    /// The paper's Table 5 controller configuration for `num_threads`
+    /// processors with *equal, static* shares (`phi = 1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn paper(num_threads: usize, scheduler: SchedulerKind) -> Self {
+        assert!(num_threads > 0, "need at least one thread");
+        McConfig {
+            scheduler,
+            shares: vec![1.0 / num_threads as f64; num_threads],
+            transaction_entries: 16,
+            write_entries: 8,
+            inversion_bound: InversionBound::TRas,
+            row_policy: RowPolicy::Closed,
+            vft_binding: VftBinding::FirstReady,
+            refresh_policy: RefreshPolicy::Strict,
+            buffer_sharing: BufferSharing::Partitioned,
+            line_bytes: 64,
+        }
+    }
+
+    /// Same as [`McConfig::paper`] but with explicit (possibly unequal)
+    /// shares.
+    pub fn with_shares(scheduler: SchedulerKind, shares: Vec<f64>) -> Self {
+        McConfig {
+            scheduler,
+            shares,
+            transaction_entries: 16,
+            write_entries: 8,
+            inversion_bound: InversionBound::TRas,
+            row_policy: RowPolicy::Closed,
+            vft_binding: VftBinding::FirstReady,
+            refresh_policy: RefreshPolicy::Strict,
+            buffer_sharing: BufferSharing::Partitioned,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of hardware threads the controller supports.
+    pub fn num_threads(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if there are no threads, any share is outside
+    /// `(0, 1]`, the shares sum to more than 1 (beyond rounding slack), or
+    /// a buffer capacity is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shares.is_empty() {
+            return Err("at least one thread share is required".into());
+        }
+        for (i, &phi) in self.shares.iter().enumerate() {
+            if !(phi > 0.0 && phi <= 1.0) {
+                return Err(format!("share for thread {i} must be in (0, 1], got {phi}"));
+            }
+        }
+        let sum: f64 = self.shares.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("shares sum to {sum}, exceeding the memory system"));
+        }
+        if self.transaction_entries == 0 || self.write_entries == 0 {
+            return Err("buffer capacities must be positive".into());
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 8 {
+            return Err(format!(
+                "line_bytes must be a power of two >= 8, got {}",
+                self.line_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        for n in 1..=8 {
+            McConfig::paper(n, SchedulerKind::FqVftf)
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn oversubscribed_shares_rejected() {
+        let cfg = McConfig::with_shares(SchedulerKind::FqVftf, vec![0.6, 0.6]);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_share_rejected() {
+        let cfg = McConfig::with_shares(SchedulerKind::FqVftf, vec![0.0, 0.5]);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn unequal_shares_allowed() {
+        let cfg = McConfig::with_shares(SchedulerKind::FqVftf, vec![0.75, 0.25]);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_threads(), 2);
+    }
+
+    #[test]
+    fn empty_shares_rejected() {
+        let cfg = McConfig::with_shares(SchedulerKind::FrFcfs, vec![]);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_line_size_rejected() {
+        let mut cfg = McConfig::paper(2, SchedulerKind::FrFcfs);
+        cfg.line_bytes = 48;
+        assert!(cfg.validate().is_err());
+    }
+}

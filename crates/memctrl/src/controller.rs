@@ -1,0 +1,1272 @@
+//! The memory controller: transaction admission, bank schedulers, channel
+//! scheduler, VTMS updates, refresh, and the closed-row policy.
+//!
+//! Structure mirrors the paper's Figure 2: a logical priority queue and a
+//! bank scheduler per SDRAM bank feeding a channel scheduler that issues at
+//! most one command per DRAM cycle. Each bank scheduler selects the
+//! highest-priority pending request for its bank and generates that
+//! request's next SDRAM command; the channel scheduler picks the
+//! highest-priority *ready* command across banks.
+//!
+//! # Virtual-finish-time binding
+//!
+//! The paper evaluates the "second solution" of Section 3.2: virtual finish
+//! times are calculated *just before requests are scheduled to begin
+//! service* — when a request becomes a thread's oldest first-ready request
+//! — and the VTMS registers are updated as each SDRAM command actually
+//! issues (Equations 8 and 9, Table 4). We implement that as lazy, cached
+//! binding: a request's VFT is computed (from the bank's state at that
+//! moment, per Table 3) the first time the bank scheduler evaluates it as a
+//! ready candidate — i.e. when it first becomes first-ready — or, under the
+//! FQ bank scheduler's locked mode, when the bank scheduler must rank it.
+//! Once bound, the VFT is stable for the request's lifetime.
+
+use crate::address_map::AddressMap;
+use crate::buffers::{Nack, ThreadBuffers};
+use crate::cmdlog::{CommandLog, CommandRecord};
+use crate::config::McConfig;
+use crate::policy::{BufferSharing, Priority, RefreshPolicy, RowPolicy, SchedulerKind, VftBinding};
+use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
+use crate::stats::McStats;
+use crate::vtms::{bank_service, Vtms};
+use fqms_dram::command::{BankId, Command, RankId, RowId};
+use fqms_dram::device::{DramDevice, Geometry};
+use fqms_dram::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// A request whose service has finished from the requester's perspective:
+/// for reads, the last data beat has arrived; for writes, the line has been
+/// issued to the SDRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The completed request's id.
+    pub id: RequestId,
+    /// Originating thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Arrival cycle at the controller.
+    pub arrival: DramCycle,
+    /// Completion cycle.
+    pub finish: DramCycle,
+}
+
+impl Completion {
+    /// The request's controller-resident latency in DRAM cycles.
+    pub fn latency(&self) -> u64 {
+        self.finish - self.arrival
+    }
+}
+
+/// A pending request plus its lazily bound virtual finish time.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: MemoryRequest,
+    vft: Option<f64>,
+    /// RAS commands issued for this request so far (0 at admission);
+    /// classifies the service it received: CAS with 0 prior = row hit,
+    /// 1 = closed bank, 2 = bank conflict.
+    ras_issued: u8,
+}
+
+/// A command proposed by a bank scheduler to the channel scheduler.
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    cmd: Command,
+    prio: Priority,
+    /// `(global_bank_index, queue_position)` of the owning request;
+    /// `None` for unowned commands (closed-row idle precharges).
+    source: Option<(usize, usize)>,
+}
+
+/// The memory controller.
+///
+/// Drive it by calling [`MemoryController::try_submit`] as requests arrive
+/// and [`MemoryController::step`] exactly once per DRAM cycle with a
+/// strictly increasing cycle number.
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::prelude::*;
+/// use fqms_dram::prelude::*;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+/// let mut mc = MemoryController::new(
+///     cfg, Geometry::paper(), TimingParams::ddr2_800(),
+/// ).unwrap();
+/// mc.try_submit(ThreadId::new(0), RequestKind::Read, 0x4000, DramCycle::new(0))
+///     .unwrap();
+/// let mut done = Vec::new();
+/// for c in 1..100u64 {
+///     done.extend(mc.step(DramCycle::new(c)));
+/// }
+/// assert_eq!(done.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    config: McConfig,
+    dram: DramDevice,
+    map: AddressMap,
+    /// Pending request queue per global bank, in admission order.
+    queues: Vec<Vec<Pending>>,
+    buffers: Vec<ThreadBuffers>,
+    vtms: Vec<Vtms>,
+    inflight_reads: Vec<Completion>,
+    next_id: u64,
+    id_stride: u64,
+    stats: McStats,
+    /// Resolved priority-inversion bound `x` in cycles (None = unbounded).
+    inversion_cycles: Option<u64>,
+    last_step: Option<DramCycle>,
+    /// Optional bounded trace of issued commands.
+    cmd_log: Option<CommandLog>,
+}
+
+impl MemoryController {
+    /// Builds a controller for the given configuration, geometry and
+    /// timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is invalid.
+    pub fn new(config: McConfig, geometry: Geometry, timing: TimingParams) -> Result<Self, String> {
+        config.validate()?;
+        geometry.validate()?;
+        timing.validate()?;
+        let total_banks = geometry.total_banks() as usize;
+        let vtms = config
+            .shares
+            .iter()
+            .map(|&phi| Vtms::new(phi, total_banks))
+            .collect::<Result<Vec<_>, _>>()?;
+        let buffers = vec![
+            ThreadBuffers::new(config.transaction_entries, config.write_entries);
+            config.num_threads()
+        ];
+        let inversion_cycles = config.inversion_bound.resolve(timing.t_ras);
+        Ok(MemoryController {
+            map: AddressMap::new(geometry, config.line_bytes),
+            dram: DramDevice::new(geometry, timing),
+            queues: vec![Vec::new(); total_banks],
+            buffers,
+            vtms,
+            inflight_reads: Vec::new(),
+            next_id: 0,
+            id_stride: 1,
+            stats: McStats::new(config.num_threads()),
+            inversion_cycles,
+            config,
+            last_step: None,
+            cmd_log: None,
+        })
+    }
+
+    /// Enables command-trace logging, retaining the most recent
+    /// `capacity` issued commands (see [`crate::cmdlog`]).
+    pub fn enable_command_log(&mut self, capacity: usize) {
+        self.cmd_log = Some(CommandLog::new(capacity));
+    }
+
+    /// The command log, if logging is enabled.
+    pub fn command_log(&self) -> Option<&CommandLog> {
+        self.cmd_log.as_ref()
+    }
+
+    /// Configures request-id numbering to `start, start + stride, ...`.
+    /// A multi-channel composition gives each channel a disjoint id space
+    /// (`start = channel`, `stride = num_channels`) so ids stay unique
+    /// system-wide. Must be called before any request is submitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests have already been submitted or `stride` is zero.
+    pub fn set_id_numbering(&mut self, start: u64, stride: u64) {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(self.next_id, 0, "id numbering must be set before use");
+        self.next_id = start;
+        self.id_stride = stride;
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &McConfig {
+        &self.config
+    }
+
+    /// The underlying DRAM device (for utilization statistics).
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    /// The physical-address mapper in use.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Per-thread statistics.
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// The VTMS registers of one thread (for inspection/testing).
+    pub fn vtms(&self, thread: ThreadId) -> &Vtms {
+        &self.vtms[thread.as_usize()]
+    }
+
+    /// Number of requests currently buffered (not yet fully serviced).
+    pub fn pending_requests(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum::<usize>() + self.inflight_reads.len()
+    }
+
+    /// True if the controller holds no work.
+    pub fn is_idle(&self) -> bool {
+        self.pending_requests() == 0
+    }
+
+    /// True if a request of `kind` from `thread` would be admitted right
+    /// now (no NACK).
+    pub fn can_accept(&self, thread: ThreadId, kind: RequestKind) -> bool {
+        match self.config.buffer_sharing {
+            BufferSharing::Partitioned => self.buffers[thread.as_usize()].can_admit(kind),
+            BufferSharing::Shared => self.shared_pool_has_room(kind),
+        }
+    }
+
+    /// Shared-pool admission: total occupancy across threads against the
+    /// pooled capacity.
+    fn shared_pool_has_room(&self, kind: RequestKind) -> bool {
+        let n = self.config.num_threads();
+        let tx_used: usize = self.buffers.iter().map(|b| b.transactions_used()).sum();
+        if tx_used >= n * self.config.transaction_entries {
+            return false;
+        }
+        if kind == RequestKind::Write {
+            let wr_used: usize = self.buffers.iter().map(|b| b.writes_used()).sum();
+            if wr_used >= n * self.config.write_entries {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Submits a memory request for the cache line containing physical
+    /// address `phys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Nack`] back-pressure signal when the thread's buffer
+    /// partition is full; the request is *not* enqueued and the requester
+    /// must retry. NACKs are counted in the thread's statistics.
+    pub fn try_submit(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+    ) -> Result<RequestId, Nack> {
+        let tid = thread.as_usize();
+        assert!(tid < self.config.num_threads(), "unknown thread {thread}");
+        if self.config.buffer_sharing == BufferSharing::Shared && !self.shared_pool_has_room(kind) {
+            self.stats.thread_mut(thread).nacks += 1;
+            return Err(match kind {
+                RequestKind::Write => Nack::WriteBufferFull,
+                RequestKind::Read => Nack::TransactionBufferFull,
+            });
+        }
+        // Per-thread accounting always happens (it tracks who holds what);
+        // in shared mode the per-thread cap is lifted to the pool size.
+        let admit = match self.config.buffer_sharing {
+            BufferSharing::Partitioned => self.buffers[tid].try_admit(kind),
+            BufferSharing::Shared => {
+                self.buffers[tid].force_admit(kind);
+                Ok(())
+            }
+        };
+        if let Err(nack) = admit {
+            self.stats.thread_mut(thread).nacks += 1;
+            return Err(nack);
+        }
+        let addr = self.map.decode(phys);
+        let id = RequestId::new(self.next_id);
+        self.next_id += self.id_stride;
+        let req = MemoryRequest {
+            id,
+            thread,
+            kind,
+            addr,
+            arrival: now,
+        };
+        let bank_idx = self.global_bank(addr.rank, addr.bank);
+        // The paper's "first solution" (Section 3.2): bind the virtual
+        // finish time at arrival with an average (closed-bank) service
+        // requirement and charge the VTMS registers immediately. The
+        // evaluated design binds lazily at first-ready instead.
+        let vft = if self.config.vft_binding == VftBinding::AtArrival
+            && self.config.scheduler.uses_vftf()
+        {
+            let t = *self.dram.timing();
+            let v = &mut self.vtms[tid];
+            let f = v.virtual_finish_time(now, bank_idx, t.service_closed(), t.burst);
+            v.update_bank(now, bank_idx, t.service_closed());
+            v.update_channel(bank_idx, t.burst);
+            Some(f)
+        } else {
+            None
+        };
+        self.queues[bank_idx].push(Pending {
+            req,
+            vft,
+            ras_issued: 0,
+        });
+        let ts = self.stats.thread_mut(thread);
+        match kind {
+            RequestKind::Read => ts.reads_accepted += 1,
+            RequestKind::Write => ts.writes_accepted += 1,
+        }
+        Ok(id)
+    }
+
+    fn global_bank(&self, rank: RankId, bank: BankId) -> usize {
+        (rank.as_u32() * self.dram.geometry().banks + bank.as_u32()) as usize
+    }
+
+    /// Advances the controller by one DRAM cycle: completes finished reads,
+    /// runs the bank and channel schedulers, and issues at most one SDRAM
+    /// command.
+    ///
+    /// Returns the requests that completed this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a non-increasing cycle number.
+    pub fn step(&mut self, now: DramCycle) -> Vec<Completion> {
+        if let Some(last) = self.last_step {
+            assert!(now > last, "step({now}) after step({last})");
+        }
+        self.last_step = Some(now);
+
+        let mut out = self.drain_read_completions(now);
+
+        let urgent_rank = (0..self.dram.geometry().ranks)
+            .map(RankId::new)
+            .find(|&r| self.refresh_wanted(r, now));
+
+        let scheduled = match urgent_rank {
+            Some(rank) => self.schedule_refresh(rank, now).map(|cmd| Proposal {
+                cmd,
+                prio: Priority {
+                    ready: true,
+                    cas: false,
+                    key: f64::INFINITY,
+                    id: RequestId::new(u64::MAX),
+                },
+                source: None,
+            }),
+            None => self.schedule_normal(now),
+        };
+
+        if let Some(p) = scheduled {
+            self.issue(p, now, &mut out);
+        }
+        out
+    }
+
+    /// Finalizes utilization statistics at the end of a run.
+    pub fn finish(&mut self, now: DramCycle) {
+        self.dram.advance_stats(now);
+    }
+
+    /// Zeroes all measurement counters (per-thread stats and DRAM
+    /// utilization) without disturbing queued requests, bank state, or
+    /// VTMS registers. Used to exclude warmup from measurement.
+    pub fn reset_stats(&mut self, now: DramCycle) {
+        self.stats.reset();
+        self.dram.reset_stats(now);
+    }
+
+    fn drain_read_completions(&mut self, now: DramCycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.inflight_reads.len() {
+            if self.inflight_reads[i].finish <= now {
+                done.push(self.inflight_reads.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for c in &done {
+            self.buffers[c.thread.as_usize()].complete(RequestKind::Read);
+            let ts = self.stats.thread_mut(c.thread);
+            ts.reads_completed += 1;
+            ts.read_latency_total += c.latency();
+        }
+        done
+    }
+
+    /// Decides whether to enter refresh mode for `rank` this cycle, per
+    /// the configured [`RefreshPolicy`].
+    fn refresh_wanted(&self, rank: RankId, now: DramCycle) -> bool {
+        if !self.dram.refresh_urgent(rank, now) {
+            return false;
+        }
+        match self.config.refresh_policy {
+            RefreshPolicy::Strict => true,
+            RefreshPolicy::Deferred { max_postponed } => {
+                let t_refi = self.dram.timing().t_refi;
+                let deadline = self.dram.refresh_deadline(rank);
+                let owed = 1 + (now.as_u64().saturating_sub(deadline.as_u64())) / t_refi;
+                owed >= max_postponed.max(1) as u64 || self.queues.iter().all(Vec::is_empty)
+            }
+        }
+    }
+
+    /// Refresh urgency: block normal traffic on the rank, close open banks,
+    /// then issue the refresh command.
+    fn schedule_refresh(&mut self, rank: RankId, now: DramCycle) -> Option<Command> {
+        let refresh = Command::Refresh { rank };
+        if self.dram.is_ready(&refresh, now) {
+            return Some(refresh);
+        }
+        for b in 0..self.dram.geometry().banks {
+            let bank = BankId::new(b);
+            if self.dram.open_row(rank, bank).is_some() {
+                let pre = Command::Precharge { rank, bank };
+                if self.dram.is_ready(&pre, now) {
+                    return Some(pre);
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs every bank scheduler and the channel scheduler; returns the
+    /// winning ready command, if any.
+    fn schedule_normal(&mut self, now: DramCycle) -> Option<Proposal> {
+        let timing = *self.dram.timing();
+        let geometry = *self.dram.geometry();
+        let kind = self.config.scheduler;
+        let inversion = self.inversion_cycles;
+
+        let mut best: Option<Proposal> = None;
+        for bank_idx in 0..self.queues.len() {
+            let rank = RankId::new(bank_idx as u32 / geometry.banks);
+            let bank = BankId::new(bank_idx as u32 % geometry.banks);
+            let proposal = propose_for_bank(
+                &mut self.queues[bank_idx],
+                &self.dram,
+                &self.vtms,
+                kind,
+                inversion,
+                self.config.row_policy,
+                bank_idx,
+                rank,
+                bank,
+                now,
+                &timing,
+            );
+            // Channel scheduler: each bank presents at most one command;
+            // only commands that are ready with respect to the channel
+            // (bus occupancy, tCCD, tWTR, tRRD, refresh) can issue. A
+            // bank whose presented command is channel-blocked issues
+            // nothing this cycle — its lower-priority pending work stays
+            // hidden behind it (the paper's chaining behaviour).
+            if let Some(p) = proposal {
+                if !self.dram.is_ready(&p.cmd, now) {
+                    continue;
+                }
+                if best.map_or(true, |b| p.prio < b.prio) {
+                    best = Some(p);
+                }
+            }
+        }
+        best
+    }
+
+    /// Issues the chosen command and applies all side effects: DRAM state,
+    /// VTMS registers, queue/buffer updates, and statistics.
+    fn issue(&mut self, p: Proposal, now: DramCycle, out: &mut Vec<Completion>) {
+        let timing = *self.dram.timing();
+        let data_done = self.dram.issue(&p.cmd, now);
+        if let Some(log) = &mut self.cmd_log {
+            log.record(CommandRecord {
+                cycle: now,
+                cmd: p.cmd,
+                thread: p
+                    .source
+                    .map(|(bank_idx, pos)| self.queues[bank_idx][pos].req.thread),
+            });
+        }
+        let Some((bank_idx, queue_pos)) = p.source else {
+            return; // unowned command (idle close / refresh): no VTMS update
+        };
+        let pending = self.queues[bank_idx][queue_pos];
+        let req = pending.req;
+        if self.config.vft_binding == VftBinding::FirstReady {
+            self.vtms[req.thread.as_usize()].apply_command(
+                p.cmd.kind(),
+                req.arrival,
+                bank_idx,
+                &timing,
+            );
+        }
+        if !p.cmd.is_cas() {
+            // RAS command: request stays queued for its CAS.
+            self.queues[bank_idx][queue_pos].ras_issued = self.queues[bank_idx][queue_pos]
+                .ras_issued
+                .saturating_add(1);
+            return;
+        }
+        // CAS issued: the request leaves the bank queue.
+        self.queues[bank_idx].remove(queue_pos);
+        let ts = self.stats.thread_mut(req.thread);
+        ts.bus_busy_cycles += timing.burst;
+        match pending.ras_issued {
+            0 => ts.row_hits += 1,
+            1 => ts.row_closed += 1,
+            _ => ts.row_conflicts += 1,
+        }
+        let finish = data_done.expect("CAS commands return a data completion time");
+        let completion = Completion {
+            id: req.id,
+            thread: req.thread,
+            kind: req.kind,
+            arrival: req.arrival,
+            finish,
+        };
+        match req.kind {
+            RequestKind::Read => self.inflight_reads.push(completion),
+            RequestKind::Write => {
+                // Writes complete (from the requester's view) at issue: the
+                // data has left the controller.
+                let buf = &mut self.buffers[req.thread.as_usize()];
+                buf.release_write_data();
+                buf.complete(RequestKind::Write);
+                self.stats.thread_mut(req.thread).writes_completed += 1;
+                out.push(completion);
+            }
+        }
+    }
+}
+
+/// Derives the next SDRAM command a request needs, given its bank's state.
+fn next_command(
+    req: &MemoryRequest,
+    open_row: Option<RowId>,
+    rank: RankId,
+    bank: BankId,
+) -> Command {
+    match open_row {
+        Some(row) if row == req.addr.row => match req.kind {
+            RequestKind::Read => Command::Read {
+                rank,
+                bank,
+                col: req.addr.col,
+            },
+            RequestKind::Write => Command::Write {
+                rank,
+                bank,
+                col: req.addr.col,
+            },
+        },
+        Some(_) => Command::Precharge { rank, bank },
+        None => Command::Activate {
+            rank,
+            bank,
+            row: req.addr.row,
+        },
+    }
+}
+
+/// The bank scheduler for one bank (free function so the borrow of the
+/// queue is disjoint from the device and VTMS borrows).
+#[allow(clippy::too_many_arguments)]
+fn propose_for_bank(
+    queue: &mut [Pending],
+    dram: &DramDevice,
+    vtms: &[Vtms],
+    kind: SchedulerKind,
+    inversion: Option<u64>,
+    row_policy: RowPolicy,
+    bank_idx: usize,
+    rank: RankId,
+    bank: BankId,
+    now: DramCycle,
+    timing: &TimingParams,
+) -> Option<Proposal> {
+    let open_row = dram.open_row(rank, bank);
+
+    if queue.is_empty() {
+        // Closed-row policy: once all pending accesses to the row have
+        // completed, close it. Lowest priority: it never beats real work
+        // at the channel scheduler. (The open-row ablation leaves the row
+        // open until a conflicting request arrives.)
+        if row_policy == RowPolicy::Closed && open_row.is_some() {
+            let pre = Command::Precharge { rank, bank };
+            if dram.bank_ready(&pre, now) {
+                return Some(Proposal {
+                    cmd: pre,
+                    prio: Priority {
+                        ready: true,
+                        cas: false,
+                        key: f64::INFINITY,
+                        id: RequestId::new(u64::MAX),
+                    },
+                    source: None,
+                });
+            }
+        }
+        return None;
+    }
+
+    // FQ bank scheduling (Section 3.3): after the bank has been active for
+    // `x` cycles, lock onto the earliest-virtual-finish-time request and
+    // wait for its command to become ready — row hits may no longer chain
+    // ahead of it.
+    if kind.uses_fq_bank_scheduler() {
+        if let (Some(since), Some(x)) = (dram.bank(rank, bank).active_since(), inversion) {
+            if now.as_u64().saturating_sub(since.as_u64()) >= x {
+                let mut best: Option<(usize, f64, RequestId)> = None;
+                for (i, p) in queue.iter_mut().enumerate() {
+                    let key = bind_vft(p, vtms, bank_idx, open_row, timing);
+                    match best {
+                        Some((_, bk, bid)) if (bk, bid) <= (key, p.req.id) => {}
+                        _ => best = Some((i, key, p.req.id)),
+                    }
+                }
+                let (i, key, id) = best.expect("non-empty queue");
+                let cmd = next_command(&queue[i].req, open_row, rank, bank);
+                if dram.bank_ready(&cmd, now) {
+                    return Some(Proposal {
+                        cmd,
+                        prio: Priority {
+                            ready: true,
+                            cas: cmd.is_cas(),
+                            key,
+                            id,
+                        },
+                        source: Some((bank_idx, i)),
+                    });
+                }
+                return None; // wait: do not let lower-priority work chain
+            }
+        }
+    }
+
+    // First-ready scheduling: consider every pending request (FCFS
+    // ablation: only the oldest). Rank candidates by *bank-level*
+    // readiness — the bank scheduler only tracks its own bank's timing.
+    // The selected command is presented to the channel scheduler even if
+    // the channel will reject it this cycle: lower-priority pending work
+    // cannot bypass it (the first-ready chaining behaviour of Section
+    // 3.3).
+    let candidate_range = if kind.uses_first_ready() {
+        0..queue.len()
+    } else {
+        0..1
+    };
+    let mut best: Option<Proposal> = None;
+    for i in candidate_range {
+        let cmd = next_command(&queue[i].req, open_row, rank, bank);
+        if !dram.bank_ready(&cmd, now) {
+            continue;
+        }
+        let key = if kind.uses_vftf() {
+            bind_vft(&mut queue[i], vtms, bank_idx, open_row, timing)
+        } else {
+            queue[i].req.arrival.as_f64()
+        };
+        let prio = Priority {
+            ready: true,
+            cas: cmd.is_cas(),
+            key,
+            id: queue[i].req.id,
+        };
+        if best.as_ref().map_or(true, |b| prio < b.prio) {
+            best = Some(Proposal {
+                cmd,
+                prio,
+                source: Some((bank_idx, i)),
+            });
+        }
+    }
+    best
+}
+
+/// Binds (or returns the cached) virtual finish time of a pending request,
+/// classifying its bank service by the bank's state right now (Table 3).
+fn bind_vft(
+    p: &mut Pending,
+    vtms: &[Vtms],
+    bank_idx: usize,
+    open_row: Option<RowId>,
+    timing: &TimingParams,
+) -> f64 {
+    if let Some(v) = p.vft {
+        return v;
+    }
+    let state = match open_row {
+        Some(r) => fqms_dram::bank::BankState::Open(r),
+        None => fqms_dram::bank::BankState::Closed,
+    };
+    let svc = bank_service(state, p.req.addr.row, timing);
+    let v = vtms[p.req.thread.as_usize()].virtual_finish_time(
+        p.req.arrival,
+        bank_idx,
+        svc,
+        timing.burst,
+    );
+    p.vft = Some(v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_dram::command::ColId as _ColId;
+
+    fn mc(kind: SchedulerKind, threads: usize) -> MemoryController {
+        MemoryController::new(
+            McConfig::paper(threads, kind),
+            Geometry::paper(),
+            TimingParams::ddr2_800(),
+        )
+        .unwrap()
+    }
+
+    /// Physical address that decodes to the given (bank, row, col) on the
+    /// paper geometry (single rank), accounting for the XOR fold.
+    fn phys(bank: u32, row: u32, col: u32) -> u64 {
+        let g = Geometry::paper();
+        let map = AddressMap::new(g, 64);
+        let addr = fqms_dram::command::DramAddress {
+            rank: RankId::new(0),
+            bank: BankId::new(bank),
+            row: RowId::new(row),
+            col: _ColId::new(col),
+        };
+        map.encode(addr)
+    }
+
+    fn run_until_idle(mc: &mut MemoryController, start: u64) -> (Vec<Completion>, u64) {
+        let mut out = Vec::new();
+        let mut c = start;
+        while !mc.is_idle() {
+            c += 1;
+            out.extend(mc.step(DramCycle::new(c)));
+            assert!(c < start + 1_000_000, "controller failed to drain");
+        }
+        (out, c)
+    }
+
+    #[test]
+    fn single_read_completes_with_unloaded_latency() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 5, 3),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let (done, _) = run_until_idle(&mut m, 0);
+        assert_eq!(done.len(), 1);
+        // ACT@1, RD@6, data done @ 6+5+4 = 15 -> latency 15.
+        assert_eq!(done[0].latency(), 15);
+        assert_eq!(m.stats().thread(ThreadId::new(0)).reads_completed, 1);
+    }
+
+    #[test]
+    fn row_hits_are_serviced_back_to_back() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        for col in 0..4 {
+            m.try_submit(
+                ThreadId::new(0),
+                RequestKind::Read,
+                phys(0, 5, col),
+                DramCycle::new(0),
+            )
+            .unwrap();
+        }
+        let (done, _) = run_until_idle(&mut m, 0);
+        assert_eq!(done.len(), 4);
+        // One activate, four reads: 4 bursts * 4 cycles of bus.
+        let (acts, _, reads, _, _) = m.dram().command_counts();
+        assert_eq!(acts, 1);
+        assert_eq!(reads, 4);
+    }
+
+    #[test]
+    fn bank_conflict_needs_precharge_activate() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 2, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let (done, _) = run_until_idle(&mut m, 0);
+        assert_eq!(done.len(), 2);
+        let (acts, pres, reads, _, _) = m.dram().command_counts();
+        assert_eq!(acts, 2);
+        assert_eq!(reads, 2);
+        assert!(pres >= 1);
+    }
+
+    #[test]
+    fn closed_row_policy_precharges_idle_banks() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let (_, end) = run_until_idle(&mut m, 0);
+        // After the read completes, keep stepping: the idle-close precharge
+        // should fire once tRAS/tRTP allow.
+        let mut c = end;
+        for _ in 0..40 {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        let (_, pres, _, _, _) = m.dram().command_counts();
+        assert_eq!(pres, 1);
+        assert_eq!(m.dram().open_row(RankId::new(0), BankId::new(0)), None);
+    }
+
+    #[test]
+    fn writes_complete_at_issue_and_free_buffers() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Write,
+            phys(2, 7, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let (done, _) = run_until_idle(&mut m, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, RequestKind::Write);
+        assert_eq!(m.stats().thread(ThreadId::new(0)).writes_completed, 1);
+        assert!(m.can_accept(ThreadId::new(0), RequestKind::Write));
+    }
+
+    #[test]
+    fn nack_when_transaction_buffer_full() {
+        let mut m = mc(SchedulerKind::FrFcfs, 2);
+        // Fill thread 0's 16 transaction entries without stepping.
+        for i in 0..16 {
+            m.try_submit(
+                ThreadId::new(0),
+                RequestKind::Read,
+                phys(i % 8, 1, 0),
+                DramCycle::new(0),
+            )
+            .unwrap();
+        }
+        let err = m
+            .try_submit(
+                ThreadId::new(0),
+                RequestKind::Read,
+                phys(0, 2, 0),
+                DramCycle::new(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, Nack::TransactionBufferFull);
+        assert_eq!(m.stats().thread(ThreadId::new(0)).nacks, 1);
+        // Independent partitions: thread 1 is unaffected.
+        assert!(m.can_accept(ThreadId::new(1), RequestKind::Read));
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit_over_older_conflict() {
+        let mut m = mc(SchedulerKind::FrFcfs, 2);
+        // Open row 1 in bank 0 via thread 0's request.
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let mut c = 0u64;
+        // Step until the activate + read have issued (row open, read done).
+        while m.dram().open_row(RankId::new(0), BankId::new(0)).is_none() {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        // Now: an older request from thread 1 to a *different* row, and a
+        // younger row-hit from thread 0.
+        m.try_submit(
+            ThreadId::new(1),
+            RequestKind::Read,
+            phys(0, 9, 0),
+            DramCycle::new(c),
+        )
+        .unwrap();
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 5),
+            DramCycle::new(c),
+        )
+        .unwrap();
+        let (done, _) = run_until_idle(&mut m, c);
+        // FR-FCFS: the ready row-hit CAS (thread 0) beats the older
+        // conflict (thread 1) whose precharge is also ready but is RAS.
+        let reads: Vec<_> = done
+            .iter()
+            .filter(|d| d.kind == RequestKind::Read)
+            .collect();
+        let t0_finish = reads
+            .iter()
+            .find(|d| d.thread == ThreadId::new(0))
+            .unwrap()
+            .finish;
+        let t1_finish = reads
+            .iter()
+            .find(|d| d.thread == ThreadId::new(1))
+            .unwrap()
+            .finish;
+        assert!(t0_finish < t1_finish, "row hit should finish first");
+    }
+
+    #[test]
+    fn vtms_registers_advance_on_service() {
+        let mut m = mc(SchedulerKind::FqVftf, 2);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        run_until_idle(&mut m, 0);
+        let v = m.vtms(ThreadId::new(0));
+        assert!(v.bank_reg(0) > 0.0);
+        assert!(v.channel_reg() > 0.0);
+        // Thread 1 consumed nothing.
+        assert_eq!(m.vtms(ThreadId::new(1)).channel_reg(), 0.0);
+    }
+
+    #[test]
+    fn refresh_eventually_issues_and_unblocks() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        let mut c = 0u64;
+        // Idle until past the refresh deadline.
+        for _ in 0..280_100 {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        let (.., refreshes) = m.dram().command_counts();
+        assert_eq!(refreshes, 1);
+        // Traffic still works afterwards.
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(c),
+        )
+        .unwrap();
+        let (done, _) = run_until_idle(&mut m, c);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn deferred_refresh_postpones_under_load() {
+        // Keep a stream of work pending across the refresh deadline: the
+        // strict controller refreshes at the deadline; the deferred one
+        // postpones while work is pending.
+        let run = |policy| {
+            let mut cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+            cfg.refresh_policy = policy;
+            let mut m =
+                MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+            let mut next_row = 0u32;
+            // Step just past the refresh deadline with the queue kept busy.
+            for c in 1..=280_400u64 {
+                let now = DramCycle::new(c);
+                if m.pending_requests() < 8 {
+                    next_row += 1;
+                    let _ = m.try_submit(
+                        ThreadId::new(0),
+                        RequestKind::Read,
+                        phys(next_row % 8, 1 + next_row / 8, 0),
+                        now,
+                    );
+                }
+                m.step(now);
+            }
+            m.dram().command_counts().4
+        };
+        let strict = run(crate::policy::RefreshPolicy::Strict);
+        let deferred = run(crate::policy::RefreshPolicy::Deferred { max_postponed: 8 });
+        assert_eq!(strict, 1, "strict must refresh at the deadline");
+        assert_eq!(deferred, 0, "deferred must postpone while work is pending");
+    }
+
+    #[test]
+    fn deferred_refresh_catches_up_when_idle_or_capped() {
+        let mut cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+        cfg.refresh_policy = crate::policy::RefreshPolicy::Deferred { max_postponed: 8 };
+        let mut m =
+            MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+        // Idle system: the deferred policy refreshes as soon as it is due
+        // (nothing pending to defer for).
+        for c in 1..=281_000u64 {
+            m.step(DramCycle::new(c));
+        }
+        assert_eq!(m.dram().command_counts().4, 1);
+    }
+
+    #[test]
+    fn shared_buffer_pool_lets_one_thread_occupy_everything() {
+        let mut cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+        cfg.buffer_sharing = crate::policy::BufferSharing::Shared;
+        let mut m =
+            MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        // Thread 0 fills the whole 32-entry pooled transaction buffer
+        // (impossible under the paper's 16-entry partitions).
+        for i in 0..32u32 {
+            m.try_submit(
+                t0,
+                RequestKind::Read,
+                phys(i % 8, 1 + i, 0),
+                DramCycle::new(0),
+            )
+            .unwrap();
+        }
+        // Thread 1 is now NACKed at admission despite consuming nothing.
+        assert!(!m.can_accept(t1, RequestKind::Read));
+        assert!(m
+            .try_submit(t1, RequestKind::Read, phys(0, 99, 0), DramCycle::new(0))
+            .is_err());
+        // Under partitioning the same traffic leaves thread 1 untouched.
+        let mut part = mc(SchedulerKind::FqVftf, 2);
+        for i in 0..16u32 {
+            part.try_submit(
+                t0,
+                RequestKind::Read,
+                phys(i % 8, 1 + i, 0),
+                DramCycle::new(0),
+            )
+            .unwrap();
+        }
+        assert!(part.can_accept(t1, RequestKind::Read));
+    }
+
+    #[test]
+    fn step_rejects_non_monotonic_cycles() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.step(DramCycle::new(5));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.step(DramCycle::new(5));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn open_row_policy_keeps_idle_rows_open() {
+        let mut cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+        cfg.row_policy = crate::policy::RowPolicy::Open;
+        let mut m =
+            MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let (_, end) = run_until_idle(&mut m, 0);
+        let mut c = end;
+        for _ in 0..60 {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        // Unlike the closed policy, the row stays open with no pending work.
+        assert_eq!(
+            m.dram().open_row(RankId::new(0), BankId::new(0)),
+            Some(RowId::new(1))
+        );
+        let (_, pres, ..) = m.dram().command_counts();
+        assert_eq!(pres, 0);
+    }
+
+    #[test]
+    fn at_arrival_binding_charges_vtms_at_submit() {
+        let mut cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+        cfg.vft_binding = crate::policy::VftBinding::AtArrival;
+        let mut m =
+            MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(10),
+        )
+        .unwrap();
+        // Registers move immediately: bank by (tRCD+tCL)/phi, channel by BL/2.
+        let v = m.vtms(ThreadId::new(0));
+        let bank0 = m.address_map().decode(phys(0, 1, 0)).bank.as_usize();
+        assert_eq!(v.bank_reg(bank0), 10.0 + 10.0 / 0.5);
+        assert_eq!(v.channel_reg(), 30.0 + 4.0 / 0.5);
+        let bank_before = v.bank_reg(bank0);
+        let chan_before = v.channel_reg();
+        // Servicing the request must NOT charge the registers again.
+        run_until_idle(&mut m, 10);
+        let v = m.vtms(ThreadId::new(0));
+        assert_eq!(v.bank_reg(bank0), bank_before);
+        assert_eq!(v.channel_reg(), chan_before);
+    }
+
+    #[test]
+    fn channel_scheduler_prefers_cas_over_ras_across_banks() {
+        // Thread 0 has a ready row hit in bank 0; thread 1 has a ready
+        // activate in bank 1 with an *earlier* arrival. The CAS must win
+        // the channel arbitration (priority level 2 beats level 3).
+        let mut m = mc(SchedulerKind::FrFcfs, 2);
+        // Open row 1 in bank 0.
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        let mut c = 0u64;
+        while m.dram().open_row(RankId::new(0), BankId::new(0)).is_none() || !m.is_idle() {
+            c += 1;
+            m.step(DramCycle::new(c));
+            if c > 100 {
+                break;
+            }
+        }
+        // Older request: thread 1 activate in bank 1. Newer: thread 0 row
+        // hit in bank 0.
+        m.try_submit(
+            ThreadId::new(1),
+            RequestKind::Read,
+            phys(1, 2, 0),
+            DramCycle::new(c),
+        )
+        .unwrap();
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 3),
+            DramCycle::new(c),
+        )
+        .unwrap();
+        // The next issued command must be the read (CAS), not the activate.
+        let reads_before = m.dram().command_counts().2;
+        let acts_before = m.dram().command_counts().0;
+        loop {
+            c += 1;
+            m.step(DramCycle::new(c));
+            let (acts, _, reads, _, _) = m.dram().command_counts();
+            if reads > reads_before {
+                break; // CAS issued first: correct
+            }
+            assert_eq!(acts, acts_before, "activate must not beat the ready CAS");
+        }
+        run_until_idle(&mut m, c);
+    }
+
+    #[test]
+    fn vft_is_stable_once_bound() {
+        // Under FR-VFTF, a request's priority must not drift while it
+        // waits (stable EDF ordering). We observe this indirectly: two
+        // same-thread requests to one bank complete in VFT (arrival) order
+        // even when the younger becomes ready first... which for one
+        // thread and one row cannot invert; so instead check the cached
+        // VFT does not change the completion order across a conflicting
+        // interleaving.
+        let mut m = mc(SchedulerKind::FrVftf, 2);
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        m.try_submit(t0, RequestKind::Read, phys(2, 1, 0), DramCycle::new(0))
+            .unwrap();
+        m.try_submit(t1, RequestKind::Read, phys(2, 2, 0), DramCycle::new(0))
+            .unwrap();
+        m.try_submit(t0, RequestKind::Read, phys(2, 1, 1), DramCycle::new(0))
+            .unwrap();
+        let (done, _) = run_until_idle(&mut m, 0);
+        assert_eq!(done.len(), 3);
+        // All three complete exactly once (conservation under VFTF).
+        let mut ids: Vec<u64> = done.iter().map(|d| d.id.as_u64()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn command_log_captures_issue_sequence() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        m.enable_command_log(16);
+        m.try_submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(0),
+        )
+        .unwrap();
+        run_until_idle(&mut m, 0);
+        let log = m.command_log().unwrap();
+        let kinds: Vec<_> = log.iter().map(|r| r.cmd.kind()).collect();
+        use fqms_dram::command::CommandKind::*;
+        // ACT then RD for the request; the closed-row precharge follows
+        // later (possibly beyond this drain window).
+        assert!(kinds.starts_with(&[Activate, Read]), "got {kinds:?}");
+        assert_eq!(log.iter().next().unwrap().thread, Some(ThreadId::new(0)));
+    }
+
+    #[test]
+    fn row_locality_classification_counts() {
+        let mut m = mc(SchedulerKind::FrFcfs, 1);
+        let t0 = ThreadId::new(0);
+        // 1) closed-bank access (ACT + RD) -> row_closed.
+        m.try_submit(t0, RequestKind::Read, phys(0, 1, 0), DramCycle::new(0))
+            .unwrap();
+        // 2) row hit (same row, queued behind) -> row_hits.
+        m.try_submit(t0, RequestKind::Read, phys(0, 1, 1), DramCycle::new(0))
+            .unwrap();
+        // 3) conflict (different row, same bank) -> row_conflicts.
+        m.try_submit(t0, RequestKind::Read, phys(0, 2, 0), DramCycle::new(0))
+            .unwrap();
+        run_until_idle(&mut m, 0);
+        let s = m.stats().thread(t0);
+        assert_eq!(s.row_closed, 1, "{s:?}");
+        assert_eq!(s.row_hits, 1, "{s:?}");
+        assert_eq!(s.row_conflicts, 1, "{s:?}");
+        assert!((s.row_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_thread_bus_accounting_sums_to_device_total() {
+        let mut m = mc(SchedulerKind::FrFcfs, 2);
+        for i in 0..6 {
+            m.try_submit(
+                ThreadId::new(i % 2),
+                RequestKind::Read,
+                phys(i % 8, 1 + i, 0),
+                DramCycle::new(0),
+            )
+            .unwrap();
+        }
+        run_until_idle(&mut m, 0);
+        let per_thread: u64 = m.stats().iter().map(|(_, s)| s.bus_busy_cycles).sum();
+        assert_eq!(per_thread, m.dram().bus_busy_cycles());
+    }
+}

@@ -1,0 +1,65 @@
+//! Memory controller substrate and schedulers for the Fair Queuing Memory
+//! Systems reproduction.
+//!
+//! This crate provides the paper's Figure 2 memory controller — per-thread
+//! transaction/write buffers with NACK back-pressure, an XOR physical
+//! address mapping, per-bank schedulers and a channel scheduler — together
+//! with the four scheduling policies evaluated (or used as ablations):
+//! **FR-FCFS** (baseline), **FR-VFTF**, **FQ-VFTF** (the Fair Queuing
+//! memory scheduler with its bounded-priority-inversion bank scheduling
+//! algorithm), and a strict **FCFS** ablation.
+//!
+//! The Fair Queuing machinery — per-thread Virtual Time Memory System
+//! registers and the virtual-finish-time equations — lives in [`vtms`].
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_memctrl::prelude::*;
+//! use fqms_dram::prelude::*;
+//! use fqms_sim::clock::DramCycle;
+//!
+//! let cfg = McConfig::paper(4, SchedulerKind::FqVftf);
+//! let mut mc = MemoryController::new(
+//!     cfg, Geometry::paper(), TimingParams::ddr2_800(),
+//! ).unwrap();
+//! mc.try_submit(ThreadId::new(2), RequestKind::Read, 0x10000, DramCycle::new(0))
+//!     .unwrap();
+//! let mut completed = 0;
+//! for c in 1..200u64 {
+//!     completed += mc.step(DramCycle::new(c)).len();
+//! }
+//! assert_eq!(completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address_map;
+pub mod buffers;
+pub mod cmdlog;
+pub mod config;
+pub mod controller;
+pub mod multichannel;
+pub mod policy;
+pub mod port;
+pub mod request;
+pub mod stats;
+pub mod vtms;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::address_map::AddressMap;
+    pub use crate::buffers::{Nack, ThreadBuffers};
+    pub use crate::cmdlog::{CommandLog, CommandRecord};
+    pub use crate::config::McConfig;
+    pub use crate::controller::{Completion, MemoryController};
+    pub use crate::multichannel::MultiChannelController;
+    pub use crate::policy::{InversionBound, Priority, RowPolicy, SchedulerKind, VftBinding};
+    pub use crate::port::MemoryPort;
+    pub use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
+    pub use crate::stats::{McStats, ThreadStats};
+    pub use crate::vtms::{bank_service, update_service, Vtms};
+}
+
+pub use prelude::*;

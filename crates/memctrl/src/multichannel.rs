@@ -1,0 +1,385 @@
+//! Multi-channel memory systems — the paper's stated future work ("In
+//! this work we focus on single channel memory systems and leave
+//! multi-channel memory systems for future work").
+//!
+//! The natural extension of the VTMS model to `N` channels keeps one
+//! virtual channel resource per physical channel: each channel gets its
+//! own bank/channel schedulers and its own per-thread VTMS registers, and
+//! physical addresses are interleaved across channels at cache-line
+//! granularity. [`MultiChannelController`] composes `N` independent
+//! [`MemoryController`]s accordingly:
+//!
+//! * line-interleaved routing — line `L` goes to channel `L mod N`, so a
+//!   sequential stream spreads across all channels,
+//! * per-thread buffers are partitioned per channel (each channel's
+//!   controller keeps the paper's per-thread partition; total buffering
+//!   scales with the channel count, as it would in hardware),
+//! * statistics aggregate across channels.
+
+use crate::buffers::Nack;
+use crate::config::McConfig;
+use crate::controller::{Completion, MemoryController};
+use crate::request::{RequestId, RequestKind, ThreadId};
+use crate::stats::ThreadStats;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// A memory system with `N` line-interleaved channels, each with its own
+/// scheduler and VTMS state.
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::multichannel::MultiChannelController;
+/// use fqms_memctrl::prelude::*;
+/// use fqms_dram::prelude::*;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+/// let mut mc = MultiChannelController::new(
+///     2, cfg, Geometry::paper(), TimingParams::ddr2_800(),
+/// ).unwrap();
+/// mc.try_submit(ThreadId::new(0), RequestKind::Read, 0x0, DramCycle::new(0)).unwrap();
+/// mc.try_submit(ThreadId::new(0), RequestKind::Read, 0x40, DramCycle::new(0)).unwrap();
+/// let mut done = 0;
+/// for c in 1..200u64 {
+///     done += mc.step(DramCycle::new(c)).len();
+/// }
+/// assert_eq!(done, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChannelController {
+    channels: Vec<MemoryController>,
+    line_bytes: u64,
+}
+
+impl MultiChannelController {
+    /// Builds a controller with `num_channels` identical channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `num_channels` is zero or the underlying
+    /// configuration is invalid.
+    pub fn new(
+        num_channels: usize,
+        config: McConfig,
+        geometry: Geometry,
+        timing: TimingParams,
+    ) -> Result<Self, String> {
+        if num_channels == 0 {
+            return Err("at least one channel is required".into());
+        }
+        let line_bytes = config.line_bytes;
+        let mut channels = (0..num_channels)
+            .map(|_| MemoryController::new(config.clone(), geometry, timing))
+            .collect::<Result<Vec<_>, _>>()?;
+        for (i, ch) in channels.iter_mut().enumerate() {
+            // Disjoint request-id spaces keep ids unique system-wide.
+            ch.set_id_numbering(i as u64, num_channels as u64);
+        }
+        Ok(MultiChannelController {
+            channels,
+            line_bytes,
+        })
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// One channel's controller (for inspection).
+    pub fn channel(&self, idx: usize) -> &MemoryController {
+        &self.channels[idx]
+    }
+
+    /// The channel a physical address routes to (line interleaving).
+    pub fn route(&self, phys: u64) -> usize {
+        ((phys / self.line_bytes) % self.channels.len() as u64) as usize
+    }
+
+    /// True if the routing channel would admit this request.
+    pub fn can_accept(&self, thread: ThreadId, kind: RequestKind, phys: u64) -> bool {
+        self.channels[self.route(phys)].can_accept(thread, kind)
+    }
+
+    /// Submits a request to its channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the channel's [`Nack`] when that channel's per-thread
+    /// partition is full.
+    pub fn try_submit(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+    ) -> Result<RequestId, Nack> {
+        let ch = self.route(phys);
+        // Strip the channel bits so each channel sees a dense address
+        // space (otherwise only 1/N of each channel's rows are used).
+        let line = phys / self.line_bytes;
+        let local = (line / self.channels.len() as u64) * self.line_bytes + phys % self.line_bytes;
+        self.channels[ch].try_submit(thread, kind, local, now)
+    }
+
+    /// Advances every channel by one DRAM cycle (channels are independent
+    /// resources and may each issue one command per cycle).
+    pub fn step(&mut self, now: DramCycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            out.extend(ch.step(now));
+        }
+        out
+    }
+
+    /// Finalizes utilization statistics on every channel.
+    pub fn finish(&mut self, now: DramCycle) {
+        for ch in &mut self.channels {
+            ch.finish(now);
+        }
+    }
+
+    /// Total pending requests across channels.
+    pub fn pending_requests(&self) -> usize {
+        self.channels.iter().map(|c| c.pending_requests()).sum()
+    }
+
+    /// True if no channel holds work.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(|c| c.is_idle())
+    }
+
+    /// Aggregate data-bus busy cycles (sum over channels; divide by
+    /// `num_channels * elapsed` for mean utilization).
+    pub fn bus_busy_cycles(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.dram().bus_busy_cycles())
+            .sum()
+    }
+
+    /// Aggregate bank-busy cycles (sum over channels and banks).
+    pub fn bank_busy_cycles(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.dram().bank_busy_cycles())
+            .sum()
+    }
+
+    /// Total banks across all channels (bank-utilization denominator).
+    pub fn total_banks(&self) -> u32 {
+        self.channels
+            .iter()
+            .map(|c| c.dram().geometry().total_banks())
+            .sum()
+    }
+
+    /// One thread's statistics summed over channels.
+    pub fn thread_stats(&self, thread: ThreadId) -> ThreadStats {
+        let mut agg = ThreadStats::default();
+        for ch in &self.channels {
+            let s = ch.stats().thread(thread);
+            agg.reads_accepted += s.reads_accepted;
+            agg.writes_accepted += s.writes_accepted;
+            agg.reads_completed += s.reads_completed;
+            agg.writes_completed += s.writes_completed;
+            agg.read_latency_total += s.read_latency_total;
+            agg.bus_busy_cycles += s.bus_busy_cycles;
+            agg.nacks += s.nacks;
+            agg.row_hits += s.row_hits;
+            agg.row_closed += s.row_closed;
+            agg.row_conflicts += s.row_conflicts;
+        }
+        agg
+    }
+
+    /// Zeroes measurement counters on every channel (warmup exclusion).
+    pub fn reset_stats(&mut self, now: DramCycle) {
+        for ch in &mut self.channels {
+            ch.reset_stats(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SchedulerKind;
+    use fqms_sim::rng::SimRng;
+
+    fn mc(channels: usize) -> MultiChannelController {
+        MultiChannelController::new(
+            channels,
+            McConfig::paper(2, SchedulerKind::FqVftf),
+            Geometry::paper(),
+            TimingParams::ddr2_800(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        assert!(MultiChannelController::new(
+            0,
+            McConfig::paper(1, SchedulerKind::FrFcfs),
+            Geometry::paper(),
+            TimingParams::ddr2_800(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn line_interleaving_routes_round_robin() {
+        let m = mc(2);
+        assert_eq!(m.route(0), 0);
+        assert_eq!(m.route(64), 1);
+        assert_eq!(m.route(128), 0);
+        assert_eq!(m.route(65), 1); // same line, same channel
+    }
+
+    #[test]
+    fn sequential_stream_uses_both_channels() {
+        let mut m = mc(2);
+        let t = ThreadId::new(0);
+        for i in 0..8 {
+            m.try_submit(t, RequestKind::Read, i * 64, DramCycle::new(0))
+                .unwrap();
+        }
+        let mut done = 0;
+        let mut c = 0;
+        while !m.is_idle() {
+            c += 1;
+            done += m.step(DramCycle::new(c)).len();
+            assert!(c < 10_000);
+        }
+        assert_eq!(done, 8);
+        // Both channels saw traffic.
+        assert!(m.channel(0).dram().bus_busy_cycles() > 0);
+        assert!(m.channel(1).dram().bus_busy_cycles() > 0);
+    }
+
+    #[test]
+    fn two_channels_double_peak_bandwidth() {
+        // Saturating independent reads: two channels should complete
+        // roughly twice the requests of one channel in the same window.
+        let drive = |channels: usize| {
+            let mut m = mc(channels);
+            let mut rng = SimRng::new(5);
+            let t = ThreadId::new(0);
+            let mut done = 0usize;
+            for c in 1..=20_000u64 {
+                let now = DramCycle::new(c);
+                for _ in 0..4 {
+                    let phys = rng.next_below(1 << 22) * 64;
+                    if m.can_accept(t, RequestKind::Read, phys) {
+                        let _ = m.try_submit(t, RequestKind::Read, phys, now);
+                    }
+                }
+                done += m.step(now).len();
+            }
+            done
+        };
+        let one = drive(1);
+        let two = drive(2);
+        assert!(
+            two as f64 > 1.6 * one as f64,
+            "2 channels completed {two} vs {one} on one channel"
+        );
+    }
+
+    #[test]
+    fn per_channel_vtms_is_independent() {
+        let mut m = mc(2);
+        let t = ThreadId::new(0);
+        // Lines 0, 2, 4... all route to channel 0.
+        for i in 0..4u64 {
+            m.try_submit(t, RequestKind::Read, i * 128, DramCycle::new(0))
+                .unwrap();
+        }
+        let mut c = 0;
+        while !m.is_idle() {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        assert!(m.channel(0).vtms(t).channel_reg() > 0.0);
+        assert_eq!(m.channel(1).vtms(t).channel_reg(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_over_channels() {
+        let mut m = mc(2);
+        let t = ThreadId::new(0);
+        for i in 0..8u64 {
+            m.try_submit(t, RequestKind::Read, i * 64, DramCycle::new(0))
+                .unwrap();
+        }
+        let mut c = 0;
+        while !m.is_idle() {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        m.finish(DramCycle::new(c));
+        let agg = m.thread_stats(t);
+        assert_eq!(agg.reads_completed, 8);
+        // Per-channel stats sum to the aggregate.
+        let sum: u64 = (0..2)
+            .map(|ch| m.channel(ch).stats().thread(t).reads_completed)
+            .sum();
+        assert_eq!(sum, 8);
+        assert_eq!(agg.bus_busy_cycles, m.bus_busy_cycles());
+        assert_eq!(m.total_banks(), 16);
+        assert!(m.bank_busy_cycles() > 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_all_channels() {
+        let mut m = mc(2);
+        let t = ThreadId::new(0);
+        for i in 0..4u64 {
+            m.try_submit(t, RequestKind::Read, i * 64, DramCycle::new(0))
+                .unwrap();
+        }
+        let mut c = 0;
+        while !m.is_idle() {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        m.reset_stats(DramCycle::new(c));
+        assert_eq!(m.thread_stats(t).reads_completed, 0);
+        assert_eq!(m.bus_busy_cycles(), 0);
+    }
+
+    #[test]
+    fn conservation_across_channels() {
+        let mut m = mc(4);
+        let mut rng = SimRng::new(11);
+        let mut submitted = 0usize;
+        let mut done = 0usize;
+        for c in 1..=5_000u64 {
+            let now = DramCycle::new(c);
+            if rng.chance(0.5) {
+                let t = ThreadId::new(rng.next_below(2) as u32);
+                let kind = if rng.chance(0.3) {
+                    RequestKind::Write
+                } else {
+                    RequestKind::Read
+                };
+                let phys = rng.next_below(1 << 20) * 64;
+                if m.try_submit(t, kind, phys, now).is_ok() {
+                    submitted += 1;
+                }
+            }
+            done += m.step(now).len();
+        }
+        let mut c = 5_000u64;
+        while !m.is_idle() {
+            c += 1;
+            done += m.step(DramCycle::new(c)).len();
+            assert!(c < 1_000_000);
+        }
+        assert_eq!(submitted, done);
+    }
+}

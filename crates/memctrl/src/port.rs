@@ -1,0 +1,86 @@
+//! The request-submission interface a processor core drives.
+//!
+//! Both the single-channel [`MemoryController`] and the multi-channel
+//! composition [`MultiChannelController`] accept requests the same way; a
+//! core is generic over [`MemoryPort`] so either can sit behind it.
+
+use crate::buffers::Nack;
+use crate::controller::MemoryController;
+use crate::multichannel::MultiChannelController;
+use crate::request::{RequestId, RequestKind, ThreadId};
+use fqms_sim::clock::DramCycle;
+
+/// A sink for memory requests with per-thread back-pressure.
+pub trait MemoryPort {
+    /// Submits the request for the cache line containing `phys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Nack`] when the thread's buffer partition (on the
+    /// routing channel) is full; the requester must retry later.
+    fn submit(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+    ) -> Result<RequestId, Nack>;
+}
+
+impl MemoryPort for MemoryController {
+    fn submit(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+    ) -> Result<RequestId, Nack> {
+        self.try_submit(thread, kind, phys, now)
+    }
+}
+
+impl MemoryPort for MultiChannelController {
+    fn submit(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+    ) -> Result<RequestId, Nack> {
+        self.try_submit(thread, kind, phys, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::McConfig;
+    use crate::policy::SchedulerKind;
+    use fqms_dram::device::Geometry;
+    use fqms_dram::timing::TimingParams;
+
+    fn exercise<P: MemoryPort>(port: &mut P) {
+        port.submit(
+            ThreadId::new(0),
+            RequestKind::Read,
+            0x1000,
+            DramCycle::new(0),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn both_controllers_implement_the_port() {
+        let cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+        let mut single =
+            MemoryController::new(cfg.clone(), Geometry::paper(), TimingParams::ddr2_800())
+                .unwrap();
+        exercise(&mut single);
+        let mut multi =
+            MultiChannelController::new(2, cfg, Geometry::paper(), TimingParams::ddr2_800())
+                .unwrap();
+        exercise(&mut multi);
+        assert_eq!(single.pending_requests(), 1);
+        assert_eq!(multi.pending_requests(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Memory requests as seen by the memory controller.
+
+use fqms_dram::command::DramAddress;
+use fqms_sim::clock::DramCycle;
+use std::fmt;
+
+/// Identifier of a hardware thread (one per processor in the paper's CMP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize` for array indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Unique identifier assigned to each accepted memory request, in admission
+/// order (so it doubles as an arrival tiebreaker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Creates a request id from a raw sequence number.
+    pub const fn new(raw: u64) -> Self {
+        RequestId(raw)
+    }
+
+    /// The raw sequence number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Whether a request reads a cache line from memory or writes one back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A cache-line fetch (demand miss); the requester waits for the data.
+    Read,
+    /// A dirty-line writeback; fire-and-forget once accepted.
+    Write,
+}
+
+impl RequestKind {
+    /// True for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, RequestKind::Read)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Read => f.write_str("read"),
+            RequestKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A memory request resident in the controller's transaction buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRequest {
+    /// Unique admission-ordered id.
+    pub id: RequestId,
+    /// Originating hardware thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Decoded DRAM location.
+    pub addr: DramAddress,
+    /// Cycle the request arrived at the memory controller (the paper's
+    /// `a_i^k`, on the real clock).
+    pub arrival: DramCycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_round_trip() {
+        let t = ThreadId::from(3u32);
+        assert_eq!(t.as_u32(), 3);
+        assert_eq!(t.as_usize(), 3);
+        assert_eq!(t.to_string(), "T3");
+    }
+
+    #[test]
+    fn request_ids_order_by_admission() {
+        assert!(RequestId::new(1) < RequestId::new(2));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(RequestKind::Read.is_read());
+        assert!(!RequestKind::Write.is_read());
+    }
+}

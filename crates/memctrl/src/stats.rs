@@ -1,0 +1,149 @@
+//! Per-thread and controller-wide statistics.
+
+use crate::request::ThreadId;
+
+/// Statistics accumulated for one hardware thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Read requests accepted into the controller.
+    pub reads_accepted: u64,
+    /// Write requests accepted into the controller.
+    pub writes_accepted: u64,
+    /// Read requests whose data has returned.
+    pub reads_completed: u64,
+    /// Write requests issued to the SDRAM.
+    pub writes_completed: u64,
+    /// Sum of read latencies (arrival to last data beat), in DRAM cycles.
+    pub read_latency_total: u64,
+    /// Data-bus cycles consumed by this thread's bursts.
+    pub bus_busy_cycles: u64,
+    /// Requests refused with a NACK (back-pressure events).
+    pub nacks: u64,
+    /// CAS commands that hit an already-open row (no prior command needed).
+    pub row_hits: u64,
+    /// CAS commands that needed only an activate (bank was precharged).
+    pub row_closed: u64,
+    /// CAS commands that needed precharge + activate (bank conflict).
+    pub row_conflicts: u64,
+}
+
+impl ThreadStats {
+    /// Average read latency in DRAM cycles; 0.0 if no reads completed.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_total as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Fraction of this thread's serviced CAS commands that were row-buffer
+    /// hits; 0.0 if none completed.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// This thread's data-bus utilization over `elapsed` DRAM cycles.
+    pub fn bus_utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+/// Statistics for all threads of a controller.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McStats {
+    threads: Vec<ThreadStats>,
+}
+
+impl McStats {
+    /// Creates zeroed statistics for `num_threads` threads.
+    pub fn new(num_threads: usize) -> Self {
+        McStats {
+            threads: vec![ThreadStats::default(); num_threads],
+        }
+    }
+
+    /// Stats for one thread.
+    pub fn thread(&self, t: ThreadId) -> &ThreadStats {
+        &self.threads[t.as_usize()]
+    }
+
+    /// Mutable stats for one thread (crate-internal).
+    pub(crate) fn thread_mut(&mut self, t: ThreadId) -> &mut ThreadStats {
+        &mut self.threads[t.as_usize()]
+    }
+
+    /// Zeroes every thread's counters (warmup exclusion).
+    pub fn reset(&mut self) {
+        for t in &mut self.threads {
+            *t = ThreadStats::default();
+        }
+    }
+
+    /// Iterator over `(ThreadId, &ThreadStats)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, &ThreadStats)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ThreadId::new(i as u32), s))
+    }
+
+    /// Total reads completed across threads.
+    pub fn total_reads_completed(&self) -> u64 {
+        self.threads.iter().map(|t| t.reads_completed).sum()
+    }
+
+    /// Total writes completed across threads.
+    pub fn total_writes_completed(&self) -> u64 {
+        self.threads.iter().map(|t| t.writes_completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_handles_empty() {
+        let s = ThreadStats::default();
+        assert_eq!(s.avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn avg_latency_divides() {
+        let s = ThreadStats {
+            reads_completed: 4,
+            read_latency_total: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_read_latency(), 25.0);
+    }
+
+    #[test]
+    fn bus_utilization_fraction() {
+        let s = ThreadStats {
+            bus_busy_cycles: 250,
+            ..Default::default()
+        };
+        assert_eq!(s.bus_utilization(1000), 0.25);
+        assert_eq!(s.bus_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn mc_stats_aggregation() {
+        let mut m = McStats::new(2);
+        m.thread_mut(ThreadId::new(0)).reads_completed = 3;
+        m.thread_mut(ThreadId::new(1)).reads_completed = 4;
+        assert_eq!(m.total_reads_completed(), 7);
+        assert_eq!(m.iter().count(), 2);
+    }
+}

@@ -1,0 +1,294 @@
+//! Virtual Time Memory System (VTMS) bookkeeping — the core of the FQ
+//! memory scheduler (paper Sections 3.1 and 3.2).
+//!
+//! Each thread `i` is allocated a share `phi_i` of the memory system and is
+//! modelled as running on a private memory system whose timing is scaled by
+//! `1/phi_i`. Per thread, the hardware keeps:
+//!
+//! * one **bank finish-time register** `B_j.R_i` per bank — the virtual
+//!   finish time of the thread's previous request to bank `j`,
+//! * one **channel finish-time register** `C.R_i`,
+//! * the share register `phi_i`.
+//!
+//! A request's **virtual finish time** (Equation 7) is
+//!
+//! ```text
+//! C.F_i^k = max{ max{a_i^k, B_j.R_i} + B.L_i^k / phi_i, C.R_i } + C.L_i^k / phi_i
+//! ```
+//!
+//! where `B.L_i^k` is the bank service the request will need given the
+//! bank's state (Table 3) and `C.L_i^k = BL/2` is the channel (data bus)
+//! service. Registers are updated as SDRAM commands actually issue
+//! (Equations 8 and 9) using the per-command service times of Table 4, so
+//! virtual time tracks the service a thread *actually consumed*.
+//!
+//! Virtual time is kept as `f64`: shares are arbitrary fractions, and the
+//! magnitudes involved (≤ 2^40 cycles divided by shares ≥ 2^-10) stay well
+//! inside the 53-bit exact-integer range of `f64`.
+
+use fqms_dram::bank::BankState;
+use fqms_dram::command::{CommandKind, RowId};
+use fqms_dram::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+
+/// The bank service time `B.L_i^k` a request will require, classified by
+/// the state of its bank at service time (the paper's Table 3).
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::vtms::bank_service;
+/// use fqms_dram::bank::BankState;
+/// use fqms_dram::command::RowId;
+/// use fqms_dram::timing::TimingParams;
+///
+/// let t = TimingParams::ddr2_800();
+/// // Open row, matching row: a row-buffer hit costs t_CL.
+/// assert_eq!(bank_service(BankState::Open(RowId::new(3)), RowId::new(3), &t), 5);
+/// // Closed bank: t_RCD + t_CL.
+/// assert_eq!(bank_service(BankState::Closed, RowId::new(3), &t), 10);
+/// // Open row, different row: a bank conflict costs t_RP + t_RCD + t_CL.
+/// assert_eq!(bank_service(BankState::Open(RowId::new(9)), RowId::new(3), &t), 15);
+/// ```
+pub fn bank_service(state: BankState, target_row: RowId, t: &TimingParams) -> u64 {
+    match state {
+        BankState::Open(open) if open == target_row => t.service_row_hit(),
+        BankState::Open(_) => t.service_conflict(),
+        BankState::Closed => t.service_closed(),
+    }
+}
+
+/// The VTMS register-update service times per issued SDRAM command (the
+/// paper's Table 4): bank service `B_cmd.L` and, for CAS commands, channel
+/// service `C_cmd.L = BL/2`.
+///
+/// Returns `(bank_service, Option<channel_service>)`; refresh commands do
+/// not touch VTMS state and return `(0, None)`.
+pub fn update_service(kind: CommandKind, t: &TimingParams) -> (u64, Option<u64>) {
+    match kind {
+        CommandKind::Precharge => (t.precharge_update_service(), None),
+        CommandKind::Activate => (t.t_rcd, None),
+        CommandKind::Read => (t.t_cl, Some(t.burst)),
+        CommandKind::Write => (t.t_wl, Some(t.burst)),
+        CommandKind::Refresh => (0, None),
+    }
+}
+
+/// Per-thread VTMS registers and the virtual-time equations.
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::vtms::Vtms;
+/// use fqms_sim::clock::DramCycle;
+///
+/// let mut v = Vtms::new(0.5, 8).unwrap();
+/// // A request arriving at cycle 100 needing 10 cycles of bank service
+/// // and 4 of channel service on an idle VTMS finishes at
+/// // 100 + 10/0.5 + 4/0.5 = 128 virtual time.
+/// let f = v.virtual_finish_time(DramCycle::new(100), 0, 10, 4);
+/// assert_eq!(f, 128.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtms {
+    phi: f64,
+    /// `B_j.R_i` for every bank `j` (global bank index across ranks).
+    bank_regs: Vec<f64>,
+    /// `C.R_i`.
+    channel_reg: f64,
+}
+
+impl Vtms {
+    /// Creates VTMS state for a thread with share `phi` over a memory
+    /// system with `total_banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `phi` is not in `(0, 1]` or `total_banks` is
+    /// zero.
+    pub fn new(phi: f64, total_banks: usize) -> Result<Self, String> {
+        if !(phi > 0.0 && phi <= 1.0) {
+            return Err(format!("share phi must be in (0, 1], got {phi}"));
+        }
+        if total_banks == 0 {
+            return Err("total_banks must be non-zero".to_string());
+        }
+        Ok(Vtms {
+            phi,
+            bank_regs: vec![0.0; total_banks],
+            channel_reg: 0.0,
+        })
+    }
+
+    /// The thread's allocated share `phi_i`.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// The bank finish-time register `B_j.R_i`.
+    pub fn bank_reg(&self, bank: usize) -> f64 {
+        self.bank_regs[bank]
+    }
+
+    /// The channel finish-time register `C.R_i`.
+    pub fn channel_reg(&self) -> f64 {
+        self.channel_reg
+    }
+
+    /// Equation 7: the virtual finish time of a request that arrived at
+    /// `arrival`, targets bank `bank`, and will need `bank_service` cycles
+    /// of bank service and `channel_service` cycles of channel service on
+    /// the thread's private VTMS.
+    pub fn virtual_finish_time(
+        &self,
+        arrival: DramCycle,
+        bank: usize,
+        bank_service: u64,
+        channel_service: u64,
+    ) -> f64 {
+        let a = arrival.as_f64();
+        let bank_start = a.max(self.bank_regs[bank]);
+        let bank_finish = bank_start + bank_service as f64 / self.phi;
+        let channel_start = bank_finish.max(self.channel_reg);
+        channel_start + channel_service as f64 / self.phi
+    }
+
+    /// Equation 8: update the bank register when an SDRAM command issues
+    /// for a request with arrival time `arrival`:
+    /// `B_j.R_i = max{a_i^k, B_j.R_i} + B_cmd.L / phi_i`.
+    pub fn update_bank(&mut self, arrival: DramCycle, bank: usize, bank_cmd_service: u64) {
+        let r = &mut self.bank_regs[bank];
+        *r = r.max(arrival.as_f64()) + bank_cmd_service as f64 / self.phi;
+    }
+
+    /// Equation 9: update the channel register when a CAS command issues
+    /// (after the bank register has been updated):
+    /// `C.R_i = max{B_j.R_i, C.R_i} + C_cmd.L / phi_i`.
+    pub fn update_channel(&mut self, bank: usize, channel_cmd_service: u64) {
+        self.channel_reg =
+            self.channel_reg.max(self.bank_regs[bank]) + channel_cmd_service as f64 / self.phi;
+    }
+
+    /// Applies the full Table 4 update for an issued command of `kind` on
+    /// behalf of a request with the given `arrival`, in the order the paper
+    /// specifies (bank register first, then channel register for CAS).
+    pub fn apply_command(
+        &mut self,
+        kind: CommandKind,
+        arrival: DramCycle,
+        bank: usize,
+        t: &TimingParams,
+    ) {
+        let (bank_svc, chan_svc) = update_service(kind, t);
+        if bank_svc > 0 {
+            self.update_bank(arrival, bank, bank_svc);
+        }
+        if let Some(c) = chan_svc {
+            self.update_channel(bank, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr2_800()
+    }
+
+    #[test]
+    fn table_4_update_services() {
+        let t = t();
+        assert_eq!(update_service(CommandKind::Precharge, &t), (13, None));
+        assert_eq!(update_service(CommandKind::Activate, &t), (5, None));
+        assert_eq!(update_service(CommandKind::Read, &t), (5, Some(4)));
+        assert_eq!(update_service(CommandKind::Write, &t), (4, Some(4)));
+        assert_eq!(update_service(CommandKind::Refresh, &t), (0, None));
+    }
+
+    #[test]
+    fn rejects_bad_phi() {
+        assert!(Vtms::new(0.0, 8).is_err());
+        assert!(Vtms::new(-0.5, 8).is_err());
+        assert!(Vtms::new(1.5, 8).is_err());
+        assert!(Vtms::new(1.0, 0).is_err());
+        assert!(Vtms::new(1.0, 8).is_ok());
+    }
+
+    #[test]
+    fn finish_time_on_idle_vtms_is_arrival_plus_scaled_service() {
+        let v = Vtms::new(0.25, 8).unwrap();
+        // 10 bank cycles + 4 channel cycles at phi = 1/4 -> 40 + 16.
+        let f = v.virtual_finish_time(DramCycle::new(1000), 3, 10, 4);
+        assert_eq!(f, 1000.0 + 40.0 + 16.0);
+    }
+
+    #[test]
+    fn busy_bank_register_dominates_arrival() {
+        let mut v = Vtms::new(0.5, 8).unwrap();
+        v.update_bank(DramCycle::new(0), 2, 50); // B_2.R = 100
+        let f = v.virtual_finish_time(DramCycle::new(10), 2, 5, 4);
+        // bank start = max(10, 100) = 100; finish = 110; channel = 110 + 8.
+        assert_eq!(f, 118.0);
+    }
+
+    #[test]
+    fn channel_register_serializes_bursts() {
+        let mut v = Vtms::new(1.0, 8).unwrap();
+        v.update_bank(DramCycle::new(0), 0, 10);
+        v.update_channel(0, 4); // C.R = 14
+                                // A second request to a different, idle bank with tiny bank service
+                                // still queues behind the thread's own channel backlog.
+        let f = v.virtual_finish_time(DramCycle::new(0), 1, 5, 4);
+        assert_eq!(f, 14.0 + 4.0);
+    }
+
+    #[test]
+    fn equation_8_resets_to_arrival_after_idle() {
+        let mut v = Vtms::new(0.5, 8).unwrap();
+        v.update_bank(DramCycle::new(0), 0, 5); // B_0.R = 10
+                                                // A much later arrival restarts virtual time at the arrival.
+        v.update_bank(DramCycle::new(500), 0, 5);
+        assert_eq!(v.bank_reg(0), 510.0);
+    }
+
+    #[test]
+    fn apply_command_read_updates_both_registers() {
+        let t = t();
+        let mut v = Vtms::new(0.5, 8).unwrap();
+        v.apply_command(CommandKind::Activate, DramCycle::new(100), 1, &t);
+        // bank reg = 100 + tRCD/0.5 = 110, channel untouched.
+        assert_eq!(v.bank_reg(1), 110.0);
+        assert_eq!(v.channel_reg(), 0.0);
+        v.apply_command(CommandKind::Read, DramCycle::new(100), 1, &t);
+        // bank reg = 110 + tCL/0.5 = 120; channel = max(0,120) + 8 = 128.
+        assert_eq!(v.bank_reg(1), 120.0);
+        assert_eq!(v.channel_reg(), 128.0);
+    }
+
+    #[test]
+    fn apply_refresh_is_a_no_op() {
+        let t = t();
+        let mut v = Vtms::new(0.5, 8).unwrap();
+        v.apply_command(CommandKind::Refresh, DramCycle::new(50), 0, &t);
+        assert_eq!(v.bank_reg(0), 0.0);
+        assert_eq!(v.channel_reg(), 0.0);
+    }
+
+    #[test]
+    fn lower_share_means_later_finish() {
+        let big = Vtms::new(0.5, 8).unwrap();
+        let small = Vtms::new(0.25, 8).unwrap();
+        let a = DramCycle::new(0);
+        assert!(small.virtual_finish_time(a, 0, 10, 4) > big.virtual_finish_time(a, 0, 10, 4));
+    }
+
+    #[test]
+    fn bank_registers_are_independent() {
+        let mut v = Vtms::new(0.5, 4).unwrap();
+        v.update_bank(DramCycle::new(0), 0, 100);
+        assert_eq!(v.bank_reg(1), 0.0);
+        assert_eq!(v.bank_reg(0), 200.0);
+    }
+}

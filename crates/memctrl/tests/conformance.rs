@@ -1,0 +1,135 @@
+//! Differential protocol conformance: every command stream the controller
+//! issues — under every scheduler, row policy, and load pattern — must be
+//! clean according to the independently implemented
+//! [`fqms_dram::checker::ProtocolChecker`]. The live device model and the
+//! checker formulate the DDR2 rules differently, so a timing bug would
+//! have to exist twice to escape this test.
+
+use fqms_dram::checker::ProtocolChecker;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::prelude::*;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::rng::SimRng;
+use proptest::prelude::*;
+
+fn drive_and_check(
+    kind: SchedulerKind,
+    row_policy: RowPolicy,
+    seed: u64,
+    cycles: u64,
+    submit_prob: f64,
+) -> (u64, Vec<String>) {
+    let mut cfg = McConfig::paper(3, kind);
+    cfg.row_policy = row_policy;
+    let mut mc = MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+    mc.enable_command_log(1_000_000);
+    let mut rng = SimRng::new(seed);
+    let mut c = 0u64;
+    for _ in 0..cycles {
+        c += 1;
+        let now = DramCycle::new(c);
+        if rng.chance(submit_prob) {
+            let thread = ThreadId::new(rng.next_below(3) as u32);
+            let kind_r = if rng.chance(0.3) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            let _ = mc.try_submit(thread, kind_r, rng.next_below(1 << 22) * 64, now);
+        }
+        mc.step(now);
+    }
+    while !mc.is_idle() {
+        c += 1;
+        mc.step(DramCycle::new(c));
+        assert!(c < cycles + 1_000_000);
+    }
+    let mut checker = ProtocolChecker::new(TimingParams::ddr2_800());
+    let log = mc.command_log().unwrap();
+    for rec in log.iter() {
+        checker.check(rec.cycle, &rec.cmd);
+    }
+    (
+        checker.commands_checked(),
+        checker
+            .violations()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random traffic under every scheduler produces protocol-clean
+    /// command streams.
+    #[test]
+    fn all_schedulers_emit_clean_streams(seed in 0u64..100) {
+        for kind in SchedulerKind::all() {
+            let (n, violations) = drive_and_check(kind, RowPolicy::Closed, seed, 4_000, 0.5);
+            prop_assert!(n > 50, "{kind}: too few commands ({n}) to be meaningful");
+            prop_assert!(
+                violations.is_empty(),
+                "{kind}: {} violations, first: {}",
+                violations.len(),
+                violations[0]
+            );
+        }
+    }
+
+    /// The open-row policy is equally conformant.
+    #[test]
+    fn open_row_policy_is_conformant(seed in 0u64..50) {
+        let (n, violations) =
+            drive_and_check(SchedulerKind::FqVftf, RowPolicy::Open, seed, 4_000, 0.5);
+        prop_assert!(n > 50);
+        prop_assert!(violations.is_empty(), "first: {}", violations[0]);
+    }
+
+    /// Saturating load (buffers always full) stays conformant — the
+    /// regime where scheduling pressure is highest.
+    #[test]
+    fn saturating_load_is_conformant(seed in 0u64..50) {
+        let (_, violations) =
+            drive_and_check(SchedulerKind::FrFcfs, RowPolicy::Closed, seed, 4_000, 1.0);
+        prop_assert!(violations.is_empty(), "first: {}", violations[0]);
+    }
+}
+
+#[test]
+fn refresh_heavy_stream_is_conformant() {
+    // Run long enough to include refreshes and validate the whole stream.
+    let mut cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+    cfg.row_policy = RowPolicy::Closed;
+    let mut mc = MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+    mc.enable_command_log(4_000_000);
+    let mut rng = SimRng::new(9);
+    for c in 1..=600_000u64 {
+        let now = DramCycle::new(c);
+        if rng.chance(0.05) {
+            let _ = mc.try_submit(
+                ThreadId::new(0),
+                RequestKind::Read,
+                rng.next_below(1 << 20) * 64,
+                now,
+            );
+        }
+        mc.step(now);
+    }
+    let (_, _, _, _, refreshes) = mc.dram().command_counts();
+    assert!(
+        refreshes >= 2,
+        "expected multiple refreshes, got {refreshes}"
+    );
+    let mut checker = ProtocolChecker::new(TimingParams::ddr2_800());
+    for rec in mc.command_log().unwrap().iter() {
+        checker.check(rec.cycle, &rec.cmd);
+    }
+    assert!(
+        checker.is_clean(),
+        "violations: {:?}",
+        checker.violations().first()
+    );
+}

@@ -1,0 +1,254 @@
+//! Cycle newtypes and the two-domain clock model.
+//!
+//! The FQMS simulator advances in **DRAM command-clock cycles** (the clock in
+//! which the DDR2 timing constraints of the paper's Table 6 are expressed)
+//! while processor cores are clocked `cpu_ratio` times faster. Keeping the
+//! two domains as distinct newtypes ([`DramCycle`], [`CpuCycle`]) prevents an
+//! entire class of unit-confusion bugs: a DRAM-cycle quantity can never be
+//! silently compared with or added to a CPU-cycle quantity.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+macro_rules! cycle_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero cycle (simulation start).
+            pub const ZERO: $name = $name(0);
+            /// The maximum representable cycle; used as an "infinitely far in
+            /// the future" sentinel by schedulers.
+            pub const MAX: $name = $name(u64::MAX);
+
+            /// Creates a cycle value from a raw count.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw cycle count.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the cycle count as an `f64` (for statistics).
+            #[inline]
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// Saturating subtraction: returns `self - rhs`, clamped at zero.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Checked addition of a raw cycle count, saturating at [`Self::MAX`].
+            #[inline]
+            pub fn saturating_add(self, rhs: u64) -> Self {
+                $name(self.0.saturating_add(rhs))
+            }
+
+            /// Advances this cycle by one.
+            #[inline]
+            pub fn tick(&mut self) {
+                self.0 += 1;
+            }
+
+            /// Returns the maximum of two cycle values.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Returns the minimum of two cycle values.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = u64;
+            /// Distance in cycles between two time points.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `rhs > self`.
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+                self.0 - rhs.0
+            }
+        }
+
+        impl Sum<u64> for $name {
+            fn sum<I: Iterator<Item = u64>>(iter: I) -> Self {
+                $name(iter.sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+cycle_newtype!(
+    /// A point in time (or a duration) measured in DRAM command-clock cycles.
+    ///
+    /// All DDR2 timing constraints (Table 6 of the paper) are expressed in
+    /// this domain.
+    DramCycle,
+    "dram-cycles"
+);
+
+cycle_newtype!(
+    /// A point in time (or a duration) measured in processor clock cycles.
+    ///
+    /// IPC and memory latency results are reported in this domain, matching
+    /// the paper's presentation.
+    CpuCycle,
+    "cpu-cycles"
+);
+
+/// The relationship between the CPU clock and the DRAM command clock.
+///
+/// The simulator's master loop advances one DRAM cycle at a time and steps
+/// each core `cpu_ratio` times per DRAM cycle.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::clock::{ClockDomains, CpuCycle, DramCycle};
+///
+/// let clocks = ClockDomains::new(5);
+/// assert_eq!(clocks.dram_to_cpu(DramCycle::new(7)), CpuCycle::new(35));
+/// assert_eq!(clocks.cpu_ratio(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomains {
+    cpu_ratio: u64,
+}
+
+impl ClockDomains {
+    /// Creates a clock-domain descriptor with `cpu_ratio` CPU cycles per DRAM
+    /// command-clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_ratio` is zero.
+    pub fn new(cpu_ratio: u64) -> Self {
+        assert!(cpu_ratio > 0, "cpu_ratio must be at least 1");
+        ClockDomains { cpu_ratio }
+    }
+
+    /// Number of CPU cycles per DRAM cycle.
+    #[inline]
+    pub fn cpu_ratio(&self) -> u64 {
+        self.cpu_ratio
+    }
+
+    /// Converts a DRAM-domain time/duration to the CPU domain.
+    #[inline]
+    pub fn dram_to_cpu(&self, t: DramCycle) -> CpuCycle {
+        CpuCycle::new(t.as_u64() * self.cpu_ratio)
+    }
+
+    /// Converts a CPU-domain time/duration to the DRAM domain, rounding down.
+    #[inline]
+    pub fn cpu_to_dram(&self, t: CpuCycle) -> DramCycle {
+        DramCycle::new(t.as_u64() / self.cpu_ratio)
+    }
+}
+
+impl Default for ClockDomains {
+    /// The paper-calibrated default: 5 CPU cycles per DRAM command-clock
+    /// cycle (a ~2 GHz core over a 400 MHz DDR2-800 command clock).
+    fn default() -> Self {
+        ClockDomains::new(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_tick() {
+        let mut c = DramCycle::ZERO;
+        assert_eq!(c.as_u64(), 0);
+        c.tick();
+        c.tick();
+        assert_eq!(c, DramCycle::new(2));
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = CpuCycle::new(10);
+        let b = a + 5;
+        assert_eq!(b.as_u64(), 15);
+        assert_eq!(b - a, 5);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = DramCycle::new(3);
+        assert_eq!(a.saturating_sub(DramCycle::new(10)), DramCycle::ZERO);
+        assert_eq!(DramCycle::MAX.saturating_add(1), DramCycle::MAX);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = DramCycle::new(3);
+        let b = DramCycle::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ratio_panics() {
+        let _ = ClockDomains::new(0);
+    }
+
+    #[test]
+    fn domain_conversions() {
+        let clocks = ClockDomains::new(4);
+        assert_eq!(clocks.dram_to_cpu(DramCycle::new(3)), CpuCycle::new(12));
+        assert_eq!(clocks.cpu_to_dram(CpuCycle::new(13)), DramCycle::new(3));
+    }
+
+    #[test]
+    fn default_ratio_is_five() {
+        assert_eq!(ClockDomains::default().cpu_ratio(), 5);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(DramCycle::new(7).to_string(), "7 dram-cycles");
+        assert_eq!(CpuCycle::new(7).to_string(), "7 cpu-cycles");
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulation kernel for the Fair Queuing Memory Systems (FQMS) simulator.
+//!
+//! This crate provides the foundational, dependency-free building blocks that
+//! every other crate in the workspace uses:
+//!
+//! * [`clock`] — cycle types and the two-domain clock model (CPU clock vs.
+//!   DRAM command clock) used throughout the simulator,
+//! * [`rng`] — a small, fully deterministic pseudo-random number generator so
+//!   that every simulation is exactly reproducible from its seed,
+//! * [`stats`] — counters, running statistics, histograms, and the summary
+//!   math (harmonic mean, variance) the paper's evaluation metrics need.
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_sim::clock::{ClockDomains, DramCycle};
+//! use fqms_sim::stats::Summary;
+//!
+//! let clocks = ClockDomains::new(5); // 5 CPU cycles per DRAM cycle
+//! assert_eq!(clocks.dram_to_cpu(DramCycle::new(10)).as_u64(), 50);
+//!
+//! let s: Summary = [1.0_f64, 2.0, 4.0].iter().copied().collect();
+//! assert!((s.mean() - 7.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{ClockDomains, CpuCycle, DramCycle};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Ratio, Summary};

@@ -1,0 +1,220 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be exactly reproducible: the same configuration and
+//! seed must produce bit-identical results on every run and platform. To
+//! guarantee that independently of external crates' version churn, the
+//! workload generators use this small, self-contained generator — a
+//! SplitMix64-seeded xoshiro256** — rather than `rand`'s default engines.
+//!
+//! The generator is *not* cryptographically secure; it only needs good
+//! statistical behaviour for synthetic address streams.
+
+/// A deterministic xoshiro256** generator seeded via SplitMix64.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::rng::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four words of xoshiro state are expanded from the seed with
+    /// SplitMix64, which guarantees a non-zero state for every seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// thread its own stream so per-thread behaviour does not depend on the
+    /// interleaving of other threads' draws.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let mixed = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        SimRng::new(mixed)
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [ref mut s0, ref mut s1, ref mut s2, ref mut s3] = self.state;
+        let result = (*s1).wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Lemire's multiply-shift rejection method for unbiased bounded draws.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits for a dyadic uniform in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Draws from a geometric distribution with success probability `p`,
+    /// returning the number of failures before the first success (>= 0).
+    /// Used for burst-length and gap sampling in workload generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(99);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SimRng::new(3);
+        for bound in [1u64, 2, 3, 7, 8, 1000] {
+            for _ in 0..500 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut rng = SimRng::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_below_zero_panics() {
+        SimRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = SimRng::new(13);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(17);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = SimRng::new(23);
+        let p = 0.25;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        let expected = (1.0 - p) / p; // 3.0
+        assert!((mean - expected).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = SimRng::new(29);
+        assert_eq!(rng.geometric(1.0), 0);
+    }
+}

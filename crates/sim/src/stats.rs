@@ -1,0 +1,507 @@
+//! Statistics primitives used by the simulator and the evaluation harness.
+//!
+//! The paper's metrics are: IPC, average memory read latency, data-bus
+//! utilization, bank utilization, harmonic mean of normalized IPCs (the
+//! aggregate performance metric of Luo et al.), and the variance of
+//! normalized target bus utilization (Figure 9). This module supplies the
+//! counters and summary math those metrics are built from.
+
+use std::fmt;
+use std::iter::FromIterator;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as `f64`.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A busy/total utilization ratio, e.g. data-bus busy cycles over elapsed
+/// cycles.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.add_busy(30);
+/// r.add_total(100);
+/// assert!((r.value() - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    busy: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio (0/0, which reads as 0.0).
+    pub const fn new() -> Self {
+        Ratio { busy: 0, total: 0 }
+    }
+
+    /// Adds busy cycles to the numerator.
+    #[inline]
+    pub fn add_busy(&mut self, n: u64) {
+        self.busy += n;
+    }
+
+    /// Adds elapsed cycles to the denominator.
+    #[inline]
+    pub fn add_total(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Numerator (busy cycles).
+    #[inline]
+    pub fn busy(&self) -> u64 {
+        self.busy
+    }
+
+    /// Denominator (total cycles).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The utilization in `[0, 1]`; 0.0 when no cycles have elapsed.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ({}/{})", self.value(), self.busy, self.total)
+    }
+}
+
+/// Running summary statistics over a stream of `f64` samples: count, mean,
+/// min, max, and variance (via Welford's online algorithm).
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::Summary;
+///
+/// let s: Summary = [2.0_f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+///     .iter().copied().collect();
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by N); 0.0 for fewer than 2 samples.
+    ///
+    /// Figure 9 of the paper reports the variance of normalized bus
+    /// utilization across all threads of all workloads; the population form
+    /// matches "variance of this finite set of measurements".
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by N-1); 0.0 for fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Minimum sample; 0.0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample; 0.0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} var={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.population_variance(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Harmonic mean of a set of values, the aggregate multiprogram performance
+/// metric the paper adopts from Luo et al. \[13\].
+///
+/// Returns 0.0 for an empty slice or if any value is non-positive (a thread
+/// with zero normalized IPC makes the harmonic mean degenerate; callers
+/// should treat that as a broken run).
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::harmonic_mean;
+///
+/// let hm = harmonic_mean(&[1.0, 1.0]);
+/// assert!((hm - 1.0).abs() < 1e-12);
+/// let hm = harmonic_mean(&[0.5, 1.0]);
+/// assert!((hm - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let recip_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    values.len() as f64 / recip_sum
+}
+
+/// A fixed-width-bucket histogram over `u64` samples, used for latency
+/// distributions.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 8); // 8 buckets, 10 units wide
+/// h.record(5);
+/// h.record(25);
+/// h.record(1_000); // overflows into the last bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(2), 1);
+/// assert_eq!(h.bucket_count(7), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_buckets` buckets each `bucket_width`
+    /// wide; samples beyond the range land in the final bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `num_buckets` is zero.
+    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket_width must be positive");
+        assert!(num_buckets > 0, "num_buckets must be positive");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        let idx = ((x / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Approximate p-th percentile (`0.0 <= p <= 1.0`) using the upper edge
+    /// of the containing bucket; 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        (self.buckets.len() as u64) * self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.as_f64(), 10.0);
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::new().value(), 0.0);
+    }
+
+    #[test]
+    fn ratio_accumulates() {
+        let mut r = Ratio::new();
+        r.add_busy(25);
+        r.add_total(50);
+        r.add_busy(0);
+        r.add_total(50);
+        assert!((r.value() - 0.25).abs() < 1e-12);
+        assert_eq!(r.busy(), 25);
+        assert_eq!(r.total(), 100);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn summary_known_variance() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].iter().copied().collect();
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.population_variance() - 1.25).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_extend() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn harmonic_mean_of_equal_values() {
+        assert!((harmonic_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_penalizes_low_values() {
+        let hm = harmonic_mean(&[0.1, 1.9]);
+        let am = (0.1 + 1.9) / 2.0;
+        assert!(hm < am);
+        assert!((hm - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_degenerate_inputs() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(100, 4);
+        h.record(0);
+        h.record(99);
+        h.record(100);
+        h.record(399);
+        h.record(5000);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 2);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn histogram_mean_and_percentile() {
+        let mut h = Histogram::new(10, 100);
+        for x in [10u64, 20, 30, 40] {
+            h.record(x);
+        }
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+        // p50 over {10,20,30,40}: second sample is in bucket 2 -> edge 30.
+        assert_eq!(h.percentile(0.5), 30);
+        assert_eq!(h.percentile(1.0), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_zero_width_panics() {
+        let _ = Histogram::new(0, 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the statistics primitives: the online algorithms
+//! must agree with naive reference computations, and the ordering/summary
+//! invariants must hold for arbitrary inputs.
+
+use fqms_sim::stats::{harmonic_mean, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford's online mean/variance matches the two-pass reference.
+    #[test]
+    fn summary_matches_naive_reference(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let scale = mean.abs().max(1.0);
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        let vscale = var.abs().max(1.0);
+        prop_assert!((s.population_variance() - var).abs() / vscale < 1e-6);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    /// The harmonic mean never exceeds the arithmetic mean (AM-HM
+    /// inequality) and lies within the sample range.
+    #[test]
+    fn harmonic_mean_bounds(xs in prop::collection::vec(0.01f64..1e4, 1..50)) {
+        let hm = harmonic_mean(&xs);
+        let am = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!(hm <= am * (1.0 + 1e-12), "hm {hm} > am {am}");
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(hm >= min * (1.0 - 1e-12));
+        prop_assert!(hm <= max * (1.0 + 1e-12));
+    }
+
+    /// Histogram totals and mean agree with the raw samples, and
+    /// percentiles are monotone in p.
+    #[test]
+    fn histogram_consistency(xs in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut h = Histogram::new(64, 64);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), xs.iter().copied().max().unwrap());
+        let mut prev = 0;
+        for k in 0..=10 {
+            let p = h.percentile(k as f64 / 10.0);
+            prop_assert!(p >= prev, "percentile not monotone");
+            prev = p;
+        }
+        // The p100 bucket edge bounds the true max.
+        prop_assert!(h.percentile(1.0) >= h.max().min(64 * 64));
+    }
+
+    /// Bounded RNG draws are unbiased enough: over many draws of a small
+    /// bound, every value appears with roughly equal frequency.
+    #[test]
+    fn rng_bounded_draws_are_roughly_uniform(seed in 0u64..1000, bound in 2u64..12) {
+        use fqms_sim::rng::SimRng;
+        let mut rng = SimRng::new(seed);
+        let n = 6_000u64;
+        let mut counts = vec![0u64; bound as usize];
+        for _ in 0..n {
+            counts[rng.next_below(bound) as usize] += 1;
+        }
+        let expect = n as f64 / bound as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
+                "value {v} drawn {c} times, expected ~{expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic SPEC-2000-like workloads for the Fair Queuing Memory Systems
+//! reproduction.
+//!
+//! The paper's evaluation drives its cores with twenty proprietary SPEC
+//! 2000 sampled traces. This crate substitutes parametric synthetic
+//! streams: [`profile::WorkloadProfile`] captures the statistics that
+//! matter to a memory scheduler (intensity, footprint, row locality,
+//! dependence/MLP, write fraction), [`generator::SyntheticTrace`] turns a
+//! profile into a deterministic instruction/reference stream, and
+//! [`spec::SPEC_PROFILES`] provides the twenty tuned, named profiles in
+//! Figure 4 order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod patterns;
+pub mod profile;
+pub mod spec;
+pub mod tracefile;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::generator::{SyntheticTrace, THREAD_REGION_BYTES};
+    pub use crate::patterns::{
+        DelayedStart, PhaseMix, PointerChase, RandomScatter, RecordedTrace, SequentialStream,
+    };
+    pub use crate::profile::WorkloadProfile;
+    pub use crate::spec::{by_name, four_core_workloads, SPEC_PROFILES};
+    pub use crate::tracefile::{read_trace, write_trace};
+}
+
+pub use prelude::*;

@@ -1,0 +1,366 @@
+//! Composable access-pattern primitives.
+//!
+//! Besides the statistical profiles of [`crate::profile`], experiments
+//! sometimes need *exact* access patterns — a pure sequential stream, a
+//! uniform random scatter, a pointer chase, or a phase-alternating mix.
+//! These generators implement [`TraceSource`] directly and are used by
+//! microbenchmark-style tests and the scheduler stress harness.
+
+use fqms_cpu::trace::{MemAccess, TraceOp, TraceSource};
+use fqms_sim::rng::SimRng;
+
+/// A perfectly sequential read stream: one load every `work + 1`
+/// instructions walking cache lines in order over `footprint_bytes`.
+///
+/// # Example
+///
+/// ```
+/// use fqms_workloads::patterns::SequentialStream;
+/// use fqms_cpu::trace::TraceSource;
+///
+/// let mut s = SequentialStream::new(0, 1 << 20, 3);
+/// let a = s.next_op().access.unwrap().addr;
+/// let b = s.next_op().access.unwrap().addr;
+/// assert_eq!(b - a, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialStream {
+    base: u64,
+    lines: u64,
+    cur: u64,
+    work: u32,
+}
+
+impl SequentialStream {
+    /// Creates a stream over `[base, base + footprint_bytes)` with `work`
+    /// compute instructions between loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one cache line.
+    pub fn new(base: u64, footprint_bytes: u64, work: u32) -> Self {
+        assert!(
+            footprint_bytes >= 64,
+            "footprint must hold at least one line"
+        );
+        SequentialStream {
+            base,
+            lines: footprint_bytes / 64,
+            cur: 0,
+            work,
+        }
+    }
+}
+
+impl TraceSource for SequentialStream {
+    fn next_op(&mut self) -> TraceOp {
+        let addr = self.base + self.cur * 64;
+        self.cur = (self.cur + 1) % self.lines;
+        TraceOp {
+            work: self.work,
+            access: Some(MemAccess {
+                addr,
+                is_write: false,
+                dependent: false,
+            }),
+        }
+    }
+}
+
+/// Uniform random loads over a footprint (bank- and row-hostile).
+#[derive(Debug, Clone)]
+pub struct RandomScatter {
+    base: u64,
+    lines: u64,
+    work: u32,
+    rng: SimRng,
+}
+
+impl RandomScatter {
+    /// Creates a scatter stream over `[base, base + footprint_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one cache line.
+    pub fn new(base: u64, footprint_bytes: u64, work: u32, seed: u64) -> Self {
+        assert!(
+            footprint_bytes >= 64,
+            "footprint must hold at least one line"
+        );
+        RandomScatter {
+            base,
+            lines: footprint_bytes / 64,
+            work,
+            rng: SimRng::new(seed),
+        }
+    }
+}
+
+impl TraceSource for RandomScatter {
+    fn next_op(&mut self) -> TraceOp {
+        let line = self.rng.next_below(self.lines);
+        TraceOp {
+            work: self.work,
+            access: Some(MemAccess {
+                addr: self.base + line * 64,
+                is_write: false,
+                dependent: false,
+            }),
+        }
+    }
+}
+
+/// A strict pointer chase: every load depends on the previous one, so at
+/// most one miss is outstanding (MLP = 1) — the worst case for memory
+/// latency tolerance.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    base: u64,
+    lines: u64,
+    work: u32,
+    rng: SimRng,
+}
+
+impl PointerChase {
+    /// Creates a pointer chase over `[base, base + footprint_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one cache line.
+    pub fn new(base: u64, footprint_bytes: u64, work: u32, seed: u64) -> Self {
+        assert!(
+            footprint_bytes >= 64,
+            "footprint must hold at least one line"
+        );
+        PointerChase {
+            base,
+            lines: footprint_bytes / 64,
+            work,
+            rng: SimRng::new(seed),
+        }
+    }
+}
+
+impl TraceSource for PointerChase {
+    fn next_op(&mut self) -> TraceOp {
+        let line = self.rng.next_below(self.lines);
+        TraceOp {
+            work: self.work,
+            access: Some(MemAccess {
+                addr: self.base + line * 64,
+                is_write: false,
+                dependent: true,
+            }),
+        }
+    }
+}
+
+/// Alternates between two sources in fixed-length phases (e.g. a compute
+/// phase and a streaming phase), modelling phase-structured applications.
+pub struct PhaseMix<A, B> {
+    a: A,
+    b: B,
+    phase_ops: u64,
+    count: u64,
+    in_a: bool,
+}
+
+impl<A: TraceSource, B: TraceSource> PhaseMix<A, B> {
+    /// Creates a mix that emits `phase_ops` ops from `a`, then `phase_ops`
+    /// from `b`, repeating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_ops` is zero.
+    pub fn new(a: A, b: B, phase_ops: u64) -> Self {
+        assert!(phase_ops > 0, "phases must be non-empty");
+        PhaseMix {
+            a,
+            b,
+            phase_ops,
+            count: 0,
+            in_a: true,
+        }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for PhaseMix<A, B> {
+    fn next_op(&mut self) -> TraceOp {
+        if self.count == self.phase_ops {
+            self.count = 0;
+            self.in_a = !self.in_a;
+        }
+        self.count += 1;
+        if self.in_a {
+            self.a.next_op()
+        } else {
+            self.b.next_op()
+        }
+    }
+}
+
+/// Defers a source's activity: emits pure-compute ops until roughly
+/// `delay_instructions` instructions have been issued, then delegates to
+/// the inner source forever. Models a thread that arrives (or becomes
+/// memory-intensive) mid-run — used to study how quickly a scheduler
+/// redistributes bandwidth.
+#[derive(Debug, Clone)]
+pub struct DelayedStart<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> DelayedStart<S> {
+    /// Wraps `inner`, delaying it by approximately `delay_instructions`
+    /// instructions of pure compute.
+    pub fn new(inner: S, delay_instructions: u64) -> Self {
+        DelayedStart {
+            inner,
+            remaining: delay_instructions,
+        }
+    }
+}
+
+impl<S: TraceSource> TraceSource for DelayedStart<S> {
+    fn next_op(&mut self) -> TraceOp {
+        if self.remaining > 0 {
+            let block = self.remaining.min(64) as u32;
+            self.remaining -= block as u64;
+            TraceOp::compute(block)
+        } else {
+            self.inner.next_op()
+        }
+    }
+}
+
+/// Replays a pre-recorded finite trace, looping forever. Useful for exact
+/// regression scenarios and for feeding externally captured traces into
+/// the simulator.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl RecordedTrace {
+    /// Creates a looping replay of `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "a recorded trace needs at least one op");
+        RecordedTrace { ops, pos: 0 }
+    }
+
+    /// Records `n` ops from another source into a replayable trace.
+    pub fn capture<S: TraceSource>(source: &mut S, n: usize) -> Self {
+        assert!(n > 0, "capture at least one op");
+        RecordedTrace::new((0..n).map(|_| source.next_op()).collect())
+    }
+
+    /// The recorded ops.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps_at_footprint() {
+        let mut s = SequentialStream::new(0, 128, 0);
+        let addrs: Vec<u64> = (0..4).map(|_| s.next_op().access.unwrap().addr).collect();
+        assert_eq!(addrs, vec![0, 64, 0, 64]);
+    }
+
+    #[test]
+    fn scatter_stays_in_bounds() {
+        let mut s = RandomScatter::new(4096, 1024, 0, 9);
+        for _ in 0..1000 {
+            let a = s.next_op().access.unwrap().addr;
+            assert!((4096..4096 + 1024).contains(&a));
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_fully_dependent() {
+        let mut s = PointerChase::new(0, 1 << 16, 2, 9);
+        for _ in 0..100 {
+            assert!(s.next_op().access.unwrap().dependent);
+        }
+    }
+
+    #[test]
+    fn phase_mix_alternates() {
+        let a = SequentialStream::new(0, 1 << 12, 1);
+        let b = SequentialStream::new(1 << 30, 1 << 12, 1);
+        let mut mix = PhaseMix::new(a, b, 3);
+        let sides: Vec<bool> = (0..9)
+            .map(|_| mix.next_op().access.unwrap().addr < (1 << 29))
+            .collect();
+        assert_eq!(
+            sides,
+            vec![true, true, true, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn delayed_start_defers_memory_activity() {
+        let inner = SequentialStream::new(0, 4096, 1);
+        let mut d = DelayedStart::new(inner, 200);
+        let mut instructions = 0u64;
+        let mut ops = 0;
+        loop {
+            let op = d.next_op();
+            if op.access.is_some() {
+                break;
+            }
+            instructions += op.instructions();
+            ops += 1;
+            assert!(ops < 100, "never started");
+        }
+        assert!(instructions >= 200);
+    }
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let mut a = SequentialStream::new(0, 4096, 2);
+        let mut b = DelayedStart::new(SequentialStream::new(0, 4096, 2), 0);
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn recorded_trace_replays_and_loops() {
+        let mut src = SequentialStream::new(0, 4096, 5);
+        let mut rec = RecordedTrace::capture(&mut src, 3);
+        assert_eq!(rec.ops().len(), 3);
+        let first: Vec<TraceOp> = (0..3).map(|_| rec.next_op()).collect();
+        let second: Vec<TraceOp> = (0..3).map(|_| rec.next_op()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_recorded_trace_panics() {
+        let _ = RecordedTrace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_footprint_panics() {
+        let _ = SequentialStream::new(0, 32, 0);
+    }
+}

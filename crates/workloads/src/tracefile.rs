@@ -1,0 +1,204 @@
+//! Plain-text trace files.
+//!
+//! A simple line-oriented format so traces can be captured, inspected,
+//! diffed, version-controlled, and replayed — or produced by external
+//! tools (e.g. converted from a real machine's memory trace):
+//!
+//! ```text
+//! # fqms trace v1
+//! 12 R 0x7f001040
+//! 3 W 0x7f001080
+//! 40 R 0x10000 d
+//! 7
+//! ```
+//!
+//! Each line is `<work>` (a compute-only block) or
+//! `<work> <R|W> <address> [d]`, where `work` is the non-memory
+//! instruction count before the access, the address is decimal or
+//! `0x`-hex, and a trailing `d` marks a dependent (pointer-chasing) load.
+//! `#`-lines and blank lines are ignored.
+
+use crate::patterns::RecordedTrace;
+use fqms_cpu::trace::{MemAccess, TraceOp};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Serializes ops into the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use fqms_workloads::tracefile::{write_trace, read_trace};
+/// use fqms_cpu::trace::TraceOp;
+///
+/// let ops = vec![TraceOp::compute(5)];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &ops)?;
+/// let back = read_trace(&buf[..])?;
+/// assert_eq!(back.ops(), &ops[..]);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace<W: Write>(writer: W, ops: &[TraceOp]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# fqms trace v1")?;
+    for op in ops {
+        match op.access {
+            None => writeln!(w, "{}", op.work)?,
+            Some(a) => {
+                let kind = if a.is_write { 'W' } else { 'R' };
+                if a.dependent {
+                    writeln!(w, "{} {} {:#x} d", op.work, kind, a.addr)?;
+                } else {
+                    writeln!(w, "{} {} {:#x}", op.work, kind, a.addr)?;
+                }
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Parses the text format into a replayable [`RecordedTrace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed lines (with the line number) and
+/// propagates reader I/O errors. An empty trace is an error (a trace
+/// source must be infinite, and replay loops over the ops).
+pub fn read_trace<R: Read>(reader: R) -> std::io::Result<RecordedTrace> {
+    let mut ops = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |msg: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {msg}: {line:?}", lineno + 1),
+            )
+        };
+        let mut parts = line.split_whitespace();
+        let work: u32 = parts
+            .next()
+            .ok_or_else(|| bad("missing work count"))?
+            .parse()
+            .map_err(|_| bad("bad work count"))?;
+        let access = match parts.next() {
+            None => None,
+            Some(kind) => {
+                let is_write = match kind {
+                    "R" | "r" => false,
+                    "W" | "w" => true,
+                    _ => return Err(bad("access kind must be R or W")),
+                };
+                let addr_str = parts.next().ok_or_else(|| bad("missing address"))?;
+                let addr = if let Some(hex) = addr_str
+                    .strip_prefix("0x")
+                    .or_else(|| addr_str.strip_prefix("0X"))
+                {
+                    u64::from_str_radix(hex, 16).map_err(|_| bad("bad hex address"))?
+                } else {
+                    addr_str.parse().map_err(|_| bad("bad address"))?
+                };
+                let dependent = match parts.next() {
+                    None => false,
+                    Some("d") | Some("D") => true,
+                    Some(_) => return Err(bad("trailing token must be 'd'")),
+                };
+                Some(MemAccess {
+                    addr,
+                    is_write,
+                    dependent,
+                })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(bad("unexpected extra tokens"));
+        }
+        ops.push(TraceOp { work, access });
+    }
+    if ops.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "trace contains no operations",
+        ));
+    }
+    Ok(RecordedTrace::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticTrace;
+    use crate::profile::WorkloadProfile;
+    use fqms_cpu::trace::TraceSource;
+
+    #[test]
+    fn round_trip_preserves_ops() {
+        let mut gen = SyntheticTrace::new(WorkloadProfile::stream("s", 6.0), 3, 0).unwrap();
+        let ops: Vec<TraceOp> = (0..500).map(|_| gen.next_op()).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.ops(), &ops[..]);
+    }
+
+    #[test]
+    fn parses_all_line_forms() {
+        let text = "# comment\n\n7\n3 R 0x40\n2 W 128\n9 r 0x80 d\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        let ops = t.ops();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0], TraceOp::compute(7));
+        assert_eq!(ops[1].access.unwrap().addr, 0x40);
+        assert!(ops[2].access.unwrap().is_write);
+        assert_eq!(ops[2].access.unwrap().addr, 128);
+        assert!(ops[3].access.unwrap().dependent);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "x R 0x40",       // bad work
+            "3 Q 0x40",       // bad kind
+            "3 R",            // missing address
+            "3 R zz",         // bad address
+            "3 R 0x40 q",     // bad trailing token
+            "3 R 0x40 d huh", // extra tokens
+        ] {
+            let r = read_trace(bad.as_bytes());
+            assert!(r.is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(read_trace("# nothing\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fqms-tracefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let ops = vec![
+            TraceOp::compute(1),
+            TraceOp {
+                work: 2,
+                access: Some(MemAccess {
+                    addr: 0x1234,
+                    is_write: false,
+                    dependent: true,
+                }),
+            },
+        ];
+        write_trace(std::fs::File::create(&path).unwrap(), &ops).unwrap();
+        let back = read_trace(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back.ops(), &ops[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: build a two-core CMP, co-schedule a latency-sensitive
+//! workload with a bandwidth hog, and compare FR-FCFS against the Fair
+//! Queuing scheduler.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fqms::prelude::*;
+
+fn main() -> Result<(), String> {
+    // Pick two workloads with opposite memory behaviour.
+    let vpr = by_name("vpr").expect("vpr is one of the 20 shipped profiles");
+    let art = by_name("art").expect("art is one of the 20 shipped profiles");
+
+    // The QoS yardstick: vpr alone on a private memory system running at
+    // half speed (its "fair half" of the shared memory system).
+    let baseline = run_private_baseline(vpr, 2, 100_000, 20_000_000, 42);
+    println!(
+        "vpr on a half-speed private memory: IPC {:.3}",
+        baseline.ipc
+    );
+
+    for scheduler in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+        let mut system = SystemBuilder::new()
+            .scheduler(scheduler)
+            .seed(42)
+            .workload(vpr)
+            .workload(art)
+            .build()?;
+        let metrics = system.run(100_000, 20_000_000);
+        let vpr_m = &metrics.threads[0];
+        println!(
+            "{scheduler:8}: vpr IPC {:.3} (normalized {:.2}), read latency {:.0} cpu-cycles, \
+             bus {:.0}% (vpr {:.0}% / art {:.0}%)",
+            vpr_m.ipc,
+            vpr_m.ipc / baseline.ipc,
+            vpr_m.avg_read_latency,
+            100.0 * metrics.data_bus_utilization,
+            100.0 * vpr_m.bus_utilization,
+            100.0 * metrics.threads[1].bus_utilization,
+        );
+    }
+    println!();
+    println!("FR-FCFS lets art starve vpr well below its QoS baseline;");
+    println!("FQ-VFTF restores vpr to (at least) its half-machine performance.");
+    Ok(())
+}

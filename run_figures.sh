@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every paper table/figure and the extension studies into results/.
+# FQMS_RUNLEN=quick|standard|full scales the per-run instruction budget.
+set -e
+cd "$(dirname "$0")"
+export FQMS_RUNLEN="${FQMS_RUNLEN:-standard}" FQMS_SEED="${FQMS_SEED:-42}"
+mkdir -p results
+BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
+      ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds"
+for bin in $BINS; do
+  echo "=== $bin ==="
+  cargo run --release -q -p fqms-bench --bin "$bin" > "results/$bin.tsv" 2> "results/$bin.log" || echo "FAILED: $bin"
+  echo "done $bin"
+done
+echo "ALL FIGURES DONE"

@@ -1,0 +1,70 @@
+//! Sanity of the time-scaled private baselines (the VTMS yardstick): the
+//! QoS definition only makes sense if a 1/phi-speed private memory behaves
+//! like a proportionally slower memory.
+
+use fqms::prelude::*;
+
+const LEN: RunLength = RunLength::quick();
+const SEED: u64 = 31;
+
+#[test]
+fn baseline_ipc_decreases_monotonically_with_scale() {
+    let swim = by_name("swim").unwrap();
+    let mut prev = f64::INFINITY;
+    for factor in [1u64, 2, 4] {
+        let m = run_private_baseline(
+            swim,
+            factor,
+            LEN.instructions,
+            LEN.max_dram_cycles * factor,
+            SEED,
+        );
+        assert!(
+            m.ipc < prev,
+            "x{factor} baseline should be slower: {} >= {prev}",
+            m.ipc
+        );
+        prev = m.ipc;
+    }
+}
+
+#[test]
+fn bandwidth_bound_thread_scales_roughly_inversely() {
+    // A saturating stream's throughput is bandwidth-bound, so time-scaling
+    // the memory by 2 should roughly halve IPC (within generous slack for
+    // latency effects).
+    let art = by_name("art").unwrap();
+    let x1 = run_private_baseline(art, 1, LEN.instructions, LEN.max_dram_cycles, SEED);
+    let x2 = run_private_baseline(art, 2, LEN.instructions, LEN.max_dram_cycles * 2, SEED);
+    let ratio = x1.ipc / x2.ipc;
+    assert!(
+        (1.5..3.0).contains(&ratio),
+        "x2 scaling changed art's IPC by {ratio:.2}x, expected ~2x"
+    );
+}
+
+#[test]
+fn compute_bound_thread_is_scale_insensitive() {
+    let sixtrack = by_name("sixtrack").unwrap();
+    let x1 = run_private_baseline(sixtrack, 1, LEN.instructions, LEN.max_dram_cycles, SEED);
+    let x4 = run_private_baseline(sixtrack, 4, LEN.instructions, LEN.max_dram_cycles * 4, SEED);
+    assert!(
+        x4.ipc > 0.85 * x1.ipc,
+        "sixtrack should barely notice memory speed: {} vs {}",
+        x4.ipc,
+        x1.ipc
+    );
+}
+
+#[test]
+fn scaled_baseline_latency_grows() {
+    let mcf = by_name("mcf").unwrap();
+    let x1 = run_private_baseline(mcf, 1, LEN.instructions, LEN.max_dram_cycles, SEED);
+    let x4 = run_private_baseline(mcf, 4, LEN.instructions, LEN.max_dram_cycles * 4, SEED);
+    assert!(
+        x4.avg_read_latency > 1.5 * x1.avg_read_latency,
+        "x4 memory should have much higher latency: {} vs {}",
+        x4.avg_read_latency,
+        x1.avg_read_latency
+    );
+}

@@ -1,0 +1,327 @@
+//! Configuration-space integration tests: multi-rank geometries, custom
+//! trace sources, alternate row policies and VFT bindings, and clock-ratio
+//! variations — every axis the builder exposes must produce a working
+//! system.
+
+use fqms::prelude::*;
+use fqms_cpu::trace::TraceSource;
+use fqms_dram::device::Geometry;
+use fqms_workloads::patterns::{PointerChase, RecordedTrace, SequentialStream};
+
+const LEN: RunLength = RunLength::quick();
+const SEED: u64 = 47;
+
+#[test]
+fn two_rank_geometry_runs_end_to_end() {
+    let geo = Geometry {
+        ranks: 2,
+        banks: 8,
+        rows: 8192,
+        cols: 32,
+    };
+    let mut sys = SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .geometry(geo)
+        .seed(SEED)
+        .workload(by_name("swim").unwrap())
+        .workload(by_name("art").unwrap())
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    assert!(m.threads.iter().all(|t| t.instructions >= LEN.instructions));
+    assert!(m.data_bus_utilization > 0.3);
+}
+
+#[test]
+fn more_banks_reduce_conflict_pressure() {
+    // mcf is bank-conflict-heavy; a 16-bank device should serve it at
+    // least as well as an 8-bank one.
+    let run_with = |banks: u32| {
+        let mut sys = SystemBuilder::new()
+            .geometry(Geometry {
+                ranks: 1,
+                banks,
+                rows: 16_384,
+                cols: 32,
+            })
+            .seed(SEED)
+            .workload(by_name("mcf").unwrap())
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles).threads[0].ipc
+    };
+    let narrow = run_with(4);
+    let wide = run_with(16);
+    assert!(
+        wide > narrow * 0.98,
+        "16 banks ({wide:.4}) should not lose to 4 banks ({narrow:.4})"
+    );
+}
+
+#[test]
+fn custom_trace_sources_drive_threads() {
+    let stream = SequentialStream::new(0, 8 * 1024 * 1024, 4);
+    let chase = PointerChase::new(1 << 30, 8 * 1024 * 1024, 4, SEED);
+    let mut sys = SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .seed(SEED)
+        .workload_trace("stream", Box::new(stream), 10_000)
+        .workload_trace("chase", Box::new(chase), 10_000)
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    assert_eq!(m.threads[0].name, "stream");
+    assert_eq!(m.threads[1].name, "chase");
+    // The independent stream must achieve much higher IPC than the chase.
+    assert!(
+        m.threads[0].ipc > 2.0 * m.threads[1].ipc,
+        "stream {} vs chase {}",
+        m.threads[0].ipc,
+        m.threads[1].ipc
+    );
+}
+
+#[test]
+fn recorded_trace_reproduces_generator_run() {
+    // Capturing a generator and replaying it must give identical results
+    // to the generator itself over the same window.
+    let profile = by_name("equake").unwrap();
+    let capture = {
+        let mut gen =
+            fqms_workloads::generator::SyntheticTrace::for_thread(profile, SEED, 0).unwrap();
+        RecordedTrace::capture(&mut gen, 400_000)
+    };
+    let run_gen = || {
+        let mut sys = SystemBuilder::new()
+            .seed(SEED)
+            .workload(profile)
+            .prewarm(false)
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles)
+    };
+    let run_rec = |rec: RecordedTrace| {
+        let mut sys = SystemBuilder::new()
+            .seed(SEED)
+            .workload_trace(profile.name, Box::new(rec), 0)
+            .prewarm(false)
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles)
+    };
+    let a = run_gen();
+    let b = run_rec(capture);
+    assert_eq!(a.threads[0].cpu_cycles, b.threads[0].cpu_cycles);
+    assert_eq!(a.threads[0].instructions, b.threads[0].instructions);
+}
+
+#[test]
+fn open_row_policy_runs_and_differs() {
+    let run_with = |policy| {
+        let mut sys = SystemBuilder::new()
+            .row_policy(policy)
+            .seed(SEED)
+            .workload(by_name("mgrid").unwrap())
+            .workload(by_name("mcf").unwrap())
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles)
+    };
+    let closed = run_with(RowPolicy::Closed);
+    let open = run_with(RowPolicy::Open);
+    assert_ne!(closed, open, "row policy should alter behaviour");
+    // Open rows keep banks busy far longer.
+    assert!(open.bank_utilization > closed.bank_utilization);
+}
+
+#[test]
+fn at_arrival_vft_binding_still_provides_isolation() {
+    // The paper's "first solution" is coarser but must still keep QoS in
+    // the ballpark for a moderate subject.
+    let subject = by_name("gap").unwrap();
+    let art = by_name("art").unwrap();
+    let base = run_private_baseline(subject, 2, LEN.instructions, LEN.max_dram_cycles * 2, SEED);
+    let mut sys = SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .vft_binding(VftBinding::AtArrival)
+        .seed(SEED)
+        .workload(subject)
+        .workload(art)
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    assert!(
+        m.threads[0].ipc / base.ipc > 0.85,
+        "at-arrival binding lost isolation: {:.3}",
+        m.threads[0].ipc / base.ipc
+    );
+}
+
+#[test]
+fn cpu_ratio_scales_relative_memory_cost() {
+    // A faster CPU clock (higher ratio) makes memory relatively more
+    // expensive: IPC in CPU terms must drop for a memory-bound thread.
+    let run_with = |ratio: u64| {
+        let mut sys = SystemBuilder::new()
+            .cpu_ratio(ratio)
+            .seed(SEED)
+            .workload(by_name("lucas").unwrap())
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles).threads[0].ipc
+    };
+    let slow_cpu = run_with(2);
+    let fast_cpu = run_with(10);
+    assert!(
+        fast_cpu < slow_cpu,
+        "ratio 10 IPC {fast_cpu:.3} should be below ratio 2 IPC {slow_cpu:.3}"
+    );
+}
+
+#[test]
+fn closure_trace_sources_work() {
+    // The blanket FnMut impl of TraceSource composes with the builder.
+    let mut line = 0u64;
+    let trace = move || {
+        line += 1;
+        fqms_cpu::trace::TraceOp {
+            work: 10,
+            access: Some(fqms_cpu::trace::MemAccess {
+                addr: (line % 1024) * 64,
+                is_write: false,
+                dependent: false,
+            }),
+        }
+    };
+    let boxed: Box<dyn TraceSource> = Box::new(trace);
+    let mut sys = SystemBuilder::new()
+        .seed(SEED)
+        .workload_trace("closure", boxed, 0)
+        .build()
+        .unwrap();
+    let m = sys.run(5_000, 1_000_000);
+    assert!(m.threads[0].instructions >= 5_000);
+}
+
+#[test]
+fn prefetch_bandwidth_is_charged_to_the_issuing_thread() {
+    // A prefetching streamer shares with vpr under FQ-VFTF: the
+    // prefetcher's extra traffic counts against its own share, so vpr's
+    // QoS must be unaffected.
+    let vpr = by_name("vpr").unwrap();
+    let swim = by_name("swim").unwrap();
+    let base = run_private_baseline(vpr, 2, LEN.instructions, LEN.max_dram_cycles * 2, SEED);
+    let mut cfg = fqms_cpu::core::CoreConfig::paper();
+    cfg.prefetch_degree = 4;
+    let mut sys = SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .core_config(cfg)
+        .seed(SEED)
+        .workload(vpr)
+        .workload(swim)
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    let norm = m.threads[0].ipc / base.ipc;
+    assert!(
+        norm >= 0.9,
+        "vpr lost QoS to a prefetching neighbour: {norm:.3}"
+    );
+}
+
+#[test]
+fn shared_buffer_pool_degrades_qos() {
+    // The paper's static partitions vs the shared-pool future-work
+    // ablation: three aggressors oversubscribe a shared pool, NACK-starving
+    // the subject at admission. Deterministic seed, so strict comparison.
+    let subject = by_name("twolf").unwrap();
+    let art = by_name("art").unwrap();
+    let run_with = |sharing| {
+        let mut sys = SystemBuilder::new()
+            .scheduler(SchedulerKind::FqVftf)
+            .buffer_sharing(sharing)
+            .seed(SEED)
+            .workload(subject)
+            .workload(art)
+            .workload(art)
+            .workload(art)
+            .build()
+            .unwrap();
+        let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+        let nacks = sys
+            .controller()
+            .thread_stats(fqms_memctrl::request::ThreadId::new(0))
+            .nacks;
+        (m.threads[0].ipc, nacks)
+    };
+    let (part_ipc, part_nacks) = run_with(BufferSharing::Partitioned);
+    let (shared_ipc, shared_nacks) = run_with(BufferSharing::Shared);
+    assert!(
+        shared_nacks > part_nacks + 100,
+        "shared pool should NACK-storm the subject: {part_nacks} -> {shared_nacks}"
+    );
+    // The IPC penalty is seed- and mix-dependent (the ablation binary
+    // shows 4-9% at heavier mixes); the robust claim is that the shared
+    // pool never helps the subject while storming it with NACKs.
+    assert!(
+        shared_ipc < part_ipc * 1.02,
+        "shared pool should not help the subject: {shared_ipc} vs {part_ipc}"
+    );
+}
+
+#[test]
+fn shared_l2_breaks_isolation_that_fq_cannot_restore() {
+    // The paper keeps caches private so memory is the only shared
+    // resource. With one shared L2, a streaming neighbour thrashes the
+    // subject's working set and the FQ *memory* scheduler cannot help —
+    // cache-resident work now misses to memory.
+    let subject = by_name("twolf").unwrap(); // 2 MB footprint: fits when private? (512K L2: partially)
+    let art = by_name("art").unwrap();
+    let run_with = |shared: bool| {
+        let mut sys = SystemBuilder::new()
+            .scheduler(SchedulerKind::FqVftf)
+            .shared_l2(shared)
+            .seed(SEED)
+            .workload(subject)
+            .workload(art)
+            .build()
+            .unwrap();
+        let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+        (m.threads[0].ipc, m.threads[0].mem_reads)
+    };
+    let (private_ipc, private_misses) = run_with(false);
+    let (shared_ipc, shared_misses) = run_with(true);
+    assert!(
+        shared_misses > private_misses,
+        "sharing the L2 should add subject misses: {private_misses} -> {shared_misses}"
+    );
+    assert!(
+        shared_ipc < private_ipc,
+        "cache contention should cost the subject: {shared_ipc:.3} vs {private_ipc:.3}"
+    );
+}
+
+#[test]
+fn shared_l2_with_cache_resident_neighbour_is_harmless() {
+    // Sharing the L2 with a tiny-footprint neighbour costs little: the
+    // isolation loss above is contention, not the sharing itself.
+    let subject = by_name("gzip").unwrap();
+    let crafty = by_name("crafty").unwrap();
+    let run_with = |shared: bool| {
+        let mut sys = SystemBuilder::new()
+            .scheduler(SchedulerKind::FqVftf)
+            .shared_l2(shared)
+            .seed(SEED)
+            .workload(subject)
+            .workload(crafty)
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles).threads[0].ipc
+    };
+    let private = run_with(false);
+    let shared = run_with(true);
+    assert!(
+        shared > 0.85 * private,
+        "a polite neighbour should barely dent the subject: {shared:.3} vs {private:.3}"
+    );
+}

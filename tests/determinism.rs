@@ -1,0 +1,52 @@
+//! Reproducibility: identical configurations and seeds must produce
+//! bit-identical results; different seeds must actually vary the runs.
+
+use fqms::prelude::*;
+
+const LEN: RunLength = RunLength::quick();
+
+fn run_mix(scheduler: SchedulerKind, seed: u64) -> SystemMetrics {
+    let mut sys = SystemBuilder::new()
+        .scheduler(scheduler)
+        .seed(seed)
+        .workload(by_name("art").unwrap())
+        .workload(by_name("equake").unwrap())
+        .workload(by_name("vpr").unwrap())
+        .build()
+        .unwrap();
+    sys.run(LEN.instructions, LEN.max_dram_cycles)
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    for sched in SchedulerKind::all() {
+        let a = run_mix(sched, 1234);
+        let b = run_mix(sched, 1234);
+        assert_eq!(a, b, "{sched} diverged across identical runs");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_mix(SchedulerKind::FqVftf, 1);
+    let b = run_mix(SchedulerKind::FqVftf, 2);
+    assert_ne!(
+        a.threads[0].cpu_cycles, b.threads[0].cpu_cycles,
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn different_schedulers_differ() {
+    let a = run_mix(SchedulerKind::FrFcfs, 7);
+    let b = run_mix(SchedulerKind::FqVftf, 7);
+    assert_ne!(a, b, "schedulers should not produce identical runs");
+}
+
+#[test]
+fn baseline_runs_are_deterministic() {
+    let p = by_name("mcf").unwrap();
+    let a = run_private_baseline(p, 2, LEN.instructions, LEN.max_dram_cycles * 2, 5);
+    let b = run_private_baseline(p, 2, LEN.instructions, LEN.max_dram_cycles * 2, 5);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration tests: full systems (cores + caches + controller
+//! + DRAM) running the shipped workload profiles.
+
+use fqms::prelude::*;
+
+const LEN: RunLength = RunLength::quick();
+const SEED: u64 = 17;
+
+#[test]
+fn every_profile_runs_solo_to_completion() {
+    for p in &SPEC_PROFILES {
+        let m = run_solo(*p, 10_000, 5_000_000, SEED);
+        assert!(m.instructions >= 10_000, "{} stalled", p.name);
+        assert!(m.ipc > 0.0 && m.ipc <= 8.0, "{} ipc {}", p.name, m.ipc);
+    }
+}
+
+#[test]
+fn solo_utilization_spread_matches_figure_4_shape() {
+    let metrics = solo_sweep(LEN, SEED);
+    let utils: Vec<f64> = metrics.iter().map(|m| m.bus_utilization).collect();
+    // art is the most aggressive benchmark.
+    let art = utils[0];
+    assert!(
+        utils.iter().skip(1).all(|&u| u <= art),
+        "art must dominate: {utils:?}"
+    );
+    assert!(art > 0.7, "art should nearly saturate the bus, got {art}");
+    // The spread is (weakly) decreasing within a tolerance for run noise.
+    for w in utils.windows(2) {
+        assert!(
+            w[1] <= w[0] + 0.06,
+            "utilization ordering violated: {utils:?}"
+        );
+    }
+    // The excluded tail is cache-resident (< 2% as the paper states).
+    for (m, u) in metrics.iter().zip(&utils).skip(17) {
+        assert!(*u < 0.02, "{} should be cache-resident, got {u}", m.name);
+    }
+    // vpr uses a modest share (the paper's ~14%).
+    let vpr = metrics.iter().find(|m| m.name == "vpr").unwrap();
+    assert!(
+        (0.05..0.3).contains(&vpr.bus_utilization),
+        "vpr utilization {}",
+        vpr.bus_utilization
+    );
+}
+
+#[test]
+fn all_four_schedulers_complete_a_heavy_mix() {
+    let mix = four_core_workloads()[0];
+    for sched in SchedulerKind::all() {
+        let m = four_core_run(&mix, sched, LEN, SEED);
+        assert_eq!(m.threads.len(), 4);
+        for t in &m.threads {
+            assert!(
+                t.instructions >= LEN.instructions,
+                "{sched}: {} starved",
+                t.name
+            );
+        }
+        assert!(m.data_bus_utilization > 0.5, "{sched}: bus idle");
+    }
+}
+
+#[test]
+fn unloaded_latency_matches_paper_calibration() {
+    // The paper reports an unloaded read latency of ~180 processor cycles;
+    // vpr's solo latency (low MLP, modest load) should be near that.
+    let vpr = by_name("vpr").unwrap();
+    let m = run_solo(vpr, 30_000, 10_000_000, SEED);
+    assert!(
+        (140.0..230.0).contains(&m.avg_read_latency),
+        "vpr solo latency {} outside the calibrated window",
+        m.avg_read_latency
+    );
+}
+
+#[test]
+fn loaded_latency_blowup_under_frfcfs_matches_figure_1() {
+    // Figure 1: vpr's latency goes from ~150 to ~1070 cycles when
+    // co-scheduled with art under FR-FCFS (a ~7x blowup), and IPC drops by
+    // ~60%. Assert the *shape*: large latency blowup, large IPC loss.
+    let vpr = by_name("vpr").unwrap();
+    let art = by_name("art").unwrap();
+    let crafty = by_name("crafty").unwrap();
+    let solo = run_solo(vpr, LEN.instructions, LEN.max_dram_cycles, SEED);
+
+    let with_crafty = two_core_run(vpr, crafty, SchedulerKind::FrFcfs, LEN, SEED);
+    assert!(
+        with_crafty.threads[0].ipc > 0.9 * solo.ipc,
+        "crafty should not hurt vpr: {} vs {}",
+        with_crafty.threads[0].ipc,
+        solo.ipc
+    );
+
+    let with_art = two_core_run(vpr, art, SchedulerKind::FrFcfs, LEN, SEED);
+    assert!(
+        with_art.threads[0].avg_read_latency > 1.8 * solo.avg_read_latency,
+        "art should blow up vpr's latency: {} vs solo {}",
+        with_art.threads[0].avg_read_latency,
+        solo.avg_read_latency
+    );
+    assert!(
+        with_art.threads[0].ipc < 0.7 * solo.ipc,
+        "art should crater vpr's IPC: {} vs solo {}",
+        with_art.threads[0].ipc,
+        solo.ipc
+    );
+}
+
+#[test]
+fn fair_share_targets_for_workload_one() {
+    // Target utilizations for the heaviest mix must split the bus and
+    // never exceed solo demand.
+    let mix = four_core_workloads()[0];
+    let solos: Vec<f64> = mix
+        .iter()
+        .map(|p| run_solo(*p, LEN.instructions, LEN.max_dram_cycles, SEED).bus_utilization)
+        .collect();
+    let targets = target_utilizations(&solos, &[0.25; 4]);
+    for (t, s) in targets.iter().zip(&solos) {
+        assert!(t <= s);
+        assert!(*t >= 0.0);
+    }
+    let total: f64 = targets.iter().sum();
+    assert!(total <= 1.0 + 1e-9);
+}

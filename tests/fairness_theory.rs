@@ -1,0 +1,101 @@
+//! GPS service-lag bounds, measured end to end (the theory behind the
+//! paper's QoS claim): under FQ-VFTF every backlogged thread's data-bus
+//! service stays within a bounded lag of its `phi`-entitlement; FR-FCFS
+//! has no such bound when shares are unequal (it is share-oblivious).
+
+use fqms::prelude::*;
+use fqms_memctrl::request::ThreadId;
+
+/// Runs two always-backlogged copies of `swim` with the given shares and
+/// scheduler, sampling cumulative per-thread bus service every 64 DRAM
+/// cycles. Returns the worst lag observed for each thread (bus cycles).
+fn measure_lag(scheduler: SchedulerKind, shares: Vec<f64>, cycles: u64) -> Vec<f64> {
+    let swim = by_name("swim").unwrap();
+    let mut sys = SystemBuilder::new()
+        .scheduler(scheduler)
+        .shares(shares.clone())
+        .seed(97)
+        .workload(swim)
+        .workload(swim)
+        .build()
+        .unwrap();
+    let mut tracker = ServiceLagTracker::new(shares).unwrap();
+    // Let the system fill its buffers before measuring.
+    for _ in 0..5_000 {
+        sys.step();
+    }
+    let base: Vec<u64> = (0..2)
+        .map(|i| {
+            sys.controller()
+                .thread_stats(ThreadId::new(i))
+                .bus_busy_cycles
+        })
+        .collect();
+    for k in 0..cycles {
+        sys.step();
+        if k % 64 == 0 {
+            let sample: Vec<u64> = (0..2)
+                .map(|i| {
+                    sys.controller()
+                        .thread_stats(ThreadId::new(i))
+                        .bus_busy_cycles
+                        - base[i as usize]
+                })
+                .collect();
+            tracker.observe(&sample);
+        }
+    }
+    (0..2).map(|i| tracker.worst_lag(i)).collect()
+}
+
+#[test]
+fn fq_vftf_lag_is_bounded_with_equal_shares() {
+    let lag = measure_lag(SchedulerKind::FqVftf, vec![0.5, 0.5], 60_000);
+    for (i, l) in lag.iter().enumerate() {
+        assert!(
+            *l > -2_000.0,
+            "thread {i} fell {l} bus-cycles behind its GPS entitlement"
+        );
+    }
+}
+
+#[test]
+fn fq_vftf_lag_is_bounded_with_asymmetric_shares() {
+    let lag = measure_lag(SchedulerKind::FqVftf, vec![0.75, 0.25], 60_000);
+    assert!(
+        lag[0] > -4_000.0,
+        "the 3/4-share thread fell {} bus-cycles behind",
+        lag[0]
+    );
+}
+
+#[test]
+fn fr_fcfs_lag_grows_without_bound_for_the_large_share() {
+    // FR-FCFS ignores shares: with identical demands it converges to an
+    // even split, so the 0.75-entitled thread falls behind linearly. Its
+    // lag after T cycles of ~full-bus service is ~(0.5 - 0.75) * T.
+    let short = measure_lag(SchedulerKind::FrFcfs, vec![0.75, 0.25], 30_000);
+    let long = measure_lag(SchedulerKind::FrFcfs, vec![0.75, 0.25], 90_000);
+    assert!(
+        long[0] < 2.0 * short[0],
+        "FR-FCFS lag should grow with time: {} -> {}",
+        short[0],
+        long[0]
+    );
+    assert!(long[0] < -4_000.0, "lag was only {}", long[0]);
+}
+
+#[test]
+fn fq_lag_bound_is_independent_of_run_length() {
+    // The QoS property: the worst-case lag stays below a fixed constant
+    // (a few requests' worth of service) no matter how long the run is —
+    // in contrast to FR-FCFS's linear divergence above. Short-window
+    // excursions wander by a burst or two; they must not scale with T.
+    let long = measure_lag(SchedulerKind::FqVftf, vec![0.5, 0.5], 120_000);
+    for (i, l) in long.iter().enumerate() {
+        assert!(
+            *l > -2_000.0,
+            "thread {i} lag {l} over a long run: bound is not constant"
+        );
+    }
+}

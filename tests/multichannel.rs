@@ -1,0 +1,95 @@
+//! Multi-channel memory systems (the paper's future-work extension):
+//! line-interleaved channels with independent schedulers and VTMS state.
+
+use fqms::prelude::*;
+
+const LEN: RunLength = RunLength::quick();
+const SEED: u64 = 53;
+
+#[test]
+fn two_channels_help_bandwidth_bound_threads() {
+    let run_with = |channels: usize| {
+        let mut sys = SystemBuilder::new()
+            .channels(channels)
+            .seed(SEED)
+            .workload(by_name("art").unwrap())
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles).threads[0].ipc
+    };
+    let one = run_with(1);
+    let two = run_with(2);
+    assert!(
+        two > 1.3 * one,
+        "a second channel should speed up art: {two:.3} vs {one:.3}"
+    );
+}
+
+#[test]
+fn channels_leave_latency_bound_threads_mostly_alone() {
+    let run_with = |channels: usize| {
+        let mut sys = SystemBuilder::new()
+            .channels(channels)
+            .seed(SEED)
+            .workload(by_name("vpr").unwrap())
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles).threads[0].ipc
+    };
+    let one = run_with(1);
+    let two = run_with(2);
+    // vpr is latency-bound: extra bandwidth buys little.
+    assert!(
+        two < 1.25 * one,
+        "vpr should be latency-bound: {two:.3} vs {one:.3}"
+    );
+}
+
+#[test]
+fn fq_qos_holds_on_two_channels() {
+    // The QoS objective extends naturally: a thread with share 1/2 of a
+    // two-channel system must beat its half-speed two-channel baseline.
+    let subject = by_name("twolf").unwrap();
+    let art = by_name("art").unwrap();
+    let baseline = {
+        let mut sys = SystemBuilder::new()
+            .channels(2)
+            .timing(fqms_dram::timing::TimingParams::ddr2_800().time_scaled(2))
+            .seed(SEED)
+            .workload(subject)
+            .build()
+            .unwrap();
+        sys.run(LEN.instructions, LEN.max_dram_cycles * 2).threads[0].ipc
+    };
+    let mut sys = SystemBuilder::new()
+        .channels(2)
+        .scheduler(SchedulerKind::FqVftf)
+        .seed(SEED)
+        .workload(subject)
+        .workload(art)
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    let norm = m.threads[0].ipc / baseline;
+    assert!(
+        norm >= 0.9,
+        "two-channel FQ QoS violated: normalized IPC {norm:.3}"
+    );
+}
+
+#[test]
+fn aggregate_utilization_accounts_for_both_channels() {
+    let mut sys = SystemBuilder::new()
+        .channels(2)
+        .seed(SEED)
+        .workload(by_name("art").unwrap())
+        .workload(by_name("swim").unwrap())
+        .build()
+        .unwrap();
+    let m = sys.run(LEN.instructions, LEN.max_dram_cycles);
+    // Utilization is a fraction of *combined* peak bandwidth.
+    assert!(m.data_bus_utilization <= 1.0);
+    assert!(m.data_bus_utilization > 0.3);
+    let per_thread: f64 = m.threads.iter().map(|t| t.bus_utilization).sum();
+    assert!((per_thread - m.data_bus_utilization).abs() < 0.05);
+}
