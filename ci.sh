@@ -1,0 +1,17 @@
+#!/bin/bash
+# Hermetic CI gate: formatting, offline release build, offline test suite.
+# Must pass with no network and no registry access — the workspace has no
+# external dependencies by policy (see DESIGN.md, "Hermetic builds").
+set -e
+cd "$(dirname "$0")"
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo build --release --offline ==="
+cargo build --release --offline
+
+echo "=== cargo test -q --offline ==="
+cargo test -q --offline
+
+echo "CI OK"

@@ -1,10 +1,13 @@
-//! Criterion benchmarks of the figure pipelines themselves: short
-//! (statistically down-scaled) versions of the paper's experiments, so
-//! `cargo bench` exercises every experiment path end to end and tracks
-//! simulator throughput regressions.
+//! Benchmarks of the figure pipelines themselves: short (statistically
+//! down-scaled) versions of the paper's experiments, so the bench run
+//! exercises every experiment path end to end and tracks simulator
+//! throughput regressions.
+//!
+//! Runs on the in-tree [`fqms_bench::timing::TimingHarness`] (the build is
+//! hermetic, so no Criterion); output is TSV on stdout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fqms::prelude::*;
+use fqms_bench::timing::TimingHarness;
 use std::hint::black_box;
 
 const LEN: RunLength = RunLength {
@@ -12,21 +15,16 @@ const LEN: RunLength = RunLength {
     max_dram_cycles: 2_000_000,
 };
 
-fn bench_solo_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_solo_run");
-    group.sample_size(10);
+fn bench_solo_runs(h: &mut TimingHarness) {
     for name in ["art", "apsi", "vpr", "crafty"] {
         let profile = by_name(name).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
-            b.iter(|| run_solo(black_box(*p), LEN.instructions, LEN.max_dram_cycles, 3));
+        h.bench(&format!("fig4_solo_run/{name}"), || {
+            run_solo(black_box(profile), LEN.instructions, LEN.max_dram_cycles, 3)
         });
     }
-    group.finish();
 }
 
-fn bench_two_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_two_core_vs_art");
-    group.sample_size(10);
+fn bench_two_core(h: &mut TimingHarness) {
     let art = by_name("art").unwrap();
     let vpr = by_name("vpr").unwrap();
     for sched in [
@@ -34,58 +32,41 @@ fn bench_two_core(c: &mut Criterion) {
         SchedulerKind::FrVftf,
         SchedulerKind::FqVftf,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sched.name()),
-            &sched,
-            |b, &s| {
-                b.iter(|| two_core_run(black_box(vpr), black_box(art), s, LEN, 3));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_four_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_four_core_workload1");
-    group.sample_size(10);
-    let mix = four_core_workloads()[0];
-    for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sched.name()),
-            &sched,
-            |b, &s| {
-                b.iter(|| four_core_run(black_box(&mix), s, LEN, 3));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_time_scaled");
-    group.sample_size(10);
-    let swim = by_name("swim").unwrap();
-    for factor in [1u64, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
-            b.iter(|| {
-                run_private_baseline(
-                    black_box(swim),
-                    f,
-                    LEN.instructions,
-                    LEN.max_dram_cycles * f,
-                    3,
-                )
-            });
+        h.bench(&format!("fig5_two_core_vs_art/{}", sched.name()), || {
+            two_core_run(black_box(vpr), black_box(art), sched, LEN, 3)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_solo_runs,
-    bench_two_core,
-    bench_four_core,
-    bench_baseline
-);
-criterion_main!(benches);
+fn bench_four_core(h: &mut TimingHarness) {
+    let mix = four_core_workloads()[0];
+    for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+        h.bench(
+            &format!("fig8_four_core_workload1/{}", sched.name()),
+            || four_core_run(black_box(&mix), sched, LEN, 3),
+        );
+    }
+}
+
+fn bench_baseline(h: &mut TimingHarness) {
+    let swim = by_name("swim").unwrap();
+    for factor in [1u64, 2, 4] {
+        h.bench(&format!("baseline_time_scaled/x{factor}"), || {
+            run_private_baseline(
+                black_box(swim),
+                factor,
+                LEN.instructions,
+                LEN.max_dram_cycles * factor,
+                3,
+            )
+        });
+    }
+}
+
+fn main() {
+    let mut h = TimingHarness::new("figure_pipelines");
+    bench_solo_runs(&mut h);
+    bench_two_core(&mut h);
+    bench_four_core(&mut h);
+    bench_baseline(&mut h);
+}

@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks of the simulator's hot paths: the memory
-//! controller's per-cycle scheduling decision under each policy, the DRAM
-//! device's readiness checks, and VTMS updates.
+//! Microbenchmarks of the simulator's hot paths: the memory controller's
+//! per-cycle scheduling decision under each policy, the DRAM device's
+//! readiness checks, and VTMS updates.
+//!
+//! Runs on the in-tree [`fqms_bench::timing::TimingHarness`] (the build is
+//! hermetic, so no Criterion); output is TSV on stdout.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fqms_bench::timing::TimingHarness;
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_memctrl::config::McConfig;
@@ -38,21 +41,15 @@ fn drive_controller(kind: SchedulerKind, cycles: u64, seed: u64) -> u64 {
     completed
 }
 
-fn bench_scheduler_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("controller_step_per_cycle");
+fn bench_scheduler_step(h: &mut TimingHarness) {
     for kind in SchedulerKind::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| drive_controller(black_box(kind), 5_000, 7));
-            },
-        );
+        h.bench(&format!("controller_step/{}", kind.name()), || {
+            drive_controller(black_box(kind), 5_000, 7)
+        });
     }
-    group.finish();
 }
 
-fn bench_dram_readiness(c: &mut Criterion) {
+fn bench_dram_readiness(h: &mut TimingHarness) {
     use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
     let mut dram = DramDevice::new(Geometry::paper(), TimingParams::ddr2_800());
     dram.issue(
@@ -68,34 +65,40 @@ fn bench_dram_readiness(c: &mut Criterion) {
         bank: BankId::new(0),
         col: ColId::new(0),
     };
-    c.bench_function("dram_is_ready", |b| {
-        b.iter(|| dram.is_ready(black_box(&rd), black_box(DramCycle::new(10))))
+    h.bench("dram_is_ready_x1M", || {
+        let mut hits = 0u64;
+        for _ in 0..1_000_000 {
+            if dram.is_ready(black_box(&rd), black_box(DramCycle::new(10))) {
+                hits += 1;
+            }
+        }
+        hits
     });
 }
 
-fn bench_vtms_update(c: &mut Criterion) {
+fn bench_vtms_update(h: &mut TimingHarness) {
     let t = TimingParams::ddr2_800();
-    c.bench_function("vtms_finish_time_and_update", |b| {
+    h.bench("vtms_finish_time_and_update_x1M", || {
         let mut v = Vtms::new(0.25, 8).unwrap();
         let mut cycle = 0u64;
-        b.iter(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..1_000_000 {
             cycle += 10;
-            let f = v.virtual_finish_time(DramCycle::new(cycle), 3, 10, 4);
+            acc += v.virtual_finish_time(DramCycle::new(cycle), 3, 10, 4);
             v.apply_command(
                 fqms_dram::command::CommandKind::Read,
                 DramCycle::new(cycle),
                 3,
                 &t,
             );
-            black_box(f)
-        })
+        }
+        acc
     });
 }
 
-criterion_group!(
-    benches,
-    bench_scheduler_step,
-    bench_dram_readiness,
-    bench_vtms_update
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = TimingHarness::new("scheduler_hot_path");
+    bench_scheduler_step(&mut h);
+    bench_dram_readiness(&mut h);
+    bench_vtms_update(&mut h);
+}

@@ -1,0 +1,79 @@
+//! Serial-vs-parallel wall-clock study for the sharded multi-channel
+//! engine and the parallel experiment runner.
+//!
+//! Every parallel measurement is checked bit-identical against its serial
+//! counterpart before its speedup is reported, so the numbers below are
+//! guaranteed to describe equivalent computations.
+
+use fqms::prelude::*;
+use fqms_bench::{f, header, row, run_length, seed};
+use fqms_memctrl::prelude::*;
+use std::time::Instant;
+
+fn secs<T>(work: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = work();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let len = run_length();
+    let seed = seed();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Speedup is bounded by the host: on a single-CPU machine the
+    // parallel runs only demonstrate equivalence, not acceleration.
+    println!("#available_parallelism\t{hw}");
+
+    println!("== Sharded engine: multi-channel DDR2 simulation ==");
+    header(&[
+        "channels",
+        "threads",
+        "requests",
+        "sim_cycles",
+        "serial_s",
+        "parallel_s",
+        "speedup",
+    ]);
+    // Scale the synthetic request stream with FQMS_RUNLEN so quick CI
+    // runs stay fast while full runs saturate the workers.
+    let gen_cycles = len.instructions.clamp(20_000, 500_000);
+    for channels in [4usize, 8] {
+        let mut spec = EngineSpec::paper(channels, 4);
+        spec.max_cycles = 64 * gen_cycles;
+        let events = synthetic_workload(4, gen_cycles, 0.6, seed);
+        let (serial, serial_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        for threads in [1usize, 2, 4, 8] {
+            let (parallel, parallel_s) =
+                secs(|| simulate_parallel(&spec, &events, threads).expect("valid spec"));
+            assert_eq!(serial, parallel, "parallel run diverged from serial");
+            row(&[
+                channels.to_string(),
+                threads.to_string(),
+                events.len().to_string(),
+                serial.cycles.to_string(),
+                f(serial_s),
+                f(parallel_s),
+                f(serial_s / parallel_s),
+            ]);
+        }
+    }
+
+    println!();
+    println!("== Experiment runner: Figure 4 solo sweep (20 systems) ==");
+    header(&["threads", "serial_s", "parallel_s", "speedup"]);
+    let sweep_len = RunLength {
+        instructions: len.instructions / 10,
+        max_dram_cycles: len.max_dram_cycles / 10,
+    };
+    let (serial, serial_s) = secs(|| solo_sweep(sweep_len, seed));
+    for threads in [2usize, 4, hw.clamp(2, 16)] {
+        let (parallel, parallel_s) = secs(|| solo_sweep_parallel(sweep_len, seed, threads));
+        assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+        row(&[
+            threads.to_string(),
+            f(serial_s),
+            f(parallel_s),
+            f(serial_s / parallel_s),
+        ]);
+    }
+}

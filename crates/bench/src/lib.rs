@@ -12,6 +12,8 @@
 
 use fqms::prelude::*;
 
+pub mod timing;
+
 /// Reads the run length from `FQMS_RUNLEN` (quick/standard/full).
 pub fn run_length() -> RunLength {
     match std::env::var("FQMS_RUNLEN").as_deref() {

@@ -1,0 +1,88 @@
+//! Minimal in-tree timing harness for `harness = false` benches.
+//!
+//! The workspace builds hermetically (no network, no registry), so the
+//! benches cannot depend on Criterion. This module provides the small
+//! subset actually needed: named benchmark groups, a measured warm-up,
+//! a fixed number of timed iterations, and min/mean/max reporting in the
+//! same TSV style as the figure binaries.
+//!
+//! Iteration counts honour `FQMS_BENCH_ITERS` (default 10) so CI can run
+//! the benches quickly while local profiling uses more samples.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Reads the per-benchmark iteration count from `FQMS_BENCH_ITERS`.
+pub fn bench_iters() -> u32 {
+    std::env::var("FQMS_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// A named group of timed benchmarks, printed as TSV on stdout.
+pub struct TimingHarness {
+    group: String,
+    iters: u32,
+    header_printed: bool,
+}
+
+impl TimingHarness {
+    /// Creates a harness for one benchmark group.
+    pub fn new(group: &str) -> Self {
+        TimingHarness {
+            group: group.to_string(),
+            iters: bench_iters(),
+            header_printed: false,
+        }
+    }
+
+    /// Times `f` for `self.iters` iterations after one untimed warm-up
+    /// call, printing a TSV row. The closure's return value is passed
+    /// through [`black_box`] so the work cannot be optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if !self.header_printed {
+            println!("#group\tbench\titers\tmin_us\tmean_us\tmax_us");
+            self.header_printed = true;
+        }
+        black_box(f()); // warm-up: page in code and data
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let mean = total / self.iters;
+        println!(
+            "{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+            self.group,
+            name,
+            self.iters,
+            min.as_secs_f64() * 1e6,
+            mean.as_secs_f64() * 1e6,
+            max.as_secs_f64() * 1e6,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_closure() {
+        let mut h = TimingHarness::new("unit");
+        let mut calls = 0u32;
+        h.bench("count", || {
+            calls += 1;
+            calls
+        });
+        // one warm-up + iters timed calls
+        assert_eq!(calls, 1 + bench_iters());
+    }
+}

@@ -10,6 +10,8 @@ use crate::system::SystemBuilder;
 use fqms_memctrl::policy::SchedulerKind;
 use fqms_workloads::profile::WorkloadProfile;
 use fqms_workloads::spec::SPEC_PROFILES;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// How long to simulate: the per-thread instruction target and a hard
 /// cycle bound (so pathological configurations cannot hang a sweep).
@@ -60,6 +62,59 @@ pub fn solo_sweep(len: RunLength, seed: u64) -> Vec<ThreadMetrics> {
         .iter()
         .map(|p| crate::baseline::run_solo(*p, len.instructions, len.max_dram_cycles, seed))
         .collect()
+}
+
+/// Runs independent simulation jobs across `num_threads` OS threads and
+/// returns their results in input order.
+///
+/// `System` is deliberately `!Send` (the shared L2 is reference-counted),
+/// so each job is a closure that *constructs* its own system inside the
+/// worker thread. Jobs are claimed from a shared counter, so scheduling
+/// is work-stealing but the output order — and, because every job is
+/// self-contained and internally deterministic, every result — is
+/// independent of thread count and interleaving.
+///
+/// # Panics
+///
+/// Panics if `num_threads` is zero or a job panics.
+pub fn run_jobs<T, F>(jobs: Vec<F>, num_threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(num_threads > 0, "need at least one worker thread");
+    let n = jobs.len();
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..num_threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i].lock().unwrap().take().expect("job claimed once");
+                let out = job();
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every job ran"))
+        .collect()
+}
+
+/// Parallel [`solo_sweep`]: the twenty Figure 4 solo runs distributed
+/// across `num_threads` workers. Bit-identical to the serial sweep —
+/// each run builds its own isolated system from `(profile, len, seed)`.
+pub fn solo_sweep_parallel(len: RunLength, seed: u64, num_threads: usize) -> Vec<ThreadMetrics> {
+    let jobs: Vec<_> = SPEC_PROFILES
+        .iter()
+        .map(|p| move || crate::baseline::run_solo(*p, len.instructions, len.max_dram_cycles, seed))
+        .collect();
+    run_jobs(jobs, num_threads)
 }
 
 /// Runs a two-core CMP: `subject` on thread 0, `background` on thread 1,
@@ -122,6 +177,32 @@ mod tests {
         let m = four_core_run(&mix, SchedulerKind::FqVftf, RunLength::quick(), 3);
         assert_eq!(m.threads.len(), 4);
         assert!(m.threads.iter().all(|t| t.instructions > 0));
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_results() {
+        let jobs: Vec<_> = (0u64..17).map(|i| move || i * i).collect();
+        for threads in [1, 3, 8] {
+            let jobs: Vec<_> = (0u64..17).map(|i| move || i * i).collect();
+            assert_eq!(
+                run_jobs(jobs, threads),
+                (0u64..17).map(|i| i * i).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(run_jobs(jobs, 4).len(), 17);
+        assert!(run_jobs(Vec::<fn() -> u8>::new(), 2).is_empty());
+    }
+
+    #[test]
+    fn parallel_solo_sweep_matches_serial() {
+        let len = RunLength {
+            instructions: 2_000,
+            max_dram_cycles: 400_000,
+        };
+        let serial = solo_sweep(len, 11);
+        for threads in [2, 4] {
+            assert_eq!(solo_sweep_parallel(len, 11, threads), serial);
+        }
     }
 
     #[test]

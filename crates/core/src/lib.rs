@@ -47,7 +47,9 @@ pub mod theory;
 /// Convenient re-exports for typical use.
 pub mod prelude {
     pub use crate::baseline::{run_private_baseline, run_solo};
-    pub use crate::experiment::{four_core_run, solo_sweep, two_core_run, RunLength};
+    pub use crate::experiment::{
+        four_core_run, run_jobs, solo_sweep, solo_sweep_parallel, two_core_run, RunLength,
+    };
     pub use crate::fairshare::target_utilizations;
     pub use crate::metrics::{improvement, SystemMetrics, ThreadMetrics};
     pub use crate::system::{System, SystemBuilder};

@@ -1,10 +1,14 @@
-//! Differential property tests for the cache model: the set-associative
-//! LRU cache must agree with a naive reference implementation (per-set
-//! ordered lists) on hit/miss outcomes and dirty-eviction addresses for
-//! arbitrary access sequences.
+//! Differential tests for the cache model: the set-associative LRU cache
+//! must agree with a naive reference implementation (per-set ordered
+//! lists) on hit/miss outcomes and dirty-eviction addresses for random
+//! access sequences.
+//!
+//! Randomness comes from the in-tree deterministic [`fqms_sim::rng::SimRng`]
+//! with fixed seeds, so the build stays hermetic (no external `proptest`
+//! dependency) and every run explores exactly the same cases.
 
 use fqms_cpu::cache::{Cache, CacheConfig, Lookup};
-use proptest::prelude::*;
+use fqms_sim::rng::SimRng;
 use std::collections::VecDeque;
 
 /// A deliberately simple reference model: per set, an LRU-ordered deque of
@@ -62,15 +66,12 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random probe/fill sequences produce identical hit/miss outcomes and
-    /// identical dirty writebacks in both implementations.
-    #[test]
-    fn cache_matches_reference_model(
-        ops in prop::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..400)
-    ) {
+/// Random probe/fill sequences produce identical hit/miss outcomes and
+/// identical dirty writebacks in both implementations.
+#[test]
+fn cache_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0xCAC4E_0000 + case);
         let cfg = CacheConfig {
             size_bytes: 1024, // 4 sets x 4 ways
             ways: 4,
@@ -79,24 +80,31 @@ proptest! {
         };
         let mut cache = Cache::new(cfg).unwrap();
         let mut reference = RefCache::new(cfg);
-        for (i, &(line, write, do_fill)) in ops.iter().enumerate() {
+        let ops = 1 + rng.next_below(400) as usize;
+        for i in 0..ops {
+            let line = rng.next_below(64);
+            let write = rng.chance(0.5);
+            let do_fill = rng.chance(0.5);
             let addr = line * 64;
             if do_fill {
                 let a = cache.fill(addr, write);
                 let b = reference.fill(addr, write);
-                prop_assert_eq!(a, b, "fill divergence at op {}", i);
+                assert_eq!(a, b, "fill divergence at case {case} op {i}");
             } else {
                 let a = cache.probe(addr, write) == Lookup::Hit;
                 let b = reference.probe(addr, write);
-                prop_assert_eq!(a, b, "probe divergence at op {}", i);
+                assert_eq!(a, b, "probe divergence at case {case} op {i}");
             }
         }
     }
+}
 
-    /// Capacity invariant: a footprint that fits is fully resident after
-    /// one pass, whatever the access order.
-    #[test]
-    fn fitting_footprint_is_fully_resident(mut lines in prop::collection::vec(0u64..16, 16..64)) {
+/// Capacity invariant: a footprint that fits is fully resident after one
+/// pass, whatever the access order.
+#[test]
+fn fitting_footprint_is_fully_resident() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0xF007_0000 + case);
         let cfg = CacheConfig {
             size_bytes: 1024, // holds exactly 16 lines
             ways: 4,
@@ -104,6 +112,8 @@ proptest! {
             latency: 1,
         };
         let mut cache = Cache::new(cfg).unwrap();
+        let extra = 16 + rng.next_below(48) as usize;
+        let mut lines: Vec<u64> = (0..extra).map(|_| rng.next_below(16)).collect();
         lines.extend(0..16); // make sure every line appears at least once
         for &l in &lines {
             if cache.probe(l * 64, false) == Lookup::Miss {
@@ -111,7 +121,11 @@ proptest! {
             }
         }
         for l in 0..16u64 {
-            prop_assert_eq!(cache.probe(l * 64, false), Lookup::Hit, "line {} evicted", l);
+            assert_eq!(
+                cache.probe(l * 64, false),
+                Lookup::Hit,
+                "case {case}: line {l} evicted"
+            );
         }
     }
 }

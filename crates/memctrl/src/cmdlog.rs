@@ -52,7 +52,7 @@ impl std::fmt::Display for CommandRecord {
 /// assert_eq!(log.len(), 2); // oldest entry evicted
 /// assert_eq!(log.iter().next().unwrap().cycle, DramCycle::new(1));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommandLog {
     ring: VecDeque<CommandRecord>,
     capacity: usize,

@@ -29,7 +29,7 @@ use crate::policy::{BufferSharing, Priority, RefreshPolicy, RowPolicy, Scheduler
 use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
 use crate::stats::McStats;
 use crate::vtms::{bank_service, Vtms};
-use fqms_dram::command::{BankId, Command, RankId, RowId};
+use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_sim::clock::DramCycle;
@@ -660,37 +660,97 @@ fn propose_for_bank(
     // the channel will reject it this cycle: lower-priority pending work
     // cannot bypass it (the first-ready chaining behaviour of Section
     // 3.3).
+    //
+    // Bank-level readiness depends only on the command *class* at this
+    // bank (CAS read, CAS write, precharge, activate) — never on the row
+    // or column — so one probe per class replaces a probe per pending
+    // request and the scan reduces to a row-compare plus a key compare
+    // per request: the channel arbitration step is O(banks), not
+    // O(requests).
+    let ready = ReadyClasses::probe(dram, rank, bank, open_row.is_some(), now);
     let candidate_range = if kind.uses_first_ready() {
         0..queue.len()
     } else {
         0..1
     };
-    let mut best: Option<Proposal> = None;
+    let mut best: Option<(Priority, usize)> = None;
     for i in candidate_range {
-        let cmd = next_command(&queue[i].req, open_row, rank, bank);
-        if !dram.bank_ready(&cmd, now) {
+        let p = &mut queue[i];
+        let (class_ready, cas) = match open_row {
+            Some(row) if row == p.req.addr.row => match p.req.kind {
+                RequestKind::Read => (ready.read, true),
+                RequestKind::Write => (ready.write, true),
+            },
+            Some(_) => (ready.precharge, false),
+            None => (ready.activate, false),
+        };
+        if !class_ready {
             continue;
         }
         let key = if kind.uses_vftf() {
-            bind_vft(&mut queue[i], vtms, bank_idx, open_row, timing)
+            bind_vft(p, vtms, bank_idx, open_row, timing)
         } else {
-            queue[i].req.arrival.as_f64()
+            p.req.arrival.as_f64()
         };
         let prio = Priority {
             ready: true,
-            cas: cmd.is_cas(),
+            cas,
             key,
-            id: queue[i].req.id,
+            id: p.req.id,
         };
-        if best.as_ref().map_or(true, |b| prio < b.prio) {
-            best = Some(Proposal {
-                cmd,
-                prio,
-                source: Some((bank_idx, i)),
-            });
+        if best.as_ref().map_or(true, |(b, _)| prio < *b) {
+            best = Some((prio, i));
         }
     }
-    best
+    best.map(|(prio, i)| Proposal {
+        cmd: next_command(&queue[i].req, open_row, rank, bank),
+        prio,
+        source: Some((bank_idx, i)),
+    })
+}
+
+/// Bank-level readiness of each command class at one bank this cycle.
+///
+/// [`DramDevice::bank_ready`] is a function of the bank's timing state and
+/// the command kind only (rows and columns never enter the inequality), so
+/// the bank scheduler probes each class once per cycle instead of once per
+/// pending request.
+#[derive(Debug, Clone, Copy)]
+struct ReadyClasses {
+    /// CAS read to the open row.
+    read: bool,
+    /// CAS write to the open row.
+    write: bool,
+    /// Precharge of the open row.
+    precharge: bool,
+    /// Activate on a closed bank.
+    activate: bool,
+}
+
+impl ReadyClasses {
+    fn probe(dram: &DramDevice, rank: RankId, bank: BankId, open: bool, now: DramCycle) -> Self {
+        if open {
+            let col = ColId::new(0);
+            ReadyClasses {
+                read: dram.bank_ready(&Command::Read { rank, bank, col }, now),
+                write: dram.bank_ready(&Command::Write { rank, bank, col }, now),
+                precharge: dram.bank_ready(&Command::Precharge { rank, bank }, now),
+                activate: false,
+            }
+        } else {
+            let act = Command::Activate {
+                rank,
+                bank,
+                row: RowId::new(0),
+            };
+            ReadyClasses {
+                read: false,
+                write: false,
+                precharge: false,
+                activate: dram.bank_ready(&act, now),
+            }
+        }
+    }
 }
 
 /// Binds (or returns the cached) virtual finish time of a pending request,

@@ -1,0 +1,459 @@
+//! Sharded multi-channel simulation engine.
+//!
+//! Channels in a line-interleaved memory system share no state: each has
+//! its own bank schedulers, VTMS bookkeeping, transaction buffers, and
+//! command log, and a request touches exactly one channel. That makes the
+//! channel the natural sharding boundary for parallel simulation. This
+//! module pre-routes an *open-loop submission schedule* (a time-ordered
+//! list of [`SubmitEvent`]s) onto per-channel [`ChannelShard`]s and drives
+//! them with the epoch-barrier executor from
+//! [`fqms_sim::parallel`] — either serially ([`simulate_serial`]) or
+//! across worker threads ([`simulate_parallel`]).
+//!
+//! # Determinism guarantee
+//!
+//! Each shard advances its own channel with the same single-threaded code
+//! path in both modes, and shards never communicate, so the parallel run
+//! produces **bit-identical** per-thread statistics, completions, and
+//! command logs to the serial run — regardless of worker count, epoch
+//! length, or OS scheduling. The merged [`EngineReport`] is assembled in
+//! channel-index order, so it is deterministic too, and `assert_eq!`
+//! between a serial and a parallel report is the equivalence test.
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_memctrl::engine::{simulate_parallel, simulate_serial, synthetic_workload, EngineSpec};
+//!
+//! let spec = EngineSpec::paper(4, 2); // 4 channels, 2 threads
+//! let events = synthetic_workload(2, 2_000, 0.3, 42);
+//! let serial = simulate_serial(&spec, &events).unwrap();
+//! let parallel = simulate_parallel(&spec, &events, 4).unwrap();
+//! assert_eq!(serial, parallel);
+//! ```
+
+use crate::cmdlog::CommandLog;
+use crate::config::McConfig;
+use crate::controller::{Completion, MemoryController};
+use crate::multichannel::MultiChannelController;
+use crate::policy::SchedulerKind;
+use crate::request::{RequestKind, ThreadId};
+use crate::stats::ThreadStats;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::parallel::{run_parallel, run_serial, Shard};
+use fqms_sim::rng::SimRng;
+use std::collections::VecDeque;
+
+/// One request in an open-loop submission schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitEvent {
+    /// Earliest cycle the request may be submitted (it is retried every
+    /// cycle after a NACK, head-of-line per channel).
+    pub at: DramCycle,
+    /// Originating thread.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// System-wide physical address (the engine routes and localizes it).
+    pub phys: u64,
+}
+
+/// Configuration of a sharded engine run.
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// Number of line-interleaved channels (= shards).
+    pub num_channels: usize,
+    /// Per-channel controller configuration.
+    pub config: McConfig,
+    /// Per-channel DRAM geometry.
+    pub geometry: Geometry,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// Cycles per epoch between barriers (bounds cross-shard skew; has no
+    /// effect on results, only on scheduling granularity).
+    pub epoch_cycles: u64,
+    /// Hard cycle bound: the run stops here even if shards still hold
+    /// work (safety net against schedules that can never drain).
+    pub max_cycles: u64,
+    /// Per-channel command-log capacity; `None` disables logging.
+    pub log_capacity: Option<usize>,
+}
+
+impl EngineSpec {
+    /// The paper's Table 5 configuration under FQ-VFTF, spread over
+    /// `num_channels` channels, with engine defaults (1024-cycle epochs,
+    /// 10M-cycle safety bound, logging disabled).
+    pub fn paper(num_channels: usize, num_threads: usize) -> Self {
+        EngineSpec {
+            num_channels,
+            config: McConfig::paper(num_threads, SchedulerKind::FqVftf),
+            geometry: Geometry::paper(),
+            timing: TimingParams::ddr2_800(),
+            epoch_cycles: 1024,
+            max_cycles: 10_000_000,
+            log_capacity: None,
+        }
+    }
+}
+
+/// One channel plus its pre-routed slice of the submission schedule —
+/// a self-contained [`Shard`].
+#[derive(Debug)]
+pub struct ChannelShard {
+    mc: MemoryController,
+    /// Channel-local events in submission order; the head blocks the
+    /// tail (a NACKed head is retried every cycle, modelling per-thread
+    /// back-pressure at the channel port).
+    events: VecDeque<SubmitEvent>,
+    completions: Vec<Completion>,
+}
+
+impl Shard for ChannelShard {
+    fn run_epoch(&mut self, start: u64, end: u64) -> bool {
+        for c in start + 1..=end {
+            let now = DramCycle::new(c);
+            while let Some(ev) = self.events.front() {
+                if ev.at.as_u64() > c {
+                    break; // not due yet
+                }
+                let ev = *ev;
+                if self.mc.try_submit(ev.thread, ev.kind, ev.phys, now).is_ok() {
+                    self.events.pop_front();
+                } else {
+                    break; // head-of-line NACK: retry next cycle
+                }
+            }
+            self.completions.extend(self.mc.step(now));
+        }
+        !(self.events.is_empty() && self.mc.is_idle())
+    }
+}
+
+/// The deterministic merge of a sharded run, assembled in channel-index
+/// order. Two reports compare equal iff every per-thread counter, every
+/// completion, and every retained command record agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Cycle the run reached (epoch-aligned, capped at `max_cycles`).
+    pub cycles: u64,
+    /// Per-thread statistics summed across channels.
+    pub per_thread: Vec<ThreadStats>,
+    /// Completions per channel, in completion order within each channel.
+    pub completions: Vec<Vec<Completion>>,
+    /// Retained command log per channel (empty when logging is off).
+    pub command_logs: Vec<CommandLog>,
+    /// Data-bus busy cycles summed across channels.
+    pub bus_busy_cycles: u64,
+    /// Events still unsubmitted when the run stopped (0 iff the schedule
+    /// fully drained within `max_cycles`).
+    pub unsubmitted: usize,
+}
+
+impl EngineReport {
+    /// Total completed requests across channels.
+    pub fn total_completed(&self) -> usize {
+        self.completions.iter().map(Vec::len).sum()
+    }
+}
+
+fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<ChannelShard>, String> {
+    if spec.num_channels == 0 {
+        return Err("at least one channel is required".into());
+    }
+    if spec.epoch_cycles == 0 || spec.max_cycles == 0 {
+        return Err("epoch_cycles and max_cycles must be positive".into());
+    }
+    spec.config.validate()?;
+    let mut shards = Vec::with_capacity(spec.num_channels);
+    for ch in 0..spec.num_channels {
+        let mut mc = MemoryController::new(spec.config.clone(), spec.geometry, spec.timing)?;
+        mc.set_id_numbering(ch as u64, spec.num_channels as u64);
+        if let Some(cap) = spec.log_capacity {
+            mc.enable_command_log(cap);
+        }
+        shards.push(ChannelShard {
+            mc,
+            events: VecDeque::new(),
+            completions: Vec::new(),
+        });
+    }
+    let mut last_at = 0u64;
+    for ev in events {
+        if ev.at.as_u64() < last_at {
+            return Err("submission schedule must be sorted by cycle".into());
+        }
+        last_at = ev.at.as_u64();
+        let (ch, local) =
+            MultiChannelController::localize(spec.config.line_bytes, spec.num_channels, ev.phys);
+        shards[ch]
+            .events
+            .push_back(SubmitEvent { phys: local, ..*ev });
+    }
+    Ok(shards)
+}
+
+fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineReport {
+    let threads = spec.config.num_threads();
+    let mut per_thread = vec![ThreadStats::default(); threads];
+    let mut completions = Vec::with_capacity(shards.len());
+    let mut command_logs = Vec::new();
+    let mut bus_busy_cycles = 0;
+    let mut unsubmitted = 0;
+    for shard in shards {
+        for (t, agg) in per_thread.iter_mut().enumerate() {
+            let s = shard.mc.stats().thread(ThreadId::new(t as u32));
+            agg.reads_accepted += s.reads_accepted;
+            agg.writes_accepted += s.writes_accepted;
+            agg.reads_completed += s.reads_completed;
+            agg.writes_completed += s.writes_completed;
+            agg.read_latency_total += s.read_latency_total;
+            agg.bus_busy_cycles += s.bus_busy_cycles;
+            agg.nacks += s.nacks;
+            agg.row_hits += s.row_hits;
+            agg.row_closed += s.row_closed;
+            agg.row_conflicts += s.row_conflicts;
+        }
+        bus_busy_cycles += shard.mc.dram().bus_busy_cycles();
+        unsubmitted += shard.events.len();
+        if let Some(log) = shard.mc.command_log() {
+            command_logs.push(log.clone());
+        }
+        completions.push(shard.completions);
+    }
+    EngineReport {
+        cycles,
+        per_thread,
+        completions,
+        command_logs,
+        bus_busy_cycles,
+        unsubmitted,
+    }
+}
+
+/// Runs the schedule on the calling thread, one channel after another per
+/// epoch. Reference semantics for [`simulate_parallel`].
+///
+/// # Errors
+///
+/// Returns a description if the spec is invalid or the schedule is not
+/// sorted by cycle.
+pub fn simulate_serial(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<EngineReport, String> {
+    let mut shards = build_shards(spec, events)?;
+    let cycles = run_serial(&mut shards, spec.max_cycles, spec.epoch_cycles);
+    for shard in &mut shards {
+        shard.mc.finish(DramCycle::new(cycles));
+    }
+    Ok(merge(spec, shards, cycles))
+}
+
+/// Runs the schedule with channels sharded across `num_threads` workers.
+/// Bit-identical to [`simulate_serial`] on the same inputs (see the
+/// module docs for why).
+///
+/// # Errors
+///
+/// Returns a description if the spec is invalid, the schedule is not
+/// sorted by cycle, or `num_threads` is zero.
+pub fn simulate_parallel(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    num_threads: usize,
+) -> Result<EngineReport, String> {
+    if num_threads == 0 {
+        return Err("at least one worker thread is required".into());
+    }
+    let mut shards = build_shards(spec, events)?;
+    let cycles = run_parallel(&mut shards, spec.max_cycles, spec.epoch_cycles, num_threads);
+    for shard in &mut shards {
+        shard.mc.finish(DramCycle::new(cycles));
+    }
+    Ok(merge(spec, shards, cycles))
+}
+
+/// Generates a deterministic open-loop submission schedule: each of
+/// `num_threads` threads issues a request per cycle with probability
+/// `intensity` (30% writes), to uniformly random cache lines. Events are
+/// emitted in non-decreasing cycle order, as the engine requires.
+pub fn synthetic_workload(
+    num_threads: u32,
+    cycles: u64,
+    intensity: f64,
+    seed: u64,
+) -> Vec<SubmitEvent> {
+    let mut rng = SimRng::new(seed);
+    let mut events = Vec::new();
+    for c in 1..=cycles {
+        for t in 0..num_threads {
+            if rng.chance(intensity) {
+                let kind = if rng.chance(0.3) {
+                    RequestKind::Write
+                } else {
+                    RequestKind::Read
+                };
+                events.push(SubmitEvent {
+                    at: DramCycle::new(c),
+                    thread: ThreadId::new(t),
+                    kind,
+                    phys: rng.next_below(1 << 24) * 64,
+                });
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(channels: usize, threads: usize) -> EngineSpec {
+        let mut spec = EngineSpec::paper(channels, threads);
+        spec.epoch_cycles = 128;
+        spec.log_capacity = Some(100_000);
+        spec
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let spec = small_spec(4, 4);
+        let events = synthetic_workload(4, 3_000, 0.4, 7);
+        let serial = simulate_serial(&spec, &events).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let parallel = simulate_parallel(&spec, &events, threads).unwrap();
+            assert_eq!(serial, parallel, "{threads} worker threads diverged");
+        }
+    }
+
+    #[test]
+    fn schedule_fully_drains_and_conserves_requests() {
+        let spec = small_spec(2, 2);
+        let events = synthetic_workload(2, 2_000, 0.3, 11);
+        let report = simulate_serial(&spec, &events).unwrap();
+        assert_eq!(report.unsubmitted, 0);
+        assert_eq!(report.total_completed(), events.len());
+        let completed: u64 = report
+            .per_thread
+            .iter()
+            .map(|s| s.reads_completed + s.writes_completed)
+            .sum();
+        assert_eq!(completed as usize, events.len());
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let spec = small_spec(3, 2);
+        let events = synthetic_workload(2, 1_500, 0.5, 13);
+        let a = simulate_parallel(&spec, &events, 3).unwrap();
+        let b = simulate_parallel(&spec, &events, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epoch_length_does_not_change_workload_results() {
+        // The stop cycle is epoch-aligned, and an idle controller keeps
+        // issuing unowned commands (closed-row precharges, refresh), so
+        // the command-log *tail* legitimately depends on the epoch
+        // length. Everything the workload determines — per-thread stats
+        // and completions — must not.
+        let mut spec = small_spec(2, 2);
+        let events = synthetic_workload(2, 1_000, 0.4, 17);
+        let baseline = simulate_serial(&spec, &events).unwrap();
+        for epoch in [1, 7, 64, 4096] {
+            spec.epoch_cycles = epoch;
+            let report = simulate_parallel(&spec, &events, 2).unwrap();
+            assert_eq!(
+                (&report.per_thread, &report.completions),
+                (&baseline.per_thread, &baseline.completions),
+                "epoch {epoch} changed simulation results"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_schedule_rejected() {
+        let spec = small_spec(1, 1);
+        let events = vec![
+            SubmitEvent {
+                at: DramCycle::new(10),
+                thread: ThreadId::new(0),
+                kind: RequestKind::Read,
+                phys: 0,
+            },
+            SubmitEvent {
+                at: DramCycle::new(5),
+                thread: ThreadId::new(0),
+                kind: RequestKind::Read,
+                phys: 64,
+            },
+        ];
+        assert!(simulate_serial(&spec, &events).is_err());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let events = synthetic_workload(1, 10, 0.5, 1);
+        let mut spec = small_spec(0, 1);
+        assert!(simulate_serial(&spec, &events).is_err());
+        spec = small_spec(1, 1);
+        spec.epoch_cycles = 0;
+        assert!(simulate_serial(&spec, &events).is_err());
+        spec = small_spec(1, 1);
+        assert!(simulate_parallel(&spec, &events, 0).is_err());
+    }
+
+    #[test]
+    fn max_cycles_bounds_runaway_schedules() {
+        let mut spec = small_spec(1, 1);
+        spec.max_cycles = 256;
+        // A schedule far too dense to finish in 256 cycles.
+        let events = synthetic_workload(1, 10_000, 1.0, 3);
+        let report = simulate_serial(&spec, &events).unwrap();
+        assert_eq!(report.cycles, 256);
+        assert!(report.unsubmitted > 0);
+    }
+
+    #[test]
+    fn engine_matches_multichannel_controller() {
+        // The engine's per-channel submission policy mirrors driving a
+        // MultiChannelController with the same head-of-line retry loop;
+        // with NACK-free load the completions must agree exactly.
+        let spec = small_spec(2, 2);
+        let events = synthetic_workload(2, 800, 0.1, 23);
+        let report = simulate_serial(&spec, &events).unwrap();
+
+        let mut m = MultiChannelController::new(
+            spec.num_channels,
+            spec.config.clone(),
+            spec.geometry,
+            spec.timing,
+        )
+        .unwrap();
+        let mut queue: VecDeque<SubmitEvent> = events.iter().copied().collect();
+        let mut done: Vec<Completion> = Vec::new();
+        let mut c = 0u64;
+        while (!queue.is_empty() || !m.is_idle()) && c < spec.max_cycles {
+            c += 1;
+            let now = DramCycle::new(c);
+            while let Some(ev) = queue.front() {
+                if ev.at.as_u64() > c {
+                    break;
+                }
+                let ev = *ev;
+                if m.try_submit(ev.thread, ev.kind, ev.phys, now).is_ok() {
+                    queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+            done.extend(m.step(now));
+        }
+        let mut engine_done: Vec<Completion> =
+            report.completions.iter().flatten().copied().collect();
+        let key = |x: &Completion| (x.finish, x.id);
+        engine_done.sort_by_key(key);
+        done.sort_by_key(key);
+        assert_eq!(engine_done, done);
+    }
+}

@@ -12,6 +12,11 @@
 //! The Fair Queuing machinery — per-thread Virtual Time Memory System
 //! registers and the virtual-finish-time equations — lives in [`vtms`].
 //!
+//! Multi-channel systems compose per-channel controllers either through
+//! the coupled [`multichannel::MultiChannelController`] or through the
+//! sharded, thread-parallel [`engine`] (bit-identical results, one shard
+//! per channel).
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +45,7 @@ pub mod buffers;
 pub mod cmdlog;
 pub mod config;
 pub mod controller;
+pub mod engine;
 pub mod multichannel;
 pub mod policy;
 pub mod port;
@@ -54,6 +60,10 @@ pub mod prelude {
     pub use crate::cmdlog::{CommandLog, CommandRecord};
     pub use crate::config::McConfig;
     pub use crate::controller::{Completion, MemoryController};
+    pub use crate::engine::{
+        simulate_parallel, simulate_serial, synthetic_workload, EngineReport, EngineSpec,
+        SubmitEvent,
+    };
     pub use crate::multichannel::MultiChannelController;
     pub use crate::policy::{InversionBound, Priority, RowPolicy, SchedulerKind, VftBinding};
     pub use crate::port::MemoryPort;

@@ -99,6 +99,31 @@ impl MultiChannelController {
         ((phys / self.line_bytes) % self.channels.len() as u64) as usize
     }
 
+    /// Routes and localizes a physical address: the channel it belongs to
+    /// and the dense channel-local address (channel bits stripped). This
+    /// is the exact math [`MultiChannelController::try_submit`] applies,
+    /// exposed so sharded engines can pre-route submission schedules.
+    pub fn localize(line_bytes: u64, num_channels: usize, phys: u64) -> (usize, u64) {
+        let line = phys / line_bytes;
+        let ch = (line % num_channels as u64) as usize;
+        let local = (line / num_channels as u64) * line_bytes + phys % line_bytes;
+        (ch, local)
+    }
+
+    /// Enables command-trace logging on every channel, each retaining the
+    /// most recent `capacity` issued commands.
+    pub fn enable_command_log(&mut self, capacity: usize) {
+        for ch in &mut self.channels {
+            ch.enable_command_log(capacity);
+        }
+    }
+
+    /// Decomposes the controller into its per-channel controllers (in
+    /// channel order), e.g. to shard them across worker threads.
+    pub fn into_channels(self) -> Vec<MemoryController> {
+        self.channels
+    }
+
     /// True if the routing channel would admit this request.
     pub fn can_accept(&self, thread: ThreadId, kind: RequestKind, phys: u64) -> bool {
         self.channels[self.route(phys)].can_accept(thread, kind)
@@ -117,11 +142,9 @@ impl MultiChannelController {
         phys: u64,
         now: DramCycle,
     ) -> Result<RequestId, Nack> {
-        let ch = self.route(phys);
         // Strip the channel bits so each channel sees a dense address
         // space (otherwise only 1/N of each channel's rows are used).
-        let line = phys / self.line_bytes;
-        let local = (line / self.channels.len() as u64) * self.line_bytes + phys % self.line_bytes;
+        let (ch, local) = Self::localize(self.line_bytes, self.channels.len(), phys);
         self.channels[ch].try_submit(thread, kind, local, now)
     }
 

@@ -8,7 +8,10 @@
 //! * [`rng`] — a small, fully deterministic pseudo-random number generator so
 //!   that every simulation is exactly reproducible from its seed,
 //! * [`stats`] — counters, running statistics, histograms, and the summary
-//!   math (harmonic mean, variance) the paper's evaluation metrics need.
+//!   math (harmonic mean, variance) the paper's evaluation metrics need,
+//! * [`parallel`] — the epoch-barrier shard executor that runs independent
+//!   simulation partitions (e.g. DDR2 channels) across worker threads with
+//!   results bit-identical to a serial run.
 //!
 //! # Example
 //!
@@ -27,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{ClockDomains, CpuCycle, DramCycle};
+pub use parallel::{run_parallel, run_serial, Shard};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Ratio, Summary};

@@ -1,0 +1,265 @@
+//! Epoch-barrier parallel execution of independent simulation shards.
+//!
+//! A [`Shard`] is a self-contained piece of simulation state (for FQMS: one
+//! DDR2 channel with its bank schedulers, VTMS bookkeeping, and command
+//! log) that can be advanced over a half-open window of cycles without
+//! reference to any other shard. Because shards share nothing, advancing
+//! them on worker threads in epochs separated by a barrier produces *the
+//! same final state as advancing them one after another* — parallel runs
+//! are bit-identical to serial runs by construction, whatever the thread
+//! count or epoch length.
+//!
+//! [`run_serial`] and [`run_parallel`] drive the same epoch loop; both
+//! leave the shards in place (in their original order) so the caller can
+//! merge per-shard results deterministically afterwards.
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_sim::parallel::{run_parallel, run_serial, Shard};
+//!
+//! struct Counter { ticks: u64, budget: u64 }
+//! impl Shard for Counter {
+//!     fn run_epoch(&mut self, start: u64, end: u64) -> bool {
+//!         for _ in start..end {
+//!             if self.ticks < self.budget { self.ticks += 1; }
+//!         }
+//!         self.ticks < self.budget
+//!     }
+//! }
+//!
+//! let mut a: Vec<Counter> =
+//!     (1..=4).map(|i| Counter { ticks: 0, budget: i * 10 }).collect();
+//! let mut b: Vec<Counter> =
+//!     (1..=4).map(|i| Counter { ticks: 0, budget: i * 10 }).collect();
+//! run_serial(&mut a, 1_000, 16);
+//! run_parallel(&mut b, 1_000, 16, 3);
+//! for (x, y) in a.iter().zip(&b) {
+//!     assert_eq!(x.ticks, y.ticks);
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// A self-contained simulation partition that can be advanced over a
+/// window of cycles independently of every other shard.
+pub trait Shard: Send {
+    /// Advances the shard over the half-open cycle window `(start, end]`
+    /// (i.e. processes every cycle `c` with `start < c <= end`).
+    ///
+    /// Returns `true` if the shard may still have work to do after `end`.
+    /// Once a shard returns `false` it is considered drained and will not
+    /// be stepped again for the remainder of the run; implementations must
+    /// only return `false` when no future epoch could produce more work.
+    fn run_epoch(&mut self, start: u64, end: u64) -> bool;
+}
+
+fn check_args(horizon: u64, epoch_cycles: u64) {
+    assert!(epoch_cycles > 0, "epoch length must be positive");
+    assert!(horizon > 0, "horizon must be positive");
+}
+
+/// Advances every shard to `horizon` cycles (or until all shards drain) on
+/// the calling thread, one epoch at a time.
+///
+/// Returns the cycle the run actually reached (a multiple of
+/// `epoch_cycles`, capped at `horizon`).
+///
+/// # Panics
+///
+/// Panics if `horizon` or `epoch_cycles` is zero.
+pub fn run_serial<S: Shard>(shards: &mut [S], horizon: u64, epoch_cycles: u64) -> u64 {
+    check_args(horizon, epoch_cycles);
+    let mut done = vec![false; shards.len()];
+    let mut remaining = shards.len();
+    let mut start = 0u64;
+    while start < horizon && remaining > 0 {
+        let end = horizon.min(start + epoch_cycles);
+        for (shard, d) in shards.iter_mut().zip(done.iter_mut()) {
+            if !*d && !shard.run_epoch(start, end) {
+                *d = true;
+                remaining -= 1;
+            }
+        }
+        start = end;
+    }
+    start
+}
+
+/// Advances every shard to `horizon` cycles (or until all shards drain)
+/// using `num_threads` worker threads stepping in lockstep epochs.
+///
+/// Shards are distributed round-robin across workers and every worker
+/// synchronises on a barrier at each epoch boundary, so no shard ever runs
+/// more than one epoch ahead of another (bounding memory skew) and the
+/// run exits early — consistently across workers — once every shard has
+/// drained. Since shards are disjoint, the final shard states are
+/// bit-identical to [`run_serial`] on the same inputs.
+///
+/// Returns the cycle the run actually reached.
+///
+/// # Panics
+///
+/// Panics if `horizon`, `epoch_cycles`, or `num_threads` is zero, or if a
+/// worker thread panics (a shard's own panic is propagated).
+pub fn run_parallel<S: Shard>(
+    shards: &mut [S],
+    horizon: u64,
+    epoch_cycles: u64,
+    num_threads: usize,
+) -> u64 {
+    check_args(horizon, epoch_cycles);
+    assert!(num_threads > 0, "need at least one worker thread");
+    if shards.is_empty() {
+        return horizon;
+    }
+    let workers = num_threads.min(shards.len());
+    if workers == 1 {
+        return run_serial(shards, horizon, epoch_cycles);
+    }
+
+    // Round-robin deal so consecutive (often similarly loaded) shards
+    // spread across workers. Each worker gets disjoint `&mut` access.
+    let mut lanes: Vec<Vec<&mut S>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, shard) in shards.iter_mut().enumerate() {
+        lanes[i % workers].push(shard);
+    }
+
+    let barrier = Barrier::new(workers);
+    let remaining = AtomicUsize::new(lanes.iter().map(Vec::len).sum());
+    let reached = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                let barrier = &barrier;
+                let remaining = &remaining;
+                scope.spawn(move || {
+                    let mut lane = lane;
+                    let mut done = vec![false; lane.len()];
+                    let mut start = 0u64;
+                    while start < horizon {
+                        let end = horizon.min(start + epoch_cycles);
+                        for (shard, d) in lane.iter_mut().zip(done.iter_mut()) {
+                            if !*d && !shard.run_epoch(start, end) {
+                                *d = true;
+                                remaining.fetch_sub(1, Ordering::AcqRel);
+                            }
+                        }
+                        // Two barriers per epoch: all decrements for this
+                        // epoch happen before the first, and the next
+                        // epoch's decrements happen only after the second,
+                        // so between them every worker reads the same
+                        // count and makes the same continue/stop decision.
+                        barrier.wait();
+                        let all_drained = remaining.load(Ordering::Acquire) == 0;
+                        barrier.wait();
+                        start = end;
+                        if all_drained {
+                            break;
+                        }
+                    }
+                    start
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .fold(0u64, u64::max)
+    });
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shard that appends the epoch windows it saw and drains after a
+    /// fixed number of cycles.
+    struct Recorder {
+        windows: Vec<(u64, u64)>,
+        budget: u64,
+        seen: u64,
+    }
+
+    impl Recorder {
+        fn new(budget: u64) -> Self {
+            Recorder {
+                windows: Vec::new(),
+                budget,
+                seen: 0,
+            }
+        }
+    }
+
+    impl Shard for Recorder {
+        fn run_epoch(&mut self, start: u64, end: u64) -> bool {
+            self.windows.push((start, end));
+            self.seen += end - start;
+            self.seen < self.budget
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_states_match() {
+        for threads in 1..=6 {
+            let mut serial: Vec<Recorder> = (0..7).map(|i| Recorder::new(50 + i * 37)).collect();
+            let mut parallel: Vec<Recorder> = (0..7).map(|i| Recorder::new(50 + i * 37)).collect();
+            let a = run_serial(&mut serial, 10_000, 64);
+            let b = run_parallel(&mut parallel, 10_000, 64, threads);
+            assert_eq!(a, b, "{threads} threads: reached different cycles");
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.windows, p.windows, "{threads} threads");
+                assert_eq!(s.seen, p.seen, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_when_all_shards_drain() {
+        let mut shards: Vec<Recorder> = (0..4).map(|_| Recorder::new(100)).collect();
+        let reached = run_parallel(&mut shards, 1_000_000, 32, 2);
+        // Budget 100 at epoch 32 drains during the 4th epoch.
+        assert_eq!(reached, 128);
+        for s in &shards {
+            assert_eq!(s.windows.len(), 4);
+        }
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let mut shards = vec![Recorder::new(u64::MAX)];
+        let reached = run_serial(&mut shards, 100, 64);
+        assert_eq!(reached, 100);
+        assert_eq!(shards[0].windows, vec![(0, 64), (64, 100)]);
+    }
+
+    #[test]
+    fn drained_shards_are_not_restepped() {
+        let mut shards = vec![Recorder::new(10), Recorder::new(1_000)];
+        run_parallel(&mut shards, 2_000, 100, 2);
+        assert_eq!(shards[0].windows.len(), 1, "drained shard kept stepping");
+        assert_eq!(shards[1].windows.len(), 10);
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let mut shards = vec![Recorder::new(100)];
+        let reached = run_parallel(&mut shards, 1_000, 64, 8);
+        assert_eq!(reached, 128);
+    }
+
+    #[test]
+    fn empty_shard_list_is_a_noop() {
+        let mut shards: Vec<Recorder> = Vec::new();
+        assert_eq!(run_parallel(&mut shards, 100, 10, 4), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epoch_rejected() {
+        let mut shards = vec![Recorder::new(10)];
+        run_serial(&mut shards, 100, 0);
+    }
+}

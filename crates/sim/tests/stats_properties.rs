@@ -1,80 +1,107 @@
-//! Property tests for the statistics primitives: the online algorithms
-//! must agree with naive reference computations, and the ordering/summary
-//! invariants must hold for arbitrary inputs.
+//! Property-style tests for the statistics primitives: the online
+//! algorithms must agree with naive reference computations, and the
+//! ordering/summary invariants must hold across many random inputs.
+//!
+//! Random cases are generated with the in-tree deterministic
+//! [`fqms_sim::rng::SimRng`] under fixed seeds so the suite is hermetic
+//! (no external `proptest` dependency) and fully reproducible.
 
+use fqms_sim::rng::SimRng;
 use fqms_sim::stats::{harmonic_mean, Histogram, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Welford's online mean/variance matches the two-pass reference.
-    #[test]
-    fn summary_matches_naive_reference(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+fn random_f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Welford's online mean/variance matches the two-pass reference.
+#[test]
+fn summary_matches_naive_reference() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x5747_0000 + case);
+        let n = 1 + rng.next_below(200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| random_f64_in(&mut rng, -1e6, 1e6)).collect();
         let s: Summary = xs.iter().copied().collect();
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let nf = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / nf;
         let scale = mean.abs().max(1.0);
-        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        assert!((s.mean() - mean).abs() / scale < 1e-9, "case {case}");
         let vscale = var.abs().max(1.0);
-        prop_assert!((s.population_variance() - var).abs() / vscale < 1e-6);
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!(
+            (s.population_variance() - var).abs() / vscale < 1e-6,
+            "case {case}"
+        );
+        assert_eq!(s.count(), xs.len() as u64);
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
+        assert_eq!(s.min(), min, "case {case}");
+        assert_eq!(s.max(), max, "case {case}");
     }
+}
 
-    /// The harmonic mean never exceeds the arithmetic mean (AM-HM
-    /// inequality) and lies within the sample range.
-    #[test]
-    fn harmonic_mean_bounds(xs in prop::collection::vec(0.01f64..1e4, 1..50)) {
+/// The harmonic mean never exceeds the arithmetic mean (AM-HM inequality)
+/// and lies within the sample range.
+#[test]
+fn harmonic_mean_bounds() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x4A4A_0000 + case);
+        let n = 1 + rng.next_below(50) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| random_f64_in(&mut rng, 0.01, 1e4)).collect();
         let hm = harmonic_mean(&xs);
         let am = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!(hm <= am * (1.0 + 1e-12), "hm {hm} > am {am}");
+        assert!(hm <= am * (1.0 + 1e-12), "case {case}: hm {hm} > am {am}");
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(hm >= min * (1.0 - 1e-12));
-        prop_assert!(hm <= max * (1.0 + 1e-12));
+        assert!(hm >= min * (1.0 - 1e-12), "case {case}");
+        assert!(hm <= max * (1.0 + 1e-12), "case {case}");
     }
+}
 
-    /// Histogram totals and mean agree with the raw samples, and
-    /// percentiles are monotone in p.
-    #[test]
-    fn histogram_consistency(xs in prop::collection::vec(0u64..10_000, 1..300)) {
+/// Histogram totals and mean agree with the raw samples, and percentiles
+/// are monotone in p.
+#[test]
+fn histogram_consistency() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x4157_0000 + case);
+        let n = 1 + rng.next_below(300) as usize;
+        let xs: Vec<u64> = (0..n).map(|_| rng.next_below(10_000)).collect();
         let mut h = Histogram::new(64, 64);
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.count(), xs.len() as u64);
-        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
-        prop_assert_eq!(h.max(), xs.iter().copied().max().unwrap());
+        assert_eq!(h.count(), xs.len() as u64, "case {case}");
+        assert_eq!(h.sum(), xs.iter().sum::<u64>(), "case {case}");
+        assert_eq!(h.max(), xs.iter().copied().max().unwrap(), "case {case}");
         let mut prev = 0;
         for k in 0..=10 {
             let p = h.percentile(k as f64 / 10.0);
-            prop_assert!(p >= prev, "percentile not monotone");
+            assert!(p >= prev, "case {case}: percentile not monotone");
             prev = p;
         }
         // The p100 bucket edge bounds the true max.
-        prop_assert!(h.percentile(1.0) >= h.max().min(64 * 64));
+        assert!(h.percentile(1.0) >= h.max().min(64 * 64), "case {case}");
     }
+}
 
-    /// Bounded RNG draws are unbiased enough: over many draws of a small
-    /// bound, every value appears with roughly equal frequency.
-    #[test]
-    fn rng_bounded_draws_are_roughly_uniform(seed in 0u64..1000, bound in 2u64..12) {
-        use fqms_sim::rng::SimRng;
-        let mut rng = SimRng::new(seed);
-        let n = 6_000u64;
-        let mut counts = vec![0u64; bound as usize];
-        for _ in 0..n {
-            counts[rng.next_below(bound) as usize] += 1;
-        }
-        let expect = n as f64 / bound as f64;
-        for (v, &c) in counts.iter().enumerate() {
-            prop_assert!(
-                (c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
-                "value {v} drawn {c} times, expected ~{expect}"
-            );
+/// Bounded RNG draws are unbiased enough: over many draws of a small
+/// bound, every value appears with roughly equal frequency.
+#[test]
+fn rng_bounded_draws_are_roughly_uniform() {
+    for seed in 0..40u64 {
+        for bound in 2..12u64 {
+            let mut rng = SimRng::new(seed);
+            let n = 6_000u64;
+            let mut counts = vec![0u64; bound as usize];
+            for _ in 0..n {
+                counts[rng.next_below(bound) as usize] += 1;
+            }
+            let expect = n as f64 / bound as f64;
+            for (v, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
+                    "seed {seed} bound {bound}: value {v} drawn {c} times, expected ~{expect}"
+                );
+            }
         }
     }
 }

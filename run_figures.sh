@@ -1,12 +1,18 @@
 #!/bin/bash
 # Regenerates every paper table/figure and the extension studies into results/.
 # FQMS_RUNLEN=quick|standard|full scales the per-run instruction budget.
+# FQMS_SKIP_CI=1 skips the CI preflight (fmt + build + tests).
 set -e
 cd "$(dirname "$0")"
 export FQMS_RUNLEN="${FQMS_RUNLEN:-standard}" FQMS_SEED="${FQMS_SEED:-42}"
+if [ "${FQMS_SKIP_CI:-0}" != "1" ]; then
+  echo "=== preflight: ci.sh ==="
+  ./ci.sh
+fi
 mkdir -p results
 BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
-      ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds"
+      ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
+      speedup"
 for bin in $BINS; do
   echo "=== $bin ==="
   cargo run --release -q -p fqms-bench --bin "$bin" > "results/$bin.tsv" 2> "results/$bin.log" || echo "FAILED: $bin"
