@@ -8,10 +8,16 @@ cd "$(dirname "$0")"
 echo "=== cargo fmt --check ==="
 cargo fmt --check
 
+echo "=== cargo clippy --offline -D warnings ==="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "=== cargo build --release --offline ==="
 cargo build --release --offline
 
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline
+
+echo "=== release: differential + parallel equivalence (observed) ==="
+cargo test -q --release --offline -p fqms-memctrl --test differential --test parallel_equivalence
 
 echo "CI OK"

@@ -1,0 +1,86 @@
+//! Observer overhead microbenchmarks (ISSUE satellite).
+//!
+//! The observability layer's contract is *zero overhead when off*: the
+//! public `step`/`try_submit` entry points monomorphize with the no-op
+//! [`fqms_memctrl::NullObserver`], so an unobserved engine run is exactly
+//! the pre-observability code. This bench puts numbers next to the claim:
+//!
+//! - `engine_unobserved`  — `event_capacity: None` (NullObserver path);
+//! - `engine_traced`      — full event ring + metrics sinks attached;
+//! - `controller_step_null` — the raw controller hot loop driven through
+//!   the observed entry points with an explicit [`NullObserver`], which
+//!   must match the plain `step` path.
+//!
+//! Runs on the in-tree [`fqms_bench::timing::TimingHarness`] (the build
+//! is hermetic, so no Criterion); output is TSV on stdout. The pass/fail
+//! guard lives in `crates/bench/tests/obs_guard.rs`; this binary is for
+//! eyeballs and profiling.
+
+use fqms_bench::timing::TimingHarness;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::engine::{simulate_serial, synthetic_workload, EngineSpec};
+use fqms_memctrl::prelude::*;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::rng::SimRng;
+use std::hint::black_box;
+
+fn spec(event_capacity: Option<usize>) -> EngineSpec {
+    let mut spec = EngineSpec::paper(2, 4);
+    spec.epoch_cycles = 512;
+    spec.event_capacity = event_capacity;
+    spec
+}
+
+fn bench_engine(h: &mut TimingHarness) {
+    let events = synthetic_workload(4, 10_000, 0.5, 7);
+    let unobserved = spec(None);
+    h.bench("engine_unobserved", || {
+        simulate_serial(black_box(&unobserved), black_box(&events))
+            .unwrap()
+            .total_completed()
+    });
+    let traced = spec(Some(1 << 20));
+    h.bench("engine_traced", || {
+        simulate_serial(black_box(&traced), black_box(&events))
+            .unwrap()
+            .total_completed()
+    });
+}
+
+fn bench_controller_step(h: &mut TimingHarness) {
+    h.bench("controller_step_null", || {
+        let mut rng = SimRng::new(7);
+        let mut mc = MemoryController::new(
+            McConfig::paper(4, SchedulerKind::FqVftf),
+            Geometry::paper(),
+            TimingParams::ddr2_800(),
+        )
+        .unwrap();
+        let mut obs = NullObserver;
+        let mut completed = 0u64;
+        for c in 1..=5_000u64 {
+            let now = DramCycle::new(c);
+            for t in 0..4 {
+                let thread = ThreadId::new(t);
+                if mc.can_accept(thread, RequestKind::Read) && rng.chance(0.6) {
+                    let _ = mc.try_submit_observed(
+                        thread,
+                        RequestKind::Read,
+                        rng.next_below(1 << 24) * 64,
+                        now,
+                        &mut obs,
+                    );
+                }
+            }
+            completed += mc.step_observed(now, &mut obs).len() as u64;
+        }
+        completed
+    });
+}
+
+fn main() {
+    let mut h = TimingHarness::new("obs_overhead");
+    bench_engine(&mut h);
+    bench_controller_step(&mut h);
+}

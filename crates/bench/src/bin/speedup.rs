@@ -3,7 +3,10 @@
 //!
 //! Every parallel measurement is checked bit-identical against its serial
 //! counterpart before its speedup is reported, so the numbers below are
-//! guaranteed to describe equivalent computations.
+//! guaranteed to describe equivalent computations. The engine runs carry
+//! tracing observers, so the equality covers event streams and metric
+//! sinks too; with `FQMS_SIDECAR` set, the engine metrics are exported as
+//! a TSV sidecar plus a JSONL twin next to it.
 
 use fqms::prelude::*;
 use fqms_bench::{f, header, row, run_length, seed};
@@ -37,11 +40,21 @@ fn main() {
     // Scale the synthetic request stream with FQMS_RUNLEN so quick CI
     // runs stay fast while full runs saturate the workers.
     let gen_cycles = len.instructions.clamp(20_000, 500_000);
+    let mut sidecar_json = Vec::new();
     for channels in [4usize, 8] {
         let mut spec = EngineSpec::paper(channels, 4);
         spec.max_cycles = 64 * gen_cycles;
+        // Observability attached: the equivalence assertions below then
+        // also cover the recorded event streams and metric sinks.
+        spec.event_capacity = Some(1 << 12);
         let events = synthetic_workload(4, gen_cycles, 0.6, seed);
         let (serial, serial_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        if let Some(obs) = &serial.observations {
+            let label = format!("engine-{channels}ch");
+            let kind = spec.config.scheduler.name();
+            fqms::sidecar::append(&label, kind, &obs.metrics);
+            sidecar_json.push(metrics_json(&label, kind, &obs.metrics));
+        }
         for threads in [1usize, 2, 4, 8] {
             let (parallel, parallel_s) =
                 secs(|| simulate_parallel(&spec, &events, threads).expect("valid spec"));
@@ -55,6 +68,14 @@ fn main() {
                 f(parallel_s),
                 f(serial_s / parallel_s),
             ]);
+        }
+    }
+
+    // JSON twin of the TSV sidecar (one object per engine config, JSONL).
+    if let Some(path) = fqms::sidecar::path() {
+        if let Err(e) = std::fs::write(path.with_extension("json"), sidecar_json.join("\n") + "\n")
+        {
+            eprintln!("speedup: cannot write JSON sidecar: {e}");
         }
     }
 

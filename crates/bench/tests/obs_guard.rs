@@ -1,0 +1,83 @@
+//! Observer overhead guard (ISSUE satellite): attaching observers must
+//! never change simulation results, and the tracing path must stay within
+//! a generous constant factor of the unobserved (NullObserver) path.
+//!
+//! The timing bound is deliberately loose — this is a tripwire against
+//! accidentally putting allocation or formatting on the unguarded hot
+//! path, not a performance benchmark (see `benches/obs_overhead.rs` for
+//! real numbers). Min-of-N wall times keep it stable on noisy CI boxes.
+
+use fqms_memctrl::engine::{simulate_parallel, simulate_serial, synthetic_workload, EngineSpec};
+use std::time::{Duration, Instant};
+
+fn spec(event_capacity: Option<usize>) -> EngineSpec {
+    let mut spec = EngineSpec::paper(2, 4);
+    spec.epoch_cycles = 512;
+    spec.event_capacity = event_capacity;
+    spec
+}
+
+fn min_wall<F: FnMut()>(mut f: F, reps: u32) -> Duration {
+    f(); // warm-up
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn observation_never_changes_results() {
+    let events = synthetic_workload(4, 4_000, 0.5, 2006);
+    let plain = simulate_serial(&spec(None), &events).unwrap();
+    let observed = simulate_serial(&spec(Some(1 << 20)), &events).unwrap();
+    assert!(plain.observations.is_none());
+    assert!(observed.observations.is_some());
+    // Everything the unobserved run reports must be untouched.
+    assert_eq!(plain.cycles, observed.cycles);
+    assert_eq!(plain.per_thread, observed.per_thread);
+    assert_eq!(plain.completions, observed.completions);
+    assert_eq!(plain.bus_busy_cycles, observed.bus_busy_cycles);
+    assert_eq!(plain.unsubmitted, observed.unsubmitted);
+}
+
+#[test]
+fn observed_parallel_run_is_bit_identical_to_serial() {
+    let events = synthetic_workload(4, 4_000, 0.5, 99);
+    let spec = spec(Some(1 << 20));
+    let serial = simulate_serial(&spec, &events).unwrap();
+    for workers in [2, 5] {
+        let parallel = simulate_parallel(&spec, &events, workers).unwrap();
+        assert_eq!(serial, parallel, "{workers} workers diverged");
+    }
+}
+
+#[test]
+fn tracing_overhead_is_bounded() {
+    let events = synthetic_workload(4, 8_000, 0.5, 7);
+    let unobserved = spec(None);
+    let traced = spec(Some(1 << 20));
+    let base = min_wall(
+        || {
+            simulate_serial(&unobserved, &events).unwrap();
+        },
+        5,
+    );
+    let with_obs = min_wall(
+        || {
+            simulate_serial(&traced, &events).unwrap();
+        },
+        5,
+    );
+    // Tracing records ~6 events per request into a preallocated ring and
+    // bumps integer counters; anything past 4x means something expensive
+    // crept onto the hot path (or onto the unguarded no-op path, which
+    // would show up here as a shrinking ratio denominator).
+    assert!(
+        with_obs < base * 4 + Duration::from_millis(50),
+        "tracing run took {with_obs:?} vs unobserved {base:?}"
+    );
+}

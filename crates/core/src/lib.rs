@@ -41,6 +41,7 @@ pub mod baseline;
 pub mod experiment;
 pub mod fairshare;
 pub mod metrics;
+pub mod sidecar;
 pub mod system;
 pub mod theory;
 
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use fqms_memctrl::policy::{
         BufferSharing, InversionBound, RowPolicy, SchedulerKind, VftBinding,
     };
+    pub use fqms_obs::{metrics_json, metrics_tsv, MetricsSink, ThreadSink, TSV_HEADER};
     pub use fqms_sim::stats::harmonic_mean;
     pub use fqms_workloads::spec::{by_name, four_core_workloads, SPEC_PROFILES};
 }

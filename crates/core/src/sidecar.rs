@@ -1,0 +1,121 @@
+//! Metrics sidecar files: TSV export of observability sinks, controlled
+//! by the `FQMS_SIDECAR` environment variable.
+//!
+//! When `FQMS_SIDECAR=<path>` is set, every measured [`crate::System`]
+//! run appends its per-thread metric rows (one block per simulated
+//! system) to `<path>`. The file is truncated and given the
+//! [`fqms_obs::TSV_HEADER`] the first time this *process* writes it, so a
+//! figure binary that simulates dozens of systems accumulates one
+//! machine-readable sidecar per invocation. `run_figures.sh` points each
+//! figure binary at `results/<bin>.metrics.tsv`.
+//!
+//! Blocks are appended in run-completion order, which under the parallel
+//! experiment runners can differ between invocations; every row carries
+//! its label and scheduler, so consumers should key on those rather than
+//! on row order.
+//!
+//! Export failures are reported to stderr and swallowed: observability
+//! must never fail a run.
+
+use fqms_obs::{metrics_tsv, MetricsSink, TSV_HEADER};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Sidecar files this process has already started (truncated + headered).
+static STARTED: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+/// The sidecar path requested via `FQMS_SIDECAR`, if any (unset or empty
+/// disables sidecar export).
+pub fn path() -> Option<PathBuf> {
+    match std::env::var_os("FQMS_SIDECAR") {
+        Some(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Appends one labelled block of metric rows to `path`, truncating and
+/// writing the header if this is the process's first write to it.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or appending to the file.
+pub fn append_block(
+    path: &Path,
+    label: &str,
+    scheduler: &str,
+    sink: &MetricsSink,
+) -> std::io::Result<()> {
+    let mut started = STARTED.lock().unwrap_or_else(|e| e.into_inner());
+    let first = !started.iter().any(|p| p == path);
+    let mut file = if first {
+        OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?
+    } else {
+        OpenOptions::new().append(true).open(path)?
+    };
+    if first {
+        writeln!(file, "{TSV_HEADER}")?;
+    }
+    file.write_all(metrics_tsv(label, scheduler, sink).as_bytes())?;
+    if first {
+        started.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+/// Appends a block to the `FQMS_SIDECAR` file. Returns whether a sidecar
+/// was written; `false` when the variable is unset or the write failed
+/// (failures are logged to stderr, never propagated).
+pub fn append(label: &str, scheduler: &str, sink: &MetricsSink) -> bool {
+    let Some(path) = path() else {
+        return false;
+    };
+    match append_block(&path, label, scheduler, sink) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("fqms: cannot write sidecar {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fqms_obs::Event;
+
+    fn sample_sink() -> MetricsSink {
+        let mut sink = MetricsSink::new(2);
+        sink.observe(&Event::Completed {
+            cycle: 40,
+            thread: 1,
+            id: 7,
+            is_write: false,
+            latency: 12,
+            bytes: 64,
+        });
+        sink
+    }
+
+    #[test]
+    fn first_block_truncates_and_writes_header_then_appends() {
+        let path = std::env::temp_dir().join(format!("fqms-sidecar-{}.tsv", std::process::id()));
+        std::fs::write(&path, "stale contents from a previous run\n").unwrap();
+        append_block(&path, "mix-a", "FQ-VFTF", &sample_sink()).unwrap();
+        append_block(&path, "mix-b", "FR-FCFS", &sample_sink()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(!text.contains("stale"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], TSV_HEADER);
+        // Two blocks of (2 threads + summary) rows, one header.
+        assert_eq!(lines.len(), 1 + 2 * 3);
+        assert!(lines[1].starts_with("mix-a\tFQ-VFTF\t0\t"));
+        assert!(lines[4].starts_with("mix-b\tFR-FCFS\t0\t"));
+    }
+}

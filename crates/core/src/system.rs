@@ -81,8 +81,14 @@ pub struct SystemBuilder {
     prewarm: bool,
     channels: usize,
     shared_l2: bool,
+    observe_events: Option<usize>,
     workloads: Vec<WorkloadEntry>,
 }
+
+/// Event-ring capacity per channel when observation is switched on only
+/// by `FQMS_SIDECAR` (the sidecar needs the metric sinks, not a deep
+/// event history, so keep the rings small).
+const SIDECAR_EVENT_CAPACITY: usize = 4096;
 
 impl SystemBuilder {
     /// Starts from the paper's configuration (Tables 5 and 6): DDR2-800,
@@ -104,6 +110,7 @@ impl SystemBuilder {
             prewarm: true,
             channels: 1,
             shared_l2: false,
+            observe_events: None,
             workloads: Vec::new(),
         }
     }
@@ -196,6 +203,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a tracing observer (event ring of `capacity` per channel
+    /// plus per-thread metric sinks) to the memory system. Observation is
+    /// passive — results are bit-identical with or without it — and the
+    /// collected sinks are read back with [`System::observed_metrics`].
+    /// Off by default; setting `FQMS_SIDECAR` also switches it on at
+    /// [`SystemBuilder::build`] time (with a small default ring).
+    pub fn observe_events(mut self, capacity: usize) -> Self {
+        self.observe_events = Some(capacity);
+        self
+    }
+
     /// Enables or disables functional cache prewarming before the run
     /// (default: enabled). Prewarming streams ~4 footprints of references
     /// through each core's caches with no timing, so measurement starts
@@ -262,7 +280,14 @@ impl SystemBuilder {
         mc_config.row_policy = self.row_policy;
         mc_config.vft_binding = self.vft_binding;
         mc_config.buffer_sharing = self.buffer_sharing;
-        let mc = MultiChannelController::new(self.channels, mc_config, self.geometry, self.timing)?;
+        let mut mc =
+            MultiChannelController::new(self.channels, mc_config, self.geometry, self.timing)?;
+        let observe = self
+            .observe_events
+            .or_else(|| crate::sidecar::path().map(|_| SIDECAR_EVENT_CAPACITY));
+        if let Some(capacity) = observe {
+            mc.enable_observation(capacity);
+        }
         let mut cores = Vec::with_capacity(n);
         let mut names = Vec::with_capacity(n);
         let prewarm = self.prewarm;
@@ -312,6 +337,7 @@ impl SystemBuilder {
             cores,
             names,
             mc,
+            scheduler: self.scheduler,
             clocks: ClockDomains::new(self.cpu_ratio),
             overhead: self.core.memory_overhead,
             dram_now: DramCycle::ZERO,
@@ -333,6 +359,7 @@ pub struct System {
     cores: Vec<Core>,
     names: Vec<String>,
     mc: MultiChannelController,
+    scheduler: SchedulerKind,
     clocks: ClockDomains,
     overhead: u64,
     dram_now: DramCycle,
@@ -400,7 +427,17 @@ impl System {
     /// statistics are discarded — the equivalent of the paper's sampled
     /// traces starting with warmed caches. Call before [`System::run`].
     pub fn warm_up(&mut self, instructions_per_thread: u64, max_dram_cycles: u64) {
-        let _ = self.run(instructions_per_thread, max_dram_cycles);
+        // Warmup must not pollute the metrics sidecar with a block of its
+        // own, hence `export: false`.
+        let _ = self.run_inner(instructions_per_thread, max_dram_cycles, false);
+    }
+
+    /// The merged per-thread metric sinks collected since the last
+    /// measurement reset, when observation is enabled (see
+    /// [`SystemBuilder::observe_events`]). Channels are merged in
+    /// channel-index order, so repeated runs agree bit-for-bit.
+    pub fn observed_metrics(&self) -> Option<fqms_obs::MetricsSink> {
+        self.mc.merged_metrics()
     }
 
     /// Runs until **every** thread has retired at least
@@ -410,8 +447,19 @@ impl System {
     /// methodology: faster threads keep running and keep contending, but
     /// their extra progress is not credited).
     ///
-    /// Returns the run's metrics.
+    /// Returns the run's metrics. If `FQMS_SIDECAR` is set, the run also
+    /// appends its observability sinks to the sidecar file (see
+    /// [`crate::sidecar`]).
     pub fn run(&mut self, instructions_per_thread: u64, max_dram_cycles: u64) -> SystemMetrics {
+        self.run_inner(instructions_per_thread, max_dram_cycles, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        instructions_per_thread: u64,
+        max_dram_cycles: u64,
+        export: bool,
+    ) -> SystemMetrics {
         self.reset_measurement();
         let start = self.dram_now;
         loop {
@@ -442,6 +490,11 @@ impl System {
             }
         }
         self.mc.finish(self.dram_now);
+        if export {
+            if let Some(sink) = self.mc.merged_metrics() {
+                crate::sidecar::append(&self.names.join("+"), self.scheduler.name(), &sink);
+            }
+        }
         self.metrics(start)
     }
 
@@ -535,6 +588,35 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observation_is_passive_and_sinks_match_metrics() {
+        let build = |observe: bool| {
+            let b = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .workload(by_name("art").unwrap())
+                .workload(by_name("vpr").unwrap())
+                .seed(9);
+            let b = if observe {
+                b.observe_events(1 << 14)
+            } else {
+                b
+            };
+            b.build().unwrap()
+        };
+        let mut plain = build(false);
+        let mut observed = build(true);
+        let a = plain.run(10_000, 2_000_000);
+        let b = observed.run(10_000, 2_000_000);
+        assert_eq!(a, b, "attaching observers changed the simulation");
+        assert!(plain.observed_metrics().is_none());
+        let sink = observed.observed_metrics().unwrap();
+        for (t, m) in b.threads.iter().enumerate() {
+            let s = sink.thread(t as u32);
+            assert_eq!(s.reads_completed, m.mem_reads, "thread {t} reads");
+            assert_eq!(s.writes_completed, m.mem_writes, "thread {t} writes");
+        }
     }
 
     #[test]

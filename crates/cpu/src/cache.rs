@@ -59,7 +59,10 @@ impl CacheConfig {
                 self.line_bytes
             ));
         }
-        if self.size_bytes % (self.ways as u64 * self.line_bytes) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.ways as u64 * self.line_bytes)
+        {
             return Err("size must be divisible by ways * line".into());
         }
         if !self.sets().is_power_of_two() {
@@ -248,19 +251,19 @@ mod tests {
     fn lru_evicts_oldest() {
         let mut c = tiny();
         // Set 0 holds lines 0 and 2 (line index even -> set 0).
-        c.fill(0 * 64, false);
+        c.fill(0, false);
         c.fill(2 * 64, false);
-        c.probe(0 * 64, false); // touch line 0: line 2 is now LRU
+        c.probe(0, false); // touch line 0: line 2 is now LRU
         let evicted = c.fill(4 * 64, false);
         assert_eq!(evicted, None); // clean eviction is silent
-        assert_eq!(c.probe(0 * 64, false), Lookup::Hit);
+        assert_eq!(c.probe(0, false), Lookup::Hit);
         assert_eq!(c.probe(2 * 64, false), Lookup::Miss);
     }
 
     #[test]
     fn dirty_eviction_reports_writeback() {
         let mut c = tiny();
-        c.fill(0 * 64, true); // dirty
+        c.fill(0, true); // dirty
         c.fill(2 * 64, false);
         let evicted = c.fill(4 * 64, false); // evicts line 0 (LRU, dirty)
         assert_eq!(evicted, Some(0));

@@ -71,7 +71,7 @@ impl RefCache {
 #[test]
 fn cache_matches_reference_model() {
     for case in 0..64u64 {
-        let mut rng = SimRng::new(0xCAC4E_0000 + case);
+        let mut rng = SimRng::new(0xC_AC4E_0000 + case);
         let cfg = CacheConfig {
             size_bytes: 1024, // 4 sets x 4 ways
             ways: 4,

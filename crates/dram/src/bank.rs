@@ -105,6 +105,15 @@ impl Bank {
         }
     }
 
+    /// How many cycles the bank has been continuously active as of `now`,
+    /// if it is active. This is the FQ bank scheduler's inversion-bound
+    /// comparand and the value reported by inversion-trip trace events.
+    #[inline]
+    pub fn active_for(&self, now: DramCycle) -> Option<u64> {
+        self.active_since()
+            .map(|since| now.as_u64().saturating_sub(since.as_u64()))
+    }
+
     /// Earliest cycle an activate may issue.
     #[inline]
     pub fn next_activate(&self) -> DramCycle {

@@ -242,11 +242,9 @@ impl ProtocolChecker {
             Command::Refresh { rank } => {
                 // Every bank of the rank must be precharged and past tRP.
                 for ((r, _b), h) in self.banks.iter() {
-                    if *r == rank.as_u32() {
-                        if h.open {
-                            self.flag(cycle, cmd, "REF with an open row");
-                            break;
-                        }
+                    if *r == rank.as_u32() && h.open {
+                        self.flag(cycle, cmd, "REF with an open row");
+                        break;
                     }
                 }
                 for b in 0..1024u32 {

@@ -60,7 +60,8 @@ impl PowerParams {
             ("p_active_standby", self.p_active_standby),
             ("p_precharge_standby", self.p_precharge_standby),
         ] {
-            if !(v >= 0.0) {
+            // NaN must be rejected too, hence not a plain `v < 0.0`.
+            if v.is_nan() || v < 0.0 {
                 return Err(format!("{name} must be non-negative, got {v}"));
             }
         }

@@ -2,13 +2,16 @@
 //! whatever is ready" driver must never trip a timing assertion, and the
 //! device's readiness answers must be internally consistent.
 //!
-//! Random interleavings come from the in-tree deterministic
-//! [`fqms_sim::rng::SimRng`] under fixed seeds, keeping the build hermetic
-//! (no external `proptest` dependency) and each run identical.
+//! Random interleavings come from the in-tree deterministic shrinking
+//! case runner ([`fqms_sim::rng::CaseRunner`]), keeping the build
+//! hermetic (no external `proptest` dependency) and each run identical;
+//! failures shrink to a minimal seed/length before being reported. Set
+//! `FQMS_CASES` or enable the `proptest` feature to widen the sweep.
 
 use fqms_dram::prelude::*;
 use fqms_sim::clock::DramCycle;
-use fqms_sim::rng::SimRng;
+use fqms_sim::rng::{CaseRunner, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Enumerate all commands that could conceivably be issued to the device
 /// given the current bank states (bounded row/col space for test speed).
@@ -51,40 +54,77 @@ fn candidate_commands(dram: &DramDevice) -> Vec<Command> {
     out
 }
 
+/// A random adversarial driver configuration: seed plus run length.
+#[derive(Debug, Clone, Copy)]
+struct DriverCase {
+    seed: u64,
+    cycles: u64,
+}
+
+fn gen_driver(rng: &mut SimRng) -> DriverCase {
+    DriverCase {
+        seed: rng.next_below(1 << 32),
+        cycles: 500 + rng.next_below(1_500),
+    }
+}
+
+fn shrink_driver(case: &DriverCase) -> Vec<DriverCase> {
+    if case.cycles > 100 {
+        vec![DriverCase {
+            cycles: case.cycles / 2,
+            ..*case
+        }]
+    } else {
+        vec![]
+    }
+}
+
 /// Issuing any ready command at any cycle never violates a constraint
 /// (the device's assertions are the oracle), across random interleavings.
 #[test]
 fn random_ready_schedules_are_legal() {
-    for seed in 0..200u64 {
-        let mut rng = SimRng::new(seed);
-        let mut dram = DramDevice::new(
-            Geometry {
-                ranks: 2,
-                banks: 4,
-                rows: 8,
-                cols: 8,
-            },
-            TimingParams::ddr2_800(),
-        );
-        let mut now = DramCycle::ZERO;
-        let mut issued = 0u32;
-        // Drive for a bounded number of cycles, issuing a random ready
-        // command (if any) each cycle.
-        for _ in 0..2_000 {
-            let ready: Vec<Command> = candidate_commands(&dram)
-                .into_iter()
-                .filter(|c| dram.is_ready(c, now))
-                .collect();
-            if !ready.is_empty() && rng.chance(0.7) {
-                let pick = rng.next_below(ready.len() as u64) as usize;
-                // `issue` panics if any constraint is violated.
-                dram.issue(&ready[pick], now);
-                issued += 1;
+    CaseRunner::new("ready-schedules-legal")
+        .cases(100)
+        .run(gen_driver, shrink_driver, |case| {
+            // The device's internal assertions are the oracle: a timing
+            // violation panics inside `issue`, which we convert into a
+            // property failure so the runner can shrink it.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = SimRng::new(case.seed);
+                let mut dram = DramDevice::new(
+                    Geometry {
+                        ranks: 2,
+                        banks: 4,
+                        rows: 8,
+                        cols: 8,
+                    },
+                    TimingParams::ddr2_800(),
+                );
+                let mut now = DramCycle::ZERO;
+                let mut issued = 0u32;
+                // Drive for a bounded number of cycles, issuing a random
+                // ready command (if any) each cycle.
+                for _ in 0..case.cycles {
+                    let ready: Vec<Command> = candidate_commands(&dram)
+                        .into_iter()
+                        .filter(|c| dram.is_ready(c, now))
+                        .collect();
+                    if !ready.is_empty() && rng.chance(0.7) {
+                        let pick = rng.next_below(ready.len() as u64) as usize;
+                        // `issue` panics if any constraint is violated.
+                        dram.issue(&ready[pick], now);
+                        issued += 1;
+                    }
+                    now.tick();
+                }
+                issued
+            }));
+            match outcome {
+                Err(_) => Err("device timing assertion tripped".into()),
+                Ok(0) => Err("driver never issued anything".into()),
+                Ok(_) => Ok(()),
             }
-            now.tick();
-        }
-        assert!(issued > 0, "seed {seed}: driver never issued anything");
-    }
+        });
 }
 
 /// Readiness is monotonic for a quiescent device: once a command is ready
@@ -119,9 +159,33 @@ fn readiness_is_monotonic_without_issue() {
 /// is legal on the slow device.
 #[test]
 fn scaled_device_accepts_stretched_schedule() {
-    for seed in 0..50u64 {
-        for factor in [2u64, 3] {
-            let mut rng = SimRng::new(seed);
+    /// A scaled-replay case: driver seed, stretch factor, run length.
+    #[derive(Debug, Clone, Copy)]
+    struct ScaleCase {
+        seed: u64,
+        factor: u64,
+        cycles: u64,
+    }
+
+    CaseRunner::new("scaled-schedule").cases(100).run(
+        |rng| ScaleCase {
+            seed: rng.next_below(1 << 32),
+            factor: 2 + rng.next_below(2),
+            cycles: 100 + rng.next_below(400),
+        },
+        |case| {
+            if case.cycles > 50 {
+                vec![ScaleCase {
+                    cycles: case.cycles / 2,
+                    ..*case
+                }]
+            } else {
+                vec![]
+            }
+        },
+        |case| {
+            let factor = case.factor;
+            let mut rng = SimRng::new(case.seed);
             let geo = Geometry {
                 ranks: 1,
                 banks: 4,
@@ -131,7 +195,7 @@ fn scaled_device_accepts_stretched_schedule() {
             let mut fast = DramDevice::new(geo, TimingParams::ddr2_800());
             let mut slow = DramDevice::new(geo, TimingParams::ddr2_800().time_scaled(factor));
             let mut now = DramCycle::ZERO;
-            for _ in 0..500 {
+            for _ in 0..case.cycles {
                 let ready: Vec<Command> = candidate_commands(&fast)
                     .into_iter()
                     .filter(|c| !matches!(c, Command::Refresh { .. }))
@@ -142,16 +206,18 @@ fn scaled_device_accepts_stretched_schedule() {
                     let cmd = ready[pick];
                     fast.issue(&cmd, now);
                     let scaled_now = DramCycle::new(now.as_u64() * factor);
-                    assert!(
-                        slow.is_ready(&cmd, scaled_now),
-                        "{cmd} legal at {now} on fast but not at {scaled_now} on x{factor}"
-                    );
+                    if !slow.is_ready(&cmd, scaled_now) {
+                        return Err(format!(
+                            "{cmd} legal at {now} on fast but not at {scaled_now} on x{factor}"
+                        ));
+                    }
                     slow.issue(&cmd, scaled_now);
                 }
                 now.tick();
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -32,6 +32,7 @@ use crate::vtms::{bank_service, Vtms};
 use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
+use fqms_obs::{Event, NullObserver, Observer};
 use fqms_sim::clock::DramCycle;
 
 /// A request whose service has finished from the requester's perspective:
@@ -122,6 +123,11 @@ pub struct MemoryController {
     last_step: Option<DramCycle>,
     /// Optional bounded trace of issued commands.
     cmd_log: Option<CommandLog>,
+    /// Per-bank edge detector for [`Event::InversionLock`]: true while the
+    /// bank's FQ scheduler is in locked mode and the trip has been
+    /// reported for the current activation. Only written under
+    /// `O::ENABLED`, so it never influences scheduling.
+    lock_armed: Vec<bool>,
 }
 
 impl MemoryController {
@@ -160,6 +166,7 @@ impl MemoryController {
             config,
             last_step: None,
             cmd_log: None,
+            lock_armed: vec![false; total_banks],
         })
     }
 
@@ -265,14 +272,42 @@ impl MemoryController {
         phys: u64,
         now: DramCycle,
     ) -> Result<RequestId, Nack> {
+        self.try_submit_observed(thread, kind, phys, now, &mut NullObserver)
+    }
+
+    /// [`MemoryController::try_submit`] with an [`Observer`] attached:
+    /// emits [`Event::Nack`] / [`Event::Arrival`] (and, under at-arrival
+    /// binding, [`Event::VftBound`]). With [`NullObserver`] this
+    /// monomorphizes to exactly `try_submit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Nack`] back-pressure signal when the thread's buffer
+    /// partition is full, exactly like [`MemoryController::try_submit`].
+    pub fn try_submit_observed<O: Observer>(
+        &mut self,
+        thread: ThreadId,
+        kind: RequestKind,
+        phys: u64,
+        now: DramCycle,
+        obs: &mut O,
+    ) -> Result<RequestId, Nack> {
         let tid = thread.as_usize();
         assert!(tid < self.config.num_threads(), "unknown thread {thread}");
         if self.config.buffer_sharing == BufferSharing::Shared && !self.shared_pool_has_room(kind) {
             self.stats.thread_mut(thread).nacks += 1;
-            return Err(match kind {
+            let nack = match kind {
                 RequestKind::Write => Nack::WriteBufferFull,
                 RequestKind::Read => Nack::TransactionBufferFull,
-            });
+            };
+            if O::ENABLED {
+                obs.on_event(&Event::Nack {
+                    cycle: now.as_u64(),
+                    thread: thread.as_u32(),
+                    is_write: nack == Nack::WriteBufferFull,
+                });
+            }
+            return Err(nack);
         }
         // Per-thread accounting always happens (it tracks who holds what);
         // in shared mode the per-thread cap is lifted to the pool size.
@@ -285,6 +320,13 @@ impl MemoryController {
         };
         if let Err(nack) = admit {
             self.stats.thread_mut(thread).nacks += 1;
+            if O::ENABLED {
+                obs.on_event(&Event::Nack {
+                    cycle: now.as_u64(),
+                    thread: thread.as_u32(),
+                    is_write: nack == Nack::WriteBufferFull,
+                });
+            }
             return Err(nack);
         }
         let addr = self.map.decode(phys);
@@ -310,6 +352,14 @@ impl MemoryController {
             let f = v.virtual_finish_time(now, bank_idx, t.service_closed(), t.burst);
             v.update_bank(now, bank_idx, t.service_closed());
             v.update_channel(bank_idx, t.burst);
+            if O::ENABLED {
+                obs.on_event(&Event::VftBound {
+                    cycle: now.as_u64(),
+                    thread: thread.as_u32(),
+                    id: id.as_u64(),
+                    vft: f,
+                });
+            }
             Some(f)
         } else {
             None
@@ -319,6 +369,16 @@ impl MemoryController {
             vft,
             ras_issued: 0,
         });
+        if O::ENABLED {
+            obs.on_event(&Event::Arrival {
+                cycle: now.as_u64(),
+                thread: thread.as_u32(),
+                id: id.as_u64(),
+                is_write: kind == RequestKind::Write,
+                bank: bank_idx as u32,
+                queue_depth: self.queues[bank_idx].len() as u32,
+            });
+        }
         let ts = self.stats.thread_mut(thread);
         match kind {
             RequestKind::Read => ts.reads_accepted += 1,
@@ -341,12 +401,21 @@ impl MemoryController {
     ///
     /// Panics if called with a non-increasing cycle number.
     pub fn step(&mut self, now: DramCycle) -> Vec<Completion> {
+        self.step_observed(now, &mut NullObserver)
+    }
+
+    /// [`MemoryController::step`] with an [`Observer`] attached: emits
+    /// completion, scheduling, and command-issue events as they happen.
+    /// With [`NullObserver`] every `if O::ENABLED` guard folds away and
+    /// this monomorphizes to exactly `step` — observation is a pure
+    /// function of the simulation and never changes it.
+    pub fn step_observed<O: Observer>(&mut self, now: DramCycle, obs: &mut O) -> Vec<Completion> {
         if let Some(last) = self.last_step {
             assert!(now > last, "step({now}) after step({last})");
         }
         self.last_step = Some(now);
 
-        let mut out = self.drain_read_completions(now);
+        let mut out = self.drain_read_completions(now, obs);
 
         let urgent_rank = (0..self.dram.geometry().ranks)
             .map(RankId::new)
@@ -363,11 +432,11 @@ impl MemoryController {
                 },
                 source: None,
             }),
-            None => self.schedule_normal(now),
+            None => self.schedule_normal(now, obs),
         };
 
         if let Some(p) = scheduled {
-            self.issue(p, now, &mut out);
+            self.issue(p, now, &mut out, obs);
         }
         out
     }
@@ -385,7 +454,11 @@ impl MemoryController {
         self.dram.reset_stats(now);
     }
 
-    fn drain_read_completions(&mut self, now: DramCycle) -> Vec<Completion> {
+    fn drain_read_completions<O: Observer>(
+        &mut self,
+        now: DramCycle,
+        obs: &mut O,
+    ) -> Vec<Completion> {
         let mut done = Vec::new();
         let mut i = 0;
         while i < self.inflight_reads.len() {
@@ -400,6 +473,16 @@ impl MemoryController {
             let ts = self.stats.thread_mut(c.thread);
             ts.reads_completed += 1;
             ts.read_latency_total += c.latency();
+            if O::ENABLED {
+                obs.on_event(&Event::Completed {
+                    cycle: now.as_u64(),
+                    thread: c.thread.as_u32(),
+                    id: c.id.as_u64(),
+                    is_write: false,
+                    latency: c.latency(),
+                    bytes: self.config.line_bytes,
+                });
+            }
         }
         done
     }
@@ -442,7 +525,7 @@ impl MemoryController {
 
     /// Runs every bank scheduler and the channel scheduler; returns the
     /// winning ready command, if any.
-    fn schedule_normal(&mut self, now: DramCycle) -> Option<Proposal> {
+    fn schedule_normal<O: Observer>(&mut self, now: DramCycle, obs: &mut O) -> Option<Proposal> {
         let timing = *self.dram.timing();
         let geometry = *self.dram.geometry();
         let kind = self.config.scheduler;
@@ -464,6 +547,8 @@ impl MemoryController {
                 bank,
                 now,
                 &timing,
+                &mut self.lock_armed[bank_idx],
+                obs,
             );
             // Channel scheduler: each bank presents at most one command;
             // only commands that are ready with respect to the channel
@@ -475,7 +560,7 @@ impl MemoryController {
                 if !self.dram.is_ready(&p.cmd, now) {
                     continue;
                 }
-                if best.map_or(true, |b| p.prio < b.prio) {
+                if best.is_none_or(|b| p.prio < b.prio) {
                     best = Some(p);
                 }
             }
@@ -485,7 +570,13 @@ impl MemoryController {
 
     /// Issues the chosen command and applies all side effects: DRAM state,
     /// VTMS registers, queue/buffer updates, and statistics.
-    fn issue(&mut self, p: Proposal, now: DramCycle, out: &mut Vec<Completion>) {
+    fn issue<O: Observer>(
+        &mut self,
+        p: Proposal,
+        now: DramCycle,
+        out: &mut Vec<Completion>,
+        obs: &mut O,
+    ) {
         let timing = *self.dram.timing();
         let data_done = self.dram.issue(&p.cmd, now);
         if let Some(log) = &mut self.cmd_log {
@@ -495,6 +586,21 @@ impl MemoryController {
                 thread: p
                     .source
                     .map(|(bank_idx, pos)| self.queues[bank_idx][pos].req.thread),
+            });
+        }
+        if O::ENABLED {
+            let owner = p
+                .source
+                .map(|(bank_idx, pos)| self.queues[bank_idx][pos].req);
+            obs.on_event(&Event::CommandIssued {
+                cycle: now.as_u64(),
+                kind: p.cmd.kind(),
+                bank: p
+                    .cmd
+                    .bank()
+                    .map(|b| p.cmd.rank().as_u32() * self.dram.geometry().banks + b.as_u32()),
+                thread: owner.map(|r| r.thread.as_u32()),
+                id: owner.map(|r| r.id.as_u64()),
             });
         }
         let Some((bank_idx, queue_pos)) = p.source else {
@@ -543,6 +649,16 @@ impl MemoryController {
                 buf.release_write_data();
                 buf.complete(RequestKind::Write);
                 self.stats.thread_mut(req.thread).writes_completed += 1;
+                if O::ENABLED {
+                    obs.on_event(&Event::Completed {
+                        cycle: now.as_u64(),
+                        thread: req.thread.as_u32(),
+                        id: req.id.as_u64(),
+                        is_write: true,
+                        latency: completion.latency(),
+                        bytes: self.config.line_bytes,
+                    });
+                }
                 out.push(completion);
             }
         }
@@ -581,7 +697,7 @@ fn next_command(
 /// The bank scheduler for one bank (free function so the borrow of the
 /// queue is disjoint from the device and VTMS borrows).
 #[allow(clippy::too_many_arguments)]
-fn propose_for_bank(
+fn propose_for_bank<O: Observer>(
     queue: &mut [Pending],
     dram: &DramDevice,
     vtms: &[Vtms],
@@ -593,6 +709,8 @@ fn propose_for_bank(
     bank: BankId,
     now: DramCycle,
     timing: &TimingParams,
+    lock_armed: &mut bool,
+    obs: &mut O,
 ) -> Option<Proposal> {
     let open_row = dram.open_row(rank, bank);
 
@@ -624,11 +742,28 @@ fn propose_for_bank(
     // wait for its command to become ready — row hits may no longer chain
     // ahead of it.
     if kind.uses_fq_bank_scheduler() {
-        if let (Some(since), Some(x)) = (dram.bank(rank, bank).active_since(), inversion) {
-            if now.as_u64().saturating_sub(since.as_u64()) >= x {
+        let lock = match (dram.bank(rank, bank).active_for(now), inversion) {
+            (Some(active_for), Some(x)) => (active_for >= x).then_some(active_for),
+            _ => None,
+        };
+        if O::ENABLED && lock.is_none() {
+            // The activation ended (or the bound is unreachable): re-arm
+            // the inversion-trip edge detector for the next activation.
+            *lock_armed = false;
+        }
+        if let Some(active_for) = lock {
+            {
+                if O::ENABLED && !*lock_armed {
+                    *lock_armed = true;
+                    obs.on_event(&Event::InversionLock {
+                        cycle: now.as_u64(),
+                        bank: bank_idx as u32,
+                        active_for,
+                    });
+                }
                 let mut best: Option<(usize, f64, RequestId)> = None;
                 for (i, p) in queue.iter_mut().enumerate() {
-                    let key = bind_vft(p, vtms, bank_idx, open_row, timing);
+                    let key = bind_vft(p, vtms, bank_idx, open_row, timing, now, obs);
                     match best {
                         Some((_, bk, bid)) if (bk, bid) <= (key, p.req.id) => {}
                         _ => best = Some((i, key, p.req.id)),
@@ -688,7 +823,7 @@ fn propose_for_bank(
             continue;
         }
         let key = if kind.uses_vftf() {
-            bind_vft(p, vtms, bank_idx, open_row, timing)
+            bind_vft(p, vtms, bank_idx, open_row, timing, now, obs)
         } else {
             p.req.arrival.as_f64()
         };
@@ -698,7 +833,7 @@ fn propose_for_bank(
             key,
             id: p.req.id,
         };
-        if best.as_ref().map_or(true, |(b, _)| prio < *b) {
+        if best.as_ref().is_none_or(|(b, _)| prio < *b) {
             best = Some((prio, i));
         }
     }
@@ -755,12 +890,14 @@ impl ReadyClasses {
 
 /// Binds (or returns the cached) virtual finish time of a pending request,
 /// classifying its bank service by the bank's state right now (Table 3).
-fn bind_vft(
+fn bind_vft<O: Observer>(
     p: &mut Pending,
     vtms: &[Vtms],
     bank_idx: usize,
     open_row: Option<RowId>,
     timing: &TimingParams,
+    now: DramCycle,
+    obs: &mut O,
 ) -> f64 {
     if let Some(v) = p.vft {
         return v;
@@ -777,6 +914,14 @@ fn bind_vft(
         timing.burst,
     );
     p.vft = Some(v);
+    if O::ENABLED {
+        obs.on_event(&Event::VftBound {
+            cycle: now.as_u64(),
+            thread: p.req.thread.as_u32(),
+            id: p.req.id.as_u64(),
+            vft: v,
+        });
+    }
     v
 }
 

@@ -41,6 +41,7 @@ use crate::request::{RequestKind, ThreadId};
 use crate::stats::ThreadStats;
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
+use fqms_obs::{NullObserver, Observations, Observer, TracingObserver};
 use fqms_sim::clock::DramCycle;
 use fqms_sim::parallel::{run_parallel, run_serial, Shard};
 use fqms_sim::rng::SimRng;
@@ -79,6 +80,12 @@ pub struct EngineSpec {
     pub max_cycles: u64,
     /// Per-channel command-log capacity; `None` disables logging.
     pub log_capacity: Option<usize>,
+    /// Per-channel observer event-ring capacity; `None` runs unobserved
+    /// (the controllers monomorphize to the no-op observer — zero
+    /// overhead). `Some(cap)` attaches a
+    /// [`TracingObserver`](fqms_obs::TracingObserver) per channel and the
+    /// report carries [`EngineReport::observations`].
+    pub event_capacity: Option<usize>,
 }
 
 impl EngineSpec {
@@ -94,6 +101,7 @@ impl EngineSpec {
             epoch_cycles: 1024,
             max_cycles: 10_000_000,
             log_capacity: None,
+            event_capacity: None,
         }
     }
 }
@@ -108,33 +116,70 @@ pub struct ChannelShard {
     /// back-pressure at the channel port).
     events: VecDeque<SubmitEvent>,
     completions: Vec<Completion>,
+    /// Channel-local observer; shards never share one, so observation
+    /// needs no synchronization and stays deterministic.
+    obs: Option<TracingObserver>,
+}
+
+/// Drives one channel over one epoch. Generic over the observer so the
+/// unobserved path monomorphizes with [`NullObserver`] to exactly the
+/// pre-observability code.
+fn drive<O: Observer>(
+    mc: &mut MemoryController,
+    events: &mut VecDeque<SubmitEvent>,
+    completions: &mut Vec<Completion>,
+    obs: &mut O,
+    start: u64,
+    end: u64,
+) -> bool {
+    for c in start + 1..=end {
+        let now = DramCycle::new(c);
+        while let Some(ev) = events.front() {
+            if ev.at.as_u64() > c {
+                break; // not due yet
+            }
+            let ev = *ev;
+            if mc
+                .try_submit_observed(ev.thread, ev.kind, ev.phys, now, obs)
+                .is_ok()
+            {
+                events.pop_front();
+            } else {
+                break; // head-of-line NACK: retry next cycle
+            }
+        }
+        completions.extend(mc.step_observed(now, obs));
+    }
+    !(events.is_empty() && mc.is_idle())
 }
 
 impl Shard for ChannelShard {
     fn run_epoch(&mut self, start: u64, end: u64) -> bool {
-        for c in start + 1..=end {
-            let now = DramCycle::new(c);
-            while let Some(ev) = self.events.front() {
-                if ev.at.as_u64() > c {
-                    break; // not due yet
-                }
-                let ev = *ev;
-                if self.mc.try_submit(ev.thread, ev.kind, ev.phys, now).is_ok() {
-                    self.events.pop_front();
-                } else {
-                    break; // head-of-line NACK: retry next cycle
-                }
-            }
-            self.completions.extend(self.mc.step(now));
+        match &mut self.obs {
+            Some(obs) => drive(
+                &mut self.mc,
+                &mut self.events,
+                &mut self.completions,
+                obs,
+                start,
+                end,
+            ),
+            None => drive(
+                &mut self.mc,
+                &mut self.events,
+                &mut self.completions,
+                &mut NullObserver,
+                start,
+                end,
+            ),
         }
-        !(self.events.is_empty() && self.mc.is_idle())
     }
 }
 
 /// The deterministic merge of a sharded run, assembled in channel-index
 /// order. Two reports compare equal iff every per-thread counter, every
 /// completion, and every retained command record agree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
     /// Cycle the run reached (epoch-aligned, capped at `max_cycles`).
     pub cycles: u64,
@@ -149,6 +194,10 @@ pub struct EngineReport {
     /// Events still unsubmitted when the run stopped (0 iff the schedule
     /// fully drained within `max_cycles`).
     pub unsubmitted: usize,
+    /// Per-channel event streams and merged metrics, when
+    /// [`EngineSpec::event_capacity`] is set. Assembled in channel-index
+    /// order, so serial and parallel runs agree bit-for-bit.
+    pub observations: Option<Observations>,
 }
 
 impl EngineReport {
@@ -177,6 +226,9 @@ fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<Channel
             mc,
             events: VecDeque::new(),
             completions: Vec::new(),
+            obs: spec
+                .event_capacity
+                .map(|cap| TracingObserver::new(cap, spec.config.num_threads())),
         });
     }
     let mut last_at = 0u64;
@@ -201,6 +253,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
     let mut command_logs = Vec::new();
     let mut bus_busy_cycles = 0;
     let mut unsubmitted = 0;
+    let mut observations = spec.event_capacity.map(|_| Observations::default());
     for shard in shards {
         for (t, agg) in per_thread.iter_mut().enumerate() {
             let s = shard.mc.stats().thread(ThreadId::new(t as u32));
@@ -221,6 +274,13 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
             command_logs.push(log.clone());
         }
         completions.push(shard.completions);
+        if let (Some(merged), Some(obs)) = (&mut observations, shard.obs) {
+            // Channel-index order: streams stay separate, metrics merge
+            // deterministically.
+            let (events, metrics) = obs.into_parts();
+            merged.event_streams.push(events);
+            merged.metrics.merge(&metrics);
+        }
     }
     EngineReport {
         cycles,
@@ -229,6 +289,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         command_logs,
         bus_busy_cycles,
         unsubmitted,
+        observations,
     }
 }
 
@@ -287,6 +348,52 @@ pub fn synthetic_workload(
     for c in 1..=cycles {
         for t in 0..num_threads {
             if rng.chance(intensity) {
+                let kind = if rng.chance(0.3) {
+                    RequestKind::Write
+                } else {
+                    RequestKind::Read
+                };
+                events.push(SubmitEvent {
+                    at: DramCycle::new(c),
+                    thread: ThreadId::new(t),
+                    kind,
+                    phys: rng.next_below(1 << 24) * 64,
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Generates a deterministic interference mix for QoS experiments: thread
+/// 0 is a light, read-only, small-footprint "QoS" thread (high row
+/// locality, `qos_intensity` requests per cycle), while threads `1..` are
+/// heavy streamers (`heavy_intensity`, 30% writes, uniform over a large
+/// footprint) that monopolize an unfair scheduler. Events are emitted in
+/// non-decreasing cycle order, as the engine requires.
+pub fn interference_workload(
+    num_threads: u32,
+    cycles: u64,
+    qos_intensity: f64,
+    heavy_intensity: f64,
+    seed: u64,
+) -> Vec<SubmitEvent> {
+    assert!(num_threads >= 2, "need a QoS thread and an aggressor");
+    let mut rng = SimRng::new(seed);
+    let mut events = Vec::new();
+    for c in 1..=cycles {
+        for t in 0..num_threads {
+            if t == 0 {
+                if rng.chance(qos_intensity) {
+                    events.push(SubmitEvent {
+                        at: DramCycle::new(c),
+                        thread: ThreadId::new(0),
+                        kind: RequestKind::Read,
+                        // Small footprint: 64 KiB of lines, high reuse.
+                        phys: rng.next_below(1 << 10) * 64,
+                    });
+                }
+            } else if rng.chance(heavy_intensity) {
                 let kind = if rng.chance(0.3) {
                     RequestKind::Write
                 } else {
@@ -369,6 +476,61 @@ mod tests {
                 "epoch {epoch} changed simulation results"
             );
         }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_simulation() {
+        // Attaching observers must not perturb the simulation: every
+        // non-observational report field is bit-identical.
+        let mut spec = small_spec(2, 2);
+        let events = synthetic_workload(2, 1_500, 0.4, 19);
+        let plain = simulate_serial(&spec, &events).unwrap();
+        spec.event_capacity = Some(1 << 20);
+        let observed = simulate_serial(&spec, &events).unwrap();
+        assert!(plain.observations.is_none());
+        let obs = observed.observations.as_ref().unwrap();
+        assert_eq!(plain.per_thread, observed.per_thread);
+        assert_eq!(plain.completions, observed.completions);
+        assert_eq!(plain.command_logs, observed.command_logs);
+        assert_eq!(plain.cycles, observed.cycles);
+        // The event stream is consistent with the report: completion
+        // counts agree per thread.
+        for (t, stats) in observed.per_thread.iter().enumerate() {
+            let sink = obs.metrics.thread(t as u32);
+            assert_eq!(sink.reads_completed, stats.reads_completed);
+            assert_eq!(sink.writes_completed, stats.writes_completed);
+            assert_eq!(sink.nacks, stats.nacks);
+        }
+        assert_eq!(obs.event_streams.len(), spec.num_channels);
+        assert!(obs.total_events() > 0);
+    }
+
+    #[test]
+    fn observed_serial_and_parallel_streams_are_bit_identical() {
+        let mut spec = small_spec(3, 3);
+        spec.event_capacity = Some(1 << 20);
+        let events = synthetic_workload(3, 2_000, 0.4, 29);
+        let serial = simulate_serial(&spec, &events).unwrap();
+        for threads in [2, 3, 5] {
+            let parallel = simulate_parallel(&spec, &events, threads).unwrap();
+            assert_eq!(serial, parallel, "{threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn interference_workload_shapes_traffic() {
+        let events = interference_workload(3, 2_000, 0.05, 0.5, 31);
+        let qos: Vec<_> = events
+            .iter()
+            .filter(|e| e.thread == ThreadId::new(0))
+            .collect();
+        let heavy = events.len() - qos.len();
+        assert!(!qos.is_empty());
+        assert!(heavy > qos.len() * 3, "{heavy} vs {}", qos.len());
+        assert!(qos.iter().all(|e| e.kind == RequestKind::Read));
+        assert!(qos.iter().all(|e| e.phys < (1 << 10) * 64));
+        // Sorted by cycle, as the engine requires.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use crate::config::McConfig;
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
-        simulate_parallel, simulate_serial, synthetic_workload, EngineReport, EngineSpec,
-        SubmitEvent,
+        interference_workload, simulate_parallel, simulate_serial, synthetic_workload,
+        EngineReport, EngineSpec, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
     pub use crate::policy::{InversionBound, Priority, RowPolicy, SchedulerKind, VftBinding};
@@ -70,6 +70,10 @@ pub mod prelude {
     pub use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
     pub use crate::stats::{McStats, ThreadStats};
     pub use crate::vtms::{bank_service, update_service, Vtms};
+    pub use fqms_obs::{
+        Event, EventRing, MetricsSink, NullObserver, Observations, Observer, ThreadSink,
+        TracingObserver,
+    };
 }
 
 pub use prelude::*;

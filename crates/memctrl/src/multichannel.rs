@@ -23,6 +23,7 @@ use crate::request::{RequestId, RequestKind, ThreadId};
 use crate::stats::ThreadStats;
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
+use fqms_obs::{EventRing, MetricsSink, TracingObserver};
 use fqms_sim::clock::DramCycle;
 
 /// A memory system with `N` line-interleaved channels, each with its own
@@ -52,6 +53,9 @@ use fqms_sim::clock::DramCycle;
 pub struct MultiChannelController {
     channels: Vec<MemoryController>,
     line_bytes: u64,
+    /// One observer per channel when observation is enabled (index-aligned
+    /// with `channels`); empty ⇒ unobserved, zero-overhead dispatch.
+    observers: Vec<TracingObserver>,
 }
 
 impl MultiChannelController {
@@ -81,7 +85,43 @@ impl MultiChannelController {
         Ok(MultiChannelController {
             channels,
             line_bytes,
+            observers: Vec::new(),
         })
+    }
+
+    /// Attaches a [`TracingObserver`] to every channel, each retaining up
+    /// to `event_capacity` events. Until this is called, submission and
+    /// stepping dispatch through the no-op observer and compile to the
+    /// unobserved code (zero overhead).
+    pub fn enable_observation(&mut self, event_capacity: usize) {
+        let threads = self.channels[0].config().num_threads();
+        self.observers = (0..self.channels.len())
+            .map(|_| TracingObserver::new(event_capacity, threads))
+            .collect();
+    }
+
+    /// True if [`MultiChannelController::enable_observation`] was called.
+    pub fn is_observed(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// One channel's retained event stream (None when unobserved).
+    pub fn event_stream(&self, channel: usize) -> Option<&EventRing> {
+        self.observers.get(channel).map(TracingObserver::events)
+    }
+
+    /// Metrics merged across channels in channel-index order (None when
+    /// unobserved). The merge order is fixed, so the result is
+    /// deterministic and matches the sharded engine's merge.
+    pub fn merged_metrics(&self) -> Option<MetricsSink> {
+        if self.observers.is_empty() {
+            return None;
+        }
+        let mut merged = MetricsSink::new(self.channels[0].config().num_threads());
+        for obs in &self.observers {
+            merged.merge(obs.metrics());
+        }
+        Some(merged)
     }
 
     /// Number of channels.
@@ -145,15 +185,24 @@ impl MultiChannelController {
         // Strip the channel bits so each channel sees a dense address
         // space (otherwise only 1/N of each channel's rows are used).
         let (ch, local) = Self::localize(self.line_bytes, self.channels.len(), phys);
-        self.channels[ch].try_submit(thread, kind, local, now)
+        match self.observers.get_mut(ch) {
+            Some(obs) => self.channels[ch].try_submit_observed(thread, kind, local, now, obs),
+            None => self.channels[ch].try_submit(thread, kind, local, now),
+        }
     }
 
     /// Advances every channel by one DRAM cycle (channels are independent
     /// resources and may each issue one command per cycle).
     pub fn step(&mut self, now: DramCycle) -> Vec<Completion> {
         let mut out = Vec::new();
-        for ch in &mut self.channels {
-            out.extend(ch.step(now));
+        if self.observers.is_empty() {
+            for ch in &mut self.channels {
+                out.extend(ch.step(now));
+            }
+        } else {
+            for (ch, obs) in self.channels.iter_mut().zip(&mut self.observers) {
+                out.extend(ch.step_observed(now, obs));
+            }
         }
         out
     }
@@ -220,9 +269,14 @@ impl MultiChannelController {
     }
 
     /// Zeroes measurement counters on every channel (warmup exclusion).
+    /// Observers, when attached, are reset with the stats so events and
+    /// metrics cover the measurement window only.
     pub fn reset_stats(&mut self, now: DramCycle) {
         for ch in &mut self.channels {
             ch.reset_stats(now);
+        }
+        for obs in &mut self.observers {
+            obs.reset();
         }
     }
 }
@@ -373,6 +427,71 @@ mod tests {
         m.reset_stats(DramCycle::new(c));
         assert_eq!(m.thread_stats(t).reads_completed, 0);
         assert_eq!(m.bus_busy_cycles(), 0);
+    }
+
+    #[test]
+    fn observation_is_passive_and_consistent() {
+        let drive = |observe: bool| {
+            let mut m = mc(2);
+            if observe {
+                m.enable_observation(1 << 16);
+            }
+            let t = ThreadId::new(0);
+            let mut rng = SimRng::new(23);
+            let mut done = Vec::new();
+            for c in 1..=3_000u64 {
+                let now = DramCycle::new(c);
+                if rng.chance(0.4) {
+                    let kind = if rng.chance(0.3) {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    let _ = m.try_submit(t, kind, rng.next_below(1 << 18) * 64, now);
+                }
+                done.extend(m.step(now));
+            }
+            (m, done)
+        };
+        let (plain, plain_done) = drive(false);
+        let (observed, observed_done) = drive(true);
+        // Observation never perturbs the simulation.
+        assert_eq!(plain_done, observed_done);
+        assert_eq!(
+            plain.thread_stats(ThreadId::new(0)),
+            observed.thread_stats(ThreadId::new(0))
+        );
+        assert!(plain.merged_metrics().is_none());
+        assert!(plain.event_stream(0).is_none());
+        // Observed metrics agree with the controller's own stats.
+        let metrics = observed.merged_metrics().unwrap();
+        let stats = observed.thread_stats(ThreadId::new(0));
+        let sink = metrics.thread(0);
+        assert_eq!(sink.reads_completed, stats.reads_completed);
+        assert_eq!(sink.writes_completed, stats.writes_completed);
+        assert_eq!(sink.nacks, stats.nacks);
+        assert!(observed.event_stream(0).unwrap().total_recorded() > 0);
+        assert!(observed.event_stream(1).unwrap().total_recorded() > 0);
+    }
+
+    #[test]
+    fn reset_stats_clears_observers() {
+        let mut m = mc(2);
+        m.enable_observation(1 << 12);
+        let t = ThreadId::new(0);
+        for i in 0..4u64 {
+            m.try_submit(t, RequestKind::Read, i * 64, DramCycle::new(0))
+                .unwrap();
+        }
+        let mut c = 0;
+        while !m.is_idle() {
+            c += 1;
+            m.step(DramCycle::new(c));
+        }
+        assert!(m.merged_metrics().unwrap().thread(0).reads_completed > 0);
+        m.reset_stats(DramCycle::new(c));
+        assert_eq!(m.merged_metrics().unwrap().thread(0).reads_completed, 0);
+        assert!(m.event_stream(0).unwrap().is_empty());
     }
 
     #[test]

@@ -79,11 +79,12 @@ impl std::fmt::Display for SchedulerKind {
 /// blocking time (Section 3.3): after a bank has been active for `x`
 /// cycles, the bank scheduler locks onto the earliest-virtual-finish-time
 /// request and waits for its command to become ready.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InversionBound {
     /// Lock after the bank has been active `t_RAS` cycles — the paper's
     /// choice ("a tight bound ... which offers better QoS, but may decrease
     /// data bus utilization").
+    #[default]
     TRas,
     /// Lock after a fixed number of active cycles.
     Cycles(u64),
@@ -100,12 +101,6 @@ impl InversionBound {
             InversionBound::Cycles(x) => Some(x),
             InversionBound::Unbounded => None,
         }
-    }
-}
-
-impl Default for InversionBound {
-    fn default() -> Self {
-        InversionBound::TRas
     }
 }
 
@@ -152,9 +147,10 @@ pub enum BufferSharing {
 /// tRFC cycles. A deferred controller delays refresh while demand
 /// traffic is pending, catching up during idle gaps or when the
 /// postponement budget is exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RefreshPolicy {
     /// Refresh immediately at each deadline (the baseline behaviour).
+    #[default]
     Strict,
     /// Postpone up to `max_postponed` refreshes while demand requests are
     /// pending; refresh opportunistically when the controller is idle.
@@ -162,12 +158,6 @@ pub enum RefreshPolicy {
         /// Maximum refreshes owed before the controller forces catch-up.
         max_postponed: u32,
     },
-}
-
-impl Default for RefreshPolicy {
-    fn default() -> Self {
-        RefreshPolicy::Strict
-    }
 }
 
 /// When a request's virtual finish time is computed (Section 3.2).

@@ -16,6 +16,9 @@ fn four_channel_spec(kind: SchedulerKind) -> EngineSpec {
     spec.config.scheduler = kind;
     spec.epoch_cycles = 512;
     spec.log_capacity = Some(1_000_000);
+    // Observers attached: the bit-identity guarantee must extend to the
+    // recorded event streams and merged metrics (ISSUE acceptance).
+    spec.event_capacity = Some(1_000_000);
     spec
 }
 
@@ -42,6 +45,23 @@ fn assert_bit_identical(serial: &EngineReport, parallel: &EngineReport, label: &
         serial.command_logs, parallel.command_logs,
         "{label}: command logs"
     );
+    let (s_obs, p_obs) = (
+        serial.observations.as_ref().unwrap(),
+        parallel.observations.as_ref().unwrap(),
+    );
+    for (ch, (s, p)) in s_obs
+        .event_streams
+        .iter()
+        .zip(&p_obs.event_streams)
+        .enumerate()
+    {
+        assert!(!s.overflowed(), "{label}: ch{ch} serial stream overflowed");
+        for (i, (se, pe)) in s.iter().zip(p.iter()).enumerate() {
+            assert_eq!(se, pe, "{label}: ch{ch} event {i} diverged");
+        }
+        assert_eq!(s.len(), p.len(), "{label}: ch{ch} stream lengths");
+    }
+    assert_eq!(s_obs.metrics, p_obs.metrics, "{label}: merged metrics");
     assert_eq!(serial, parallel, "{label}: full report");
 }
 

@@ -3,19 +3,69 @@
 //! monotonicity, and QoS-flavoured sanity under adversarial random
 //! traffic, across all four scheduling policies.
 //!
-//! Random traffic is generated by the in-tree deterministic
-//! [`fqms_sim::rng::SimRng`] with fixed seeds, so the suite runs hermetic
-//! (no external `proptest` dependency) and is reproducible bit-for-bit.
+//! Generative properties run on the in-tree shrinking
+//! [`fqms_sim::rng::CaseRunner`] (hermetic — no external `proptest`
+//! dependency, reproducible bit-for-bit; set `FQMS_CASES` or enable the
+//! `proptest` feature to widen the case count). On failure the runner
+//! reports a shrunk minimal counterexample.
 
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
 use fqms_memctrl::prelude::*;
 use fqms_sim::clock::DramCycle;
-use fqms_sim::rng::SimRng;
+use fqms_sim::rng::{CaseRunner, SimRng};
 use std::collections::HashSet;
 
 fn all_kinds() -> Vec<SchedulerKind> {
     SchedulerKind::all().to_vec()
+}
+
+/// A randomly generated open-loop traffic pattern for one controller.
+#[derive(Debug, Clone)]
+struct TrafficCase {
+    kind: SchedulerKind,
+    seed: u64,
+    threads: usize,
+    cycles: u64,
+    submit_prob: f64,
+}
+
+impl TrafficCase {
+    fn generate(rng: &mut SimRng) -> Self {
+        let kinds = all_kinds();
+        TrafficCase {
+            kind: kinds[rng.next_below(kinds.len() as u64) as usize],
+            seed: rng.next_below(1 << 32),
+            threads: 1 + rng.next_below(4) as usize,
+            cycles: 500 + rng.next_below(3_000),
+            submit_prob: 0.1 + 0.1 * rng.next_below(5) as f64,
+        }
+    }
+
+    /// Shrinks toward shorter, calmer runs (the failure usually survives
+    /// and the repro gets much cheaper to stare at).
+    fn shrink(&self) -> Vec<TrafficCase> {
+        let mut out = Vec::new();
+        if self.cycles > 250 {
+            out.push(TrafficCase {
+                cycles: self.cycles / 2,
+                ..self.clone()
+            });
+        }
+        if self.threads > 1 {
+            out.push(TrafficCase {
+                threads: self.threads - 1,
+                ..self.clone()
+            });
+        }
+        if self.submit_prob > 0.15 {
+            out.push(TrafficCase {
+                submit_prob: self.submit_prob / 2.0,
+                ..self.clone()
+            });
+        }
+        out
+    }
 }
 
 /// Drives a controller with random traffic from `threads` threads for
@@ -68,24 +118,30 @@ fn random_run(
 /// every scheduler.
 #[test]
 fn every_accepted_request_completes_once() {
-    for seed in 0..12u64 {
-        for kind in all_kinds() {
-            let (_, accepted, completed) = random_run(kind, 3, seed, 3_000, 0.4);
+    CaseRunner::new("conservation").cases(24).run(
+        TrafficCase::generate,
+        TrafficCase::shrink,
+        |case| {
+            let (_, accepted, completed) = random_run(
+                case.kind,
+                case.threads,
+                case.seed,
+                case.cycles,
+                case.submit_prob,
+            );
             let accepted_set: HashSet<_> = accepted.iter().copied().collect();
             let mut completed_set = HashSet::new();
             for c in &completed {
-                assert!(
-                    completed_set.insert(c.id),
-                    "{kind}: {id} completed twice",
-                    id = c.id
-                );
+                if !completed_set.insert(c.id) {
+                    return Err(format!("{}: {} completed twice", case.kind, c.id));
+                }
             }
-            assert_eq!(
-                accepted_set, completed_set,
-                "{kind} lost or invented requests"
-            );
-        }
-    }
+            if accepted_set != completed_set {
+                return Err(format!("{} lost or invented requests", case.kind));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Latency sanity: no read finishes before it could physically be
@@ -94,41 +150,53 @@ fn every_accepted_request_completes_once() {
 fn read_latency_lower_bound() {
     let t = TimingParams::ddr2_800();
     let min_latency = t.t_cl + t.burst; // best case: row hit CAS at arrival
-    for seed in 0..12u64 {
-        for kind in all_kinds() {
-            let (_, _, completed) = random_run(kind, 2, seed, 2_000, 0.3);
+    CaseRunner::new("read-latency-lower-bound").cases(24).run(
+        TrafficCase::generate,
+        TrafficCase::shrink,
+        |case| {
+            let (_, _, completed) = random_run(
+                case.kind,
+                case.threads,
+                case.seed,
+                case.cycles,
+                case.submit_prob,
+            );
             for c in completed.iter().filter(|c| c.kind == RequestKind::Read) {
-                assert!(
-                    c.latency() >= min_latency,
-                    "{kind}: impossible latency {}",
-                    c.latency()
-                );
+                if c.latency() < min_latency {
+                    return Err(format!(
+                        "{}: impossible latency {} (< {min_latency})",
+                        case.kind,
+                        c.latency()
+                    ));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// VTMS bank and channel registers never decrease.
 #[test]
 fn vtms_registers_are_monotonic() {
-    for seed in 0..8u64 {
-        let mut rng = SimRng::new(seed);
+    CaseRunner::new("vtms-monotonic").run(TrafficCase::generate, TrafficCase::shrink, |case| {
+        let mut rng = SimRng::new(case.seed);
+        let threads = case.threads as u32;
         let mut mc = MemoryController::new(
-            McConfig::paper(2, SchedulerKind::FqVftf),
+            McConfig::paper(case.threads, SchedulerKind::FqVftf),
             Geometry::paper(),
             TimingParams::ddr2_800(),
         )
         .unwrap();
-        let mut prev: Vec<(Vec<f64>, f64)> = (0..2)
+        let mut prev: Vec<(Vec<f64>, f64)> = (0..threads)
             .map(|i| {
                 let v = mc.vtms(ThreadId::new(i));
                 ((0..8).map(|b| v.bank_reg(b)).collect(), v.channel_reg())
             })
             .collect();
-        for c in 1..4_000u64 {
+        for c in 1..case.cycles {
             let now = DramCycle::new(c);
-            if rng.chance(0.4) {
-                let thread = ThreadId::new(rng.next_below(2) as u32);
+            if rng.chance(case.submit_prob) {
+                let thread = ThreadId::new(rng.next_below(threads as u64) as u32);
                 let phys = rng.next_below(1 << 20) * 64;
                 let _ = mc.try_submit(thread, RequestKind::Read, phys, now);
             }
@@ -137,50 +205,62 @@ fn vtms_registers_are_monotonic() {
                 let v = mc.vtms(ThreadId::new(i as u32));
                 for (b, prev_bank) in prev_state.0.iter_mut().enumerate() {
                     let cur = v.bank_reg(b);
-                    assert!(cur >= *prev_bank, "bank reg decreased");
+                    if cur < *prev_bank {
+                        return Err(format!("bank reg {b} decreased at cycle {c}"));
+                    }
                     *prev_bank = cur;
                 }
                 let cur = v.channel_reg();
-                assert!(cur >= prev_state.1, "channel reg decreased");
+                if cur < prev_state.1 {
+                    return Err(format!("channel reg decreased at cycle {c}"));
+                }
                 prev_state.1 = cur;
             }
         }
-    }
+        Ok(())
+    });
 }
 
 /// Work conservation (first-ready policies): with pending work and an
 /// idle data path, the controller keeps making forward progress — a
-/// saturating single-thread run achieves high bus utilization.
+/// saturating single-thread run achieves high bus utilization. The run
+/// length is fixed (the 0.85 threshold assumes amortized startup), so
+/// only the starting line shrinks.
 #[test]
 fn saturating_stream_utilizes_bus() {
-    for seed in 0..6u64 {
-        let mut rng = SimRng::new(seed);
-        let mut mc = MemoryController::new(
-            McConfig::paper(1, SchedulerKind::FrFcfs),
-            Geometry::paper(),
-            TimingParams::ddr2_800(),
-        )
-        .unwrap();
-        let thread = ThreadId::new(0);
-        let mut next_line = rng.next_below(1 << 16);
-        let cycles = 20_000u64;
-        for c in 1..=cycles {
-            let now = DramCycle::new(c);
-            // Keep the transaction buffer as full as possible with
-            // sequential (row-friendly) reads.
-            while mc.can_accept(thread, RequestKind::Read) {
-                let _ = mc.try_submit(thread, RequestKind::Read, next_line * 64, now);
-                next_line += 1;
+    CaseRunner::new("work-conservation").cases(6).run(
+        |rng| rng.next_below(1 << 16),
+        |&line| if line > 0 { vec![line / 2] } else { vec![] },
+        |&start_line| {
+            let mut mc = MemoryController::new(
+                McConfig::paper(1, SchedulerKind::FrFcfs),
+                Geometry::paper(),
+                TimingParams::ddr2_800(),
+            )
+            .unwrap();
+            let thread = ThreadId::new(0);
+            let mut next_line = start_line;
+            let cycles = 20_000u64;
+            for c in 1..=cycles {
+                let now = DramCycle::new(c);
+                // Keep the transaction buffer as full as possible with
+                // sequential (row-friendly) reads.
+                while mc.can_accept(thread, RequestKind::Read) {
+                    let _ = mc.try_submit(thread, RequestKind::Read, next_line * 64, now);
+                    next_line += 1;
+                }
+                mc.step(now);
             }
-            mc.step(now);
-        }
-        mc.finish(DramCycle::new(cycles));
-        let util = mc.dram().bus_busy_cycles() as f64 / cycles as f64;
-        assert!(
-            util > 0.85,
-            "seed {seed}: sequential stream only reached {util:.2} bus utilization"
-        );
-    }
+            mc.finish(DramCycle::new(cycles));
+            let util = mc.dram().bus_busy_cycles() as f64 / cycles as f64;
+            if util <= 0.85 {
+                return Err(format!(
+                    "sequential stream only reached {util:.2} bus utilization"
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -1,0 +1,300 @@
+//! Structured scheduler events and the bounded ring that retains them.
+//!
+//! Events are deliberately *flat* — raw thread indices, request ids, and
+//! global (within-channel) bank indices rather than the controller's
+//! newtypes — so this crate sits below `fqms-memctrl` in the dependency
+//! graph and the controller can emit events without a cycle. One event
+//! stream describes one channel; multi-channel compositions keep one ring
+//! per channel and never interleave them (see the determinism rules in
+//! DESIGN.md).
+
+use fqms_dram::command::CommandKind;
+use std::collections::VecDeque;
+
+/// One observable scheduler occurrence, stamped with its DRAM cycle.
+///
+/// Within a cycle, events are emitted in simulation order: completions
+/// drained first, then admission events, then scheduling events
+/// ([`Event::VftBound`] / [`Event::InversionLock`]), then the issued
+/// command, then write completions (writes complete at CAS issue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A request was admitted into its bank queue.
+    Arrival {
+        /// Admission cycle.
+        cycle: u64,
+        /// Originating thread index.
+        thread: u32,
+        /// System-wide request id.
+        id: u64,
+        /// True for writebacks, false for demand reads.
+        is_write: bool,
+        /// Global bank index within the channel (`rank * banks + bank`).
+        bank: u32,
+        /// Depth of the target bank queue *after* admission — the
+        /// queue-depth gauge is sampled at arrival, not per cycle.
+        queue_depth: u32,
+    },
+    /// A request was rejected with back-pressure (buffer full). The
+    /// requester retries, so one logical request may produce many NACKs.
+    Nack {
+        /// Rejection cycle.
+        cycle: u64,
+        /// Rejected thread index.
+        thread: u32,
+        /// True if the write buffer (rather than the transaction buffer)
+        /// was the bottleneck.
+        is_write: bool,
+    },
+    /// A virtual finish time was bound to a request (lazily at
+    /// first-ready, or eagerly at arrival under the at-arrival ablation).
+    VftBound {
+        /// Binding cycle.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// Request id.
+        id: u64,
+        /// The bound virtual finish time (Equation 7).
+        vft: f64,
+    },
+    /// The FQ bank scheduler's priority-inversion bound tripped: the bank
+    /// has been continuously active for `x` cycles, so first-ready
+    /// chaining ends and the scheduler locks onto the
+    /// earliest-virtual-finish-time request (paper Section 3.3). Emitted
+    /// once per activation, on the first cycle the locked ranking runs.
+    InversionLock {
+        /// Cycle the lock engaged.
+        cycle: u64,
+        /// Global bank index within the channel.
+        bank: u32,
+        /// Cycles the bank had been active (>= the bound `x`).
+        active_for: u64,
+    },
+    /// An SDRAM command issued on the channel.
+    CommandIssued {
+        /// Issue cycle.
+        cycle: u64,
+        /// Command class (activate / precharge / read / write / refresh).
+        kind: CommandKind,
+        /// Global bank index within the channel; `None` for rank-wide
+        /// refresh.
+        bank: Option<u32>,
+        /// Owning thread; `None` for unowned commands (closed-row idle
+        /// precharges, refresh machinery).
+        thread: Option<u32>,
+        /// Owning request id, when the command serves a queued request.
+        id: Option<u64>,
+    },
+    /// A request finished from the requester's perspective (reads: last
+    /// data beat arrived; writes: the line left the controller at CAS
+    /// issue).
+    Completed {
+        /// Completion cycle.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// Request id.
+        id: u64,
+        /// True for writebacks.
+        is_write: bool,
+        /// Controller-resident latency in DRAM cycles.
+        latency: u64,
+        /// Payload size in bytes (one cache line).
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// The cycle the event was emitted at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::Arrival { cycle, .. }
+            | Event::Nack { cycle, .. }
+            | Event::VftBound { cycle, .. }
+            | Event::InversionLock { cycle, .. }
+            | Event::CommandIssued { cycle, .. }
+            | Event::Completed { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A bounded ring of [`Event`]s: the most recent `capacity` events are
+/// retained, and the total ever recorded is counted so overflow is
+/// detectable (`total_recorded() > len()`).
+///
+/// # Example
+///
+/// ```
+/// use fqms_obs::event::{Event, EventRing};
+///
+/// let mut ring = EventRing::new(2);
+/// for c in 0..3 {
+///     ring.record(&Event::Nack { cycle: c, thread: 0, is_write: false });
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.total_recorded(), 3);
+/// assert_eq!(ring.iter().next().unwrap().cycle(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// Creates a ring retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            ring: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    #[inline]
+    pub fn record(&mut self, event: &Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(*event);
+        self.total += 1;
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// True if events have been evicted (the stream is partial).
+    pub fn overflowed(&self) -> bool {
+        self.total > self.ring.len() as u64
+    }
+
+    /// Iterates oldest-to-newest over the retained events.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Drops all retained events and resets the total counter.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nack(cycle: u64) -> Event {
+        Event::Nack {
+            cycle,
+            thread: 1,
+            is_write: true,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = EventRing::new(3);
+        for c in 0..10 {
+            r.record(&nack(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 10);
+        assert!(r.overflowed());
+        let cycles: Vec<u64> = r.iter().map(Event::cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_without_eviction_is_complete() {
+        let mut r = EventRing::new(16);
+        for c in 0..5 {
+            r.record(&nack(c));
+        }
+        assert!(!r.overflowed());
+        assert_eq!(r.total_recorded(), r.len() as u64);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = EventRing::new(2);
+        r.record(&nack(0));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = EventRing::new(0);
+    }
+
+    #[test]
+    fn event_cycle_accessor_covers_all_variants() {
+        let events = [
+            Event::Arrival {
+                cycle: 1,
+                thread: 0,
+                id: 0,
+                is_write: false,
+                bank: 0,
+                queue_depth: 1,
+            },
+            Event::Nack {
+                cycle: 2,
+                thread: 0,
+                is_write: false,
+            },
+            Event::VftBound {
+                cycle: 3,
+                thread: 0,
+                id: 0,
+                vft: 1.5,
+            },
+            Event::InversionLock {
+                cycle: 4,
+                bank: 0,
+                active_for: 18,
+            },
+            Event::CommandIssued {
+                cycle: 5,
+                kind: CommandKind::Read,
+                bank: Some(0),
+                thread: Some(0),
+                id: Some(0),
+            },
+            Event::Completed {
+                cycle: 6,
+                thread: 0,
+                id: 0,
+                is_write: false,
+                latency: 15,
+                bytes: 64,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Machine-readable exporters for metric sinks.
+//!
+//! Hand-rolled TSV and JSON emitters (the workspace is hermetic — no
+//! serde). Both formats carry the same data: one record per thread plus a
+//! channel-level record. Histograms are flattened to `bucket:count` pairs
+//! for non-empty buckets, where `bucket` is the inclusive upper edge of
+//! the log2 bucket (so `16:3` means three samples in `(8, 16]`).
+
+use crate::metrics::{MetricsSink, ThreadSink};
+use fqms_sim::stats::Log2Histogram;
+use std::fmt::Write as _;
+
+/// Column header for [`metrics_tsv`] rows.
+pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tread_lat_hist";
+
+fn histogram_cell(h: &Log2Histogram) -> String {
+    if h.count() == 0 {
+        return "-".to_string();
+    }
+    let mut cell = String::new();
+    for (i, &count) in h.buckets().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !cell.is_empty() {
+            cell.push(',');
+        }
+        // Bucket i holds samples in [2^(i-1), 2^i); report the exclusive
+        // upper edge, matching `Log2Histogram::percentile`.
+        let edge = if i == 0 { 0 } else { 1u64 << i.min(63) };
+        let _ = write!(cell, "{edge}:{count}");
+    }
+    cell
+}
+
+fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> String {
+    format!(
+        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{hist}",
+        reads = t.reads_completed,
+        writes = t.writes_completed,
+        nacks = t.nacks,
+        bytes = t.bytes,
+        rl_mean = t.read_latency.mean(),
+        rl_p50 = t.read_latency.percentile(50.0),
+        rl_p95 = t.read_latency.percentile(95.0),
+        rl_max = t.read_latency.max(),
+        wl_mean = t.write_latency.mean(),
+        qd_mean = t.mean_queue_depth(),
+        qd_max = t.queue_depth_max,
+        drift_mean = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.mean() },
+        drift_max = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
+        hist = histogram_cell(&t.read_latency),
+    )
+}
+
+/// Renders a sink as TSV rows (no header; prepend [`TSV_HEADER`] once per
+/// file). `label` identifies the run (workload mix), `scheduler` the
+/// memory-scheduler under test. Emits one row per thread and a trailing
+/// `all`-thread channel row carrying command/lock counters in the
+/// reads/writes columns' place via dedicated totals.
+pub fn metrics_tsv(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
+    let mut out = String::new();
+    let mut totals = ThreadSink::default();
+    for (thread, t) in sink.iter() {
+        let _ = writeln!(
+            out,
+            "{}",
+            thread_row(label, scheduler, &thread.to_string(), t)
+        );
+        totals.merge(t);
+    }
+    // Channel-level summary row: thread column says "all"; histograms and
+    // gauges are the cross-thread merge.
+    let _ = writeln!(
+        out,
+        "{row}\t# commands={cmds} inversion_locks={locks}",
+        row = thread_row(label, scheduler, "all", &totals),
+        cmds = sink.commands_issued,
+        locks = sink.inversion_locks,
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &Log2Histogram) -> String {
+    let mut pairs = String::new();
+    for (i, &count) in h.buckets().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !pairs.is_empty() {
+            pairs.push(',');
+        }
+        let edge = if i == 0 { 0 } else { 1u64 << i.min(63) };
+        let _ = write!(pairs, "[{edge},{count}]");
+    }
+    format!("[{pairs}]")
+}
+
+fn thread_json(thread: u32, t: &ThreadSink) -> String {
+    format!(
+        concat!(
+            "{{\"thread\":{},\"reads\":{},\"writes\":{},\"nacks\":{},\"bytes\":{},",
+            "\"read_latency\":{{\"mean\":{:.6},\"p50\":{},\"p95\":{},\"max\":{},\"log2_buckets\":{}}},",
+            "\"write_latency\":{{\"mean\":{:.6},\"log2_buckets\":{}}},",
+            "\"queue_depth\":{{\"mean\":{:.6},\"max\":{}}},",
+            "\"vft_drift\":{{\"count\":{},\"mean\":{:.6},\"max\":{:.6}}}}}"
+        ),
+        thread,
+        t.reads_completed,
+        t.writes_completed,
+        t.nacks,
+        t.bytes,
+        t.read_latency.mean(),
+        t.read_latency.percentile(50.0),
+        t.read_latency.percentile(95.0),
+        t.read_latency.max(),
+        histogram_json(&t.read_latency),
+        t.write_latency.mean(),
+        histogram_json(&t.write_latency),
+        t.mean_queue_depth(),
+        t.queue_depth_max,
+        t.vft_drift.count(),
+        if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.mean() },
+        if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
+    )
+}
+
+/// Renders a sink as a single self-contained JSON object.
+pub fn metrics_json(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
+    let threads: Vec<String> = sink.iter().map(|(i, t)| thread_json(i, t)).collect();
+    format!(
+        "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},\"inversion_locks\":{},\"threads\":[{}]}}",
+        json_escape(label),
+        json_escape(scheduler),
+        sink.commands_issued,
+        sink.inversion_locks,
+        threads.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample_sink() -> MetricsSink {
+        let mut sink = MetricsSink::new(2);
+        for (thread, latency) in [(0u32, 10u64), (0, 12), (1, 300)] {
+            sink.observe(&Event::Completed {
+                cycle: 1000,
+                thread,
+                id: 0,
+                is_write: false,
+                latency,
+                bytes: 64,
+            });
+        }
+        sink.observe(&Event::Nack {
+            cycle: 5,
+            thread: 1,
+            is_write: true,
+        });
+        sink.observe(&Event::VftBound {
+            cycle: 10,
+            thread: 0,
+            id: 3,
+            vft: 42.0,
+        });
+        sink
+    }
+
+    #[test]
+    fn tsv_has_one_row_per_thread_plus_summary() {
+        let tsv = metrics_tsv("mix", "fq-vftf", &sample_sink());
+        let rows: Vec<&str> = tsv.lines().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].starts_with("mix\tfq-vftf\t0\t2\t0\t0\t128\t"));
+        assert!(rows[1].starts_with("mix\tfq-vftf\t1\t1\t0\t1\t64\t"));
+        assert!(rows[2].contains("\tall\t3\t0\t1\t192\t"));
+        assert!(rows[2].contains("# commands=0 inversion_locks=0"));
+        // Header column count matches row column count (summary row adds a
+        // trailing comment column).
+        let header_cols = TSV_HEADER.split('\t').count();
+        assert_eq!(rows[0].split('\t').count(), header_cols);
+        assert_eq!(rows[2].split('\t').count(), header_cols + 1);
+    }
+
+    #[test]
+    fn tsv_histogram_cell_reports_bucket_edges() {
+        let tsv = metrics_tsv("m", "s", &sample_sink());
+        // Latencies 10 and 12 land in bucket (8,16]; 300 in (256,512].
+        assert!(tsv.lines().next().unwrap().ends_with("16:2"));
+        assert!(tsv.lines().nth(1).unwrap().ends_with("512:1"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_counts() {
+        let json = metrics_json("mix \"a\"", "fq-vftf", &sample_sink());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"label\":\"mix \\\"a\\\"\""));
+        assert!(json.contains("\"reads\":2"));
+        assert!(json.contains("\"nacks\":1"));
+        assert!(json.contains("\"log2_buckets\":[[16,2]]"));
+        // Balanced braces/brackets (cheap structural sanity check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_sink_exports_cleanly() {
+        let sink = MetricsSink::new(1);
+        let tsv = metrics_tsv("m", "s", &sink);
+        assert!(tsv.lines().next().unwrap().ends_with("\t-"));
+        let json = metrics_json("m", "s", &sink);
+        assert!(json.contains("\"log2_buckets\":[]"));
+    }
+}

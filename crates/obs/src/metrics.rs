@@ -1,0 +1,311 @@
+//! Per-thread metric sinks derived from the event stream.
+//!
+//! A [`MetricsSink`] folds [`Event`]s into per-thread aggregates: log2
+//! latency histograms, bandwidth counters, queue-depth gauges, and the
+//! drift between a thread's virtual finish times and real time (how far
+//! ahead of the wall clock the VTMS model is running — the fairness
+//! mechanism's "lead"). Sinks from independent channels merge exactly; the
+//! only floating-point state (the drift summary) merges deterministically
+//! for a fixed merge order, and the engine always merges in channel-index
+//! order.
+
+use crate::event::Event;
+use fqms_sim::stats::{Log2Histogram, Summary};
+
+/// One thread's observed metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThreadSink {
+    /// Demand reads completed.
+    pub reads_completed: u64,
+    /// Writebacks completed (at CAS issue).
+    pub writes_completed: u64,
+    /// Admission rejections (retries count individually).
+    pub nacks: u64,
+    /// Payload bytes moved for this thread (completions × line size).
+    pub bytes: u64,
+    /// Read round-trip latency distribution, log2 buckets.
+    pub read_latency: Log2Histogram,
+    /// Write (issue) latency distribution, log2 buckets.
+    pub write_latency: Log2Histogram,
+    /// Sum of bank-queue depths sampled at this thread's arrivals.
+    pub queue_depth_sum: u64,
+    /// Number of queue-depth samples (= admitted requests).
+    pub queue_depth_samples: u64,
+    /// Deepest bank queue this thread ever joined.
+    pub queue_depth_max: u32,
+    /// Distribution of `vft - cycle` at VFT-binding time: virtual-time
+    /// lead over real time, in cycles.
+    pub vft_drift: Summary,
+}
+
+impl ThreadSink {
+    /// Mean bank-queue depth at this thread's arrivals; 0.0 if it never
+    /// arrived.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+
+    /// Total requests completed.
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Merges another sink for the same thread into this one.
+    pub fn merge(&mut self, other: &ThreadSink) {
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.nacks += other.nacks;
+        self.bytes += other.bytes;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.queue_depth_sum += other.queue_depth_sum;
+        self.queue_depth_samples += other.queue_depth_samples;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.vft_drift.merge(&other.vft_drift);
+    }
+}
+
+/// Metrics for every thread of one observed entity (a channel, or a merge
+/// of channels), plus channel-level counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSink {
+    per_thread: Vec<ThreadSink>,
+    /// SDRAM commands issued (all classes, owned and unowned).
+    pub commands_issued: u64,
+    /// Priority-inversion-bound trips (FQ bank scheduler lock
+    /// engagements).
+    pub inversion_locks: u64,
+}
+
+impl MetricsSink {
+    /// Creates a sink pre-sized for `num_threads` threads (it grows on
+    /// demand if an event names a higher thread index).
+    pub fn new(num_threads: usize) -> Self {
+        MetricsSink {
+            per_thread: (0..num_threads).map(|_| ThreadSink::default()).collect(),
+            commands_issued: 0,
+            inversion_locks: 0,
+        }
+    }
+
+    fn thread_mut(&mut self, thread: u32) -> &mut ThreadSink {
+        let idx = thread as usize;
+        if idx >= self.per_thread.len() {
+            self.per_thread.resize_with(idx + 1, ThreadSink::default);
+        }
+        &mut self.per_thread[idx]
+    }
+
+    /// One thread's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn thread(&self, thread: u32) -> &ThreadSink {
+        &self.per_thread[thread as usize]
+    }
+
+    /// Number of tracked threads.
+    pub fn num_threads(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// Iterates `(thread_index, sink)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ThreadSink)> {
+        self.per_thread
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s))
+    }
+
+    /// Folds one event into the aggregates.
+    pub fn observe(&mut self, event: &Event) {
+        match *event {
+            Event::Arrival {
+                thread,
+                queue_depth,
+                ..
+            } => {
+                let t = self.thread_mut(thread);
+                t.queue_depth_sum += queue_depth as u64;
+                t.queue_depth_samples += 1;
+                t.queue_depth_max = t.queue_depth_max.max(queue_depth);
+            }
+            Event::Nack { thread, .. } => self.thread_mut(thread).nacks += 1,
+            Event::VftBound {
+                cycle, thread, vft, ..
+            } => {
+                self.thread_mut(thread).vft_drift.record(vft - cycle as f64);
+            }
+            Event::InversionLock { .. } => self.inversion_locks += 1,
+            Event::CommandIssued { .. } => self.commands_issued += 1,
+            Event::Completed {
+                thread,
+                is_write,
+                latency,
+                bytes,
+                ..
+            } => {
+                let t = self.thread_mut(thread);
+                t.bytes += bytes;
+                if is_write {
+                    t.writes_completed += 1;
+                    t.write_latency.record(latency);
+                } else {
+                    t.reads_completed += 1;
+                    t.read_latency.record(latency);
+                }
+            }
+        }
+    }
+
+    /// Merges another sink into this one, thread by thread. Call in a
+    /// fixed order (the engine uses channel-index order) for bit-identical
+    /// merged drift summaries.
+    pub fn merge(&mut self, other: &MetricsSink) {
+        if other.per_thread.len() > self.per_thread.len() {
+            self.per_thread
+                .resize_with(other.per_thread.len(), ThreadSink::default);
+        }
+        for (mine, theirs) in self.per_thread.iter_mut().zip(&other.per_thread) {
+            mine.merge(theirs);
+        }
+        self.commands_issued += other.commands_issued;
+        self.inversion_locks += other.inversion_locks;
+    }
+
+    /// Zeroes every aggregate, keeping the thread count.
+    pub fn reset(&mut self) {
+        let n = self.per_thread.len();
+        *self = MetricsSink::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(thread: u32, latency: u64, is_write: bool) -> Event {
+        Event::Completed {
+            cycle: 100,
+            thread,
+            id: 0,
+            is_write,
+            latency,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn folds_completions_into_histograms() {
+        let mut sink = MetricsSink::new(2);
+        sink.observe(&completed(0, 15, false));
+        sink.observe(&completed(0, 200, false));
+        sink.observe(&completed(1, 9, true));
+        let t0 = sink.thread(0);
+        assert_eq!(t0.reads_completed, 2);
+        assert_eq!(t0.read_latency.count(), 2);
+        assert_eq!(t0.bytes, 128);
+        assert!((t0.read_latency.mean() - 107.5).abs() < 1e-12);
+        let t1 = sink.thread(1);
+        assert_eq!(t1.writes_completed, 1);
+        assert_eq!(t1.write_latency.count(), 1);
+    }
+
+    #[test]
+    fn queue_depth_gauge_samples_at_arrival() {
+        let mut sink = MetricsSink::new(1);
+        for depth in [1u32, 4, 2] {
+            sink.observe(&Event::Arrival {
+                cycle: 1,
+                thread: 0,
+                id: 0,
+                is_write: false,
+                bank: 3,
+                queue_depth: depth,
+            });
+        }
+        let t = sink.thread(0);
+        assert_eq!(t.queue_depth_max, 4);
+        assert_eq!(t.queue_depth_samples, 3);
+        assert!((t.mean_queue_depth() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_tracks_virtual_minus_real() {
+        let mut sink = MetricsSink::new(1);
+        sink.observe(&Event::VftBound {
+            cycle: 100,
+            thread: 0,
+            id: 0,
+            vft: 130.0,
+        });
+        sink.observe(&Event::VftBound {
+            cycle: 200,
+            thread: 0,
+            id: 1,
+            vft: 210.0,
+        });
+        let d = &sink.thread(0).vft_drift;
+        assert_eq!(d.count(), 2);
+        assert!((d.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(d.min(), 10.0);
+        assert_eq!(d.max(), 30.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let events: Vec<Event> = (0..40)
+            .map(|i| completed(i % 3, 10 + i as u64 * 7, i % 4 == 0))
+            .collect();
+        let mut whole = MetricsSink::new(3);
+        for e in &events {
+            whole.observe(e);
+        }
+        let mut a = MetricsSink::new(3);
+        let mut b = MetricsSink::new(3);
+        for (i, e) in events.iter().enumerate() {
+            if i < 17 {
+                a.observe(e)
+            } else {
+                b.observe(e)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn grows_for_unseen_threads_and_resets() {
+        let mut sink = MetricsSink::new(1);
+        sink.observe(&completed(5, 12, false));
+        assert_eq!(sink.num_threads(), 6);
+        assert_eq!(sink.thread(5).reads_completed, 1);
+        sink.reset();
+        assert_eq!(sink.num_threads(), 6);
+        assert_eq!(sink.thread(5).reads_completed, 0);
+    }
+
+    #[test]
+    fn counts_commands_and_locks() {
+        let mut sink = MetricsSink::new(1);
+        sink.observe(&Event::CommandIssued {
+            cycle: 1,
+            kind: fqms_dram::command::CommandKind::Activate,
+            bank: Some(0),
+            thread: Some(0),
+            id: Some(0),
+        });
+        sink.observe(&Event::InversionLock {
+            cycle: 20,
+            bank: 0,
+            active_for: 18,
+        });
+        assert_eq!(sink.commands_issued, 1);
+        assert_eq!(sink.inversion_locks, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The [`Observer`] trait and its two canonical implementations.
+//!
+//! The trait carries a `const ENABLED` flag so hot paths can guard every
+//! emission with `if O::ENABLED { ... }`. For [`NullObserver`] that
+//! constant is `false`, the branch folds away at monomorphization time,
+//! and the observed code paths compile to exactly the unobserved machine
+//! code — zero overhead, checked by the `obs_overhead` bench and its guard
+//! test in `fqms-bench`.
+
+use crate::event::{Event, EventRing};
+use crate::metrics::MetricsSink;
+
+/// A sink for scheduler events.
+///
+/// Implementations must be passive: observing an event must never change
+/// simulation state. The controller guarantees the reverse direction — the
+/// event stream it emits is a pure function of the simulation, so two runs
+/// that simulate identically observe identically.
+pub trait Observer {
+    /// Whether this observer records anything. Hot paths guard event
+    /// construction with `if O::ENABLED`, so a `false` here removes the
+    /// emission code entirely at compile time.
+    const ENABLED: bool;
+
+    /// Receives one event. Never called when [`Self::ENABLED`] is honored
+    /// by the caller and `false`.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The do-nothing observer: `ENABLED = false`, so observed code paths
+/// monomorphize to the exact unobserved machine code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// The recording observer: retains the most recent events in a bounded
+/// ring and folds every event into a [`MetricsSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracingObserver {
+    events: EventRing,
+    metrics: MetricsSink,
+}
+
+impl TracingObserver {
+    /// Creates a tracing observer retaining up to `event_capacity` events
+    /// and pre-sized for `num_threads` threads.
+    pub fn new(event_capacity: usize, num_threads: usize) -> Self {
+        TracingObserver {
+            events: EventRing::new(event_capacity),
+            metrics: MetricsSink::new(num_threads),
+        }
+    }
+
+    /// The retained event stream.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Drops retained events and zeroes the metrics (used when a
+    /// measurement window starts after warm-up).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.metrics.reset();
+    }
+
+    /// Consumes the observer, yielding its parts.
+    pub fn into_parts(self) -> (EventRing, MetricsSink) {
+        (self.events, self.metrics)
+    }
+}
+
+impl Observer for TracingObserver {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        self.events.record(event);
+        self.metrics.observe(event);
+    }
+}
+
+/// The observational output of a (possibly multi-channel) run: one event
+/// stream per channel, in channel-index order, plus the metrics merged in
+/// that same order. Bit-identical between serial and parallel execution of
+/// the sharded engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Observations {
+    /// Per-channel event streams, indexed by channel.
+    pub event_streams: Vec<EventRing>,
+    /// Metrics merged across channels in channel-index order.
+    pub metrics: MetricsSink,
+}
+
+impl Observations {
+    /// Builds observations from per-channel observers, merging metrics in
+    /// the order given (callers pass channel-index order).
+    pub fn merge_channels<I>(observers: I) -> Self
+    where
+        I: IntoIterator<Item = TracingObserver>,
+    {
+        let mut out = Observations::default();
+        for obs in observers {
+            let (events, metrics) = obs.into_parts();
+            out.event_streams.push(events);
+            out.metrics.merge(&metrics);
+        }
+        out
+    }
+
+    /// Total events recorded across all channels (including evicted ones).
+    pub fn total_events(&self) -> u64 {
+        self.event_streams
+            .iter()
+            .map(EventRing::total_recorded)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Compile-time tripwires: the hot paths rely on these flags to
+    // monomorphize observation away (or in).
+    const _: () = assert!(!NullObserver::ENABLED);
+    const _: () = assert!(TracingObserver::ENABLED);
+
+    #[test]
+    fn null_observer_is_disabled() {
+        // on_event is callable and inert.
+        NullObserver.on_event(&Event::Nack {
+            cycle: 0,
+            thread: 0,
+            is_write: false,
+        });
+    }
+
+    #[test]
+    fn tracing_observer_records_and_aggregates() {
+        let mut obs = TracingObserver::new(8, 2);
+        obs.on_event(&Event::Completed {
+            cycle: 50,
+            thread: 1,
+            id: 7,
+            is_write: false,
+            latency: 20,
+            bytes: 64,
+        });
+        assert_eq!(obs.events().len(), 1);
+        assert_eq!(obs.metrics().thread(1).reads_completed, 1);
+        obs.reset();
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.metrics().thread(1).reads_completed, 0);
+    }
+
+    #[test]
+    fn merge_channels_keeps_streams_separate_and_merges_metrics() {
+        let mut a = TracingObserver::new(4, 1);
+        let mut b = TracingObserver::new(4, 1);
+        a.on_event(&Event::Nack {
+            cycle: 1,
+            thread: 0,
+            is_write: false,
+        });
+        b.on_event(&Event::Nack {
+            cycle: 2,
+            thread: 0,
+            is_write: true,
+        });
+        b.on_event(&Event::Nack {
+            cycle: 3,
+            thread: 0,
+            is_write: true,
+        });
+        let merged = Observations::merge_channels([a, b]);
+        assert_eq!(merged.event_streams.len(), 2);
+        assert_eq!(merged.event_streams[0].len(), 1);
+        assert_eq!(merged.event_streams[1].len(), 2);
+        assert_eq!(merged.metrics.thread(0).nacks, 3);
+        assert_eq!(merged.total_events(), 3);
+    }
+}

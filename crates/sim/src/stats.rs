@@ -141,13 +141,21 @@ impl fmt::Display for Ratio {
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// A derived `Default` would zero the min/max sentinels (they start at
+// ±infinity), silently pinning `min()` at 0.0 — delegate to `new`.
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
 }
 
 impl Summary {
@@ -224,6 +232,28 @@ impl Summary {
         } else {
             self.max
         }
+    }
+
+    /// Merges another summary into this one (Chan et al.'s parallel
+    /// variance combination). Merging is deterministic for a fixed merge
+    /// order; the sharded engine always merges per-channel summaries in
+    /// channel-index order, so serial and parallel runs produce
+    /// bit-identical merged summaries.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.count as f64 / n as f64);
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64 / n as f64);
+        self.count = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -394,6 +424,135 @@ impl Histogram {
     }
 }
 
+/// A logarithmic (power-of-two bucket) histogram over `u64` samples.
+///
+/// Latency distributions span several orders of magnitude (a row-hit CAS
+/// is ~9 cycles; a request blocked behind refresh or a deep queue can take
+/// thousands), so the observability layer's per-thread latency sinks use
+/// log2 buckets: bucket 0 holds the sample `0`, bucket `i >= 1` holds
+/// samples in `[2^(i-1), 2^i)`. All fields are integers, so merging and
+/// comparison are exact.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::stats::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(1);
+/// h.record(9);
+/// h.record(15);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(1), 1); // [1, 2)
+/// assert_eq!(h.bucket_count(4), 2); // [8, 16)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts `[2^(i-1), 2^i)`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// 0 plus one bucket per possible bit width of a `u64` sample.
+const LOG2_BUCKETS: usize = 65;
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: vec![0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket a sample lands in: its bit width (0 for the sample 0).
+    #[inline]
+    pub fn bucket_of(x: u64) -> usize {
+        (u64::BITS - x.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples in bucket `idx` (see the type docs for ranges).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// All bucket counts, index 0 to 64.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate p-th percentile (`0.0 <= p <= 1.0`): the upper edge
+    /// `2^i` of the bucket containing the p-th sample; 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Adds another histogram's samples to this one. Exact (all-integer),
+    /// so merge order does not matter.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,5 +662,89 @@ mod tests {
     #[should_panic]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        let whole: Summary = xs.iter().copied().collect();
+        let mut merged: Summary = xs[..37].iter().copied().collect();
+        let right: Summary = xs[37..].iter().copied().collect();
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.population_variance() - whole.population_variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn log2_bucketing() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn log2_histogram_counts_and_moments() {
+        let mut h = Log2Histogram::new();
+        for x in [0u64, 1, 5, 9, 300] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 315);
+        assert_eq!(h.max(), 300);
+        assert!((h.mean() - 63.0).abs() < 1e-12);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 1); // 5 in [4, 8)
+        assert_eq!(h.bucket_count(4), 1); // 9 in [8, 16)
+        assert_eq!(h.bucket_count(9), 1); // 300 in [256, 512)
+    }
+
+    #[test]
+    fn log2_percentile_reports_bucket_edges() {
+        let mut h = Log2Histogram::new();
+        for x in [10u64, 20, 30, 1000] {
+            h.record(x);
+        }
+        // 10 -> bucket 4 (edge 16); 20, 30 -> bucket 5 (edge 32).
+        assert_eq!(h.percentile(0.25), 16);
+        assert_eq!(h.percentile(0.75), 32);
+        assert_eq!(h.percentile(1.0), 1024);
+        assert_eq!(Log2Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn log2_merge_is_exact() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for (i, x) in [3u64, 0, 77, 12, 4096, 9].iter().enumerate() {
+            whole.record(*x);
+            if i % 2 == 0 {
+                a.record(*x);
+            } else {
+                b.record(*x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
     }
 }

@@ -1,0 +1,84 @@
+//! Observability tour: attach tracing observers to a two-core system,
+//! read the per-thread metric sinks back, replay the raw event stream of
+//! the sharded engine, and dump TSV/JSON metric sidecars.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+
+use fqms::prelude::*;
+use fqms_memctrl::engine::{simulate_parallel, simulate_serial, synthetic_workload, EngineSpec};
+use fqms_memctrl::Event;
+
+fn main() -> Result<(), String> {
+    // --- A full system run with observation enabled -------------------
+    // `observe_events` attaches one bounded event ring per channel plus
+    // per-thread metric sinks. Observation is passive: the run is
+    // bit-identical with or without it.
+    let mut system = SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .seed(42)
+        .workload(by_name("vpr").unwrap())
+        .workload(by_name("art").unwrap())
+        .observe_events(1 << 14)
+        .build()?;
+    system.run(20_000, 2_000_000);
+
+    let sink = system
+        .observed_metrics()
+        .expect("observation was enabled at build time");
+    println!("== per-thread sinks (vpr + art under FQ-VFTF) ==");
+    for (thread, t) in sink.iter() {
+        println!(
+            "thread {thread}: {} reads (mean latency {:.1}, p95 {}), {} writes, {} NACKs, \
+             mean queue depth {:.2}",
+            t.reads_completed,
+            t.read_latency.mean(),
+            t.read_latency.percentile(95.0),
+            t.writes_completed,
+            t.nacks,
+            t.mean_queue_depth(),
+        );
+    }
+    println!(
+        "channel: {} commands issued, {} inversion-bound trips",
+        sink.commands_issued, sink.inversion_locks
+    );
+
+    // --- The same sinks as machine-readable exports -------------------
+    println!("\n== TSV sidecar block ==");
+    println!("{TSV_HEADER}");
+    print!("{}", metrics_tsv("vpr+art", "FQ-VFTF", &sink));
+    println!("\n== JSON ==");
+    println!("{}", metrics_json("vpr+art", "FQ-VFTF", &sink));
+
+    // --- Raw event streams from the sharded engine --------------------
+    // The engine records one stream per channel and merges observations
+    // deterministically: serial and parallel runs agree bit-for-bit.
+    let mut spec = EngineSpec::paper(2, 4);
+    spec.event_capacity = Some(1 << 16);
+    let events = synthetic_workload(4, 2_000, 0.5, 7);
+    let serial = simulate_serial(&spec, &events)?;
+    let parallel = simulate_parallel(&spec, &events, 4)?;
+    assert_eq!(serial, parallel, "observed runs are bit-identical");
+
+    let obs = serial.observations.expect("event_capacity was set");
+    println!("\n== engine event streams (2 channels) ==");
+    for (ch, stream) in obs.event_streams.iter().enumerate() {
+        let locks = stream
+            .iter()
+            .filter(|e| matches!(e, Event::InversionLock { .. }))
+            .count();
+        println!(
+            "channel {ch}: {} events recorded ({} retained), {locks} inversion locks",
+            stream.total_recorded(),
+            stream.len(),
+        );
+        for event in stream.iter().take(3) {
+            println!("  {event:?}");
+        }
+    }
+    Ok(())
+}

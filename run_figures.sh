@@ -13,9 +13,15 @@ mkdir -p results
 BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
       ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
       speedup"
+# Header must match fqms_obs::TSV_HEADER (checked by tests/observability.rs).
+SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tread_lat_hist')"
 for bin in $BINS; do
   echo "=== $bin ==="
-  cargo run --release -q -p fqms-bench --bin "$bin" > "results/$bin.tsv" 2> "results/$bin.log" || echo "FAILED: $bin"
+  FQMS_SIDECAR="results/$bin.metrics.tsv" \
+    cargo run --release -q -p fqms-bench --bin "$bin" > "results/$bin.tsv" 2> "results/$bin.log" || echo "FAILED: $bin"
+  # Every figure run ships a machine-readable metrics sidecar; binaries
+  # that simulate no system (static tables) get a header-only file.
+  [ -f "results/$bin.metrics.tsv" ] || printf '%s\n' "$SIDECAR_HEADER" > "results/$bin.metrics.tsv"
   echo "done $bin"
 done
 echo "ALL FIGURES DONE"

@@ -1,0 +1,99 @@
+//! End-to-end observability tests: the metrics sidecar pipeline from a
+//! full System run down to the machine-readable TSV file, and the
+//! contract between `run_figures.sh` and `fqms_obs::TSV_HEADER`.
+//!
+//! Like `determinism.rs`, these tests drive the export path through
+//! explicit file paths and the [`SystemBuilder::observe_events`] knob
+//! rather than by mutating `FQMS_SIDECAR` (environment mutation races
+//! across concurrently running tests).
+
+use fqms::prelude::*;
+use fqms::sidecar;
+use std::path::PathBuf;
+
+const LEN: RunLength = RunLength::quick();
+
+fn observed_system(seed: u64) -> System {
+    SystemBuilder::new()
+        .scheduler(SchedulerKind::FqVftf)
+        .seed(seed)
+        .workload(by_name("art").unwrap())
+        .workload(by_name("vpr").unwrap())
+        .observe_events(1 << 14)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sidecar_file_is_machine_readable() {
+    let mut sys = observed_system(42);
+    sys.run(LEN.instructions, LEN.max_dram_cycles);
+    let sink = sys.observed_metrics().unwrap();
+
+    let path = std::env::temp_dir().join(format!("fqms-obs-e2e-{}.tsv", std::process::id()));
+    sidecar::append_block(&path, "art+vpr", "FQ-VFTF", &sink).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    assert_eq!(header, TSV_HEADER);
+    let cols = header.split('\t').count();
+    let mut rows = 0;
+    for row in lines {
+        rows += 1;
+        let fields: Vec<&str> = row.split('\t').collect();
+        assert!(
+            fields.len() >= cols,
+            "row has {} of {cols} columns: {row}",
+            fields.len()
+        );
+        assert!(fields[0] == "art+vpr" && fields[1] == "FQ-VFTF");
+        // Count and latency columns must parse as numbers.
+        for field in &fields[3..7] {
+            field.parse::<u64>().unwrap();
+        }
+        fields[7].parse::<f64>().unwrap();
+    }
+    // One row per thread plus the "all" summary row.
+    assert_eq!(rows, 3);
+    // The QoS-relevant signals actually flowed: reads were observed and
+    // the latency histogram is non-empty.
+    assert!(text.lines().nth(1).unwrap().split('\t').nth(3).unwrap() != "0");
+    assert!(!text.ends_with("\t-\n"));
+}
+
+#[test]
+fn json_export_matches_tsv_counts() {
+    let mut sys = observed_system(7);
+    sys.run(LEN.instructions, LEN.max_dram_cycles);
+    let sink = sys.observed_metrics().unwrap();
+    let json = metrics_json("art+vpr", "FQ-VFTF", &sink);
+    let total: u64 = (0..2).map(|t| sink.thread(t).reads_completed).sum();
+    assert!(json.contains(&format!("\"commands_issued\":{}", sink.commands_issued)));
+    assert!(total > 0);
+    // Both exporters describe the same sink: every per-thread read count
+    // in the TSV appears in the JSON.
+    let tsv = metrics_tsv("art+vpr", "FQ-VFTF", &sink);
+    for (t, row) in tsv.lines().take(2).enumerate() {
+        let reads = row.split('\t').nth(3).unwrap();
+        assert!(
+            json.contains(&format!("\"thread\":{t},\"reads\":{reads}")),
+            "thread {t} reads {reads} missing from JSON"
+        );
+    }
+}
+
+#[test]
+fn run_figures_fallback_header_matches_library() {
+    // run_figures.sh writes a header-only sidecar for figure binaries
+    // that simulate no system; its hardcoded printf must stay in sync
+    // with fqms_obs::TSV_HEADER.
+    let script = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../run_figures.sh");
+    let script = std::fs::read_to_string(script).unwrap();
+    let escaped = TSV_HEADER.replace('\t', "\\t");
+    assert!(
+        script.contains(&escaped),
+        "run_figures.sh sidecar header drifted from fqms_obs::TSV_HEADER"
+    );
+}
