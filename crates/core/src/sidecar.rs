@@ -47,23 +47,27 @@ pub fn append_block(
     scheduler: &str,
     sink: &MetricsSink,
 ) -> std::io::Result<()> {
+    // Absolutize so different spellings of the same file (relative vs
+    // absolute, leading "./") share one STARTED entry instead of
+    // re-truncating each other's blocks.
+    let path = std::path::absolute(path)?;
     let mut started = STARTED.lock().unwrap_or_else(|e| e.into_inner());
-    let first = !started.iter().any(|p| p == path);
+    let first = !started.contains(&path);
     let mut file = if first {
         OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?
+            .open(&path)?
     } else {
-        OpenOptions::new().append(true).open(path)?
+        OpenOptions::new().append(true).open(&path)?
     };
     if first {
         writeln!(file, "{TSV_HEADER}")?;
     }
     file.write_all(metrics_tsv(label, scheduler, sink).as_bytes())?;
     if first {
-        started.push(path.to_path_buf());
+        started.push(path);
     }
     Ok(())
 }

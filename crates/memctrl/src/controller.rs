@@ -340,6 +340,19 @@ impl MemoryController {
             arrival: now,
         };
         let bank_idx = self.global_bank(addr.rank, addr.bank);
+        // Admission precedes scheduling in the event contract (event.rs),
+        // so Arrival is emitted before any at-arrival VftBound. The
+        // reported depth includes this request, which is pushed below.
+        if O::ENABLED {
+            obs.on_event(&Event::Arrival {
+                cycle: now.as_u64(),
+                thread: thread.as_u32(),
+                id: id.as_u64(),
+                is_write: kind == RequestKind::Write,
+                bank: bank_idx as u32,
+                queue_depth: (self.queues[bank_idx].len() + 1) as u32,
+            });
+        }
         // The paper's "first solution" (Section 3.2): bind the virtual
         // finish time at arrival with an average (closed-bank) service
         // requirement and charge the VTMS registers immediately. The
@@ -369,16 +382,6 @@ impl MemoryController {
             vft,
             ras_issued: 0,
         });
-        if O::ENABLED {
-            obs.on_event(&Event::Arrival {
-                cycle: now.as_u64(),
-                thread: thread.as_u32(),
-                id: id.as_u64(),
-                is_write: kind == RequestKind::Write,
-                bank: bank_idx as u32,
-                queue_depth: self.queues[bank_idx].len() as u32,
-            });
-        }
         let ts = self.stats.thread_mut(thread);
         match kind {
             RequestKind::Read => ts.reads_accepted += 1,
@@ -1335,6 +1338,36 @@ mod tests {
         let v = m.vtms(ThreadId::new(0));
         assert_eq!(v.bank_reg(bank0), bank_before);
         assert_eq!(v.channel_reg(), chan_before);
+    }
+
+    #[test]
+    fn at_arrival_binding_emits_arrival_before_vft_bound() {
+        // event.rs contract: within a cycle, admission events precede
+        // scheduling events — replay consumers (differential.rs) key the
+        // VFT onto a request first seen via its Arrival.
+        let mut cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+        cfg.vft_binding = crate::policy::VftBinding::AtArrival;
+        let mut m =
+            MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+        let mut obs = fqms_obs::TracingObserver::new(16, 2);
+        m.try_submit_observed(
+            ThreadId::new(0),
+            RequestKind::Read,
+            phys(0, 1, 0),
+            DramCycle::new(10),
+            &mut obs,
+        )
+        .unwrap();
+        let events: Vec<Event> = obs.events().iter().copied().collect();
+        let arrival = events
+            .iter()
+            .position(|e| matches!(e, Event::Arrival { .. }))
+            .expect("admission emits Arrival");
+        let bound = events
+            .iter()
+            .position(|e| matches!(e, Event::VftBound { .. }))
+            .expect("at-arrival binding emits VftBound");
+        assert!(arrival < bound, "Arrival must precede VftBound: {events:?}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Hand-rolled TSV and JSON emitters (the workspace is hermetic — no
 //! serde). Both formats carry the same data: one record per thread plus a
 //! channel-level record. Histograms are flattened to `bucket:count` pairs
-//! for non-empty buckets, where `bucket` is the inclusive upper edge of
-//! the log2 bucket (so `16:3` means three samples in `(8, 16]`).
+//! for non-empty buckets, where `bucket` is the exclusive upper edge of
+//! the log2 bucket (so `16:3` means three samples in `[8, 16)`).
 
 use crate::metrics::{MetricsSink, ThreadSink};
 use fqms_sim::stats::Log2Histogram;
@@ -41,8 +41,8 @@ fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> Str
         nacks = t.nacks,
         bytes = t.bytes,
         rl_mean = t.read_latency.mean(),
-        rl_p50 = t.read_latency.percentile(50.0),
-        rl_p95 = t.read_latency.percentile(95.0),
+        rl_p50 = t.read_latency.percentile(0.50),
+        rl_p95 = t.read_latency.percentile(0.95),
         rl_max = t.read_latency.max(),
         wl_mean = t.write_latency.mean(),
         qd_mean = t.mean_queue_depth(),
@@ -128,8 +128,8 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
         t.nacks,
         t.bytes,
         t.read_latency.mean(),
-        t.read_latency.percentile(50.0),
-        t.read_latency.percentile(95.0),
+        t.read_latency.percentile(0.50),
+        t.read_latency.percentile(0.95),
         t.read_latency.max(),
         histogram_json(&t.read_latency),
         t.write_latency.mean(),
@@ -208,6 +208,37 @@ mod tests {
         // Latencies 10 and 12 land in bucket (8,16]; 300 in (256,512].
         assert!(tsv.lines().next().unwrap().ends_with("16:2"));
         assert!(tsv.lines().nth(1).unwrap().ends_with("512:1"));
+    }
+
+    #[test]
+    fn percentile_columns_are_on_the_unit_scale() {
+        // Skewed distribution: p50 and p95 must land in distinct interior
+        // buckets strictly below the max bucket edge. A 0-100-scale call
+        // would clamp both to p100 (8192 here).
+        let mut sink = MetricsSink::new(1);
+        let mut id = 0u64;
+        for (n, latency) in [(60u64, 10u64), (35, 300), (5, 5000)] {
+            for _ in 0..n {
+                sink.observe(&Event::Completed {
+                    cycle: 9000,
+                    thread: 0,
+                    id,
+                    is_write: false,
+                    latency,
+                    bytes: 64,
+                });
+                id += 1;
+            }
+        }
+        let tsv = metrics_tsv("m", "s", &sink);
+        let cols: Vec<&str> = tsv.lines().next().unwrap().split('\t').collect();
+        let p50: u64 = cols[8].parse().unwrap();
+        let p95: u64 = cols[9].parse().unwrap();
+        assert_eq!(p50, 16, "p50 of 60/100 samples at latency 10");
+        assert_eq!(p95, 512, "p95 of the 95th sample at latency 300");
+        assert!(p50 < p95 && p95 < 8192, "percentiles clamped to p100");
+        let json = metrics_json("m", "s", &sink);
+        assert!(json.contains("\"p50\":16,\"p95\":512,"));
     }
 
     #[test]

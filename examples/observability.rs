@@ -36,7 +36,7 @@ fn main() -> Result<(), String> {
              mean queue depth {:.2}",
             t.reads_completed,
             t.read_latency.mean(),
-            t.read_latency.percentile(95.0),
+            t.read_latency.percentile(0.95),
             t.writes_completed,
             t.nacks,
             t.mean_queue_depth(),
