@@ -17,7 +17,7 @@ cargo build --release --offline
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline
 
-echo "=== release: differential + parallel equivalence (observed) ==="
-cargo test -q --release --offline -p fqms-memctrl --test differential --test parallel_equivalence
+echo "=== release: differential + parallel + fast-forward equivalence ==="
+cargo test -q --release --offline -p fqms-memctrl --test differential --test parallel_equivalence --test fast_forward_equivalence
 
 echo "CI OK"

@@ -11,6 +11,8 @@ use fqms_bench::{f, header, row, run_length, seed};
 use fqms_memctrl::policy::BufferSharing;
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     let art = by_name("art").unwrap();

@@ -9,6 +9,8 @@ use fqms::prelude::*;
 use fqms_bench::{f, header, row, run_length, seed};
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     let art = by_name("art").unwrap();

@@ -6,6 +6,8 @@ use fqms::prelude::*;
 use fqms_bench::{f, header, row, run_length, seed, solo_metrics};
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     header(&[

@@ -7,6 +7,8 @@
 use fqms_bench::{f, header, paper_schedulers, row, run_length, seed, two_core_sweep};
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     let entries = two_core_sweep(&paper_schedulers(), len, seed);

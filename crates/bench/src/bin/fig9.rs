@@ -14,6 +14,8 @@ use fqms_bench::{f, header, row, run_length, seed};
 use fqms_sim::stats::Summary;
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     let workloads = four_core_workloads();

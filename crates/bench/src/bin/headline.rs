@@ -12,6 +12,8 @@ use fqms_bench::{paper_schedulers, run_length, seed, two_core_sweep};
 use fqms_sim::stats::Summary;
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
 

@@ -8,6 +8,8 @@ use fqms_bench::run_length;
 use fqms_sim::stats::Summary;
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seeds: Vec<u64> = (1..=5).map(|k| k * 1000 + 7).collect();
     let subjects = ["swim", "galgel", "ammp", "vpr"];

@@ -19,7 +19,152 @@ fn secs<T>(work: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Asserts the event-driven run matches the cycle-by-cycle reference on
+/// every semantic field. Only the `stepped_cycles` / `skipped_cycles`
+/// diagnostics may differ — the fast run simulates fewer cycles, which is
+/// the point.
+fn assert_semantic_eq(fast: &EngineReport, slow: &EngineReport, label: &str) {
+    assert_eq!(fast.cycles, slow.cycles, "{label}: cycles diverged");
+    assert_eq!(fast.per_thread, slow.per_thread, "{label}: stats diverged");
+    assert_eq!(
+        fast.completions, slow.completions,
+        "{label}: completions diverged"
+    );
+    assert_eq!(
+        fast.command_logs, slow.command_logs,
+        "{label}: command logs diverged"
+    );
+    assert_eq!(
+        fast.bus_busy_cycles, slow.bus_busy_cycles,
+        "{label}: bus occupancy diverged"
+    );
+    assert_eq!(
+        fast.unsubmitted, slow.unsubmitted,
+        "{label}: drain diverged"
+    );
+    assert_eq!(
+        fast.observations, slow.observations,
+        "{label}: observations diverged"
+    );
+}
+
+/// The PR3 study: event-driven fast-forward vs cycle-by-cycle reference
+/// on the paper's low-intensity QoS interference mix, per scheduler.
+///
+/// Emits `BENCH_pr3.json` (schema documented in README.md, overridable
+/// via `FQMS_BENCH_PR3`) and acts as the perf smoke gate: exits nonzero
+/// if the event-driven engine is ever *slower* than the cycle-by-cycle
+/// reference on this mix.
+fn fast_forward_study(gen_cycles: u64, seed: u64, hw: usize) {
+    println!();
+    println!("== Event-driven fast-forward vs cycle-by-cycle (reference mix) ==");
+    header(&[
+        "scheduler",
+        "requests",
+        "sim_cycles",
+        "cycle_by_cycle_s",
+        "event_driven_s",
+        "event_driven_par_s",
+        "speedup",
+        "par_speedup",
+        "skip_rate",
+    ]);
+    // The reference mix: one light high-locality QoS thread against three
+    // moderate background threads. Aggregate intensity stays well below
+    // the channels' service rate, leaving the dead cycles the fast path
+    // exists to skip. Same generator as the differential suites.
+    let (qos, heavy) = (0.005, 0.015);
+    let events = interference_workload(4, gen_cycles, qos, heavy, seed);
+    let par_threads = hw.clamp(2, 4);
+    let mut entries = Vec::new();
+    let mut smoke_failed = false;
+    for kind in fqms_bench::paper_schedulers() {
+        let mut spec = EngineSpec::paper(4, 4);
+        spec.config.scheduler = kind;
+        spec.max_cycles = 64 * gen_cycles;
+        spec.event_capacity = Some(1 << 12);
+        spec.fast_forward = false;
+        let (slow, slow_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        spec.fast_forward = true;
+        let (fast, fast_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        let (par, par_s) =
+            secs(|| simulate_parallel(&spec, &events, par_threads).expect("valid spec"));
+        assert_semantic_eq(&fast, &slow, kind.name());
+        assert_eq!(fast, par, "{}: fast serial != fast parallel", kind.name());
+        fqms::telemetry::note_controller_cycles(
+            slow.stepped_cycles + fast.stepped_cycles + par.stepped_cycles,
+            slow.skipped_cycles + fast.skipped_cycles + par.skipped_cycles,
+        );
+        if fast_s >= slow_s {
+            eprintln!(
+                "PERF SMOKE FAILED: {} event-driven run ({fast_s:.3}s) is no faster \
+                 than cycle-by-cycle ({slow_s:.3}s) on the reference mix",
+                kind.name()
+            );
+            smoke_failed = true;
+        }
+        row(&[
+            kind.name().to_string(),
+            events.len().to_string(),
+            fast.cycles.to_string(),
+            f(slow_s),
+            f(fast_s),
+            f(par_s),
+            f(slow_s / fast_s),
+            f(slow_s / par_s),
+            f(fast.skip_rate()),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\"scheduler\": \"{}\", \"requests\": {}, \"sim_cycles\": {}, ",
+                "\"cycle_by_cycle_s\": {:.6}, \"event_driven_s\": {:.6}, ",
+                "\"event_driven_parallel_s\": {:.6}, \"parallel_threads\": {}, ",
+                "\"speedup_serial\": {:.3}, \"speedup_parallel\": {:.3}, ",
+                "\"cycles_per_sec_serial\": {:.0}, \"cycles_per_sec_parallel\": {:.0}, ",
+                "\"skip_rate\": {:.4}}}"
+            ),
+            kind.name(),
+            events.len(),
+            fast.cycles,
+            slow_s,
+            fast_s,
+            par_s,
+            par_threads,
+            slow_s / fast_s,
+            slow_s / par_s,
+            fast.cycles as f64 / fast_s,
+            fast.cycles as f64 / par_s,
+            fast.skip_rate(),
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"pr3_fast_forward\",\n  \"seed\": {},\n",
+            "  \"workload\": {{\"generator\": \"interference\", \"threads\": 4, ",
+            "\"gen_cycles\": {}, \"qos_intensity\": {}, \"heavy_intensity\": {}}},\n",
+            "  \"engine\": {{\"channels\": 4, \"epoch_cycles\": {}}},\n",
+            "  \"schedulers\": [\n{}\n  ]\n}}\n"
+        ),
+        seed,
+        gen_cycles,
+        qos,
+        heavy,
+        EngineSpec::paper(4, 4).epoch_cycles,
+        entries.join(",\n")
+    );
+    let path = std::env::var("FQMS_BENCH_PR3").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("#bench_pr3_json\t{path}"),
+        Err(e) => eprintln!("speedup: cannot write {path}: {e}"),
+    }
+    if smoke_failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -78,6 +223,8 @@ fn main() {
             eprintln!("speedup: cannot write JSON sidecar: {e}");
         }
     }
+
+    fast_forward_study(gen_cycles, seed, hw);
 
     println!();
     println!("== Experiment runner: Figure 4 solo sweep (20 systems) ==");

@@ -10,6 +10,8 @@ use fqms_dram::timing::TimingParams;
 use fqms_memctrl::vtms::{bank_service, update_service};
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let t = TimingParams::ddr2_800();
 
     println!("== Table 3: bank service B.L by bank state ==");

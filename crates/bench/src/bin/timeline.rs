@@ -25,6 +25,8 @@ const WINDOWS: u64 = 30;
 const ARRIVAL_INSTRUCTIONS: u64 = 6_000_000;
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     let seed = seed();
     header(&[
         "scheduler",

@@ -5,6 +5,8 @@ use fqms::prelude::*;
 use fqms_bench::{header, row};
 
 fn main() {
+    // Dropped on exit: prints wall-clock and skip-rate to the .log sidecar.
+    let _run_log = fqms_bench::RunLog::new();
     header(&[
         "benchmark",
         "work_per_access",

@@ -46,6 +46,36 @@ pub fn f(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// End-of-run diagnostics for a figure binary, printed to **stderr** so
+/// `run_figures.sh` captures them in the binary's `results/<bin>.log`
+/// sidecar: total wall-clock, controller cycles simulated, and the
+/// fraction the event-driven fast path skipped (see
+/// [`fqms::telemetry`]). Construct one at the top of `main` and let it
+/// drop on exit.
+pub struct RunLog {
+    t0: std::time::Instant,
+}
+
+impl RunLog {
+    /// Starts the wall clock for this process.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        RunLog {
+            t0: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for RunLog {
+    fn drop(&mut self) {
+        let (stepped, skipped) = fqms::telemetry::controller_cycles();
+        eprintln!("#wall_clock_s\t{:.3}", self.t0.elapsed().as_secs_f64());
+        eprintln!("#controller_cycles_stepped\t{stepped}");
+        eprintln!("#controller_cycles_skipped\t{skipped}");
+        eprintln!("#skip_rate\t{:.4}", fqms::telemetry::skip_rate());
+    }
+}
+
 /// The three schedulers the paper's figures compare.
 pub fn paper_schedulers() -> [SchedulerKind; 3] {
     [

@@ -43,6 +43,7 @@ pub mod fairshare;
 pub mod metrics;
 pub mod sidecar;
 pub mod system;
+pub mod telemetry;
 pub mod theory;
 
 /// Convenient re-exports for typical use.

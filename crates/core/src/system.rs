@@ -343,6 +343,7 @@ impl SystemBuilder {
             dram_now: DramCycle::ZERO,
             finish_cycles: vec![None; n],
             finish_insts: vec![0; n],
+            completion_scratch: Vec::new(),
         })
     }
 }
@@ -367,6 +368,9 @@ pub struct System {
     finish_cycles: Vec<Option<u64>>,
     /// Instructions retired when the target was crossed.
     finish_insts: Vec<u64>,
+    /// Reused completion scratch buffer: the per-cycle controller drain
+    /// appends here instead of allocating a fresh `Vec` every DRAM cycle.
+    completion_scratch: Vec<fqms_memctrl::controller::Completion>,
 }
 
 impl System {
@@ -403,12 +407,16 @@ impl System {
                 core.tick(now_cpu, self.dram_now, &mut self.mc);
             }
         }
-        for c in self.mc.step(self.dram_now) {
+        let mut done = std::mem::take(&mut self.completion_scratch);
+        done.clear();
+        self.mc.step_into(self.dram_now, &mut done);
+        for c in &done {
             if c.kind == RequestKind::Read {
                 let ready = CpuCycle::new(c.finish.as_u64() * ratio + self.overhead);
-                self.cores[c.thread.as_usize()].on_completion(&c, ready);
+                self.cores[c.thread.as_usize()].on_completion(c, ready);
             }
         }
+        self.completion_scratch = done;
     }
 
     /// Zeroes all measurement counters (core IPC accounting, controller and
@@ -490,6 +498,10 @@ impl System {
             }
         }
         self.mc.finish(self.dram_now);
+        crate::telemetry::note_controller_cycles(
+            self.mc.stepped_cycles(),
+            self.mc.skipped_cycles(),
+        );
         if export {
             if let Some(sink) = self.mc.merged_metrics() {
                 crate::sidecar::append(&self.names.join("+"), self.scheduler.name(), &sink);

@@ -8,7 +8,7 @@
 
 use crate::command::RowId;
 use crate::timing::TimingParams;
-use fqms_sim::clock::DramCycle;
+use fqms_sim::clock::{DramCycle, NextEvent};
 
 /// The observable state of a bank, as seen by a scheduler deciding which
 /// SDRAM command a memory request needs next (the paper's Table 3).
@@ -124,6 +124,41 @@ impl Bank {
     #[inline]
     pub fn next_precharge(&self) -> DramCycle {
         self.next_precharge
+    }
+
+    /// Earliest cycle a read may issue (tRCD from activate).
+    #[inline]
+    pub fn next_read(&self) -> DramCycle {
+        self.next_read
+    }
+
+    /// Earliest cycle a write may issue (tRCD from activate).
+    #[inline]
+    pub fn next_write(&self) -> DramCycle {
+        self.next_write
+    }
+
+    /// Earliest *strictly future* cycle at which any of this bank's own
+    /// readiness predicates ([`Bank::can_activate`], [`Bank::can_read`],
+    /// [`Bank::can_write`], [`Bank::can_precharge`]) can flip from false
+    /// to true, or [`DramCycle::MAX`] if they are all already settled.
+    ///
+    /// Only the command classes reachable from the current row state are
+    /// considered: a closed bank can only become activate-ready; an open
+    /// bank can only become CAS- or precharge-ready. The row state itself
+    /// changes only when a command *issues* — which the caller observes —
+    /// so between issues this horizon is exact: no bank-level readiness
+    /// changes strictly before it.
+    pub fn next_event_cycle(&self, now: DramCycle) -> DramCycle {
+        let mut ev = NextEvent::after(now);
+        if self.open_row.is_some() {
+            ev.consider(self.next_read);
+            ev.consider(self.next_write);
+            ev.consider(self.next_precharge);
+        } else {
+            ev.consider(self.next_activate);
+        }
+        ev.earliest()
     }
 
     /// True if an activate is legal at `now` with respect to this bank's
@@ -353,6 +388,56 @@ mod tests {
         b.apply_refresh(DramCycle::new(100), &t());
         assert!(!b.can_activate(DramCycle::new(100 + 509)));
         assert!(b.can_activate(DramCycle::new(100 + 510)));
+    }
+
+    #[test]
+    fn next_event_tracks_state_filtered_thresholds() {
+        let mut b = Bank::new();
+        let t = t();
+        // Fresh closed bank: activate is already legal, nothing pending.
+        assert_eq!(b.next_event_cycle(DramCycle::ZERO), DramCycle::MAX);
+        b.issue_activate(DramCycle::new(10), RowId::new(1), &t);
+        // Open bank at 10: CAS ready at 15 (tRCD), precharge at 28 (tRAS).
+        assert_eq!(b.next_event_cycle(DramCycle::new(10)), DramCycle::new(15));
+        assert_eq!(b.next_event_cycle(DramCycle::new(15)), DramCycle::new(28));
+        // Everything settled: no future bank-level event.
+        assert_eq!(b.next_event_cycle(DramCycle::new(28)), DramCycle::MAX);
+        b.issue_precharge(DramCycle::new(28), &t);
+        // Closed again: only the activate recovery (tRP -> 33) matters.
+        assert_eq!(b.next_event_cycle(DramCycle::new(28)), DramCycle::new(33));
+        assert!(b.can_activate(b.next_event_cycle(DramCycle::new(28))));
+    }
+
+    #[test]
+    fn next_event_never_skips_a_readiness_flip() {
+        // Exhaustively check the horizon's soundness on a busy window: for
+        // every cycle strictly between `now` and the reported horizon, no
+        // readiness predicate may differ from its value at `now`.
+        let t = t();
+        let mut b = Bank::new();
+        b.issue_activate(DramCycle::new(3), RowId::new(7), &t);
+        let _ = b.issue_write(DramCycle::new(8), &t);
+        for now in 8..40u64 {
+            let now = DramCycle::new(now);
+            let horizon = b.next_event_cycle(now).min(DramCycle::new(64));
+            let probe = |c: DramCycle| {
+                (
+                    b.can_activate(c),
+                    b.can_read(c),
+                    b.can_write(c),
+                    b.can_precharge(c),
+                )
+            };
+            let at_now = probe(now);
+            let mut c = now;
+            loop {
+                c.tick();
+                if c >= horizon {
+                    break;
+                }
+                assert_eq!(probe(c), at_now, "flip at {c} inside ({now}, {horizon})");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::command::RankId;
 use crate::timing::TimingParams;
-use fqms_sim::clock::DramCycle;
+use fqms_sim::clock::{DramCycle, NextEvent};
 
 /// Per-rank constraint state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +203,35 @@ impl ChannelTracker {
     /// the device.
     pub fn can_refresh(&self, rank: RankId, now: DramCycle) -> bool {
         now >= self.rank(rank).refresh_done
+    }
+
+    /// Earliest *strictly future* cycle at which any channel-level
+    /// readiness predicate can flip from false to true, or
+    /// [`DramCycle::MAX`] if all constraints are already settled.
+    ///
+    /// Channel state mutates only when a command issues, so between issues
+    /// every predicate is a monotone function of time with these flip
+    /// points: per-rank `next_activate` (tRRD), `next_read` (tWTR),
+    /// `refresh_done` (tRFC), the tFAW window expiry of the oldest of the
+    /// last four activates, the channel-wide `next_cas` (tCCD), and the
+    /// data-bus release as seen by a CAS command (`bus_free_at - tCL` for
+    /// reads, `bus_free_at - tWL` for writes, since a CAS at `c` needs the
+    /// bus only at `c + tCL`/`c + tWL`).
+    pub fn next_event_cycle(&self, now: DramCycle, t: &TimingParams) -> DramCycle {
+        let mut ev = NextEvent::after(now);
+        ev.consider(self.next_cas);
+        let bus = self.bus_free_at.as_u64();
+        ev.consider(DramCycle::new(bus.saturating_sub(t.t_cl)));
+        ev.consider(DramCycle::new(bus.saturating_sub(t.t_wl)));
+        for r in &self.ranks {
+            ev.consider(r.next_activate);
+            ev.consider(r.next_read);
+            ev.consider(r.refresh_done);
+            if t.t_faw > 0 && r.act_count >= 4 {
+                ev.consider(r.act_history[r.act_pos].saturating_add(t.t_faw));
+            }
+        }
+        ev.earliest()
     }
 
     fn note_command(&mut self, now: DramCycle) {
@@ -425,6 +454,93 @@ mod tests {
         }
         // Rank 1 is unconstrained by rank 0's window.
         assert!(ch.can_activate_timed(RankId::new(1), DramCycle::new(12), &tp));
+    }
+
+    #[test]
+    fn next_event_tracks_channel_thresholds() {
+        let tp = t();
+        let mut ch = ChannelTracker::new(1);
+        // Idle channel: nothing scheduled.
+        assert_eq!(ch.next_event_cycle(DramCycle::ZERO, &tp), DramCycle::MAX);
+        // Read at 0: next_cas = 2 (tCCD), bus [5, 9) so a follow-up read is
+        // bus-legal from 9 - tCL = 4, a write from 9 - tWL = 5.
+        ch.issue_read(r0(), DramCycle::new(0), &tp);
+        assert_eq!(
+            ch.next_event_cycle(DramCycle::new(0), &tp),
+            DramCycle::new(2)
+        );
+        assert_eq!(
+            ch.next_event_cycle(DramCycle::new(2), &tp),
+            DramCycle::new(4)
+        );
+        assert_eq!(
+            ch.next_event_cycle(DramCycle::new(4), &tp),
+            DramCycle::new(5)
+        );
+        assert_eq!(ch.next_event_cycle(DramCycle::new(5), &tp), DramCycle::MAX);
+    }
+
+    #[test]
+    fn next_event_includes_refresh_and_tfaw() {
+        let tp = TimingParams::ddr2_800_with_tfaw();
+        let mut ch = ChannelTracker::new(1);
+        for &c in &[0u64, 3, 6, 9] {
+            ch.issue_activate(r0(), DramCycle::new(c), &tp);
+        }
+        // tRRD expires at 12, but tFAW holds the fifth ACT until 18.
+        assert_eq!(
+            ch.next_event_cycle(DramCycle::new(12), &tp),
+            DramCycle::new(18)
+        );
+        let mut ch2 = ChannelTracker::new(1);
+        ch2.issue_refresh(r0(), DramCycle::new(0), &tp);
+        assert_eq!(
+            ch2.next_event_cycle(DramCycle::new(0), &tp),
+            DramCycle::new(tp.t_rfc)
+        );
+    }
+
+    /// Property check: between `now` and the reported next event, no
+    /// channel readiness predicate may flip — skipping those cycles is
+    /// provably safe.
+    #[test]
+    fn next_event_never_skips_a_readiness_flip() {
+        let tp = TimingParams::ddr2_800_with_tfaw();
+        let mut ch = ChannelTracker::new(2);
+        let r1 = RankId::new(1);
+        ch.issue_activate(r0(), DramCycle::new(0), &tp);
+        ch.issue_write(r0(), DramCycle::new(3), &tp);
+        ch.issue_refresh(r1, DramCycle::new(5), &tp);
+        let probe = |ch: &ChannelTracker, c: u64| {
+            let now = DramCycle::new(c);
+            let mut v = Vec::new();
+            for r in [r0(), r1] {
+                v.push(ch.can_activate_timed(r, now, &tp));
+                v.push(ch.can_read(r, now, &tp));
+                v.push(ch.can_write(r, now, &tp));
+                v.push(ch.can_precharge(r, now));
+                v.push(ch.can_refresh(r, now));
+            }
+            v
+        };
+        let horizon = tp.t_rfc + 16;
+        let mut c = 6u64;
+        while c < horizon {
+            let next = ch.next_event_cycle(DramCycle::new(c), &tp).as_u64();
+            let stop = next.min(horizon);
+            let baseline = probe(&ch, c);
+            for mid in c + 1..stop {
+                assert_eq!(
+                    probe(&ch, mid),
+                    baseline,
+                    "readiness flipped at {mid} inside skip window ({c}, {next})"
+                );
+            }
+            if next >= horizon {
+                break;
+            }
+            c = next;
+        }
     }
 
     #[test]

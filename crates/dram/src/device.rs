@@ -16,7 +16,7 @@ use crate::bank::{Bank, BankState};
 use crate::channel::ChannelTracker;
 use crate::command::{BankId, Command, RankId, RowId};
 use crate::timing::TimingParams;
-use fqms_sim::clock::DramCycle;
+use fqms_sim::clock::{DramCycle, NextEvent};
 
 /// Geometry of the memory system: ranks per channel, banks per rank, rows
 /// per bank, columns (cache lines) per row.
@@ -296,6 +296,30 @@ impl DramDevice {
         }
     }
 
+    /// Earliest *strictly future* cycle at which any device-level readiness
+    /// predicate can flip, or [`DramCycle::MAX`] if none is pending.
+    ///
+    /// Device state mutates only when a command issues, so between issues
+    /// this is the minimum over every bank's
+    /// [`Bank::next_event_cycle`], the channel tracker's
+    /// [`ChannelTracker::next_event_cycle`], and each rank's refresh
+    /// deadline (the cycle [`DramDevice::refresh_urgent`] flips). The bound
+    /// is deliberately conservative: it may name a cycle at which nothing a
+    /// scheduler cares about actually changes (e.g. a constraint of a bank
+    /// with no queued work expiring), but it never *misses* a flip — the
+    /// invariant event-driven fast-forward relies on.
+    pub fn next_event_cycle(&self, now: DramCycle) -> DramCycle {
+        let mut ev = NextEvent::after(now);
+        for b in &self.banks {
+            ev.consider(b.next_event_cycle(now));
+        }
+        ev.consider(self.channel.next_event_cycle(now, &self.timing));
+        for &due in &self.refresh_due {
+            ev.consider(due);
+        }
+        ev.earliest()
+    }
+
     /// True if rank `rank` has reached (or passed) its refresh deadline.
     /// The controller should drain/block the rank, precharge all its banks,
     /// and issue [`Command::Refresh`].
@@ -497,6 +521,24 @@ mod tests {
         d.issue(&rd(0, 0), DramCycle::new(5));
         d.issue(&rd(0, 1), DramCycle::new(9));
         assert_eq!(d.bus_busy_cycles(), 8);
+    }
+
+    #[test]
+    fn next_event_aggregates_banks_channel_and_refresh() {
+        let mut d = dev();
+        // Idle fresh device: the only pending event is the refresh deadline.
+        assert_eq!(d.next_event_cycle(DramCycle::ZERO), DramCycle::new(280_000));
+        d.issue(&act(0, 1), DramCycle::new(0));
+        // ACT at 0: tRRD expires at 3 (channel), tRCD at 5 (bank).
+        assert_eq!(d.next_event_cycle(DramCycle::new(0)), DramCycle::new(3));
+        assert_eq!(d.next_event_cycle(DramCycle::new(3)), DramCycle::new(5));
+        // After tRCD: the next bank event is tRAS expiry at 18.
+        assert_eq!(d.next_event_cycle(DramCycle::new(5)), DramCycle::new(18));
+        // Past all timing windows, only the refresh deadline remains.
+        assert_eq!(
+            d.next_event_cycle(DramCycle::new(30)),
+            DramCycle::new(280_000)
+        );
     }
 
     #[test]

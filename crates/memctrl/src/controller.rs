@@ -33,7 +33,7 @@ use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{Event, NullObserver, Observer};
-use fqms_sim::clock::DramCycle;
+use fqms_sim::clock::{DramCycle, NextEvent};
 
 /// A request whose service has finished from the requester's perspective:
 /// for reads, the last data beat has arrived; for writes, the line has been
@@ -78,6 +78,44 @@ struct Proposal {
     /// `(global_bank_index, queue_position)` of the owning request;
     /// `None` for unowned commands (closed-row idle precharges).
     source: Option<(usize, usize)>,
+}
+
+/// Memoized bank-scheduler decision for one bank.
+///
+/// A bank scheduler's proposal is a pure function of (queue contents,
+/// open row, bank-level readiness per command class, FQ lock engagement,
+/// the bound VFTs) — and all of those are stable between the events that
+/// dirty them. The cache is therefore keyed on the *live-probed*
+/// [`ReadyClasses`] and lock flag (cheap: a handful of integer compares
+/// per cycle) and explicitly invalidated on queue mutation (enqueue,
+/// CAS dequeue) and on any command issued to the bank (which is what
+/// changes the open row, the timing state the probe reads, and the
+/// request's pending-command classification). Everything else — VFT keys
+/// once bound, arrival keys, queue order — cannot change while the key
+/// matches, so a hit replays the cached proposal without rescanning the
+/// queue.
+#[derive(Debug, Clone, Copy)]
+struct BankCache {
+    valid: bool,
+    ready: ReadyClasses,
+    locked: bool,
+    proposal: Option<Proposal>,
+}
+
+impl BankCache {
+    fn empty() -> Self {
+        BankCache {
+            valid: false,
+            ready: ReadyClasses {
+                read: false,
+                write: false,
+                precharge: false,
+                activate: false,
+            },
+            locked: false,
+            proposal: None,
+        }
+    }
 }
 
 /// The memory controller.
@@ -128,6 +166,22 @@ pub struct MemoryController {
     /// reported for the current activation. Only written under
     /// `O::ENABLED`, so it never influences scheduling.
     lock_armed: Vec<bool>,
+    /// Memoized bank-scheduler decisions (see [`BankCache`]).
+    bank_cache: Vec<BankCache>,
+    /// Requests across all bank queues; tracks
+    /// `queues.iter().map(Vec::len).sum()` incrementally.
+    queued: usize,
+    /// Transaction-buffer entries in use summed over threads (shared-pool
+    /// admission check without iterating the buffers).
+    tx_used: usize,
+    /// Write-buffer entries in use summed over threads.
+    wr_used: usize,
+    /// Cycles actually simulated by [`MemoryController::step`] /
+    /// [`MemoryController::tick_until`].
+    stepped_cycles: u64,
+    /// Provably-inert cycles fast-forwarded by
+    /// [`MemoryController::tick_until`].
+    skipped_cycles: u64,
 }
 
 impl MemoryController {
@@ -167,6 +221,12 @@ impl MemoryController {
             last_step: None,
             cmd_log: None,
             lock_armed: vec![false; total_banks],
+            bank_cache: vec![BankCache::empty(); total_banks],
+            queued: 0,
+            tx_used: 0,
+            wr_used: 0,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
         })
     }
 
@@ -223,7 +283,8 @@ impl MemoryController {
 
     /// Number of requests currently buffered (not yet fully serviced).
     pub fn pending_requests(&self) -> usize {
-        self.queues.iter().map(Vec::len).sum::<usize>() + self.inflight_reads.len()
+        debug_assert_eq!(self.queued, self.queues.iter().map(Vec::len).sum::<usize>());
+        self.queued + self.inflight_reads.len()
     }
 
     /// True if the controller holds no work.
@@ -241,18 +302,23 @@ impl MemoryController {
     }
 
     /// Shared-pool admission: total occupancy across threads against the
-    /// pooled capacity.
+    /// pooled capacity. Uses the incrementally maintained occupancy
+    /// counters, so the NACK decision costs two compares rather than a
+    /// per-thread buffer walk.
     fn shared_pool_has_room(&self, kind: RequestKind) -> bool {
+        debug_assert_eq!(
+            self.tx_used,
+            self.buffers
+                .iter()
+                .map(|b| b.transactions_used())
+                .sum::<usize>()
+        );
         let n = self.config.num_threads();
-        let tx_used: usize = self.buffers.iter().map(|b| b.transactions_used()).sum();
-        if tx_used >= n * self.config.transaction_entries {
+        if self.tx_used >= n * self.config.transaction_entries {
             return false;
         }
-        if kind == RequestKind::Write {
-            let wr_used: usize = self.buffers.iter().map(|b| b.writes_used()).sum();
-            if wr_used >= n * self.config.write_entries {
-                return false;
-            }
+        if kind == RequestKind::Write && self.wr_used >= n * self.config.write_entries {
+            return false;
         }
         true
     }
@@ -329,6 +395,10 @@ impl MemoryController {
             }
             return Err(nack);
         }
+        self.tx_used += 1;
+        if kind == RequestKind::Write {
+            self.wr_used += 1;
+        }
         let addr = self.map.decode(phys);
         let id = RequestId::new(self.next_id);
         self.next_id += self.id_stride;
@@ -382,6 +452,8 @@ impl MemoryController {
             vft,
             ras_issued: 0,
         });
+        self.queued += 1;
+        self.bank_cache[bank_idx].valid = false;
         let ts = self.stats.thread_mut(thread);
         match kind {
             RequestKind::Read => ts.reads_accepted += 1,
@@ -413,12 +485,137 @@ impl MemoryController {
     /// this monomorphizes to exactly `step` — observation is a pure
     /// function of the simulation and never changes it.
     pub fn step_observed<O: Observer>(&mut self, now: DramCycle, obs: &mut O) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.step_core(now, &mut out, obs);
+        out
+    }
+
+    /// Allocation-free [`MemoryController::step_observed`]: appends this
+    /// cycle's completions to `out` (a scratch buffer owned by the caller)
+    /// instead of returning a fresh `Vec`, and reports whether a command
+    /// issued. This is the hot-path entry point used by the engine.
+    pub fn step_into<O: Observer>(
+        &mut self,
+        now: DramCycle,
+        out: &mut Vec<Completion>,
+        obs: &mut O,
+    ) -> bool {
+        self.step_core(now, out, obs)
+    }
+
+    /// Earliest *strictly future* cycle at which this controller could do
+    /// anything differently from what it would do by idling: a timing
+    /// constraint expires, a refresh deadline (or deferred-refresh
+    /// postponement budget) lands, an in-flight read's data burst
+    /// completes, or an FQ bank scheduler's priority-inversion bound
+    /// trips. Returns [`DramCycle::MAX`] when no such event is scheduled.
+    ///
+    /// The bound is conservative (it may name a cycle where nothing
+    /// user-visible happens) but never misses an event — the contract
+    /// [`MemoryController::tick_until`] relies on. It is only meaningful
+    /// when computed from a *quiescent* cycle (one where `step` neither
+    /// issued a command nor completed a request): controller state
+    /// mutates only on issue/completion/submit, so from a quiescent cycle
+    /// every scheduling predicate is frozen until the returned cycle.
+    pub fn next_event_cycle(&self, now: DramCycle) -> DramCycle {
+        let mut ev = NextEvent::after(now);
+        ev.consider(self.dram.next_event_cycle(now));
+        for c in &self.inflight_reads {
+            ev.consider(c.finish);
+        }
+        if self.config.scheduler.uses_fq_bank_scheduler() {
+            if let Some(x) = self.inversion_cycles {
+                let g = *self.dram.geometry();
+                for r in 0..g.ranks {
+                    for b in 0..g.banks {
+                        let bank = self.dram.bank(RankId::new(r), BankId::new(b));
+                        if let Some(since) = bank.active_since() {
+                            ev.consider(since.saturating_add(x));
+                        }
+                    }
+                }
+            }
+        }
+        if let RefreshPolicy::Deferred { max_postponed } = self.config.refresh_policy {
+            let t_refi = self.dram.timing().t_refi;
+            let k = u64::from(max_postponed.max(1));
+            for r in 0..self.dram.geometry().ranks {
+                let deadline = self.dram.refresh_deadline(RankId::new(r));
+                ev.consider(deadline.saturating_add((k - 1) * t_refi));
+            }
+        }
+        ev.earliest()
+    }
+
+    /// Advances the controller from cycle `from` (exclusive, the last
+    /// cycle already stepped) to `to` (inclusive), fast-forwarding through
+    /// provably-inert stretches.
+    ///
+    /// Equivalence contract: the skip rule only ever jumps *from a cycle
+    /// where `step` did nothing* (no command issued, no completion
+    /// drained) *to the cycle before the next scheduled event*. From such
+    /// a quiescent cycle no state mutates, so every skipped cycle would
+    /// have been an identical no-op; after any activity cycle the next
+    /// cycle is stepped unconditionally (a command that lost channel
+    /// arbitration may have all its thresholds already in the past).
+    /// Completions, statistics, and observer events are therefore
+    /// bit-identical to calling [`MemoryController::step`] once per
+    /// cycle. Completions are appended to `out`.
+    pub fn tick_until(&mut self, from: DramCycle, to: DramCycle, out: &mut Vec<Completion>) {
+        self.tick_until_observed(from, to, out, &mut NullObserver);
+    }
+
+    /// [`MemoryController::tick_until`] with an [`Observer`] attached.
+    pub fn tick_until_observed<O: Observer>(
+        &mut self,
+        from: DramCycle,
+        to: DramCycle,
+        out: &mut Vec<Completion>,
+        obs: &mut O,
+    ) {
+        let mut c = from;
+        while c < to {
+            let before = out.len();
+            c = DramCycle::new(c.as_u64() + 1);
+            let issued = self.step_core(c, out, obs);
+            if issued || out.len() != before {
+                continue; // activity: the very next cycle must be stepped
+            }
+            let next = self.next_event_cycle(c).as_u64();
+            if next > c.as_u64() + 1 {
+                // Cycles (c, next) are provably inert; jump to just before
+                // the event (clamped to the window end).
+                let dead_until = DramCycle::new((next - 1).min(to.as_u64()));
+                self.skipped_cycles += dead_until - c;
+                c = dead_until;
+            }
+        }
+    }
+
+    /// Cycles actually simulated (per-cycle `step` executions).
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped_cycles
+    }
+
+    /// Cycles fast-forwarded by [`MemoryController::tick_until`] without
+    /// being simulated.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    fn step_core<O: Observer>(
+        &mut self,
+        now: DramCycle,
+        out: &mut Vec<Completion>,
+        obs: &mut O,
+    ) -> bool {
         if let Some(last) = self.last_step {
             assert!(now > last, "step({now}) after step({last})");
         }
         self.last_step = Some(now);
+        self.stepped_cycles += 1;
 
-        let mut out = self.drain_read_completions(now, obs);
+        self.drain_read_completions(now, out, obs);
 
         let urgent_rank = (0..self.dram.geometry().ranks)
             .map(RankId::new)
@@ -438,10 +635,13 @@ impl MemoryController {
             None => self.schedule_normal(now, obs),
         };
 
-        if let Some(p) = scheduled {
-            self.issue(p, now, &mut out, obs);
+        match scheduled {
+            Some(p) => {
+                self.issue(p, now, out, obs);
+                true
+            }
+            None => false,
         }
-        out
     }
 
     /// Finalizes utilization statistics at the end of a run.
@@ -455,24 +655,25 @@ impl MemoryController {
     pub fn reset_stats(&mut self, now: DramCycle) {
         self.stats.reset();
         self.dram.reset_stats(now);
+        self.stepped_cycles = 0;
+        self.skipped_cycles = 0;
     }
 
     fn drain_read_completions<O: Observer>(
         &mut self,
         now: DramCycle,
+        out: &mut Vec<Completion>,
         obs: &mut O,
-    ) -> Vec<Completion> {
-        let mut done = Vec::new();
+    ) {
         let mut i = 0;
         while i < self.inflight_reads.len() {
-            if self.inflight_reads[i].finish <= now {
-                done.push(self.inflight_reads.swap_remove(i));
-            } else {
+            if self.inflight_reads[i].finish > now {
                 i += 1;
+                continue;
             }
-        }
-        for c in &done {
+            let c = self.inflight_reads.swap_remove(i);
             self.buffers[c.thread.as_usize()].complete(RequestKind::Read);
+            self.tx_used -= 1;
             let ts = self.stats.thread_mut(c.thread);
             ts.reads_completed += 1;
             ts.read_latency_total += c.latency();
@@ -486,8 +687,8 @@ impl MemoryController {
                     bytes: self.config.line_bytes,
                 });
             }
+            out.push(c);
         }
-        done
     }
 
     /// Decides whether to enter refresh mode for `rank` this cycle, per
@@ -502,7 +703,7 @@ impl MemoryController {
                 let t_refi = self.dram.timing().t_refi;
                 let deadline = self.dram.refresh_deadline(rank);
                 let owed = 1 + (now.as_u64().saturating_sub(deadline.as_u64())) / t_refi;
-                owed >= max_postponed.max(1) as u64 || self.queues.iter().all(Vec::is_empty)
+                owed >= max_postponed.max(1) as u64 || self.queued == 0
             }
         }
     }
@@ -538,21 +739,70 @@ impl MemoryController {
         for bank_idx in 0..self.queues.len() {
             let rank = RankId::new(bank_idx as u32 / geometry.banks);
             let bank = BankId::new(bank_idx as u32 % geometry.banks);
-            let proposal = propose_for_bank(
-                &mut self.queues[bank_idx],
-                &self.dram,
-                &self.vtms,
-                kind,
-                inversion,
-                self.config.row_policy,
-                bank_idx,
-                rank,
-                bank,
-                now,
-                &timing,
-                &mut self.lock_armed[bank_idx],
-                obs,
-            );
+            let open_row = self.dram.open_row(rank, bank);
+
+            let proposal = if self.queues[bank_idx].is_empty() {
+                // Closed-row policy: once all pending accesses to the row
+                // have completed, close it. Lowest priority: it never
+                // beats real work at the channel scheduler. (The open-row
+                // ablation leaves the row open until a conflicting
+                // request arrives.) Not worth caching: it is a single
+                // bank-ready probe.
+                if self.config.row_policy == RowPolicy::Closed && open_row.is_some() {
+                    let pre = Command::Precharge { rank, bank };
+                    self.dram.bank_ready(&pre, now).then_some(Proposal {
+                        cmd: pre,
+                        prio: Priority {
+                            ready: true,
+                            cas: false,
+                            key: f64::INFINITY,
+                            id: RequestId::new(u64::MAX),
+                        },
+                        source: None,
+                    })
+                } else {
+                    None
+                }
+            } else {
+                let ready = ReadyClasses::probe(&self.dram, rank, bank, open_row.is_some(), now);
+                // FQ lock engagement (Section 3.3): the bank has been
+                // active for at least the inversion bound `x`.
+                let lock = if kind.uses_fq_bank_scheduler() {
+                    match (self.dram.bank(rank, bank).active_for(now), inversion) {
+                        (Some(active_for), Some(x)) if active_for >= x => Some(active_for),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let cache = &self.bank_cache[bank_idx];
+                if cache.valid && cache.ready == ready && cache.locked == lock.is_some() {
+                    cache.proposal
+                } else {
+                    let proposal = propose_for_bank(
+                        &mut self.queues[bank_idx],
+                        ready,
+                        lock,
+                        &self.vtms,
+                        kind,
+                        bank_idx,
+                        rank,
+                        bank,
+                        open_row,
+                        now,
+                        &timing,
+                        &mut self.lock_armed[bank_idx],
+                        obs,
+                    );
+                    self.bank_cache[bank_idx] = BankCache {
+                        valid: true,
+                        ready,
+                        locked: lock.is_some(),
+                        proposal,
+                    };
+                    proposal
+                }
+            };
             // Channel scheduler: each bank presents at most one command;
             // only commands that are ready with respect to the channel
             // (bus occupancy, tCCD, tWTR, tRRD, refresh) can issue. A
@@ -582,6 +832,24 @@ impl MemoryController {
     ) {
         let timing = *self.dram.timing();
         let data_done = self.dram.issue(&p.cmd, now);
+        // Any command to a bank changes the state its scheduler decision
+        // was derived from (open row, timing thresholds, or the queue
+        // below): drop the memoized proposal. A refresh touches every
+        // bank of its rank.
+        match p.cmd {
+            Command::Refresh { rank } => {
+                let start = (rank.as_u32() * self.dram.geometry().banks) as usize;
+                let n = self.dram.geometry().banks as usize;
+                for cache in &mut self.bank_cache[start..start + n] {
+                    cache.valid = false;
+                }
+            }
+            _ => {
+                let bank = p.cmd.bank().expect("non-refresh commands target a bank");
+                let idx = self.global_bank(p.cmd.rank(), bank);
+                self.bank_cache[idx].valid = false;
+            }
+        }
         if let Some(log) = &mut self.cmd_log {
             log.record(CommandRecord {
                 cycle: now,
@@ -628,6 +896,7 @@ impl MemoryController {
         }
         // CAS issued: the request leaves the bank queue.
         self.queues[bank_idx].remove(queue_pos);
+        self.queued -= 1;
         let ts = self.stats.thread_mut(req.thread);
         ts.bus_busy_cycles += timing.burst;
         match pending.ras_issued {
@@ -651,6 +920,8 @@ impl MemoryController {
                 let buf = &mut self.buffers[req.thread.as_usize()];
                 buf.release_write_data();
                 buf.complete(RequestKind::Write);
+                self.wr_used -= 1;
+                self.tx_used -= 1;
                 self.stats.thread_mut(req.thread).writes_completed += 1;
                 if O::ENABLED {
                     obs.on_event(&Event::Completed {
@@ -698,57 +969,33 @@ fn next_command(
 }
 
 /// The bank scheduler for one bank (free function so the borrow of the
-/// queue is disjoint from the device and VTMS borrows).
+/// queue is disjoint from the device and VTMS borrows). The caller has
+/// already probed bank-level readiness (`ready`) and FQ lock engagement
+/// (`lock`, `Some(active_for)` when the inversion bound has tripped); the
+/// queue is non-empty.
 #[allow(clippy::too_many_arguments)]
 fn propose_for_bank<O: Observer>(
     queue: &mut [Pending],
-    dram: &DramDevice,
+    ready: ReadyClasses,
+    lock: Option<u64>,
     vtms: &[Vtms],
     kind: SchedulerKind,
-    inversion: Option<u64>,
-    row_policy: RowPolicy,
     bank_idx: usize,
     rank: RankId,
     bank: BankId,
+    open_row: Option<RowId>,
     now: DramCycle,
     timing: &TimingParams,
     lock_armed: &mut bool,
     obs: &mut O,
 ) -> Option<Proposal> {
-    let open_row = dram.open_row(rank, bank);
-
-    if queue.is_empty() {
-        // Closed-row policy: once all pending accesses to the row have
-        // completed, close it. Lowest priority: it never beats real work
-        // at the channel scheduler. (The open-row ablation leaves the row
-        // open until a conflicting request arrives.)
-        if row_policy == RowPolicy::Closed && open_row.is_some() {
-            let pre = Command::Precharge { rank, bank };
-            if dram.bank_ready(&pre, now) {
-                return Some(Proposal {
-                    cmd: pre,
-                    prio: Priority {
-                        ready: true,
-                        cas: false,
-                        key: f64::INFINITY,
-                        id: RequestId::new(u64::MAX),
-                    },
-                    source: None,
-                });
-            }
-        }
-        return None;
-    }
+    debug_assert!(!queue.is_empty());
 
     // FQ bank scheduling (Section 3.3): after the bank has been active for
     // `x` cycles, lock onto the earliest-virtual-finish-time request and
     // wait for its command to become ready — row hits may no longer chain
     // ahead of it.
     if kind.uses_fq_bank_scheduler() {
-        let lock = match (dram.bank(rank, bank).active_for(now), inversion) {
-            (Some(active_for), Some(x)) => (active_for >= x).then_some(active_for),
-            _ => None,
-        };
         if O::ENABLED && lock.is_none() {
             // The activation ended (or the bound is unreachable): re-arm
             // the inversion-trip edge detector for the next activation.
@@ -774,7 +1021,7 @@ fn propose_for_bank<O: Observer>(
                 }
                 let (i, key, id) = best.expect("non-empty queue");
                 let cmd = next_command(&queue[i].req, open_row, rank, bank);
-                if dram.bank_ready(&cmd, now) {
+                if ready.allows(&cmd) {
                     return Some(Proposal {
                         cmd,
                         prio: Priority {
@@ -805,7 +1052,6 @@ fn propose_for_bank<O: Observer>(
     // request and the scan reduces to a row-compare plus a key compare
     // per request: the channel arbitration step is O(banks), not
     // O(requests).
-    let ready = ReadyClasses::probe(dram, rank, bank, open_row.is_some(), now);
     let candidate_range = if kind.uses_first_ready() {
         0..queue.len()
     } else {
@@ -853,7 +1099,7 @@ fn propose_for_bank<O: Observer>(
 /// the command kind only (rows and columns never enter the inequality), so
 /// the bank scheduler probes each class once per cycle instead of once per
 /// pending request.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ReadyClasses {
     /// CAS read to the open row.
     read: bool,
@@ -866,6 +1112,19 @@ struct ReadyClasses {
 }
 
 impl ReadyClasses {
+    /// Bank-level readiness of `cmd`, looked up by class — equivalent to
+    /// `DramDevice::bank_ready` for commands derived from this bank's
+    /// state (`next_command` with the same open row the probe saw).
+    fn allows(&self, cmd: &Command) -> bool {
+        match cmd {
+            Command::Read { .. } => self.read,
+            Command::Write { .. } => self.write,
+            Command::Precharge { .. } => self.precharge,
+            Command::Activate { .. } => self.activate,
+            Command::Refresh { .. } => unreachable!("bank schedulers never propose refresh"),
+        }
+    }
+
     fn probe(dram: &DramDevice, rank: RankId, bank: BankId, open: bool, now: DramCycle) -> Self {
         if open {
             let col = ColId::new(0);

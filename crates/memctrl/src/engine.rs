@@ -86,6 +86,12 @@ pub struct EngineSpec {
     /// [`TracingObserver`](fqms_obs::TracingObserver) per channel and the
     /// report carries [`EngineReport::observations`].
     pub event_capacity: Option<usize>,
+    /// Event-driven fast-forward: when `true` (the default), each shard
+    /// jumps over cycles where no submission is due and the controller is
+    /// provably inert (`MemoryController::tick_until`). Results are
+    /// bit-identical either way — `false` forces the cycle-by-cycle
+    /// reference path (the differential baseline).
+    pub fast_forward: bool,
 }
 
 impl EngineSpec {
@@ -102,6 +108,7 @@ impl EngineSpec {
             max_cycles: 10_000_000,
             log_capacity: None,
             event_capacity: None,
+            fast_forward: true,
         }
     }
 }
@@ -119,28 +126,49 @@ pub struct ChannelShard {
     /// Channel-local observer; shards never share one, so observation
     /// needs no synchronization and stays deterministic.
     obs: Option<TracingObserver>,
+    /// Event-driven fast-forward enabled (from [`EngineSpec`]).
+    fast: bool,
 }
 
 /// Drives one channel over one epoch. Generic over the observer so the
 /// unobserved path monomorphizes with [`NullObserver`] to exactly the
 /// pre-observability code.
+///
+/// With `fast` set, the drain loop exploits that it knows every future
+/// arrival: while the head submission is not due for at least two cycles,
+/// the only things that can happen are controller-internal, so the window
+/// up to `min(epoch end, next arrival - 1)` is handed to
+/// [`MemoryController::tick_until`], which skips provably-inert cycles.
+/// A NACKed head keeps `next_due` in the past, which forces the
+/// cycle-by-cycle path below — retries (and their [`fqms_obs::Event::Nack`]
+/// events) replay exactly as in the reference mode.
 fn drive<O: Observer>(
     mc: &mut MemoryController,
     events: &mut VecDeque<SubmitEvent>,
     completions: &mut Vec<Completion>,
     obs: &mut O,
+    fast: bool,
     start: u64,
     end: u64,
 ) -> bool {
-    for c in start + 1..=end {
-        let now = DramCycle::new(c);
+    let mut now = start;
+    while now < end {
+        let next_due = events.front().map_or(u64::MAX, |e| e.at.as_u64());
+        if fast && next_due > now + 1 {
+            let stop = end.min(next_due - 1);
+            mc.tick_until_observed(DramCycle::new(now), DramCycle::new(stop), completions, obs);
+            now = stop;
+            continue;
+        }
+        now += 1;
+        let cycle = DramCycle::new(now);
         while let Some(ev) = events.front() {
-            if ev.at.as_u64() > c {
+            if ev.at.as_u64() > now {
                 break; // not due yet
             }
             let ev = *ev;
             if mc
-                .try_submit_observed(ev.thread, ev.kind, ev.phys, now, obs)
+                .try_submit_observed(ev.thread, ev.kind, ev.phys, cycle, obs)
                 .is_ok()
             {
                 events.pop_front();
@@ -148,7 +176,7 @@ fn drive<O: Observer>(
                 break; // head-of-line NACK: retry next cycle
             }
         }
-        completions.extend(mc.step_observed(now, obs));
+        mc.step_into(cycle, completions, obs);
     }
     !(events.is_empty() && mc.is_idle())
 }
@@ -161,6 +189,7 @@ impl Shard for ChannelShard {
                 &mut self.events,
                 &mut self.completions,
                 obs,
+                self.fast,
                 start,
                 end,
             ),
@@ -169,6 +198,7 @@ impl Shard for ChannelShard {
                 &mut self.events,
                 &mut self.completions,
                 &mut NullObserver,
+                self.fast,
                 start,
                 end,
             ),
@@ -194,6 +224,13 @@ pub struct EngineReport {
     /// Events still unsubmitted when the run stopped (0 iff the schedule
     /// fully drained within `max_cycles`).
     pub unsubmitted: usize,
+    /// Controller cycles actually simulated, summed over channels.
+    /// Diagnostic only: differs between fast-forward and reference runs
+    /// even though every semantic field is bit-identical.
+    pub stepped_cycles: u64,
+    /// Provably-inert cycles skipped by event-driven fast-forward, summed
+    /// over channels (0 when [`EngineSpec::fast_forward`] is off).
+    pub skipped_cycles: u64,
     /// Per-channel event streams and merged metrics, when
     /// [`EngineSpec::event_capacity`] is set. Assembled in channel-index
     /// order, so serial and parallel runs agree bit-for-bit.
@@ -204,6 +241,17 @@ impl EngineReport {
     /// Total completed requests across channels.
     pub fn total_completed(&self) -> usize {
         self.completions.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of simulated time covered by skipped cycles (0.0 when
+    /// fast-forward is off or the run never idled).
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / total as f64
+        }
     }
 }
 
@@ -229,6 +277,7 @@ fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<Channel
             obs: spec
                 .event_capacity
                 .map(|cap| TracingObserver::new(cap, spec.config.num_threads())),
+            fast: spec.fast_forward,
         });
     }
     let mut last_at = 0u64;
@@ -253,6 +302,8 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
     let mut command_logs = Vec::new();
     let mut bus_busy_cycles = 0;
     let mut unsubmitted = 0;
+    let mut stepped_cycles = 0;
+    let mut skipped_cycles = 0;
     let mut observations = spec.event_capacity.map(|_| Observations::default());
     for shard in shards {
         for (t, agg) in per_thread.iter_mut().enumerate() {
@@ -270,6 +321,8 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         }
         bus_busy_cycles += shard.mc.dram().bus_busy_cycles();
         unsubmitted += shard.events.len();
+        stepped_cycles += shard.mc.stepped_cycles();
+        skipped_cycles += shard.mc.skipped_cycles();
         if let Some(log) = shard.mc.command_log() {
             command_logs.push(log.clone());
         }
@@ -289,6 +342,8 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         command_logs,
         bus_busy_cycles,
         unsubmitted,
+        stepped_cycles,
+        skipped_cycles,
         observations,
     }
 }

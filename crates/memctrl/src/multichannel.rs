@@ -23,8 +23,8 @@ use crate::request::{RequestId, RequestKind, ThreadId};
 use crate::stats::ThreadStats;
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
-use fqms_obs::{EventRing, MetricsSink, TracingObserver};
-use fqms_sim::clock::DramCycle;
+use fqms_obs::{EventRing, MetricsSink, NullObserver, TracingObserver};
+use fqms_sim::clock::{DramCycle, NextEvent};
 
 /// A memory system with `N` line-interleaved channels, each with its own
 /// scheduler and VTMS state.
@@ -205,6 +205,60 @@ impl MultiChannelController {
             }
         }
         out
+    }
+
+    /// Allocation-free [`MultiChannelController::step`]: appends every
+    /// channel's completions (in channel order) to `out`.
+    pub fn step_into(&mut self, now: DramCycle, out: &mut Vec<Completion>) {
+        if self.observers.is_empty() {
+            for ch in &mut self.channels {
+                ch.step_into(now, out, &mut NullObserver);
+            }
+        } else {
+            for (ch, obs) in self.channels.iter_mut().zip(&mut self.observers) {
+                ch.step_into(now, out, obs);
+            }
+        }
+    }
+
+    /// Earliest strictly-future cycle at which *any* channel has a
+    /// scheduled event (see [`MemoryController::next_event_cycle`]).
+    pub fn next_event_cycle(&self, now: DramCycle) -> DramCycle {
+        let mut ev = NextEvent::after(now);
+        for ch in &self.channels {
+            ev.consider(ch.next_event_cycle(now));
+        }
+        ev.earliest()
+    }
+
+    /// Advances every channel from cycle `from` (exclusive) to `to`
+    /// (inclusive) with event-driven fast-forward, channel by channel.
+    ///
+    /// Only sound when no submissions occur inside the window (the caller
+    /// knows its next arrival, exactly like the sharded engine). Each
+    /// channel's completions land in `out` grouped by channel rather than
+    /// interleaved by cycle — callers that need cycle-interleaved order
+    /// must use [`MultiChannelController::step_into`] per cycle.
+    pub fn tick_until(&mut self, from: DramCycle, to: DramCycle, out: &mut Vec<Completion>) {
+        if self.observers.is_empty() {
+            for ch in &mut self.channels {
+                ch.tick_until(from, to, out);
+            }
+        } else {
+            for (ch, obs) in self.channels.iter_mut().zip(&mut self.observers) {
+                ch.tick_until_observed(from, to, out, obs);
+            }
+        }
+    }
+
+    /// Controller cycles actually simulated, summed over channels.
+    pub fn stepped_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.stepped_cycles()).sum()
+    }
+
+    /// Cycles fast-forwarded without simulation, summed over channels.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.skipped_cycles()).sum()
     }
 
     /// Finalizes utilization statistics on every channel.

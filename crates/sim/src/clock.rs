@@ -134,6 +134,61 @@ cycle_newtype!(
     "cpu-cycles"
 );
 
+/// Accumulates the earliest *strictly future* event cycle among a set of
+/// candidate thresholds — the building block of event-driven fast-forward.
+///
+/// Every readiness predicate in the DDR2 model is a monotone step function
+/// of time (`now >= threshold`), so the earliest cycle at which *any*
+/// decision can change is the minimum of the thresholds that still lie in
+/// the future. Thresholds at or before `now` are already in force and
+/// cannot flip again, so they are ignored.
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::clock::{DramCycle, NextEvent};
+///
+/// let mut ev = NextEvent::after(DramCycle::new(100));
+/// ev.consider(DramCycle::new(90));   // past: ignored
+/// ev.consider(DramCycle::new(100));  // present: ignored
+/// ev.consider(DramCycle::new(130));
+/// ev.consider(DramCycle::new(115));
+/// assert_eq!(ev.earliest(), DramCycle::new(115));
+/// assert_eq!(NextEvent::after(DramCycle::ZERO).earliest(), DramCycle::MAX);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NextEvent {
+    now: DramCycle,
+    earliest: DramCycle,
+}
+
+impl NextEvent {
+    /// Starts a search for the earliest event strictly after `now`.
+    #[inline]
+    pub fn after(now: DramCycle) -> Self {
+        NextEvent {
+            now,
+            earliest: DramCycle::MAX,
+        }
+    }
+
+    /// Offers a candidate threshold; kept only if it is strictly in the
+    /// future and earlier than everything seen so far.
+    #[inline]
+    pub fn consider(&mut self, candidate: DramCycle) {
+        if candidate > self.now && candidate < self.earliest {
+            self.earliest = candidate;
+        }
+    }
+
+    /// The earliest future event cycle seen, or [`DramCycle::MAX`] if every
+    /// candidate was in the past (no future event known).
+    #[inline]
+    pub fn earliest(&self) -> DramCycle {
+        self.earliest
+    }
+}
+
 /// The relationship between the CPU clock and the DRAM command clock.
 ///
 /// The simulator's master loop advances one DRAM cycle at a time and steps
@@ -244,6 +299,21 @@ mod tests {
     #[test]
     fn default_ratio_is_five() {
         assert_eq!(ClockDomains::default().cpu_ratio(), 5);
+    }
+
+    #[test]
+    fn next_event_picks_earliest_future_cycle() {
+        let mut ev = NextEvent::after(DramCycle::new(50));
+        assert_eq!(ev.earliest(), DramCycle::MAX);
+        ev.consider(DramCycle::new(49)); // past
+        ev.consider(DramCycle::new(50)); // present: already in force
+        assert_eq!(ev.earliest(), DramCycle::MAX);
+        ev.consider(DramCycle::new(80));
+        ev.consider(DramCycle::new(51));
+        ev.consider(DramCycle::new(60));
+        assert_eq!(ev.earliest(), DramCycle::new(51));
+        ev.consider(DramCycle::MAX);
+        assert_eq!(ev.earliest(), DramCycle::new(51));
     }
 
     #[test]
