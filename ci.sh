@@ -11,13 +11,41 @@ cargo fmt --check
 echo "=== cargo clippy --offline -D warnings ==="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "=== cargo doc --offline -D warnings ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+
 echo "=== cargo build --release --offline ==="
 cargo build --release --offline
 
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline
 
-echo "=== release: differential + parallel + fast-forward equivalence ==="
-cargo test -q --release --offline -p fqms-memctrl --test differential --test parallel_equivalence --test fast_forward_equivalence
+echo "=== release: differential + parallel + fast-forward + fault equivalence ==="
+cargo test -q --release --offline -p fqms-memctrl \
+  --test differential --test parallel_equivalence \
+  --test fast_forward_equivalence --test fault_differential
+
+echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ==="
+# Emulate an interrupted sweep deterministically: run a prefix of the
+# binary list, then resume with the full list, and compare every output
+# against an uninterrupted reference run. Logs are excluded (they carry
+# wall-clock timings); the figure TSVs and metrics sidecars must match
+# bit for bit.
+RESUME_A="$(mktemp -d)"
+RESUME_B="$(mktemp -d)"
+trap 'rm -rf "$RESUME_A" "$RESUME_B"' EXIT
+FQMS_SKIP_CI=1 FQMS_RUNLEN=quick FQMS_RESULTS_DIR="$RESUME_A" \
+  FQMS_BINS="tables fig1" ./run_figures.sh > /dev/null
+FQMS_SKIP_CI=1 FQMS_RUNLEN=quick FQMS_RESULTS_DIR="$RESUME_A" \
+  FQMS_BINS="tables fig1 faults" ./run_figures.sh --resume > "$RESUME_A/resume.out"
+grep -q "tables (checkpointed, skipped)" "$RESUME_A/resume.out" || {
+  echo "resume check FAILED: completed binary was re-run"; exit 1; }
+FQMS_SKIP_CI=1 FQMS_RUNLEN=quick FQMS_RESULTS_DIR="$RESUME_B" \
+  FQMS_BINS="tables fig1 faults" ./run_figures.sh > /dev/null
+for f in tables fig1 faults; do
+  cmp "$RESUME_A/$f.tsv" "$RESUME_B/$f.tsv"
+  cmp "$RESUME_A/$f.metrics.tsv" "$RESUME_B/$f.metrics.tsv"
+done
+echo "resume check OK"
 
 echo "CI OK"

@@ -15,7 +15,8 @@ fn main() {
     let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
-    let art = by_name("art").unwrap();
+    let art =
+        by_name("art").unwrap_or_else(|| panic!("ablation_buffers: no workload profile \"art\""));
     // Four threads: the subject vs three aggressive streams. Three cores'
     // worth of in-flight demand (3 x 16 MSHRs + writebacks) oversubscribes
     // the pooled 64-entry transaction buffer, so shared-pool admission
@@ -29,7 +30,8 @@ fn main() {
         "aggressors_bus",
     ]);
     for subject_name in ["vpr", "twolf", "galgel", "equake"] {
-        let subject = by_name(subject_name).unwrap();
+        let subject = by_name(subject_name)
+            .unwrap_or_else(|| panic!("ablation_buffers: no workload profile \"{subject_name}\""));
         let base =
             run_private_baseline(subject, 4, len.instructions, len.max_dram_cycles * 4, seed);
         for (label, sharing) in [
@@ -45,7 +47,12 @@ fn main() {
                 .workload(art)
                 .workload(art)
                 .build()
-                .expect("valid config");
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "ablation_buffers: invalid system config for {subject_name} + 3x art, \
+                         {label} buffers (seed {seed}): {e}"
+                    )
+                });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             let nacks = sys
                 .controller()

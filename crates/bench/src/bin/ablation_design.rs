@@ -17,7 +17,8 @@ fn main() {
     let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
-    let art = by_name("art").unwrap();
+    let art =
+        by_name("art").unwrap_or_else(|| panic!("ablation_design: no workload profile \"art\""));
 
     println!("== VFT binding: at-arrival (average service) vs first-ready (actual) ==");
     header(&[
@@ -31,7 +32,8 @@ fn main() {
     // mgrid/applu stream with high row locality (many row hits — the
     // threads arrival-binding should penalize); twolf/vpr are low-MLP.
     for subject_name in ["mgrid", "applu", "twolf", "vpr"] {
-        let subject = by_name(subject_name).unwrap();
+        let subject = by_name(subject_name)
+            .unwrap_or_else(|| panic!("ablation_design: no workload profile \"{subject_name}\""));
         let base =
             run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
         for (label, binding) in [
@@ -45,7 +47,12 @@ fn main() {
                 .workload(subject)
                 .workload(art)
                 .build()
-                .expect("valid config");
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "ablation_design: invalid config for {subject_name} + art with \
+                         {label} VFT binding (seed {seed}): {e}"
+                    )
+                });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             row(&[
                 subject_name.to_string(),
@@ -79,7 +86,12 @@ fn main() {
                 .seed(seed)
                 .workloads(mix.iter().copied())
                 .build()
-                .expect("valid config");
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "ablation_design: invalid four-core config under {sched} with \
+                         {label} rows (seed {seed}): {e}"
+                    )
+                });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             row(&[
                 sched.to_string(),

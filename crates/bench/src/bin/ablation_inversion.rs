@@ -13,7 +13,8 @@ fn main() {
     let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
-    let art = by_name("art").unwrap();
+    let art =
+        by_name("art").unwrap_or_else(|| panic!("ablation_inversion: no workload profile \"art\""));
     let t_ras = fqms_dram::timing::TimingParams::ddr2_800().t_ras;
     let bounds: Vec<(String, InversionBound)> = vec![
         ("0".into(), InversionBound::Cycles(0)),
@@ -40,7 +41,9 @@ fn main() {
         "data_bus_utilization",
     ]);
     for subject_name in ["vpr", "twolf", "ammp", "galgel"] {
-        let subject = by_name(subject_name).unwrap();
+        let subject = by_name(subject_name).unwrap_or_else(|| {
+            panic!("ablation_inversion: no workload profile \"{subject_name}\"")
+        });
         let base =
             run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
         for (label, bound) in &bounds {
@@ -51,7 +54,12 @@ fn main() {
                 .workload(subject)
                 .workload(art)
                 .build()
-                .expect("valid config");
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "ablation_inversion: invalid config for {subject_name} + art with \
+                         bound x={label} (seed {seed}): {e}"
+                    )
+                });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             row(&[
                 subject_name.to_string(),

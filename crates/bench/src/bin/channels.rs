@@ -16,12 +16,20 @@ fn main() {
     header(&["benchmark", "channels", "ipc", "bus_utilization_of_total"]);
     for name in ["art", "swim", "mcf", "vpr", "crafty"] {
         for channels in [1usize, 2, 4] {
-            let mut sys = SystemBuilder::new()
-                .channels(channels)
-                .seed(seed)
-                .workload(by_name(name).unwrap())
-                .build()
-                .expect("valid config");
+            let mut sys =
+                SystemBuilder::new()
+                    .channels(channels)
+                    .seed(seed)
+                    .workload(by_name(name).unwrap_or_else(|| {
+                        panic!("channels: no workload profile named \"{name}\"")
+                    }))
+                    .build()
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "channels: invalid solo config for {name} on {channels} channel(s) \
+                         (seed {seed}): {e}"
+                        )
+                    });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             row(&[
                 name.to_string(),
@@ -43,7 +51,12 @@ fn main() {
             .seed(seed)
             .workloads(mix.iter().copied())
             .build()
-            .expect("valid config");
+            .unwrap_or_else(|e| {
+                panic!(
+                    "channels: invalid four-core config on 2 channels under {sched} \
+                     (seed {seed}): {e}"
+                )
+            });
         let m = sys.run(len.instructions, len.max_dram_cycles);
         for t in &m.threads {
             row(&[

@@ -34,7 +34,12 @@ fn main() {
             .seed(seed)
             .workloads(mix.iter().copied())
             .build()
-            .expect("valid config");
+            .unwrap_or_else(|e| {
+                panic!(
+                    "energy: invalid system config for four-core workload 1 under {sched} \
+                     (seed {seed}): {e}"
+                )
+            });
         let m = sys.run(len.instructions, len.max_dram_cycles);
         let mc = sys.controller();
         let mut total = fqms_dram::power::EnergyBreakdown::default();

@@ -10,7 +10,7 @@ fn main() {
     let _run_log = fqms_bench::RunLog::new();
     let len = run_length();
     let seed = seed();
-    let vpr = by_name("vpr").unwrap();
+    let vpr = by_name("vpr").unwrap_or_else(|| panic!("fig1: no workload profile named \"vpr\""));
 
     header(&[
         "configuration",
@@ -32,7 +32,9 @@ fn main() {
     for partner in ["crafty", "art"] {
         let m = two_core_run(
             vpr,
-            by_name(partner).unwrap(),
+            by_name(partner).unwrap_or_else(|| {
+                panic!("fig1: no workload profile named \"{partner}\" (seed {seed})")
+            }),
             SchedulerKind::FrFcfs,
             len,
             seed,

@@ -31,7 +31,12 @@ fn main() {
             entries
                 .iter()
                 .find(|e| &e.subject == subject && e.scheduler == sched)
-                .expect("complete sweep")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "fig7: two-core sweep (seed {seed}) is missing the {sched} entry \
+                         for subject \"{subject}\""
+                    )
+                })
         };
         let base = get(SchedulerKind::FrFcfs).hmean_norm_ipc();
         for sched in paper_schedulers() {

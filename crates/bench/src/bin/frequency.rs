@@ -22,13 +22,20 @@ fn main() {
     header(&["benchmark", "grade", "ipc", "bus_utilization"]);
     for name in ["swim", "mcf", "vpr"] {
         for (label, timing, ratio) in grades {
-            let mut sys = SystemBuilder::new()
-                .timing(timing)
-                .cpu_ratio(ratio)
-                .seed(seed)
-                .workload(by_name(name).unwrap())
-                .build()
-                .expect("valid config");
+            let mut sys =
+                SystemBuilder::new()
+                    .timing(timing)
+                    .cpu_ratio(ratio)
+                    .seed(seed)
+                    .workload(by_name(name).unwrap_or_else(|| {
+                        panic!("frequency: no workload profile named \"{name}\"")
+                    }))
+                    .build()
+                    .unwrap_or_else(|e| {
+                        panic!(
+                        "frequency: invalid solo config for {name} at {label} (seed {seed}): {e}"
+                    )
+                    });
             let m = sys.run(len.instructions, len.max_dram_cycles);
             row(&[
                 name.to_string(),
@@ -43,8 +50,10 @@ fn main() {
     println!("== vpr + art QoS by speed grade (FQ-VFTF) ==");
     header(&["grade", "vpr_norm_ipc"]);
     for (label, timing, ratio) in grades {
-        let vpr = by_name("vpr").unwrap();
-        let art = by_name("art").unwrap();
+        let vpr =
+            by_name("vpr").unwrap_or_else(|| panic!("frequency: no workload profile \"vpr\""));
+        let art =
+            by_name("art").unwrap_or_else(|| panic!("frequency: no workload profile \"art\""));
         let base = {
             let mut sys = SystemBuilder::new()
                 .timing(timing.time_scaled(2))
@@ -52,7 +61,9 @@ fn main() {
                 .seed(seed)
                 .workload(vpr)
                 .build()
-                .expect("valid config");
+                .unwrap_or_else(|e| {
+                    panic!("frequency: invalid vpr baseline config at {label} (seed {seed}): {e}")
+                });
             sys.run(len.instructions, len.max_dram_cycles * 2).threads[0].ipc
         };
         let mut sys = SystemBuilder::new()
@@ -63,7 +74,9 @@ fn main() {
             .workload(vpr)
             .workload(art)
             .build()
-            .expect("valid config");
+            .unwrap_or_else(|e| {
+                panic!("frequency: invalid vpr + art config at {label} (seed {seed}): {e}")
+            });
         let m = sys.run(len.instructions, len.max_dram_cycles);
         row(&[label.to_string(), f(m.threads[0].ipc / base)]);
     }

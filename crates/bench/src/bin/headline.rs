@@ -34,7 +34,13 @@ fn main() {
         let base = entries
             .iter()
             .find(|b| b.subject == e.subject && b.scheduler == SchedulerKind::FrFcfs)
-            .expect("complete sweep");
+            .unwrap_or_else(|| {
+                panic!(
+                    "headline: two-core sweep (seed {seed}) has no FR-FCFS baseline entry \
+                     for subject \"{}\"",
+                    e.subject
+                )
+            });
         improvements.push(e.hmean_norm_ipc() / base.hmean_norm_ipc() - 1.0);
         bus += e.metrics.data_bus_utilization;
     }

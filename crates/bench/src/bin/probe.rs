@@ -8,8 +8,9 @@ fn main() {
     let len = run_length();
     let seed = seed();
     let subject_name = std::env::args().nth(1).unwrap_or_else(|| "vpr".into());
-    let subject = by_name(&subject_name).expect("unknown benchmark");
-    let art = by_name("art").unwrap();
+    let subject = by_name(&subject_name)
+        .unwrap_or_else(|| panic!("probe: no workload profile named \"{subject_name}\""));
+    let art = by_name("art").unwrap_or_else(|| panic!("probe: no workload profile \"art\""));
     let base_subj =
         run_private_baseline(subject, 2, len.instructions, len.max_dram_cycles * 2, seed);
     let base_art = run_private_baseline(art, 2, len.instructions, len.max_dram_cycles * 2, seed);

@@ -13,13 +13,14 @@ fn main() {
     let len = run_length();
     let seeds: Vec<u64> = (1..=5).map(|k| k * 1000 + 7).collect();
     let subjects = ["swim", "galgel", "ammp", "vpr"];
-    let art = by_name("art").unwrap();
+    let art = by_name("art").unwrap_or_else(|| panic!("seeds: no workload profile named \"art\""));
 
     println!("#subject\tscheduler\tseeds\tnorm_ipc_mean\tnorm_ipc_min\tnorm_ipc_max");
     let mut fq_all = Summary::new();
     let mut fr_all = Summary::new();
     for name in subjects {
-        let subject = by_name(name).unwrap();
+        let subject =
+            by_name(name).unwrap_or_else(|| panic!("seeds: no workload profile named \"{name}\""));
         for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
             let mut s = Summary::new();
             for &seed in &seeds {

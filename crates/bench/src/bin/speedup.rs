@@ -84,11 +84,32 @@ fn fast_forward_study(gen_cycles: u64, seed: u64, hw: usize) {
         spec.max_cycles = 64 * gen_cycles;
         spec.event_capacity = Some(1 << 12);
         spec.fast_forward = false;
-        let (slow, slow_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        let (slow, slow_s) = secs(|| {
+            simulate_serial(&spec, &events).unwrap_or_else(|e| {
+                panic!(
+                    "speedup: invalid reference spec for {} (seed {seed}): {e}",
+                    kind.name()
+                )
+            })
+        });
         spec.fast_forward = true;
-        let (fast, fast_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
-        let (par, par_s) =
-            secs(|| simulate_parallel(&spec, &events, par_threads).expect("valid spec"));
+        let (fast, fast_s) = secs(|| {
+            simulate_serial(&spec, &events).unwrap_or_else(|e| {
+                panic!(
+                    "speedup: invalid fast spec for {} (seed {seed}): {e}",
+                    kind.name()
+                )
+            })
+        });
+        let (par, par_s) = secs(|| {
+            simulate_parallel(&spec, &events, par_threads).unwrap_or_else(|e| {
+                panic!(
+                    "speedup: invalid parallel spec for {} with {par_threads} workers \
+                     (seed {seed}): {e}",
+                    kind.name()
+                )
+            })
+        });
         assert_semantic_eq(&fast, &slow, kind.name());
         assert_eq!(fast, par, "{}: fast serial != fast parallel", kind.name());
         fqms::telemetry::note_controller_cycles(
@@ -193,7 +214,11 @@ fn main() {
         // also cover the recorded event streams and metric sinks.
         spec.event_capacity = Some(1 << 12);
         let events = synthetic_workload(4, gen_cycles, 0.6, seed);
-        let (serial, serial_s) = secs(|| simulate_serial(&spec, &events).expect("valid spec"));
+        let (serial, serial_s) = secs(|| {
+            simulate_serial(&spec, &events).unwrap_or_else(|e| {
+                panic!("speedup: invalid {channels}-channel engine spec (seed {seed}): {e}")
+            })
+        });
         if let Some(obs) = &serial.observations {
             let label = format!("engine-{channels}ch");
             let kind = spec.config.scheduler.name();
@@ -201,8 +226,14 @@ fn main() {
             sidecar_json.push(metrics_json(&label, kind, &obs.metrics));
         }
         for threads in [1usize, 2, 4, 8] {
-            let (parallel, parallel_s) =
-                secs(|| simulate_parallel(&spec, &events, threads).expect("valid spec"));
+            let (parallel, parallel_s) = secs(|| {
+                simulate_parallel(&spec, &events, threads).unwrap_or_else(|e| {
+                    panic!(
+                        "speedup: invalid {channels}-channel engine spec with {threads} \
+                         workers (seed {seed}): {e}"
+                    )
+                })
+            });
             assert_eq!(serial, parallel, "parallel run diverged from serial");
             row(&[
                 channels.to_string(),

@@ -36,13 +36,17 @@ fn main() {
         "total_bus",
     ]);
     for sched in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
-        let early =
-            SyntheticTrace::for_thread(by_name("swim").unwrap(), seed, 0).expect("valid profile");
+        let swim = by_name("swim")
+            .unwrap_or_else(|| panic!("timeline: no workload profile named \"swim\""));
+        let early = SyntheticTrace::for_thread(swim, seed, 0).unwrap_or_else(|e| {
+            panic!("timeline: invalid trace for early swim thread (seed {seed}): {e}")
+        });
         // Prewarm the late thread's caches *before* wrapping in the delay
         // (prewarming skips compute ops and would otherwise consume the
         // whole delay prefix).
-        let late_inner =
-            SyntheticTrace::for_thread(by_name("swim").unwrap(), seed, 1).expect("valid profile");
+        let late_inner = SyntheticTrace::for_thread(swim, seed, 1).unwrap_or_else(|e| {
+            panic!("timeline: invalid trace for late swim thread (seed {seed}): {e}")
+        });
         let late = DelayedStart::new(late_inner, ARRIVAL_INSTRUCTIONS);
         let mut sys = SystemBuilder::new()
             .scheduler(sched)
@@ -50,7 +54,9 @@ fn main() {
             .workload_trace("early", Box::new(early), 50_000)
             .workload_trace("late", Box::new(late), 0)
             .build()
-            .expect("valid config");
+            .unwrap_or_else(|e| {
+                panic!("timeline: invalid system config under {sched} (seed {seed}): {e}")
+            });
         let mut prev = [0u64; 2];
         for w in 0..WINDOWS {
             for _ in 0..WINDOW {

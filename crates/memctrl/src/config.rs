@@ -39,6 +39,12 @@ pub struct McConfig {
     pub buffer_sharing: BufferSharing,
     /// Cache-line size in bytes (paper: 64).
     pub line_bytes: u64,
+    /// Starvation-watchdog threshold in DRAM cycles: if a thread with
+    /// pending work completes nothing for this many cycles, the controller
+    /// emits a `StarvationDetected` observability event and counts it — it
+    /// never alters scheduling. `None` (the default) disables the
+    /// watchdog.
+    pub starvation_threshold: Option<u64>,
 }
 
 impl McConfig {
@@ -61,6 +67,7 @@ impl McConfig {
             refresh_policy: RefreshPolicy::Strict,
             buffer_sharing: BufferSharing::Partitioned,
             line_bytes: 64,
+            starvation_threshold: None,
         }
     }
 
@@ -78,6 +85,7 @@ impl McConfig {
             refresh_policy: RefreshPolicy::Strict,
             buffer_sharing: BufferSharing::Partitioned,
             line_bytes: 64,
+            starvation_threshold: None,
         }
     }
 
@@ -114,6 +122,9 @@ impl McConfig {
                 "line_bytes must be a power of two >= 8, got {}",
                 self.line_bytes
             ));
+        }
+        if self.starvation_threshold == Some(0) {
+            return Err("starvation_threshold must be positive (or None to disable)".into());
         }
         Ok(())
     }
@@ -155,6 +166,15 @@ mod tests {
     fn empty_shares_rejected() {
         let cfg = McConfig::with_shares(SchedulerKind::FrFcfs, vec![]);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_watchdog_threshold_rejected() {
+        let mut cfg = McConfig::paper(2, SchedulerKind::FqVftf);
+        cfg.starvation_threshold = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.starvation_threshold = Some(10_000);
+        cfg.validate().unwrap();
     }
 
     #[test]

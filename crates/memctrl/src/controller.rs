@@ -34,6 +34,7 @@ use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{Event, NullObserver, Observer};
 use fqms_sim::clock::{DramCycle, NextEvent};
+use fqms_sim::fault::{FaultInjector, FaultKind, FaultPlan};
 
 /// A request whose service has finished from the requester's perspective:
 /// for reads, the last data beat has arrived; for writes, the line has been
@@ -118,6 +119,37 @@ impl BankCache {
     }
 }
 
+/// Runtime state of an attached fault plan (see
+/// [`MemoryController::set_fault_plan`]). All episode timing is
+/// precompiled in the injector; this struct only caches the consequences
+/// of activation edges so hot-path predicates stay cheap `&self` reads.
+#[derive(Debug, Clone)]
+struct FaultState {
+    injector: FaultInjector,
+    /// Per-global-bank stall deadline: the bank scheduler proposes nothing
+    /// while `now < stall_until[bank]`.
+    stall_until: Vec<u64>,
+    /// Refresh is forced urgent while `now < pressure_until` (cached on
+    /// the activation edge so `refresh_wanted` stays `&self`).
+    pressure_until: u64,
+    /// Scratch for draining due request-drop selectors without
+    /// reallocating.
+    drop_scratch: Vec<u64>,
+}
+
+/// Per-thread starvation watchdog (see `McConfig::starvation_threshold`).
+/// Purely observational: it counts and reports stalls, never alters
+/// scheduling.
+#[derive(Debug, Clone)]
+struct WatchdogState {
+    threshold: u64,
+    /// Last cycle each thread made progress (admission or completion).
+    last_progress: Vec<DramCycle>,
+    /// True once the watchdog fired for the current stall episode; re-arms
+    /// on the thread's next progress.
+    tripped: Vec<bool>,
+}
+
 /// The memory controller.
 ///
 /// Drive it by calling [`MemoryController::try_submit`] as requests arrive
@@ -182,6 +214,10 @@ pub struct MemoryController {
     /// Provably-inert cycles fast-forwarded by
     /// [`MemoryController::tick_until`].
     skipped_cycles: u64,
+    /// Attached fault plan, compiled ([`MemoryController::set_fault_plan`]).
+    fault: Option<FaultState>,
+    /// Starvation watchdog, when `config.starvation_threshold` is set.
+    watchdog: Option<WatchdogState>,
 }
 
 impl MemoryController {
@@ -206,6 +242,11 @@ impl MemoryController {
             config.num_threads()
         ];
         let inversion_cycles = config.inversion_bound.resolve(timing.t_ras);
+        let watchdog = config.starvation_threshold.map(|threshold| WatchdogState {
+            threshold,
+            last_progress: vec![DramCycle::ZERO; config.num_threads()],
+            tripped: vec![false; config.num_threads()],
+        });
         Ok(MemoryController {
             map: AddressMap::new(geometry, config.line_bytes),
             dram: DramDevice::new(geometry, timing),
@@ -227,7 +268,39 @@ impl MemoryController {
             wr_used: 0,
             stepped_cycles: 0,
             skipped_cycles: 0,
+            fault: None,
+            watchdog,
         })
+    }
+
+    /// Attaches a compiled fault plan. An empty plan detaches fault
+    /// injection entirely (the controller is then bit-identical to one
+    /// that never had a plan). Must be called before the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller has already been stepped.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        assert!(
+            self.last_step.is_none(),
+            "fault plan must be attached before the first step"
+        );
+        self.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState {
+                injector: FaultInjector::new(plan),
+                stall_until: vec![0; self.queues.len()],
+                pressure_until: 0,
+                drop_scratch: Vec::new(),
+            })
+        };
+    }
+
+    /// The compiled fault injector, when a non-empty plan is attached
+    /// (for inspecting per-class injection counts).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref().map(|f| &f.injector)
     }
 
     /// Enables command-trace logging, retaining the most recent
@@ -360,6 +433,28 @@ impl MemoryController {
     ) -> Result<RequestId, Nack> {
         let tid = thread.as_usize();
         assert!(tid < self.config.num_threads(), "unknown thread {thread}");
+        // NACK-storm fault: the admission port behaves exactly as if the
+        // relevant buffer were full for the episode's duration.
+        if let Some(f) = self.fault.as_mut() {
+            if f.injector
+                .active(FaultKind::NackStorm, now.as_u64())
+                .is_some()
+            {
+                let nack = match kind {
+                    RequestKind::Write => Nack::WriteBufferFull,
+                    RequestKind::Read => Nack::TransactionBufferFull,
+                };
+                self.stats.thread_mut(thread).nacks += 1;
+                if O::ENABLED {
+                    obs.on_event(&Event::Nack {
+                        cycle: now.as_u64(),
+                        thread: thread.as_u32(),
+                        is_write: nack == Nack::WriteBufferFull,
+                    });
+                }
+                return Err(nack);
+            }
+        }
         if self.config.buffer_sharing == BufferSharing::Shared && !self.shared_pool_has_room(kind) {
             self.stats.thread_mut(thread).nacks += 1;
             let nack = match kind {
@@ -459,7 +554,28 @@ impl MemoryController {
             RequestKind::Read => ts.reads_accepted += 1,
             RequestKind::Write => ts.writes_accepted += 1,
         }
+        // Admission into an *empty* partition restarts the thread's
+        // progress clock — its pending-work epoch begins now (and, under
+        // fast-forward, `now` may follow a skipped idle window the
+        // per-cycle watchdog reset never saw). Admissions on top of an
+        // existing backlog are deliberately *not* progress: a thread whose
+        // pending requests never complete is starving no matter how many
+        // more it manages to enqueue.
+        if self.buffers[tid].transactions_used() == 1 {
+            self.note_progress(thread, now);
+        }
         Ok(id)
+    }
+
+    /// Records watchdog progress for `thread` (a completion, or the first
+    /// admission into an empty partition) and re-arms its trip detector.
+    #[inline]
+    fn note_progress(&mut self, thread: ThreadId, now: DramCycle) {
+        if let Some(w) = self.watchdog.as_mut() {
+            let t = thread.as_usize();
+            w.last_progress[t] = now;
+            w.tripped[t] = false;
+        }
     }
 
     fn global_bank(&self, rank: RankId, bank: BankId) -> usize {
@@ -544,6 +660,29 @@ impl MemoryController {
                 ev.consider(deadline.saturating_add((k - 1) * t_refi));
             }
         }
+        if let Some(f) = &self.fault {
+            // Never skip over a fault-episode edge: every start/end is a
+            // cycle where scheduling predicates change.
+            if let Some(boundary) = f.injector.next_boundary(now.as_u64()) {
+                ev.consider(DramCycle::new(boundary));
+            }
+            // During refresh pressure the refresh machinery re-evaluates
+            // every cycle (its readiness is not in the filtered DRAM
+            // next-event set when no deadline is due), so step
+            // cycle-by-cycle for the episode's duration.
+            if now.as_u64() < f.pressure_until {
+                ev.consider(DramCycle::new(now.as_u64() + 1));
+            }
+        }
+        if let Some(w) = &self.watchdog {
+            // A watchdog trip is an observable event: make sure the
+            // deadline cycle is stepped, not skipped.
+            for (t, buf) in self.buffers.iter().enumerate() {
+                if !w.tripped[t] && buf.transactions_used() > 0 {
+                    ev.consider(w.last_progress[t].saturating_add(w.threshold));
+                }
+            }
+        }
         ev.earliest()
     }
 
@@ -616,6 +755,12 @@ impl MemoryController {
         self.stepped_cycles += 1;
 
         self.drain_read_completions(now, out, obs);
+        if self.fault.is_some() {
+            self.apply_faults(now, obs);
+        }
+        if self.watchdog.is_some() {
+            self.check_watchdog(now, obs);
+        }
 
         let urgent_rank = (0..self.dram.geometry().ranks)
             .map(RankId::new)
@@ -641,6 +786,141 @@ impl MemoryController {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Consumes this cycle's fault-timeline edges: reports activation
+    /// edges, caches their consequences (bank stall deadlines, refresh
+    /// pressure), and executes due request drops. Runs once per stepped
+    /// cycle, between completion drain and scheduling; with no plan
+    /// attached it is never called.
+    fn apply_faults<O: Observer>(&mut self, now: DramCycle, obs: &mut O) {
+        let n = now.as_u64();
+        let f = self.fault.as_mut().expect("checked by caller");
+        if let Some(e) = f.injector.activated(FaultKind::NackStorm, n) {
+            if O::ENABLED {
+                obs.on_event(&Event::FaultInjected {
+                    cycle: n,
+                    kind: FaultKind::NackStorm,
+                    until: e.end,
+                    bank: None,
+                });
+            }
+        }
+        if let Some(e) = f.injector.activated(FaultKind::RefreshPressure, n) {
+            f.pressure_until = f.pressure_until.max(e.end);
+            if O::ENABLED {
+                obs.on_event(&Event::FaultInjected {
+                    cycle: n,
+                    kind: FaultKind::RefreshPressure,
+                    until: e.end,
+                    bank: None,
+                });
+            }
+        }
+        if let Some(e) = f.injector.activated(FaultKind::BankStall, n) {
+            let bank = (e.selector % f.stall_until.len() as u64) as usize;
+            f.stall_until[bank] = f.stall_until[bank].max(e.end);
+            self.bank_cache[bank].valid = false;
+            if O::ENABLED {
+                obs.on_event(&Event::FaultInjected {
+                    cycle: n,
+                    kind: FaultKind::BankStall,
+                    until: e.end,
+                    bank: Some(bank as u32),
+                });
+            }
+        }
+        let mut drops = std::mem::take(&mut f.drop_scratch);
+        f.injector.take_due(FaultKind::RequestDrop, n, &mut drops);
+        for &selector in &drops {
+            if O::ENABLED {
+                obs.on_event(&Event::FaultInjected {
+                    cycle: n,
+                    kind: FaultKind::RequestDrop,
+                    until: n + 1,
+                    bank: None,
+                });
+            }
+            if self.queued == 0 {
+                continue; // nothing queued: the drop lands on air
+            }
+            // Deterministic victim: flatten the bank queues in bank-index
+            // order and pick the selector'th entry.
+            let mut target = (selector % self.queued as u64) as usize;
+            let (bank_idx, pos) = self
+                .queues
+                .iter()
+                .enumerate()
+                .find_map(|(bi, q)| {
+                    if target < q.len() {
+                        Some((bi, target))
+                    } else {
+                        target -= q.len();
+                        None
+                    }
+                })
+                .expect("queued tracks the summed queue lengths");
+            let pending = self.queues[bank_idx].remove(pos);
+            self.queued -= 1;
+            self.bank_cache[bank_idx].valid = false;
+            let req = pending.req;
+            // Release the buffer entry exactly as completion would — the
+            // requester is never told; the request simply vanishes.
+            let buf = &mut self.buffers[req.thread.as_usize()];
+            match req.kind {
+                RequestKind::Read => {
+                    buf.complete(RequestKind::Read);
+                    self.tx_used -= 1;
+                }
+                RequestKind::Write => {
+                    buf.release_write_data();
+                    buf.complete(RequestKind::Write);
+                    self.wr_used -= 1;
+                    self.tx_used -= 1;
+                }
+            }
+            self.stats.thread_mut(req.thread).requests_dropped += 1;
+            if O::ENABLED {
+                obs.on_event(&Event::RequestDropped {
+                    cycle: n,
+                    thread: req.thread.as_u32(),
+                    id: req.id.as_u64(),
+                    is_write: req.kind == RequestKind::Write,
+                });
+            }
+        }
+        drops.clear();
+        self.fault.as_mut().expect("still attached").drop_scratch = drops;
+    }
+
+    /// Fires the starvation watchdog for threads that hold pending work
+    /// but have made no progress for the configured threshold. Purely
+    /// observational: one stat increment and one event per stall episode.
+    fn check_watchdog<O: Observer>(&mut self, now: DramCycle, obs: &mut O) {
+        let w = self.watchdog.as_mut().expect("checked by caller");
+        for t in 0..w.last_progress.len() {
+            if self.buffers[t].transactions_used() == 0 {
+                // Nothing pending: an idle thread is not starved.
+                w.last_progress[t] = now;
+                w.tripped[t] = false;
+                continue;
+            }
+            if w.tripped[t] {
+                continue;
+            }
+            let stalled_for = now.as_u64().saturating_sub(w.last_progress[t].as_u64());
+            if stalled_for >= w.threshold {
+                w.tripped[t] = true;
+                self.stats.thread_mut(ThreadId::new(t as u32)).starvations += 1;
+                if O::ENABLED {
+                    obs.on_event(&Event::StarvationDetected {
+                        cycle: now.as_u64(),
+                        thread: t as u32,
+                        stalled_for,
+                    });
+                }
+            }
         }
     }
 
@@ -674,6 +954,7 @@ impl MemoryController {
             let c = self.inflight_reads.swap_remove(i);
             self.buffers[c.thread.as_usize()].complete(RequestKind::Read);
             self.tx_used -= 1;
+            self.note_progress(c.thread, now);
             let ts = self.stats.thread_mut(c.thread);
             ts.reads_completed += 1;
             ts.read_latency_total += c.latency();
@@ -694,6 +975,13 @@ impl MemoryController {
     /// Decides whether to enter refresh mode for `rank` this cycle, per
     /// the configured [`RefreshPolicy`].
     fn refresh_wanted(&self, rank: RankId, now: DramCycle) -> bool {
+        // Refresh-pressure fault: force refresh urgency (a refresh storm)
+        // for the episode's duration, regardless of the real deadline.
+        if let Some(f) = &self.fault {
+            if now.as_u64() < f.pressure_until {
+                return true;
+            }
+        }
         if !self.dram.refresh_urgent(rank, now) {
             return false;
         }
@@ -737,6 +1025,14 @@ impl MemoryController {
 
         let mut best: Option<Proposal> = None;
         for bank_idx in 0..self.queues.len() {
+            // Bank-stall fault: a stalled bank proposes nothing. Safe to
+            // skip before the cache probe — no command issues to the bank
+            // while stalled, so its cached decision stays coherent.
+            if let Some(f) = &self.fault {
+                if now.as_u64() < f.stall_until[bank_idx] {
+                    continue;
+                }
+            }
             let rank = RankId::new(bank_idx as u32 / geometry.banks);
             let bank = BankId::new(bank_idx as u32 % geometry.banks);
             let open_row = self.dram.open_row(rank, bank);
@@ -923,6 +1219,7 @@ impl MemoryController {
                 self.wr_used -= 1;
                 self.tx_used -= 1;
                 self.stats.thread_mut(req.thread).writes_completed += 1;
+                self.note_progress(req.thread, now);
                 if O::ENABLED {
                     obs.on_event(&Event::Completed {
                         cycle: now.as_u64(),

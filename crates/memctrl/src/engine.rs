@@ -32,6 +32,7 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
+use crate::address_map::AddressMap;
 use crate::cmdlog::CommandLog;
 use crate::config::McConfig;
 use crate::controller::{Completion, MemoryController};
@@ -39,10 +40,13 @@ use crate::multichannel::MultiChannelController;
 use crate::policy::SchedulerKind;
 use crate::request::{RequestKind, ThreadId};
 use crate::stats::ThreadStats;
+use fqms_dram::command::BankId;
+use fqms_dram::command::{ColId, DramAddress, RankId, RowId};
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{NullObserver, Observations, Observer, TracingObserver};
 use fqms_sim::clock::DramCycle;
+use fqms_sim::fault::FaultPlan;
 use fqms_sim::parallel::{run_parallel, run_serial, Shard};
 use fqms_sim::rng::SimRng;
 use std::collections::VecDeque;
@@ -59,6 +63,57 @@ pub struct SubmitEvent {
     pub kind: RequestKind,
     /// System-wide physical address (the engine routes and localizes it).
     pub phys: u64,
+}
+
+/// Head-of-line retry policy at a channel's submission port.
+///
+/// [`RetryPolicy::immediate`] (the default) reproduces the engine's
+/// historical behaviour bit-for-bit: a NACKed head is retried every cycle
+/// forever. [`RetryPolicy::bounded`] adds graceful degradation under
+/// persistent back-pressure (e.g. a NACK-storm fault): retries back off
+/// exponentially up to a cap, and after `max_retries` rejections the
+/// request is abandoned into [`EngineReport::rejected`] instead of
+/// wedging the port forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Abandon the head after this many NACKs (`None` = retry forever).
+    pub max_retries: Option<u32>,
+    /// Backoff after the first NACK, in cycles (doubles per retry).
+    pub backoff_start: u64,
+    /// Backoff ceiling in cycles.
+    pub backoff_cap: u64,
+}
+
+impl RetryPolicy {
+    /// Retry every cycle, forever — the engine's reference behaviour.
+    pub fn immediate() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            backoff_start: 1,
+            backoff_cap: 1,
+        }
+    }
+
+    /// Bounded retries with capped exponential backoff.
+    pub fn bounded(max_retries: u32, backoff_start: u64, backoff_cap: u64) -> Self {
+        RetryPolicy {
+            max_retries: Some(max_retries),
+            backoff_start: backoff_start.max(1),
+            backoff_cap: backoff_cap.max(backoff_start.max(1)),
+        }
+    }
+
+    /// Cycles to wait before retry number `attempt` (1-based).
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let shift = u64::from(attempt.saturating_sub(1)).min(32);
+        (self.backoff_start << shift).min(self.backoff_cap).max(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::immediate()
+    }
 }
 
 /// Configuration of a sharded engine run.
@@ -83,7 +138,7 @@ pub struct EngineSpec {
     /// Per-channel observer event-ring capacity; `None` runs unobserved
     /// (the controllers monomorphize to the no-op observer — zero
     /// overhead). `Some(cap)` attaches a
-    /// [`TracingObserver`](fqms_obs::TracingObserver) per channel and the
+    /// [`TracingObserver`] per channel and the
     /// report carries [`EngineReport::observations`].
     pub event_capacity: Option<usize>,
     /// Event-driven fast-forward: when `true` (the default), each shard
@@ -92,6 +147,13 @@ pub struct EngineSpec {
     /// bit-identical either way — `false` forces the cycle-by-cycle
     /// reference path (the differential baseline).
     pub fast_forward: bool,
+    /// Deterministic fault plan applied to every channel (salted by
+    /// channel index so channels draw distinct episode timelines).
+    /// `None` — and `Some(FaultPlan::none())` — inject nothing and leave
+    /// the run bit-identical to a fault-free build.
+    pub fault_plan: Option<FaultPlan>,
+    /// Head-of-line retry policy at each channel's submission port.
+    pub retry: RetryPolicy,
 }
 
 impl EngineSpec {
@@ -109,8 +171,26 @@ impl EngineSpec {
             log_capacity: None,
             event_capacity: None,
             fast_forward: true,
+            fault_plan: None,
+            retry: RetryPolicy::immediate(),
         }
     }
+}
+
+/// The submission port of one channel: the pre-routed event queue plus
+/// head-of-line retry state under the engine's [`RetryPolicy`].
+#[derive(Debug)]
+struct SubmitPort {
+    /// Channel-local events in submission order; the head blocks the
+    /// tail (modelling per-thread back-pressure at the channel port).
+    events: VecDeque<SubmitEvent>,
+    retry: RetryPolicy,
+    /// NACKs the current head has absorbed.
+    head_retries: u32,
+    /// Cycle before which the head is backing off (not re-submitted).
+    head_ready_at: u64,
+    /// Requests abandoned after exhausting `max_retries`.
+    rejected: Vec<SubmitEvent>,
 }
 
 /// One channel plus its pre-routed slice of the submission schedule —
@@ -118,10 +198,7 @@ impl EngineSpec {
 #[derive(Debug)]
 pub struct ChannelShard {
     mc: MemoryController,
-    /// Channel-local events in submission order; the head blocks the
-    /// tail (a NACKed head is retried every cycle, modelling per-thread
-    /// back-pressure at the channel port).
-    events: VecDeque<SubmitEvent>,
+    port: SubmitPort,
     completions: Vec<Completion>,
     /// Channel-local observer; shards never share one, so observation
     /// needs no synchronization and stays deterministic.
@@ -135,16 +212,18 @@ pub struct ChannelShard {
 /// pre-observability code.
 ///
 /// With `fast` set, the drain loop exploits that it knows every future
-/// arrival: while the head submission is not due for at least two cycles,
-/// the only things that can happen are controller-internal, so the window
-/// up to `min(epoch end, next arrival - 1)` is handed to
-/// [`MemoryController::tick_until`], which skips provably-inert cycles.
-/// A NACKed head keeps `next_due` in the past, which forces the
-/// cycle-by-cycle path below — retries (and their [`fqms_obs::Event::Nack`]
-/// events) replay exactly as in the reference mode.
+/// arrival: while the head submission is not due (or backing off) for at
+/// least two cycles, the only things that can happen are
+/// controller-internal, so the window up to `min(epoch end, next
+/// submission - 1)` is handed to [`MemoryController::tick_until`], which
+/// skips provably-inert cycles. Under [`RetryPolicy::immediate`] a NACKed
+/// head becomes due again on the very next cycle, which forces the
+/// cycle-by-cycle path below — retries (and their
+/// [`fqms_obs::Event::Nack`] events) replay exactly as in the reference
+/// mode.
 fn drive<O: Observer>(
     mc: &mut MemoryController,
-    events: &mut VecDeque<SubmitEvent>,
+    port: &mut SubmitPort,
     completions: &mut Vec<Completion>,
     obs: &mut O,
     fast: bool,
@@ -153,7 +232,10 @@ fn drive<O: Observer>(
 ) -> bool {
     let mut now = start;
     while now < end {
-        let next_due = events.front().map_or(u64::MAX, |e| e.at.as_u64());
+        let next_due = port
+            .events
+            .front()
+            .map_or(u64::MAX, |e| e.at.as_u64().max(port.head_ready_at));
         if fast && next_due > now + 1 {
             let stop = end.min(next_due - 1);
             mc.tick_until_observed(DramCycle::new(now), DramCycle::new(stop), completions, obs);
@@ -162,23 +244,41 @@ fn drive<O: Observer>(
         }
         now += 1;
         let cycle = DramCycle::new(now);
-        while let Some(ev) = events.front() {
-            if ev.at.as_u64() > now {
-                break; // not due yet
+        while let Some(ev) = port.events.front() {
+            if ev.at.as_u64() > now || port.head_ready_at > now {
+                break; // not due yet, or backing off
             }
             let ev = *ev;
             if mc
                 .try_submit_observed(ev.thread, ev.kind, ev.phys, cycle, obs)
                 .is_ok()
             {
-                events.pop_front();
+                port.events.pop_front();
+                port.head_retries = 0;
+                port.head_ready_at = 0;
             } else {
-                break; // head-of-line NACK: retry next cycle
+                port.head_retries += 1;
+                if port
+                    .retry
+                    .max_retries
+                    .is_some_and(|max| port.head_retries > max)
+                {
+                    // Bounded retry exhausted: abandon the head so the
+                    // port drains instead of wedging; the next event may
+                    // still submit this cycle.
+                    port.rejected.push(ev);
+                    port.events.pop_front();
+                    port.head_retries = 0;
+                    port.head_ready_at = 0;
+                    continue;
+                }
+                port.head_ready_at = now + port.retry.delay(port.head_retries);
+                break; // head-of-line NACK: retry after the backoff
             }
         }
         mc.step_into(cycle, completions, obs);
     }
-    !(events.is_empty() && mc.is_idle())
+    !(port.events.is_empty() && mc.is_idle())
 }
 
 impl Shard for ChannelShard {
@@ -186,7 +286,7 @@ impl Shard for ChannelShard {
         match &mut self.obs {
             Some(obs) => drive(
                 &mut self.mc,
-                &mut self.events,
+                &mut self.port,
                 &mut self.completions,
                 obs,
                 self.fast,
@@ -195,7 +295,7 @@ impl Shard for ChannelShard {
             ),
             None => drive(
                 &mut self.mc,
-                &mut self.events,
+                &mut self.port,
                 &mut self.completions,
                 &mut NullObserver,
                 self.fast,
@@ -224,6 +324,9 @@ pub struct EngineReport {
     /// Events still unsubmitted when the run stopped (0 iff the schedule
     /// fully drained within `max_cycles`).
     pub unsubmitted: usize,
+    /// Requests abandoned per channel after exhausting the retry policy
+    /// (always empty under [`RetryPolicy::immediate`]).
+    pub rejected: Vec<Vec<SubmitEvent>>,
     /// Controller cycles actually simulated, summed over channels.
     /// Diagnostic only: differs between fast-forward and reference runs
     /// even though every semantic field is bit-identical.
@@ -270,9 +373,18 @@ fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<Channel
         if let Some(cap) = spec.log_capacity {
             mc.enable_command_log(cap);
         }
+        if let Some(plan) = &spec.fault_plan {
+            mc.set_fault_plan(&plan.salted(ch as u64));
+        }
         shards.push(ChannelShard {
             mc,
-            events: VecDeque::new(),
+            port: SubmitPort {
+                events: VecDeque::new(),
+                retry: spec.retry,
+                head_retries: 0,
+                head_ready_at: 0,
+                rejected: Vec::new(),
+            },
             completions: Vec::new(),
             obs: spec
                 .event_capacity
@@ -289,6 +401,7 @@ fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<Channel
         let (ch, local) =
             MultiChannelController::localize(spec.config.line_bytes, spec.num_channels, ev.phys);
         shards[ch]
+            .port
             .events
             .push_back(SubmitEvent { phys: local, ..*ev });
     }
@@ -302,6 +415,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
     let mut command_logs = Vec::new();
     let mut bus_busy_cycles = 0;
     let mut unsubmitted = 0;
+    let mut rejected = Vec::with_capacity(shards.len());
     let mut stepped_cycles = 0;
     let mut skipped_cycles = 0;
     let mut observations = spec.event_capacity.map(|_| Observations::default());
@@ -318,9 +432,12 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
             agg.row_hits += s.row_hits;
             agg.row_closed += s.row_closed;
             agg.row_conflicts += s.row_conflicts;
+            agg.requests_dropped += s.requests_dropped;
+            agg.starvations += s.starvations;
         }
         bus_busy_cycles += shard.mc.dram().bus_busy_cycles();
-        unsubmitted += shard.events.len();
+        unsubmitted += shard.port.events.len();
+        rejected.push(shard.port.rejected);
         stepped_cycles += shard.mc.stepped_cycles();
         skipped_cycles += shard.mc.skipped_cycles();
         if let Some(log) = shard.mc.command_log() {
@@ -342,6 +459,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         command_logs,
         bus_busy_cycles,
         unsubmitted,
+        rejected,
         stepped_cycles,
         skipped_cycles,
         observations,
@@ -460,6 +578,73 @@ pub fn interference_workload(
                     kind,
                     phys: rng.next_below(1 << 24) * 64,
                 });
+            }
+        }
+    }
+    events
+}
+
+/// Generates a deterministic *starvation-adversarial* schedule for
+/// differential QoS tests: threads `1..num_threads` stream row-buffer
+/// hits into a small set of shared banks at high intensity (each
+/// aggressor camps on one row of one bank), while thread 0 — the victim —
+/// occasionally reads a *different* row of the same banks. Under FR-FCFS
+/// the aggressors' ready CAS commands chain ahead of the victim's row
+/// miss indefinitely; FQ-VFTF's priority-inversion bound (`x = tRAS`)
+/// caps the chaining and bounds the victim's delay.
+///
+/// Addresses are encoded for `geometry` with 64-byte lines. Intended for
+/// single-channel engine specs (multi-channel routing would scatter the
+/// carefully aimed bank conflicts).
+pub fn adversarial_workload(
+    geometry: &Geometry,
+    num_threads: u32,
+    cycles: u64,
+    seed: u64,
+) -> Vec<SubmitEvent> {
+    assert!(num_threads >= 2, "need a victim and at least one aggressor");
+    let map = AddressMap::new(*geometry, 64);
+    let shared_banks = geometry.banks.min(2);
+    let mut rng = SimRng::new(seed);
+    let mut events = Vec::new();
+    let mut agg_col = vec![0u32; num_threads as usize];
+    let mut victim_col = 0u32;
+    for c in 1..=cycles {
+        for t in 0..num_threads {
+            if t == 0 {
+                // Victim: sparse reads to a row the aggressors never open.
+                if rng.chance(0.02) {
+                    let bank = victim_col % shared_banks;
+                    events.push(SubmitEvent {
+                        at: DramCycle::new(c),
+                        thread: ThreadId::new(0),
+                        kind: RequestKind::Read,
+                        phys: map.encode(DramAddress {
+                            rank: RankId::new(0),
+                            bank: BankId::new(bank),
+                            row: RowId::new(997),
+                            col: ColId::new(victim_col % 64),
+                        }),
+                    });
+                    victim_col = victim_col.wrapping_add(1);
+                }
+            } else if rng.chance(0.9) {
+                // Aggressor: march columns across one hot row of one bank
+                // so a ready CAS is (almost) always available.
+                let bank = (t - 1) % shared_banks;
+                let col = agg_col[t as usize];
+                events.push(SubmitEvent {
+                    at: DramCycle::new(c),
+                    thread: ThreadId::new(t),
+                    kind: RequestKind::Read,
+                    phys: map.encode(DramAddress {
+                        rank: RankId::new(0),
+                        bank: BankId::new(bank),
+                        row: RowId::new(100 + bank),
+                        col: ColId::new(col % 64),
+                    }),
+                });
+                agg_col[t as usize] = col.wrapping_add(1);
             }
         }
     }

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use crate::config::McConfig;
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
-        interference_workload, simulate_parallel, simulate_serial, synthetic_workload,
-        EngineReport, EngineSpec, SubmitEvent,
+        adversarial_workload, interference_workload, simulate_parallel, simulate_serial,
+        synthetic_workload, EngineReport, EngineSpec, RetryPolicy, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
     pub use crate::policy::{InversionBound, Priority, RowPolicy, SchedulerKind, VftBinding};

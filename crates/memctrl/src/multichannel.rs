@@ -25,6 +25,7 @@ use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{EventRing, MetricsSink, NullObserver, TracingObserver};
 use fqms_sim::clock::{DramCycle, NextEvent};
+use fqms_sim::fault::FaultPlan;
 
 /// A memory system with `N` line-interleaved channels, each with its own
 /// scheduler and VTMS state.
@@ -148,6 +149,16 @@ impl MultiChannelController {
         let ch = (line % num_channels as u64) as usize;
         let local = (line / num_channels as u64) * line_bytes + phys % line_bytes;
         (ch, local)
+    }
+
+    /// Attaches a deterministic fault plan, salted per channel so channels
+    /// draw independent episode timelines from the same plan (matching the
+    /// sharded engine's per-channel salting). Must be called before the
+    /// first step; an empty plan leaves every channel unfaulted.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for (ch, mc) in self.channels.iter_mut().enumerate() {
+            mc.set_fault_plan(&plan.salted(ch as u64));
+        }
     }
 
     /// Enables command-trace logging on every channel, each retaining the
@@ -318,6 +329,8 @@ impl MultiChannelController {
             agg.row_hits += s.row_hits;
             agg.row_closed += s.row_closed;
             agg.row_conflicts += s.row_conflicts;
+            agg.requests_dropped += s.requests_dropped;
+            agg.starvations += s.starvations;
         }
         agg
     }

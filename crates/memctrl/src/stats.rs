@@ -25,6 +25,10 @@ pub struct ThreadStats {
     pub row_closed: u64,
     /// CAS commands that needed precharge + activate (bank conflict).
     pub row_conflicts: u64,
+    /// Accepted requests removed by fault injection and never serviced.
+    pub requests_dropped: u64,
+    /// Starvation-watchdog firings (one per detected stall episode).
+    pub starvations: u64,
 }
 
 impl ThreadStats {

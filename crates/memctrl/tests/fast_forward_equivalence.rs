@@ -55,6 +55,10 @@ fn assert_semantic_eq(fast: &EngineReport, slow: &EngineReport, label: &str) {
         "{label}: drain state diverged"
     );
     assert_eq!(
+        fast.rejected, slow.rejected,
+        "{label}: abandoned submissions diverged"
+    );
+    assert_eq!(
         fast.observations, slow.observations,
         "{label}: observed event streams diverged"
     );

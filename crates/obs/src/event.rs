@@ -9,14 +9,17 @@
 //! DESIGN.md).
 
 use fqms_dram::command::CommandKind;
+use fqms_sim::fault::FaultKind;
 use std::collections::VecDeque;
 
 /// One observable scheduler occurrence, stamped with its DRAM cycle.
 ///
 /// Within a cycle, events are emitted in simulation order: completions
-/// drained first, then admission events, then scheduling events
-/// ([`Event::VftBound`] / [`Event::InversionLock`]), then the issued
-/// command, then write completions (writes complete at CAS issue).
+/// drained first, then fault and watchdog events ([`Event::FaultInjected`]
+/// / [`Event::RequestDropped`] / [`Event::StarvationDetected`]), then
+/// admission events, then scheduling events ([`Event::VftBound`] /
+/// [`Event::InversionLock`]), then the issued command, then write
+/// completions (writes complete at CAS issue).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// A request was admitted into its bank queue.
@@ -103,6 +106,44 @@ pub enum Event {
         /// Payload size in bytes (one cache line).
         bytes: u64,
     },
+    /// A fault episode activated (deterministic injection from a
+    /// `fqms_sim::fault::FaultPlan`). Emitted once per episode, on its
+    /// first active cycle.
+    FaultInjected {
+        /// Activation cycle.
+        cycle: u64,
+        /// The fault class that became active.
+        kind: FaultKind,
+        /// One past the episode's last active cycle (equal to `cycle + 1`
+        /// for point events such as request drops).
+        until: u64,
+        /// Victim global bank index, for bank-scoped faults.
+        bank: Option<u32>,
+    },
+    /// A queued request was deterministically dropped by fault injection
+    /// and will never complete.
+    RequestDropped {
+        /// Drop cycle.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// Request id.
+        id: u64,
+        /// True for writebacks.
+        is_write: bool,
+    },
+    /// The per-thread starvation watchdog fired: the thread has pending
+    /// work but made no progress (no admission, no completion) for at
+    /// least the configured threshold. Emitted once per stall episode —
+    /// the watchdog re-arms when the thread next makes progress.
+    StarvationDetected {
+        /// Detection cycle.
+        cycle: u64,
+        /// Starved thread index.
+        thread: u32,
+        /// Cycles since the thread last made progress.
+        stalled_for: u64,
+    },
 }
 
 impl Event {
@@ -114,7 +155,10 @@ impl Event {
             | Event::VftBound { cycle, .. }
             | Event::InversionLock { cycle, .. }
             | Event::CommandIssued { cycle, .. }
-            | Event::Completed { cycle, .. } => cycle,
+            | Event::Completed { cycle, .. }
+            | Event::FaultInjected { cycle, .. }
+            | Event::RequestDropped { cycle, .. }
+            | Event::StarvationDetected { cycle, .. } => cycle,
         }
     }
 }
@@ -291,6 +335,23 @@ mod tests {
                 is_write: false,
                 latency: 15,
                 bytes: 64,
+            },
+            Event::FaultInjected {
+                cycle: 7,
+                kind: FaultKind::NackStorm,
+                until: 12,
+                bank: None,
+            },
+            Event::RequestDropped {
+                cycle: 8,
+                thread: 0,
+                id: 0,
+                is_write: false,
+            },
+            Event::StarvationDetected {
+                cycle: 9,
+                thread: 0,
+                stalled_for: 4_000,
             },
         ];
         for (i, e) in events.iter().enumerate() {

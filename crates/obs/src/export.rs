@@ -11,7 +11,7 @@ use fqms_sim::stats::Log2Histogram;
 use std::fmt::Write as _;
 
 /// Column header for [`metrics_tsv`] rows.
-pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tread_lat_hist";
+pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\tread_lat_hist";
 
 fn histogram_cell(h: &Log2Histogram) -> String {
     if h.count() == 0 {
@@ -35,7 +35,7 @@ fn histogram_cell(h: &Log2Histogram) -> String {
 
 fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> String {
     format!(
-        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{hist}",
+        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{drops}\t{starved}\t{hist}",
         reads = t.reads_completed,
         writes = t.writes_completed,
         nacks = t.nacks,
@@ -49,6 +49,8 @@ fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> Str
         qd_max = t.queue_depth_max,
         drift_mean = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.mean() },
         drift_max = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
+        drops = t.requests_dropped,
+        starved = t.starvations,
         hist = histogram_cell(&t.read_latency),
     )
 }
@@ -73,10 +75,11 @@ pub fn metrics_tsv(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
     // gauges are the cross-thread merge.
     let _ = writeln!(
         out,
-        "{row}\t# commands={cmds} inversion_locks={locks}",
+        "{row}\t# commands={cmds} inversion_locks={locks} faults={faults}",
         row = thread_row(label, scheduler, "all", &totals),
         cmds = sink.commands_issued,
         locks = sink.inversion_locks,
+        faults = sink.faults_injected,
     );
     out
 }
@@ -120,7 +123,8 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
             "\"read_latency\":{{\"mean\":{:.6},\"p50\":{},\"p95\":{},\"max\":{},\"log2_buckets\":{}}},",
             "\"write_latency\":{{\"mean\":{:.6},\"log2_buckets\":{}}},",
             "\"queue_depth\":{{\"mean\":{:.6},\"max\":{}}},",
-            "\"vft_drift\":{{\"count\":{},\"mean\":{:.6},\"max\":{:.6}}}}}"
+            "\"vft_drift\":{{\"count\":{},\"mean\":{:.6},\"max\":{:.6}}},",
+            "\"drops\":{},\"starved\":{}}}"
         ),
         thread,
         t.reads_completed,
@@ -139,6 +143,8 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
         t.vft_drift.count(),
         if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.mean() },
         if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
+        t.requests_dropped,
+        t.starvations,
     )
 }
 
@@ -146,11 +152,12 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
 pub fn metrics_json(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
     let threads: Vec<String> = sink.iter().map(|(i, t)| thread_json(i, t)).collect();
     format!(
-        "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},\"inversion_locks\":{},\"threads\":[{}]}}",
+        "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},\"inversion_locks\":{},\"faults_injected\":{},\"threads\":[{}]}}",
         json_escape(label),
         json_escape(scheduler),
         sink.commands_issued,
         sink.inversion_locks,
+        sink.faults_injected,
         threads.join(",")
     )
 }
@@ -194,7 +201,7 @@ mod tests {
         assert!(rows[0].starts_with("mix\tfq-vftf\t0\t2\t0\t0\t128\t"));
         assert!(rows[1].starts_with("mix\tfq-vftf\t1\t1\t0\t1\t64\t"));
         assert!(rows[2].contains("\tall\t3\t0\t1\t192\t"));
-        assert!(rows[2].contains("# commands=0 inversion_locks=0"));
+        assert!(rows[2].contains("# commands=0 inversion_locks=0 faults=0"));
         // Header column count matches row column count (summary row adds a
         // trailing comment column).
         let header_cols = TSV_HEADER.split('\t').count();
@@ -254,6 +261,42 @@ mod tests {
         let close = json.matches('}').count();
         assert_eq!(open, close);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fault_columns_round_trip_through_both_exporters() {
+        let mut sink = sample_sink();
+        sink.observe(&Event::RequestDropped {
+            cycle: 50,
+            thread: 1,
+            id: 9,
+            is_write: false,
+        });
+        sink.observe(&Event::StarvationDetected {
+            cycle: 60,
+            thread: 0,
+            stalled_for: 4_096,
+        });
+        sink.observe(&Event::FaultInjected {
+            cycle: 40,
+            kind: fqms_sim::fault::FaultKind::RequestDrop,
+            until: 41,
+            bank: None,
+        });
+        let tsv = metrics_tsv("m", "s", &sink);
+        let drops_col = TSV_HEADER.split('\t').position(|c| c == "drops").unwrap();
+        let rows: Vec<Vec<&str>> = tsv.lines().map(|l| l.split('\t').collect()).collect();
+        assert_eq!(rows[0][drops_col], "0");
+        assert_eq!(rows[0][drops_col + 1], "1"); // thread 0 starved once
+        assert_eq!(rows[1][drops_col], "1"); // thread 1 dropped once
+        assert_eq!(rows[1][drops_col + 1], "0");
+        assert_eq!(rows[2][drops_col], "1"); // "all" row merges both
+        assert_eq!(rows[2][drops_col + 1], "1");
+        assert!(tsv.contains("faults=1"));
+        let json = metrics_json("m", "s", &sink);
+        assert!(json.contains("\"faults_injected\":1"));
+        assert!(json.contains("\"drops\":1,\"starved\":0"));
+        assert!(json.contains("\"drops\":0,\"starved\":1"));
     }
 
     #[test]

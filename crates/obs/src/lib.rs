@@ -3,18 +3,18 @@
 //! A structured, deterministic event-tracing and metrics subsystem for
 //! the fair-queuing memory-system model:
 //!
-//! * [`event`] — the flat [`Event`](event::Event) vocabulary (request
+//! * [`event`] — the flat [`Event`] vocabulary (request
 //!   arrival/NACK, VFT binding, inversion-bound trips, SDRAM command
-//!   issue, completion) and the bounded [`EventRing`](event::EventRing)
+//!   issue, completion) and the bounded [`EventRing`]
 //!   that retains the most recent events per channel.
-//! * [`observer`] — the [`Observer`](observer::Observer) trait with a
-//!   `const ENABLED` flag. [`NullObserver`](observer::NullObserver)
+//! * [`observer`] — the [`Observer`] trait with a
+//!   `const ENABLED` flag. [`NullObserver`]
 //!   carries `ENABLED = false`, so every `if O::ENABLED { ... }` guard in
 //!   the controller folds away and the observed code paths compile to the
 //!   unobserved machine code: observability is free unless you ask for it.
-//!   [`TracingObserver`](observer::TracingObserver) records events and
+//!   [`TracingObserver`] records events and
 //!   folds them into metrics.
-//! * [`metrics`] — per-thread [`MetricsSink`](metrics::MetricsSink)s:
+//! * [`metrics`] — per-thread [`MetricsSink`]s:
 //!   log2 latency histograms, bandwidth counters, queue-depth gauges, and
 //!   VTMS virtual-vs-real-time drift. Sinks merge deterministically in
 //!   channel-index order, exactly like the controller's stats, so serial
@@ -26,12 +26,12 @@
 //!
 //! ## Determinism contract
 //!
-//! One [`EventRing`](event::EventRing) describes one channel. Streams from
+//! One [`EventRing`] describes one channel. Streams from
 //! different channels are never interleaved into a single totally-ordered
 //! log — cross-channel event order is an artifact of scheduling, not of
 //! the simulated machine. Compositions keep `Vec<EventRing>` indexed by
 //! channel and merge metrics in channel-index order
-//! ([`Observations`](observer::Observations)); under those rules the
+//! ([`Observations`]); under those rules the
 //! parallel engine's observations are bit-identical to serial execution.
 
 #![forbid(unsafe_code)]

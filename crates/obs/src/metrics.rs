@@ -36,6 +36,10 @@ pub struct ThreadSink {
     /// Distribution of `vft - cycle` at VFT-binding time: virtual-time
     /// lead over real time, in cycles.
     pub vft_drift: Summary,
+    /// Requests dropped by fault injection (never completed).
+    pub requests_dropped: u64,
+    /// Starvation-watchdog firings (one per detected stall episode).
+    pub starvations: u64,
 }
 
 impl ThreadSink {
@@ -66,6 +70,8 @@ impl ThreadSink {
         self.queue_depth_samples += other.queue_depth_samples;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.vft_drift.merge(&other.vft_drift);
+        self.requests_dropped += other.requests_dropped;
+        self.starvations += other.starvations;
     }
 }
 
@@ -79,6 +85,8 @@ pub struct MetricsSink {
     /// Priority-inversion-bound trips (FQ bank scheduler lock
     /// engagements).
     pub inversion_locks: u64,
+    /// Fault episodes injected on the channel (all classes).
+    pub faults_injected: u64,
 }
 
 impl MetricsSink {
@@ -89,6 +97,7 @@ impl MetricsSink {
             per_thread: (0..num_threads).map(|_| ThreadSink::default()).collect(),
             commands_issued: 0,
             inversion_locks: 0,
+            faults_injected: 0,
         }
     }
 
@@ -160,6 +169,13 @@ impl MetricsSink {
                     t.read_latency.record(latency);
                 }
             }
+            Event::FaultInjected { .. } => self.faults_injected += 1,
+            Event::RequestDropped { thread, .. } => {
+                self.thread_mut(thread).requests_dropped += 1;
+            }
+            Event::StarvationDetected { thread, .. } => {
+                self.thread_mut(thread).starvations += 1;
+            }
         }
     }
 
@@ -176,6 +192,7 @@ impl MetricsSink {
         }
         self.commands_issued += other.commands_issued;
         self.inversion_locks += other.inversion_locks;
+        self.faults_injected += other.faults_injected;
     }
 
     /// Zeroes every aggregate, keeping the thread count.

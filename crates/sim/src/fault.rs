@@ -1,0 +1,496 @@
+//! Deterministic fault-injection plans and their compiled timelines.
+//!
+//! A [`FaultPlan`] is a declarative description of adversarial conditions
+//! — NACK storms at the admission port, transient bank-busy stalls,
+//! refresh-deadline pressure, and request drops — expressed as seeded
+//! stochastic processes over cycle windows. A [`FaultInjector`] *compiles*
+//! the plan into a sorted per-kind timeline of [`Episode`]s up front, using
+//! one forked [`SimRng`] stream per [`FaultSpec`]. All randomness is spent
+//! at compile time: runtime queries are cursor walks over the precomputed
+//! timeline and draw nothing, so
+//!
+//! * an empty plan consumes zero random numbers and perturbs nothing — a
+//!   faulted build with no plan is bit-identical to the pre-fault code;
+//! * the injected schedule is a pure function of `(plan, seed)`, identical
+//!   under serial, parallel, and event-driven (fast-forward) execution;
+//! * [`FaultInjector::next_boundary`] exposes every future episode edge,
+//!   so an event-driven simulator can refuse to skip over the cycle where
+//!   a fault begins or ends (the fast-forward equivalence contract).
+//!
+//! The consumer (the memory controller in `fqms-memctrl`) decides what an
+//! episode of each kind *means*; this module only decides *when* faults
+//! happen, deterministically.
+
+use crate::rng::SimRng;
+
+/// The class of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The admission port rejects every submission for the episode's
+    /// duration, as if the transaction buffers were full.
+    NackStorm,
+    /// One bank (chosen by the episode's selector) is held busy for the
+    /// episode's duration: its bank scheduler proposes nothing.
+    BankStall,
+    /// Refresh is forced urgent for the episode's duration, starving
+    /// normal traffic of the channel (a refresh-deadline storm).
+    RefreshPressure,
+    /// One queued request (chosen by the episode's selector) is removed
+    /// and never serviced. A point event: the duration is ignored.
+    RequestDrop,
+}
+
+impl FaultKind {
+    /// All fault classes, in timeline-index order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::NackStorm,
+        FaultKind::BankStall,
+        FaultKind::RefreshPressure,
+        FaultKind::RequestDrop,
+    ];
+
+    /// Stable lowercase name (used in figure output and manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::NackStorm => "nack_storm",
+            FaultKind::BankStall => "bank_stall",
+            FaultKind::RefreshPressure => "refresh_pressure",
+            FaultKind::RequestDrop => "request_drop",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::NackStorm => 0,
+            FaultKind::BankStall => 1,
+            FaultKind::RefreshPressure => 2,
+            FaultKind::RequestDrop => 3,
+        }
+    }
+}
+
+/// A half-open cycle window `[start, end)` a fault process runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First cycle of the window.
+    pub start: u64,
+    /// One past the last cycle of the window.
+    pub end: u64,
+}
+
+impl FaultWindow {
+    /// Creates a window over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "fault window [{start}, {end}) is empty");
+        FaultWindow { start, end }
+    }
+
+    /// Window length in cycles.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Always false: empty windows are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One stochastic fault process: a kind, a window, an episode-start rate,
+/// and an episode duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// When the process is live.
+    pub window: FaultWindow,
+    /// Expected episode starts per cycle of gap (geometric inter-arrival
+    /// sampling). Must lie in `(0, 1]`.
+    pub rate: f64,
+    /// Cycles each episode lasts (clamped to at least 1, truncated at the
+    /// window end). Ignored for [`FaultKind::RequestDrop`], which is a
+    /// point event.
+    pub duration: u64,
+}
+
+/// A seeded, declarative fault schedule: zero or more [`FaultSpec`]s
+/// compiled by [`FaultInjector::new`].
+///
+/// # Example
+///
+/// ```
+/// use fqms_sim::fault::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
+///
+/// let plan = FaultPlan::new(7).with(FaultKind::NackStorm, FaultWindow::new(100, 5_000), 0.01, 40);
+/// let mut inj = FaultInjector::new(&plan);
+/// // Runtime queries draw no randomness: two injectors from the same plan
+/// // answer identically.
+/// let mut twin = FaultInjector::new(&plan);
+/// for cycle in 0..5_000 {
+///     assert_eq!(
+///         inj.active(FaultKind::NackStorm, cycle).is_some(),
+///         twin.active(FaultKind::NackStorm, cycle).is_some(),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Master seed for the plan's forked per-spec streams.
+    pub seed: u64,
+    /// The fault processes to compile.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan: compiles to an injector that never fires and draws
+    /// no randomness.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with the given seed and no specs yet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends one fault process (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `(0, 1]` (the geometric sampler's
+    /// domain) or the window is empty.
+    pub fn with(mut self, kind: FaultKind, window: FaultWindow, rate: f64, duration: u64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "fault rate must be in (0, 1], got {rate}"
+        );
+        self.specs.push(FaultSpec {
+            kind,
+            window,
+            rate,
+            duration,
+        });
+        self
+    }
+
+    /// True if the plan has no fault processes.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The same specs under a salted seed. Multi-channel compositions
+    /// salt by channel index so channels draw distinct (but still fully
+    /// deterministic) episode timelines.
+    pub fn salted(&self, salt: u64) -> FaultPlan {
+        FaultPlan {
+            seed: self
+                .seed
+                .wrapping_add(salt.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            specs: self.specs.clone(),
+        }
+    }
+}
+
+/// One compiled fault occurrence: active over `[start, end)` with a
+/// pre-drawn `selector` the consumer uses for victim choice (which bank
+/// to stall, which queued request to drop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// First active cycle.
+    pub start: u64,
+    /// One past the last active cycle.
+    pub end: u64,
+    /// Pre-drawn uniform selector for deterministic victim choice.
+    pub selector: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Cursor {
+    /// Index of the first episode whose `end` is still in the future.
+    at: usize,
+    /// True once the current episode's activation edge has been reported.
+    entered: bool,
+}
+
+/// A [`FaultPlan`] compiled to per-kind episode timelines with monotonic
+/// query cursors.
+///
+/// All queries take a *non-decreasing* `now` (per kind); the cursor only
+/// moves forward. [`FaultInjector::next_boundary`] is read-only and safe
+/// to call from scheduling-bound code (`next_event_cycle`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    timelines: [Vec<Episode>; 4],
+    cursors: [Cursor; 4],
+    injected: [u64; 4],
+}
+
+impl FaultInjector {
+    /// Compiles `plan` into sorted per-kind timelines. Spec `i` draws from
+    /// `SimRng::new(plan.seed).fork(i)`: episode gaps are geometric in the
+    /// spec's rate, and each episode pre-draws its selector. Episodes of
+    /// one spec never overlap; specs of the same kind are merged and
+    /// sorted by start cycle.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut timelines: [Vec<Episode>; 4] = Default::default();
+        let mut base = SimRng::new(plan.seed);
+        for (i, spec) in plan.specs.iter().enumerate() {
+            let mut rng = base.fork(i as u64);
+            let duration = spec.duration.max(1);
+            let mut cycle = spec.window.start;
+            loop {
+                let gap = rng.geometric(spec.rate).saturating_add(1);
+                cycle = cycle.saturating_add(gap);
+                if cycle >= spec.window.end {
+                    break;
+                }
+                let end = cycle.saturating_add(duration).min(spec.window.end);
+                timelines[spec.kind.index()].push(Episode {
+                    start: cycle,
+                    end,
+                    selector: rng.next_u64(),
+                });
+                cycle = end;
+            }
+        }
+        for timeline in &mut timelines {
+            timeline.sort_by_key(|e| (e.start, e.end, e.selector));
+        }
+        FaultInjector {
+            timelines,
+            cursors: [Cursor::default(); 4],
+            injected: [0; 4],
+        }
+    }
+
+    /// True if no episode of any kind was compiled.
+    pub fn is_empty(&self) -> bool {
+        self.timelines.iter().all(Vec::is_empty)
+    }
+
+    /// Total episodes compiled for `kind` (the plan's whole horizon).
+    pub fn scheduled(&self, kind: FaultKind) -> usize {
+        self.timelines[kind.index()].len()
+    }
+
+    /// Episodes of `kind` whose activation edge has been observed so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Advances the kind's cursor past episodes that ended at or before
+    /// `now`.
+    fn advance(&mut self, kind: FaultKind, now: u64) {
+        let k = kind.index();
+        let timeline = &self.timelines[k];
+        let cursor = &mut self.cursors[k];
+        while cursor.at < timeline.len() && timeline[cursor.at].end <= now {
+            cursor.at += 1;
+            cursor.entered = false;
+        }
+    }
+
+    /// Level query: the episode of `kind` active at `now`, if any. `now`
+    /// must be non-decreasing across calls for the same kind.
+    pub fn active(&mut self, kind: FaultKind, now: u64) -> Option<Episode> {
+        self.advance(kind, now);
+        let k = kind.index();
+        match self.timelines[k].get(self.cursors[k].at) {
+            Some(e) if e.start <= now => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Edge query: like [`FaultInjector::active`], but reports each
+    /// episode exactly once (on the first query at or after its start)
+    /// and counts it as injected.
+    pub fn activated(&mut self, kind: FaultKind, now: u64) -> Option<Episode> {
+        let episode = self.active(kind, now)?;
+        let cursor = &mut self.cursors[kind.index()];
+        if cursor.entered {
+            return None;
+        }
+        cursor.entered = true;
+        self.injected[kind.index()] += 1;
+        Some(episode)
+    }
+
+    /// Drains every not-yet-consumed episode of `kind` with `start <=
+    /// now` into `out` (selectors only), consuming and counting them.
+    /// The point-event query for [`FaultKind::RequestDrop`].
+    pub fn take_due(&mut self, kind: FaultKind, now: u64, out: &mut Vec<u64>) {
+        let k = kind.index();
+        let timeline = &self.timelines[k];
+        let cursor = &mut self.cursors[k];
+        while cursor.at < timeline.len() && timeline[cursor.at].start <= now {
+            out.push(timeline[cursor.at].selector);
+            cursor.at += 1;
+            cursor.entered = false;
+            self.injected[k] += 1;
+        }
+    }
+
+    /// The earliest episode edge (start or end, any kind) strictly after
+    /// `now`, from the current cursor positions. Read-only: safe to call
+    /// from `next_event_cycle`-style planning code. Returns `None` when
+    /// no future edge exists.
+    pub fn next_boundary(&self, now: u64) -> Option<u64> {
+        let mut earliest: Option<u64> = None;
+        let mut consider = |edge: u64| {
+            if edge > now && earliest.is_none_or(|e| edge < e) {
+                earliest = Some(edge);
+            }
+        };
+        for (k, timeline) in self.timelines.iter().enumerate() {
+            for episode in &timeline[self.cursors[k].at.min(timeline.len())..] {
+                if episode.start > now {
+                    consider(episode.start);
+                    break;
+                }
+                if episode.end > now {
+                    consider(episode.start.max(now)); // already active
+                    consider(episode.end);
+                    break;
+                }
+                // Stale entry (ended, cursor not yet advanced): keep
+                // scanning for the first future edge of this kind.
+            }
+        }
+        earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed).with(FaultKind::NackStorm, FaultWindow::new(10, 2_000), 0.02, 25)
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_inert_injector() {
+        let mut inj = FaultInjector::new(&FaultPlan::none());
+        assert!(inj.is_empty());
+        for kind in FaultKind::ALL {
+            assert!(inj.active(kind, 1_000).is_none());
+            assert_eq!(inj.injected(kind), 0);
+        }
+        assert_eq!(inj.next_boundary(0), None);
+    }
+
+    #[test]
+    fn compilation_is_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::new(&storm_plan(3));
+        let b = FaultInjector::new(&storm_plan(3));
+        let c = FaultInjector::new(&storm_plan(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.scheduled(FaultKind::NackStorm) > 5);
+    }
+
+    #[test]
+    fn episodes_sit_inside_their_window_and_never_overlap() {
+        let plan = storm_plan(11);
+        let inj = FaultInjector::new(&plan);
+        let episodes = &inj.timelines[FaultKind::NackStorm.index()];
+        let w = plan.specs[0].window;
+        for pair in episodes.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "episodes overlap: {pair:?}");
+        }
+        for e in episodes {
+            assert!(e.start > w.start && e.end <= w.end, "escaped window: {e:?}");
+            assert!(e.end - e.start <= 25);
+        }
+    }
+
+    #[test]
+    fn level_and_edge_queries_agree() {
+        let mut inj = FaultInjector::new(&storm_plan(5));
+        let twin = FaultInjector::new(&storm_plan(5));
+        let episodes = twin.timelines[FaultKind::NackStorm.index()].clone();
+        let mut edges = 0u64;
+        for now in 0..2_100 {
+            let expected = episodes.iter().find(|e| e.start <= now && now < e.end);
+            let level = inj.active(FaultKind::NackStorm, now);
+            assert_eq!(level, expected.copied(), "cycle {now}");
+            if inj.activated(FaultKind::NackStorm, now).is_some() {
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, episodes.len() as u64);
+        assert_eq!(inj.injected(FaultKind::NackStorm), edges);
+    }
+
+    #[test]
+    fn take_due_consumes_point_events_once() {
+        let plan = FaultPlan::new(9).with(
+            FaultKind::RequestDrop,
+            FaultWindow::new(0, 10_000),
+            0.005,
+            1,
+        );
+        let mut inj = FaultInjector::new(&plan);
+        let total = inj.scheduled(FaultKind::RequestDrop);
+        assert!(total > 10);
+        let mut seen = Vec::new();
+        for now in (0..12_000).step_by(37) {
+            inj.take_due(FaultKind::RequestDrop, now, &mut seen);
+        }
+        assert_eq!(seen.len(), total);
+        let mut again = Vec::new();
+        inj.take_due(FaultKind::RequestDrop, 20_000, &mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn next_boundary_names_every_edge() {
+        let plan = storm_plan(21);
+        let mut inj = FaultInjector::new(&plan);
+        let episodes = inj.timelines[FaultKind::NackStorm.index()].clone();
+        let mut expected: Vec<u64> = episodes.iter().flat_map(|e| [e.start, e.end]).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        // Walk boundary-to-boundary: every hop lands exactly on the next
+        // compiled edge (keeping the level cursor in step, as the
+        // controller does).
+        let mut now = 0;
+        let mut seen = Vec::new();
+        while let Some(edge) = inj.next_boundary(now) {
+            seen.push(edge);
+            now = edge;
+            let _ = inj.active(FaultKind::NackStorm, now);
+        }
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn salted_plans_differ_but_stay_deterministic() {
+        let plan = storm_plan(2);
+        let a0 = FaultInjector::new(&plan.salted(0));
+        let a0_again = FaultInjector::new(&plan.salted(0));
+        let a1 = FaultInjector::new(&plan.salted(1));
+        assert_eq!(a0, a0_again);
+        assert_ne!(a0, a1);
+        assert_eq!(plan.salted(0).specs, plan.specs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = FaultPlan::new(0).with(FaultKind::BankStall, FaultWindow::new(0, 10), 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        let _ = FaultWindow::new(5, 5);
+    }
+}

@@ -11,7 +11,11 @@
 //!   math (harmonic mean, variance) the paper's evaluation metrics need,
 //! * [`parallel`] — the epoch-barrier shard executor that runs independent
 //!   simulation partitions (e.g. DDR2 channels) across worker threads with
-//!   results bit-identical to a serial run.
+//!   results bit-identical to a serial run,
+//! * [`fault`] — seeded fault plans compiled into deterministic episode
+//!   timelines, so adversarial conditions (NACK storms, bank stalls,
+//!   refresh pressure, request drops) are as reproducible as the happy
+//!   path.
 //!
 //! # Example
 //!
@@ -30,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fault;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{ClockDomains, CpuCycle, DramCycle};
+pub use fault::{Episode, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use parallel::{run_parallel, run_serial, Shard};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Ratio, Summary};

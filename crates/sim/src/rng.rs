@@ -171,7 +171,8 @@ impl CaseRunner {
     }
 
     /// Creates a runner for the named property with default settings
-    /// (seed 2006, case count from [`CaseRunner::default_cases`]).
+    /// (seed 2006; case count 16, widened 8x by the `proptest` feature
+    /// and overridable via `FQMS_CASES`).
     pub fn new(name: &str) -> Self {
         CaseRunner {
             name: name.to_string(),

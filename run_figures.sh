@@ -1,27 +1,122 @@
 #!/bin/bash
-# Regenerates every paper table/figure and the extension studies into results/.
-# FQMS_RUNLEN=quick|standard|full scales the per-run instruction budget.
-# FQMS_SKIP_CI=1 skips the CI preflight (fmt + build + tests).
-set -e
+# Regenerates every paper table/figure and the extension studies into a
+# results directory, with resilient orchestration: failing binaries are
+# retried with capped backoff, failures are recorded in failures.tsv
+# while the sweep carries on (partial results instead of an aborted run),
+# and completed binaries are checkpointed in manifest.tsv so an
+# interrupted sweep resumes exactly where it stopped.
+#
+#   FQMS_RUNLEN=quick|standard|full   per-run instruction budget
+#   FQMS_SEED=<n>                     master seed (default 42)
+#   FQMS_SKIP_CI=1                    skip the CI preflight (fmt+build+tests)
+#   FQMS_RESULTS_DIR=<dir>            output directory (default results)
+#   FQMS_BINS="fig1 fig4 ..."         subset of figure binaries to run
+#   FQMS_MAX_ATTEMPTS=<n>             attempts per binary (default 2)
+#   FQMS_TIMEOUT=<secs>               wall-clock budget per attempt (0 = none)
+#   --resume                          keep the existing manifest and skip
+#                                     binaries already completed with the
+#                                     same seed/runlen; finished outputs are
+#                                     left untouched (bit-identical)
+set -u
 cd "$(dirname "$0")"
 export FQMS_RUNLEN="${FQMS_RUNLEN:-standard}" FQMS_SEED="${FQMS_SEED:-42}"
+RES="${FQMS_RESULTS_DIR:-results}"
+RESUME=0
+for arg in "$@"; do
+  case "$arg" in
+    --resume) RESUME=1 ;;
+    *) echo "run_figures.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 if [ "${FQMS_SKIP_CI:-0}" != "1" ]; then
   echo "=== preflight: ci.sh ==="
-  ./ci.sh
+  ./ci.sh || exit 1
 fi
-mkdir -p results
-BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
+mkdir -p "$RES"
+MANIFEST="$RES/manifest.tsv"
+FAILURES="$RES/failures.tsv"
+if [ "$RESUME" != "1" ] || [ ! -f "$MANIFEST" ]; then
+  : > "$MANIFEST"
+fi
+: > "$FAILURES"
+
+DEFAULT_BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
       ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
-      speedup"
+      faults speedup"
+BINS="${FQMS_BINS:-$DEFAULT_BINS}"
+MAX_ATTEMPTS="${FQMS_MAX_ATTEMPTS:-2}"
+TIMEOUT_S="${FQMS_TIMEOUT:-0}"
 # Header must match fqms_obs::TSV_HEADER (checked by tests/observability.rs).
-SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tread_lat_hist')"
+SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\tread_lat_hist')"
+
+# Build once up front so per-binary attempts measure the run, not the
+# compile, and a broken build aborts before any output is disturbed.
+cargo build --release -q -p fqms-bench || exit 1
+
+# True if the manifest records this binary as completed under the current
+# seed and run length (the checkpoint key for --resume).
+completed() {
+  awk -F'\t' -v b="$1" -v s="$FQMS_SEED" -v r="$FQMS_RUNLEN" \
+    '$1=="ok" && $2==b && $3==s && $4==r {found=1} END {exit !found}' \
+    "$MANIFEST" 2>/dev/null
+}
+
+run_once() {
+  if [ "$TIMEOUT_S" != "0" ] && command -v timeout >/dev/null 2>&1; then
+    FQMS_SIDECAR="$RES/$1.metrics.tsv" timeout "$TIMEOUT_S" \
+      cargo run --release -q -p fqms-bench --bin "$1" \
+      > "$RES/$1.tsv" 2> "$RES/$1.log"
+  else
+    FQMS_SIDECAR="$RES/$1.metrics.tsv" \
+      cargo run --release -q -p fqms-bench --bin "$1" \
+      > "$RES/$1.tsv" 2> "$RES/$1.log"
+  fi
+}
+
+FAILED=0
 for bin in $BINS; do
+  if [ "$RESUME" = "1" ] && completed "$bin"; then
+    echo "=== $bin (checkpointed, skipped) ==="
+    continue
+  fi
   echo "=== $bin ==="
-  FQMS_SIDECAR="results/$bin.metrics.tsv" \
-    cargo run --release -q -p fqms-bench --bin "$bin" > "results/$bin.tsv" 2> "results/$bin.log" || echo "FAILED: $bin"
-  # Every figure run ships a machine-readable metrics sidecar; binaries
-  # that simulate no system (static tables) get a header-only file.
-  [ -f "results/$bin.metrics.tsv" ] || printf '%s\n' "$SIDECAR_HEADER" > "results/$bin.metrics.tsv"
-  echo "done $bin"
+  ok=0
+  backoff=1
+  for attempt in $(seq 1 "$MAX_ATTEMPTS"); do
+    # Sidecars are append-only: each attempt starts from a clean file so
+    # a retried run cannot double-append.
+    rm -f "$RES/$bin.metrics.tsv"
+    run_once "$bin"
+    status=$?
+    if [ "$status" -eq 0 ]; then
+      ok=1
+      break
+    fi
+    echo "attempt $attempt/$MAX_ATTEMPTS failed for $bin (exit $status)" >&2
+    if [ "$attempt" -lt "$MAX_ATTEMPTS" ]; then
+      sleep "$backoff"
+      backoff=$((backoff * 2))
+      [ "$backoff" -gt 8 ] && backoff=8
+    fi
+  done
+  if [ "$ok" = "1" ]; then
+    # Every figure run ships a machine-readable metrics sidecar; binaries
+    # that simulate no system (static tables) get a header-only file.
+    [ -f "$RES/$bin.metrics.tsv" ] || printf '%s\n' "$SIDECAR_HEADER" > "$RES/$bin.metrics.tsv"
+    printf 'ok\t%s\t%s\t%s\n' "$bin" "$FQMS_SEED" "$FQMS_RUNLEN" >> "$MANIFEST"
+    echo "done $bin"
+  else
+    # No half-written figures: a failed binary leaves only its log.
+    rm -f "$RES/$bin.tsv" "$RES/$bin.metrics.tsv"
+    printf 'failed\t%s\t%s\t%s\tattempts=%s\n' \
+      "$bin" "$FQMS_SEED" "$FQMS_RUNLEN" "$MAX_ATTEMPTS" >> "$FAILURES"
+    FAILED=$((FAILED + 1))
+    echo "FAILED: $bin (see $RES/$bin.log)"
+  fi
 done
+
+if [ "$FAILED" -gt 0 ]; then
+  echo "PARTIAL: $FAILED binaries failed, $(grep -c '^ok' "$MANIFEST") checkpointed (see $FAILURES)"
+  exit 1
+fi
 echo "ALL FIGURES DONE"
