@@ -23,7 +23,8 @@ cargo test -q --offline
 echo "=== release: differential + parallel + fast-forward + fault equivalence ==="
 cargo test -q --release --offline -p fqms-memctrl \
   --test differential --test parallel_equivalence \
-  --test fast_forward_equivalence --test fault_differential
+  --test fast_forward_equivalence --test fault_differential \
+  --test checkpoint_differential --test retry_policy
 
 echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ==="
 # Emulate an interrupted sweep deterministically: run a prefix of the
@@ -33,7 +34,8 @@ echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ===
 # bit for bit.
 RESUME_A="$(mktemp -d)"
 RESUME_B="$(mktemp -d)"
-trap 'rm -rf "$RESUME_A" "$RESUME_B"' EXIT
+KILLDIR="$(mktemp -d)"
+trap 'rm -rf "$RESUME_A" "$RESUME_B" "$KILLDIR"' EXIT
 FQMS_SKIP_CI=1 FQMS_RUNLEN=quick FQMS_RESULTS_DIR="$RESUME_A" \
   FQMS_BINS="tables fig1" ./run_figures.sh > /dev/null
 FQMS_SKIP_CI=1 FQMS_RUNLEN=quick FQMS_RESULTS_DIR="$RESUME_A" \
@@ -47,5 +49,42 @@ for f in tables fig1 faults; do
   cmp "$RESUME_A/$f.metrics.tsv" "$RESUME_B/$f.metrics.tsv"
 done
 echo "resume check OK"
+
+echo "=== SIGKILL mid-run + checkpoint resume: bit-identical figures ==="
+# Kill a figure binary with SIGKILL once its first checkpoint lands, then
+# rerun the identical command: the rerun auto-resumes from the snapshot
+# and its outputs (figure TSV and metrics sidecar) must match an
+# uninterrupted reference run bit for bit. The binary is invoked directly
+# (not via `cargo run`) so the SIGKILL hits the simulator itself.
+KR_BIN=./target/release/fig4
+KR_ENV="FQMS_RUNLEN=quick FQMS_SEED=42"
+env $KR_ENV FQMS_SIDECAR="$KILLDIR/ref.metrics.tsv" \
+  "$KR_BIN" > "$KILLDIR/ref.tsv" 2> "$KILLDIR/ref.log"
+mkdir -p "$KILLDIR/ckpt"
+env $KR_ENV FQMS_SIDECAR="$KILLDIR/int.metrics.tsv" \
+  FQMS_CHECKPOINT_DIR="$KILLDIR/ckpt" FQMS_CHECKPOINT_EVERY=5000 \
+  "$KR_BIN" > "$KILLDIR/int.tsv" 2> "$KILLDIR/int.log" &
+KR_PID=$!
+for _ in $(seq 1 500); do
+  [ -n "$(ls -A "$KILLDIR/ckpt" 2>/dev/null)" ] && break
+  kill -0 "$KR_PID" 2>/dev/null || break
+  sleep 0.02
+done
+if kill -9 "$KR_PID" 2>/dev/null; then
+  :
+else
+  echo "warning: $KR_BIN finished before SIGKILL; resume path not exercised"
+fi
+wait "$KR_PID" 2>/dev/null || true
+env $KR_ENV FQMS_SIDECAR="$KILLDIR/int.metrics.tsv" \
+  FQMS_CHECKPOINT_DIR="$KILLDIR/ckpt" FQMS_CHECKPOINT_EVERY=5000 \
+  "$KR_BIN" > "$KILLDIR/int.tsv" 2> "$KILLDIR/int.log"
+grep -q "resumed from checkpoint" "$KILLDIR/int.log" \
+  || echo "warning: rerun found no checkpoint to resume (run too short?)"
+cmp "$KILLDIR/ref.tsv" "$KILLDIR/int.tsv" || {
+  echo "kill-and-resume check FAILED: figure output diverged"; exit 1; }
+cmp "$KILLDIR/ref.metrics.tsv" "$KILLDIR/int.metrics.tsv" || {
+  echo "kill-and-resume check FAILED: metrics sidecar diverged"; exit 1; }
+echo "kill-and-resume check OK"
 
 echo "CI OK"

@@ -174,7 +174,7 @@ fn fast_forward_study(gen_cycles: u64, seed: u64, hw: usize) {
         entries.join(",\n")
     );
     let path = std::env::var("FQMS_BENCH_PR3").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
-    match std::fs::write(&path, json) {
+    match fqms_sim::snapshot::write_atomic(std::path::Path::new(&path), json.as_bytes()) {
         Ok(()) => eprintln!("#bench_pr3_json\t{path}"),
         Err(e) => eprintln!("speedup: cannot write {path}: {e}"),
     }
@@ -249,7 +249,9 @@ fn main() {
 
     // JSON twin of the TSV sidecar (one object per engine config, JSONL).
     if let Some(path) = fqms::sidecar::path() {
-        if let Err(e) = std::fs::write(path.with_extension("json"), sidecar_json.join("\n") + "\n")
+        let body = sidecar_json.join("\n") + "\n";
+        if let Err(e) =
+            fqms_sim::snapshot::write_atomic(&path.with_extension("json"), body.as_bytes())
         {
             eprintln!("speedup: cannot write JSON sidecar: {e}");
         }

@@ -14,17 +14,24 @@
 //! its label and scheduler, so consumers should key on those rather than
 //! on row order.
 //!
+//! Every write replaces the whole file atomically (temp file + rename,
+//! via [`fqms_sim::snapshot::write_atomic`]): a process killed mid-export
+//! leaves either the previous complete sidecar or the new one on disk,
+//! never a torn line. The accumulated content lives in process memory,
+//! which sidecar-sized exports (rows, not events) keep cheap.
+//!
 //! Export failures are reported to stderr and swallowed: observability
 //! must never fail a run.
 
 use fqms_obs::{metrics_tsv, MetricsSink, TSV_HEADER};
-use std::fs::OpenOptions;
-use std::io::Write;
+use fqms_sim::snapshot::write_atomic;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// Sidecar files this process has already started (truncated + headered).
-static STARTED: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+/// Accumulated sidecar content per file this process has written: the
+/// full text (header + all blocks) most recently persisted.
+static CONTENT: Mutex<BTreeMap<PathBuf, String>> = Mutex::new(BTreeMap::new());
 
 /// The sidecar path requested via `FQMS_SIDECAR`, if any (unset or empty
 /// disables sidecar export).
@@ -35,12 +42,14 @@ pub fn path() -> Option<PathBuf> {
     }
 }
 
-/// Appends one labelled block of metric rows to `path`, truncating and
-/// writing the header if this is the process's first write to it.
+/// Appends one labelled block of metric rows to `path` (starting from the
+/// header on the process's first write to it) and atomically replaces the
+/// file with the full accumulated content — a kill at any instant leaves
+/// a complete, parseable sidecar.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from creating or appending to the file.
+/// Propagates I/O errors from writing or renaming the temp file.
 pub fn append_block(
     path: &Path,
     label: &str,
@@ -48,28 +57,21 @@ pub fn append_block(
     sink: &MetricsSink,
 ) -> std::io::Result<()> {
     // Absolutize so different spellings of the same file (relative vs
-    // absolute, leading "./") share one STARTED entry instead of
+    // absolute, leading "./") share one CONTENT entry instead of
     // re-truncating each other's blocks.
     let path = std::path::absolute(path)?;
-    let mut started = STARTED.lock().unwrap_or_else(|e| e.into_inner());
-    let first = !started.contains(&path);
-    let mut file = if first {
-        OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?
-    } else {
-        OpenOptions::new().append(true).open(&path)?
-    };
-    if first {
-        writeln!(file, "{TSV_HEADER}")?;
+    let mut files = CONTENT.lock().unwrap_or_else(|e| e.into_inner());
+    let buf = files
+        .entry(path.clone())
+        .or_insert_with(|| format!("{TSV_HEADER}\n"));
+    let rollback = buf.len();
+    buf.push_str(&metrics_tsv(label, scheduler, sink));
+    let out = write_atomic(&path, buf.as_bytes());
+    if out.is_err() {
+        // Keep memory and disk agreed: a failed write is not accumulated.
+        buf.truncate(rollback);
     }
-    file.write_all(metrics_tsv(label, scheduler, sink).as_bytes())?;
-    if first {
-        started.push(path);
-    }
-    Ok(())
+    out
 }
 
 /// Appends a block to the `FQMS_SIDECAR` file. Returns whether a sidecar

@@ -20,8 +20,12 @@ use fqms_memctrl::multichannel::MultiChannelController;
 use fqms_memctrl::policy::{BufferSharing, InversionBound, RowPolicy, SchedulerKind, VftBinding};
 use fqms_memctrl::request::{RequestKind, ThreadId};
 use fqms_sim::clock::{ClockDomains, CpuCycle, DramCycle};
+use fqms_sim::snapshot::{
+    self, Fingerprint, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use fqms_workloads::generator::SyntheticTrace;
 use fqms_workloads::profile::WorkloadProfile;
+use std::path::PathBuf;
 
 /// Incrementally configures and builds a [`System`].
 ///
@@ -82,7 +86,21 @@ pub struct SystemBuilder {
     channels: usize,
     shared_l2: bool,
     observe_events: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
     workloads: Vec<WorkloadEntry>,
+}
+
+/// Default checkpoint interval in DRAM cycles when a checkpoint directory
+/// is configured without an explicit interval.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 500_000;
+
+/// Where and how often a running [`System`] persists crash-recovery
+/// checkpoints.
+#[derive(Debug, Clone)]
+struct CheckpointFile {
+    path: PathBuf,
+    every: u64,
 }
 
 /// Event-ring capacity per channel when observation is switched on only
@@ -111,8 +129,29 @@ impl SystemBuilder {
             channels: 1,
             shared_l2: false,
             observe_events: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
             workloads: Vec::new(),
         }
+    }
+
+    /// Enables crash-recovery checkpointing: during [`System::run`] the
+    /// full simulation state is atomically persisted to `dir` (named by
+    /// the configuration fingerprint), a later run of the same
+    /// configuration resumes from the last valid checkpoint, and the file
+    /// is removed on clean completion. Also switched on by the
+    /// `FQMS_CHECKPOINT_DIR` environment variable at build time.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the checkpoint interval in DRAM cycles (default 500k). Only
+    /// effective together with [`SystemBuilder::checkpoint_dir`] (or
+    /// `FQMS_CHECKPOINT_DIR`); also settable via `FQMS_CHECKPOINT_EVERY`.
+    pub fn checkpoint_every(mut self, dram_cycles: u64) -> Self {
+        self.checkpoint_every = Some(dram_cycles.max(1));
+        self
     }
 
     /// Selects the memory scheduling algorithm.
@@ -275,6 +314,53 @@ impl SystemBuilder {
                 n
             ));
         }
+        // Everything that determines the simulation's trajectory goes into
+        // the fingerprint, so a checkpoint can never be restored into a
+        // system that would diverge from the run that wrote it.
+        let fingerprint = {
+            let mut fp = Fingerprint::new("fqms-system");
+            fp.push_str(&format!(
+                "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+                self.scheduler,
+                self.geometry,
+                self.timing,
+                self.core,
+                self.inversion_bound,
+                self.row_policy,
+                self.vft_binding,
+                self.buffer_sharing,
+            ));
+            fp.push_u64(self.cpu_ratio);
+            fp.push_u64(self.seed);
+            fp.push_u64(self.channels as u64);
+            fp.push_u64(u64::from(self.shared_l2));
+            fp.push_u64(u64::from(self.prewarm));
+            for s in &shares {
+                fp.push_f64(*s);
+            }
+            for entry in &self.workloads {
+                match entry {
+                    WorkloadEntry::Profile(p) => fp.push_str(&format!("{p:?}")),
+                    WorkloadEntry::Custom { name, .. } => fp.push_str(name),
+                };
+            }
+            fp.finish()
+        };
+        let checkpoint_dir = self.checkpoint_dir.or_else(|| {
+            std::env::var_os("FQMS_CHECKPOINT_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        });
+        let checkpoint_every = self.checkpoint_every.or_else(|| {
+            std::env::var("FQMS_CHECKPOINT_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|n| *n > 0)
+        });
+        let checkpoint = checkpoint_dir.map(|dir| CheckpointFile {
+            path: dir.join(format!("fqms-{fingerprint:016x}.ckpt")),
+            every: checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+        });
         let mut mc_config = McConfig::with_shares(self.scheduler, shares);
         mc_config.inversion_bound = self.inversion_bound;
         mc_config.row_policy = self.row_policy;
@@ -344,6 +430,8 @@ impl SystemBuilder {
             finish_cycles: vec![None; n],
             finish_insts: vec![0; n],
             completion_scratch: Vec::new(),
+            fingerprint,
+            checkpoint,
         })
     }
 }
@@ -371,6 +459,12 @@ pub struct System {
     /// Reused completion scratch buffer: the per-cycle controller drain
     /// appends here instead of allocating a fresh `Vec` every DRAM cycle.
     completion_scratch: Vec<fqms_memctrl::controller::Completion>,
+    /// FNV-1a digest of every configuration input that determines the
+    /// simulation trajectory; snapshots embed it so cross-configuration
+    /// restores are rejected up front.
+    fingerprint: u64,
+    /// Crash-recovery checkpoint file, when enabled.
+    checkpoint: Option<CheckpointFile>,
 }
 
 impl System {
@@ -462,14 +556,237 @@ impl System {
         self.run_inner(instructions_per_thread, max_dram_cycles, true)
     }
 
+    /// The FNV-1a digest of this system's full configuration; snapshots
+    /// carry it and refuse to restore across differing configurations.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Serializes the complete simulation state — every core (caches, ROB,
+    /// outstanding misses, trace position), the memory controller
+    /// (queues, buffers, virtual clocks, DRAM timing state), and the
+    /// system clock — into a self-describing, CRC-protected snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if a component cannot be captured
+    /// (a shared L2, or a trace source without snapshot hooks).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapshotWriter::new(self.fingerprint);
+        self.write_state(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a [`System::save_snapshot`] image into this identically
+    /// configured system; afterwards the simulation continues bit-for-bit
+    /// as if never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SnapshotError`]s for corrupted, truncated, or mismatched
+    /// snapshots, naming the failing section — never a panic. On error the
+    /// system state is unspecified and should not be resumed from.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.fingerprint)?;
+        self.read_state(&mut r)?;
+        r.finish()
+    }
+
+    fn write_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        w.section("system", |s| {
+            s.put_u64(self.dram_now.as_u64());
+            s.put_seq_len(self.finish_cycles.len());
+            for f in &self.finish_cycles {
+                s.put_opt_u64(*f);
+            }
+            s.put_seq_len(self.finish_insts.len());
+            for f in &self.finish_insts {
+                s.put_u64(*f);
+            }
+        });
+        let mut res = Ok(());
+        w.section("cores", |s| {
+            s.put_seq_len(self.cores.len());
+            for core in &self.cores {
+                res = core.save_state(s);
+                if res.is_err() {
+                    return;
+                }
+            }
+        });
+        res?;
+        w.section("mc", |s| self.mc.save(s));
+        Ok(())
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = self.cores.len();
+        let (dram_now, finish_cycles, finish_insts) = r.section("system", |s| {
+            let now = s.get_u64()?;
+            let nc = s.seq_len()?;
+            if nc != n {
+                return Err(s.malformed(format!("snapshot has {nc} threads, system has {n}")));
+            }
+            let mut fc = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                fc.push(s.get_opt_u64()?);
+            }
+            let ni = s.seq_len()?;
+            if ni != n {
+                return Err(s.malformed(format!("snapshot has {ni} threads, system has {n}")));
+            }
+            let mut fi = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                fi.push(s.get_u64()?);
+            }
+            Ok((now, fc, fi))
+        })?;
+        r.section("cores", |s| {
+            let nc = s.seq_len()?;
+            if nc != n {
+                return Err(s.malformed(format!("snapshot has {nc} cores, system has {n}")));
+            }
+            for core in &mut self.cores {
+                core.restore_state(s)?;
+            }
+            Ok(())
+        })?;
+        r.section("mc", |s| self.mc.restore(s))?;
+        self.dram_now = DramCycle::new(dram_now);
+        self.finish_cycles = finish_cycles;
+        self.finish_insts = finish_insts;
+        Ok(())
+    }
+
+    /// Attempts to resume `run_inner` from a persisted checkpoint of the
+    /// same configuration and run parameters. Returns the measurement
+    /// start cycle on success; on any failure (no file, corruption,
+    /// different run) the run starts fresh — a rejected checkpoint can
+    /// cost time, never correctness.
+    fn try_resume(
+        &mut self,
+        instructions_per_thread: u64,
+        max_dram_cycles: u64,
+        export: bool,
+    ) -> Option<DramCycle> {
+        let path = self.checkpoint.as_ref()?.path.clone();
+        if !path.exists() {
+            return None;
+        }
+        let bytes = match snapshot::load_from_file(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "fqms: ignoring unreadable checkpoint {}: {e}",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match self.resume_from(&bytes, instructions_per_thread, max_dram_cycles, export) {
+            Ok(start) => {
+                eprintln!(
+                    "fqms: resumed from checkpoint {} at DRAM cycle {}",
+                    path.display(),
+                    self.dram_now.as_u64()
+                );
+                Some(start)
+            }
+            Err(e) => {
+                eprintln!("fqms: ignoring invalid checkpoint {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    fn resume_from(
+        &mut self,
+        bytes: &[u8],
+        instructions_per_thread: u64,
+        max_dram_cycles: u64,
+        export: bool,
+    ) -> Result<DramCycle, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.fingerprint)?;
+        let (start, ipt, mdc, exp) = r.section("run", |s| {
+            Ok((s.get_u64()?, s.get_u64()?, s.get_u64()?, s.get_bool()?))
+        })?;
+        if ipt != instructions_per_thread || mdc != max_dram_cycles || exp != export {
+            return Err(SnapshotError::Malformed {
+                section: "run",
+                what: format!(
+                    "checkpoint is for a different run \
+                     ({ipt} insts / {mdc} cycles / export {exp}, this run wants \
+                     {instructions_per_thread} / {max_dram_cycles} / {export})"
+                ),
+            });
+        }
+        self.read_state(&mut r)?;
+        r.finish()?;
+        Ok(DramCycle::new(start))
+    }
+
+    /// Persists a checkpoint if one is due at the current cycle. Write
+    /// failures only warn (the run stays correct without checkpoints); an
+    /// unsnapshottable component disables checkpointing for the rest of
+    /// the run.
+    fn maybe_checkpoint(
+        &mut self,
+        start: DramCycle,
+        instructions_per_thread: u64,
+        max_dram_cycles: u64,
+        export: bool,
+    ) {
+        let Some(ck) = &self.checkpoint else {
+            return;
+        };
+        if !(self.dram_now - start).is_multiple_of(ck.every) {
+            return;
+        }
+        let path = ck.path.clone();
+        let mut w = SnapshotWriter::new(self.fingerprint);
+        w.section("run", |s| {
+            s.put_u64(start.as_u64());
+            s.put_u64(instructions_per_thread);
+            s.put_u64(max_dram_cycles);
+            s.put_bool(export);
+        });
+        match self.write_state(&mut w) {
+            Ok(()) => {
+                if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = snapshot::save_to_file(&path, &w.into_bytes()) {
+                    eprintln!("fqms: checkpoint write failed ({e}); continuing without");
+                }
+            }
+            Err(e) => {
+                eprintln!("fqms: checkpointing disabled for this run: {e}");
+                self.checkpoint = None;
+            }
+        }
+    }
+
+    /// Removes the checkpoint file after a clean completion so the next
+    /// run of this configuration starts fresh.
+    fn discard_checkpoint(&self) {
+        if let Some(ck) = &self.checkpoint {
+            let _ = std::fs::remove_file(&ck.path);
+        }
+    }
+
     fn run_inner(
         &mut self,
         instructions_per_thread: u64,
         max_dram_cycles: u64,
         export: bool,
     ) -> SystemMetrics {
-        self.reset_measurement();
-        let start = self.dram_now;
+        let start = match self.try_resume(instructions_per_thread, max_dram_cycles, export) {
+            Some(start) => start,
+            None => {
+                self.reset_measurement();
+                self.dram_now
+            }
+        };
         loop {
             self.step();
             let mut all_done = true;
@@ -496,7 +813,9 @@ impl System {
                 }
                 break;
             }
+            self.maybe_checkpoint(start, instructions_per_thread, max_dram_cycles, export);
         }
+        self.discard_checkpoint();
         self.mc.finish(self.dram_now);
         crate::telemetry::note_controller_cycles(
             self.mc.stepped_cycles(),
@@ -640,6 +959,185 @@ mod tests {
             .unwrap();
         let m = sys.run(u64::MAX / 2, 5_000);
         assert!(m.elapsed_dram_cycles <= 5_001);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_bit_identically() {
+        let build = || {
+            SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .workload(by_name("art").unwrap())
+                .workload(by_name("vpr").unwrap())
+                .seed(9)
+                .build()
+                .unwrap()
+        };
+        let mut reference = build();
+        for _ in 0..5_000 {
+            reference.step();
+        }
+
+        let mut sys = build();
+        for _ in 0..3_000 {
+            sys.step();
+        }
+        let bytes = sys.save_snapshot().unwrap();
+        drop(sys);
+        let mut resumed = build();
+        resumed.restore_snapshot(&bytes).unwrap();
+        for _ in 0..2_000 {
+            resumed.step();
+        }
+
+        for i in 0..2 {
+            assert_eq!(resumed.core(i).retired(), reference.core(i).retired());
+            assert_eq!(resumed.core(i).cycles(), reference.core(i).cycles());
+            assert_eq!(resumed.core(i).stats(), reference.core(i).stats());
+            let a = resumed.controller().thread_stats(ThreadId::new(i as u32));
+            let b = reference.controller().thread_stats(ThreadId::new(i as u32));
+            assert_eq!(a, b, "thread {i} controller stats diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_and_config_mismatch() {
+        let mut sys = SystemBuilder::new()
+            .workload(by_name("art").unwrap())
+            .seed(9)
+            .build()
+            .unwrap();
+        for _ in 0..500 {
+            sys.step();
+        }
+        let bytes = sys.save_snapshot().unwrap();
+
+        // Truncation anywhere is a typed error, never a panic.
+        let mut fresh = SystemBuilder::new()
+            .workload(by_name("art").unwrap())
+            .seed(9)
+            .build()
+            .unwrap();
+        assert!(fresh.restore_snapshot(&bytes[..bytes.len() / 2]).is_err());
+
+        // A different seed is a different trajectory: fingerprint mismatch.
+        let mut other = SystemBuilder::new()
+            .workload(by_name("art").unwrap())
+            .seed(10)
+            .build()
+            .unwrap();
+        let err = other.restore_snapshot(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                fqms_sim::snapshot::SnapshotError::ConfigMismatch { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    /// A deterministic trace that simulates a crash: panics once at a
+    /// fixed op count while the global arm flag is set, then (after the
+    /// "process restart" rebuilds it) behaves identically to the clean
+    /// generator.
+    #[derive(Debug)]
+    struct CrashingTrace {
+        inner: fqms_workloads::patterns::RandomScatter,
+        ops: u64,
+        crash_at: u64,
+        armed: &'static std::sync::atomic::AtomicBool,
+    }
+
+    impl TraceSource for CrashingTrace {
+        fn next_op(&mut self) -> fqms_cpu::trace::TraceOp {
+            self.ops += 1;
+            if self.ops == self.crash_at
+                && self.armed.swap(false, std::sync::atomic::Ordering::SeqCst)
+            {
+                panic!("injected crash at op {}", self.ops);
+            }
+            self.inner.next_op()
+        }
+
+        fn save_state(
+            &self,
+            w: &mut fqms_sim::snapshot::SectionWriter,
+        ) -> Result<(), fqms_sim::snapshot::SnapshotError> {
+            self.inner.save_state(w)?;
+            w.put_u64(self.ops);
+            Ok(())
+        }
+
+        fn restore_state(
+            &mut self,
+            r: &mut fqms_sim::snapshot::SectionReader<'_>,
+        ) -> Result<(), fqms_sim::snapshot::SnapshotError> {
+            self.inner.restore_state(r)?;
+            self.ops = r.get_u64()?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn crash_and_resume_matches_uninterrupted_run() {
+        use std::sync::atomic::AtomicBool;
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        let ckpt_dir = std::env::temp_dir().join(format!(
+            "fqms-ckpt-test-{}-crash_and_resume",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+        let build = |dir: Option<&std::path::Path>| {
+            let trace = CrashingTrace {
+                inner: fqms_workloads::patterns::RandomScatter::new(0, 1 << 22, 6, 77),
+                ops: 0,
+                crash_at: 1_000,
+                armed: &ARMED,
+            };
+            let b = SystemBuilder::new()
+                .scheduler(SchedulerKind::FqVftf)
+                .seed(5)
+                .prewarm(false)
+                .workload_trace("scatter", Box::new(trace), 0)
+                .checkpoint_every(500);
+            match dir {
+                Some(d) => b.checkpoint_dir(d),
+                None => b,
+            }
+            .build()
+            .unwrap()
+        };
+
+        // Reference: never crashes, no checkpointing.
+        let reference = build(None).run(8_000, 400_000);
+
+        // Crash run: the trace panics mid-simulation, leaving the
+        // checkpoint file behind.
+        ARMED.store(true, std::sync::atomic::Ordering::SeqCst);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            build(Some(&ckpt_dir)).run(8_000, 400_000)
+        }));
+        assert!(crashed.is_err(), "the injected crash should have fired");
+        let ckpt_file = std::fs::read_dir(&ckpt_dir)
+            .expect("checkpoint dir exists")
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "ckpt"));
+        assert!(
+            ckpt_file.is_some(),
+            "at least one checkpoint must have been written before the crash"
+        );
+
+        // "Restart the process": a fresh, identically configured system
+        // resumes from the checkpoint and must match the reference exactly.
+        let resumed = build(Some(&ckpt_dir)).run(8_000, 400_000);
+        assert_eq!(resumed, reference, "resumed run diverged from reference");
+
+        // Clean completion removes the checkpoint.
+        let leftover = std::fs::read_dir(&ckpt_dir)
+            .map(|d| d.filter_map(Result::ok).count())
+            .unwrap_or(0);
+        assert_eq!(leftover, 0, "clean completion must remove the checkpoint");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Crash-safety test for the sidecar exporter: a process killed at an
+//! arbitrary instant mid-export must leave either no sidecar or a
+//! complete, parseable one — never a torn line or a missing header.
+//!
+//! The test re-executes its own test binary as a child (gated on the
+//! `FQMS_ATOMIC_CHILD` environment variable) that appends sidecar blocks
+//! in a tight loop, kills it with SIGKILL after a short delay, and then
+//! validates whatever the child left on disk.
+
+use fqms_obs::{Event, MetricsSink, TSV_HEADER};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A sink with enough threads and traffic that each exported block is
+/// large, maximising the window in which a non-atomic write could tear.
+fn fat_sink(threads: u32) -> MetricsSink {
+    let mut sink = MetricsSink::new(threads as usize);
+    for i in 0..threads * 8 {
+        sink.observe(&Event::Completed {
+            cycle: 100 + u64::from(i),
+            thread: i % threads,
+            id: u64::from(i),
+            is_write: i % 3 == 0,
+            latency: 10 + u64::from(i % 50),
+            bytes: 64,
+        });
+    }
+    sink
+}
+
+/// Child body: loop appending blocks to the path named by
+/// `FQMS_ATOMIC_CHILD` until killed. When the variable is unset (a normal
+/// test run), this test is a no-op.
+#[test]
+fn atomic_child_append_loop() {
+    let Some(path) = std::env::var_os("FQMS_ATOMIC_CHILD") else {
+        return;
+    };
+    let path = PathBuf::from(path);
+    let sink = fat_sink(64);
+    for i in 0..200_000u64 {
+        fqms::sidecar::append_block(&path, &format!("block-{i}"), "FQ-VFTF", &sink)
+            .expect("child append failed");
+    }
+}
+
+/// Returns an error message if `text` is not a complete sidecar file.
+fn validate_sidecar(text: &str) -> Result<usize, String> {
+    if !text.ends_with('\n') {
+        return Err("file does not end with a newline (torn final line)".into());
+    }
+    let cols = TSV_HEADER.split('\t').count();
+    let mut lines = text.lines();
+    if lines.next() != Some(TSV_HEADER) {
+        return Err("first line is not the TSV header".into());
+    }
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        // Per-thread rows have exactly the header's columns; each block's
+        // summary row appends one trailing "# ..." annotation field.
+        let ok =
+            fields.len() == cols || (fields.len() == cols + 1 && fields[cols].starts_with("# "));
+        if !ok {
+            return Err(format!(
+                "row {i} has {} columns, expected {cols}: {line:?}",
+                fields.len()
+            ));
+        }
+        rows += 1;
+    }
+    // Blocks are (threads + 1 summary) rows each; a complete file holds
+    // whole blocks only.
+    if !rows.is_multiple_of(65) {
+        return Err(format!(
+            "{rows} rows is not a whole number of 65-row blocks"
+        ));
+    }
+    Ok(rows)
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_export_leaves_complete_sidecar() {
+    let exe = std::env::current_exe().expect("test binary path");
+    for round in 0..3 {
+        let path =
+            std::env::temp_dir().join(format!("fqms-atomic-{}-{round}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut child = std::process::Command::new(&exe)
+            .args(["atomic_child_append_loop", "--exact", "--nocapture"])
+            .env("FQMS_ATOMIC_CHILD", &path)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn child test binary");
+        // Let the child get into the append loop, then kill it hard
+        // (SIGKILL: no destructors, no flush) mid-write.
+        std::thread::sleep(Duration::from_millis(300 + 70 * round));
+        child.kill().expect("kill child");
+        let _ = child.wait();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let rows = validate_sidecar(&text).unwrap_or_else(|why| {
+                    panic!("round {round}: torn sidecar at {}: {why}", path.display())
+                });
+                assert!(rows > 0, "round {round}: sidecar had header but no rows");
+            }
+            // Killed before the first rename: no file is a valid state.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("round {round}: cannot read {}: {e}", path.display()),
+        }
+        let _ = std::fs::remove_file(&path);
+        // Temp files abandoned by the kill are expected; sweep them so
+        // repeated test runs do not accumulate garbage.
+        if let Some(dir) = path.parent() {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if name.contains(&format!("fqms-atomic-{}-{round}", std::process::id()))
+                        && name.contains(".tmp")
+                    {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Corruption fuzz over full-system snapshots, driven by the in-tree
+//! [`CaseRunner`]: random truncations and single-bit flips of a valid
+//! snapshot must every one yield a typed [`SnapshotError`] — naming the
+//! failing section when the damage is inside one — and must never panic
+//! or restore successfully.
+
+use fqms::prelude::System;
+use fqms_memctrl::prelude::SchedulerKind;
+use fqms_sim::rng::{CaseRunner, SimRng};
+use fqms_sim::snapshot::SnapshotError;
+use fqms_workloads::profile::WorkloadProfile;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn warm_system() -> System {
+    let mut sys = System::builder()
+        .scheduler(SchedulerKind::FqVftf)
+        .workloads(vec![
+            WorkloadProfile::stream("fuzz-a", 4.0),
+            WorkloadProfile::pointer_chase("fuzz-b", 10.0),
+        ])
+        .seed(2006)
+        .prewarm(false)
+        .build()
+        .expect("valid system");
+    // Run long enough that every layer holds non-trivial state (caches,
+    // MSHRs, scheduler, RNGs), so most of the snapshot is live payload.
+    sys.run(2_000, 200_000);
+    sys
+}
+
+/// One corruption applied to a pristine snapshot.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Keep only the first `len` bytes.
+    Truncate(usize),
+    /// Flip one bit at `(byte, bit)`.
+    BitFlip(usize, u8),
+}
+
+impl Mutation {
+    fn apply(self, pristine: &[u8]) -> Vec<u8> {
+        let mut bytes = pristine.to_vec();
+        match self {
+            Mutation::Truncate(len) => bytes.truncate(len),
+            Mutation::BitFlip(pos, bit) => bytes[pos] ^= 1 << bit,
+        }
+        bytes
+    }
+}
+
+#[test]
+fn corrupted_snapshots_fail_typed_and_never_panic() {
+    // RefCell because CaseRunner's property closures are `Fn`.
+    let victim = std::cell::RefCell::new(warm_system());
+    let pristine = victim.borrow().save_snapshot().expect("snapshot");
+    assert!(
+        victim.borrow_mut().restore_snapshot(&pristine).is_ok(),
+        "pristine snapshot must restore"
+    );
+    let n = pristine.len();
+    assert!(n > 64, "snapshot implausibly small: {n} bytes");
+
+    CaseRunner::new("snapshot-corruption").cases(64).run(
+        |rng: &mut SimRng| {
+            if rng.next_below(2) == 0 {
+                Mutation::Truncate(rng.next_below(n as u64) as usize)
+            } else {
+                Mutation::BitFlip(rng.next_below(n as u64) as usize, rng.next_below(8) as u8)
+            }
+        },
+        // Shrink toward the front of the buffer (header-adjacent damage
+        // is the easiest counterexample to reason about).
+        |&m| match m {
+            Mutation::Truncate(len) if len > 0 => {
+                vec![Mutation::Truncate(len / 2), Mutation::Truncate(len - 1)]
+            }
+            Mutation::Truncate(_) => Vec::new(),
+            Mutation::BitFlip(pos, bit) => {
+                let mut c = Vec::new();
+                if pos > 0 {
+                    c.push(Mutation::BitFlip(pos / 2, bit));
+                    c.push(Mutation::BitFlip(pos - 1, bit));
+                }
+                if bit > 0 {
+                    c.push(Mutation::BitFlip(pos, 0));
+                }
+                c
+            }
+        },
+        |&m| {
+            let corrupt = m.apply(&pristine);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                victim.borrow_mut().restore_snapshot(&corrupt)
+            }));
+            // Whatever a failed restore left behind, return the victim to
+            // a known-good state before the next case.
+            victim
+                .borrow_mut()
+                .restore_snapshot(&pristine)
+                .map_err(|e| format!("{m:?}: victim unrecoverable after corrupt restore: {e}"))?;
+            match outcome {
+                Err(_) => Err(format!("{m:?}: restore panicked")),
+                Ok(Ok(())) => Err(format!("{m:?}: corrupted snapshot restored successfully")),
+                Ok(Err(err)) => {
+                    // Damage inside the section stream must name the
+                    // section; header-level damage has its own typed
+                    // variants. Anything else (e.g. a stray Io) means the
+                    // codec leaked an untyped failure.
+                    let named = match &err {
+                        SnapshotError::Truncated { section }
+                        | SnapshotError::CorruptSection { section }
+                        | SnapshotError::Malformed { section, .. } => !section.is_empty(),
+                        SnapshotError::WrongSection { .. }
+                        | SnapshotError::BadMagic
+                        | SnapshotError::UnsupportedVersion { .. }
+                        | SnapshotError::ConfigMismatch { .. }
+                        | SnapshotError::TrailingData => true,
+                        other => {
+                            return Err(format!("{m:?}: unexpected error class: {other:?}"));
+                        }
+                    };
+                    if named {
+                        Ok(())
+                    } else {
+                        Err(format!("{m:?}: error names no section: {err:?}"))
+                    }
+                }
+            }
+        },
+    );
+
+    // The victim still works after the whole fuzz run.
+    victim
+        .borrow_mut()
+        .restore_snapshot(&pristine)
+        .expect("final restore");
+}

@@ -4,6 +4,8 @@
 //! and dirty, not their data. Both the private L1 data cache and the
 //! private L2 of the paper's Table 5 are instances of this type.
 
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -204,6 +206,72 @@ impl Cache {
     /// `(hits, misses)` counted so far.
     pub fn hit_miss_counts(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+}
+
+/// Geometry is configuration (validated against the restore target); the
+/// line directory, LRU stamp, and hit/miss counters are state.
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.config.size_bytes);
+        w.put_u32(self.config.ways);
+        w.put_u64(self.config.line_bytes);
+        w.put_seq_len(self.sets.len());
+        for set in &self.sets {
+            w.put_seq_len(set.len());
+            for line in set {
+                w.put_u64(line.tag);
+                w.put_bool(line.dirty);
+                w.put_u64(line.lru);
+            }
+        }
+        w.put_u64(self.stamp);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let size = r.get_u64()?;
+        let ways = r.get_u32()?;
+        let line_bytes = r.get_u64()?;
+        if size != self.config.size_bytes
+            || ways != self.config.ways
+            || line_bytes != self.config.line_bytes
+        {
+            return Err(r.malformed(format!(
+                "cache geometry {size}B/{ways}-way/{line_bytes}B line != configured \
+                 {}B/{}-way/{}B line",
+                self.config.size_bytes, self.config.ways, self.config.line_bytes
+            )));
+        }
+        let nsets = r.seq_len()?;
+        if nsets != self.sets.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {nsets} sets, cache has {}",
+                self.sets.len()
+            )));
+        }
+        for set in &mut self.sets {
+            let n = r.seq_len()?;
+            if n > self.config.ways as usize {
+                return Err(r.malformed(format!(
+                    "{n} lines in a set exceed {}-way associativity",
+                    self.config.ways
+                )));
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(Line {
+                    tag: r.get_u64()?,
+                    dirty: r.get_bool()?,
+                    lru: r.get_u64()?,
+                });
+            }
+        }
+        self.stamp = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
     }
 }
 

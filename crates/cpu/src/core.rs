@@ -29,6 +29,7 @@ use fqms_memctrl::controller::Completion;
 use fqms_memctrl::port::MemoryPort;
 use fqms_memctrl::request::{RequestId, RequestKind, ThreadId};
 use fqms_sim::clock::{CpuCycle, DramCycle};
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 use fqms_sim::stats::Histogram;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -591,6 +592,219 @@ impl Core {
         }
     }
 
+    /// Serializes the core's full microarchitectural state — caches, ROB,
+    /// outstanding misses, writeback queue, counters, and the trace
+    /// position — for checkpoint/restore ([`fqms_sim::snapshot`]).
+    ///
+    /// This is a fallible method rather than a [`Snapshot`] impl because
+    /// the trace source may decline ([`TraceSource::save_state`]) and a
+    /// shared L2 belongs to no single core.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if the L2 is shared or the trace
+    /// source does not implement state capture.
+    pub fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        w.put_u32(self.thread.as_u32());
+        self.l1d.save(w);
+        match &self.l2 {
+            L2Handle::Private(c) => c.save(w),
+            L2Handle::Shared(_) => {
+                return Err(SnapshotError::Unsupported {
+                    what: "a core with a shared L2".into(),
+                })
+            }
+        }
+        w.put_seq_len(self.rob.len());
+        for e in &self.rob {
+            w.put_u64(e.seq);
+            w.put_u32(e.count);
+            w.put_u64(e.ready_at.as_u64());
+        }
+        w.put_u64(self.next_seq);
+        match self.current {
+            None => w.put_bool(false),
+            Some(cur) => {
+                w.put_bool(true);
+                w.put_u32(cur.work_left);
+                match cur.access {
+                    None => w.put_bool(false),
+                    Some(a) => {
+                        w.put_bool(true);
+                        w.put_u64(a.addr);
+                        w.put_bool(a.is_write);
+                        w.put_bool(a.dependent);
+                    }
+                }
+            }
+        }
+        // HashMap iteration order is nondeterministic; sort by request id so
+        // identical states always produce identical bytes.
+        let mut misses: Vec<(&RequestId, &OutstandingMiss)> = self.outstanding.iter().collect();
+        misses.sort_by_key(|(id, _)| id.as_u64());
+        w.put_seq_len(misses.len());
+        for (id, m) in misses {
+            w.put_u64(id.as_u64());
+            w.put_u64(m.line);
+            w.put_seq_len(m.entry_seqs.len());
+            for s in &m.entry_seqs {
+                w.put_u64(*s);
+            }
+            w.put_u64(m.issued_at.as_u64());
+            w.put_bool(m.is_prefetch);
+        }
+        w.put_opt_u64(self.last_load_miss.map(|id| id.as_u64()));
+        w.put_seq_len(self.writeback_q.len());
+        for addr in &self.writeback_q {
+            w.put_u64(*addr);
+        }
+        w.put_u64(self.retired);
+        w.put_u64(self.cycles);
+        let s = &self.stats;
+        for v in [
+            s.loads,
+            s.stores,
+            s.l1_hits,
+            s.l2_hits,
+            s.mem_reads,
+            s.coalesced,
+            s.writebacks,
+            s.backpressure_stall_cycles,
+            s.dependence_stall_cycles,
+            s.miss_latency_total,
+            s.miss_latency_count,
+            s.prefetches_issued,
+            s.prefetch_hits,
+        ] {
+            w.put_u64(v);
+        }
+        self.latency_hist.save(w);
+        self.trace.save_state(w)
+    }
+
+    /// Restores state written by [`Core::save_state`] into an
+    /// identically-configured core. `mshr_by_line` and `rob_insts` are
+    /// derived from the restored structures rather than deserialized.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from decoding, including
+    /// [`SnapshotError::Malformed`] when the snapshot disagrees with this
+    /// core's configuration (thread id, cache geometry, capacities).
+    pub fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let thread = r.get_u32()?;
+        if thread != self.thread.as_u32() {
+            return Err(r.malformed(format!(
+                "snapshot is for thread {thread}, core is thread {}",
+                self.thread.as_u32()
+            )));
+        }
+        self.l1d.restore(r)?;
+        match &mut self.l2 {
+            L2Handle::Private(c) => c.restore(r)?,
+            L2Handle::Shared(_) => {
+                return Err(SnapshotError::Unsupported {
+                    what: "a core with a shared L2".into(),
+                })
+            }
+        }
+        let nrob = r.seq_len()?;
+        self.rob.clear();
+        self.rob_insts = 0;
+        for _ in 0..nrob {
+            let entry = RobEntry {
+                seq: r.get_u64()?,
+                count: r.get_u32()?,
+                ready_at: CpuCycle::new(r.get_u64()?),
+            };
+            self.rob_insts = self
+                .rob_insts
+                .checked_add(entry.count)
+                .filter(|n| *n <= self.config.rob_size)
+                .ok_or_else(|| r.malformed("ROB contents exceed configured capacity"))?;
+            self.rob.push_back(entry);
+        }
+        self.next_seq = r.get_u64()?;
+        self.current = if r.get_bool()? {
+            let work_left = r.get_u32()?;
+            let access = if r.get_bool()? {
+                Some(crate::trace::MemAccess {
+                    addr: r.get_u64()?,
+                    is_write: r.get_bool()?,
+                    dependent: r.get_bool()?,
+                })
+            } else {
+                None
+            };
+            Some(CurrentOp { work_left, access })
+        } else {
+            None
+        };
+        let nmiss = r.seq_len()?;
+        if nmiss > self.config.mshrs as usize {
+            return Err(r.malformed(format!(
+                "{nmiss} outstanding misses exceed {} MSHRs",
+                self.config.mshrs
+            )));
+        }
+        self.outstanding.clear();
+        self.mshr_by_line.clear();
+        for _ in 0..nmiss {
+            let id = RequestId::new(r.get_u64()?);
+            let line = r.get_u64()?;
+            let nseq = r.seq_len()?;
+            let mut entry_seqs = Vec::with_capacity(nseq);
+            for _ in 0..nseq {
+                entry_seqs.push(r.get_u64()?);
+            }
+            let issued_at = CpuCycle::new(r.get_u64()?);
+            let is_prefetch = r.get_bool()?;
+            if self.mshr_by_line.insert(line, id).is_some() {
+                return Err(r.malformed(format!("duplicate MSHR for line {line:#x}")));
+            }
+            self.outstanding.insert(
+                id,
+                OutstandingMiss {
+                    line,
+                    entry_seqs,
+                    issued_at,
+                    is_prefetch,
+                },
+            );
+        }
+        self.last_load_miss = r.get_opt_u64()?.map(RequestId::new);
+        let nwb = r.seq_len()?;
+        if nwb > self.config.writeback_queue {
+            return Err(r.malformed(format!(
+                "{nwb} queued writebacks exceed depth {}",
+                self.config.writeback_queue
+            )));
+        }
+        self.writeback_q.clear();
+        for _ in 0..nwb {
+            self.writeback_q.push_back(r.get_u64()?);
+        }
+        self.retired = r.get_u64()?;
+        self.cycles = r.get_u64()?;
+        self.stats = CoreStats {
+            loads: r.get_u64()?,
+            stores: r.get_u64()?,
+            l1_hits: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            mem_reads: r.get_u64()?,
+            coalesced: r.get_u64()?,
+            writebacks: r.get_u64()?,
+            backpressure_stall_cycles: r.get_u64()?,
+            dependence_stall_cycles: r.get_u64()?,
+            miss_latency_total: r.get_u64()?,
+            miss_latency_count: r.get_u64()?,
+            prefetches_issued: r.get_u64()?,
+            prefetch_hits: r.get_u64()?,
+        };
+        self.latency_hist.restore(r)?;
+        self.trace.restore_state(r)
+    }
+
     /// Next-line prefetcher: after a demand miss to `line`, speculatively
     /// fetch the following `prefetch_degree` lines. Best effort: stops at
     /// the first resource limit (present line, busy MSHRs, NACK).
@@ -900,5 +1114,167 @@ mod tests {
         let mut cfg = CoreConfig::paper();
         cfg.issue_width = 0;
         assert!(Core::new(cfg, ThreadId::new(0), Box::new(|| TraceOp::compute(1))).is_err());
+    }
+
+    /// A deterministic snapshottable trace for checkpoint tests: strided
+    /// loads with every fourth access a store.
+    #[derive(Debug, Clone)]
+    struct StridedTrace {
+        i: u64,
+    }
+
+    impl TraceSource for StridedTrace {
+        fn next_op(&mut self) -> TraceOp {
+            self.i += 1;
+            TraceOp {
+                work: (self.i % 11) as u32,
+                access: Some(MemAccess {
+                    addr: (self.i * 192) % (8 * 1024 * 1024),
+                    is_write: self.i.is_multiple_of(4),
+                    dependent: self.i.is_multiple_of(7),
+                }),
+            }
+        }
+
+        fn save_state(
+            &self,
+            w: &mut fqms_sim::snapshot::SectionWriter,
+        ) -> Result<(), fqms_sim::snapshot::SnapshotError> {
+            w.put_u64(self.i);
+            Ok(())
+        }
+
+        fn restore_state(
+            &mut self,
+            r: &mut fqms_sim::snapshot::SectionReader<'_>,
+        ) -> Result<(), fqms_sim::snapshot::SnapshotError> {
+            self.i = r.get_u64()?;
+            Ok(())
+        }
+    }
+
+    /// Like `run`, but over an explicit DRAM-cycle window so a restored
+    /// pair can continue exactly where the snapshot was taken.
+    fn run_range(
+        core: &mut Core,
+        mc: &mut fqms_memctrl::controller::MemoryController,
+        from_dram: u64,
+        to_dram: u64,
+    ) {
+        let ratio = 5;
+        let overhead = core.config.memory_overhead;
+        for dram_c in (from_dram + 1)..=to_dram {
+            let now_dram = DramCycle::new(dram_c);
+            for sub in 0..ratio {
+                core.tick(CpuCycle::new(dram_c * ratio + sub), now_dram, mc);
+            }
+            for c in mc.step(now_dram) {
+                if c.kind == RequestKind::Read {
+                    let ready = CpuCycle::new(c.finish.as_u64() * ratio + overhead);
+                    core.on_completion(&c, ready);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_snapshot_roundtrip_is_bit_identical() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let build = || {
+            let core = Core::new(
+                CoreConfig::paper(),
+                ThreadId::new(0),
+                Box::new(StridedTrace { i: 0 }),
+            )
+            .unwrap();
+            (core, mc())
+        };
+
+        // Reference: uninterrupted run over 8k DRAM cycles.
+        let (mut ref_core, mut ref_mc) = build();
+        run_range(&mut ref_core, &mut ref_mc, 0, 8_000);
+
+        // Snapshot at 4k DRAM cycles, restore into fresh instances, finish.
+        let (mut core, mut mcc) = build();
+        run_range(&mut core, &mut mcc, 0, 4_000);
+        let mut w = SnapshotWriter::new(5);
+        let mut saved = Ok(());
+        w.section("core", |s| saved = core.save_state(s));
+        saved.unwrap();
+        w.section("mc", |s| mcc.save(s));
+        let bytes = w.into_bytes();
+        drop((core, mcc));
+
+        let (mut core2, mut mc2) = build();
+        let mut r = SnapshotReader::new(&bytes, 5).unwrap();
+        r.section("core", |s| core2.restore_state(s)).unwrap();
+        r.section("mc", |s| mc2.restore(s)).unwrap();
+        r.finish().unwrap();
+        run_range(&mut core2, &mut mc2, 4_000, 8_000);
+
+        assert_eq!(core2.retired(), ref_core.retired());
+        assert_eq!(core2.cycles(), ref_core.cycles());
+        assert_eq!(core2.stats(), ref_core.stats());
+        assert_eq!(
+            core2.latency_histogram().count(),
+            ref_core.latency_histogram().count()
+        );
+        assert_eq!(
+            core2.latency_histogram().sum(),
+            ref_core.latency_histogram().sum()
+        );
+    }
+
+    #[test]
+    fn shared_l2_and_closure_traces_decline_snapshot() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotWriter};
+        let shared = Rc::new(RefCell::new(Cache::new(CacheConfig::paper_l2()).unwrap()));
+        let core = Core::with_shared_l2(
+            CoreConfig::paper(),
+            ThreadId::new(0),
+            Box::new(StridedTrace { i: 0 }),
+            shared,
+        )
+        .unwrap();
+        let mut w = SnapshotWriter::new(1);
+        let mut res = Ok(());
+        w.section("core", |s| res = core.save_state(s));
+        assert!(matches!(res, Err(SnapshotError::Unsupported { .. })));
+
+        let closure_core = Core::new(
+            CoreConfig::paper(),
+            ThreadId::new(0),
+            Box::new(|| TraceOp::compute(1)),
+        )
+        .unwrap();
+        let mut w2 = SnapshotWriter::new(1);
+        let mut res2 = Ok(());
+        w2.section("core", |s| res2 = closure_core.save_state(s));
+        assert!(matches!(res2, Err(SnapshotError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn core_restore_rejects_wrong_thread() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let core = Core::new(
+            CoreConfig::paper(),
+            ThreadId::new(0),
+            Box::new(StridedTrace { i: 0 }),
+        )
+        .unwrap();
+        let mut w = SnapshotWriter::new(1);
+        let mut saved = Ok(());
+        w.section("core", |s| saved = core.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+        let mut other = Core::new(
+            CoreConfig::paper(),
+            ThreadId::new(1),
+            Box::new(StridedTrace { i: 0 }),
+        )
+        .unwrap();
+        let mut r = SnapshotReader::new(&bytes, 1).unwrap();
+        let err = r.section("core", |s| other.restore_state(s)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
     }
 }

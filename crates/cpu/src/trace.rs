@@ -6,6 +6,8 @@
 //! generators (crate `fqms-workloads`) implement [`TraceSource`] with
 //! statistically matched streams.
 
+use fqms_sim::snapshot::{SectionReader, SectionWriter, SnapshotError};
+
 /// One memory reference in the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
@@ -47,6 +49,34 @@ pub trait TraceSource {
     /// Produces the next trace element. Must never terminate (generators
     /// loop or re-seed internally).
     fn next_op(&mut self) -> TraceOp;
+
+    /// Serializes the stream's position for checkpoint/restore
+    /// ([`fqms_sim::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// The default declines with [`SnapshotError::Unsupported`] — a system
+    /// containing such a source cannot be checkpointed, but still runs.
+    /// Deterministic generators should override both hooks so resumed
+    /// runs replay the exact same stream.
+    fn save_state(&self, _w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "this trace source".into(),
+        })
+    }
+
+    /// Restores a position written by [`TraceSource::save_state`] into an
+    /// identically-constructed source.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] by default; implementations return
+    /// decoding errors from the reader.
+    fn restore_state(&mut self, _r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "this trace source".into(),
+        })
+    }
 }
 
 /// Blanket impl so closures can serve as quick trace sources in tests.

@@ -9,6 +9,7 @@
 use crate::command::RowId;
 use crate::timing::TimingParams;
 use fqms_sim::clock::{DramCycle, NextEvent};
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// The observable state of a bank, as seen by a scheduler deciding which
 /// SDRAM command a memory request needs next (the paper's Table 3).
@@ -269,6 +270,35 @@ impl Bank {
 impl Default for Bank {
     fn default() -> Self {
         Bank::new()
+    }
+}
+
+impl Snapshot for Bank {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_opt_u64(self.open_row.map(|r| r.as_u32() as u64));
+        w.put_u64(self.next_activate.as_u64());
+        w.put_u64(self.next_read.as_u64());
+        w.put_u64(self.next_write.as_u64());
+        w.put_u64(self.next_precharge.as_u64());
+        w.put_opt_u64(self.active_since.map(DramCycle::as_u64));
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let open_row = match r.get_opt_u64()? {
+            Some(row) => {
+                Some(RowId::new(u32::try_from(row).map_err(|_| {
+                    r.malformed(format!("row id {row} overflows"))
+                })?))
+            }
+            None => None,
+        };
+        self.open_row = open_row;
+        self.next_activate = DramCycle::new(r.get_u64()?);
+        self.next_read = DramCycle::new(r.get_u64()?);
+        self.next_write = DramCycle::new(r.get_u64()?);
+        self.next_precharge = DramCycle::new(r.get_u64()?);
+        self.active_since = r.get_opt_u64()?.map(DramCycle::new);
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::command::RankId;
 use crate::timing::TimingParams;
 use fqms_sim::clock::{DramCycle, NextEvent};
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// Per-rank constraint state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -319,6 +320,55 @@ impl ChannelTracker {
         );
         self.bus_free_at = start + cycles;
         self.bus_busy_cycles += cycles;
+    }
+}
+
+impl Snapshot for ChannelTracker {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.ranks.len());
+        for r in &self.ranks {
+            w.put_u64(r.next_activate.as_u64());
+            w.put_u64(r.next_read.as_u64());
+            w.put_u64(r.refresh_done.as_u64());
+            for act in r.act_history {
+                w.put_u64(act.as_u64());
+            }
+            w.put_usize(r.act_pos);
+            w.put_u64(r.act_count);
+        }
+        w.put_u64(self.bus_free_at.as_u64());
+        w.put_u64(self.next_cas.as_u64());
+        w.put_opt_u64(self.last_command_at.map(DramCycle::as_u64));
+        w.put_u64(self.bus_busy_cycles);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.ranks.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} ranks, channel has {}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            rank.next_activate = DramCycle::new(r.get_u64()?);
+            rank.next_read = DramCycle::new(r.get_u64()?);
+            rank.refresh_done = DramCycle::new(r.get_u64()?);
+            for act in &mut rank.act_history {
+                *act = DramCycle::new(r.get_u64()?);
+            }
+            let pos = r.get_usize()?;
+            if pos >= 4 {
+                return Err(r.malformed(format!("tFAW ring position {pos} out of range")));
+            }
+            rank.act_pos = pos;
+            rank.act_count = r.get_u64()?;
+        }
+        self.bus_free_at = DramCycle::new(r.get_u64()?);
+        self.next_cas = DramCycle::new(r.get_u64()?);
+        self.last_command_at = r.get_opt_u64()?.map(DramCycle::new);
+        self.bus_busy_cycles = r.get_u64()?;
+        Ok(())
     }
 }
 

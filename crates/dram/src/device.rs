@@ -17,6 +17,7 @@ use crate::channel::ChannelTracker;
 use crate::command::{BankId, Command, RankId, RowId};
 use crate::timing::TimingParams;
 use fqms_sim::clock::{DramCycle, NextEvent};
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// Geometry of the memory system: ranks per channel, banks per rank, rows
 /// per bank, columns (cache lines) per row.
@@ -397,6 +398,65 @@ impl DramDevice {
     }
 }
 
+/// Geometry and timing are configuration, not state: the snapshot carries a
+/// config fingerprint at the envelope level, so the device serializes only
+/// what mutates during a run — bank trackers, the channel tracker, refresh
+/// deadlines, and statistics counters. Restore requires a device already
+/// built with the same geometry (bank/rank counts are validated, not
+/// resized).
+impl Snapshot for DramDevice {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.banks.len());
+        for b in &self.banks {
+            b.save(w);
+        }
+        self.channel.save(w);
+        w.put_seq_len(self.refresh_due.len());
+        for &due in &self.refresh_due {
+            w.put_u64(due.as_u64());
+        }
+        w.put_u64(self.acts);
+        w.put_u64(self.pres);
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.put_u64(self.refreshes);
+        w.put_u64(self.bank_busy_cycles);
+        w.put_u64(self.stats_last_tick.as_u64());
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.banks.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} banks, device has {}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.restore(r)?;
+        }
+        self.channel.restore(r)?;
+        let ranks = r.seq_len()?;
+        if ranks != self.refresh_due.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {ranks} refresh deadlines, device has {}",
+                self.refresh_due.len()
+            )));
+        }
+        for due in &mut self.refresh_due {
+            *due = DramCycle::new(r.get_u64()?);
+        }
+        self.acts = r.get_u64()?;
+        self.pres = r.get_u64()?;
+        self.reads = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        self.refreshes = r.get_u64()?;
+        self.bank_busy_cycles = r.get_u64()?;
+        self.stats_last_tick = DramCycle::new(r.get_u64()?);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +598,76 @@ mod tests {
         assert_eq!(
             d.next_event_cycle(DramCycle::new(30)),
             DramCycle::new(280_000)
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_timing_state() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut d = dev();
+        d.issue(&act(0, 1), DramCycle::new(0));
+        d.issue(&rd(0, 0), DramCycle::new(5));
+        d.issue(&act(1, 7), DramCycle::new(9));
+
+        let mut w = SnapshotWriter::new(42);
+        w.section("dram", |s| d.save(s));
+        let bytes = w.into_bytes();
+
+        let mut restored = dev();
+        let mut r = SnapshotReader::new(&bytes, 42).unwrap();
+        r.section("dram", |s| restored.restore(s)).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(
+            restored.open_row(RankId::new(0), BankId::new(0)),
+            Some(RowId::new(1))
+        );
+        assert_eq!(
+            restored.open_row(RankId::new(0), BankId::new(1)),
+            Some(RowId::new(7))
+        );
+        assert_eq!(restored.command_counts(), d.command_counts());
+        assert_eq!(restored.bus_busy_cycles(), d.bus_busy_cycles());
+        for now in [10u64, 12, 14, 20, 30, 100] {
+            assert_eq!(
+                restored.next_event_cycle(DramCycle::new(now)),
+                d.next_event_cycle(DramCycle::new(now)),
+                "next_event mismatch at {now}"
+            );
+            assert_eq!(
+                restored.is_ready(&rd(1, 0), DramCycle::new(now)),
+                d.is_ready(&rd(1, 0), DramCycle::new(now)),
+                "readiness mismatch at {now}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_geometry_mismatch() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let d = dev();
+        let mut w = SnapshotWriter::new(1);
+        w.section("dram", |s| d.save(s));
+        let bytes = w.into_bytes();
+
+        let small = Geometry {
+            ranks: 1,
+            banks: 4,
+            rows: 16_384,
+            cols: 32,
+        };
+        let mut other = DramDevice::new(small, TimingParams::ddr2_800());
+        let mut r = SnapshotReader::new(&bytes, 1).unwrap();
+        let err = r.section("dram", |s| other.restore(s)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Malformed {
+                    section: "dram",
+                    ..
+                }
+            ),
+            "{err}"
         );
     }
 

@@ -11,6 +11,7 @@
 //! data) until its write command issues to the SDRAM.
 
 use crate::request::RequestKind;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// Reason a request was refused admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,6 +152,33 @@ impl ThreadBuffers {
     pub fn complete(&mut self, _kind: RequestKind) {
         assert!(self.transactions > 0, "transaction buffer underflow");
         self.transactions -= 1;
+    }
+}
+
+/// Capacities are configuration (validated against the restore target);
+/// only the occupancy counters are state. Shared-pool mode can legitimately
+/// push a thread's occupancy past its nominal partition, so occupancy is
+/// not bounds-checked against the capacities here.
+impl Snapshot for ThreadBuffers {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_usize(self.transaction_capacity);
+        w.put_usize(self.write_capacity);
+        w.put_usize(self.transactions);
+        w.put_usize(self.writes);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let tx_cap = r.get_usize()?;
+        let wr_cap = r.get_usize()?;
+        if tx_cap != self.transaction_capacity || wr_cap != self.write_capacity {
+            return Err(r.malformed(format!(
+                "buffer capacities {tx_cap}/{wr_cap} != configured {}/{}",
+                self.transaction_capacity, self.write_capacity
+            )));
+        }
+        self.transactions = r.get_usize()?;
+        self.writes = r.get_usize()?;
+        Ok(())
     }
 }
 

@@ -7,8 +7,9 @@
 //! opt-in and the ring never grows beyond its capacity.
 
 use crate::request::ThreadId;
-use fqms_dram::command::Command;
+use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
 use fqms_sim::clock::DramCycle;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 use std::collections::VecDeque;
 
 /// One issued command.
@@ -101,6 +102,115 @@ impl CommandLog {
     /// Iterates oldest-to-newest over the retained records.
     pub fn iter(&self) -> impl Iterator<Item = &CommandRecord> {
         self.ring.iter()
+    }
+}
+
+fn put_command(w: &mut SectionWriter, cmd: &Command) {
+    match *cmd {
+        Command::Activate { rank, bank, row } => {
+            w.put_u8(0);
+            w.put_u32(rank.as_u32());
+            w.put_u32(bank.as_u32());
+            w.put_u32(row.as_u32());
+        }
+        Command::Precharge { rank, bank } => {
+            w.put_u8(1);
+            w.put_u32(rank.as_u32());
+            w.put_u32(bank.as_u32());
+        }
+        Command::Read { rank, bank, col } => {
+            w.put_u8(2);
+            w.put_u32(rank.as_u32());
+            w.put_u32(bank.as_u32());
+            w.put_u32(col.as_u32());
+        }
+        Command::Write { rank, bank, col } => {
+            w.put_u8(3);
+            w.put_u32(rank.as_u32());
+            w.put_u32(bank.as_u32());
+            w.put_u32(col.as_u32());
+        }
+        Command::Refresh { rank } => {
+            w.put_u8(4);
+            w.put_u32(rank.as_u32());
+        }
+    }
+}
+
+fn get_command(r: &mut SectionReader<'_>) -> Result<Command, SnapshotError> {
+    Ok(match r.get_u8()? {
+        0 => Command::Activate {
+            rank: RankId::new(r.get_u32()?),
+            bank: BankId::new(r.get_u32()?),
+            row: RowId::new(r.get_u32()?),
+        },
+        1 => Command::Precharge {
+            rank: RankId::new(r.get_u32()?),
+            bank: BankId::new(r.get_u32()?),
+        },
+        2 => Command::Read {
+            rank: RankId::new(r.get_u32()?),
+            bank: BankId::new(r.get_u32()?),
+            col: ColId::new(r.get_u32()?),
+        },
+        3 => Command::Write {
+            rank: RankId::new(r.get_u32()?),
+            bank: BankId::new(r.get_u32()?),
+            col: ColId::new(r.get_u32()?),
+        },
+        4 => Command::Refresh {
+            rank: RankId::new(r.get_u32()?),
+        },
+        tag => return Err(r.malformed(format!("unknown command tag {tag}"))),
+    })
+}
+
+/// The log capacity is construction-time configuration and must match the
+/// restore target; the retained records and lifetime total are state.
+impl Snapshot for CommandLog {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.total);
+        w.put_seq_len(self.ring.len());
+        for rec in &self.ring {
+            w.put_u64(rec.cycle.as_u64());
+            put_command(w, &rec.cmd);
+            w.put_opt_u64(rec.thread.map(|t| u64::from(t.as_u32())));
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(r.malformed(format!(
+                "command log capacity {capacity} != {}",
+                self.capacity
+            )));
+        }
+        let total = r.get_u64()?;
+        let n = r.seq_len()?;
+        if n > capacity || (n as u64) > total {
+            return Err(r.malformed(format!(
+                "{n} retained records inconsistent with capacity {capacity} / total {total}"
+            )));
+        }
+        let mut ring = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let cycle = DramCycle::new(r.get_u64()?);
+            let cmd = get_command(r)?;
+            let thread = match r.get_opt_u64()? {
+                None => None,
+                Some(t) => {
+                    Some(ThreadId::new(u32::try_from(t).map_err(|_| {
+                        r.malformed(format!("thread id {t} out of range"))
+                    })?))
+                }
+            };
+            ring.push_back(CommandRecord { cycle, cmd, thread });
+        }
+        self.ring = ring;
+        self.total = total;
+        Ok(())
     }
 }
 

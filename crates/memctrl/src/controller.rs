@@ -29,12 +29,13 @@ use crate::policy::{BufferSharing, Priority, RefreshPolicy, RowPolicy, Scheduler
 use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
 use crate::stats::McStats;
 use crate::vtms::{bank_service, Vtms};
-use fqms_dram::command::{BankId, ColId, Command, RankId, RowId};
+use fqms_dram::command::{BankId, ColId, Command, DramAddress, RankId, RowId};
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{Event, NullObserver, Observer};
 use fqms_sim::clock::{DramCycle, NextEvent};
 use fqms_sim::fault::{FaultInjector, FaultKind, FaultPlan};
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// A request whose service has finished from the requester's perspective:
 /// for reads, the last data beat has arrived; for writes, the line has been
@@ -214,6 +215,14 @@ pub struct MemoryController {
     /// Provably-inert cycles fast-forwarded by
     /// [`MemoryController::tick_until`].
     skipped_cycles: u64,
+    /// A fast-forward skip clamped at a window edge: `(edge, next_event)`
+    /// means cycles `(edge, next_event)` are provably inert but the window
+    /// ended at `edge`. The next [`MemoryController::tick_until`] starting
+    /// exactly there continues the skip instead of re-stepping the edge,
+    /// so the stepped/skipped partition is independent of where windows
+    /// (epochs, checkpoints) split the run. Invalidated by any step or
+    /// submission.
+    skip_marker: Option<(u64, u64)>,
     /// Attached fault plan, compiled ([`MemoryController::set_fault_plan`]).
     fault: Option<FaultState>,
     /// Starvation watchdog, when `config.starvation_threshold` is set.
@@ -268,6 +277,7 @@ impl MemoryController {
             wr_used: 0,
             stepped_cycles: 0,
             skipped_cycles: 0,
+            skip_marker: None,
             fault: None,
             watchdog,
         })
@@ -433,6 +443,9 @@ impl MemoryController {
     ) -> Result<RequestId, Nack> {
         let tid = thread.as_usize();
         assert!(tid < self.config.num_threads(), "unknown thread {thread}");
+        // Any admission attempt mutates state (stats, fault cursors), so a
+        // clamped-skip marker from a previous window no longer applies.
+        self.skip_marker = None;
         // NACK-storm fault: the admission port behaves exactly as if the
         // relevant buffer were full for the episode's duration.
         if let Some(f) = self.fault.as_mut() {
@@ -713,6 +726,23 @@ impl MemoryController {
         obs: &mut O,
     ) {
         let mut c = from;
+        // A skip clamped at the previous window's edge resumes here: the
+        // recorded event bound still holds (nothing stepped or arrived
+        // since, or the marker would have been invalidated), so the edge
+        // cycle is not re-stepped and the stepped/skipped partition is
+        // identical to a run whose window never ended at `from`.
+        if let Some((edge, next)) = self.skip_marker {
+            if edge == c.as_u64() && next > c.as_u64() + 1 {
+                let dead_until = DramCycle::new((next - 1).min(to.as_u64()));
+                self.skipped_cycles += dead_until - c;
+                self.skip_marker = if dead_until.as_u64() < next - 1 {
+                    Some((dead_until.as_u64(), next))
+                } else {
+                    None
+                };
+                c = dead_until;
+            }
+        }
         while c < to {
             let before = out.len();
             c = DramCycle::new(c.as_u64() + 1);
@@ -723,9 +753,15 @@ impl MemoryController {
             let next = self.next_event_cycle(c).as_u64();
             if next > c.as_u64() + 1 {
                 // Cycles (c, next) are provably inert; jump to just before
-                // the event (clamped to the window end).
+                // the event (clamped to the window end). A clamped jump
+                // leaves a marker so the next window can finish the skip.
                 let dead_until = DramCycle::new((next - 1).min(to.as_u64()));
                 self.skipped_cycles += dead_until - c;
+                self.skip_marker = if dead_until.as_u64() < next - 1 {
+                    Some((dead_until.as_u64(), next))
+                } else {
+                    None
+                };
                 c = dead_until;
             }
         }
@@ -753,6 +789,7 @@ impl MemoryController {
         }
         self.last_step = Some(now);
         self.stepped_cycles += 1;
+        self.skip_marker = None;
 
         self.drain_read_completions(now, out, obs);
         if self.fault.is_some() {
@@ -1233,6 +1270,279 @@ impl MemoryController {
                 out.push(completion);
             }
         }
+    }
+}
+
+fn put_pending(w: &mut SectionWriter, p: &Pending) {
+    w.put_u64(p.req.id.as_u64());
+    w.put_u32(p.req.thread.as_u32());
+    w.put_bool(p.req.kind == RequestKind::Write);
+    w.put_u32(p.req.addr.rank.as_u32());
+    w.put_u32(p.req.addr.bank.as_u32());
+    w.put_u32(p.req.addr.row.as_u32());
+    w.put_u32(p.req.addr.col.as_u32());
+    w.put_u64(p.req.arrival.as_u64());
+    w.put_opt_u64(p.vft.map(f64::to_bits));
+    w.put_u8(p.ras_issued);
+}
+
+fn get_pending(r: &mut SectionReader<'_>) -> Result<Pending, SnapshotError> {
+    Ok(Pending {
+        req: MemoryRequest {
+            id: RequestId::new(r.get_u64()?),
+            thread: ThreadId::new(r.get_u32()?),
+            kind: if r.get_bool()? {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            },
+            addr: DramAddress {
+                rank: RankId::new(r.get_u32()?),
+                bank: BankId::new(r.get_u32()?),
+                row: RowId::new(r.get_u32()?),
+                col: ColId::new(r.get_u32()?),
+            },
+            arrival: DramCycle::new(r.get_u64()?),
+        },
+        vft: r.get_opt_u64()?.map(f64::from_bits),
+        ras_issued: r.get_u8()?,
+    })
+}
+
+pub(crate) fn put_completion(w: &mut SectionWriter, c: &Completion) {
+    w.put_u64(c.id.as_u64());
+    w.put_u32(c.thread.as_u32());
+    w.put_bool(c.kind == RequestKind::Write);
+    w.put_u64(c.arrival.as_u64());
+    w.put_u64(c.finish.as_u64());
+}
+
+pub(crate) fn get_completion(r: &mut SectionReader<'_>) -> Result<Completion, SnapshotError> {
+    Ok(Completion {
+        id: RequestId::new(r.get_u64()?),
+        thread: ThreadId::new(r.get_u32()?),
+        kind: if r.get_bool()? {
+            RequestKind::Write
+        } else {
+            RequestKind::Read
+        },
+        arrival: DramCycle::new(r.get_u64()?),
+        finish: DramCycle::new(r.get_u64()?),
+    })
+}
+
+/// What is serialized vs. rebuilt:
+///
+/// * **Serialized**: the DRAM device, every bank queue (requests plus their
+///   bound VFTs and RAS progress), buffer occupancy, VTMS registers,
+///   in-flight reads, id allocation, statistics, the command log, fault
+///   cursors and cached episode deadlines, watchdog progress clocks, the
+///   inversion-lock edge detectors, and the step/skip counters — every bit
+///   of state a resumed run's behaviour or reporting depends on.
+/// * **Rebuilt**: configuration (validated via the envelope fingerprint and
+///   per-field checks), the address map, fault episode *timelines* (a pure
+///   function of plan and seed, already present in the identically-built
+///   target), and the `BankCache` memo — it is invalidated wholesale on
+///   restore and repopulated by the first post-resume scheduling pass,
+///   which recomputes exactly the decisions the cache would have replayed.
+impl Snapshot for MemoryController {
+    fn save(&self, w: &mut SectionWriter) {
+        self.dram.save(w);
+        w.put_seq_len(self.queues.len());
+        for q in &self.queues {
+            w.put_seq_len(q.len());
+            for p in q {
+                put_pending(w, p);
+            }
+        }
+        w.put_seq_len(self.buffers.len());
+        for b in &self.buffers {
+            b.save(w);
+        }
+        for v in &self.vtms {
+            v.save(w);
+        }
+        w.put_seq_len(self.inflight_reads.len());
+        for c in &self.inflight_reads {
+            put_completion(w, c);
+        }
+        w.put_u64(self.next_id);
+        w.put_u64(self.id_stride);
+        self.stats.save(w);
+        w.put_opt_u64(self.last_step.map(DramCycle::as_u64));
+        w.put_bool(self.cmd_log.is_some());
+        if let Some(log) = &self.cmd_log {
+            log.save(w);
+        }
+        w.put_seq_len(self.lock_armed.len());
+        for &armed in &self.lock_armed {
+            w.put_bool(armed);
+        }
+        w.put_u64(self.stepped_cycles);
+        w.put_u64(self.skipped_cycles);
+        w.put_bool(self.skip_marker.is_some());
+        if let Some((edge, next)) = self.skip_marker {
+            w.put_u64(edge);
+            w.put_u64(next);
+        }
+        w.put_bool(self.fault.is_some());
+        if let Some(f) = &self.fault {
+            f.injector.save(w);
+            w.put_seq_len(f.stall_until.len());
+            for &until in &f.stall_until {
+                w.put_u64(until);
+            }
+            w.put_u64(f.pressure_until);
+        }
+        w.put_bool(self.watchdog.is_some());
+        if let Some(wd) = &self.watchdog {
+            w.put_u64(wd.threshold);
+            w.put_seq_len(wd.last_progress.len());
+            for (&progress, &tripped) in wd.last_progress.iter().zip(&wd.tripped) {
+                w.put_u64(progress.as_u64());
+                w.put_bool(tripped);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.dram.restore(r)?;
+        let nq = r.seq_len()?;
+        if nq != self.queues.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {nq} bank queues, controller has {}",
+                self.queues.len()
+            )));
+        }
+        let mut queued = 0usize;
+        for q in &mut self.queues {
+            let len = r.seq_len()?;
+            q.clear();
+            q.reserve(len);
+            for _ in 0..len {
+                q.push(get_pending(r)?);
+            }
+            queued += len;
+        }
+        let nb = r.seq_len()?;
+        if nb != self.buffers.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {nb} thread buffers, controller has {}",
+                self.buffers.len()
+            )));
+        }
+        for b in &mut self.buffers {
+            b.restore(r)?;
+        }
+        for v in &mut self.vtms {
+            v.restore(r)?;
+        }
+        let ni = r.seq_len()?;
+        let mut inflight = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            inflight.push(get_completion(r)?);
+        }
+        self.inflight_reads = inflight;
+        self.next_id = r.get_u64()?;
+        let stride = r.get_u64()?;
+        if stride != self.id_stride {
+            return Err(r.malformed(format!(
+                "id stride {stride} != configured {}",
+                self.id_stride
+            )));
+        }
+        self.stats.restore(r)?;
+        self.last_step = r.get_opt_u64()?.map(DramCycle::new);
+        let has_log = r.get_bool()?;
+        if has_log != self.cmd_log.is_some() {
+            return Err(r.malformed(format!(
+                "snapshot {} a command log, controller {}",
+                if has_log { "carries" } else { "lacks" },
+                if self.cmd_log.is_some() {
+                    "has one"
+                } else {
+                    "has none"
+                }
+            )));
+        }
+        if let Some(log) = &mut self.cmd_log {
+            log.restore(r)?;
+        }
+        let nl = r.seq_len()?;
+        if nl != self.lock_armed.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {nl} lock detectors, controller has {}",
+                self.lock_armed.len()
+            )));
+        }
+        for armed in &mut self.lock_armed {
+            *armed = r.get_bool()?;
+        }
+        self.stepped_cycles = r.get_u64()?;
+        self.skipped_cycles = r.get_u64()?;
+        self.skip_marker = if r.get_bool()? {
+            Some((r.get_u64()?, r.get_u64()?))
+        } else {
+            None
+        };
+        let has_fault = r.get_bool()?;
+        if has_fault != self.fault.is_some() {
+            return Err(r.malformed(
+                "snapshot and controller disagree on fault-plan attachment".to_string(),
+            ));
+        }
+        if let Some(f) = &mut self.fault {
+            f.injector.restore(r)?;
+            let ns = r.seq_len()?;
+            if ns != f.stall_until.len() {
+                return Err(r.malformed(format!(
+                    "snapshot has {ns} bank-stall deadlines, controller has {}",
+                    f.stall_until.len()
+                )));
+            }
+            for until in &mut f.stall_until {
+                *until = r.get_u64()?;
+            }
+            f.pressure_until = r.get_u64()?;
+            f.drop_scratch.clear();
+        }
+        let has_watchdog = r.get_bool()?;
+        if has_watchdog != self.watchdog.is_some() {
+            return Err(
+                r.malformed("snapshot and controller disagree on watchdog attachment".to_string())
+            );
+        }
+        if let Some(wd) = &mut self.watchdog {
+            let threshold = r.get_u64()?;
+            if threshold != wd.threshold {
+                return Err(r.malformed(format!(
+                    "watchdog threshold {threshold} != configured {}",
+                    wd.threshold
+                )));
+            }
+            let nw = r.seq_len()?;
+            if nw != wd.last_progress.len() {
+                return Err(r.malformed(format!(
+                    "snapshot has {nw} watchdog clocks, controller has {}",
+                    wd.last_progress.len()
+                )));
+            }
+            for t in 0..nw {
+                wd.last_progress[t] = DramCycle::new(r.get_u64()?);
+                wd.tripped[t] = r.get_bool()?;
+            }
+        }
+        // Derived occupancy counters are recomputed from the restored
+        // structures (cheaper to re-derive than to cross-validate), and
+        // the scheduler memo is dropped: the first post-resume pass
+        // recomputes every proposal from live state.
+        self.queued = queued;
+        self.tx_used = self.buffers.iter().map(|b| b.transactions_used()).sum();
+        self.wr_used = self.buffers.iter().map(|b| b.writes_used()).sum();
+        for cache in &mut self.bank_cache {
+            cache.valid = false;
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,10 @@ use fqms_sim::clock::DramCycle;
 use fqms_sim::fault::FaultPlan;
 use fqms_sim::parallel::{run_parallel, run_serial, Shard};
 use fqms_sim::rng::SimRng;
+use fqms_sim::snapshot::{
+    Fingerprint, SectionReader, SectionWriter, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
 use std::collections::VecDeque;
 
 /// One request in an open-loop submission schedule.
@@ -157,6 +161,25 @@ pub struct EngineSpec {
 }
 
 impl EngineSpec {
+    /// Fingerprint binding a checkpoint to this exact spec *and*
+    /// submission schedule. Restoring a checkpoint under a different
+    /// scheduler, geometry, timing, fault plan, retry policy, or workload
+    /// fails with [`SnapshotError::ConfigMismatch`] instead of resuming
+    /// nonsense. This is same-binary mismatch *detection* (crash recovery
+    /// of an interrupted run), not a cross-version compatibility contract.
+    pub fn fingerprint(&self, events: &[SubmitEvent]) -> u64 {
+        let mut fp = Fingerprint::new("fqms-engine");
+        fp.push_str(&format!("{self:?}"));
+        fp.push_u64(events.len() as u64);
+        for ev in events {
+            fp.push_u64(ev.at.as_u64());
+            fp.push_u64(u64::from(ev.thread.as_u32()));
+            fp.push_u64(u64::from(ev.kind == RequestKind::Write));
+            fp.push_u64(ev.phys);
+        }
+        fp.finish()
+    }
+
     /// The paper's Table 5 configuration under FQ-VFTF, spread over
     /// `num_channels` channels, with engine defaults (1024-cycle epochs,
     /// 10M-cycle safety bound, logging disabled).
@@ -464,6 +487,309 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         skipped_cycles,
         observations,
     }
+}
+
+fn put_submit_event(w: &mut SectionWriter, ev: &SubmitEvent) {
+    w.put_u64(ev.at.as_u64());
+    w.put_u32(ev.thread.as_u32());
+    w.put_bool(ev.kind == RequestKind::Write);
+    w.put_u64(ev.phys);
+}
+
+fn get_submit_event(r: &mut SectionReader<'_>) -> Result<SubmitEvent, SnapshotError> {
+    Ok(SubmitEvent {
+        at: DramCycle::new(r.get_u64()?),
+        thread: ThreadId::new(r.get_u32()?),
+        kind: if r.get_bool()? {
+            RequestKind::Write
+        } else {
+            RequestKind::Read
+        },
+        phys: r.get_u64()?,
+    })
+}
+
+/// The rebuilt port already holds the full pre-routed schedule (it is a
+/// pure function of spec + events, both bound by the fingerprint), so the
+/// queue serializes as a *remaining count*: restore pops the events the
+/// interrupted run had already consumed.
+impl Snapshot for SubmitPort {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.events.len());
+        w.put_u32(self.head_retries);
+        w.put_u64(self.head_ready_at);
+        w.put_seq_len(self.rejected.len());
+        for ev in &self.rejected {
+            put_submit_event(w, ev);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let remaining = r.seq_len()?;
+        if remaining > self.events.len() {
+            return Err(r.malformed(format!(
+                "{remaining} queued submissions exceed the rebuilt schedule's {}",
+                self.events.len()
+            )));
+        }
+        while self.events.len() > remaining {
+            self.events.pop_front();
+        }
+        self.head_retries = r.get_u32()?;
+        self.head_ready_at = r.get_u64()?;
+        let n = r.seq_len()?;
+        let mut rejected = Vec::with_capacity(n);
+        for _ in 0..n {
+            rejected.push(get_submit_event(r)?);
+        }
+        self.rejected = rejected;
+        Ok(())
+    }
+}
+
+impl Snapshot for ChannelShard {
+    fn save(&self, w: &mut SectionWriter) {
+        self.mc.save(w);
+        self.port.save(w);
+        w.put_seq_len(self.completions.len());
+        for c in &self.completions {
+            crate::controller::put_completion(w, c);
+        }
+        w.put_bool(self.obs.is_some());
+        if let Some(obs) = &self.obs {
+            obs.save(w);
+        }
+        w.put_bool(self.fast);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.mc.restore(r)?;
+        self.port.restore(r)?;
+        let n = r.seq_len()?;
+        let mut completions = Vec::with_capacity(n);
+        for _ in 0..n {
+            completions.push(crate::controller::get_completion(r)?);
+        }
+        self.completions = completions;
+        let observed = r.get_bool()?;
+        if observed != self.obs.is_some() {
+            return Err(
+                r.malformed("snapshot and shard disagree on observer attachment".to_string())
+            );
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.restore(r)?;
+        }
+        let fast = r.get_bool()?;
+        if fast != self.fast {
+            return Err(r.malformed(format!(
+                "snapshot fast-forward={fast}, spec fast-forward={}",
+                self.fast
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Why [`resume_serial`] could not resume a checkpoint.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The spec or schedule is invalid, or contradicts the checkpoint's
+    /// epoch bookkeeping.
+    Spec(String),
+    /// The checkpoint bytes were rejected by the snapshot codec
+    /// (truncation, corruption, version or configuration mismatch, or an
+    /// invalid decoded state).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Spec(e) => write!(f, "cannot resume: {e}"),
+            ResumeError::Snapshot(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Spec(_) => None,
+            ResumeError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapshotError> for ResumeError {
+    fn from(e: SnapshotError) -> Self {
+        ResumeError::Snapshot(e)
+    }
+}
+
+/// Runs the schedule serially until simulated cycle `kill_at`, captures a
+/// checkpoint there, and "crashes" — the differential half of the
+/// kill-and-resume guarantee. The kill cycle may fall anywhere, including
+/// mid-epoch: the epoch containing it is split at exactly that cycle,
+/// which is semantically invisible (each shard's drive loop carries no
+/// cross-cycle state beyond what the checkpoint serializes).
+///
+/// Feeding the returned bytes to [`resume_serial`] with the same spec and
+/// events produces an [`EngineReport`] **bit-identical** to the
+/// uninterrupted [`simulate_serial`] run.
+///
+/// # Errors
+///
+/// Returns a description if the spec/schedule is invalid, `kill_at` is
+/// outside `(0, max_cycles]`, or the run drains before reaching it.
+pub fn simulate_serial_checkpointed(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    kill_at: u64,
+) -> Result<Vec<u8>, String> {
+    if kill_at == 0 || kill_at > spec.max_cycles {
+        return Err(format!(
+            "kill cycle {kill_at} outside (0, {}]",
+            spec.max_cycles
+        ));
+    }
+    let mut shards = build_shards(spec, events)?;
+    let mut done = vec![false; shards.len()];
+    let mut remaining = shards.len();
+    let mut start = 0u64;
+    while start < spec.max_cycles && remaining > 0 {
+        let end = spec.max_cycles.min(start + spec.epoch_cycles);
+        if kill_at <= end {
+            // The kill cycle falls inside this epoch: advance every live
+            // shard to it, capture the checkpoint, and stop. The epoch's
+            // activity flags are *not* updated — they are only decidable
+            // at the true epoch boundary, which the resume reaches.
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if !done[i] {
+                    shard.run_epoch(start, kill_at);
+                }
+            }
+            let mut w = SnapshotWriter::new(spec.fingerprint(events));
+            w.section("engine", |s| {
+                s.put_u64(kill_at);
+                s.put_u64(start);
+                s.put_u64(end);
+                s.put_seq_len(done.len());
+                for &d in &done {
+                    s.put_bool(d);
+                }
+            });
+            w.section("channels", |s| {
+                s.put_seq_len(shards.len());
+                for shard in &shards {
+                    shard.save(s);
+                }
+            });
+            return Ok(w.into_bytes());
+        }
+        for (i, shard) in shards.iter_mut().enumerate() {
+            if !done[i] && !shard.run_epoch(start, end) {
+                done[i] = true;
+                remaining -= 1;
+            }
+        }
+        start = end;
+    }
+    Err(format!(
+        "run drained at cycle {start}, before kill cycle {kill_at}"
+    ))
+}
+
+/// Resumes a run from a [`simulate_serial_checkpointed`] checkpoint and
+/// drives it to completion, finishing the interrupted epoch from the kill
+/// cycle and then continuing the standard epoch loop.
+///
+/// Resumption is exact: a shard's epoch activity flag is evaluated at the
+/// epoch's true end, and shard idleness is monotone within an epoch (the
+/// port is pre-routed; no new work can arrive), so the flags the resumed
+/// run computes are the ones the uninterrupted run would have.
+///
+/// # Errors
+///
+/// [`ResumeError::Spec`] if the spec/schedule is invalid or the decoded
+/// epoch bookkeeping contradicts it; [`ResumeError::Snapshot`] if the
+/// bytes are truncated, corrupted, from another format version, or from a
+/// different spec/workload (fingerprint mismatch). Never panics.
+pub fn resume_serial(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    bytes: &[u8],
+) -> Result<EngineReport, ResumeError> {
+    let mut shards = build_shards(spec, events).map_err(ResumeError::Spec)?;
+    let mut r = SnapshotReader::new(bytes, spec.fingerprint(events))?;
+    let (kill_at, _epoch_start, epoch_end, mut done) = r.section("engine", |s| {
+        let kill_at = s.get_u64()?;
+        let epoch_start = s.get_u64()?;
+        let epoch_end = s.get_u64()?;
+        if !(epoch_start < kill_at && kill_at <= epoch_end) {
+            return Err(s.malformed(format!(
+                "kill cycle {kill_at} outside its epoch ({epoch_start}, {epoch_end}]"
+            )));
+        }
+        if epoch_end > spec.max_cycles {
+            return Err(s.malformed(format!(
+                "epoch end {epoch_end} beyond max_cycles {}",
+                spec.max_cycles
+            )));
+        }
+        let n = s.seq_len()?;
+        let mut done = Vec::with_capacity(n);
+        for _ in 0..n {
+            done.push(s.get_bool()?);
+        }
+        Ok((kill_at, epoch_start, epoch_end, done))
+    })?;
+    if done.len() != shards.len() {
+        return Err(ResumeError::Spec(format!(
+            "checkpoint tracks {} shards, spec builds {}",
+            done.len(),
+            shards.len()
+        )));
+    }
+    r.section("channels", |s| {
+        let n = s.seq_len()?;
+        if n != shards.len() {
+            return Err(s.malformed(format!(
+                "checkpoint holds {n} channels, spec builds {}",
+                shards.len()
+            )));
+        }
+        for shard in &mut shards {
+            shard.restore(s)?;
+        }
+        Ok(())
+    })?;
+    r.finish()?;
+
+    // Finish the interrupted epoch from the kill cycle, then continue the
+    // standard epoch loop — exactly `run_serial`'s bookkeeping.
+    let mut remaining = done.iter().filter(|&&d| !d).count();
+    for (i, shard) in shards.iter_mut().enumerate() {
+        if !done[i] && !shard.run_epoch(kill_at, epoch_end) {
+            done[i] = true;
+            remaining -= 1;
+        }
+    }
+    let mut start = epoch_end;
+    while start < spec.max_cycles && remaining > 0 {
+        let end = spec.max_cycles.min(start + spec.epoch_cycles);
+        for (i, shard) in shards.iter_mut().enumerate() {
+            if !done[i] && !shard.run_epoch(start, end) {
+                done[i] = true;
+                remaining -= 1;
+            }
+        }
+        start = end;
+    }
+    for shard in &mut shards {
+        shard.mc.finish(DramCycle::new(start));
+    }
+    Ok(merge(spec, shards, start))
 }
 
 /// Runs the schedule on the calling thread, one channel after another per
@@ -814,6 +1140,82 @@ mod tests {
         let report = simulate_serial(&spec, &events).unwrap();
         assert_eq!(report.cycles, 256);
         assert!(report.unsubmitted > 0);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let mut spec = small_spec(2, 2);
+        spec.event_capacity = Some(1 << 16);
+        let events = synthetic_workload(2, 1_500, 0.4, 41);
+        let reference = simulate_serial(&spec, &events).unwrap();
+        // Kill points cover mid-epoch, epoch boundaries (epoch = 128),
+        // the first cycle, and the tail of the schedule.
+        for kill_at in [1, 100, 128, 129, 777, 1_500] {
+            let bytes = simulate_serial_checkpointed(&spec, &events, kill_at).unwrap();
+            let resumed = resume_serial(&spec, &events, &bytes).unwrap();
+            assert_eq!(resumed.cycles, reference.cycles, "kill {kill_at}: cycles");
+            assert_eq!(
+                resumed.per_thread, reference.per_thread,
+                "kill {kill_at}: per_thread"
+            );
+            assert_eq!(
+                resumed.completions, reference.completions,
+                "kill {kill_at}: completions"
+            );
+            assert_eq!(
+                resumed.command_logs, reference.command_logs,
+                "kill {kill_at}: logs"
+            );
+            assert_eq!(
+                resumed.unsubmitted, reference.unsubmitted,
+                "kill {kill_at}: unsubmitted"
+            );
+            assert_eq!(
+                resumed.rejected, reference.rejected,
+                "kill {kill_at}: rejected"
+            );
+            assert_eq!(
+                resumed.stepped_cycles, reference.stepped_cycles,
+                "kill {kill_at}: stepped"
+            );
+            assert_eq!(
+                resumed.skipped_cycles, reference.skipped_cycles,
+                "kill {kill_at}: skipped"
+            );
+            assert_eq!(
+                resumed.observations, reference.observations,
+                "kill {kill_at}: observations"
+            );
+            assert_eq!(resumed, reference, "kill at {kill_at} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_wrong_workload_and_truncation() {
+        let spec = small_spec(2, 2);
+        let events = synthetic_workload(2, 800, 0.3, 43);
+        let bytes = simulate_serial_checkpointed(&spec, &events, 500).unwrap();
+        // A different workload changes the fingerprint: typed rejection.
+        let other = synthetic_workload(2, 800, 0.3, 44);
+        assert!(matches!(
+            resume_serial(&spec, &other, &bytes),
+            Err(ResumeError::Snapshot(SnapshotError::ConfigMismatch { .. }))
+        ));
+        // A different spec too.
+        let mut wrong = spec.clone();
+        wrong.config.scheduler = SchedulerKind::FrFcfs;
+        assert!(matches!(
+            resume_serial(&wrong, &events, &bytes),
+            Err(ResumeError::Snapshot(SnapshotError::ConfigMismatch { .. }))
+        ));
+        // Truncated bytes: typed error, never a panic.
+        assert!(matches!(
+            resume_serial(&spec, &events, &bytes[..bytes.len() / 2]),
+            Err(ResumeError::Snapshot(_))
+        ));
+        // Unreachable kill cycles are refused up front.
+        assert!(simulate_serial_checkpointed(&spec, &events, 0).is_err());
+        assert!(simulate_serial_checkpointed(&spec, &events, spec.max_cycles + 1).is_err());
     }
 
     #[test]

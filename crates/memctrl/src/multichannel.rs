@@ -26,6 +26,7 @@ use fqms_dram::timing::TimingParams;
 use fqms_obs::{EventRing, MetricsSink, NullObserver, TracingObserver};
 use fqms_sim::clock::{DramCycle, NextEvent};
 use fqms_sim::fault::FaultPlan;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// A memory system with `N` line-interleaved channels, each with its own
 /// scheduler and VTMS state.
@@ -348,10 +349,50 @@ impl MultiChannelController {
     }
 }
 
+/// Channel count and observation attachment are configuration (validated);
+/// each channel's controller and observer state delegate to their own
+/// [`Snapshot`] impls.
+impl Snapshot for MultiChannelController {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.channels.len());
+        for ch in &self.channels {
+            ch.save(w);
+        }
+        w.put_bool(!self.observers.is_empty());
+        for obs in &self.observers {
+            obs.save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.channels.len() {
+            return Err(r.malformed(format!(
+                "snapshot has {n} channels, controller has {}",
+                self.channels.len()
+            )));
+        }
+        for ch in &mut self.channels {
+            ch.restore(r)?;
+        }
+        let observed = r.get_bool()?;
+        if observed == self.observers.is_empty() {
+            return Err(r.malformed(
+                "snapshot and controller disagree on observation attachment".to_string(),
+            ));
+        }
+        for obs in &mut self.observers {
+            obs.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::SchedulerKind;
+    use fqms_sim::fault::{FaultKind, FaultWindow};
     use fqms_sim::rng::SimRng;
 
     fn mc(channels: usize) -> MultiChannelController {
@@ -559,6 +600,105 @@ mod tests {
         m.reset_stats(DramCycle::new(c));
         assert_eq!(m.merged_metrics().unwrap().thread(0).reads_completed, 0);
         assert!(m.event_stream(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identical() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let build = || {
+            let mut m = mc(2);
+            m.enable_observation(1 << 12);
+            m.enable_command_log(64);
+            m.set_fault_plan(
+                &FaultPlan::new(99)
+                    .with(FaultKind::NackStorm, FaultWindow::new(100, 3_500), 0.01, 40)
+                    .with(
+                        FaultKind::BankStall,
+                        FaultWindow::new(500, 3_000),
+                        0.005,
+                        60,
+                    ),
+            );
+            m
+        };
+        let drive = |m: &mut MultiChannelController,
+                     rng: &mut SimRng,
+                     from: u64,
+                     to: u64,
+                     done: &mut Vec<Completion>| {
+            for c in (from + 1)..=to {
+                let now = DramCycle::new(c);
+                if rng.chance(0.4) {
+                    let t = ThreadId::new(rng.next_below(2) as u32);
+                    let kind = if rng.chance(0.3) {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    let _ = m.try_submit(t, kind, rng.next_below(1 << 18) * 64, now);
+                }
+                done.extend(m.step(now));
+            }
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = build();
+        let mut ref_rng = SimRng::new(7);
+        let mut ref_done = Vec::new();
+        drive(&mut reference, &mut ref_rng, 0, 4_000, &mut ref_done);
+
+        // Interrupted run: snapshot at cycle 2_000, "crash", restore into
+        // an identically-built controller, and finish the window.
+        let mut first = build();
+        let mut rng = SimRng::new(7);
+        let mut done = Vec::new();
+        drive(&mut first, &mut rng, 0, 2_000, &mut done);
+        let mut w = SnapshotWriter::new(9);
+        w.section("mc", |s| first.save(s));
+        let bytes = w.into_bytes();
+        drop(first);
+
+        let mut resumed = build();
+        let mut r = SnapshotReader::new(&bytes, 9).unwrap();
+        r.section("mc", |s| resumed.restore(s)).unwrap();
+        r.finish().unwrap();
+        drive(&mut resumed, &mut rng, 2_000, 4_000, &mut done);
+
+        assert_eq!(done, ref_done);
+        for t in 0..2u32 {
+            assert_eq!(
+                resumed.thread_stats(ThreadId::new(t)),
+                reference.thread_stats(ThreadId::new(t))
+            );
+        }
+        assert_eq!(resumed.merged_metrics(), reference.merged_metrics());
+        for ch in 0..2 {
+            let a: Vec<_> = resumed.event_stream(ch).unwrap().iter().collect();
+            let b: Vec<_> = reference.event_stream(ch).unwrap().iter().collect();
+            assert_eq!(a, b, "channel {ch} event streams diverged");
+            assert!(
+                resumed
+                    .channel(ch)
+                    .command_log()
+                    .unwrap()
+                    .iter()
+                    .eq(reference.channel(ch).command_log().unwrap().iter()),
+                "channel {ch} command logs diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_channel_count_mismatch() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let m2 = mc(2);
+        let mut w = SnapshotWriter::new(1);
+        w.section("mc", |s| m2.save(s));
+        let bytes = w.into_bytes();
+        let mut m4 = mc(4);
+        let mut r = SnapshotReader::new(&bytes, 1).unwrap();
+        let err = r.section("mc", |s| m4.restore(s)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-thread and controller-wide statistics.
 
 use crate::request::ThreadId;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// Statistics accumulated for one hardware thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -109,6 +110,62 @@ impl McStats {
     /// Total writes completed across threads.
     pub fn total_writes_completed(&self) -> u64 {
         self.threads.iter().map(|t| t.writes_completed).sum()
+    }
+}
+
+impl Snapshot for ThreadStats {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.reads_accepted);
+        w.put_u64(self.writes_accepted);
+        w.put_u64(self.reads_completed);
+        w.put_u64(self.writes_completed);
+        w.put_u64(self.read_latency_total);
+        w.put_u64(self.bus_busy_cycles);
+        w.put_u64(self.nacks);
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_closed);
+        w.put_u64(self.row_conflicts);
+        w.put_u64(self.requests_dropped);
+        w.put_u64(self.starvations);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.reads_accepted = r.get_u64()?;
+        self.writes_accepted = r.get_u64()?;
+        self.reads_completed = r.get_u64()?;
+        self.writes_completed = r.get_u64()?;
+        self.read_latency_total = r.get_u64()?;
+        self.bus_busy_cycles = r.get_u64()?;
+        self.nacks = r.get_u64()?;
+        self.row_hits = r.get_u64()?;
+        self.row_closed = r.get_u64()?;
+        self.row_conflicts = r.get_u64()?;
+        self.requests_dropped = r.get_u64()?;
+        self.starvations = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for McStats {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.threads.len());
+        for t in &self.threads {
+            t.save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.threads.len() {
+            return Err(r.malformed(format!(
+                "stats for {n} threads, controller has {}",
+                self.threads.len()
+            )));
+        }
+        for t in &mut self.threads {
+            t.restore(r)?;
+        }
+        Ok(())
     }
 }
 

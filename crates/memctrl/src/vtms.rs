@@ -30,6 +30,7 @@ use fqms_dram::bank::BankState;
 use fqms_dram::command::{CommandKind, RowId};
 use fqms_dram::timing::TimingParams;
 use fqms_sim::clock::DramCycle;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// The bank service time `B.L_i^k` a request will require, classified by
 /// the state of its bank at service time (the paper's Table 3).
@@ -186,6 +187,42 @@ impl Vtms {
         if let Some(c) = chan_svc {
             self.update_channel(bank, c);
         }
+    }
+}
+
+/// The share `phi` and the bank count are configuration; the finish-time
+/// registers are the state. Registers round-trip via their IEEE-754 bit
+/// patterns, so a restored VTMS produces bit-identical virtual-time
+/// arithmetic (Equations 7–9) from the first post-resume command on. The
+/// share is compared by bit pattern too: two configs that differ in any
+/// share must not exchange snapshots.
+impl Snapshot for Vtms {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_f64(self.phi);
+        w.put_seq_len(self.bank_regs.len());
+        for &b in &self.bank_regs {
+            w.put_f64(b);
+        }
+        w.put_f64(self.channel_reg);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let phi = r.get_f64()?;
+        if phi.to_bits() != self.phi.to_bits() {
+            return Err(r.malformed(format!("share {phi} != configured {}", self.phi)));
+        }
+        let n = r.seq_len()?;
+        if n != self.bank_regs.len() {
+            return Err(r.malformed(format!(
+                "{n} bank registers, target has {}",
+                self.bank_regs.len()
+            )));
+        }
+        for b in &mut self.bank_regs {
+            *b = r.get_f64()?;
+        }
+        self.channel_reg = r.get_f64()?;
+        Ok(())
     }
 }
 

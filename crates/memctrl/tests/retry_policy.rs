@@ -1,0 +1,173 @@
+//! Edge-case coverage for [`RetryPolicy::bounded`] at the channel
+//! submission ports: the zero-retry policy, backoff-cap saturation, and
+//! the `completed + dropped + rejected == submitted` conservation law
+//! when retries exhaust on the last in-flight requests of a run.
+
+use fqms_memctrl::engine::{simulate_serial, EngineSpec, RetryPolicy, SubmitEvent};
+use fqms_memctrl::prelude::*;
+use fqms_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+
+fn spec(channels: usize, threads: usize) -> EngineSpec {
+    let mut spec = EngineSpec::paper(channels, threads);
+    spec.epoch_cycles = 512;
+    spec.event_capacity = Some(1 << 20);
+    spec
+}
+
+/// A NACK storm solidly covering `[from, to)`: rate high enough and
+/// episodes long enough that the port sees rejections throughout.
+fn storm(seed: u64, from: u64, to: u64) -> FaultPlan {
+    FaultPlan::new(seed).with(
+        FaultKind::NackStorm,
+        FaultWindow::new(from, to),
+        0.01,
+        4_000,
+    )
+}
+
+#[test]
+fn delay_saturates_at_the_cap_without_overflow() {
+    let policy = RetryPolicy::bounded(100, 2, 64);
+    // Doubles per attempt: 2, 4, 8, ..., then pins at the cap.
+    assert_eq!(policy.delay(1), 2);
+    assert_eq!(policy.delay(2), 4);
+    assert_eq!(policy.delay(5), 32);
+    assert_eq!(policy.delay(6), 64);
+    assert_eq!(policy.delay(7), 64, "cap not enforced past saturation");
+    // Huge attempt counts must neither overflow the shift nor exceed the
+    // cap — attempt numbers are unbounded under long storms.
+    assert_eq!(policy.delay(63), 64);
+    assert_eq!(policy.delay(u32::MAX), 64);
+
+    // A cap below the start is normalized up to the start, never zero.
+    let tight = RetryPolicy::bounded(1, 16, 2);
+    assert_eq!(tight.delay(1), 16);
+    assert_eq!(tight.delay(9), 16);
+
+    // Degenerate zero inputs still yield a positive delay (the port must
+    // always make progress toward its next retry).
+    let zeroed = RetryPolicy::bounded(0, 0, 0);
+    assert!(zeroed.delay(1) >= 1);
+    assert!(zeroed.delay(u32::MAX) >= 1);
+
+    // The reference policy retries on the very next cycle, always.
+    let imm = RetryPolicy::immediate();
+    assert_eq!(imm.delay(1), 1);
+    assert_eq!(imm.delay(u32::MAX), 1);
+}
+
+#[test]
+fn zero_retry_policy_rejects_on_first_nack_and_conserves() {
+    let events = fqms_memctrl::engine::synthetic_workload(4, 4_000, 0.4, 23);
+    let mut spec = spec(2, 4);
+    spec.fault_plan = Some(storm(9, 200, 3_000));
+    spec.retry = RetryPolicy::bounded(0, 1, 1);
+
+    let report = simulate_serial(&spec, &events).unwrap();
+    assert_eq!(report.unsubmitted, 0, "zero-retry port failed to drain");
+    let rejected: usize = report.rejected.iter().map(Vec::len).sum();
+    let nacks: u64 = report.per_thread.iter().map(|t| t.nacks).sum();
+    assert!(rejected > 0, "storm never rejected: vacuous test");
+    // With zero retries every NACK abandons its request immediately, so
+    // the two counters must agree exactly.
+    assert_eq!(nacks, rejected as u64, "zero-retry got a second attempt");
+    assert_eq!(
+        report.total_completed() + rejected,
+        events.len(),
+        "zero-retry broke request conservation"
+    );
+}
+
+#[test]
+fn saturated_backoff_still_drains_and_conserves() {
+    let events = fqms_memctrl::engine::synthetic_workload(4, 4_000, 0.4, 29);
+    let mut spec = spec(2, 4);
+    spec.fault_plan = Some(storm(13, 200, 3_500));
+    // Enough retries that long storms drive the backoff well past the
+    // cap: correctness must not depend on the exponential staying small.
+    spec.retry = RetryPolicy::bounded(40, 2, 16);
+
+    let report = simulate_serial(&spec, &events).unwrap();
+    assert_eq!(report.unsubmitted, 0, "saturated backoff wedged the port");
+    let rejected: usize = report.rejected.iter().map(Vec::len).sum();
+    assert_eq!(
+        report.total_completed() + rejected,
+        events.len(),
+        "saturated backoff broke request conservation"
+    );
+    // Deterministic: the same spec replays to the same report.
+    assert_eq!(report, simulate_serial(&spec, &events).unwrap());
+}
+
+#[test]
+fn conservation_holds_when_retries_exhaust_on_the_last_requests() {
+    // Drops post-admission *and* a NACK storm parked over the tail of the
+    // schedule, so the final in-flight requests exhaust their retries at
+    // the port: the three-way accounting identity must balance exactly.
+    let events = fqms_memctrl::engine::synthetic_workload(4, 4_000, 0.4, 31);
+    let last_at = events.last().expect("non-empty workload").at.as_u64();
+    let mut spec = spec(2, 4);
+    spec.fault_plan = Some(
+        FaultPlan::new(17)
+            .with(
+                FaultKind::RequestDrop,
+                FaultWindow::new(100, last_at),
+                0.01,
+                1,
+            )
+            // Storm starts before the last submissions and outlasts every
+            // possible retry (episodes truncate at the window end, so the
+            // window must extend past the point where the port has drained
+            // its whole backlog through rejections — each abandoned head
+            // costs ~`max_retries` backoff cycles of port throughput).
+            .with(
+                FaultKind::NackStorm,
+                FaultWindow::new(last_at.saturating_sub(600), last_at + 20_000),
+                0.05,
+                1_000_000,
+            ),
+    );
+    spec.retry = RetryPolicy::bounded(2, 1, 2);
+
+    let report = simulate_serial(&spec, &events).unwrap();
+    assert_eq!(report.unsubmitted, 0, "tail storm wedged the schedule");
+    let completed = report.total_completed() as u64;
+    let dropped: u64 = report.per_thread.iter().map(|t| t.requests_dropped).sum();
+    let rejected: u64 = report.rejected.iter().map(|r| r.len() as u64).sum();
+    assert!(dropped > 0, "drop plan never fired: vacuous test");
+    assert!(rejected > 0, "tail storm never exhausted a retry");
+    assert_eq!(
+        completed + dropped + rejected,
+        events.len() as u64,
+        "completed + dropped + rejected != submitted"
+    );
+
+    // The storm covers every cycle from its onset through the end of the
+    // schedule, so each channel's *final* scheduled request is among the
+    // rejected — retries exhaust on the last in-flight request, not just
+    // on mid-run traffic.
+    let line_bytes = spec.config.line_bytes;
+    for (ch, rejected) in report.rejected.iter().enumerate() {
+        let last = last_scheduled_for(&events, line_bytes, ch, report.rejected.len());
+        if let Some(last) = last {
+            assert!(
+                rejected.contains(&last),
+                "channel {ch}: last scheduled request was not rejected"
+            );
+        }
+    }
+}
+
+/// The latest-submitted event routed to `channel`, with the same
+/// channel-local address the shard stores (and reports in `rejected`).
+fn last_scheduled_for(
+    events: &[SubmitEvent],
+    line_bytes: u64,
+    channel: usize,
+    num_channels: usize,
+) -> Option<SubmitEvent> {
+    events.iter().rev().find_map(|e| {
+        let (ch, local) = MultiChannelController::localize(line_bytes, num_channels, e.phys);
+        (ch == channel).then_some(SubmitEvent { phys: local, ..*e })
+    })
+}

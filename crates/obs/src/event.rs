@@ -10,6 +10,7 @@
 
 use fqms_dram::command::CommandKind;
 use fqms_sim::fault::FaultKind;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 use std::collections::VecDeque;
 
 /// One observable scheduler occurrence, stamped with its DRAM cycle.
@@ -241,6 +242,279 @@ impl EventRing {
     pub fn clear(&mut self) {
         self.ring.clear();
         self.total = 0;
+    }
+}
+
+fn put_command_kind(w: &mut SectionWriter, kind: CommandKind) {
+    w.put_u8(match kind {
+        CommandKind::Activate => 0,
+        CommandKind::Precharge => 1,
+        CommandKind::Read => 2,
+        CommandKind::Write => 3,
+        CommandKind::Refresh => 4,
+    });
+}
+
+fn get_command_kind(r: &mut SectionReader<'_>) -> Result<CommandKind, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(CommandKind::Activate),
+        1 => Ok(CommandKind::Precharge),
+        2 => Ok(CommandKind::Read),
+        3 => Ok(CommandKind::Write),
+        4 => Ok(CommandKind::Refresh),
+        tag => Err(r.malformed(format!("unknown command kind tag {tag}"))),
+    }
+}
+
+fn put_fault_kind(w: &mut SectionWriter, kind: FaultKind) {
+    w.put_u8(match kind {
+        FaultKind::NackStorm => 0,
+        FaultKind::BankStall => 1,
+        FaultKind::RefreshPressure => 2,
+        FaultKind::RequestDrop => 3,
+    });
+}
+
+fn get_fault_kind(r: &mut SectionReader<'_>) -> Result<FaultKind, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(FaultKind::NackStorm),
+        1 => Ok(FaultKind::BankStall),
+        2 => Ok(FaultKind::RefreshPressure),
+        3 => Ok(FaultKind::RequestDrop),
+        tag => Err(r.malformed(format!("unknown fault kind tag {tag}"))),
+    }
+}
+
+fn put_opt_u32(w: &mut SectionWriter, v: Option<u32>) {
+    w.put_opt_u64(v.map(u64::from));
+}
+
+fn get_opt_u32(r: &mut SectionReader<'_>) -> Result<Option<u32>, SnapshotError> {
+    match r.get_opt_u64()? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| r.malformed(format!("u32 field out of range: {v}"))),
+    }
+}
+
+fn put_event(w: &mut SectionWriter, e: &Event) {
+    match *e {
+        Event::Arrival {
+            cycle,
+            thread,
+            id,
+            is_write,
+            bank,
+            queue_depth,
+        } => {
+            w.put_u8(0);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(id);
+            w.put_bool(is_write);
+            w.put_u32(bank);
+            w.put_u32(queue_depth);
+        }
+        Event::Nack {
+            cycle,
+            thread,
+            is_write,
+        } => {
+            w.put_u8(1);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_bool(is_write);
+        }
+        Event::VftBound {
+            cycle,
+            thread,
+            id,
+            vft,
+        } => {
+            w.put_u8(2);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(id);
+            w.put_f64(vft);
+        }
+        Event::InversionLock {
+            cycle,
+            bank,
+            active_for,
+        } => {
+            w.put_u8(3);
+            w.put_u64(cycle);
+            w.put_u32(bank);
+            w.put_u64(active_for);
+        }
+        Event::CommandIssued {
+            cycle,
+            kind,
+            bank,
+            thread,
+            id,
+        } => {
+            w.put_u8(4);
+            w.put_u64(cycle);
+            put_command_kind(w, kind);
+            put_opt_u32(w, bank);
+            put_opt_u32(w, thread);
+            w.put_opt_u64(id);
+        }
+        Event::Completed {
+            cycle,
+            thread,
+            id,
+            is_write,
+            latency,
+            bytes,
+        } => {
+            w.put_u8(5);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(id);
+            w.put_bool(is_write);
+            w.put_u64(latency);
+            w.put_u64(bytes);
+        }
+        Event::FaultInjected {
+            cycle,
+            kind,
+            until,
+            bank,
+        } => {
+            w.put_u8(6);
+            w.put_u64(cycle);
+            put_fault_kind(w, kind);
+            w.put_u64(until);
+            put_opt_u32(w, bank);
+        }
+        Event::RequestDropped {
+            cycle,
+            thread,
+            id,
+            is_write,
+        } => {
+            w.put_u8(7);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(id);
+            w.put_bool(is_write);
+        }
+        Event::StarvationDetected {
+            cycle,
+            thread,
+            stalled_for,
+        } => {
+            w.put_u8(8);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(stalled_for);
+        }
+    }
+}
+
+fn get_event(r: &mut SectionReader<'_>) -> Result<Event, SnapshotError> {
+    let tag = r.get_u8()?;
+    Ok(match tag {
+        0 => Event::Arrival {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            id: r.get_u64()?,
+            is_write: r.get_bool()?,
+            bank: r.get_u32()?,
+            queue_depth: r.get_u32()?,
+        },
+        1 => Event::Nack {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            is_write: r.get_bool()?,
+        },
+        2 => Event::VftBound {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            id: r.get_u64()?,
+            vft: r.get_f64()?,
+        },
+        3 => Event::InversionLock {
+            cycle: r.get_u64()?,
+            bank: r.get_u32()?,
+            active_for: r.get_u64()?,
+        },
+        4 => Event::CommandIssued {
+            cycle: r.get_u64()?,
+            kind: get_command_kind(r)?,
+            bank: get_opt_u32(r)?,
+            thread: get_opt_u32(r)?,
+            id: r.get_opt_u64()?,
+        },
+        5 => Event::Completed {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            id: r.get_u64()?,
+            is_write: r.get_bool()?,
+            latency: r.get_u64()?,
+            bytes: r.get_u64()?,
+        },
+        6 => Event::FaultInjected {
+            cycle: r.get_u64()?,
+            kind: get_fault_kind(r)?,
+            until: r.get_u64()?,
+            bank: get_opt_u32(r)?,
+        },
+        7 => Event::RequestDropped {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            id: r.get_u64()?,
+            is_write: r.get_bool()?,
+        },
+        8 => Event::StarvationDetected {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            stalled_for: r.get_u64()?,
+        },
+        tag => return Err(r.malformed(format!("unknown event tag {tag}"))),
+    })
+}
+
+/// The ring capacity is construction-time configuration and must match the
+/// restore target; the retained events and the lifetime total are state and
+/// round-trip exactly, so `total_recorded()` and `overflowed()` agree with
+/// an uninterrupted run after resume.
+impl Snapshot for EventRing {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.total);
+        w.put_seq_len(self.ring.len());
+        for e in &self.ring {
+            put_event(w, e);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(r.malformed(format!(
+                "event ring capacity {capacity} != {}",
+                self.capacity
+            )));
+        }
+        let total = r.get_u64()?;
+        let n = r.seq_len()?;
+        if n > capacity {
+            return Err(r.malformed(format!("{n} retained events exceed capacity {capacity}")));
+        }
+        if (n as u64) > total {
+            return Err(r.malformed(format!("{n} retained events exceed lifetime total {total}")));
+        }
+        let mut ring = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            ring.push_back(get_event(r)?);
+        }
+        self.ring = ring;
+        self.total = total;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! order.
 
 use crate::event::Event;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 use fqms_sim::stats::{Log2Histogram, Summary};
 
 /// One thread's observed metrics.
@@ -199,6 +200,68 @@ impl MetricsSink {
     pub fn reset(&mut self) {
         let n = self.per_thread.len();
         *self = MetricsSink::new(n);
+    }
+}
+
+impl Snapshot for ThreadSink {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.reads_completed);
+        w.put_u64(self.writes_completed);
+        w.put_u64(self.nacks);
+        w.put_u64(self.bytes);
+        self.read_latency.save(w);
+        self.write_latency.save(w);
+        w.put_u64(self.queue_depth_sum);
+        w.put_u64(self.queue_depth_samples);
+        w.put_u32(self.queue_depth_max);
+        self.vft_drift.save(w);
+        w.put_u64(self.requests_dropped);
+        w.put_u64(self.starvations);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.reads_completed = r.get_u64()?;
+        self.writes_completed = r.get_u64()?;
+        self.nacks = r.get_u64()?;
+        self.bytes = r.get_u64()?;
+        self.read_latency.restore(r)?;
+        self.write_latency.restore(r)?;
+        self.queue_depth_sum = r.get_u64()?;
+        self.queue_depth_samples = r.get_u64()?;
+        self.queue_depth_max = r.get_u32()?;
+        self.vft_drift.restore(r)?;
+        self.requests_dropped = r.get_u64()?;
+        self.starvations = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// The thread vector grows on demand during a run, so its length is state,
+/// not configuration: restore resizes to the serialized thread count.
+impl Snapshot for MetricsSink {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.per_thread.len());
+        for t in &self.per_thread {
+            t.save(w);
+        }
+        w.put_u64(self.commands_issued);
+        w.put_u64(self.inversion_locks);
+        w.put_u64(self.faults_injected);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        let mut per_thread = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut t = ThreadSink::default();
+            t.restore(r)?;
+            per_thread.push(t);
+        }
+        self.per_thread = per_thread;
+        self.commands_issued = r.get_u64()?;
+        self.inversion_locks = r.get_u64()?;
+        self.faults_injected = r.get_u64()?;
+        Ok(())
     }
 }
 

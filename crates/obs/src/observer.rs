@@ -9,6 +9,7 @@
 
 use crate::event::{Event, EventRing};
 use crate::metrics::MetricsSink;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// A sink for scheduler events.
 ///
@@ -90,6 +91,18 @@ impl Observer for TracingObserver {
     }
 }
 
+impl Snapshot for TracingObserver {
+    fn save(&self, w: &mut SectionWriter) {
+        self.events.save(w);
+        self.metrics.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.events.restore(r)?;
+        self.metrics.restore(r)
+    }
+}
+
 /// The observational output of a (possibly multi-channel) run: one event
 /// stream per channel, in channel-index order, plus the metrics merged in
 /// that same order. Bit-identical between serial and parallel execution of
@@ -162,6 +175,86 @@ mod tests {
         obs.reset();
         assert!(obs.events().is_empty());
         assert_eq!(obs.metrics().thread(1).reads_completed, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_events_and_metrics() {
+        use fqms_dram::command::CommandKind;
+        use fqms_sim::fault::FaultKind;
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+
+        let mut obs = TracingObserver::new(16, 2);
+        let events = [
+            Event::Arrival {
+                cycle: 1,
+                thread: 0,
+                id: 10,
+                is_write: false,
+                bank: 3,
+                queue_depth: 2,
+            },
+            Event::Nack {
+                cycle: 2,
+                thread: 1,
+                is_write: true,
+            },
+            Event::VftBound {
+                cycle: 3,
+                thread: 0,
+                id: 10,
+                vft: 40.25,
+            },
+            Event::InversionLock {
+                cycle: 4,
+                bank: 3,
+                active_for: 20,
+            },
+            Event::CommandIssued {
+                cycle: 5,
+                kind: CommandKind::Refresh,
+                bank: None,
+                thread: None,
+                id: None,
+            },
+            Event::Completed {
+                cycle: 6,
+                thread: 0,
+                id: 10,
+                is_write: false,
+                latency: 5,
+                bytes: 64,
+            },
+            Event::FaultInjected {
+                cycle: 7,
+                kind: FaultKind::BankStall,
+                until: 30,
+                bank: Some(1),
+            },
+            Event::RequestDropped {
+                cycle: 8,
+                thread: 1,
+                id: 11,
+                is_write: true,
+            },
+            Event::StarvationDetected {
+                cycle: 9,
+                thread: 1,
+                stalled_for: 5_000,
+            },
+        ];
+        for e in &events {
+            obs.on_event(e);
+        }
+
+        let mut w = SnapshotWriter::new(7);
+        w.section("obs", |s| obs.save(s));
+        let bytes = w.into_bytes();
+
+        let mut restored = TracingObserver::new(16, 2);
+        let mut r = SnapshotReader::new(&bytes, 7).unwrap();
+        r.section("obs", |s| restored.restore(s)).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, obs);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! happen, deterministically.
 
 use crate::rng::SimRng;
+use crate::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// The class of an injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -364,6 +365,40 @@ impl FaultInjector {
             }
         }
         earliest
+    }
+}
+
+/// The injector's serialized state is only its *position*: per-kind
+/// cursors and injected counters. Timelines are a pure function of
+/// `(plan, seed)` and are rebuilt by compiling the same plan before
+/// restore — the determinism argument for fault-injection resume.
+impl Snapshot for FaultInjector {
+    fn save(&self, w: &mut SectionWriter) {
+        for k in 0..4 {
+            w.put_usize(self.cursors[k].at);
+            w.put_bool(self.cursors[k].entered);
+            w.put_u64(self.injected[k]);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let mut cursors = [Cursor::default(); 4];
+        let mut injected = [0u64; 4];
+        for k in 0..4 {
+            cursors[k].at = r.get_usize()?;
+            cursors[k].entered = r.get_bool()?;
+            injected[k] = r.get_u64()?;
+            if cursors[k].at > self.timelines[k].len() {
+                return Err(r.malformed(format!(
+                    "fault cursor {} past its {}-episode timeline (was the plan changed?)",
+                    cursors[k].at,
+                    self.timelines[k].len()
+                )));
+            }
+        }
+        self.cursors = cursors;
+        self.injected = injected;
+        Ok(())
     }
 }
 

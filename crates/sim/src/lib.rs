@@ -15,7 +15,11 @@
 //! * [`fault`] — seeded fault plans compiled into deterministic episode
 //!   timelines, so adversarial conditions (NACK storms, bank stalls,
 //!   refresh pressure, request drops) are as reproducible as the happy
-//!   path.
+//!   path,
+//! * [`snapshot`] — the versioned binary checkpoint codec (magic, format
+//!   version, config fingerprint, per-section CRC) and the [`Snapshot`]
+//!   trait every stateful layer implements for deterministic
+//!   checkpoint/restore.
 //!
 //! # Example
 //!
@@ -37,10 +41,12 @@ pub mod clock;
 pub mod fault;
 pub mod parallel;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use clock::{ClockDomains, CpuCycle, DramCycle};
 pub use fault::{Episode, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use parallel::{run_parallel, run_serial, Shard};
 pub use rng::SimRng;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Counter, Histogram, Ratio, Summary};

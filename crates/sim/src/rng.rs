@@ -9,6 +9,8 @@
 //! The generator is *not* cryptographically secure; it only needs good
 //! statistical behaviour for synthetic address streams.
 
+use crate::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
+
 /// A deterministic xoshiro256** generator seeded via SplitMix64.
 ///
 /// # Example
@@ -117,6 +119,29 @@ impl SimRng {
         }
         let u = self.next_f64().max(f64::MIN_POSITIVE);
         (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+}
+
+impl Snapshot for SimRng {
+    fn save(&self, w: &mut SectionWriter) {
+        for word in self.state {
+            w.put_u64(word);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        if state == [0; 4] {
+            // xoshiro256** is degenerate at the all-zero state; SplitMix64
+            // seeding can never produce it, so a snapshot carrying it is
+            // corrupt.
+            return Err(r.malformed("all-zero xoshiro256** state"));
+        }
+        self.state = state;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! normalized target bus utilization (Figure 9). This module supplies the
 //! counters and summary math those metrics are built from.
 
+use crate::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 use std::fmt;
 use std::iter::FromIterator;
 
@@ -550,6 +551,121 @@ impl Log2Histogram {
 impl Default for Log2Histogram {
     fn default() -> Self {
         Log2Histogram::new()
+    }
+}
+
+impl Snapshot for Counter {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.0 = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Ratio {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.busy);
+        w.put_u64(self.total);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.busy = r.get_u64()?;
+        self.total = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Floating-point fields round-trip via their IEEE-754 bit patterns, so a
+/// restored summary is bit-identical to the saved one (including the
+/// ±infinity min/max sentinels of an empty summary).
+impl Snapshot for Summary {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.count);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.count = r.get_u64()?;
+        self.mean = r.get_f64()?;
+        self.m2 = r.get_f64()?;
+        self.min = r.get_f64()?;
+        self.max = r.get_f64()?;
+        Ok(())
+    }
+}
+
+/// Bucket width and bucket count are construction-time configuration: the
+/// restore target must already have matching shape, and a mismatch is a
+/// [`SnapshotError::Malformed`] rather than a silent resize.
+impl Snapshot for Histogram {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.bucket_width);
+        w.put_seq_len(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let width = r.get_u64()?;
+        if width != self.bucket_width {
+            return Err(r.malformed(format!(
+                "histogram bucket width {width} != {}",
+                self.bucket_width
+            )));
+        }
+        let n = r.seq_len()?;
+        if n != self.buckets.len() {
+            return Err(r.malformed(format!(
+                "histogram has {n} buckets, target has {}",
+                self.buckets.len()
+            )));
+        }
+        for b in &mut self.buckets {
+            *b = r.get_u64()?;
+        }
+        self.count = r.get_u64()?;
+        self.sum = r.get_u64()?;
+        self.max = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Log2Histogram {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.buckets.len() {
+            return Err(r.malformed(format!(
+                "log2 histogram has {n} buckets, expected {}",
+                self.buckets.len()
+            )));
+        }
+        for b in &mut self.buckets {
+            *b = r.get_u64()?;
+        }
+        self.count = r.get_u64()?;
+        self.sum = r.get_u64()?;
+        self.max = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::profile::WorkloadProfile;
 use fqms_cpu::trace::{MemAccess, TraceOp, TraceSource};
 use fqms_sim::rng::SimRng;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// An infinite synthetic instruction/reference stream with the statistics
 /// of a [`WorkloadProfile`].
@@ -135,6 +136,27 @@ impl TraceSource for SyntheticTrace {
                 dependent,
             }),
         }
+    }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        self.rng.save(w);
+        w.put_u64(self.cur_line);
+        w.put_u64(self.burst_left);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.restore(r)?;
+        let cur_line = r.get_u64()?;
+        if cur_line >= self.lines {
+            return Err(r.malformed(format!(
+                "current line {cur_line} outside footprint of {} lines",
+                self.lines
+            )));
+        }
+        self.cur_line = cur_line;
+        self.burst_left = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -269,6 +291,56 @@ mod tests {
         assert_eq!(p.burstiness, 0.0);
         let ops = collect(p, 1000);
         assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identical_stream() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let p = WorkloadProfile {
+            burstiness: 0.05,
+            burst_len: 16.0,
+            ..WorkloadProfile::stream("s", 8.0)
+        };
+        let mut t = SyntheticTrace::new(p, 13, 0).unwrap();
+        for _ in 0..777 {
+            t.next_op();
+        }
+        let mut w = SnapshotWriter::new(3);
+        let mut saved = Ok(());
+        w.section("trace", |s| saved = t.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+
+        let reference: Vec<TraceOp> = (0..500).map(|_| t.next_op()).collect();
+
+        let mut resumed = SyntheticTrace::new(p, 13, 0).unwrap();
+        let mut r = SnapshotReader::new(&bytes, 3).unwrap();
+        r.section("trace", |s| resumed.restore_state(s)).unwrap();
+        r.finish().unwrap();
+        let replay: Vec<TraceOp> = (0..500).map(|_| resumed.next_op()).collect();
+        assert_eq!(reference, replay);
+    }
+
+    #[test]
+    fn restore_rejects_out_of_footprint_position() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let small = WorkloadProfile {
+            footprint_bytes: 1024 * 1024,
+            ..WorkloadProfile::stream("s", 4.0)
+        };
+        let big = WorkloadProfile::stream("s", 4.0);
+        let mut t = SyntheticTrace::new(big, 13, 0).unwrap();
+        // Park the walker beyond the small footprint's line count.
+        t.cur_line = t.lines - 1;
+        let mut w = SnapshotWriter::new(3);
+        let mut saved = Ok(());
+        w.section("trace", |s| saved = t.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+        let mut victim = SyntheticTrace::new(small, 13, 0).unwrap();
+        let mut r = SnapshotReader::new(&bytes, 3).unwrap();
+        let err = r.section("trace", |s| victim.restore_state(s)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
     }
 
     #[test]

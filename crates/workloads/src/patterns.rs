@@ -8,6 +8,7 @@
 
 use fqms_cpu::trace::{MemAccess, TraceOp, TraceSource};
 use fqms_sim::rng::SimRng;
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
 /// A perfectly sequential read stream: one load every `work + 1`
 /// instructions walking cache lines in order over `footprint_bytes`.
@@ -65,6 +66,23 @@ impl TraceSource for SequentialStream {
             }),
         }
     }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.cur);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let cur = r.get_u64()?;
+        if cur >= self.lines {
+            return Err(r.malformed(format!(
+                "position {cur} outside footprint of {} lines",
+                self.lines
+            )));
+        }
+        self.cur = cur;
+        Ok(())
+    }
 }
 
 /// Uniform random loads over a footprint (bank- and row-hostile).
@@ -107,6 +125,15 @@ impl TraceSource for RandomScatter {
                 dependent: false,
             }),
         }
+    }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        self.rng.save(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.restore(r)
     }
 }
 
@@ -153,6 +180,15 @@ impl TraceSource for PointerChase {
             }),
         }
     }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        self.rng.save(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.restore(r)
+    }
 }
 
 /// Alternates between two sources in fixed-length phases (e.g. a compute
@@ -197,6 +233,29 @@ impl<A: TraceSource, B: TraceSource> TraceSource for PhaseMix<A, B> {
             self.b.next_op()
         }
     }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        self.a.save_state(w)?;
+        self.b.save_state(w)?;
+        w.put_u64(self.count);
+        w.put_bool(self.in_a);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.a.restore_state(r)?;
+        self.b.restore_state(r)?;
+        let count = r.get_u64()?;
+        if count > self.phase_ops {
+            return Err(r.malformed(format!(
+                "phase position {count} exceeds phase length {}",
+                self.phase_ops
+            )));
+        }
+        self.count = count;
+        self.in_a = r.get_bool()?;
+        Ok(())
+    }
 }
 
 /// Defers a source's activity: emits pure-compute ops until roughly
@@ -230,6 +289,18 @@ impl<S: TraceSource> TraceSource for DelayedStart<S> {
         } else {
             self.inner.next_op()
         }
+    }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        self.inner.save_state(w)?;
+        w.put_u64(self.remaining);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        self.inner.restore_state(r)?;
+        self.remaining = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -270,6 +341,23 @@ impl TraceSource for RecordedTrace {
         let op = self.ops[self.pos];
         self.pos = (self.pos + 1) % self.ops.len();
         op
+    }
+
+    fn save_state(&self, w: &mut SectionWriter) -> Result<(), SnapshotError> {
+        w.put_usize(self.pos);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let pos = r.get_usize()?;
+        if pos >= self.ops.len() {
+            return Err(r.malformed(format!(
+                "replay position {pos} outside the {}-op trace",
+                self.ops.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 
@@ -350,6 +438,88 @@ mod tests {
         let first: Vec<TraceOp> = (0..3).map(|_| rec.next_op()).collect();
         let second: Vec<TraceOp> = (0..3).map(|_| rec.next_op()).collect();
         assert_eq!(first, second);
+    }
+
+    /// Round-trips `src` through a snapshot after `warm` ops and checks the
+    /// next `n` ops match an uninterrupted reference.
+    fn assert_roundtrip<S: TraceSource + Clone>(mut src: S, warm: usize, n: usize) {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut fresh = src.clone();
+        for _ in 0..warm {
+            src.next_op();
+        }
+        let mut w = SnapshotWriter::new(2);
+        let mut saved = Ok(());
+        w.section("trace", |s| saved = src.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+        let reference: Vec<TraceOp> = (0..n).map(|_| src.next_op()).collect();
+
+        let mut r = SnapshotReader::new(&bytes, 2).unwrap();
+        r.section("trace", |s| fresh.restore_state(s)).unwrap();
+        r.finish().unwrap();
+        let replay: Vec<TraceOp> = (0..n).map(|_| fresh.next_op()).collect();
+        assert_eq!(reference, replay);
+    }
+
+    #[test]
+    fn pattern_snapshots_roundtrip() {
+        assert_roundtrip(SequentialStream::new(0, 1 << 16, 3), 123, 200);
+        assert_roundtrip(RandomScatter::new(0, 1 << 16, 3, 9), 123, 200);
+        assert_roundtrip(PointerChase::new(0, 1 << 16, 3, 9), 123, 200);
+        assert_roundtrip(
+            DelayedStart::new(RandomScatter::new(0, 1 << 16, 3, 9), 500),
+            40,
+            200,
+        );
+        let mut seq = SequentialStream::new(0, 4096, 5);
+        assert_roundtrip(RecordedTrace::capture(&mut seq, 17), 23, 60);
+    }
+
+    #[test]
+    fn phase_mix_snapshot_roundtrips_mid_phase() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let make = || {
+            PhaseMix::new(
+                SequentialStream::new(0, 1 << 14, 1),
+                RandomScatter::new(1 << 30, 1 << 14, 2, 5),
+                37,
+            )
+        };
+        let mut src = make();
+        for _ in 0..100 {
+            src.next_op();
+        }
+        let mut w = SnapshotWriter::new(2);
+        let mut saved = Ok(());
+        w.section("trace", |s| saved = src.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+        let reference: Vec<TraceOp> = (0..150).map(|_| src.next_op()).collect();
+
+        let mut fresh = make();
+        let mut r = SnapshotReader::new(&bytes, 2).unwrap();
+        r.section("trace", |s| fresh.restore_state(s)).unwrap();
+        r.finish().unwrap();
+        let replay: Vec<TraceOp> = (0..150).map(|_| fresh.next_op()).collect();
+        assert_eq!(reference, replay);
+    }
+
+    #[test]
+    fn recorded_trace_restore_rejects_bad_position() {
+        use fqms_sim::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let long = RecordedTrace::new(vec![TraceOp::compute(1); 10]);
+        let mut w = SnapshotWriter::new(2);
+        let mut long_at_9 = long;
+        long_at_9.pos = 9;
+        let mut saved = Ok(());
+        w.section("trace", |s| saved = long_at_9.save_state(s));
+        saved.unwrap();
+        let bytes = w.into_bytes();
+        let mut short = RecordedTrace::new(vec![TraceOp::compute(1); 4]);
+        let mut r = SnapshotReader::new(&bytes, 2).unwrap();
+        let err = r.section("trace", |s| short.restore_state(s)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
     }
 
     #[test]

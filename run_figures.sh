@@ -53,6 +53,21 @@ SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes
 # compile, and a broken build aborts before any output is disturbed.
 cargo build --release -q -p fqms-bench || exit 1
 
+# Appends one record to a checkpoint file atomically: the new content is
+# assembled in a temp file and renamed into place, so a sweep killed
+# mid-write leaves the previous complete manifest, never a torn line.
+record() {
+  file="$1"; shift
+  { cat "$file" 2>/dev/null; printf "$@"; } > "$file.tmp.$$" \
+    && mv "$file.tmp.$$" "$file"
+}
+
+# Writes a whole file atomically from a single printf.
+write_atomic() {
+  file="$1"; shift
+  printf "$@" > "$file.tmp.$$" && mv "$file.tmp.$$" "$file"
+}
+
 # True if the manifest records this binary as completed under the current
 # seed and run length (the checkpoint key for --resume).
 completed() {
@@ -61,13 +76,19 @@ completed() {
     "$MANIFEST" 2>/dev/null
 }
 
+# Long System runs checkpoint here (see DESIGN.md §14): a killed attempt
+# resumes from its last snapshot instead of recomputing from cycle zero.
+CKPT_DIR="$RES/checkpoints"
+mkdir -p "$CKPT_DIR"
+
 run_once() {
   if [ "$TIMEOUT_S" != "0" ] && command -v timeout >/dev/null 2>&1; then
-    FQMS_SIDECAR="$RES/$1.metrics.tsv" timeout "$TIMEOUT_S" \
+    FQMS_SIDECAR="$RES/$1.metrics.tsv" FQMS_CHECKPOINT_DIR="$CKPT_DIR" \
+      timeout "$TIMEOUT_S" \
       cargo run --release -q -p fqms-bench --bin "$1" \
       > "$RES/$1.tsv" 2> "$RES/$1.log"
   else
-    FQMS_SIDECAR="$RES/$1.metrics.tsv" \
+    FQMS_SIDECAR="$RES/$1.metrics.tsv" FQMS_CHECKPOINT_DIR="$CKPT_DIR" \
       cargo run --release -q -p fqms-bench --bin "$1" \
       > "$RES/$1.tsv" 2> "$RES/$1.log"
   fi
@@ -102,14 +123,14 @@ for bin in $BINS; do
   if [ "$ok" = "1" ]; then
     # Every figure run ships a machine-readable metrics sidecar; binaries
     # that simulate no system (static tables) get a header-only file.
-    [ -f "$RES/$bin.metrics.tsv" ] || printf '%s\n' "$SIDECAR_HEADER" > "$RES/$bin.metrics.tsv"
-    printf 'ok\t%s\t%s\t%s\n' "$bin" "$FQMS_SEED" "$FQMS_RUNLEN" >> "$MANIFEST"
+    [ -f "$RES/$bin.metrics.tsv" ] || write_atomic "$RES/$bin.metrics.tsv" '%s\n' "$SIDECAR_HEADER"
+    record "$MANIFEST" 'ok\t%s\t%s\t%s\n' "$bin" "$FQMS_SEED" "$FQMS_RUNLEN"
     echo "done $bin"
   else
     # No half-written figures: a failed binary leaves only its log.
     rm -f "$RES/$bin.tsv" "$RES/$bin.metrics.tsv"
-    printf 'failed\t%s\t%s\t%s\tattempts=%s\n' \
-      "$bin" "$FQMS_SEED" "$FQMS_RUNLEN" "$MAX_ATTEMPTS" >> "$FAILURES"
+    record "$FAILURES" 'failed\t%s\t%s\t%s\tattempts=%s\n' \
+      "$bin" "$FQMS_SEED" "$FQMS_RUNLEN" "$MAX_ATTEMPTS"
     FAILED=$((FAILED + 1))
     echo "FAILED: $bin (see $RES/$bin.log)"
   fi
