@@ -20,11 +20,12 @@ cargo build --release --offline
 echo "=== cargo test -q --offline ==="
 cargo test -q --offline
 
-echo "=== release: differential + parallel + fast-forward + fault equivalence ==="
+echo "=== release: differential + parallel + fast-forward + fault + scan equivalence ==="
 cargo test -q --release --offline -p fqms-memctrl \
   --test differential --test parallel_equivalence \
   --test fast_forward_equivalence --test fault_differential \
-  --test checkpoint_differential --test retry_policy
+  --test checkpoint_differential --test retry_policy \
+  --test select_differential --test hierarchy_conservation
 
 echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ==="
 # Emulate an interrupted sweep deterministically: run a prefix of the

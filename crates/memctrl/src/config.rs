@@ -1,8 +1,166 @@
-//! Memory-controller configuration.
+//! Memory-controller configuration, including the two-level share tree
+//! for hierarchical phi allocations (ISSUE 6).
 
 use crate::policy::{
-    BufferSharing, InversionBound, RefreshPolicy, RowPolicy, SchedulerKind, VftBinding,
+    BufferSharing, InversionBound, RefreshPolicy, RowPolicy, ScanKind, SchedulerKind, VftBinding,
 };
+
+/// One tenant in a two-level share tree: a fraction of the whole memory
+/// system, subdivided among the tenant's member threads by relative
+/// weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// The tenant's share of the memory system; must lie in `(0, 1]`.
+    pub share: f64,
+    /// Relative (positive) weights of the tenant's member threads. The
+    /// tenant owns `weights.len()` consecutive threads.
+    pub weights: Vec<f64>,
+}
+
+impl TenantSpec {
+    /// A tenant whose `n` threads split its share equally.
+    pub fn equal(share: f64, n: usize) -> Self {
+        TenantSpec {
+            share,
+            weights: vec![1.0; n],
+        }
+    }
+}
+
+/// A two-level tenant → thread share tree.
+///
+/// Tenants own consecutive thread-id ranges in declaration order:
+/// tenant 0 owns threads `0..tenants[0].weights.len()`, tenant 1 the
+/// next block, and so on. Each thread's **effective share** is its
+/// tenant's system share multiplied by the thread's normalized weight
+/// within the tenant:
+///
+/// ```text
+/// phi_t = tenant.share * w_t / sum(tenant.weights)
+/// ```
+///
+/// Effective shares sum (up to rounding) to the sum of tenant shares, so
+/// the flat EDF schedulability condition (`sum phi <= 1`) carries over
+/// unchanged and the existing per-thread VTMS machinery implements the
+/// hierarchy exactly under full backlog (see DESIGN.md §15 for the GPS
+/// equivalence argument and its idle-tenant limitation).
+///
+/// # Example
+///
+/// ```
+/// use fqms_memctrl::config::{ShareTree, TenantSpec};
+///
+/// let tree = ShareTree {
+///     tenants: vec![
+///         TenantSpec { share: 0.5, weights: vec![3.0, 1.0] },
+///         TenantSpec::equal(0.5, 2),
+///     ],
+/// };
+/// tree.validate().unwrap();
+/// assert_eq!(tree.num_threads(), 4);
+/// assert_eq!(tree.effective_shares(), vec![0.375, 0.125, 0.25, 0.25]);
+/// assert_eq!(tree.tenant_of(1), 0);
+/// assert_eq!(tree.tenant_of(2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareTree {
+    /// The tenants, in thread order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ShareTree {
+    /// A tree of `tenants` equal-share tenants with `threads_per_tenant`
+    /// equal-weight threads each (the symmetric scaling configuration).
+    pub fn symmetric(tenants: usize, threads_per_tenant: usize) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        ShareTree {
+            tenants: vec![TenantSpec::equal(1.0 / tenants as f64, threads_per_tenant); tenants],
+        }
+    }
+
+    /// Number of tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Total number of threads across all tenants.
+    pub fn num_threads(&self) -> usize {
+        self.tenants.iter().map(|t| t.weights.len()).sum()
+    }
+
+    /// The tenant owning `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn tenant_of(&self, thread: usize) -> usize {
+        let mut base = 0;
+        for (i, t) in self.tenants.iter().enumerate() {
+            base += t.weights.len();
+            if thread < base {
+                return i;
+            }
+        }
+        panic!("thread {thread} beyond the tree's {base} threads");
+    }
+
+    /// The consecutive thread-id range tenant `tenant` owns.
+    pub fn tenant_threads(&self, tenant: usize) -> std::ops::Range<usize> {
+        let base: usize = self.tenants[..tenant].iter().map(|t| t.weights.len()).sum();
+        base..base + self.tenants[tenant].weights.len()
+    }
+
+    /// Flattens the tree to per-thread effective shares
+    /// (`phi_t = tenant.share * w_t / sum(tenant.weights)`).
+    pub fn effective_shares(&self) -> Vec<f64> {
+        let mut shares = Vec::with_capacity(self.num_threads());
+        for t in &self.tenants {
+            let total: f64 = t.weights.iter().sum();
+            shares.extend(t.weights.iter().map(|w| t.share * w / total));
+        }
+        shares
+    }
+
+    /// Validates the tree shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if there are no tenants, a tenant has no
+    /// threads, a tenant share is outside `(0, 1]`, tenant shares sum to
+    /// more than 1 (beyond rounding slack), or a weight is not positive
+    /// and finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants.is_empty() {
+            return Err("share tree needs at least one tenant".into());
+        }
+        let mut sum = 0.0;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !(t.share > 0.0 && t.share <= 1.0) {
+                return Err(format!(
+                    "tenant {i} share must be in (0, 1], got {}",
+                    t.share
+                ));
+            }
+            if t.weights.is_empty() {
+                return Err(format!("tenant {i} has no threads"));
+            }
+            for (j, &w) in t.weights.iter().enumerate() {
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err(format!(
+                        "tenant {i} thread {j} weight must be positive, got {w}"
+                    ));
+                }
+            }
+            sum += t.share;
+        }
+        if sum > 1.0 + 1e-9 {
+            return Err(format!(
+                "tenant shares sum to {sum}, exceeding the memory system"
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Configuration of a [`crate::controller::MemoryController`].
 ///
@@ -23,6 +181,16 @@ pub struct McConfig {
     /// Per-thread service shares `phi_i`; must each lie in `(0, 1]` and sum
     /// to at most 1 (the EDF schedulability condition the paper invokes).
     pub shares: Vec<f64>,
+    /// Optional two-level tenant → thread share tree. When present,
+    /// `shares` must equal `share_tree.effective_shares()` bit-for-bit
+    /// (use [`McConfig::hierarchical`], which derives one from the
+    /// other); the tree additionally labels threads with tenants for
+    /// per-tenant accounting ([`crate::stats::McStats::tenant_totals`]).
+    pub share_tree: Option<ShareTree>,
+    /// Bank-scheduler selection implementation (default: indexed). The
+    /// linear reference is retained for differential testing and the
+    /// scaling figure's baseline.
+    pub scan: ScanKind,
     /// Transaction-buffer entries per thread (paper: 16).
     pub transaction_entries: usize,
     /// Write-buffer entries per thread (paper: 8).
@@ -56,9 +224,17 @@ impl McConfig {
     /// Panics if `num_threads` is zero.
     pub fn paper(num_threads: usize, scheduler: SchedulerKind) -> Self {
         assert!(num_threads > 0, "need at least one thread");
+        Self::with_shares(scheduler, vec![1.0 / num_threads as f64; num_threads])
+    }
+
+    /// Same as [`McConfig::paper`] but with explicit (possibly unequal)
+    /// shares.
+    pub fn with_shares(scheduler: SchedulerKind, shares: Vec<f64>) -> Self {
         McConfig {
             scheduler,
-            shares: vec![1.0 / num_threads as f64; num_threads],
+            shares,
+            share_tree: None,
+            scan: ScanKind::Indexed,
             transaction_entries: 16,
             write_entries: 8,
             inversion_bound: InversionBound::TRas,
@@ -71,22 +247,18 @@ impl McConfig {
         }
     }
 
-    /// Same as [`McConfig::paper`] but with explicit (possibly unequal)
-    /// shares.
-    pub fn with_shares(scheduler: SchedulerKind, shares: Vec<f64>) -> Self {
-        McConfig {
-            scheduler,
-            shares,
-            transaction_entries: 16,
-            write_entries: 8,
-            inversion_bound: InversionBound::TRas,
-            row_policy: RowPolicy::Closed,
-            vft_binding: VftBinding::FirstReady,
-            refresh_policy: RefreshPolicy::Strict,
-            buffer_sharing: BufferSharing::Partitioned,
-            line_bytes: 64,
-            starvation_threshold: None,
-        }
+    /// The paper configuration with hierarchical shares: per-thread
+    /// `phi` values are derived from the tree's effective shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is invalid (construct and
+    /// [`ShareTree::validate`] explicitly to handle errors).
+    pub fn hierarchical(scheduler: SchedulerKind, tree: ShareTree) -> Self {
+        tree.validate().expect("invalid share tree");
+        let mut cfg = Self::with_shares(scheduler, tree.effective_shares());
+        cfg.share_tree = Some(tree);
+        cfg
     }
 
     /// Number of hardware threads the controller supports.
@@ -99,8 +271,9 @@ impl McConfig {
     /// # Errors
     ///
     /// Returns a description if there are no threads, any share is outside
-    /// `(0, 1]`, the shares sum to more than 1 (beyond rounding slack), or
-    /// a buffer capacity is zero.
+    /// `(0, 1]`, the shares sum to more than 1 (beyond rounding slack), a
+    /// buffer capacity is zero, or the share tree (when present) is
+    /// invalid or inconsistent with `shares`.
     pub fn validate(&self) -> Result<(), String> {
         if self.shares.is_empty() {
             return Err("at least one thread share is required".into());
@@ -113,6 +286,23 @@ impl McConfig {
         let sum: f64 = self.shares.iter().sum();
         if sum > 1.0 + 1e-9 {
             return Err(format!("shares sum to {sum}, exceeding the memory system"));
+        }
+        if let Some(tree) = &self.share_tree {
+            tree.validate()?;
+            let effective = tree.effective_shares();
+            // Bit-equality, not tolerance: `shares` drive the VTMS
+            // arithmetic and the snapshot fingerprint; a tree that merely
+            // approximates them would silently shift virtual time.
+            if effective.len() != self.shares.len()
+                || effective
+                    .iter()
+                    .zip(&self.shares)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return Err("share_tree effective shares disagree with flat shares \
+                     (build via McConfig::hierarchical)"
+                    .into());
+            }
         }
         if self.transaction_entries == 0 || self.write_entries == 0 {
             return Err("buffer capacities must be positive".into());
@@ -182,5 +372,73 @@ mod tests {
         let mut cfg = McConfig::paper(2, SchedulerKind::FrFcfs);
         cfg.line_bytes = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn hierarchical_config_derives_effective_shares() {
+        let tree = ShareTree {
+            tenants: vec![
+                TenantSpec {
+                    share: 0.5,
+                    weights: vec![1.0, 1.0],
+                },
+                TenantSpec {
+                    share: 0.25,
+                    weights: vec![2.0, 1.0, 1.0],
+                },
+            ],
+        };
+        let cfg = McConfig::hierarchical(SchedulerKind::FqVftf, tree);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_threads(), 5);
+        assert_eq!(cfg.shares, vec![0.25, 0.25, 0.125, 0.0625, 0.0625]);
+    }
+
+    #[test]
+    fn inconsistent_share_tree_rejected() {
+        let mut cfg = McConfig::hierarchical(SchedulerKind::FqVftf, ShareTree::symmetric(2, 2));
+        cfg.validate().unwrap();
+        cfg.shares[0] += 1e-12; // drift: no longer the tree's flattening
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn share_tree_validation_rejects_bad_shapes() {
+        assert!(ShareTree { tenants: vec![] }.validate().is_err());
+        assert!(ShareTree {
+            tenants: vec![TenantSpec::equal(0.5, 0)]
+        }
+        .validate()
+        .is_err());
+        assert!(ShareTree {
+            tenants: vec![TenantSpec::equal(0.0, 2)]
+        }
+        .validate()
+        .is_err());
+        assert!(ShareTree {
+            tenants: vec![TenantSpec::equal(0.7, 1), TenantSpec::equal(0.7, 1)]
+        }
+        .validate()
+        .is_err());
+        assert!(ShareTree {
+            tenants: vec![TenantSpec {
+                share: 0.5,
+                weights: vec![1.0, -1.0],
+            }]
+        }
+        .validate()
+        .is_err());
+        ShareTree::symmetric(64, 64).validate().unwrap();
+    }
+
+    #[test]
+    fn symmetric_tree_flattens_to_equal_shares() {
+        let tree = ShareTree::symmetric(4, 16);
+        assert_eq!(tree.num_threads(), 64);
+        let shares = tree.effective_shares();
+        assert!(shares.iter().all(|&s| (s - 1.0 / 64.0).abs() < 1e-15));
+        assert_eq!(tree.tenant_of(0), 0);
+        assert_eq!(tree.tenant_of(63), 3);
+        assert_eq!(tree.tenant_threads(2), 32..48);
     }
 }

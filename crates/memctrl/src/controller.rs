@@ -25,8 +25,11 @@ use crate::address_map::AddressMap;
 use crate::buffers::{Nack, ThreadBuffers};
 use crate::cmdlog::{CommandLog, CommandRecord};
 use crate::config::McConfig;
-use crate::policy::{BufferSharing, Priority, RefreshPolicy, RowPolicy, SchedulerKind, VftBinding};
+use crate::policy::{
+    BufferSharing, Priority, RefreshPolicy, RowPolicy, ScanKind, SchedulerKind, VftBinding,
+};
 use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
+use crate::select::{BankQueue, Pending};
 use crate::stats::McStats;
 use crate::vtms::{bank_service, Vtms};
 use fqms_dram::command::{BankId, ColId, Command, DramAddress, RankId, RowId};
@@ -61,24 +64,14 @@ impl Completion {
     }
 }
 
-/// A pending request plus its lazily bound virtual finish time.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    req: MemoryRequest,
-    vft: Option<f64>,
-    /// RAS commands issued for this request so far (0 at admission);
-    /// classifies the service it received: CAS with 0 prior = row hit,
-    /// 1 = closed bank, 2 = bank conflict.
-    ras_issued: u8,
-}
-
 /// A command proposed by a bank scheduler to the channel scheduler.
 #[derive(Debug, Clone, Copy)]
 struct Proposal {
     cmd: Command,
     prio: Priority,
-    /// `(global_bank_index, queue_position)` of the owning request;
-    /// `None` for unowned commands (closed-row idle precharges).
+    /// `(global_bank_index, queue_slot)` of the owning request (a stable
+    /// [`BankQueue`] slot, not a position); `None` for unowned commands
+    /// (closed-row idle precharges).
     source: Option<(usize, usize)>,
 }
 
@@ -149,6 +142,15 @@ struct WatchdogState {
     /// True once the watchdog fired for the current stall episode; re-arms
     /// on the thread's next progress.
     tripped: Vec<bool>,
+    /// Earliest cycle any untripped thread with pending work could reach
+    /// its stall deadline (`u64::MAX` when none is armed). The per-cycle
+    /// check is a single compare against this; the O(threads) deadline
+    /// scan runs only when a deadline actually lands. May run stale-low
+    /// (a thread progressed after the deadline was recorded), which costs
+    /// one extra scan-and-recompute — never a missed trip: deadlines only
+    /// move *later* on progress, and [`MemoryController::note_progress`]
+    /// pulls `next_due` down when a new deadline is armed.
+    next_due: u64,
 }
 
 /// The memory controller.
@@ -181,8 +183,10 @@ pub struct MemoryController {
     config: McConfig,
     dram: DramDevice,
     map: AddressMap,
-    /// Pending request queue per global bank, in admission order.
-    queues: Vec<Vec<Pending>>,
+    /// Pending request queue per global bank (admission order preserved,
+    /// plus the indexed-selection structures when `config.scan` asks for
+    /// them — see [`crate::select`]).
+    queues: Vec<BankQueue>,
     buffers: Vec<ThreadBuffers>,
     vtms: Vec<Vtms>,
     inflight_reads: Vec<Completion>,
@@ -255,11 +259,14 @@ impl MemoryController {
             threshold,
             last_progress: vec![DramCycle::ZERO; config.num_threads()],
             tripped: vec![false; config.num_threads()],
+            next_due: 0,
         });
+        let indexed = config.scan == ScanKind::Indexed;
+        let vftf = config.scheduler.uses_vftf();
         Ok(MemoryController {
             map: AddressMap::new(geometry, config.line_bytes),
             dram: DramDevice::new(geometry, timing),
-            queues: vec![Vec::new(); total_banks],
+            queues: vec![BankQueue::new(indexed, vftf); total_banks],
             buffers,
             vtms,
             inflight_reads: Vec::new(),
@@ -366,7 +373,10 @@ impl MemoryController {
 
     /// Number of requests currently buffered (not yet fully serviced).
     pub fn pending_requests(&self) -> usize {
-        debug_assert_eq!(self.queued, self.queues.iter().map(Vec::len).sum::<usize>());
+        debug_assert_eq!(
+            self.queued,
+            self.queues.iter().map(BankQueue::len).sum::<usize>()
+        );
         self.queued + self.inflight_reads.len()
     }
 
@@ -588,6 +598,10 @@ impl MemoryController {
             let t = thread.as_usize();
             w.last_progress[t] = now;
             w.tripped[t] = false;
+            // This progress arms a fresh deadline; pull the incremental
+            // scan trigger down so the deadline cycle is actually checked
+            // (essential when `next_due` had drained to `u64::MAX`).
+            w.next_due = w.next_due.min(now.as_u64().saturating_add(w.threshold));
         }
     }
 
@@ -689,11 +703,11 @@ impl MemoryController {
         }
         if let Some(w) = &self.watchdog {
             // A watchdog trip is an observable event: make sure the
-            // deadline cycle is stepped, not skipped.
-            for (t, buf) in self.buffers.iter().enumerate() {
-                if !w.tripped[t] && buf.transactions_used() > 0 {
-                    ev.consider(w.last_progress[t].saturating_add(w.threshold));
-                }
+            // deadline cycle is stepped, not skipped. `next_due` is a
+            // conservative (never-late) bound over every armed deadline,
+            // so one compare replaces the per-thread scan.
+            if w.next_due != u64::MAX {
+                ev.consider(DramCycle::new(w.next_due));
             }
         }
         ev.earliest()
@@ -883,7 +897,8 @@ impl MemoryController {
                 continue; // nothing queued: the drop lands on air
             }
             // Deterministic victim: flatten the bank queues in bank-index
-            // order and pick the selector'th entry.
+            // order (admission order within each) and pick the selector'th
+            // entry.
             let mut target = (selector % self.queued as u64) as usize;
             let (bank_idx, pos) = self
                 .queues
@@ -898,7 +913,10 @@ impl MemoryController {
                     }
                 })
                 .expect("queued tracks the summed queue lengths");
-            let pending = self.queues[bank_idx].remove(pos);
+            let slot = self.queues[bank_idx]
+                .nth_slot(pos)
+                .expect("position bounded by live length");
+            let pending = self.queues[bank_idx].remove(slot);
             self.queued -= 1;
             self.bank_cache[bank_idx].valid = false;
             let req = pending.req;
@@ -934,31 +952,43 @@ impl MemoryController {
     /// Fires the starvation watchdog for threads that hold pending work
     /// but have made no progress for the configured threshold. Purely
     /// observational: one stat increment and one event per stall episode.
+    ///
+    /// Incremental: the common case is one compare against the cached
+    /// earliest deadline (`next_due`); the O(threads) scan runs only on
+    /// cycles where a deadline can actually land. Idle threads are simply
+    /// skipped — their stale progress clocks are rewritten by
+    /// [`MemoryController::note_progress`] on the admission that makes
+    /// them active again, so no per-cycle pinning is needed.
     fn check_watchdog<O: Observer>(&mut self, now: DramCycle, obs: &mut O) {
         let w = self.watchdog.as_mut().expect("checked by caller");
+        if now.as_u64() < w.next_due {
+            return;
+        }
+        let mut next = u64::MAX;
         for t in 0..w.last_progress.len() {
             if self.buffers[t].transactions_used() == 0 {
                 // Nothing pending: an idle thread is not starved.
-                w.last_progress[t] = now;
-                w.tripped[t] = false;
                 continue;
             }
             if w.tripped[t] {
                 continue;
             }
-            let stalled_for = now.as_u64().saturating_sub(w.last_progress[t].as_u64());
-            if stalled_for >= w.threshold {
+            let due = w.last_progress[t].as_u64().saturating_add(w.threshold);
+            if now.as_u64() >= due {
                 w.tripped[t] = true;
                 self.stats.thread_mut(ThreadId::new(t as u32)).starvations += 1;
                 if O::ENABLED {
                     obs.on_event(&Event::StarvationDetected {
                         cycle: now.as_u64(),
                         thread: t as u32,
-                        stalled_for,
+                        stalled_for: now.as_u64() - w.last_progress[t].as_u64(),
                     });
                 }
+            } else {
+                next = next.min(due);
             }
         }
+        w.next_due = next;
     }
 
     /// Finalizes utilization statistics at the end of a run.
@@ -1059,6 +1089,7 @@ impl MemoryController {
         let geometry = *self.dram.geometry();
         let kind = self.config.scheduler;
         let inversion = self.inversion_cycles;
+        let scan = self.config.scan;
 
         let mut best: Option<Proposal> = None;
         for bank_idx in 0..self.queues.len() {
@@ -1112,7 +1143,11 @@ impl MemoryController {
                 if cache.valid && cache.ready == ready && cache.locked == lock.is_some() {
                     cache.proposal
                 } else {
-                    let proposal = propose_for_bank(
+                    let propose = match scan {
+                        ScanKind::Linear => propose_linear::<O>,
+                        ScanKind::Indexed => propose_indexed::<O>,
+                    };
+                    let proposal = propose(
                         &mut self.queues[bank_idx],
                         ready,
                         lock,
@@ -1189,13 +1224,13 @@ impl MemoryController {
                 cmd: p.cmd,
                 thread: p
                     .source
-                    .map(|(bank_idx, pos)| self.queues[bank_idx][pos].req.thread),
+                    .map(|(bank_idx, slot)| self.queues[bank_idx].get(slot as u32).req.thread),
             });
         }
         if O::ENABLED {
             let owner = p
                 .source
-                .map(|(bank_idx, pos)| self.queues[bank_idx][pos].req);
+                .map(|(bank_idx, slot)| self.queues[bank_idx].get(slot as u32).req);
             obs.on_event(&Event::CommandIssued {
                 cycle: now.as_u64(),
                 kind: p.cmd.kind(),
@@ -1207,10 +1242,11 @@ impl MemoryController {
                 id: owner.map(|r| r.id.as_u64()),
             });
         }
-        let Some((bank_idx, queue_pos)) = p.source else {
+        let Some((bank_idx, slot)) = p.source else {
             return; // unowned command (idle close / refresh): no VTMS update
         };
-        let pending = self.queues[bank_idx][queue_pos];
+        let slot = slot as u32;
+        let pending = *self.queues[bank_idx].get(slot);
         let req = pending.req;
         if self.config.vft_binding == VftBinding::FirstReady {
             self.vtms[req.thread.as_usize()].apply_command(
@@ -1221,14 +1257,15 @@ impl MemoryController {
             );
         }
         if !p.cmd.is_cas() {
-            // RAS command: request stays queued for its CAS.
-            self.queues[bank_idx][queue_pos].ras_issued = self.queues[bank_idx][queue_pos]
-                .ras_issued
-                .saturating_add(1);
+            // RAS command: request stays queued for its CAS. `ras_issued`
+            // is not a selection key, so the in-place update is safe on
+            // the indexed queue.
+            let e = self.queues[bank_idx].get_mut(slot);
+            e.ras_issued = e.ras_issued.saturating_add(1);
             return;
         }
         // CAS issued: the request leaves the bank queue.
-        self.queues[bank_idx].remove(queue_pos);
+        self.queues[bank_idx].remove(slot);
         self.queued -= 1;
         let ts = self.stats.thread_mut(req.thread);
         ts.bus_busy_cycles += timing.burst;
@@ -1334,24 +1371,30 @@ pub(crate) fn get_completion(r: &mut SectionReader<'_>) -> Result<Completion, Sn
 /// What is serialized vs. rebuilt:
 ///
 /// * **Serialized**: the DRAM device, every bank queue (requests plus their
-///   bound VFTs and RAS progress), buffer occupancy, VTMS registers,
-///   in-flight reads, id allocation, statistics, the command log, fault
-///   cursors and cached episode deadlines, watchdog progress clocks, the
+///   bound VFTs and RAS progress, in admission order), buffer occupancy,
+///   VTMS registers, in-flight reads, id allocation, statistics, the
+///   command log, fault cursors and cached episode deadlines, watchdog
+///   progress clocks plus the incremental `next_due` trigger, the
 ///   inversion-lock edge detectors, and the step/skip counters — every bit
 ///   of state a resumed run's behaviour or reporting depends on.
 /// * **Rebuilt**: configuration (validated via the envelope fingerprint and
 ///   per-field checks), the address map, fault episode *timelines* (a pure
 ///   function of plan and seed, already present in the identically-built
-///   target), and the `BankCache` memo — it is invalidated wholesale on
+///   target), the `BankCache` memo — it is invalidated wholesale on
 ///   restore and repopulated by the first post-resume scheduling pass,
-///   which recomputes exactly the decisions the cache would have replayed.
+///   which recomputes exactly the decisions the cache would have replayed —
+///   and the `BankQueue` index structures (row-group heaps, tournament
+///   tree, unbound list): re-pushing the serialized admission-order entries
+///   reconstructs them, and the exactness argument in [`crate::select`]
+///   guarantees the rebuilt (renumbered) layout selects identically. The
+///   queue byte format is therefore independent of [`ScanKind`].
 impl Snapshot for MemoryController {
     fn save(&self, w: &mut SectionWriter) {
         self.dram.save(w);
         w.put_seq_len(self.queues.len());
         for q in &self.queues {
             w.put_seq_len(q.len());
-            for p in q {
+            for (_, p) in q.iter() {
                 put_pending(w, p);
             }
         }
@@ -1402,6 +1445,7 @@ impl Snapshot for MemoryController {
                 w.put_u64(progress.as_u64());
                 w.put_bool(tripped);
             }
+            w.put_u64(wd.next_due);
         }
     }
 
@@ -1418,7 +1462,6 @@ impl Snapshot for MemoryController {
         for q in &mut self.queues {
             let len = r.seq_len()?;
             q.clear();
-            q.reserve(len);
             for _ in 0..len {
                 q.push(get_pending(r)?);
             }
@@ -1531,6 +1574,7 @@ impl Snapshot for MemoryController {
                 wd.last_progress[t] = DramCycle::new(r.get_u64()?);
                 wd.tripped[t] = r.get_bool()?;
             }
+            wd.next_due = r.get_u64()?;
         }
         // Derived occupancy counters are recomputed from the restored
         // structures (cheaper to re-derive than to cross-validate), and
@@ -1575,14 +1619,28 @@ fn next_command(
     }
 }
 
-/// The bank scheduler for one bank (free function so the borrow of the
-/// queue is disjoint from the device and VTMS borrows). The caller has
-/// already probed bank-level readiness (`ready`) and FQ lock engagement
-/// (`lock`, `Some(active_for)` when the inversion bound has tripped); the
-/// queue is non-empty.
+/// Classifies one pending request against the bank state: is its next
+/// command's class ready this cycle, and is that command a CAS?
+fn classify(p: &Pending, open_row: Option<RowId>, ready: ReadyClasses) -> (bool, bool) {
+    match open_row {
+        Some(row) if row == p.req.addr.row => match p.req.kind {
+            RequestKind::Read => (ready.read, true),
+            RequestKind::Write => (ready.write, true),
+        },
+        Some(_) => (ready.precharge, false),
+        None => (ready.activate, false),
+    }
+}
+
+/// The linear-scan bank scheduler (the retained reference path,
+/// `ScanKind::Linear`; free function so the borrow of the queue is
+/// disjoint from the device and VTMS borrows). The caller has already
+/// probed bank-level readiness (`ready`) and FQ lock engagement (`lock`,
+/// `Some(active_for)` when the inversion bound has tripped); the queue is
+/// non-empty.
 #[allow(clippy::too_many_arguments)]
-fn propose_for_bank<O: Observer>(
-    queue: &mut [Pending],
+fn propose_linear<O: Observer>(
+    queue: &mut BankQueue,
     ready: ReadyClasses,
     lock: Option<u64>,
     vtms: &[Vtms],
@@ -1609,39 +1667,49 @@ fn propose_for_bank<O: Observer>(
             *lock_armed = false;
         }
         if let Some(active_for) = lock {
-            {
-                if O::ENABLED && !*lock_armed {
-                    *lock_armed = true;
-                    obs.on_event(&Event::InversionLock {
-                        cycle: now.as_u64(),
-                        bank: bank_idx as u32,
-                        active_for,
-                    });
-                }
-                let mut best: Option<(usize, f64, RequestId)> = None;
-                for (i, p) in queue.iter_mut().enumerate() {
-                    let key = bind_vft(p, vtms, bank_idx, open_row, timing, now, obs);
-                    match best {
-                        Some((_, bk, bid)) if (bk, bid) <= (key, p.req.id) => {}
-                        _ => best = Some((i, key, p.req.id)),
-                    }
-                }
-                let (i, key, id) = best.expect("non-empty queue");
-                let cmd = next_command(&queue[i].req, open_row, rank, bank);
-                if ready.allows(&cmd) {
-                    return Some(Proposal {
-                        cmd,
-                        prio: Priority {
-                            ready: true,
-                            cas: cmd.is_cas(),
-                            key,
-                            id,
-                        },
-                        source: Some((bank_idx, i)),
-                    });
-                }
-                return None; // wait: do not let lower-priority work chain
+            if O::ENABLED && !*lock_armed {
+                *lock_armed = true;
+                obs.on_event(&Event::InversionLock {
+                    cycle: now.as_u64(),
+                    bank: bank_idx as u32,
+                    active_for,
+                });
             }
+            let mut best: Option<(u32, f64, RequestId)> = None;
+            for i in 0..queue.order_len() {
+                let Some(slot) = queue.order_slot(i) else {
+                    continue;
+                };
+                let key = bind_vft(
+                    queue.get_mut(slot),
+                    vtms,
+                    bank_idx,
+                    open_row,
+                    timing,
+                    now,
+                    obs,
+                );
+                let id = queue.get(slot).req.id;
+                match best {
+                    Some((_, bk, bid)) if (bk, bid) <= (key, id) => {}
+                    _ => best = Some((slot, key, id)),
+                }
+            }
+            let (slot, key, id) = best.expect("non-empty queue");
+            let cmd = next_command(&queue.get(slot).req, open_row, rank, bank);
+            if ready.allows(&cmd) {
+                return Some(Proposal {
+                    cmd,
+                    prio: Priority {
+                        ready: true,
+                        cas: cmd.is_cas(),
+                        key,
+                        id,
+                    },
+                    source: Some((bank_idx, slot as usize)),
+                });
+            }
+            return None; // wait: do not let lower-priority work chain
         }
     }
 
@@ -1659,27 +1727,31 @@ fn propose_for_bank<O: Observer>(
     // request and the scan reduces to a row-compare plus a key compare
     // per request: the channel arbitration step is O(banks), not
     // O(requests).
-    let candidate_range = if kind.uses_first_ready() {
-        0..queue.len()
-    } else {
-        0..1
-    };
-    let mut best: Option<(Priority, usize)> = None;
-    for i in candidate_range {
-        let p = &mut queue[i];
-        let (class_ready, cas) = match open_row {
-            Some(row) if row == p.req.addr.row => match p.req.kind {
-                RequestKind::Read => (ready.read, true),
-                RequestKind::Write => (ready.write, true),
-            },
-            Some(_) => (ready.precharge, false),
-            None => (ready.activate, false),
+    let mut best: Option<(Priority, u32)> = None;
+    let mut seen = 0usize;
+    for i in 0..queue.order_len() {
+        let Some(slot) = queue.order_slot(i) else {
+            continue;
         };
+        seen += 1;
+        if seen > 1 && !kind.uses_first_ready() {
+            break; // FCFS ablation: only the oldest request competes
+        }
+        let p = *queue.get(slot);
+        let (class_ready, cas) = classify(&p, open_row, ready);
         if !class_ready {
             continue;
         }
         let key = if kind.uses_vftf() {
-            bind_vft(p, vtms, bank_idx, open_row, timing, now, obs)
+            bind_vft(
+                queue.get_mut(slot),
+                vtms,
+                bank_idx,
+                open_row,
+                timing,
+                now,
+                obs,
+            )
         } else {
             p.req.arrival.as_f64()
         };
@@ -1690,14 +1762,196 @@ fn propose_for_bank<O: Observer>(
             id: p.req.id,
         };
         if best.as_ref().is_none_or(|(b, _)| prio < *b) {
-            best = Some((prio, i));
+            best = Some((prio, slot));
         }
     }
-    best.map(|(prio, i)| Proposal {
-        cmd: next_command(&queue[i].req, open_row, rank, bank),
+    best.map(|(prio, slot)| Proposal {
+        cmd: next_command(&queue.get(slot).req, open_row, rank, bank),
         prio,
-        source: Some((bank_idx, i)),
+        source: Some((bank_idx, slot as usize)),
     })
+}
+
+/// The index-backed bank scheduler (`ScanKind::Indexed`): identical
+/// selection to [`propose_linear`] (see the exactness argument in
+/// [`crate::select`]) in O(log n).
+///
+/// Structure: first a *bind pre-pass* replays exactly the lazy VFT
+/// bindings the linear scan would have performed this evaluation —
+/// visiting still-unkeyed entries in admission order and binding those
+/// that are ranking candidates (every entry under the FQ lock; the
+/// class-ready ones otherwise) — so the `VftBound` event stream is
+/// bit-identical. Then the winner is read from the index: the open-row
+/// group's heap minimum for CAS hits (gated per kind), the tournament
+/// minimum excluding that group for the precharge candidate, or the
+/// global tournament minimum for a closed bank / the locked pick.
+#[allow(clippy::too_many_arguments)]
+fn propose_indexed<O: Observer>(
+    queue: &mut BankQueue,
+    ready: ReadyClasses,
+    lock: Option<u64>,
+    vtms: &[Vtms],
+    kind: SchedulerKind,
+    bank_idx: usize,
+    rank: RankId,
+    bank: BankId,
+    open_row: Option<RowId>,
+    now: DramCycle,
+    timing: &TimingParams,
+    lock_armed: &mut bool,
+    obs: &mut O,
+) -> Option<Proposal> {
+    debug_assert!(!queue.is_empty());
+
+    if kind.uses_fq_bank_scheduler() {
+        if O::ENABLED && lock.is_none() {
+            *lock_armed = false;
+        }
+        if let Some(active_for) = lock {
+            if O::ENABLED && !*lock_armed {
+                *lock_armed = true;
+                obs.on_event(&Event::InversionLock {
+                    cycle: now.as_u64(),
+                    bank: bank_idx as u32,
+                    active_for,
+                });
+            }
+        }
+    }
+
+    if kind.uses_vftf() {
+        let locked = lock.is_some();
+        queue.drain_unbound(|p| {
+            // Under the FQ lock every entry is ranked (and therefore
+            // bound); otherwise only class-ready candidates are — the
+            // same set, in the same admission order, as the linear scan
+            // binds lazily.
+            if !locked && !classify(p, open_row, ready).0 {
+                return None;
+            }
+            let state = match open_row {
+                Some(r) => fqms_dram::bank::BankState::Open(r),
+                None => fqms_dram::bank::BankState::Closed,
+            };
+            let svc = bank_service(state, p.req.addr.row, timing);
+            let v = vtms[p.req.thread.as_usize()].virtual_finish_time(
+                p.req.arrival,
+                bank_idx,
+                svc,
+                timing.burst,
+            );
+            if O::ENABLED {
+                obs.on_event(&Event::VftBound {
+                    cycle: now.as_u64(),
+                    thread: p.req.thread.as_u32(),
+                    id: p.req.id.as_u64(),
+                    vft: v,
+                });
+            }
+            Some(v)
+        });
+    }
+
+    if lock.is_some() {
+        // Locked FQ mode: the earliest-(key, id) entry overall, ready or
+        // not — the bank waits for it rather than letting other work
+        // chain. All entries are keyed after the pre-pass.
+        let (sel, slot) = queue.min_all().expect("non-empty, fully keyed queue");
+        let p = queue.get(slot);
+        let cmd = next_command(&p.req, open_row, rank, bank);
+        if ready.allows(&cmd) {
+            return Some(Proposal {
+                cmd,
+                prio: Priority {
+                    ready: true,
+                    cas: cmd.is_cas(),
+                    key: sel.key,
+                    id: p.req.id,
+                },
+                source: Some((bank_idx, slot as usize)),
+            });
+        }
+        return None;
+    }
+
+    if !kind.uses_first_ready() {
+        // FCFS ablation: only the oldest request competes.
+        let slot = queue.front_slot().expect("non-empty queue");
+        let p = queue.get(slot);
+        let (class_ready, cas) = classify(p, open_row, ready);
+        if !class_ready {
+            return None;
+        }
+        return Some(Proposal {
+            cmd: next_command(&p.req, open_row, rank, bank),
+            prio: Priority {
+                ready: true,
+                cas,
+                key: p.req.arrival.as_f64(),
+                id: p.req.id,
+            },
+            source: Some((bank_idx, slot as usize)),
+        });
+    }
+
+    // First-ready selection from the index. A ready CAS hit beats every
+    // RAS candidate (the `cas` priority level), so the classes resolve in
+    // order without comparing across them.
+    match open_row {
+        Some(row) => {
+            if let Some((sel, slot)) = queue.min_cas(row.as_u32(), ready.read, ready.write) {
+                let p = queue.get(slot);
+                let cmd = next_command(&p.req, open_row, rank, bank);
+                debug_assert!(cmd.is_cas());
+                return Some(Proposal {
+                    cmd,
+                    prio: Priority {
+                        ready: true,
+                        cas: true,
+                        key: sel.key,
+                        id: p.req.id,
+                    },
+                    source: Some((bank_idx, slot as usize)),
+                });
+            }
+            if !ready.precharge {
+                return None;
+            }
+            let (sel, slot) = queue.min_excluding_row(row.as_u32())?;
+            let p = queue.get(slot);
+            Some(Proposal {
+                cmd: Command::Precharge { rank, bank },
+                prio: Priority {
+                    ready: true,
+                    cas: false,
+                    key: sel.key,
+                    id: p.req.id,
+                },
+                source: Some((bank_idx, slot as usize)),
+            })
+        }
+        None => {
+            if !ready.activate {
+                return None;
+            }
+            let (sel, slot) = queue.min_all()?;
+            let p = queue.get(slot);
+            Some(Proposal {
+                cmd: Command::Activate {
+                    rank,
+                    bank,
+                    row: p.req.addr.row,
+                },
+                prio: Priority {
+                    ready: true,
+                    cas: false,
+                    key: sel.key,
+                    id: p.req.id,
+                },
+                source: Some((bank_idx, slot as usize)),
+            })
+        }
+    }
 }
 
 /// Bank-level readiness of each command class at one bank this cycle.

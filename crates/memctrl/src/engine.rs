@@ -444,19 +444,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
     let mut observations = spec.event_capacity.map(|_| Observations::default());
     for shard in shards {
         for (t, agg) in per_thread.iter_mut().enumerate() {
-            let s = shard.mc.stats().thread(ThreadId::new(t as u32));
-            agg.reads_accepted += s.reads_accepted;
-            agg.writes_accepted += s.writes_accepted;
-            agg.reads_completed += s.reads_completed;
-            agg.writes_completed += s.writes_completed;
-            agg.read_latency_total += s.read_latency_total;
-            agg.bus_busy_cycles += s.bus_busy_cycles;
-            agg.nacks += s.nacks;
-            agg.row_hits += s.row_hits;
-            agg.row_closed += s.row_closed;
-            agg.row_conflicts += s.row_conflicts;
-            agg.requests_dropped += s.requests_dropped;
-            agg.starvations += s.starvations;
+            agg.merge(shard.mc.stats().thread(ThreadId::new(t as u32)));
         }
         bus_busy_cycles += shard.mc.dram().bus_busy_cycles();
         unsubmitted += shard.port.events.len();

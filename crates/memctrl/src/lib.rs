@@ -50,6 +50,7 @@ pub mod multichannel;
 pub mod policy;
 pub mod port;
 pub mod request;
+pub mod select;
 pub mod stats;
 pub mod vtms;
 
@@ -58,16 +59,19 @@ pub mod prelude {
     pub use crate::address_map::AddressMap;
     pub use crate::buffers::{Nack, ThreadBuffers};
     pub use crate::cmdlog::{CommandLog, CommandRecord};
-    pub use crate::config::McConfig;
+    pub use crate::config::{McConfig, ShareTree, TenantSpec};
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
         adversarial_workload, interference_workload, simulate_parallel, simulate_serial,
         synthetic_workload, EngineReport, EngineSpec, RetryPolicy, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
-    pub use crate::policy::{InversionBound, Priority, RowPolicy, SchedulerKind, VftBinding};
+    pub use crate::policy::{
+        InversionBound, Priority, RowPolicy, ScanKind, SchedulerKind, VftBinding,
+    };
     pub use crate::port::MemoryPort;
     pub use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
+    pub use crate::select::{IndexedHeap, SelKey, TournamentTree};
     pub use crate::stats::{McStats, ThreadStats};
     pub use crate::vtms::{bank_service, update_service, Vtms};
     pub use fqms_obs::{

@@ -185,6 +185,25 @@ pub enum VftBinding {
     AtArrival,
 }
 
+/// Bank-scheduler candidate selection implementation (ISSUE 6).
+///
+/// Both paths are semantically identical — the differential suite
+/// (`select_differential.rs`) proves bit-identity of event streams,
+/// completions, and metrics — but scale differently: the linear scan is
+/// O(queue) per scheduling decision, the indexed path O(log queue) via
+/// per-row heaps and a tournament tree (see [`crate::select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanKind {
+    /// The reference implementation: rescan the bank queue in admission
+    /// order on every evaluation. Retained as the oracle for the
+    /// differential suite and the scaling figure's degrading baseline.
+    Linear,
+    /// Index-keyed selection: row-group heaps plus a tournament tree,
+    /// O(log n) select/update (the default).
+    #[default]
+    Indexed,
+}
+
 /// The three-level priority of a candidate command, ordered per the paper:
 /// ready beats not-ready, CAS beats RAS, then the smaller key (arrival time
 /// or virtual finish time) wins, with the admission id as a deterministic

@@ -1,5 +1,6 @@
 //! Per-thread and controller-wide statistics.
 
+use crate::config::ShareTree;
 use crate::request::ThreadId;
 use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
@@ -61,6 +62,25 @@ impl ThreadStats {
             self.bus_busy_cycles as f64 / elapsed as f64
         }
     }
+
+    /// Adds every counter of `other` into `self` — the aggregation used
+    /// for tenant-level rollups and multi-shard report merging. Summing
+    /// is exact (all counters are integers), so tenant totals conserve:
+    /// a tenant's merged stats equal the field-wise sum of its members'.
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.reads_accepted += other.reads_accepted;
+        self.writes_accepted += other.writes_accepted;
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.read_latency_total += other.read_latency_total;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.nacks += other.nacks;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.requests_dropped += other.requests_dropped;
+        self.starvations += other.starvations;
+    }
 }
 
 /// Statistics for all threads of a controller.
@@ -110,6 +130,37 @@ impl McStats {
     /// Total writes completed across threads.
     pub fn total_writes_completed(&self) -> u64 {
         self.threads.iter().map(|t| t.writes_completed).sum()
+    }
+
+    /// Number of threads tracked.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Rolls the per-thread counters up to the tenant level of `tree`
+    /// (one merged [`ThreadStats`] per tenant, in tenant order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's thread count differs from the tracked thread
+    /// count.
+    pub fn tenant_totals(&self, tree: &ShareTree) -> Vec<ThreadStats> {
+        assert_eq!(
+            tree.num_threads(),
+            self.threads.len(),
+            "share tree covers {} threads, stats track {}",
+            tree.num_threads(),
+            self.threads.len()
+        );
+        (0..tree.num_tenants())
+            .map(|tenant| {
+                let mut total = ThreadStats::default();
+                for t in tree.tenant_threads(tenant) {
+                    total.merge(&self.threads[t]);
+                }
+                total
+            })
+            .collect()
     }
 }
 
@@ -206,5 +257,70 @@ mod tests {
         m.thread_mut(ThreadId::new(1)).reads_completed = 4;
         assert_eq!(m.total_reads_completed(), 7);
         assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        // Distinct primes per field so a dropped or double-counted field
+        // is unmistakable in the sum.
+        let a = ThreadStats {
+            reads_accepted: 2,
+            writes_accepted: 3,
+            reads_completed: 5,
+            writes_completed: 7,
+            read_latency_total: 11,
+            bus_busy_cycles: 13,
+            nacks: 17,
+            row_hits: 19,
+            row_closed: 23,
+            row_conflicts: 29,
+            requests_dropped: 31,
+            starvations: 37,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            ThreadStats {
+                reads_accepted: 4,
+                writes_accepted: 6,
+                reads_completed: 10,
+                writes_completed: 14,
+                read_latency_total: 22,
+                bus_busy_cycles: 26,
+                nacks: 34,
+                row_hits: 38,
+                row_closed: 46,
+                row_conflicts: 58,
+                requests_dropped: 62,
+                starvations: 74,
+            }
+        );
+    }
+
+    #[test]
+    fn tenant_totals_roll_up_members() {
+        use crate::config::TenantSpec;
+        let tree = ShareTree::symmetric(2, 2); // tenants {0,1} x 2 threads
+        let mut m = McStats::new(4);
+        for t in 0..4u32 {
+            m.thread_mut(ThreadId::new(t)).reads_completed = u64::from(t) + 1;
+            m.thread_mut(ThreadId::new(t)).nacks = 10 * u64::from(t);
+        }
+        let tenants = m.tenant_totals(&tree);
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].reads_completed, 1 + 2);
+        assert_eq!(tenants[1].reads_completed, 3 + 4);
+        assert_eq!(tenants[0].nacks, 10);
+        assert_eq!(tenants[1].nacks, 20 + 30);
+        // Conservation: tenant sums equal the global totals.
+        let total: u64 = tenants.iter().map(|t| t.reads_completed).sum();
+        assert_eq!(total, m.total_reads_completed());
+        // Mismatched tree panics.
+        let narrow = ShareTree {
+            tenants: vec![TenantSpec::equal(0.5, 3)],
+        };
+        let r = std::panic::catch_unwind(|| m.tenant_totals(&narrow));
+        assert!(r.is_err());
     }
 }

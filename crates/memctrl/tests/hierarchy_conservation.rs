@@ -1,0 +1,211 @@
+//! Hierarchy conservation suite (ISSUE 6 satellite): with a two-level
+//! tenant → thread share tree, service accounting must conserve at every
+//! level of the hierarchy and under every disposal path:
+//!
+//! * **parent = Σ children** — a tenant's rolled-up service equals the
+//!   field-wise sum of its member threads' counters, and the sum over
+//!   tenants equals the controller-wide totals;
+//! * **submitted = completed + dropped + rejected** — per tenant node,
+//!   every submitted request is accounted for exactly once even when
+//!   fault injection drops admitted requests and bounded retry abandons
+//!   NACKed ones;
+//! * the observability sidecar's tenant rollup ([`group_totals`]) agrees
+//!   with the controller's own statistics.
+//!
+//! Trees are drawn at random (uneven tenant sizes, uneven shares and
+//! thread weights) by the in-tree [`CaseRunner`] with shrinking.
+//!
+//! [`group_totals`]: fqms_obs::metrics::MetricsSink::group_totals
+
+use fqms_memctrl::engine::{simulate_serial, synthetic_workload, EngineSpec};
+use fqms_memctrl::prelude::*;
+use fqms_memctrl::stats::ThreadStats;
+use fqms_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use fqms_sim::rng::{CaseRunner, SimRng};
+
+/// A randomly drawn hierarchical scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    tree: ShareTree,
+    /// Workload seed (also seeds the fault plan when enabled).
+    seed: u64,
+    faults: bool,
+}
+
+/// Draws a valid random tree: 1–4 tenants, 1–4 threads each, integer
+/// share weights normalized to sum to 1, integer thread weights.
+fn gen_scenario(rng: &mut SimRng) -> Scenario {
+    let num_tenants = 1 + rng.next_below(4) as usize;
+    let raw: Vec<u64> = (0..num_tenants).map(|_| 1 + rng.next_below(8)).collect();
+    let total: u64 = raw.iter().sum();
+    let tenants = raw
+        .iter()
+        .map(|&w| TenantSpec {
+            share: w as f64 / total as f64,
+            weights: (0..1 + rng.next_below(4))
+                .map(|_| (1 + rng.next_below(4)) as f64)
+                .collect(),
+        })
+        .collect();
+    Scenario {
+        tree: ShareTree { tenants },
+        seed: rng.next_u64(),
+        faults: rng.chance(0.5),
+    }
+}
+
+fn shrink_scenario(s: &Scenario) -> Vec<Scenario> {
+    let mut c = Vec::new();
+    if s.faults {
+        c.push(Scenario {
+            faults: false,
+            ..s.clone()
+        });
+    }
+    if s.tree.num_tenants() > 1 {
+        // Drop the last tenant, re-normalizing the remaining shares.
+        let mut tenants = s.tree.tenants[..s.tree.num_tenants() - 1].to_vec();
+        let total: f64 = tenants.iter().map(|t| t.share).sum();
+        for t in &mut tenants {
+            t.share /= total;
+        }
+        c.push(Scenario {
+            tree: ShareTree { tenants },
+            ..s.clone()
+        });
+    }
+    c
+}
+
+fn check_scenario(s: &Scenario) -> Result<(), String> {
+    s.tree
+        .validate()
+        .map_err(|e| format!("generator produced an invalid tree: {e}"))?;
+    let threads = s.tree.num_threads();
+    let mut spec = EngineSpec::paper(2, threads);
+    spec.config.scheduler = SchedulerKind::FqVftf;
+    spec.config.shares = s.tree.effective_shares();
+    spec.config.share_tree = Some(s.tree.clone());
+    spec.epoch_cycles = 512;
+    spec.event_capacity = Some(1 << 20);
+    if s.faults {
+        // Drops and NACK storms with bounded retry: both non-completion
+        // disposal paths fire, so the conservation law is non-vacuous.
+        spec.fault_plan = Some(
+            FaultPlan::new(s.seed ^ 0xfa17)
+                .with(
+                    FaultKind::RequestDrop,
+                    FaultWindow::new(100, 3_500),
+                    0.01,
+                    1,
+                )
+                .with(
+                    FaultKind::NackStorm,
+                    FaultWindow::new(100, 3_500),
+                    0.004,
+                    200,
+                ),
+        );
+        spec.retry = fqms_memctrl::engine::RetryPolicy::bounded(4, 2, 64);
+    }
+    let events = synthetic_workload(threads as u32, 4_000, 0.35, s.seed);
+    let report = simulate_serial(&spec, &events).map_err(|e| format!("run failed: {e}"))?;
+    if report.unsubmitted != 0 {
+        return Err(format!("{} submissions wedged", report.unsubmitted));
+    }
+
+    let num_tenants = s.tree.num_tenants();
+    // Per-tenant ledger from the three independent sources.
+    let mut submitted = vec![0u64; num_tenants];
+    for e in &events {
+        submitted[s.tree.tenant_of(e.thread.as_usize())] += 1;
+    }
+    let mut rejected = vec![0u64; num_tenants];
+    for e in report.rejected.iter().flatten() {
+        rejected[s.tree.tenant_of(e.thread.as_usize())] += 1;
+    }
+    // parent = Σ children, on every counter, via the stats rollup.
+    let tenants: Vec<ThreadStats> = (0..num_tenants)
+        .map(|tenant| {
+            let mut total = ThreadStats::default();
+            for t in s.tree.tenant_threads(tenant) {
+                total.merge(&report.per_thread[t]);
+            }
+            total
+        })
+        .collect();
+
+    for tenant in 0..num_tenants {
+        let t = &tenants[tenant];
+        let completed = t.reads_completed + t.writes_completed;
+        let balance = completed + t.requests_dropped + rejected[tenant];
+        if balance != submitted[tenant] {
+            return Err(format!(
+                "tenant {tenant}: completed {completed} + dropped {} + rejected {} \
+                 != submitted {}",
+                t.requests_dropped, rejected[tenant], submitted[tenant]
+            ));
+        }
+    }
+
+    // Σ tenants == controller-wide totals (service and every other
+    // counter that the reports aggregate).
+    let tenant_completed: u64 = tenants
+        .iter()
+        .map(|t| t.reads_completed + t.writes_completed)
+        .sum();
+    if tenant_completed != report.total_completed() as u64 {
+        return Err(format!(
+            "tenant service sum {tenant_completed} != total {}",
+            report.total_completed()
+        ));
+    }
+    let tenant_bus: u64 = tenants.iter().map(|t| t.bus_busy_cycles).sum();
+    let thread_bus: u64 = report.per_thread.iter().map(|t| t.bus_busy_cycles).sum();
+    if tenant_bus != thread_bus {
+        return Err(format!("bus cycles leak: {tenant_bus} != {thread_bus}"));
+    }
+
+    // The observability sidecar's rollup agrees with the stats rollup.
+    let sink = &report
+        .observations
+        .as_ref()
+        .ok_or("run was not observed")?
+        .metrics;
+    let groups = sink.group_totals(num_tenants, |t| s.tree.tenant_of(t as usize));
+    for (tenant, g) in groups.iter().enumerate() {
+        let t = &tenants[tenant];
+        if (g.reads_completed, g.writes_completed) != (t.reads_completed, t.writes_completed) {
+            return Err(format!(
+                "tenant {tenant}: sink ({}, {}) != stats ({}, {})",
+                g.reads_completed, g.writes_completed, t.reads_completed, t.writes_completed
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn random_trees_conserve_service_at_every_level() {
+    CaseRunner::new("hierarchy-conservation").cases(12).run(
+        gen_scenario,
+        shrink_scenario,
+        check_scenario,
+    );
+}
+
+#[test]
+fn skewed_tree_conserves_under_faults() {
+    // A deterministic, maximally uneven tree (one big tenant, one
+    // single-thread QoS tenant with a large share) with both fault
+    // classes enabled — the configuration the paper's QoS story cares
+    // about most.
+    let s = Scenario {
+        tree: ShareTree {
+            tenants: vec![TenantSpec::equal(0.5, 1), TenantSpec::equal(0.5, 5)],
+        },
+        seed: 2006,
+        faults: true,
+    };
+    check_scenario(&s).unwrap();
+}

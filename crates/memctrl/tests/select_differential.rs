@@ -1,0 +1,293 @@
+//! Heap-vs-linear differential suite (ISSUE 6 satellite, release gate):
+//! the O(log n) indexed scheduler (`ScanKind::Indexed`) must be an
+//! *optimisation*, never a semantic change. Every scheduler kind — and
+//! the refresh / fault / binding / workload variants most likely to
+//! expose a candidate-set divergence — is run twice over the same seeded
+//! schedule, once with the retained linear reference scan and once with
+//! the tournament-heap index, and the two [`EngineReport`]s must be
+//! **fully** structurally equal: completions, per-thread stats, command
+//! logs, observed event streams, and even the `stepped_cycles` /
+//! `skipped_cycles` diagnostics (the scan kind shares the watchdog and
+//! cycle-skip logic, so not a single simulated cycle may differ).
+//!
+//! The suite also covers the hierarchical share tree end to end: a
+//! two-level tenant → thread allocation must kill-and-resume bit
+//! identically on the indexed path, and corrupted checkpoint bytes must
+//! fail with a typed [`SnapshotError`], never panic or resume silently
+//! wrong.
+
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::engine::{
+    adversarial_workload, interference_workload, resume_serial, simulate_serial,
+    simulate_serial_checkpointed, synthetic_workload, EngineReport, EngineSpec, ResumeError,
+    RetryPolicy, SubmitEvent,
+};
+use fqms_memctrl::policy::{RefreshPolicy, RowPolicy, VftBinding};
+use fqms_memctrl::prelude::*;
+use fqms_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use fqms_sim::rng::{CaseRunner, SimRng};
+use fqms_sim::snapshot::SnapshotError;
+
+fn spec_with(kind: SchedulerKind, channels: usize, threads: usize) -> EngineSpec {
+    let mut spec = EngineSpec::paper(channels, threads);
+    spec.config.scheduler = kind;
+    spec.epoch_cycles = 512;
+    spec.event_capacity = Some(1 << 20);
+    spec
+}
+
+/// Every fault class in one plan, so drops, NACK storms, bank stalls and
+/// refresh pressure all cross the scan-kind boundary.
+fn faults(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(
+            FaultKind::NackStorm,
+            FaultWindow::new(300, 5_000),
+            0.002,
+            90,
+        )
+        .with(
+            FaultKind::BankStall,
+            FaultWindow::new(300, 5_000),
+            0.002,
+            110,
+        )
+        .with(
+            FaultKind::RefreshPressure,
+            FaultWindow::new(300, 5_000),
+            0.001,
+            70,
+        )
+        .with(
+            FaultKind::RequestDrop,
+            FaultWindow::new(300, 5_000),
+            0.003,
+            1,
+        )
+}
+
+/// Runs `spec` once per scan kind and demands full structural equality.
+/// Returns the indexed report for extra assertions.
+fn check(mut spec: EngineSpec, events: &[SubmitEvent], label: &str) -> EngineReport {
+    spec.config.scan = ScanKind::Linear;
+    let linear = simulate_serial(&spec, events).unwrap();
+    spec.config.scan = ScanKind::Indexed;
+    let indexed = simulate_serial(&spec, events).unwrap();
+    assert_eq!(
+        linear, indexed,
+        "{label}: indexed scan diverged from linear reference"
+    );
+    indexed
+}
+
+#[test]
+fn all_schedulers_agree_across_scan_kinds() {
+    let events = synthetic_workload(4, 4_000, 0.3, 2006);
+    for kind in SchedulerKind::all() {
+        let report = check(spec_with(kind, 2, 4), &events, kind.name());
+        assert!(report.unsubmitted == 0, "{kind}: mix failed to drain");
+        assert!(
+            report.completions.iter().map(Vec::len).sum::<usize>() > 0,
+            "{kind}: vacuous equivalence — nothing completed"
+        );
+    }
+}
+
+#[test]
+fn refresh_and_fault_matrix_agrees_across_scan_kinds() {
+    let events = synthetic_workload(4, 6_000, 0.25, 99);
+    for refresh in [
+        RefreshPolicy::Strict,
+        RefreshPolicy::Deferred { max_postponed: 4 },
+    ] {
+        for plan in [None, Some(faults(11))] {
+            for kind in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+                let mut spec = spec_with(kind, 2, 4);
+                spec.timing = TimingParams::ddr2_667();
+                spec.config.refresh_policy = refresh;
+                spec.fault_plan = plan.clone();
+                if plan.is_some() {
+                    spec.retry = RetryPolicy::bounded(6, 2, 64);
+                }
+                let label = format!("{kind}/{refresh:?}/faults={}", plan.is_some());
+                check(spec, &events, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn binding_and_row_policy_variants_agree_across_scan_kinds() {
+    // At-arrival binding keys every entry at push (no bind pre-pass);
+    // first-ready binding exercises the admission-ordered lazy pass.
+    // Closed-row policy changes which tournament queries run per cycle.
+    let events = synthetic_workload(4, 4_000, 0.2, 7);
+    for (row, binding) in [
+        (RowPolicy::Open, VftBinding::FirstReady),
+        (RowPolicy::Closed, VftBinding::AtArrival),
+        (RowPolicy::Open, VftBinding::AtArrival),
+        (RowPolicy::Closed, VftBinding::FirstReady),
+    ] {
+        let mut spec = spec_with(SchedulerKind::FqVftf, 2, 4);
+        spec.config.row_policy = row;
+        spec.config.vft_binding = binding;
+        check(spec, &events, &format!("{row:?}/{binding:?}"));
+    }
+}
+
+#[test]
+fn adversarial_inversion_lock_agrees_across_scan_kinds() {
+    // The starvation-adversarial mix drives the priority-inversion lock
+    // (locked-mode selection uses the global tournament min, the trickiest
+    // indexed code path) and the watchdog.
+    let events = adversarial_workload(&Geometry::paper(), 3, 20_000, 2006);
+    for kind in [
+        SchedulerKind::FrFcfs,
+        SchedulerKind::FrVftf,
+        SchedulerKind::FqVftf,
+    ] {
+        let mut spec = spec_with(kind, 1, 3);
+        spec.config.starvation_threshold = Some(300);
+        check(spec, &events, &format!("adversarial/{kind}"));
+    }
+}
+
+#[test]
+fn interference_mix_agrees_across_scan_kinds() {
+    let events = interference_workload(4, 6_000, 0.05, 0.8, 2006);
+    check(
+        spec_with(SchedulerKind::FqVftf, 1, 4),
+        &events,
+        "interference",
+    );
+}
+
+/// A two-level share tree equivalent to the paper's flat equal-share
+/// setup on 4 threads: two tenants at 0.5, two equally-weighted threads
+/// each.
+fn two_tenant_spec(kind: SchedulerKind) -> EngineSpec {
+    let mut spec = spec_with(kind, 2, 4);
+    let tree = ShareTree::symmetric(2, 2);
+    spec.config.shares = tree.effective_shares();
+    spec.config.share_tree = Some(tree);
+    spec
+}
+
+#[test]
+fn hierarchical_share_tree_agrees_across_scan_kinds() {
+    let events = synthetic_workload(4, 5_000, 0.3, 17);
+    for kind in [SchedulerKind::FrVftf, SchedulerKind::FqVftf] {
+        check(two_tenant_spec(kind), &events, &format!("tree/{kind}"));
+    }
+}
+
+#[test]
+fn hierarchical_indexed_kill_and_resume_is_bit_identical() {
+    // Kill-and-resume on the indexed path with a share tree: the queue
+    // snapshot stores only admission-ordered live entries; heaps, the
+    // tournament, and the watchdog deadline cache are rebuilt or restored
+    // such that the continuation is bit-exact, mid-epoch included.
+    let events = synthetic_workload(4, 4_000, 0.4, 2006);
+    for plan in [None, Some(faults(11))] {
+        let mut spec = two_tenant_spec(SchedulerKind::FqVftf);
+        spec.config.starvation_threshold = Some(300);
+        spec.fault_plan = plan.clone();
+        if plan.is_some() {
+            spec.retry = RetryPolicy::bounded(6, 2, 64);
+        }
+        let reference = simulate_serial(&spec, &events).unwrap();
+        let ctx = format!("tree/faults={}", plan.is_some());
+        for kill_at in [97, 1_500, 2_048, reference.cycles - 311] {
+            let bytes = simulate_serial_checkpointed(&spec, &events, kill_at)
+                .unwrap_or_else(|e| panic!("{ctx}: checkpoint at {kill_at}: {e}"));
+            let resumed = resume_serial(&spec, &events, &bytes)
+                .unwrap_or_else(|e| panic!("{ctx}: resume from {kill_at}: {e}"));
+            assert_eq!(
+                reference, resumed,
+                "{ctx}: kill at {kill_at} changed the run"
+            );
+        }
+    }
+}
+
+#[test]
+fn scan_kind_is_part_of_the_checkpoint_fingerprint() {
+    // A checkpoint taken under one scan kind must not resume under the
+    // other: rebuilt index state is scan-dependent, so the fingerprint
+    // binds the bytes to the scan configuration too.
+    let events = synthetic_workload(4, 3_000, 0.4, 7);
+    let mut spec = spec_with(SchedulerKind::FqVftf, 2, 4);
+    spec.config.scan = ScanKind::Indexed;
+    let bytes = simulate_serial_checkpointed(&spec, &events, 1_000).unwrap();
+    spec.config.scan = ScanKind::Linear;
+    match resume_serial(&spec, &events, &bytes) {
+        Err(ResumeError::Snapshot(SnapshotError::ConfigMismatch { .. })) => {}
+        other => panic!("cross-scan-kind resume not rejected: {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_checkpoints_fail_typed_and_never_panic() {
+    // Randomized truncations and bit flips over a mid-run checkpoint of
+    // the indexed + share-tree configuration (so the damaged bytes cover
+    // the queue, watchdog-deadline and stats sections). Every corruption
+    // must yield a typed SnapshotError through resume — never a panic,
+    // never a silent success.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let events = synthetic_workload(4, 4_000, 0.4, 2006);
+    let mut spec = two_tenant_spec(SchedulerKind::FqVftf);
+    spec.config.starvation_threshold = Some(300);
+    let pristine = simulate_serial_checkpointed(&spec, &events, 2_000).unwrap();
+    resume_serial(&spec, &events, &pristine).expect("pristine checkpoint must resume");
+    let n = pristine.len();
+    assert!(n > 64, "checkpoint implausibly small: {n} bytes");
+
+    #[derive(Debug, Clone, Copy)]
+    enum Mutation {
+        Truncate(usize),
+        BitFlip(usize, u8),
+    }
+
+    CaseRunner::new("checkpoint-corruption").cases(48).run(
+        |rng: &mut SimRng| {
+            if rng.next_below(2) == 0 {
+                Mutation::Truncate(rng.next_below(n as u64) as usize)
+            } else {
+                Mutation::BitFlip(rng.next_below(n as u64) as usize, rng.next_below(8) as u8)
+            }
+        },
+        |&m| match m {
+            Mutation::Truncate(len) if len > 0 => {
+                vec![Mutation::Truncate(len / 2), Mutation::Truncate(len - 1)]
+            }
+            Mutation::Truncate(_) => Vec::new(),
+            Mutation::BitFlip(pos, bit) => {
+                let mut c = Vec::new();
+                if pos > 0 {
+                    c.push(Mutation::BitFlip(pos / 2, bit));
+                    c.push(Mutation::BitFlip(pos - 1, bit));
+                }
+                if bit > 0 {
+                    c.push(Mutation::BitFlip(pos, 0));
+                }
+                c
+            }
+        },
+        |&m| {
+            let mut corrupt = pristine.clone();
+            match m {
+                Mutation::Truncate(len) => corrupt.truncate(len),
+                Mutation::BitFlip(pos, bit) => corrupt[pos] ^= 1 << bit,
+            }
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| resume_serial(&spec, &events, &corrupt)));
+            match outcome {
+                Err(_) => Err(format!("{m:?}: resume panicked")),
+                Ok(Ok(_)) => Err(format!("{m:?}: corrupted checkpoint resumed")),
+                Ok(Err(ResumeError::Snapshot(_)) | Err(ResumeError::Spec(_))) => Ok(()),
+            }
+        },
+    );
+}

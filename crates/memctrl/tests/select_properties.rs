@@ -1,0 +1,279 @@
+//! Property tests for the O(log n) selection structures.
+//!
+//! Randomized operation sequences are replayed against naive linear-scan
+//! oracles via the in-tree [`CaseRunner`], with greedy shrinking to a
+//! minimal counterexample on failure. The key generator deliberately
+//! produces duplicate virtual-finish keys (exercising the id tiebreak)
+//! and u64-wraparound-adjacent clock values (exercising f64 rounding at
+//! magnitudes where adjacent integers collapse to the same float).
+
+use fqms_memctrl::select::{IndexedHeap, SelKey, TournamentTree, NO_POS};
+use fqms_sim::rng::{CaseRunner, SimRng};
+
+/// Slot universe for heap operations; small enough that collisions
+/// (insert on live slot, remove on dead slot) happen constantly.
+const SLOTS: u32 = 24;
+
+#[derive(Debug, Clone, Copy)]
+enum HeapOp {
+    Insert { slot: u32, key: f64 },
+    Update { slot: u32, key: f64 },
+    Remove { slot: u32 },
+}
+
+/// Keys spanning the regimes the scheduler meets in practice: a tiny
+/// duplicate-heavy palette, wraparound-adjacent u64 clock values whose
+/// f64 images are equal or 2048 apart, and mid-range magnitudes.
+fn gen_key(rng: &mut SimRng) -> f64 {
+    match rng.next_below(4) {
+        0 => rng.next_below(6) as f64,
+        1 => (u64::MAX - rng.next_below(5000)) as f64,
+        2 => rng.next_below(1 << 62) as f64,
+        _ => 7.0,
+    }
+}
+
+fn gen_heap_ops(rng: &mut SimRng) -> Vec<HeapOp> {
+    let n = 4 + rng.next_below(96);
+    (0..n)
+        .map(|_| {
+            let slot = rng.next_below(u64::from(SLOTS)) as u32;
+            match rng.next_below(4) {
+                0 | 1 => HeapOp::Insert {
+                    slot,
+                    key: gen_key(rng),
+                },
+                2 => HeapOp::Update {
+                    slot,
+                    key: gen_key(rng),
+                },
+                _ => HeapOp::Remove { slot },
+            }
+        })
+        .collect()
+}
+
+/// Shrinker shared by the suites: halves first, then single-op drops.
+/// (`&Vec` rather than `&[_]`: the signature must match what
+/// `CaseRunner::run` hands the shrinker, a reference to the case type.)
+#[allow(clippy::ptr_arg)]
+fn shrink_ops<T: Clone>(ops: &Vec<T>) -> Vec<Vec<T>> {
+    let mut c = Vec::new();
+    if ops.len() > 1 {
+        c.push(ops[..ops.len() / 2].to_vec());
+        c.push(ops[ops.len() / 2..].to_vec());
+    }
+    for i in (0..ops.len()).rev().take(10) {
+        let mut shorter = ops.clone();
+        shorter.remove(i);
+        c.push(shorter);
+    }
+    c
+}
+
+fn oracle_min(oracle: &[Option<SelKey>]) -> Option<(SelKey, u32)> {
+    oracle
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, k)| k.map(|k| (k, slot as u32)))
+        .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+}
+
+fn check_heap(ops: &[HeapOp]) -> Result<(), String> {
+    let mut heap = IndexedHeap::new();
+    let mut pos = vec![NO_POS; SLOTS as usize];
+    let mut oracle: Vec<Option<SelKey>> = vec![None; SLOTS as usize];
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            HeapOp::Insert { slot, key } => {
+                // Inserting a live slot is a re-key in disguise; mirror
+                // what BankQueue does and route it through update.
+                let key = SelKey {
+                    key,
+                    id: u64::from(slot),
+                };
+                if oracle[slot as usize].is_some() {
+                    heap.update(&mut pos, slot, key);
+                } else {
+                    heap.insert(&mut pos, slot, key);
+                }
+                oracle[slot as usize] = Some(key);
+            }
+            HeapOp::Update { slot, key } => {
+                if oracle[slot as usize].is_none() {
+                    continue;
+                }
+                let key = SelKey {
+                    key,
+                    id: u64::from(slot),
+                };
+                heap.update(&mut pos, slot, key);
+                oracle[slot as usize] = Some(key);
+            }
+            HeapOp::Remove { slot } => {
+                let removed = heap.remove(&mut pos, slot);
+                if removed != oracle[slot as usize].is_some() {
+                    return Err(format!(
+                        "step {step}: remove({slot}) returned {removed}, oracle disagrees"
+                    ));
+                }
+                oracle[slot as usize] = None;
+            }
+        }
+        let live = oracle.iter().filter(|k| k.is_some()).count();
+        if heap.len() != live {
+            return Err(format!("step {step}: len {} != oracle {live}", heap.len()));
+        }
+        // The heap min must match the oracle min exactly. With the id
+        // folded into SelKey the winner is unique, so no layout freedom.
+        let got = heap.peek();
+        let want = oracle_min(&oracle).map(|(k, _)| {
+            let slot = (0..SLOTS).find(|&s| oracle[s as usize] == Some(k)).unwrap();
+            (k, slot)
+        });
+        if got != want {
+            return Err(format!("step {step}: peek {got:?} != oracle {want:?}"));
+        }
+        // Every live slot's position entry must point back at itself.
+        for slot in 0..SLOTS {
+            let p = pos[slot as usize];
+            match (oracle[slot as usize], p) {
+                (Some(_), NO_POS) => return Err(format!("step {step}: live slot {slot} unmapped")),
+                (None, p) if p != NO_POS => {
+                    return Err(format!("step {step}: dead slot {slot} maps to {p}"))
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn indexed_heap_matches_linear_oracle() {
+    CaseRunner::new("indexed-heap-vs-oracle").run(gen_heap_ops, shrink_ops, |ops| check_heap(ops));
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TreeOp {
+    /// Set leaf `leaf % num_leaves` to `(key, payload)`.
+    Set { leaf: u32, key: f64 },
+    /// Clear leaf `leaf % num_leaves`.
+    Clear { leaf: u32 },
+    /// Append a fresh empty leaf (exercises the doubling rebuild).
+    Grow,
+}
+
+fn gen_tree_ops(rng: &mut SimRng) -> Vec<TreeOp> {
+    let n = 4 + rng.next_below(80);
+    (0..n)
+        .map(|_| match rng.next_below(6) {
+            0..=2 => TreeOp::Set {
+                leaf: rng.next_below(64) as u32,
+                key: gen_key(rng),
+            },
+            3 => TreeOp::Clear {
+                leaf: rng.next_below(64) as u32,
+            },
+            _ => TreeOp::Grow,
+        })
+        .collect()
+}
+
+fn check_tree(ops: &[TreeOp]) -> Result<(), String> {
+    let mut tree = TournamentTree::new();
+    let mut oracle: Vec<Option<(SelKey, u32)>> = Vec::new();
+    // Seed one leaf so Set/Clear have a target before the first Grow.
+    tree.push_leaf();
+    oracle.push(None);
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            TreeOp::Set { leaf, key } => {
+                let leaf = leaf % oracle.len() as u32;
+                let val = (
+                    SelKey {
+                        key,
+                        id: u64::from(leaf),
+                    },
+                    leaf,
+                );
+                tree.set(leaf, Some(val));
+                oracle[leaf as usize] = Some(val);
+            }
+            TreeOp::Clear { leaf } => {
+                let leaf = leaf % oracle.len() as u32;
+                tree.set(leaf, None);
+                oracle[leaf as usize] = None;
+            }
+            TreeOp::Grow => {
+                let leaf = tree.push_leaf();
+                if leaf as usize != oracle.len() {
+                    return Err(format!(
+                        "step {step}: push_leaf returned {leaf}, expected {}",
+                        oracle.len()
+                    ));
+                }
+                oracle.push(None);
+            }
+        }
+        let want = oracle
+            .iter()
+            .flatten()
+            .min_by(|a, b| a.0.cmp(&b.0))
+            .copied();
+        if tree.min() != want {
+            return Err(format!(
+                "step {step}: min {:?} != oracle {want:?}",
+                tree.min()
+            ));
+        }
+        // min_excluding must agree with a scan that masks one leaf —
+        // this is the precharge-candidate query (best entry outside the
+        // open row's group).
+        for leaf in 0..oracle.len() as u32 {
+            let want = oracle
+                .iter()
+                .enumerate()
+                .filter(|&(l, _)| l as u32 != leaf)
+                .filter_map(|(_, v)| *v)
+                .min_by(|a, b| a.0.cmp(&b.0));
+            if tree.min_excluding(leaf) != want {
+                return Err(format!(
+                    "step {step}: min_excluding({leaf}) {:?} != oracle {want:?}",
+                    tree.min_excluding(leaf)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn tournament_tree_matches_linear_oracle() {
+    CaseRunner::new("tournament-vs-oracle").run(gen_tree_ops, shrink_ops, |ops| check_tree(ops));
+}
+
+/// Duplicate keys must resolve purely by id, and equal-f64 images of
+/// distinct u64 clocks (wraparound regime) must still order total-ly.
+#[test]
+fn duplicate_and_wraparound_keys_order_by_id() {
+    let near_max = u64::MAX as f64; // 2^64; many u64s round to this
+    let a = SelKey {
+        key: near_max,
+        id: 3,
+    };
+    let b = SelKey {
+        key: (u64::MAX - 500) as f64, // same f64 image as u64::MAX
+        id: 7,
+    };
+    assert_eq!(a.key.to_bits(), b.key.to_bits());
+    assert!(a < b, "equal keys must fall back to id order");
+
+    let mut heap = IndexedHeap::new();
+    let mut pos = vec![NO_POS; 4];
+    heap.insert(&mut pos, 0, b);
+    heap.insert(&mut pos, 1, a);
+    assert_eq!(heap.peek(), Some((a, 1)), "lower id wins on duplicate key");
+    assert!(heap.remove(&mut pos, 1));
+    assert_eq!(heap.peek(), Some((b, 0)));
+}

@@ -201,6 +201,26 @@ impl MetricsSink {
         let n = self.per_thread.len();
         *self = MetricsSink::new(n);
     }
+
+    /// Rolls the per-thread sinks up into `num_groups` merged sinks —
+    /// the observability side of hierarchical (tenant → thread) share
+    /// trees, where `group_of(thread)` maps each thread to its tenant.
+    /// Threads are merged in thread order, so repeated rollups of the
+    /// same sink are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_of` maps any thread outside `0..num_groups`.
+    pub fn group_totals<F>(&self, num_groups: usize, group_of: F) -> Vec<ThreadSink>
+    where
+        F: Fn(u32) -> usize,
+    {
+        let mut groups: Vec<ThreadSink> = (0..num_groups).map(|_| ThreadSink::default()).collect();
+        for (t, sink) in self.iter() {
+            groups[group_of(t)].merge(sink);
+        }
+        groups
+    }
 }
 
 impl Snapshot for ThreadSink {
@@ -387,5 +407,23 @@ mod tests {
         });
         assert_eq!(sink.commands_issued, 1);
         assert_eq!(sink.inversion_locks, 1);
+    }
+
+    #[test]
+    fn group_totals_merge_by_tenant() {
+        let mut sink = MetricsSink::new(4);
+        for t in 0..4 {
+            for _ in 0..=t {
+                sink.observe(&completed(t, 10 + u64::from(t), false));
+            }
+        }
+        // Tenants of 2 threads each: totals are the member sums.
+        let tenants = sink.group_totals(2, |t| (t / 2) as usize);
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].reads_completed, 1 + 2);
+        assert_eq!(tenants[1].reads_completed, 3 + 4);
+        let all: u64 = tenants.iter().map(|g| g.reads_completed).sum();
+        let per_thread: u64 = sink.iter().map(|(_, s)| s.reads_completed).sum();
+        assert_eq!(all, per_thread, "rollup must conserve completions");
     }
 }

@@ -42,7 +42,7 @@ fi
 
 DEFAULT_BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
       ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
-      faults speedup"
+      faults speedup scaling"
 BINS="${FQMS_BINS:-$DEFAULT_BINS}"
 MAX_ATTEMPTS="${FQMS_MAX_ATTEMPTS:-2}"
 TIMEOUT_S="${FQMS_TIMEOUT:-0}"
