@@ -25,7 +25,21 @@ cargo test -q --release --offline -p fqms-memctrl \
   --test differential --test parallel_equivalence \
   --test fast_forward_equivalence --test fault_differential \
   --test checkpoint_differential --test retry_policy \
-  --test select_differential --test hierarchy_conservation
+  --test select_differential --test hierarchy_conservation \
+  --test blacklist_properties
+
+echo "=== frontier smoke gate: fairness ordering + conservation ==="
+# The frontier binary exits nonzero when FQ-VFTF, SD-VFTF or BLISS shows
+# a higher max-slowdown than FR-FCFS on the adversarial mix, or when any
+# scheduler violates conservation (see crates/bench/src/bin/frontier.rs).
+FRONTIER_TMP="$(mktemp -d)"
+FQMS_RUNLEN=quick FQMS_BENCH_PR7="$FRONTIER_TMP/BENCH_pr7.json" \
+  cargo run --release -q --offline -p fqms-bench --bin frontier \
+  > "$FRONTIER_TMP/frontier.tsv" 2> "$FRONTIER_TMP/frontier.log" || {
+  echo "frontier smoke gate FAILED:"; tail -5 "$FRONTIER_TMP/frontier.log"
+  rm -rf "$FRONTIER_TMP"; exit 1; }
+rm -rf "$FRONTIER_TMP"
+echo "frontier smoke gate OK"
 
 echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ==="
 # Emulate an interrupted sweep deterministically: run a prefix of the

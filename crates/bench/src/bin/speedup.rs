@@ -80,7 +80,7 @@ fn fast_forward_study(gen_cycles: u64, seed: u64, hw: usize) {
     let mut smoke_failed = false;
     for kind in fqms_bench::paper_schedulers() {
         let mut spec = EngineSpec::paper(4, 4);
-        spec.config.scheduler = kind;
+        spec.config.set_scheduler(kind);
         spec.max_cycles = 64 * gen_cycles;
         spec.event_capacity = Some(1 << 12);
         spec.fast_forward = false;

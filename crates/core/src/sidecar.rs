@@ -104,6 +104,7 @@ mod tests {
             is_write: false,
             latency: 12,
             bytes: 64,
+            alone_cycles: 14,
         });
         sink
     }

@@ -23,6 +23,7 @@ fn fat_sink(threads: u32) -> MetricsSink {
             is_write: i % 3 == 0,
             latency: 10 + u64::from(i % 50),
             bytes: 64,
+            alone_cycles: 14,
         });
     }
     sink

@@ -1,0 +1,245 @@
+//! BLISS blacklist state machine (ISSUE 7).
+//!
+//! The Blacklisting memory scheduler (Subramanian et al., PAPERS.md)
+//! observes that most of the fairness of application-aware scheduling
+//! comes from a single coarse distinction: is a thread currently hogging
+//! the bank schedulers? Its mechanism is deliberately tiny:
+//!
+//! * a single **streak counter** tracks how many *consecutive* bank
+//!   services the same thread has received; serving any other thread
+//!   resets it,
+//! * when the streak crosses a **threshold**, the streaking thread is
+//!   **blacklisted**,
+//! * every **clearing interval** all blacklist flags (and the streak)
+//!   are wiped, giving former hogs a fresh chance.
+//!
+//! Scheduling then prefers non-blacklisted requests (the tier bit in
+//! [`crate::policy::Priority`]), keeping FR-FCFS order among peers.
+//!
+//! [`BlissState`] is a plain deterministic state machine so the property
+//! suite (`blacklist_properties.rs`) can drive it against a naive
+//! recompute-from-scratch oracle, and it snapshots into the controller's
+//! checkpoint sections.
+
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+/// Per-controller BLISS blacklist state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlissState {
+    threshold: u32,
+    clear_interval: u64,
+    /// The thread owning the current consecutive-service streak, if any.
+    streak_thread: Option<u32>,
+    /// Length of that streak (number of consecutive services).
+    streak: u32,
+    blacklisted: Vec<bool>,
+    /// Cycle at which the next clearing fires.
+    next_clear: u64,
+}
+
+impl BlissState {
+    /// Fresh state for `num_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` or `clear_interval` is zero (rejected by
+    /// `McConfig::validate` before a controller is built).
+    pub fn new(num_threads: usize, threshold: u32, clear_interval: u64) -> Self {
+        assert!(threshold > 0, "bliss_threshold must be positive");
+        assert!(clear_interval > 0, "bliss_clear_interval must be positive");
+        BlissState {
+            threshold,
+            clear_interval,
+            streak_thread: None,
+            streak: 0,
+            blacklisted: vec![false; num_threads],
+            next_clear: clear_interval,
+        }
+    }
+
+    /// Whether `thread` is currently blacklisted.
+    pub fn is_blacklisted(&self, thread: u32) -> bool {
+        self.blacklisted[thread as usize]
+    }
+
+    /// The blacklist flags, indexed by thread id.
+    pub fn blacklist(&self) -> &[bool] {
+        &self.blacklisted
+    }
+
+    /// The thread holding the current consecutive-service streak.
+    pub fn streak_thread(&self) -> Option<u32> {
+        self.streak_thread
+    }
+
+    /// Length of the current streak.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Cycle at which the next clearing fires (for the controller's
+    /// next-event computation).
+    pub fn next_clear(&self) -> u64 {
+        self.next_clear
+    }
+
+    /// Records one bank service for `thread`. Returns `true` when the
+    /// blacklist changed (i.e. `thread` just got blacklisted), which the
+    /// controller must treat as a scheduling-state invalidation.
+    pub fn record_service(&mut self, thread: u32) -> bool {
+        if self.streak_thread == Some(thread) {
+            self.streak = self.streak.saturating_add(1);
+        } else {
+            self.streak_thread = Some(thread);
+            self.streak = 1;
+        }
+        if self.streak >= self.threshold && !self.blacklisted[thread as usize] {
+            self.blacklisted[thread as usize] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Advances the clearing clock to `now`, wiping the blacklist at each
+    /// elapsed interval boundary. Returns `true` when any flag was
+    /// cleared (scheduling-state invalidation). Idempotent for a fixed
+    /// `now`.
+    pub fn maybe_clear(&mut self, now: u64) -> bool {
+        if now < self.next_clear {
+            return false;
+        }
+        // Jump directly past every elapsed boundary (fast-forward may
+        // skip many intervals at once; stepping one interval at a time
+        // would not terminate for adversarial clocks near `u64::MAX`).
+        self.next_clear = (now / self.clear_interval)
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(self.clear_interval))
+            .unwrap_or(u64::MAX);
+        let had_any = self.blacklisted.iter().any(|&b| b) || self.streak_thread.is_some();
+        self.blacklisted.fill(false);
+        self.streak_thread = None;
+        self.streak = 0;
+        had_any
+    }
+}
+
+impl Snapshot for BlissState {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u32(self.threshold);
+        w.put_u64(self.clear_interval);
+        match self.streak_thread {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u32(t);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u32(self.streak);
+        w.put_seq_len(self.blacklisted.len());
+        for &b in &self.blacklisted {
+            w.put_bool(b);
+        }
+        w.put_u64(self.next_clear);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let threshold = r.get_u32()?;
+        let clear_interval = r.get_u64()?;
+        if threshold != self.threshold || clear_interval != self.clear_interval {
+            return Err(r.malformed(format!(
+                "bliss knobs {threshold}/{clear_interval} disagree with config {}/{}",
+                self.threshold, self.clear_interval
+            )));
+        }
+        self.streak_thread = if r.get_bool()? {
+            Some(r.get_u32()?)
+        } else {
+            None
+        };
+        self.streak = r.get_u32()?;
+        let n = r.seq_len()?;
+        if n != self.blacklisted.len() {
+            return Err(r.malformed(format!(
+                "blacklist for {n} threads, controller has {}",
+                self.blacklisted.len()
+            )));
+        }
+        for b in &mut self.blacklisted {
+            *b = r.get_bool()?;
+        }
+        self.next_clear = r.get_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streak_crosses_threshold() {
+        let mut s = BlissState::new(2, 3, 1000);
+        assert!(!s.record_service(0));
+        assert!(!s.record_service(0));
+        assert!(s.record_service(0)); // third consecutive → blacklisted
+        assert!(s.is_blacklisted(0));
+        assert!(!s.is_blacklisted(1));
+        // Further services of a blacklisted thread report no change.
+        assert!(!s.record_service(0));
+    }
+
+    #[test]
+    fn interleaving_resets_the_streak() {
+        let mut s = BlissState::new(2, 3, 1000);
+        s.record_service(0);
+        s.record_service(0);
+        s.record_service(1); // streak broken
+        assert_eq!(s.streak_thread(), Some(1));
+        assert_eq!(s.streak(), 1);
+        assert!(!s.record_service(0));
+        assert!(!s.record_service(0));
+        assert!(s.record_service(0));
+    }
+
+    #[test]
+    fn clearing_interval_wipes_flags() {
+        let mut s = BlissState::new(2, 1, 100);
+        assert!(s.record_service(1));
+        assert!(s.is_blacklisted(1));
+        assert!(!s.maybe_clear(99));
+        assert!(s.maybe_clear(100));
+        assert!(!s.is_blacklisted(1));
+        assert_eq!(s.streak(), 0);
+        assert_eq!(s.next_clear(), 200);
+        // Idempotent at the same cycle; multi-interval jumps land past now.
+        assert!(!s.maybe_clear(100));
+        s.record_service(0);
+        assert!(s.maybe_clear(750));
+        assert_eq!(s.next_clear(), 800);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut a = BlissState::new(3, 2, 500);
+        a.record_service(2);
+        a.record_service(2);
+        a.record_service(1);
+        let mut w = SnapshotWriter::new(7);
+        w.section("bliss", |s| a.save(s));
+        let bytes = w.into_bytes();
+
+        let restore_into = |target: &mut BlissState| {
+            let mut r = SnapshotReader::new(&bytes, 7).unwrap();
+            r.section("bliss", |s| target.restore(s))
+        };
+        let mut b = BlissState::new(3, 2, 500);
+        restore_into(&mut b).unwrap();
+        assert_eq!(a, b);
+        // Wrong shape or knobs is a typed error, not a panic.
+        let mut narrow = BlissState::new(2, 2, 500);
+        assert!(restore_into(&mut narrow).is_err());
+        let mut knobs = BlissState::new(3, 4, 500);
+        assert!(restore_into(&mut knobs).is_err());
+    }
+}

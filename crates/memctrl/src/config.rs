@@ -5,6 +5,30 @@ use crate::policy::{
     BufferSharing, InversionBound, RefreshPolicy, RowPolicy, ScanKind, SchedulerKind, VftBinding,
 };
 
+/// Typed error for a scheduler/scan-kind combination the controller
+/// cannot honour (ISSUE 7): BLISS mutates request *ordering* (the
+/// blacklist tier) between scheduling decisions, which the static-key
+/// indexed scan cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedScanError {
+    /// The offending scheduler.
+    pub scheduler: SchedulerKind,
+    /// The scan kind it cannot run under.
+    pub scan: ScanKind,
+}
+
+impl std::fmt::Display for UnsupportedScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler {} does not support ScanKind::{:?}; use ScanKind::Linear",
+            self.scheduler, self.scan
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedScanError {}
+
 /// One tenant in a two-level share tree: a fraction of the whole memory
 /// system, subdivided among the tenant's member threads by relative
 /// weight.
@@ -213,6 +237,14 @@ pub struct McConfig {
     /// never alters scheduling. `None` (the default) disables the
     /// watchdog.
     pub starvation_threshold: Option<u64>,
+    /// BLISS: number of *consecutive* bank services after which a thread
+    /// is blacklisted (BLISS paper default: 4). Ignored by other
+    /// schedulers.
+    pub bliss_threshold: u32,
+    /// BLISS: period in DRAM cycles at which all blacklist flags and the
+    /// streak counter are cleared (BLISS paper: 10000). Ignored by other
+    /// schedulers.
+    pub bliss_clear_interval: u64,
 }
 
 impl McConfig {
@@ -234,7 +266,7 @@ impl McConfig {
             scheduler,
             shares,
             share_tree: None,
-            scan: ScanKind::Indexed,
+            scan: Self::default_scan(scheduler),
             transaction_entries: 16,
             write_entries: 8,
             inversion_bound: InversionBound::TRas,
@@ -244,7 +276,49 @@ impl McConfig {
             buffer_sharing: BufferSharing::Partitioned,
             line_bytes: 64,
             starvation_threshold: None,
+            bliss_threshold: 4,
+            bliss_clear_interval: 10_000,
         }
+    }
+
+    /// The widest scan kind `scheduler` supports: indexed for everything
+    /// except BLISS, which is linear-only (see
+    /// [`SchedulerKind::supports_indexed_scan`]).
+    pub fn default_scan(scheduler: SchedulerKind) -> ScanKind {
+        if scheduler.supports_indexed_scan() {
+            ScanKind::Indexed
+        } else {
+            ScanKind::Linear
+        }
+    }
+
+    /// Sets the scheduler, downgrading `scan` to [`ScanKind::Linear`] when
+    /// the new scheduler does not support the indexed path. Sweeps that
+    /// mutate `scheduler` on a prebuilt config should use this instead of
+    /// direct field assignment so BLISS never trips
+    /// [`McConfig::validate_scan`].
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        self.scheduler = scheduler;
+        if !scheduler.supports_indexed_scan() && self.scan == ScanKind::Indexed {
+            self.scan = ScanKind::Linear;
+        }
+    }
+
+    /// Checks the scheduler/scan-kind combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`UnsupportedScanError`] when the configured
+    /// scheduler cannot run under the configured scan kind (currently:
+    /// BLISS with [`ScanKind::Indexed`]).
+    pub fn validate_scan(&self) -> Result<(), UnsupportedScanError> {
+        if self.scan == ScanKind::Indexed && !self.scheduler.supports_indexed_scan() {
+            return Err(UnsupportedScanError {
+                scheduler: self.scheduler,
+                scan: self.scan,
+            });
+        }
+        Ok(())
     }
 
     /// The paper configuration with hierarchical shares: per-thread
@@ -316,6 +390,13 @@ impl McConfig {
         if self.starvation_threshold == Some(0) {
             return Err("starvation_threshold must be positive (or None to disable)".into());
         }
+        self.validate_scan().map_err(|e| e.to_string())?;
+        if self.bliss_threshold == 0 {
+            return Err("bliss_threshold must be positive".into());
+        }
+        if self.bliss_clear_interval == 0 {
+            return Err("bliss_clear_interval must be positive".into());
+        }
         Ok(())
     }
 }
@@ -365,6 +446,43 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.starvation_threshold = Some(10_000);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn bliss_defaults_to_linear_scan_and_indexed_is_rejected() {
+        let cfg = McConfig::paper(4, SchedulerKind::Bliss);
+        assert_eq!(cfg.scan, ScanKind::Linear);
+        cfg.validate().unwrap();
+
+        let mut bad = cfg.clone();
+        bad.scan = ScanKind::Indexed;
+        let err = bad.validate_scan().unwrap_err();
+        assert_eq!(err.scheduler, SchedulerKind::Bliss);
+        assert_eq!(err.scan, ScanKind::Indexed);
+        assert!(err.to_string().contains("BLISS"));
+        assert!(bad.validate().is_err());
+
+        // set_scheduler downgrades the scan instead of tripping validate.
+        let mut swept = McConfig::paper(4, SchedulerKind::FqVftf);
+        assert_eq!(swept.scan, ScanKind::Indexed);
+        swept.set_scheduler(SchedulerKind::Bliss);
+        assert_eq!(swept.scan, ScanKind::Linear);
+        swept.validate().unwrap();
+        // ... and leaves an explicit Linear choice alone for others.
+        let mut linear = McConfig::paper(4, SchedulerKind::FqVftf);
+        linear.scan = ScanKind::Linear;
+        linear.set_scheduler(SchedulerKind::SdVftf);
+        assert_eq!(linear.scan, ScanKind::Linear);
+    }
+
+    #[test]
+    fn zero_bliss_knobs_rejected() {
+        let mut cfg = McConfig::paper(2, SchedulerKind::Bliss);
+        cfg.bliss_threshold = 0;
+        assert!(cfg.validate().is_err());
+        cfg.bliss_threshold = 4;
+        cfg.bliss_clear_interval = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

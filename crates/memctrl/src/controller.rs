@@ -22,6 +22,7 @@
 //! Once bound, the VFT is stable for the request's lifetime.
 
 use crate::address_map::AddressMap;
+use crate::bliss::BlissState;
 use crate::buffers::{Nack, ThreadBuffers};
 use crate::cmdlog::{CommandLog, CommandRecord};
 use crate::config::McConfig;
@@ -30,6 +31,7 @@ use crate::policy::{
 };
 use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
 use crate::select::{BankQueue, Pending};
+use crate::slowdown::SlowdownEstimator;
 use crate::stats::McStats;
 use crate::vtms::{bank_service, Vtms};
 use fqms_dram::command::{BankId, ColId, Command, DramAddress, RankId, RowId};
@@ -231,6 +233,15 @@ pub struct MemoryController {
     fault: Option<FaultState>,
     /// Starvation watchdog, when `config.starvation_threshold` is set.
     watchdog: Option<WatchdogState>,
+    /// Online per-thread slowdown estimator ([`crate::slowdown`]).
+    /// Maintained for *every* scheduler so fairness indices are comparable
+    /// across policies; SD-VFTF additionally reads it when binding keys,
+    /// which makes it policy state: it snapshots with the controller and
+    /// is not cleared by [`MemoryController::reset_stats`].
+    slowdown: SlowdownEstimator,
+    /// BLISS blacklist state, present exactly when
+    /// `config.scheduler == SchedulerKind::Bliss`.
+    bliss: Option<BlissState>,
 }
 
 impl MemoryController {
@@ -263,6 +274,14 @@ impl MemoryController {
         });
         let indexed = config.scan == ScanKind::Indexed;
         let vftf = config.scheduler.uses_vftf();
+        let slowdown = SlowdownEstimator::new(config.num_threads());
+        let bliss = (config.scheduler == SchedulerKind::Bliss).then(|| {
+            BlissState::new(
+                config.num_threads(),
+                config.bliss_threshold,
+                config.bliss_clear_interval,
+            )
+        });
         Ok(MemoryController {
             map: AddressMap::new(geometry, config.line_bytes),
             dram: DramDevice::new(geometry, timing),
@@ -287,6 +306,8 @@ impl MemoryController {
             skip_marker: None,
             fault: None,
             watchdog,
+            slowdown,
+            bliss,
         })
     }
 
@@ -369,6 +390,16 @@ impl MemoryController {
     /// The VTMS registers of one thread (for inspection/testing).
     pub fn vtms(&self, thread: ThreadId) -> &Vtms {
         &self.vtms[thread.as_usize()]
+    }
+
+    /// The online slowdown estimator (see [`crate::slowdown`]).
+    pub fn slowdown_estimator(&self) -> &SlowdownEstimator {
+        &self.slowdown
+    }
+
+    /// The BLISS blacklist state, when the BLISS scheduler is configured.
+    pub fn bliss_state(&self) -> Option<&BlissState> {
+        self.bliss.as_ref()
     }
 
     /// Number of requests currently buffered (not yet fully serviced).
@@ -550,9 +581,15 @@ impl MemoryController {
         {
             let t = *self.dram.timing();
             let v = &mut self.vtms[tid];
-            let f = v.virtual_finish_time(now, bank_idx, t.service_closed(), t.burst);
+            let mut f = v.virtual_finish_time(now, bank_idx, t.service_closed(), t.burst);
             v.update_bank(now, bank_idx, t.service_closed());
             v.update_channel(bank_idx, t.burst);
+            // SD-VFTF: divide the key by the thread's current slowdown
+            // estimate so the most-slowed-down thread sorts first. The
+            // scaled key is what is stored, emitted, and ranked.
+            if self.config.scheduler == SchedulerKind::SdVftf {
+                f /= self.slowdown.slowdown(thread.as_u32());
+            }
             if O::ENABLED {
                 obs.on_event(&Event::VftBound {
                     cycle: now.as_u64(),
@@ -710,6 +747,13 @@ impl MemoryController {
                 ev.consider(DramCycle::new(w.next_due));
             }
         }
+        if let Some(b) = &self.bliss {
+            // A clearing boundary changes scheduling state (blacklist
+            // wipe): the boundary cycle must be stepped, never skipped,
+            // so fast-forwarded runs clear at exactly the same cycles as
+            // per-cycle runs.
+            ev.consider(DramCycle::new(b.next_clear()));
+        }
         ev.earliest()
     }
 
@@ -812,6 +856,17 @@ impl MemoryController {
         if self.watchdog.is_some() {
             self.check_watchdog(now, obs);
         }
+        // BLISS clearing interval: wipe blacklist flags at every elapsed
+        // boundary *before* scheduling, so the boundary cycle already
+        // schedules with a clean slate. A wipe changes the tier bits the
+        // memoized proposals were ranked under, so every bank cache drops.
+        if let Some(b) = self.bliss.as_mut() {
+            if b.maybe_clear(now.as_u64()) {
+                for cache in &mut self.bank_cache {
+                    cache.valid = false;
+                }
+            }
+        }
 
         let urgent_rank = (0..self.dram.geometry().ranks)
             .map(RankId::new)
@@ -822,6 +877,7 @@ impl MemoryController {
                 cmd,
                 prio: Priority {
                     ready: true,
+                    tier: 0,
                     cas: false,
                     key: f64::INFINITY,
                     id: RequestId::new(u64::MAX),
@@ -1022,9 +1078,19 @@ impl MemoryController {
             self.buffers[c.thread.as_usize()].complete(RequestKind::Read);
             self.tx_used -= 1;
             self.note_progress(c.thread, now);
+            // Alone-time model (DESIGN.md §16): the request's intrinsic
+            // closed-bank service cost plus its data burst — what it
+            // would have cost on an unloaded bank.
+            let alone = {
+                let t = self.dram.timing();
+                t.service_closed() + t.burst
+            };
+            self.slowdown.record(c.thread.as_u32(), alone, c.latency());
             let ts = self.stats.thread_mut(c.thread);
             ts.reads_completed += 1;
             ts.read_latency_total += c.latency();
+            ts.alone_cycles_est += alone;
+            ts.shared_cycles += c.latency();
             if O::ENABLED {
                 obs.on_event(&Event::Completed {
                     cycle: now.as_u64(),
@@ -1033,6 +1099,7 @@ impl MemoryController {
                     is_write: false,
                     latency: c.latency(),
                     bytes: self.config.line_bytes,
+                    alone_cycles: alone,
                 });
             }
             out.push(c);
@@ -1090,6 +1157,10 @@ impl MemoryController {
         let kind = self.config.scheduler;
         let inversion = self.inversion_cycles;
         let scan = self.config.scan;
+        let ctx = SchedCtx {
+            blacklist: self.bliss.as_ref().map(BlissState::blacklist),
+            est: (kind == SchedulerKind::SdVftf).then_some(&self.slowdown),
+        };
 
         let mut best: Option<Proposal> = None;
         for bank_idx in 0..self.queues.len() {
@@ -1118,6 +1189,7 @@ impl MemoryController {
                         cmd: pre,
                         prio: Priority {
                             ready: true,
+                            tier: 0,
                             cas: false,
                             key: f64::INFINITY,
                             id: RequestId::new(u64::MAX),
@@ -1151,6 +1223,7 @@ impl MemoryController {
                         &mut self.queues[bank_idx],
                         ready,
                         lock,
+                        ctx,
                         &self.vtms,
                         kind,
                         bank_idx,
@@ -1267,6 +1340,16 @@ impl MemoryController {
         // CAS issued: the request leaves the bank queue.
         self.queues[bank_idx].remove(slot);
         self.queued -= 1;
+        // BLISS counts one bank service per CAS. A threshold crossing
+        // flips a blacklist flag, which changes the tier bits every
+        // memoized proposal was ranked under: drop all bank caches.
+        if let Some(b) = self.bliss.as_mut() {
+            if b.record_service(req.thread.as_u32()) {
+                for cache in &mut self.bank_cache {
+                    cache.valid = false;
+                }
+            }
+        }
         let ts = self.stats.thread_mut(req.thread);
         ts.bus_busy_cycles += timing.burst;
         match pending.ras_issued {
@@ -1292,7 +1375,13 @@ impl MemoryController {
                 buf.complete(RequestKind::Write);
                 self.wr_used -= 1;
                 self.tx_used -= 1;
-                self.stats.thread_mut(req.thread).writes_completed += 1;
+                let alone = timing.service_closed() + timing.burst;
+                self.slowdown
+                    .record(req.thread.as_u32(), alone, completion.latency());
+                let ts = self.stats.thread_mut(req.thread);
+                ts.writes_completed += 1;
+                ts.alone_cycles_est += alone;
+                ts.shared_cycles += completion.latency();
                 self.note_progress(req.thread, now);
                 if O::ENABLED {
                     obs.on_event(&Event::Completed {
@@ -1302,6 +1391,7 @@ impl MemoryController {
                         is_write: true,
                         latency: completion.latency(),
                         bytes: self.config.line_bytes,
+                        alone_cycles: alone,
                     });
                 }
                 out.push(completion);
@@ -1375,8 +1465,10 @@ pub(crate) fn get_completion(r: &mut SectionReader<'_>) -> Result<Completion, Sn
 ///   VTMS registers, in-flight reads, id allocation, statistics, the
 ///   command log, fault cursors and cached episode deadlines, watchdog
 ///   progress clocks plus the incremental `next_due` trigger, the
-///   inversion-lock edge detectors, and the step/skip counters — every bit
-///   of state a resumed run's behaviour or reporting depends on.
+///   inversion-lock edge detectors, the step/skip counters, the slowdown
+///   estimator (SD-VFTF's key scaling depends on it), and the BLISS
+///   blacklist (streak, flags, next clearing boundary) — every bit of
+///   state a resumed run's behaviour or reporting depends on.
 /// * **Rebuilt**: configuration (validated via the envelope fingerprint and
 ///   per-field checks), the address map, fault episode *timelines* (a pure
 ///   function of plan and seed, already present in the identically-built
@@ -1446,6 +1538,11 @@ impl Snapshot for MemoryController {
                 w.put_bool(tripped);
             }
             w.put_u64(wd.next_due);
+        }
+        self.slowdown.save(w);
+        w.put_bool(self.bliss.is_some());
+        if let Some(b) = &self.bliss {
+            b.save(w);
         }
     }
 
@@ -1576,6 +1673,16 @@ impl Snapshot for MemoryController {
             }
             wd.next_due = r.get_u64()?;
         }
+        self.slowdown.restore(r)?;
+        let has_bliss = r.get_bool()?;
+        if has_bliss != self.bliss.is_some() {
+            return Err(
+                r.malformed("snapshot and controller disagree on the BLISS scheduler".to_string())
+            );
+        }
+        if let Some(b) = &mut self.bliss {
+            b.restore(r)?;
+        }
         // Derived occupancy counters are recomputed from the restored
         // structures (cheaper to re-derive than to cross-validate), and
         // the scheduler memo is dropped: the first post-resume pass
@@ -1632,6 +1739,32 @@ fn classify(p: &Pending, open_row: Option<RowId>, ready: ReadyClasses) -> (bool,
     }
 }
 
+/// Slowdown-aware scheduler context threaded through both scan paths (the
+/// signatures must match for the fn-pointer dispatch in
+/// `schedule_normal`).
+///
+/// * `blacklist` is `Some` exactly when BLISS is active: blacklisted
+///   threads rank at [`Priority`] tier 1 (Linear-only — `McConfig`
+///   rejects BLISS with `ScanKind::Indexed`, whose static-key heaps
+///   cannot express a dynamic tier).
+/// * `est` is `Some` exactly when SD-VFTF is active: VFT keys are
+///   divided by the thread's current slowdown estimate at bind time, so
+///   the most-slowed-down thread sorts first. Keys are static once bound
+///   (the estimator only advances on completions), preserving the select
+///   index invariants.
+#[derive(Clone, Copy)]
+struct SchedCtx<'a> {
+    blacklist: Option<&'a [bool]>,
+    est: Option<&'a SlowdownEstimator>,
+}
+
+impl SchedCtx<'_> {
+    /// The BLISS priority tier of `thread`: 1 when blacklisted, else 0.
+    fn tier(&self, thread: ThreadId) -> u8 {
+        u8::from(self.blacklist.is_some_and(|bl| bl[thread.as_usize()]))
+    }
+}
+
 /// The linear-scan bank scheduler (the retained reference path,
 /// `ScanKind::Linear`; free function so the borrow of the queue is
 /// disjoint from the device and VTMS borrows). The caller has already
@@ -1643,6 +1776,7 @@ fn propose_linear<O: Observer>(
     queue: &mut BankQueue,
     ready: ReadyClasses,
     lock: Option<u64>,
+    ctx: SchedCtx<'_>,
     vtms: &[Vtms],
     kind: SchedulerKind,
     bank_idx: usize,
@@ -1682,6 +1816,7 @@ fn propose_linear<O: Observer>(
                 };
                 let key = bind_vft(
                     queue.get_mut(slot),
+                    ctx.est,
                     vtms,
                     bank_idx,
                     open_row,
@@ -1702,6 +1837,7 @@ fn propose_linear<O: Observer>(
                     cmd,
                     prio: Priority {
                         ready: true,
+                        tier: 0,
                         cas: cmd.is_cas(),
                         key,
                         id,
@@ -1745,6 +1881,7 @@ fn propose_linear<O: Observer>(
         let key = if kind.uses_vftf() {
             bind_vft(
                 queue.get_mut(slot),
+                ctx.est,
                 vtms,
                 bank_idx,
                 open_row,
@@ -1757,6 +1894,7 @@ fn propose_linear<O: Observer>(
         };
         let prio = Priority {
             ready: true,
+            tier: ctx.tier(p.req.thread),
             cas,
             key,
             id: p.req.id,
@@ -1790,6 +1928,7 @@ fn propose_indexed<O: Observer>(
     queue: &mut BankQueue,
     ready: ReadyClasses,
     lock: Option<u64>,
+    ctx: SchedCtx<'_>,
     vtms: &[Vtms],
     kind: SchedulerKind,
     bank_idx: usize,
@@ -1834,12 +1973,17 @@ fn propose_indexed<O: Observer>(
                 None => fqms_dram::bank::BankState::Closed,
             };
             let svc = bank_service(state, p.req.addr.row, timing);
-            let v = vtms[p.req.thread.as_usize()].virtual_finish_time(
+            let mut v = vtms[p.req.thread.as_usize()].virtual_finish_time(
                 p.req.arrival,
                 bank_idx,
                 svc,
                 timing.burst,
             );
+            // SD-VFTF: the *scaled* key is what is stored and indexed —
+            // identical to the linear path's `bind_vft`.
+            if let Some(e) = ctx.est {
+                v /= e.slowdown(p.req.thread.as_u32());
+            }
             if O::ENABLED {
                 obs.on_event(&Event::VftBound {
                     cycle: now.as_u64(),
@@ -1864,6 +2008,7 @@ fn propose_indexed<O: Observer>(
                 cmd,
                 prio: Priority {
                     ready: true,
+                    tier: 0,
                     cas: cmd.is_cas(),
                     key: sel.key,
                     id: p.req.id,
@@ -1886,6 +2031,7 @@ fn propose_indexed<O: Observer>(
             cmd: next_command(&p.req, open_row, rank, bank),
             prio: Priority {
                 ready: true,
+                tier: 0,
                 cas,
                 key: p.req.arrival.as_f64(),
                 id: p.req.id,
@@ -1907,6 +2053,7 @@ fn propose_indexed<O: Observer>(
                     cmd,
                     prio: Priority {
                         ready: true,
+                        tier: 0,
                         cas: true,
                         key: sel.key,
                         id: p.req.id,
@@ -1923,6 +2070,7 @@ fn propose_indexed<O: Observer>(
                 cmd: Command::Precharge { rank, bank },
                 prio: Priority {
                     ready: true,
+                    tier: 0,
                     cas: false,
                     key: sel.key,
                     id: p.req.id,
@@ -1944,6 +2092,7 @@ fn propose_indexed<O: Observer>(
                 },
                 prio: Priority {
                     ready: true,
+                    tier: 0,
                     cas: false,
                     key: sel.key,
                     id: p.req.id,
@@ -2013,8 +2162,13 @@ impl ReadyClasses {
 
 /// Binds (or returns the cached) virtual finish time of a pending request,
 /// classifying its bank service by the bank's state right now (Table 3).
+/// Under SD-VFTF (`est` is `Some`) the bound key is the virtual finish
+/// time divided by the thread's current slowdown estimate — scaled once,
+/// at bind time, then static for the request's lifetime.
+#[allow(clippy::too_many_arguments)]
 fn bind_vft<O: Observer>(
     p: &mut Pending,
+    est: Option<&SlowdownEstimator>,
     vtms: &[Vtms],
     bank_idx: usize,
     open_row: Option<RowId>,
@@ -2030,12 +2184,15 @@ fn bind_vft<O: Observer>(
         None => fqms_dram::bank::BankState::Closed,
     };
     let svc = bank_service(state, p.req.addr.row, timing);
-    let v = vtms[p.req.thread.as_usize()].virtual_finish_time(
+    let mut v = vtms[p.req.thread.as_usize()].virtual_finish_time(
         p.req.arrival,
         bank_idx,
         svc,
         timing.burst,
     );
+    if let Some(e) = est {
+        v /= e.slowdown(p.req.thread.as_u32());
+    }
     p.vft = Some(v);
     if O::ENABLED {
         obs.on_event(&Event::VftBound {

@@ -4,10 +4,13 @@
 //! This crate provides the paper's Figure 2 memory controller — per-thread
 //! transaction/write buffers with NACK back-pressure, an XOR physical
 //! address mapping, per-bank schedulers and a channel scheduler — together
-//! with the four scheduling policies evaluated (or used as ablations):
+//! with the scheduling policies evaluated (or used as ablations):
 //! **FR-FCFS** (baseline), **FR-VFTF**, **FQ-VFTF** (the Fair Queuing
 //! memory scheduler with its bounded-priority-inversion bank scheduling
-//! algorithm), and a strict **FCFS** ablation.
+//! algorithm), a strict **FCFS** ablation, plus two slowdown-aware
+//! policies (ISSUE 7): **BLISS** blacklisting ([`bliss`]) and
+//! **SD-VFTF**, which scales VFT keys by the online slowdown estimate
+//! ([`slowdown`]).
 //!
 //! The Fair Queuing machinery — per-thread Virtual Time Memory System
 //! registers and the virtual-finish-time equations — lives in [`vtms`].
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod address_map;
+pub mod bliss;
 pub mod buffers;
 pub mod cmdlog;
 pub mod config;
@@ -51,15 +55,17 @@ pub mod policy;
 pub mod port;
 pub mod request;
 pub mod select;
+pub mod slowdown;
 pub mod stats;
 pub mod vtms;
 
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
     pub use crate::address_map::AddressMap;
+    pub use crate::bliss::BlissState;
     pub use crate::buffers::{Nack, ThreadBuffers};
     pub use crate::cmdlog::{CommandLog, CommandRecord};
-    pub use crate::config::{McConfig, ShareTree, TenantSpec};
+    pub use crate::config::{McConfig, ShareTree, TenantSpec, UnsupportedScanError};
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
         adversarial_workload, interference_workload, simulate_parallel, simulate_serial,
@@ -72,6 +78,7 @@ pub mod prelude {
     pub use crate::port::MemoryPort;
     pub use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
     pub use crate::select::{IndexedHeap, SelKey, TournamentTree};
+    pub use crate::slowdown::SlowdownEstimator;
     pub use crate::stats::{McStats, ThreadStats};
     pub use crate::vtms::{bank_service, update_service, Vtms};
     pub use fqms_obs::{

@@ -10,7 +10,15 @@
 //! * **FQ-VFTF** — FR-VFTF plus the FQ bank scheduling algorithm of
 //!   Section 3.3 that bounds priority-inversion blocking time,
 //! * **FCFS** — a strict in-order (per bank) baseline without first-ready
-//!   reordering, included as an extra ablation point.
+//!   reordering, included as an extra ablation point,
+//! * **BLISS** — blacklisting (ISSUE 7): a thread that receives too many
+//!   *consecutive* bank services is blacklisted until the next clearing
+//!   interval; non-blacklisted requests are prioritized, with FR-FCFS
+//!   order among peers,
+//! * **SD-VFTF** — slowdown-driven VFTF (ISSUE 7): each thread's virtual
+//!   finish time is divided by its online slowdown estimate (measured
+//!   shared latency over an intrinsic alone-service model), so the
+//!   currently-most-slowed-down thread sorts first among peers.
 
 use crate::request::RequestId;
 use std::cmp::Ordering;
@@ -28,13 +36,26 @@ pub enum SchedulerKind {
     /// The full Fair Queuing memory scheduler: VFTF priority plus the
     /// bounded-priority-inversion bank scheduling algorithm.
     FqVftf,
+    /// Blacklisting scheduler (BLISS): per-thread consecutive-service
+    /// streak counter; crossing `bliss_threshold` blacklists the thread
+    /// until the next `bliss_clear_interval` boundary. Non-blacklisted
+    /// requests beat blacklisted ones; FR-FCFS order among peers.
+    Bliss,
+    /// Slowdown-driven VFTF: virtual finish times are divided by each
+    /// thread's online slowdown estimate (measured shared latency over an
+    /// intrinsic alone-service model), prioritizing the max-slowdown
+    /// thread.
+    SdVftf,
 }
 
 impl SchedulerKind {
     /// True if request priority is the virtual finish time (otherwise it is
     /// the arrival time).
     pub fn uses_vftf(self) -> bool {
-        matches!(self, SchedulerKind::FrVftf | SchedulerKind::FqVftf)
+        matches!(
+            self,
+            SchedulerKind::FrVftf | SchedulerKind::FqVftf | SchedulerKind::SdVftf
+        )
     }
 
     /// True if bank schedulers may reorder requests to exploit ready
@@ -48,6 +69,18 @@ impl SchedulerKind {
         matches!(self, SchedulerKind::FqVftf)
     }
 
+    /// True if the scheduler's priority keys are compatible with the
+    /// O(log n) indexed scan ([`ScanKind::Indexed`]).
+    ///
+    /// BLISS is the exception: its blacklist flips change request
+    /// *ordering* (the tier) dynamically between scheduling decisions,
+    /// which the static-key row-group heaps cannot represent, so it is
+    /// restricted to [`ScanKind::Linear`] (enforced by
+    /// `McConfig::validate`).
+    pub fn supports_indexed_scan(self) -> bool {
+        !matches!(self, SchedulerKind::Bliss)
+    }
+
     /// Short display name matching the paper's figure legends.
     pub fn name(self) -> &'static str {
         match self {
@@ -55,16 +88,20 @@ impl SchedulerKind {
             SchedulerKind::FrFcfs => "FR-FCFS",
             SchedulerKind::FrVftf => "FR-VFTF",
             SchedulerKind::FqVftf => "FQ-VFTF",
+            SchedulerKind::Bliss => "BLISS",
+            SchedulerKind::SdVftf => "SD-VFTF",
         }
     }
 
     /// All scheduler kinds, for sweeps.
-    pub fn all() -> [SchedulerKind; 4] {
+    pub fn all() -> [SchedulerKind; 6] {
         [
             SchedulerKind::Fcfs,
             SchedulerKind::FrFcfs,
             SchedulerKind::FrVftf,
             SchedulerKind::FqVftf,
+            SchedulerKind::Bliss,
+            SchedulerKind::SdVftf,
         ]
     }
 }
@@ -204,10 +241,11 @@ pub enum ScanKind {
     Indexed,
 }
 
-/// The three-level priority of a candidate command, ordered per the paper:
-/// ready beats not-ready, CAS beats RAS, then the smaller key (arrival time
-/// or virtual finish time) wins, with the admission id as a deterministic
-/// final tiebreaker.
+/// The priority of a candidate command, ordered per the paper: ready beats
+/// not-ready, then lower tier beats higher (tier is 0 for everything except
+/// BLISS-blacklisted threads), CAS beats RAS, then the smaller key (arrival
+/// time or virtual finish time) wins, with the admission id as a
+/// deterministic final tiebreaker.
 ///
 /// `Priority` is ordered so that **smaller is better** (fits
 /// `Iterator::min`).
@@ -215,6 +253,9 @@ pub enum ScanKind {
 pub struct Priority {
     /// Whether the command can issue this cycle.
     pub ready: bool,
+    /// Scheduler-assigned priority class; 0 is best. Only BLISS uses a
+    /// nonzero tier (1 for blacklisted threads).
+    pub tier: u8,
     /// Whether the command is a CAS (read/write).
     pub cas: bool,
     /// Arrival time (FCFS variants) or virtual finish time (VFTF variants).
@@ -224,8 +265,8 @@ pub struct Priority {
 }
 
 impl Priority {
-    fn rank_tuple(&self) -> (u8, u8) {
-        (u8::from(!self.ready), u8::from(!self.cas))
+    fn rank_tuple(&self) -> (u8, u8, u8) {
+        (u8::from(!self.ready), self.tier, u8::from(!self.cas))
     }
 }
 
@@ -253,6 +294,7 @@ mod tests {
     fn p(ready: bool, cas: bool, key: f64, id: u64) -> Priority {
         Priority {
             ready,
+            tier: 0,
             cas,
             key,
             id: RequestId::new(id),
@@ -267,6 +309,26 @@ mod tests {
     #[test]
     fn cas_dominates_key() {
         assert!(p(true, true, 100.0, 5) < p(true, false, 1.0, 1));
+    }
+
+    #[test]
+    fn tier_dominates_cas_and_key() {
+        let blacklisted_cas = Priority {
+            tier: 1,
+            ..p(true, true, 1.0, 1)
+        };
+        let clean_ras = p(true, false, 100.0, 9);
+        assert!(clean_ras < blacklisted_cas);
+    }
+
+    #[test]
+    fn ready_dominates_tier() {
+        let blacklisted_ready = Priority {
+            tier: 1,
+            ..p(true, true, 100.0, 9)
+        };
+        let clean_unready = p(false, true, 1.0, 1);
+        assert!(blacklisted_ready < clean_unready);
     }
 
     #[test]
@@ -297,6 +359,14 @@ mod tests {
         assert!(!SchedulerKind::Fcfs.uses_first_ready());
         assert!(SchedulerKind::FqVftf.uses_fq_bank_scheduler());
         assert!(!SchedulerKind::FrVftf.uses_fq_bank_scheduler());
+        assert!(SchedulerKind::SdVftf.uses_vftf());
+        assert!(!SchedulerKind::Bliss.uses_vftf());
+        assert!(SchedulerKind::Bliss.uses_first_ready());
+        assert!(!SchedulerKind::SdVftf.uses_fq_bank_scheduler());
+        assert!(!SchedulerKind::Bliss.supports_indexed_scan());
+        for kind in SchedulerKind::all() {
+            assert_eq!(kind.supports_indexed_scan(), kind != SchedulerKind::Bliss);
+        }
     }
 
     #[test]
@@ -311,6 +381,8 @@ mod tests {
     fn names_match_paper_legends() {
         assert_eq!(SchedulerKind::FrFcfs.to_string(), "FR-FCFS");
         assert_eq!(SchedulerKind::FqVftf.to_string(), "FQ-VFTF");
-        assert_eq!(SchedulerKind::all().len(), 4);
+        assert_eq!(SchedulerKind::Bliss.to_string(), "BLISS");
+        assert_eq!(SchedulerKind::SdVftf.to_string(), "SD-VFTF");
+        assert_eq!(SchedulerKind::all().len(), 6);
     }
 }

@@ -1,0 +1,155 @@
+//! Online per-thread slowdown estimation (ISSUE 7).
+//!
+//! Following the nvmevirt `tsu_fairness` recipe (SNIPPETS.md), each
+//! thread's slowdown is the ratio of the time its requests took under
+//! sharing to the time they would have taken running alone:
+//!
+//! ```text
+//! slowdown_t = shared_cycles_t / alone_cycles_t   (clamped >= 1.0)
+//! ```
+//!
+//! The **alone model** charges each completed request its intrinsic
+//! closed-bank DRAM service cost (`t_RCD + t_CL + burst` for the paper's
+//! closed row policy) — the latency it would see on an unloaded bank.
+//! This is deliberately simple and has a known bias (DESIGN.md §16): it
+//! ignores row-buffer locality and bank-level parallelism a thread would
+//! enjoy alone, so it *overestimates* alone time for streaming threads
+//! and therefore *underestimates* their slowdown. The estimates are used
+//! comparatively (who is hurt most *right now*), where the bias largely
+//! cancels.
+//!
+//! The estimator is policy state, not measurement: SD-VFTF scales its
+//! virtual-finish-time keys by these ratios, so the estimator snapshots
+//! with the controller and is **not** cleared by warmup stats resets.
+
+use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+/// Per-thread accumulators for online slowdown estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowdownEstimator {
+    alone: Vec<u64>,
+    shared: Vec<u64>,
+}
+
+impl SlowdownEstimator {
+    /// Fresh estimator for `num_threads` threads (all slowdowns 1.0).
+    pub fn new(num_threads: usize) -> Self {
+        SlowdownEstimator {
+            alone: vec![0; num_threads],
+            shared: vec![0; num_threads],
+        }
+    }
+
+    /// Number of tracked threads.
+    pub fn num_threads(&self) -> usize {
+        self.alone.len()
+    }
+
+    /// Records one completed request for `thread`: `alone` estimated
+    /// stand-alone service cycles, `shared` measured cycles under
+    /// sharing. Saturates instead of wrapping so adversarial clocks
+    /// cannot corrupt the ratio.
+    pub fn record(&mut self, thread: u32, alone: u64, shared: u64) {
+        let t = thread as usize;
+        self.alone[t] = self.alone[t].saturating_add(alone);
+        self.shared[t] = self.shared[t].saturating_add(shared);
+    }
+
+    /// Accumulated alone-cycle estimate for `thread`.
+    pub fn alone_cycles(&self, thread: u32) -> u64 {
+        self.alone[thread as usize]
+    }
+
+    /// Accumulated measured shared cycles for `thread`.
+    pub fn shared_cycles(&self, thread: u32) -> u64 {
+        self.shared[thread as usize]
+    }
+
+    /// The thread's estimated slowdown, clamped to at least 1.0; 1.0
+    /// before any completion.
+    pub fn slowdown(&self, thread: u32) -> f64 {
+        let t = thread as usize;
+        if self.alone[t] == 0 {
+            1.0
+        } else {
+            (self.shared[t] as f64 / self.alone[t] as f64).max(1.0)
+        }
+    }
+
+    /// The maximum slowdown across threads (1.0 when idle).
+    pub fn max_slowdown(&self) -> f64 {
+        (0..self.alone.len() as u32)
+            .map(|t| self.slowdown(t))
+            .fold(1.0, f64::max)
+    }
+}
+
+impl Snapshot for SlowdownEstimator {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_seq_len(self.alone.len());
+        for t in 0..self.alone.len() {
+            w.put_u64(self.alone[t]);
+            w.put_u64(self.shared[t]);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.seq_len()?;
+        if n != self.alone.len() {
+            return Err(r.malformed(format!(
+                "estimator for {n} threads, controller has {}",
+                self.alone.len()
+            )));
+        }
+        for t in 0..n {
+            self.alone[t] = r.get_u64()?;
+            self.shared[t] = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_with_clamp() {
+        let mut e = SlowdownEstimator::new(2);
+        assert_eq!(e.slowdown(0), 1.0);
+        e.record(0, 14, 42);
+        assert_eq!(e.slowdown(0), 3.0);
+        // Shared below the alone estimate clamps to 1.0.
+        e.record(1, 100, 20);
+        assert_eq!(e.slowdown(1), 1.0);
+        assert_eq!(e.max_slowdown(), 3.0);
+    }
+
+    #[test]
+    fn saturating_accumulation() {
+        let mut e = SlowdownEstimator::new(1);
+        e.record(0, u64::MAX - 5, u64::MAX - 5);
+        e.record(0, 100, 100);
+        assert_eq!(e.alone_cycles(0), u64::MAX);
+        assert_eq!(e.shared_cycles(0), u64::MAX);
+        assert_eq!(e.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        use fqms_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut a = SlowdownEstimator::new(2);
+        a.record(0, 14, 99);
+        a.record(1, 28, 28);
+        let mut w = SnapshotWriter::new(3);
+        w.section("slowdown", |s| a.save(s));
+        let bytes = w.into_bytes();
+        let mut b = SlowdownEstimator::new(2);
+        let mut r = SnapshotReader::new(&bytes, 3).unwrap();
+        r.section("slowdown", |s| b.restore(s)).unwrap();
+        assert_eq!(a, b);
+        let mut narrow = SlowdownEstimator::new(3);
+        let mut r = SnapshotReader::new(&bytes, 3).unwrap();
+        assert!(r.section("slowdown", |s| narrow.restore(s)).is_err());
+    }
+}

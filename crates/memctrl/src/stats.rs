@@ -31,6 +31,13 @@ pub struct ThreadStats {
     pub requests_dropped: u64,
     /// Starvation-watchdog firings (one per detected stall episode).
     pub starvations: u64,
+    /// Estimated cycles this thread's completed requests would have taken
+    /// running *alone* (intrinsic closed-bank DRAM service model; see
+    /// DESIGN.md §16 for the model's known bias).
+    pub alone_cycles_est: u64,
+    /// Measured cycles the same requests actually took under sharing
+    /// (arrival to completion).
+    pub shared_cycles: u64,
 }
 
 impl ThreadStats {
@@ -51,6 +58,18 @@ impl ThreadStats {
             0.0
         } else {
             self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Estimated memory slowdown: measured shared cycles over the
+    /// alone-service estimate, clamped to at least 1.0 (a thread cannot be
+    /// sped up by interference under this model). Returns 1.0 when the
+    /// thread completed nothing.
+    pub fn slowdown(&self) -> f64 {
+        if self.alone_cycles_est == 0 {
+            1.0
+        } else {
+            (self.shared_cycles as f64 / self.alone_cycles_est as f64).max(1.0)
         }
     }
 
@@ -80,6 +99,8 @@ impl ThreadStats {
         self.row_conflicts += other.row_conflicts;
         self.requests_dropped += other.requests_dropped;
         self.starvations += other.starvations;
+        self.alone_cycles_est += other.alone_cycles_est;
+        self.shared_cycles += other.shared_cycles;
     }
 }
 
@@ -137,6 +158,34 @@ impl McStats {
         self.threads.len()
     }
 
+    /// Maximum estimated slowdown over threads that completed work
+    /// (the unfairness index; 1.0 when the controller was idle).
+    pub fn max_slowdown(&self) -> f64 {
+        self.threads
+            .iter()
+            .filter(|t| t.alone_cycles_est > 0)
+            .map(|t| t.slowdown())
+            .fold(1.0, f64::max)
+    }
+
+    /// Harmonic speedup: `n / sum(slowdown_i)` over the `n` threads that
+    /// completed work — the balanced fairness/throughput index (1.0 is
+    /// ideal, smaller is worse). Returns 1.0 when no thread completed
+    /// anything.
+    pub fn harmonic_speedup(&self) -> f64 {
+        let active: Vec<f64> = self
+            .threads
+            .iter()
+            .filter(|t| t.alone_cycles_est > 0)
+            .map(|t| t.slowdown())
+            .collect();
+        if active.is_empty() {
+            1.0
+        } else {
+            active.len() as f64 / active.iter().sum::<f64>()
+        }
+    }
+
     /// Rolls the per-thread counters up to the tenant level of `tree`
     /// (one merged [`ThreadStats`] per tenant, in tenant order).
     ///
@@ -178,6 +227,8 @@ impl Snapshot for ThreadStats {
         w.put_u64(self.row_conflicts);
         w.put_u64(self.requests_dropped);
         w.put_u64(self.starvations);
+        w.put_u64(self.alone_cycles_est);
+        w.put_u64(self.shared_cycles);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -193,6 +244,8 @@ impl Snapshot for ThreadStats {
         self.row_conflicts = r.get_u64()?;
         self.requests_dropped = r.get_u64()?;
         self.starvations = r.get_u64()?;
+        self.alone_cycles_est = r.get_u64()?;
+        self.shared_cycles = r.get_u64()?;
         Ok(())
     }
 }
@@ -276,6 +329,8 @@ mod tests {
             row_conflicts: 29,
             requests_dropped: 31,
             starvations: 37,
+            alone_cycles_est: 41,
+            shared_cycles: 43,
         };
         let mut b = a;
         b.merge(&a);
@@ -294,8 +349,34 @@ mod tests {
                 row_conflicts: 58,
                 requests_dropped: 62,
                 starvations: 74,
+                alone_cycles_est: 82,
+                shared_cycles: 86,
             }
         );
+    }
+
+    #[test]
+    fn slowdown_and_fairness_indices() {
+        let mut m = McStats::new(3);
+        // Thread 0: slowdown 3.0; thread 1: slowdown 1.5; thread 2 idle.
+        m.thread_mut(ThreadId::new(0)).alone_cycles_est = 100;
+        m.thread_mut(ThreadId::new(0)).shared_cycles = 300;
+        m.thread_mut(ThreadId::new(1)).alone_cycles_est = 200;
+        m.thread_mut(ThreadId::new(1)).shared_cycles = 300;
+        assert_eq!(m.thread(ThreadId::new(0)).slowdown(), 3.0);
+        assert_eq!(m.thread(ThreadId::new(1)).slowdown(), 1.5);
+        assert_eq!(m.thread(ThreadId::new(2)).slowdown(), 1.0);
+        assert_eq!(m.max_slowdown(), 3.0);
+        // Idle thread excluded: 2 / (3.0 + 1.5).
+        assert!((m.harmonic_speedup() - 2.0 / 4.5).abs() < 1e-12);
+        // Shared faster than the (biased) alone estimate clamps to 1.0.
+        m.thread_mut(ThreadId::new(2)).alone_cycles_est = 100;
+        m.thread_mut(ThreadId::new(2)).shared_cycles = 50;
+        assert_eq!(m.thread(ThreadId::new(2)).slowdown(), 1.0);
+        // Empty controller is the identity point.
+        let idle = McStats::new(4);
+        assert_eq!(idle.max_slowdown(), 1.0);
+        assert_eq!(idle.harmonic_speedup(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Property suite for the BLISS blacklist state machine and the online
+//! slowdown estimator (ISSUE 7 satellite), on the in-tree shrinking
+//! [`fqms_sim::rng::CaseRunner`].
+//!
+//! The incremental [`BlissState`] (one streak counter, lazy clearing) is
+//! driven op-by-op against a naive recompute-from-scratch oracle that
+//! retains every service since the last clearing boundary and rescans the
+//! whole history per query — slow but obviously correct. Covered by
+//! construction: streak reset on interleaved service, clearing-interval
+//! expiry (including multi-interval fast-forward jumps and adversarial
+//! clocks at `u64::MAX`), and the all-blacklisted degenerate case, which
+//! is additionally exercised end-to-end through a real controller run.
+//!
+//! The [`SlowdownEstimator`] is checked against a closed-form wide-integer
+//! oracle, including `u64`-saturating accumulator values, and against a
+//! genuinely-alone controller trace where the estimated slowdown must stay
+//! near unity.
+
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+use fqms_memctrl::prelude::*;
+use fqms_sim::clock::DramCycle;
+use fqms_sim::rng::{CaseRunner, SimRng};
+
+/// One step of a BLISS driving schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A bank service observed for the thread.
+    Service(u32),
+    /// The clearing clock advances to this cycle (monotone per case).
+    AdvanceTo(u64),
+}
+
+/// A generated BLISS schedule plus the knobs it runs under.
+#[derive(Debug, Clone)]
+struct BlissCase {
+    threads: u32,
+    threshold: u32,
+    interval: u64,
+    ops: Vec<Op>,
+}
+
+impl BlissCase {
+    fn generate(rng: &mut SimRng) -> Self {
+        let threads = 1 + rng.next_below(4) as u32;
+        let interval = 1 + rng.next_below(500);
+        let mut now = 0u64;
+        let len = rng.next_below(80) as usize;
+        let ops = (0..len)
+            .map(|_| {
+                if rng.chance(0.35) {
+                    // Mostly small steps; occasionally a fast-forward-sized
+                    // jump, rarely an adversarial leap to the end of time.
+                    now = match rng.next_below(10) {
+                        0 => u64::MAX - rng.next_below(3),
+                        1..=3 => now.saturating_add(interval * (1 + rng.next_below(5))),
+                        _ => now.saturating_add(rng.next_below(interval.max(2))),
+                    };
+                    Op::AdvanceTo(now)
+                } else {
+                    Op::Service(rng.next_below(u64::from(threads)) as u32)
+                }
+            })
+            .collect();
+        BlissCase {
+            threads,
+            threshold: 1 + rng.next_below(5) as u32,
+            interval,
+            ops,
+        }
+    }
+
+    /// Shrinks toward fewer ops (any prefix or single-op deletion keeps
+    /// the schedule monotone, so every shrink is a valid case).
+    fn shrink(&self) -> Vec<BlissCase> {
+        let mut out = Vec::new();
+        if !self.ops.is_empty() {
+            out.push(BlissCase {
+                ops: self.ops[..self.ops.len() / 2].to_vec(),
+                ..self.clone()
+            });
+            let mut drop_last = self.clone();
+            drop_last.ops.pop();
+            out.push(drop_last);
+        }
+        out
+    }
+}
+
+/// The naive oracle: remembers every service since the last clearing
+/// boundary and rescans the list per query. No incremental state beyond
+/// the boundary clock — exactly the specification, none of the
+/// optimisation.
+struct Oracle {
+    threshold: u32,
+    interval: u64,
+    services: Vec<u32>,
+    next_clear: u64,
+}
+
+impl Oracle {
+    fn new(threshold: u32, interval: u64) -> Self {
+        Oracle {
+            threshold,
+            interval,
+            services: Vec::new(),
+            next_clear: interval,
+        }
+    }
+
+    fn advance(&mut self, now: u64) {
+        if now >= self.next_clear {
+            self.services.clear();
+            self.next_clear = (now / self.interval)
+                .checked_add(1)
+                .and_then(|n| n.checked_mul(self.interval))
+                .unwrap_or(u64::MAX);
+        }
+    }
+
+    /// Recomputes the blacklist by scanning the full post-clear history
+    /// for any consecutive run reaching the threshold.
+    fn blacklist(&self, threads: u32) -> Vec<bool> {
+        let mut flags = vec![false; threads as usize];
+        let mut run_thread = None;
+        let mut run = 0u32;
+        for &t in &self.services {
+            if run_thread == Some(t) {
+                run += 1;
+            } else {
+                run_thread = Some(t);
+                run = 1;
+            }
+            if run >= self.threshold {
+                flags[t as usize] = true;
+            }
+        }
+        flags
+    }
+
+    /// The trailing consecutive-service run (thread, length).
+    fn streak(&self) -> (Option<u32>, u32) {
+        let Some(&last) = self.services.last() else {
+            return (None, 0);
+        };
+        let run = self
+            .services
+            .iter()
+            .rev()
+            .take_while(|&&t| t == last)
+            .count() as u32;
+        (Some(last), run)
+    }
+}
+
+/// The incremental state machine agrees with the recompute-from-scratch
+/// oracle after every single op: blacklist flags, streak owner and
+/// length, and the next clearing boundary.
+#[test]
+fn bliss_state_matches_recompute_oracle() {
+    CaseRunner::new("bliss-oracle")
+        .cases(64)
+        .run(BlissCase::generate, BlissCase::shrink, |case| {
+            let mut state = BlissState::new(case.threads as usize, case.threshold, case.interval);
+            let mut oracle = Oracle::new(case.threshold, case.interval);
+            for (i, &op) in case.ops.iter().enumerate() {
+                match op {
+                    Op::Service(t) => {
+                        state.record_service(t);
+                        oracle.services.push(t);
+                    }
+                    Op::AdvanceTo(now) => {
+                        state.maybe_clear(now);
+                        oracle.advance(now);
+                    }
+                }
+                let expected = oracle.blacklist(case.threads);
+                if state.blacklist() != expected {
+                    return Err(format!(
+                        "op {i} ({op:?}): blacklist {:?}, oracle says {expected:?}",
+                        state.blacklist()
+                    ));
+                }
+                let (othread, orun) = oracle.streak();
+                if state.streak_thread() != othread || state.streak() != orun {
+                    return Err(format!(
+                        "op {i} ({op:?}): streak {:?}x{}, oracle says {othread:?}x{orun}",
+                        state.streak_thread(),
+                        state.streak()
+                    ));
+                }
+                if state.next_clear() != oracle.next_clear {
+                    return Err(format!(
+                        "op {i} ({op:?}): next_clear {} vs oracle {}",
+                        state.next_clear(),
+                        oracle.next_clear
+                    ));
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Adversarial clocks terminate: a clearing clock at the end of time must
+/// not hang the boundary advance, and the behaviour stays deterministic
+/// once `next_clear` saturates.
+#[test]
+fn clearing_survives_clock_saturation() {
+    let mut s = BlissState::new(2, 1, 7);
+    assert!(s.record_service(1));
+    assert!(s.maybe_clear(u64::MAX)); // must terminate, not step 2^64/7 times
+    assert!(!s.is_blacklisted(1));
+    assert_eq!(s.next_clear(), u64::MAX);
+    // Idempotent at the same cycle: nothing left to clear.
+    assert!(!s.maybe_clear(u64::MAX));
+    // At saturation every subsequent service is cleared on the next tick —
+    // degenerate but deterministic (and unreachable under the engine's
+    // bounded clock).
+    assert!(s.record_service(0));
+    assert!(s.maybe_clear(u64::MAX));
+    assert!(!s.is_blacklisted(0));
+}
+
+/// A random record schedule for the slowdown estimator, mixing realistic
+/// per-request magnitudes with saturation-scale adversarial values.
+#[derive(Debug, Clone)]
+struct EstimatorCase {
+    threads: u32,
+    records: Vec<(u32, u64, u64)>,
+}
+
+impl EstimatorCase {
+    fn generate(rng: &mut SimRng) -> Self {
+        let threads = 1 + rng.next_below(4) as u32;
+        let records = (0..rng.next_below(60) as usize)
+            .map(|_| {
+                let t = rng.next_below(u64::from(threads)) as u32;
+                let huge = rng.chance(0.1);
+                let alone = if huge {
+                    u64::MAX - rng.next_below(100)
+                } else {
+                    1 + rng.next_below(100)
+                };
+                let shared = if huge {
+                    u64::MAX - rng.next_below(100)
+                } else {
+                    1 + rng.next_below(2_000)
+                };
+                (t, alone, shared)
+            })
+            .collect();
+        EstimatorCase { threads, records }
+    }
+
+    fn shrink(&self) -> Vec<EstimatorCase> {
+        let mut out = Vec::new();
+        if !self.records.is_empty() {
+            out.push(EstimatorCase {
+                records: self.records[..self.records.len() / 2].to_vec(),
+                ..self.clone()
+            });
+            let mut drop_last = self.clone();
+            drop_last.records.pop();
+            out.push(drop_last);
+        }
+        out
+    }
+}
+
+/// The estimator agrees with a closed-form wide-integer oracle after
+/// every record: saturating sums in `u128` clamped to `u64::MAX`, ratio
+/// clamped at 1.0, idle threads pinned to exactly 1.0.
+#[test]
+fn estimator_matches_closed_form_oracle() {
+    CaseRunner::new("slowdown-oracle").cases(64).run(
+        EstimatorCase::generate,
+        EstimatorCase::shrink,
+        |case| {
+            let n = case.threads as usize;
+            let mut est = SlowdownEstimator::new(n);
+            let mut alone = vec![0u128; n];
+            let mut shared = vec![0u128; n];
+            for (i, &(t, a, s)) in case.records.iter().enumerate() {
+                est.record(t, a, s);
+                let t = t as usize;
+                alone[t] = (alone[t] + u128::from(a)).min(u128::from(u64::MAX));
+                shared[t] = (shared[t] + u128::from(s)).min(u128::from(u64::MAX));
+                for th in 0..n {
+                    let expected = if alone[th] == 0 {
+                        1.0
+                    } else {
+                        (shared[th] as f64 / alone[th] as f64).max(1.0)
+                    };
+                    let got = est.slowdown(th as u32);
+                    if got.to_bits() != expected.to_bits() {
+                        return Err(format!(
+                            "record {i}: thread {th} slowdown {got} vs closed form {expected}"
+                        ));
+                    }
+                }
+            }
+            let expected_max = (0..n as u32).map(|t| est.slowdown(t)).fold(1.0, f64::max);
+            if est.max_slowdown().to_bits() != expected_max.to_bits() {
+                return Err(format!(
+                    "max_slowdown {} vs folded {expected_max}",
+                    est.max_slowdown()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Submits `count` widely-spaced single-bank reads from one thread and
+/// returns the controller after draining.
+fn alone_single_bank_run(kind: SchedulerKind, count: u64) -> MemoryController {
+    let mut mc = MemoryController::new(
+        McConfig::paper(1, kind),
+        Geometry::paper(),
+        TimingParams::ddr2_800(),
+    )
+    .unwrap();
+    let thread = ThreadId::new(0);
+    let mut c = 0u64;
+    for i in 0..count {
+        // One request every 500 cycles: the controller is fully drained
+        // between arrivals, so the measured latency IS the alone latency.
+        let at = 1 + i * 500;
+        while c < at {
+            c += 1;
+            mc.step(DramCycle::new(c));
+        }
+        mc.try_submit(thread, RequestKind::Read, i * 64, DramCycle::new(at))
+            .unwrap();
+    }
+    while !mc.is_idle() {
+        c += 1;
+        mc.step(DramCycle::new(c));
+        assert!(c < count * 500 + 1_000_000, "alone run failed to drain");
+    }
+    mc.finish(DramCycle::new(c));
+    mc
+}
+
+/// Calibration of the alone model on a genuinely-alone trace: a thread
+/// with the memory system to itself must estimate a slowdown near unity
+/// (clamped at exactly 1.0 when row hits beat the closed-bank charge),
+/// never the >2x values contention produces.
+#[test]
+fn alone_thread_estimates_near_unity_slowdown() {
+    for kind in [SchedulerKind::SdVftf, SchedulerKind::FqVftf] {
+        let mc = alone_single_bank_run(kind, 64);
+        let est = mc.slowdown_estimator();
+        assert!(est.alone_cycles(0) > 0, "{kind}: estimator saw no traffic");
+        let sd = est.slowdown(0);
+        assert!(
+            (1.0..1.5).contains(&sd),
+            "{kind}: alone thread estimated {sd}x slowdown"
+        );
+    }
+}
+
+/// The all-blacklisted degenerate case, end to end: with threshold 1 and
+/// a clearing interval longer than the run, every serviced thread lands
+/// on the blacklist, the tier bit cancels out, and the controller must
+/// keep draining under plain FR-FCFS order — conservation intact.
+#[test]
+fn all_blacklisted_degenerate_case_still_drains() {
+    let threads = 4usize;
+    let mut cfg = McConfig::paper(threads, SchedulerKind::Bliss);
+    cfg.bliss_threshold = 1;
+    cfg.bliss_clear_interval = 1 << 40;
+    let mut mc = MemoryController::new(cfg, Geometry::paper(), TimingParams::ddr2_800()).unwrap();
+    let mut rng = SimRng::new(2006);
+    let mut accepted = 0u64;
+    let mut completed = Vec::new();
+    let mut c = 0u64;
+    for _ in 0..6_000 {
+        c += 1;
+        let now = DramCycle::new(c);
+        if rng.chance(0.4) {
+            let t = ThreadId::new(rng.next_below(threads as u64) as u32);
+            let phys = rng.next_below(1 << 20) * 64;
+            if mc.try_submit(t, RequestKind::Read, phys, now).is_ok() {
+                accepted += 1;
+            }
+        }
+        completed.extend(mc.step(now));
+    }
+    while !mc.is_idle() {
+        c += 1;
+        completed.extend(mc.step(DramCycle::new(c)));
+        assert!(c < 10_000_000, "degenerate BLISS run failed to drain");
+    }
+    mc.finish(DramCycle::new(c));
+    let bliss = mc.bliss_state().expect("BLISS scheduler carries state");
+    assert!(
+        bliss.blacklist().iter().all(|&b| b),
+        "threshold 1 should blacklist every serviced thread: {:?}",
+        bliss.blacklist()
+    );
+    assert_eq!(completed.len() as u64, accepted, "conservation violated");
+}

@@ -53,7 +53,7 @@ fn spec_for(
     plan: Option<FaultPlan>,
 ) -> EngineSpec {
     let mut spec = EngineSpec::paper(2, 4);
-    spec.config.scheduler = scheduler;
+    spec.config.set_scheduler(scheduler);
     spec.config.refresh_policy = refresh;
     spec.epoch_cycles = 512;
     spec.event_capacity = Some(1 << 20);
@@ -72,6 +72,8 @@ fn kill_and_resume_is_bit_identical_across_the_config_matrix() {
         SchedulerKind::Fcfs,
         SchedulerKind::FrFcfs,
         SchedulerKind::FqVftf,
+        SchedulerKind::Bliss,
+        SchedulerKind::SdVftf,
     ];
     let refreshes = [
         RefreshPolicy::Strict,
@@ -136,5 +138,21 @@ fn resume_rejects_cross_config_checkpoints() {
     assert!(
         resume_serial(&faulted, &events, &bytes).is_err(),
         "cross-fault-plan resume not rejected"
+    );
+
+    // The new schedulers are bound into the fingerprint too: a BLISS
+    // checkpoint (which serializes blacklist state) must not resume under
+    // SD-VFTF (which does not), and vice versa.
+    let bliss = spec_for(SchedulerKind::Bliss, RefreshPolicy::Strict, None);
+    let bliss_bytes = simulate_serial_checkpointed(&bliss, &events, 1_000).unwrap();
+    let sd = spec_for(SchedulerKind::SdVftf, RefreshPolicy::Strict, None);
+    assert!(
+        resume_serial(&sd, &events, &bliss_bytes).is_err(),
+        "BLISS checkpoint resumed under SD-VFTF"
+    );
+    let sd_bytes = simulate_serial_checkpointed(&sd, &events, 1_000).unwrap();
+    assert!(
+        resume_serial(&bliss, &events, &sd_bytes).is_err(),
+        "SD-VFTF checkpoint resumed under BLISS"
     );
 }

@@ -13,7 +13,7 @@ use fqms_memctrl::policy::SchedulerKind;
 
 fn four_channel_spec(kind: SchedulerKind) -> EngineSpec {
     let mut spec = EngineSpec::paper(4, 4);
-    spec.config.scheduler = kind;
+    spec.config.set_scheduler(kind);
     spec.epoch_cycles = 512;
     spec.log_capacity = Some(1_000_000);
     // Observers attached: the bit-identity guarantee must extend to the

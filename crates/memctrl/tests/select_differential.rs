@@ -31,7 +31,7 @@ use fqms_sim::snapshot::SnapshotError;
 
 fn spec_with(kind: SchedulerKind, channels: usize, threads: usize) -> EngineSpec {
     let mut spec = EngineSpec::paper(channels, threads);
-    spec.config.scheduler = kind;
+    spec.config.set_scheduler(kind);
     spec.epoch_cycles = 512;
     spec.event_capacity = Some(1 << 20);
     spec
@@ -83,8 +83,18 @@ fn check(mut spec: EngineSpec, events: &[SubmitEvent], label: &str) -> EngineRep
 
 #[test]
 fn all_schedulers_agree_across_scan_kinds() {
+    // Parameterized over the *whole* scheduler enum so a newly added
+    // policy cannot silently bypass the Linear-vs-Indexed gate: every
+    // scheduler either proves bit-identity across scan kinds or declares
+    // itself linear-only (and then the indexed path must be a typed
+    // config error, checked in `linear_only_schedulers_reject_indexed`).
     let events = synthetic_workload(4, 4_000, 0.3, 2006);
+    let mut indexed_checked = 0;
     for kind in SchedulerKind::all() {
+        if !kind.supports_indexed_scan() {
+            continue;
+        }
+        indexed_checked += 1;
         let report = check(spec_with(kind, 2, 4), &events, kind.name());
         assert!(report.unsubmitted == 0, "{kind}: mix failed to drain");
         assert!(
@@ -92,6 +102,46 @@ fn all_schedulers_agree_across_scan_kinds() {
             "{kind}: vacuous equivalence — nothing completed"
         );
     }
+    assert!(
+        indexed_checked >= 5,
+        "expected at least 5 indexed-capable schedulers, found {indexed_checked}"
+    );
+}
+
+#[test]
+fn linear_only_schedulers_reject_indexed() {
+    // The complement of the gate above: a scheduler that opts out of the
+    // indexed path must fail loudly — a typed UnsupportedScanError from
+    // config validation and a refused engine run — never run Indexed with
+    // silently different semantics.
+    let events = synthetic_workload(4, 1_000, 0.3, 2006);
+    let mut linear_only = 0;
+    for kind in SchedulerKind::all() {
+        if kind.supports_indexed_scan() {
+            continue;
+        }
+        linear_only += 1;
+        let mut spec = spec_with(kind, 1, 4);
+        assert_eq!(
+            spec.config.scan,
+            ScanKind::Linear,
+            "{kind}: set_scheduler must downgrade"
+        );
+        spec.config.scan = ScanKind::Indexed;
+        let err = spec
+            .config
+            .validate_scan()
+            .expect_err("indexed BLISS accepted");
+        assert_eq!(err.scheduler, kind);
+        assert_eq!(err.scan, ScanKind::Indexed);
+        let run = simulate_serial(&spec, &events);
+        let msg = run.expect_err("engine ran a linear-only scheduler on the indexed path");
+        assert!(
+            msg.contains(kind.name()),
+            "{kind}: error does not name the scheduler: {msg}"
+        );
+    }
+    assert!(linear_only >= 1, "expected BLISS to be linear-only");
 }
 
 #[test]
@@ -102,7 +152,11 @@ fn refresh_and_fault_matrix_agrees_across_scan_kinds() {
         RefreshPolicy::Deferred { max_postponed: 4 },
     ] {
         for plan in [None, Some(faults(11))] {
-            for kind in [SchedulerKind::FrFcfs, SchedulerKind::FqVftf] {
+            for kind in [
+                SchedulerKind::FrFcfs,
+                SchedulerKind::FqVftf,
+                SchedulerKind::SdVftf,
+            ] {
                 let mut spec = spec_with(kind, 2, 4);
                 spec.timing = TimingParams::ddr2_667();
                 spec.config.refresh_policy = refresh;
@@ -146,6 +200,7 @@ fn adversarial_inversion_lock_agrees_across_scan_kinds() {
         SchedulerKind::FrFcfs,
         SchedulerKind::FrVftf,
         SchedulerKind::FqVftf,
+        SchedulerKind::SdVftf,
     ] {
         let mut spec = spec_with(kind, 1, 3);
         spec.config.starvation_threshold = Some(300);
@@ -177,7 +232,11 @@ fn two_tenant_spec(kind: SchedulerKind) -> EngineSpec {
 #[test]
 fn hierarchical_share_tree_agrees_across_scan_kinds() {
     let events = synthetic_workload(4, 5_000, 0.3, 17);
-    for kind in [SchedulerKind::FrVftf, SchedulerKind::FqVftf] {
+    for kind in [
+        SchedulerKind::FrVftf,
+        SchedulerKind::FqVftf,
+        SchedulerKind::SdVftf,
+    ] {
         check(two_tenant_spec(kind), &events, &format!("tree/{kind}"));
     }
 }

@@ -106,6 +106,10 @@ pub enum Event {
         latency: u64,
         /// Payload size in bytes (one cache line).
         bytes: u64,
+        /// Estimated cycles the request would have taken on an unloaded
+        /// memory system (the intrinsic closed-bank service model used for
+        /// online slowdown estimation, ISSUE 7).
+        alone_cycles: u64,
     },
     /// A fault episode activated (deterministic injection from a
     /// `fqms_sim::fault::FaultPlan`). Emitted once per episode, on its
@@ -369,6 +373,7 @@ fn put_event(w: &mut SectionWriter, e: &Event) {
             is_write,
             latency,
             bytes,
+            alone_cycles,
         } => {
             w.put_u8(5);
             w.put_u64(cycle);
@@ -377,6 +382,7 @@ fn put_event(w: &mut SectionWriter, e: &Event) {
             w.put_bool(is_write);
             w.put_u64(latency);
             w.put_u64(bytes);
+            w.put_u64(alone_cycles);
         }
         Event::FaultInjected {
             cycle,
@@ -456,6 +462,7 @@ fn get_event(r: &mut SectionReader<'_>) -> Result<Event, SnapshotError> {
             is_write: r.get_bool()?,
             latency: r.get_u64()?,
             bytes: r.get_u64()?,
+            alone_cycles: r.get_u64()?,
         },
         6 => Event::FaultInjected {
             cycle: r.get_u64()?,
@@ -609,6 +616,7 @@ mod tests {
                 is_write: false,
                 latency: 15,
                 bytes: 64,
+                alone_cycles: 14,
             },
             Event::FaultInjected {
                 cycle: 7,

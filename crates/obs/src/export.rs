@@ -11,7 +11,7 @@ use fqms_sim::stats::Log2Histogram;
 use std::fmt::Write as _;
 
 /// Column header for [`metrics_tsv`] rows.
-pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\tread_lat_hist";
+pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\talone_est\tshared\tslowdown\tread_lat_hist";
 
 fn histogram_cell(h: &Log2Histogram) -> String {
     if h.count() == 0 {
@@ -35,7 +35,7 @@ fn histogram_cell(h: &Log2Histogram) -> String {
 
 fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> String {
     format!(
-        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{drops}\t{starved}\t{hist}",
+        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{drops}\t{starved}\t{alone_est}\t{shared}\t{slowdown:.3}\t{hist}",
         reads = t.reads_completed,
         writes = t.writes_completed,
         nacks = t.nacks,
@@ -51,6 +51,9 @@ fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> Str
         drift_max = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
         drops = t.requests_dropped,
         starved = t.starvations,
+        alone_est = t.alone_cycles_est,
+        shared = t.shared_cycles,
+        slowdown = t.slowdown(),
         hist = histogram_cell(&t.read_latency),
     )
 }
@@ -75,11 +78,13 @@ pub fn metrics_tsv(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
     // gauges are the cross-thread merge.
     let _ = writeln!(
         out,
-        "{row}\t# commands={cmds} inversion_locks={locks} faults={faults}",
+        "{row}\t# commands={cmds} inversion_locks={locks} faults={faults} max_slowdown={maxsd:.3} hspeedup={hsp:.3}",
         row = thread_row(label, scheduler, "all", &totals),
         cmds = sink.commands_issued,
         locks = sink.inversion_locks,
         faults = sink.faults_injected,
+        maxsd = sink.max_slowdown(),
+        hsp = sink.harmonic_speedup(),
     );
     out
 }
@@ -124,7 +129,8 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
             "\"write_latency\":{{\"mean\":{:.6},\"log2_buckets\":{}}},",
             "\"queue_depth\":{{\"mean\":{:.6},\"max\":{}}},",
             "\"vft_drift\":{{\"count\":{},\"mean\":{:.6},\"max\":{:.6}}},",
-            "\"drops\":{},\"starved\":{}}}"
+            "\"drops\":{},\"starved\":{},",
+            "\"alone_cycles_est\":{},\"shared_cycles\":{},\"slowdown\":{:.6}}}"
         ),
         thread,
         t.reads_completed,
@@ -145,6 +151,9 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
         if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
         t.requests_dropped,
         t.starvations,
+        t.alone_cycles_est,
+        t.shared_cycles,
+        t.slowdown(),
     )
 }
 
@@ -152,12 +161,18 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
 pub fn metrics_json(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
     let threads: Vec<String> = sink.iter().map(|(i, t)| thread_json(i, t)).collect();
     format!(
-        "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},\"inversion_locks\":{},\"faults_injected\":{},\"threads\":[{}]}}",
+        concat!(
+            "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},",
+            "\"inversion_locks\":{},\"faults_injected\":{},",
+            "\"max_slowdown\":{:.6},\"harmonic_speedup\":{:.6},\"threads\":[{}]}}"
+        ),
         json_escape(label),
         json_escape(scheduler),
         sink.commands_issued,
         sink.inversion_locks,
         sink.faults_injected,
+        sink.max_slowdown(),
+        sink.harmonic_speedup(),
         threads.join(",")
     )
 }
@@ -177,6 +192,7 @@ mod tests {
                 is_write: false,
                 latency,
                 bytes: 64,
+                alone_cycles: 14,
             });
         }
         sink.observe(&Event::Nack {
@@ -233,6 +249,7 @@ mod tests {
                     is_write: false,
                     latency,
                     bytes: 64,
+                    alone_cycles: 14,
                 });
                 id += 1;
             }
@@ -297,6 +314,34 @@ mod tests {
         assert!(json.contains("\"faults_injected\":1"));
         assert!(json.contains("\"drops\":1,\"starved\":0"));
         assert!(json.contains("\"drops\":0,\"starved\":1"));
+    }
+
+    #[test]
+    fn slowdown_columns_round_trip_through_both_exporters() {
+        // Thread 0: alone 28, shared 22 → clamps to 1.0.
+        // Thread 1: alone 14, shared 300 → slowdown 300/14.
+        let sink = sample_sink();
+        let tsv = metrics_tsv("m", "s", &sink);
+        let alone_col = TSV_HEADER
+            .split('\t')
+            .position(|c| c == "alone_est")
+            .unwrap();
+        let rows: Vec<Vec<&str>> = tsv.lines().map(|l| l.split('\t').collect()).collect();
+        assert_eq!(rows[0][alone_col], "28");
+        assert_eq!(rows[0][alone_col + 1], "22");
+        assert_eq!(rows[0][alone_col + 2], "1.000");
+        assert_eq!(rows[1][alone_col], "14");
+        assert_eq!(rows[1][alone_col + 1], "300");
+        assert_eq!(rows[1][alone_col + 2], "21.429");
+        // The "all" summary row merges the accumulators and reports the
+        // channel fairness indices in its trailing comment.
+        assert_eq!(rows[2][alone_col], "42");
+        assert!(tsv.contains("max_slowdown=21.429"));
+        assert!(tsv.contains("hspeedup="));
+        let json = metrics_json("m", "s", &sink);
+        assert!(json.contains("\"alone_cycles_est\":14,\"shared_cycles\":300,"));
+        assert!(json.contains("\"max_slowdown\":21.428571,"));
+        assert!(json.contains("\"harmonic_speedup\":"));
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct ThreadSink {
     pub requests_dropped: u64,
     /// Starvation-watchdog firings (one per detected stall episode).
     pub starvations: u64,
+    /// Estimated alone-service cycles summed over completions (the
+    /// slowdown denominator, ISSUE 7).
+    pub alone_cycles_est: u64,
+    /// Measured shared latency cycles summed over completions (the
+    /// slowdown numerator).
+    pub shared_cycles: u64,
 }
 
 impl ThreadSink {
@@ -59,6 +65,17 @@ impl ThreadSink {
         self.reads_completed + self.writes_completed
     }
 
+    /// Estimated slowdown (shared / alone cycles, clamped >= 1.0); 1.0
+    /// before any completion. Same semantics as
+    /// `fqms_memctrl::stats::ThreadStats::slowdown`.
+    pub fn slowdown(&self) -> f64 {
+        if self.alone_cycles_est == 0 {
+            1.0
+        } else {
+            (self.shared_cycles as f64 / self.alone_cycles_est as f64).max(1.0)
+        }
+    }
+
     /// Merges another sink for the same thread into this one.
     pub fn merge(&mut self, other: &ThreadSink) {
         self.reads_completed += other.reads_completed;
@@ -73,6 +90,8 @@ impl ThreadSink {
         self.vft_drift.merge(&other.vft_drift);
         self.requests_dropped += other.requests_dropped;
         self.starvations += other.starvations;
+        self.alone_cycles_est += other.alone_cycles_est;
+        self.shared_cycles += other.shared_cycles;
     }
 }
 
@@ -158,10 +177,13 @@ impl MetricsSink {
                 is_write,
                 latency,
                 bytes,
+                alone_cycles,
                 ..
             } => {
                 let t = self.thread_mut(thread);
                 t.bytes += bytes;
+                t.alone_cycles_est += alone_cycles;
+                t.shared_cycles += latency;
                 if is_write {
                     t.writes_completed += 1;
                     t.write_latency.record(latency);
@@ -202,6 +224,34 @@ impl MetricsSink {
         *self = MetricsSink::new(n);
     }
 
+    /// The maximum estimated slowdown across threads that completed at
+    /// least one request (1.0 when idle) — the unfairness index of
+    /// ISSUE 7's frontier.
+    pub fn max_slowdown(&self) -> f64 {
+        self.per_thread
+            .iter()
+            .filter(|t| t.alone_cycles_est > 0)
+            .map(ThreadSink::slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Harmonic mean of per-thread speedups (`n / Σ slowdown_t` over
+    /// threads with completions): 1.0 is perfectly fair, lower means some
+    /// thread pays disproportionately. 1.0 when idle.
+    pub fn harmonic_speedup(&self) -> f64 {
+        let slowdowns: Vec<f64> = self
+            .per_thread
+            .iter()
+            .filter(|t| t.alone_cycles_est > 0)
+            .map(ThreadSink::slowdown)
+            .collect();
+        if slowdowns.is_empty() {
+            1.0
+        } else {
+            slowdowns.len() as f64 / slowdowns.iter().sum::<f64>()
+        }
+    }
+
     /// Rolls the per-thread sinks up into `num_groups` merged sinks —
     /// the observability side of hierarchical (tenant → thread) share
     /// trees, where `group_of(thread)` maps each thread to its tenant.
@@ -237,6 +287,8 @@ impl Snapshot for ThreadSink {
         self.vft_drift.save(w);
         w.put_u64(self.requests_dropped);
         w.put_u64(self.starvations);
+        w.put_u64(self.alone_cycles_est);
+        w.put_u64(self.shared_cycles);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -252,6 +304,8 @@ impl Snapshot for ThreadSink {
         self.vft_drift.restore(r)?;
         self.requests_dropped = r.get_u64()?;
         self.starvations = r.get_u64()?;
+        self.alone_cycles_est = r.get_u64()?;
+        self.shared_cycles = r.get_u64()?;
         Ok(())
     }
 }
@@ -297,6 +351,7 @@ mod tests {
             is_write,
             latency,
             bytes: 64,
+            alone_cycles: 14,
         }
     }
 
@@ -407,6 +462,25 @@ mod tests {
         });
         assert_eq!(sink.commands_issued, 1);
         assert_eq!(sink.inversion_locks, 1);
+    }
+
+    #[test]
+    fn slowdown_indices_from_completions() {
+        let mut sink = MetricsSink::new(3);
+        // Thread 0: alone 28, shared 84 → slowdown 3.0.
+        sink.observe(&completed(0, 42, false));
+        sink.observe(&completed(0, 42, false));
+        // Thread 1: alone 14, shared 7 → clamps to 1.0.
+        sink.observe(&completed(1, 7, true));
+        // Thread 2 idle: excluded from both indices.
+        assert_eq!(sink.thread(0).slowdown(), 3.0);
+        assert_eq!(sink.thread(1).slowdown(), 1.0);
+        assert_eq!(sink.thread(2).slowdown(), 1.0);
+        assert_eq!(sink.max_slowdown(), 3.0);
+        assert!((sink.harmonic_speedup() - 2.0 / 4.0).abs() < 1e-12);
+        let idle = MetricsSink::new(4);
+        assert_eq!(idle.max_slowdown(), 1.0);
+        assert_eq!(idle.harmonic_speedup(), 1.0);
     }
 
     #[test]

@@ -169,6 +169,7 @@ mod tests {
             is_write: false,
             latency: 20,
             bytes: 64,
+            alone_cycles: 14,
         });
         assert_eq!(obs.events().len(), 1);
         assert_eq!(obs.metrics().thread(1).reads_completed, 1);
@@ -223,6 +224,7 @@ mod tests {
                 is_write: false,
                 latency: 5,
                 bytes: 64,
+                alone_cycles: 14,
             },
             Event::FaultInjected {
                 cycle: 7,
