@@ -26,7 +26,24 @@ cargo test -q --release --offline -p fqms-memctrl \
   --test fast_forward_equivalence --test fault_differential \
   --test checkpoint_differential --test retry_policy \
   --test select_differential --test hierarchy_conservation \
-  --test blacklist_properties
+  --test blacklist_properties --test freerun_differential
+cargo test -q --release --offline -p fqms-sim --test freerun_properties
+
+echo "=== speedup smoke gate: free-run parallel never slower + >=5x over cycle-by-cycle ==="
+# The speedup binary exits nonzero when the free-running parallel engine
+# is slower than serial beyond tolerance at any >=4-channel / >=2-thread
+# sweep point, when the 64-channel QoS-mix speedup over cycle-by-cycle
+# falls below 5x, or when event-driven is ever slower than cycle-by-cycle
+# (see crates/bench/src/bin/speedup.rs; tolerances recorded in the JSON).
+SPEEDUP_TMP="$(mktemp -d)"
+FQMS_RUNLEN=quick FQMS_BENCH_PR3="$SPEEDUP_TMP/BENCH_pr3.json" \
+  FQMS_BENCH_PR8="$SPEEDUP_TMP/BENCH_pr8.json" \
+  cargo run --release -q --offline -p fqms-bench --bin speedup \
+  > "$SPEEDUP_TMP/speedup.tsv" 2> "$SPEEDUP_TMP/speedup.log" || {
+  echo "speedup smoke gate FAILED:"; tail -5 "$SPEEDUP_TMP/speedup.log"
+  rm -rf "$SPEEDUP_TMP"; exit 1; }
+rm -rf "$SPEEDUP_TMP"
+echo "speedup smoke gate OK"
 
 echo "=== frontier smoke gate: fairness ordering + conservation ==="
 # The frontier binary exits nonzero when FQ-VFTF, SD-VFTF or BLISS shows

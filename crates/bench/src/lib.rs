@@ -73,6 +73,11 @@ impl Drop for RunLog {
         eprintln!("#controller_cycles_stepped\t{stepped}");
         eprintln!("#controller_cycles_skipped\t{skipped}");
         eprintln!("#skip_rate\t{:.4}", fqms::telemetry::skip_rate());
+        let exec = fqms::telemetry::parallel_exec();
+        eprintln!("#parallel_workers\t{}", exec.workers_peak);
+        eprintln!("#parallel_steals\t{}", exec.steals);
+        eprintln!("#parallel_free_run_spans\t{}", exec.free_run_spans);
+        eprintln!("#parallel_barrier_waits\t{}", exec.barrier_waits);
     }
 }
 

@@ -16,6 +16,7 @@ use crate::bank::{Bank, BankState};
 use crate::channel::ChannelTracker;
 use crate::command::{BankId, Command, RankId, RowId};
 use crate::timing::TimingParams;
+use fqms_sim::bitset::DenseBitSet;
 use fqms_sim::clock::{DramCycle, NextEvent};
 use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
@@ -113,6 +114,12 @@ pub struct DramDevice {
     timing: TimingParams,
     /// Banks in rank-major order: `banks[rank * banks_per_rank + bank]`.
     banks: Vec<Bank>,
+    /// Global indices of banks with an open row — maintained on the only
+    /// two commands that change open state (Activate/Precharge) and
+    /// rebuilt on restore, so it is derived state that never enters the
+    /// snapshot. Lets hot loops visit open banks without touching every
+    /// bank struct.
+    open: DenseBitSet,
     channel: ChannelTracker,
     /// Next refresh deadline per rank.
     refresh_due: Vec<DramCycle>,
@@ -141,6 +148,7 @@ impl DramDevice {
             geometry,
             timing,
             banks: vec![Bank::new(); geometry.total_banks() as usize],
+            open: DenseBitSet::new(geometry.total_banks() as usize),
             channel: ChannelTracker::new(geometry.ranks as usize),
             refresh_due: vec![DramCycle::new(timing.t_refi); geometry.ranks as usize],
             acts: 0,
@@ -187,6 +195,14 @@ impl DramDevice {
     /// The channel tracker (read-only; used by schedulers for bus state).
     pub fn channel(&self) -> &ChannelTracker {
         &self.channel
+    }
+
+    /// Global indices (rank-major, matching [`DramDevice::bank`]'s
+    /// layout) of banks with an open row, as a packed mask. Always
+    /// consistent with per-bank [`Bank::open_row`]: updated on
+    /// activate/precharge issue, refreshed from the banks on restore.
+    pub fn open_banks(&self) -> &DenseBitSet {
+        &self.open
     }
 
     /// True if `cmd` satisfies its **bank-level** constraints at `now`
@@ -259,6 +275,7 @@ impl DramDevice {
             Command::Activate { rank, bank, row } => {
                 let idx = self.bank_index(rank, bank);
                 self.banks[idx].issue_activate(now, row, &self.timing);
+                self.open.insert(idx);
                 self.channel.issue_activate(rank, now, &self.timing);
                 self.acts += 1;
                 None
@@ -266,6 +283,7 @@ impl DramDevice {
             Command::Precharge { rank, bank } => {
                 let idx = self.bank_index(rank, bank);
                 self.banks[idx].issue_precharge(now, &self.timing);
+                self.open.remove(idx);
                 self.channel.issue_precharge(rank, now);
                 self.pres += 1;
                 None
@@ -434,6 +452,14 @@ impl Snapshot for DramDevice {
         }
         for b in &mut self.banks {
             b.restore(r)?;
+        }
+        // The open-bank mask is derived state: rebuild it from the
+        // restored banks (the snapshot byte format is unchanged).
+        self.open.clear();
+        for (idx, b) in self.banks.iter().enumerate() {
+            if b.open_row().is_some() {
+                self.open.insert(idx);
+            }
         }
         self.channel.restore(r)?;
         let ranks = r.seq_len()?;

@@ -38,6 +38,7 @@ use fqms_dram::command::{BankId, ColId, Command, DramAddress, RankId, RowId};
 use fqms_dram::device::{DramDevice, Geometry};
 use fqms_dram::timing::TimingParams;
 use fqms_obs::{Event, NullObserver, Observer};
+use fqms_sim::bitset::DenseBitSet;
 use fqms_sim::clock::{DramCycle, NextEvent};
 use fqms_sim::fault::{FaultInjector, FaultKind, FaultPlan};
 use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
@@ -103,12 +104,7 @@ impl BankCache {
     fn empty() -> Self {
         BankCache {
             valid: false,
-            ready: ReadyClasses {
-                read: false,
-                write: false,
-                precharge: false,
-                activate: false,
-            },
+            ready: ReadyClasses::NONE,
             locked: false,
             proposal: None,
         }
@@ -210,6 +206,18 @@ pub struct MemoryController {
     /// Requests across all bank queues; tracks
     /// `queues.iter().map(Vec::len).sum()` incrementally.
     queued: usize,
+    /// Global indices of banks with a non-empty queue, maintained at the
+    /// three queue mutation points (submit, CAS dequeue, fault drop) and
+    /// rebuilt on restore. Unioned with the device's open-bank mask, this
+    /// is exactly the set of banks that can propose anything — the
+    /// scheduler hot loop visits only those, in ascending index order (the
+    /// order the dense scan used, which channel-arbitration tie-breaking
+    /// depends on).
+    occupied: DenseBitSet,
+    /// Reusable scratch for the masked scheduler sweep (the union is
+    /// materialised once per stepped cycle into this buffer so the loop
+    /// body can borrow `self` mutably; no per-cycle allocation).
+    sched_scratch: Vec<usize>,
     /// Transaction-buffer entries in use summed over threads (shared-pool
     /// admission check without iterating the buffers).
     tx_used: usize,
@@ -299,6 +307,8 @@ impl MemoryController {
             lock_armed: vec![false; total_banks],
             bank_cache: vec![BankCache::empty(); total_banks],
             queued: 0,
+            occupied: DenseBitSet::new(total_banks),
+            sched_scratch: Vec::with_capacity(total_banks),
             tx_used: 0,
             wr_used: 0,
             stepped_cycles: 0,
@@ -608,6 +618,7 @@ impl MemoryController {
             ras_issued: 0,
         });
         self.queued += 1;
+        self.occupied.insert(bank_idx);
         self.bank_cache[bank_idx].valid = false;
         let ts = self.stats.thread_mut(thread);
         match kind {
@@ -705,13 +716,16 @@ impl MemoryController {
         }
         if self.config.scheduler.uses_fq_bank_scheduler() {
             if let Some(x) = self.inversion_cycles {
+                // Only open banks can be mid-activation (`active_since`
+                // is `Some` exactly while a row is open), so the masked
+                // sweep visits the same banks the dense rank×bank scan
+                // found trips on.
                 let g = *self.dram.geometry();
-                for r in 0..g.ranks {
-                    for b in 0..g.banks {
-                        let bank = self.dram.bank(RankId::new(r), BankId::new(b));
-                        if let Some(since) = bank.active_since() {
-                            ev.consider(since.saturating_add(x));
-                        }
+                for idx in self.dram.open_banks().iter() {
+                    let rank = RankId::new(idx as u32 / g.banks);
+                    let bank = BankId::new(idx as u32 % g.banks);
+                    if let Some(since) = self.dram.bank(rank, bank).active_since() {
+                        ev.consider(since.saturating_add(x));
                     }
                 }
             }
@@ -974,6 +988,9 @@ impl MemoryController {
                 .expect("position bounded by live length");
             let pending = self.queues[bank_idx].remove(slot);
             self.queued -= 1;
+            if self.queues[bank_idx].is_empty() {
+                self.occupied.remove(bank_idx);
+            }
             self.bank_cache[bank_idx].valid = false;
             let req = pending.req;
             // Release the buffer entry exactly as completion would — the
@@ -1137,13 +1154,21 @@ impl MemoryController {
         if self.dram.is_ready(&refresh, now) {
             return Some(refresh);
         }
-        for b in 0..self.dram.geometry().banks {
-            let bank = BankId::new(b);
-            if self.dram.open_row(rank, bank).is_some() {
-                let pre = Command::Precharge { rank, bank };
-                if self.dram.is_ready(&pre, now) {
-                    return Some(pre);
-                }
+        // Only open banks need closing; the mask visits them in the same
+        // ascending bank order the dense scan used.
+        let banks = self.dram.geometry().banks;
+        let rank_start = (rank.as_u32() * banks) as usize;
+        for idx in self.dram.open_banks().iter() {
+            if idx < rank_start {
+                continue;
+            }
+            if idx >= rank_start + banks as usize {
+                break;
+            }
+            let bank = BankId::new(idx as u32 % banks);
+            let pre = Command::Precharge { rank, bank };
+            if self.dram.is_ready(&pre, now) {
+                return Some(pre);
             }
         }
         None
@@ -1162,8 +1187,19 @@ impl MemoryController {
             est: (kind == SchedulerKind::SdVftf).then_some(&self.slowdown),
         };
 
+        // Masked sweep: a bank outside `occupied ∪ open` has an empty
+        // queue and a closed row, so the dense loop's body would compute
+        // `None` for it and touch no state — skipping it is invisible.
+        // The union is materialised into the reusable scratch (taken out
+        // of `self` so the body below can borrow `self` mutably) and is
+        // ascending, preserving the dense scan's first-proposer
+        // tie-breaking at the channel scheduler.
+        let mut scratch = std::mem::take(&mut self.sched_scratch);
+        scratch.clear();
+        scratch.extend(self.occupied.union_iter(self.dram.open_banks()));
+
         let mut best: Option<Proposal> = None;
-        for bank_idx in 0..self.queues.len() {
+        for &bank_idx in &scratch {
             // Bank-stall fault: a stalled bank proposes nothing. Safe to
             // skip before the cache probe — no command issues to the bank
             // while stalled, so its cached decision stays coherent.
@@ -1259,6 +1295,7 @@ impl MemoryController {
                 }
             }
         }
+        self.sched_scratch = scratch;
         best
     }
 
@@ -1340,6 +1377,9 @@ impl MemoryController {
         // CAS issued: the request leaves the bank queue.
         self.queues[bank_idx].remove(slot);
         self.queued -= 1;
+        if self.queues[bank_idx].is_empty() {
+            self.occupied.remove(bank_idx);
+        }
         // BLISS counts one bank service per CAS. A threshold crossing
         // flips a blacklist flag, which changes the tier bits every
         // memoized proposal was ranked under: drop all bank caches.
@@ -1688,6 +1728,12 @@ impl Snapshot for MemoryController {
         // the scheduler memo is dropped: the first post-resume pass
         // recomputes every proposal from live state.
         self.queued = queued;
+        self.occupied.clear();
+        for (idx, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                self.occupied.insert(idx);
+            }
+        }
         self.tx_used = self.buffers.iter().map(|b| b.transactions_used()).sum();
         self.wr_used = self.buffers.iter().map(|b| b.writes_used()).sum();
         for cache in &mut self.bank_cache {
@@ -1731,11 +1777,11 @@ fn next_command(
 fn classify(p: &Pending, open_row: Option<RowId>, ready: ReadyClasses) -> (bool, bool) {
     match open_row {
         Some(row) if row == p.req.addr.row => match p.req.kind {
-            RequestKind::Read => (ready.read, true),
-            RequestKind::Write => (ready.write, true),
+            RequestKind::Read => (ready.read(), true),
+            RequestKind::Write => (ready.write(), true),
         },
-        Some(_) => (ready.precharge, false),
-        None => (ready.activate, false),
+        Some(_) => (ready.precharge(), false),
+        None => (ready.activate(), false),
     }
 }
 
@@ -2045,7 +2091,7 @@ fn propose_indexed<O: Observer>(
     // order without comparing across them.
     match open_row {
         Some(row) => {
-            if let Some((sel, slot)) = queue.min_cas(row.as_u32(), ready.read, ready.write) {
+            if let Some((sel, slot)) = queue.min_cas(row.as_u32(), ready.read(), ready.write()) {
                 let p = queue.get(slot);
                 let cmd = next_command(&p.req, open_row, rank, bank);
                 debug_assert!(cmd.is_cas());
@@ -2061,7 +2107,7 @@ fn propose_indexed<O: Observer>(
                     source: Some((bank_idx, slot as usize)),
                 });
             }
-            if !ready.precharge {
+            if !ready.precharge() {
                 return None;
             }
             let (sel, slot) = queue.min_excluding_row(row.as_u32())?;
@@ -2079,7 +2125,7 @@ fn propose_indexed<O: Observer>(
             })
         }
         None => {
-            if !ready.activate {
+            if !ready.activate() {
                 return None;
             }
             let (sel, slot) = queue.min_all()?;
@@ -2103,46 +2149,70 @@ fn propose_indexed<O: Observer>(
     }
 }
 
-/// Bank-level readiness of each command class at one bank this cycle.
+/// Bank-level readiness of each command class at one bank this cycle,
+/// packed into one byte (flat layout: the [`BankCache`] key compare and
+/// the cache line it sits on both shrink to single-byte operations).
 ///
 /// [`DramDevice::bank_ready`] is a function of the bank's timing state and
 /// the command kind only (rows and columns never enter the inequality), so
 /// the bank scheduler probes each class once per cycle instead of once per
 /// pending request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ReadyClasses {
-    /// CAS read to the open row.
-    read: bool,
-    /// CAS write to the open row.
-    write: bool,
-    /// Precharge of the open row.
-    precharge: bool,
-    /// Activate on a closed bank.
-    activate: bool,
-}
+struct ReadyClasses(u8);
 
 impl ReadyClasses {
+    /// CAS read to the open row.
+    const READ: u8 = 1 << 0;
+    /// CAS write to the open row.
+    const WRITE: u8 = 1 << 1;
+    /// Precharge of the open row.
+    const PRECHARGE: u8 = 1 << 2;
+    /// Activate on a closed bank.
+    const ACTIVATE: u8 = 1 << 3;
+    /// No class ready (the empty cache key).
+    const NONE: ReadyClasses = ReadyClasses(0);
+
+    fn read(self) -> bool {
+        self.0 & Self::READ != 0
+    }
+
+    fn write(self) -> bool {
+        self.0 & Self::WRITE != 0
+    }
+
+    fn precharge(self) -> bool {
+        self.0 & Self::PRECHARGE != 0
+    }
+
+    fn activate(self) -> bool {
+        self.0 & Self::ACTIVATE != 0
+    }
+
     /// Bank-level readiness of `cmd`, looked up by class — equivalent to
     /// `DramDevice::bank_ready` for commands derived from this bank's
     /// state (`next_command` with the same open row the probe saw).
     fn allows(&self, cmd: &Command) -> bool {
         match cmd {
-            Command::Read { .. } => self.read,
-            Command::Write { .. } => self.write,
-            Command::Precharge { .. } => self.precharge,
-            Command::Activate { .. } => self.activate,
+            Command::Read { .. } => self.read(),
+            Command::Write { .. } => self.write(),
+            Command::Precharge { .. } => self.precharge(),
+            Command::Activate { .. } => self.activate(),
             Command::Refresh { .. } => unreachable!("bank schedulers never propose refresh"),
         }
     }
 
     fn probe(dram: &DramDevice, rank: RankId, bank: BankId, open: bool, now: DramCycle) -> Self {
+        let mut bits = 0u8;
         if open {
             let col = ColId::new(0);
-            ReadyClasses {
-                read: dram.bank_ready(&Command::Read { rank, bank, col }, now),
-                write: dram.bank_ready(&Command::Write { rank, bank, col }, now),
-                precharge: dram.bank_ready(&Command::Precharge { rank, bank }, now),
-                activate: false,
+            if dram.bank_ready(&Command::Read { rank, bank, col }, now) {
+                bits |= Self::READ;
+            }
+            if dram.bank_ready(&Command::Write { rank, bank, col }, now) {
+                bits |= Self::WRITE;
+            }
+            if dram.bank_ready(&Command::Precharge { rank, bank }, now) {
+                bits |= Self::PRECHARGE;
             }
         } else {
             let act = Command::Activate {
@@ -2150,13 +2220,11 @@ impl ReadyClasses {
                 bank,
                 row: RowId::new(0),
             };
-            ReadyClasses {
-                read: false,
-                write: false,
-                precharge: false,
-                activate: dram.bank_ready(&act, now),
+            if dram.bank_ready(&act, now) {
+                bits |= Self::ACTIVATE;
             }
         }
+        ReadyClasses(bits)
     }
 }
 

@@ -6,9 +6,15 @@
 //! channel the natural sharding boundary for parallel simulation. This
 //! module pre-routes an *open-loop submission schedule* (a time-ordered
 //! list of [`SubmitEvent`]s) onto per-channel [`ChannelShard`]s and drives
-//! them with the epoch-barrier executor from
+//! them with the free-running work-stealing executor from
 //! [`fqms_sim::parallel`] — either serially ([`simulate_serial`]) or
-//! across worker threads ([`simulate_parallel`]).
+//! across worker threads ([`simulate_parallel`]; a lockstep epoch-barrier
+//! variant, [`simulate_parallel_lockstep`], is retained for differential
+//! testing and overhead measurement). Checkpointed runs have parallel
+//! counterparts too: [`simulate_parallel_checkpointed`] captures bytes
+//! identical to [`simulate_serial_checkpointed`]'s, and
+//! [`resume_parallel`] resumes them to a report bit-identical to the
+//! uninterrupted serial run.
 //!
 //! # Determinism guarantee
 //!
@@ -47,7 +53,7 @@ use fqms_dram::timing::TimingParams;
 use fqms_obs::{NullObserver, Observations, Observer, TracingObserver};
 use fqms_sim::clock::DramCycle;
 use fqms_sim::fault::FaultPlan;
-use fqms_sim::parallel::{run_parallel, run_serial, Shard};
+use fqms_sim::parallel::{for_each_shard, run_lockstep, run_parallel, run_serial, Shard};
 use fqms_sim::rng::SimRng;
 use fqms_sim::snapshot::{
     Fingerprint, SectionReader, SectionWriter, Snapshot, SnapshotError, SnapshotReader,
@@ -657,23 +663,9 @@ pub fn simulate_serial_checkpointed(
                     shard.run_epoch(start, kill_at);
                 }
             }
-            let mut w = SnapshotWriter::new(spec.fingerprint(events));
-            w.section("engine", |s| {
-                s.put_u64(kill_at);
-                s.put_u64(start);
-                s.put_u64(end);
-                s.put_seq_len(done.len());
-                for &d in &done {
-                    s.put_bool(d);
-                }
-            });
-            w.section("channels", |s| {
-                s.put_seq_len(shards.len());
-                for shard in &shards {
-                    shard.save(s);
-                }
-            });
-            return Ok(w.into_bytes());
+            return Ok(write_checkpoint(
+                spec, events, &shards, kill_at, start, end, &done,
+            ));
         }
         for (i, shard) in shards.iter_mut().enumerate() {
             if !done[i] && !shard.run_epoch(start, end) {
@@ -688,29 +680,50 @@ pub fn simulate_serial_checkpointed(
     ))
 }
 
-/// Resumes a run from a [`simulate_serial_checkpointed`] checkpoint and
-/// drives it to completion, finishing the interrupted epoch from the kill
-/// cycle and then continuing the standard epoch loop.
-///
-/// Resumption is exact: a shard's epoch activity flag is evaluated at the
-/// epoch's true end, and shard idleness is monotone within an epoch (the
-/// port is pre-routed; no new work can arrive), so the flags the resumed
-/// run computes are the ones the uninterrupted run would have.
-///
-/// # Errors
-///
-/// [`ResumeError::Spec`] if the spec/schedule is invalid or the decoded
-/// epoch bookkeeping contradicts it; [`ResumeError::Snapshot`] if the
-/// bytes are truncated, corrupted, from another format version, or from a
-/// different spec/workload (fingerprint mismatch). Never panics.
-pub fn resume_serial(
+/// Serializes a mid-epoch engine checkpoint: the epoch bookkeeping
+/// (`kill_at` inside its epoch `(start, end]`, per-shard activity flags
+/// from *before* that epoch) followed by every shard in channel order.
+/// Shared by the serial and parallel checkpointed runs so both emit the
+/// same bytes for the same state.
+fn write_checkpoint(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    shards: &[ChannelShard],
+    kill_at: u64,
+    start: u64,
+    end: u64,
+    done: &[bool],
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(spec.fingerprint(events));
+    w.section("engine", |s| {
+        s.put_u64(kill_at);
+        s.put_u64(start);
+        s.put_u64(end);
+        s.put_seq_len(done.len());
+        for &d in done {
+            s.put_bool(d);
+        }
+    });
+    w.section("channels", |s| {
+        s.put_seq_len(shards.len());
+        for shard in shards {
+            shard.save(s);
+        }
+    });
+    w.into_bytes()
+}
+
+/// Validates and decodes a checkpoint back into restored shards plus the
+/// epoch bookkeeping (`kill_at`, interrupted epoch end, activity flags).
+/// Shared by [`resume_serial`] and [`resume_parallel`].
+fn restore_checkpoint(
     spec: &EngineSpec,
     events: &[SubmitEvent],
     bytes: &[u8],
-) -> Result<EngineReport, ResumeError> {
+) -> Result<(Vec<ChannelShard>, u64, u64, Vec<bool>), ResumeError> {
     let mut shards = build_shards(spec, events).map_err(ResumeError::Spec)?;
     let mut r = SnapshotReader::new(bytes, spec.fingerprint(events))?;
-    let (kill_at, _epoch_start, epoch_end, mut done) = r.section("engine", |s| {
+    let (kill_at, _epoch_start, epoch_end, done) = r.section("engine", |s| {
         let kill_at = s.get_u64()?;
         let epoch_start = s.get_u64()?;
         let epoch_end = s.get_u64()?;
@@ -753,6 +766,30 @@ pub fn resume_serial(
         Ok(())
     })?;
     r.finish()?;
+    Ok((shards, kill_at, epoch_end, done))
+}
+
+/// Resumes a run from a [`simulate_serial_checkpointed`] checkpoint and
+/// drives it to completion, finishing the interrupted epoch from the kill
+/// cycle and then continuing the standard epoch loop.
+///
+/// Resumption is exact: a shard's epoch activity flag is evaluated at the
+/// epoch's true end, and shard idleness is monotone within an epoch (the
+/// port is pre-routed; no new work can arrive), so the flags the resumed
+/// run computes are the ones the uninterrupted run would have.
+///
+/// # Errors
+///
+/// [`ResumeError::Spec`] if the spec/schedule is invalid or the decoded
+/// epoch bookkeeping contradicts it; [`ResumeError::Snapshot`] if the
+/// bytes are truncated, corrupted, from another format version, or from a
+/// different spec/workload (fingerprint mismatch). Never panics.
+pub fn resume_serial(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    bytes: &[u8],
+) -> Result<EngineReport, ResumeError> {
+    let (mut shards, kill_at, epoch_end, mut done) = restore_checkpoint(spec, events, bytes)?;
 
     // Finish the interrupted epoch from the kill cycle, then continue the
     // standard epoch loop — exactly `run_serial`'s bookkeeping.
@@ -814,6 +851,155 @@ pub fn simulate_parallel(
     }
     let mut shards = build_shards(spec, events)?;
     let cycles = run_parallel(&mut shards, spec.max_cycles, spec.epoch_cycles, num_threads);
+    for shard in &mut shards {
+        shard.mc.finish(DramCycle::new(cycles));
+    }
+    Ok(merge(spec, shards, cycles))
+}
+
+/// [`simulate_parallel`] on the retained lockstep epoch-barrier executor:
+/// worker threads synchronise twice per epoch instead of free-running.
+/// Bit-identical to both [`simulate_serial`] and [`simulate_parallel`];
+/// kept for differential testing and for measuring what the barriers cost
+/// (the `speedup` bench reports both executors side by side).
+///
+/// # Errors
+///
+/// Returns a description if the spec is invalid, the schedule is not
+/// sorted by cycle, or `num_threads` is zero.
+pub fn simulate_parallel_lockstep(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    num_threads: usize,
+) -> Result<EngineReport, String> {
+    if num_threads == 0 {
+        return Err("at least one worker thread is required".into());
+    }
+    let mut shards = build_shards(spec, events)?;
+    let cycles = run_lockstep(&mut shards, spec.max_cycles, spec.epoch_cycles, num_threads);
+    for shard in &mut shards {
+        shard.mc.finish(DramCycle::new(cycles));
+    }
+    Ok(merge(spec, shards, cycles))
+}
+
+/// [`simulate_serial_checkpointed`] with the per-shard work spread across
+/// `num_threads` workers. Each shard free-runs through the same epoch
+/// windows the serial checkpointed run uses — full epochs up to the one
+/// containing `kill_at`, then the partial window ending exactly there —
+/// so the returned bytes are **byte-identical** to the serial
+/// checkpoint's: shard states match window-for-window, activity flags are
+/// evaluated at the same boundaries, and the snapshot is assembled in
+/// channel order after all workers join (the only sync point).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_serial_checkpointed`], plus
+/// `num_threads == 0`.
+pub fn simulate_parallel_checkpointed(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    kill_at: u64,
+    num_threads: usize,
+) -> Result<Vec<u8>, String> {
+    if num_threads == 0 {
+        return Err("at least one worker thread is required".into());
+    }
+    if kill_at == 0 || kill_at > spec.max_cycles {
+        return Err(format!(
+            "kill cycle {kill_at} outside (0, {}]",
+            spec.max_cycles
+        ));
+    }
+    let mut shards = build_shards(spec, events)?;
+    // Per-shard epoch walk, identical windows to the serial loop: a shard
+    // runs full epochs (updating its activity flag) until the epoch whose
+    // end reaches `kill_at`, which it runs only up to the kill cycle,
+    // leaving the flag for that epoch undecided — exactly what the serial
+    // checkpointed run records.
+    let outcomes = for_each_shard(&mut shards, num_threads, |_idx, shard| {
+        let mut start = 0u64;
+        loop {
+            let end = spec.max_cycles.min(start + spec.epoch_cycles);
+            if kill_at <= end {
+                shard.run_epoch(start, kill_at);
+                return (false, 0u64);
+            }
+            if !shard.run_epoch(start, end) {
+                // Drained: never stepped again, so the kill epoch (which
+                // always exists, kill_at <= max_cycles) is not reached.
+                return (true, end);
+            }
+            start = end;
+        }
+    });
+    let done: Vec<bool> = outcomes.iter().map(|&(d, _)| d).collect();
+    if done.iter().all(|&d| d) {
+        // All shards drained before the kill epoch: the serial loop stops
+        // at the end of the epoch in which the last one drained.
+        let drained_at = outcomes.iter().map(|&(_, end)| end).max().unwrap_or(0);
+        return Err(format!(
+            "run drained at cycle {drained_at}, before kill cycle {kill_at}"
+        ));
+    }
+    let epoch_start = (kill_at - 1) / spec.epoch_cycles * spec.epoch_cycles;
+    let epoch_end = spec.max_cycles.min(epoch_start + spec.epoch_cycles);
+    Ok(write_checkpoint(
+        spec,
+        events,
+        &shards,
+        kill_at,
+        epoch_start,
+        epoch_end,
+        &done,
+    ))
+}
+
+/// Resumes a checkpoint (from either the serial or the parallel
+/// checkpointed run — the bytes are identical) with the remaining work
+/// spread across `num_threads` workers, producing an [`EngineReport`]
+/// **bit-identical** to the uninterrupted [`simulate_serial`] run.
+///
+/// Each live shard finishes its interrupted epoch from the kill cycle and
+/// then free-runs through the standard epoch windows to its own drain (or
+/// `max_cycles`); the run's final cycle is the maximum over shards, the
+/// same value the serial epoch loop reaches.
+///
+/// # Errors
+///
+/// Same conditions as [`resume_serial`], plus [`ResumeError::Spec`] if
+/// `num_threads` is zero.
+pub fn resume_parallel(
+    spec: &EngineSpec,
+    events: &[SubmitEvent],
+    bytes: &[u8],
+    num_threads: usize,
+) -> Result<EngineReport, ResumeError> {
+    if num_threads == 0 {
+        return Err(ResumeError::Spec(
+            "at least one worker thread is required".into(),
+        ));
+    }
+    let (mut shards, kill_at, epoch_end, done) = restore_checkpoint(spec, events, bytes)?;
+    let ends = for_each_shard(&mut shards, num_threads, |idx, shard| {
+        if done[idx] {
+            return epoch_end;
+        }
+        if !shard.run_epoch(kill_at, epoch_end) {
+            return epoch_end;
+        }
+        let mut start = epoch_end;
+        while start < spec.max_cycles {
+            let end = spec.max_cycles.min(start + spec.epoch_cycles);
+            let alive = shard.run_epoch(start, end);
+            start = end;
+            if !alive {
+                break;
+            }
+        }
+        start
+    });
+    let cycles = ends.into_iter().max().unwrap_or(epoch_end);
     for shard in &mut shards {
         shard.mc.finish(DramCycle::new(cycles));
     }

@@ -68,8 +68,10 @@ pub mod prelude {
     pub use crate::config::{McConfig, ShareTree, TenantSpec, UnsupportedScanError};
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
-        adversarial_workload, interference_workload, simulate_parallel, simulate_serial,
-        synthetic_workload, EngineReport, EngineSpec, RetryPolicy, SubmitEvent,
+        adversarial_workload, interference_workload, resume_parallel, resume_serial,
+        simulate_parallel, simulate_parallel_checkpointed, simulate_parallel_lockstep,
+        simulate_serial, simulate_serial_checkpointed, synthetic_workload, EngineReport,
+        EngineSpec, RetryPolicy, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
     pub use crate::policy::{

@@ -10,8 +10,8 @@
 //! each: an epoch split must be semantically invisible.
 
 use fqms_memctrl::engine::{
-    resume_serial, simulate_serial, simulate_serial_checkpointed, synthetic_workload, EngineSpec,
-    ResumeError, RetryPolicy,
+    resume_parallel, resume_serial, simulate_parallel_checkpointed, simulate_serial,
+    simulate_serial_checkpointed, synthetic_workload, EngineSpec, ResumeError, RetryPolicy,
 };
 use fqms_memctrl::policy::RefreshPolicy;
 use fqms_memctrl::prelude::*;
@@ -97,6 +97,21 @@ fn kill_and_resume_is_bit_identical_across_the_config_matrix() {
                     assert_eq!(
                         reference, resumed,
                         "{ctx}: kill at {kill_at} changed the run"
+                    );
+                    // The PR 8 free-running executor joins the kill
+                    // matrix: its checkpoint must be the same bytes, and
+                    // its resume the same run.
+                    let par_bytes = simulate_parallel_checkpointed(&spec, &events, kill_at, 3)
+                        .unwrap_or_else(|e| panic!("{ctx}: parallel checkpoint at {kill_at}: {e}"));
+                    assert_eq!(
+                        bytes, par_bytes,
+                        "{ctx}: parallel checkpoint bytes diverged at {kill_at}"
+                    );
+                    let resumed_par = resume_parallel(&spec, &events, &bytes, 3)
+                        .unwrap_or_else(|e| panic!("{ctx}: parallel resume from {kill_at}: {e}"));
+                    assert_eq!(
+                        reference, resumed_par,
+                        "{ctx}: parallel resume at {kill_at} changed the run"
                     );
                 }
             }

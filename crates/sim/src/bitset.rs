@@ -1,0 +1,224 @@
+//! A dense fixed-capacity bit set over small indices.
+//!
+//! The scheduler hot loops iterate "banks with pending work" and "banks
+//! with an open row" every stepped cycle. Keeping those populations as
+//! packed bit masks turns the per-cycle scan from a walk over every bank
+//! (touching a queue header or a bank struct per probe) into a word-wise
+//! sweep that visits only set bits — and the union of two masks is a
+//! per-word OR, so "occupied or open, in ascending index order" costs one
+//! pass with no allocation.
+//!
+//! Ascending iteration order is load-bearing for the controller: channel
+//! arbitration breaks priority ties by first-proposer, so masked loops
+//! must visit banks in exactly the order the dense loop did.
+//!
+//! # Example
+//!
+//! ```
+//! use fqms_sim::bitset::DenseBitSet;
+//!
+//! let mut occupied = DenseBitSet::new(16);
+//! let mut open = DenseBitSet::new(16);
+//! occupied.insert(3);
+//! occupied.insert(9);
+//! open.insert(9);
+//! open.insert(12);
+//! let visit: Vec<usize> = occupied.union_iter(&open).collect();
+//! assert_eq!(visit, vec![3, 9, 12]);
+//! occupied.remove(9);
+//! assert!(!occupied.contains(9));
+//! ```
+
+/// A fixed-capacity set of `usize` indices stored as packed 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl DenseBitSet {
+    /// An empty set holding indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of indices the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `idx` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn insert(&mut self, idx: usize) {
+        assert!(
+            idx < self.capacity,
+            "index {idx} >= capacity {}",
+            self.capacity
+        );
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Removes `idx` from the set (a no-op if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(
+            idx < self.capacity,
+            "index {idx} >= capacity {}",
+            self.capacity
+        );
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Whether `idx` is in the set.
+    pub fn contains(&self, idx: usize) -> bool {
+        idx < self.capacity && self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set holds no indices.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the set's indices in ascending order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            other: None,
+        }
+    }
+
+    /// Iterates the indices of `self ∪ other` in ascending order without
+    /// materialising the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_iter<'a>(&'a self, other: &'a DenseBitSet) -> BitIter<'a> {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "union over sets of different capacity"
+        );
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0)
+                | other.words.first().copied().unwrap_or(0),
+            other: Some(&other.words),
+        }
+    }
+}
+
+/// Ascending-order index iterator over one set or a union of two (see
+/// [`DenseBitSet::iter`] / [`DenseBitSet::union_iter`]).
+#[derive(Debug, Clone)]
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    other: Option<&'a [u64]>,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx] | self.other.map_or(0, |o| o[self.word_idx]);
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseBitSet::new(130);
+        for i in [0usize, 63, 64, 65, 127, 128, 129] {
+            assert!(!s.contains(i));
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.len(), 7);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 6);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let mut s = DenseBitSet::new(200);
+        let idxs = [199usize, 0, 63, 64, 100, 128];
+        for &i in &idxs {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        let mut want = idxs.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_iter_matches_naive_union() {
+        let mut a = DenseBitSet::new(150);
+        let mut b = DenseBitSet::new(150);
+        for i in (0..150).step_by(7) {
+            a.insert(i);
+        }
+        for i in (0..150).step_by(5) {
+            b.insert(i);
+        }
+        let got: Vec<usize> = a.union_iter(&b).collect();
+        let want: Vec<usize> = (0..150).filter(|&i| i % 7 == 0 || i % 5 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        let s = DenseBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let mut f = DenseBitSet::new(64);
+        for i in 0..64 {
+            f.insert(i);
+        }
+        assert_eq!(f.iter().collect::<Vec<_>>(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_insert_panics() {
+        DenseBitSet::new(10).insert(10);
+    }
+}

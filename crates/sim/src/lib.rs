@@ -7,11 +7,16 @@
 //!   DRAM command clock) used throughout the simulator,
 //! * [`rng`] — a small, fully deterministic pseudo-random number generator so
 //!   that every simulation is exactly reproducible from its seed,
+//! * [`bitset`] — a dense fixed-capacity bit set with ascending-order and
+//!   union iteration, backing the scheduler hot loop's occupancy and
+//!   open-bank masks,
 //! * [`stats`] — counters, running statistics, histograms, and the summary
 //!   math (harmonic mean, variance) the paper's evaluation metrics need,
-//! * [`parallel`] — the epoch-barrier shard executor that runs independent
-//!   simulation partitions (e.g. DDR2 channels) across worker threads with
-//!   results bit-identical to a serial run,
+//! * [`parallel`] — the free-running work-stealing shard executor that runs
+//!   independent simulation partitions (e.g. DDR2 channels) across worker
+//!   threads with no cross-shard synchronisation between merge points, with
+//!   results bit-identical to a serial run (a lockstep epoch-barrier
+//!   reference executor is retained for differential testing),
 //! * [`fault`] — seeded fault plans compiled into deterministic episode
 //!   timelines, so adversarial conditions (NACK storms, bank stalls,
 //!   refresh pressure, request drops) are as reproducible as the happy
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod clock;
 pub mod fault;
 pub mod parallel;
@@ -44,9 +50,13 @@ pub mod rng;
 pub mod snapshot;
 pub mod stats;
 
+pub use bitset::DenseBitSet;
 pub use clock::{ClockDomains, CpuCycle, DramCycle};
 pub use fault::{Episode, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow};
-pub use parallel::{run_parallel, run_serial, Shard};
+pub use parallel::{
+    exec_counters, for_each_shard, run_free, run_lockstep, run_parallel, run_serial, ExecCounters,
+    FreeRunReport, Shard, WorkerStats,
+};
 pub use rng::SimRng;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Counter, Histogram, Ratio, Summary};

@@ -1,0 +1,298 @@
+//! Edge-case properties of the free-running work-stealing executor,
+//! checked on the in-tree [`CaseRunner`] with shrinking: random shard
+//! populations, horizons, epoch lengths, worker counts, and steal quanta
+//! must always reproduce the serial window sequence exactly; a panicking
+//! shard must propagate its payload without deadlocking the other
+//! workers; and a horizon that is not an epoch multiple must be hit
+//! exactly by a short final window.
+
+use fqms_sim::parallel::{run_free, run_serial, Shard};
+use fqms_sim::rng::{CaseRunner, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A shard that appends the epoch windows it saw and drains after a
+/// fixed number of cycles (the integration-test twin of the executor's
+/// internal test recorder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Recorder {
+    windows: Vec<(u64, u64)>,
+    budget: u64,
+    seen: u64,
+}
+
+impl Recorder {
+    fn new(budget: u64) -> Self {
+        Recorder {
+            windows: Vec::new(),
+            budget,
+            seen: 0,
+        }
+    }
+}
+
+impl Shard for Recorder {
+    fn run_epoch(&mut self, start: u64, end: u64) -> bool {
+        self.windows.push((start, end));
+        self.seen += end - start;
+        self.seen < self.budget
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    budgets: Vec<u64>,
+    horizon: u64,
+    epoch: u64,
+    threads: usize,
+    quantum: u64,
+}
+
+/// Standard shrink moves for an executor case: fewer shards, smaller
+/// budgets, shorter horizon, unit epoch, one thread, zero quantum.
+fn shrink(c: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    if c.budgets.len() > 1 {
+        let mut d = c.clone();
+        d.budgets.truncate(c.budgets.len() / 2);
+        out.push(d);
+    }
+    if c.budgets.iter().any(|&b| b > 1) {
+        let mut d = c.clone();
+        for b in &mut d.budgets {
+            *b = (*b / 2).max(1);
+        }
+        out.push(d);
+    }
+    if c.horizon > 1 {
+        let mut d = c.clone();
+        d.horizon = (c.horizon / 2).max(1);
+        out.push(d);
+    }
+    if c.epoch > 1 {
+        let mut d = c.clone();
+        d.epoch = (c.epoch / 2).max(1);
+        out.push(d);
+    }
+    if c.threads > 1 {
+        let mut d = c.clone();
+        d.threads = c.threads / 2;
+        out.push(d);
+    }
+    if c.quantum > 0 {
+        let mut d = c.clone();
+        d.quantum = c.quantum / 2;
+        out.push(d);
+    }
+    out
+}
+
+fn check_matches_serial(c: &Case) -> Result<(), String> {
+    let mut serial: Vec<Recorder> = c.budgets.iter().map(|&b| Recorder::new(b)).collect();
+    let mut free: Vec<Recorder> = c.budgets.iter().map(|&b| Recorder::new(b)).collect();
+    let reached_serial = run_serial(&mut serial, c.horizon, c.epoch);
+    let rep = run_free(&mut free, c.horizon, c.epoch, c.threads, c.quantum);
+    if reached_serial != rep.reached {
+        return Err(format!(
+            "reached diverged: serial {reached_serial}, free-run {}",
+            rep.reached
+        ));
+    }
+    let expected_workers = c.threads.min(c.budgets.len());
+    if rep.workers != expected_workers {
+        return Err(format!(
+            "used {} workers, expected {expected_workers}",
+            rep.workers
+        ));
+    }
+    let total_windows: u64 = free.iter().map(|s| s.windows.len() as u64).sum();
+    if rep.free_run_spans() != total_windows {
+        return Err(format!(
+            "report counts {} spans, shards saw {total_windows} windows",
+            rep.free_run_spans()
+        ));
+    }
+    for (i, (s, p)) in serial.iter().zip(&free).enumerate() {
+        if s != p {
+            return Err(format!(
+                "shard {i} diverged: serial saw {:?} (drain {} of budget {}), \
+                 free-run saw {:?} (drain {} of budget {})",
+                s.windows, s.seen, s.budget, p.windows, p.seen, p.budget
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn free_run_reproduces_serial_windows_exactly() {
+    CaseRunner::new("free-run-vs-serial-oracle").run(
+        |rng: &mut SimRng| {
+            let n = 1 + rng.next_below(12) as usize;
+            Case {
+                budgets: (0..n).map(|_| 1 + rng.next_below(5_000)).collect(),
+                horizon: 1 + rng.next_below(8_000),
+                epoch: 1 + rng.next_below(257),
+                threads: 1 + rng.next_below(8) as usize,
+                quantum: rng.next_below(17),
+            }
+        },
+        shrink,
+        check_matches_serial,
+    );
+}
+
+#[test]
+fn one_shard_under_many_threads_uses_one_worker() {
+    // Degenerate parallelism: a single shard must be claimed by exactly
+    // one worker (no steals, no window interleaving) no matter how many
+    // threads are requested.
+    CaseRunner::new("one-shard-many-threads").run(
+        |rng: &mut SimRng| Case {
+            budgets: vec![1 + rng.next_below(3_000)],
+            horizon: 1 + rng.next_below(4_000),
+            epoch: 1 + rng.next_below(129),
+            threads: 2 + rng.next_below(15) as usize,
+            quantum: rng.next_below(9),
+        },
+        shrink,
+        |c| {
+            check_matches_serial(c)?;
+            let mut shards = vec![Recorder::new(c.budgets[0])];
+            let rep = run_free(&mut shards, c.horizon, c.epoch, c.threads, c.quantum);
+            if rep.steals() != 0 {
+                return Err(format!("{} steals on a single shard", rep.steals()));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shards_draining_at_different_epochs_stay_bit_identical() {
+    // Staggered drains: budgets spread over orders of magnitude, so some
+    // shards finish in the first window while others run to the horizon.
+    // Drained shards must never be re-stepped (covered by the window
+    // comparison: an extra window would show up in `windows`).
+    CaseRunner::new("staggered-drain").run(
+        |rng: &mut SimRng| {
+            let n = 2 + rng.next_below(10) as usize;
+            Case {
+                budgets: (0..n)
+                    .map(|i| 1 + rng.next_below(10u64.pow(1 + (i % 4) as u32)))
+                    .collect(),
+                horizon: 512 + rng.next_below(8_000),
+                epoch: 1 + rng.next_below(65),
+                threads: 2 + rng.next_below(6) as usize,
+                quantum: rng.next_below(5),
+            }
+        },
+        shrink,
+        check_matches_serial,
+    );
+}
+
+#[test]
+fn horizon_early_exit_is_exact() {
+    // Never-draining shards must stop exactly at the horizon, with a
+    // short final window when the horizon is not an epoch multiple.
+    CaseRunner::new("horizon-early-exit").run(
+        |rng: &mut SimRng| Case {
+            budgets: (0..1 + rng.next_below(6) as usize)
+                .map(|_| u64::MAX)
+                .collect(),
+            horizon: 1 + rng.next_below(4_096),
+            epoch: 1 + rng.next_below(300),
+            threads: 1 + rng.next_below(6) as usize,
+            quantum: rng.next_below(9),
+        },
+        shrink,
+        |c| {
+            check_matches_serial(c)?;
+            let mut shards: Vec<Recorder> = c.budgets.iter().map(|&b| Recorder::new(b)).collect();
+            let rep = run_free(&mut shards, c.horizon, c.epoch, c.threads, c.quantum);
+            if rep.reached != c.horizon {
+                return Err(format!(
+                    "reached {} instead of horizon {}",
+                    rep.reached, c.horizon
+                ));
+            }
+            for (i, s) in shards.iter().enumerate() {
+                match s.windows.last() {
+                    Some(&(_, end)) if end == c.horizon => {}
+                    other => {
+                        return Err(format!(
+                            "shard {i} final window {other:?} does not end at the horizon"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A shard that panics once its private clock passes `fuse`.
+#[derive(Debug)]
+struct Fused {
+    fuse: u64,
+    seen: u64,
+}
+
+impl Shard for Fused {
+    fn run_epoch(&mut self, _start: u64, end: u64) -> bool {
+        self.seen = end;
+        assert!(self.seen < self.fuse, "shard fuse blew at cycle {end}");
+        true
+    }
+}
+
+#[test]
+fn panicking_shard_propagates_without_deadlock() {
+    // One shard panics mid-run (possibly mid-steal); the executor must
+    // re-raise that payload on the calling thread after all workers wind
+    // down — a swallowed panic or a deadlock both fail this test (the
+    // latter via the harness timeout).
+    CaseRunner::new("panicking-shard").cases(12).run(
+        |rng: &mut SimRng| {
+            let n = 1 + rng.next_below(8) as usize;
+            Case {
+                budgets: (0..n).map(|_| u64::MAX).collect(),
+                horizon: 256 + rng.next_below(4_096),
+                epoch: 1 + rng.next_below(65),
+                threads: 1 + rng.next_below(8) as usize,
+                quantum: rng.next_below(5),
+            }
+        },
+        shrink,
+        |c| {
+            let mut shards: Vec<Fused> = c
+                .budgets
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Fused {
+                    // Shard 0 blows partway through; the rest never do.
+                    fuse: if i == 0 { c.horizon / 2 + 1 } else { u64::MAX },
+                    seen: 0,
+                })
+                .collect();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_free(&mut shards, c.horizon, c.epoch, c.threads, c.quantum);
+            }));
+            match outcome {
+                Ok(_) => Err("shard panic was swallowed".to_string()),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_default();
+                    if msg.contains("shard fuse blew") {
+                        Ok(())
+                    } else {
+                        Err(format!("wrong panic payload propagated: {msg:?}"))
+                    }
+                }
+            }
+        },
+    );
+}
