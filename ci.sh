@@ -26,7 +26,8 @@ cargo test -q --release --offline -p fqms-memctrl \
   --test fast_forward_equivalence --test fault_differential \
   --test checkpoint_differential --test retry_policy \
   --test select_differential --test hierarchy_conservation \
-  --test blacklist_properties --test freerun_differential
+  --test blacklist_properties --test freerun_differential \
+  --test rt_wcet
 cargo test -q --release --offline -p fqms-sim --test freerun_properties
 
 echo "=== speedup smoke gate: free-run parallel never slower + >=5x over cycle-by-cycle ==="
@@ -57,6 +58,42 @@ FQMS_RUNLEN=quick FQMS_BENCH_PR7="$FRONTIER_TMP/BENCH_pr7.json" \
   rm -rf "$FRONTIER_TMP"; exit 1; }
 rm -rf "$FRONTIER_TMP"
 echo "frontier smoke gate OK"
+
+echo "=== latency_cdf smoke gate: no WCET violation + conservation ==="
+# The latency_cdf binary exits nonzero when any regulated real-time
+# completion exceeds its analytic WCET bound (or the controller's own
+# violation counter is nonzero), or when any mode violates conservation
+# (see crates/bench/src/bin/latency_cdf.rs and DESIGN.md §18).
+CDF_TMP="$(mktemp -d)"
+FQMS_RUNLEN=quick FQMS_BENCH_PR9="$CDF_TMP/BENCH_pr9.json" \
+  cargo run --release -q --offline -p fqms-bench --bin latency_cdf \
+  > "$CDF_TMP/latency_cdf.tsv" 2> "$CDF_TMP/latency_cdf.log" || {
+  echo "latency_cdf smoke gate FAILED:"; tail -5 "$CDF_TMP/latency_cdf.log"
+  rm -rf "$CDF_TMP"; exit 1; }
+rm -rf "$CDF_TMP"
+echo "latency_cdf smoke gate OK"
+
+echo "=== doc consistency: every scheduler + figure bin appears in README ==="
+# The README's scheduler family table and figure index drift silently when
+# a variant or binary is added; fail the build instead. Variants come from
+# the enum itself, bins from run_figures.sh's DEFAULT_BINS.
+DOC_FAIL=0
+SCHEDULERS="$(sed -n '/^pub enum SchedulerKind/,/^}/p' \
+  crates/memctrl/src/policy.rs | grep -oE '^    [A-Z][A-Za-z]+,' | tr -d ' ,')"
+[ -n "$SCHEDULERS" ] || { echo "doc check FAILED: no SchedulerKind variants parsed"; exit 1; }
+for v in $SCHEDULERS; do
+  grep -qw "$v" README.md || {
+    echo "doc check FAILED: SchedulerKind::$v missing from README.md"; DOC_FAIL=1; }
+done
+DOC_BINS="$(sed -n '/^DEFAULT_BINS=/,/"$/p' run_figures.sh \
+  | sed -e 's/^DEFAULT_BINS="//' -e 's/\\$//' -e 's/"$//')"
+[ -n "$DOC_BINS" ] || { echo "doc check FAILED: no DEFAULT_BINS parsed"; exit 1; }
+for b in $DOC_BINS; do
+  grep -qw "$b" README.md || {
+    echo "doc check FAILED: figure bin '$b' missing from README.md"; DOC_FAIL=1; }
+done
+[ "$DOC_FAIL" = "0" ] || exit 1
+echo "doc consistency OK"
 
 echo "=== run_figures.sh --resume: interrupted sweeps resume bit-identically ==="
 # Emulate an interrupted sweep deterministically: run a prefix of the

@@ -54,6 +54,35 @@ impl Geometry {
         self.ranks * self.banks
     }
 
+    /// The contiguous global-bank slice owned by partition `part` when the
+    /// bank space is split among `parts` partitions, as `(start, len)`.
+    ///
+    /// Used by the real-time regulation mode (ISSUE 9): each thread's
+    /// decoded bank index is folded into its own slice so cross-thread row
+    /// conflicts vanish. When there are more partitions than banks every
+    /// slice degenerates to a single bank (`len == 1`) and slices wrap —
+    /// the WCET analysis rejects that overlapping shape, but the mapping
+    /// itself stays total and deterministic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fqms_dram::device::Geometry;
+    ///
+    /// let g = Geometry::paper(); // 8 banks
+    /// assert_eq!(g.partition_slice(0, 4), (0, 2));
+    /// assert_eq!(g.partition_slice(3, 4), (6, 2));
+    /// // More partitions than banks: one wrapped bank each.
+    /// assert_eq!(g.partition_slice(9, 16), (1, 1));
+    /// ```
+    pub fn partition_slice(&self, part: u32, parts: u32) -> (u32, u32) {
+        let total = self.total_banks();
+        let parts = parts.max(1);
+        let len = (total / parts).max(1);
+        let start = (part % parts).saturating_mul(len) % total;
+        (start, len)
+    }
+
     /// Validates that every dimension is non-zero and a power of two (the
     /// XOR address mapping requires power-of-two dimensions).
     ///

@@ -186,6 +186,137 @@ impl ShareTree {
     }
 }
 
+/// One thread's class under real-time regulation (ISSUE 9): whether it
+/// is a real-time thread, its per-period service budget, and its
+/// (optional) analytic WCET bound for violation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Real-time thread: holds the premium scheduling tier while in
+    /// budget. Best-effort threads always run on the demoted tier.
+    pub rt: bool,
+    /// Bank services (CAS issues) allowed per replenish period. A
+    /// zero-budget real-time class is permanently demoted — pure
+    /// best-effort behaviour, useful as a regression anchor.
+    pub budget: u64,
+    /// Analytic worst-case latency bound in DRAM cycles (from
+    /// [`crate::wcet::bound_for`]); when set, completions above it are
+    /// counted ([`crate::regulate::RegulatorState::bound_violations`])
+    /// and emitted as `BoundExceeded` observability events. Only valid
+    /// on real-time classes.
+    pub wcet: Option<u64>,
+}
+
+/// Real-time regulation knob for [`McConfig::regulation`] (ISSUE 9):
+/// per-thread bank partitioning plus token-bucket bandwidth budgets,
+/// composing with any VFT-based scheduler (the verified configuration is
+/// FQ-VFTF). Build with the chained constructor, one class per thread in
+/// thread order:
+///
+/// ```
+/// use fqms_memctrl::config::{McConfig, RegulationConfig};
+/// use fqms_memctrl::policy::{ScanKind, SchedulerKind};
+///
+/// let cfg = McConfig::paper(3, SchedulerKind::FqVftf).with_regulation(
+///     RegulationConfig::new(10_000) // replenish period, DRAM cycles
+///         .rt_class(8, None)        // thread 0: 8 services per period
+///         .best_effort()            // threads 1-2: unregulated
+///         .best_effort(),
+/// );
+/// cfg.validate().unwrap();
+/// // Dynamic tiers are a linear-scan feature; the builder downgrades.
+/// assert_eq!(cfg.scan, ScanKind::Linear);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegulationConfig {
+    /// Token-bucket replenish period in DRAM cycles.
+    pub period: u64,
+    /// Remap each thread's requests into a private contiguous slice of
+    /// the global bank space ([`fqms_dram::device::Geometry::partition_slice`]).
+    /// Required for the analytic WCET bound to hold; disable only for
+    /// regulation-in-isolation studies.
+    pub partition: bool,
+    /// One class per thread, in thread order; length must equal the
+    /// controller's thread count.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl RegulationConfig {
+    /// An empty regulation config with the given replenish period and
+    /// partitioning on; chain [`RegulationConfig::rt_class`] /
+    /// [`RegulationConfig::best_effort`] once per thread.
+    pub fn new(period: u64) -> Self {
+        RegulationConfig {
+            period,
+            partition: true,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Appends a real-time class with `budget` services per period and
+    /// an optional analytic WCET bound.
+    pub fn rt_class(mut self, budget: u64, wcet: Option<u64>) -> Self {
+        self.classes.push(ClassSpec {
+            rt: true,
+            budget,
+            wcet,
+        });
+        self
+    }
+
+    /// Appends an unregulated best-effort class.
+    pub fn best_effort(mut self) -> Self {
+        self.classes.push(ClassSpec {
+            rt: false,
+            budget: 0,
+            wcet: None,
+        });
+        self
+    }
+
+    /// Sets whether bank partitioning is applied (default: on).
+    pub fn partitioned(mut self, on: bool) -> Self {
+        self.partition = on;
+        self
+    }
+
+    /// Validates the regulation shape against a thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the period is zero, the class count
+    /// disagrees with `num_threads`, a WCET bound is zero or attached to
+    /// a best-effort class.
+    pub fn validate(&self, num_threads: usize) -> Result<(), String> {
+        if self.period == 0 {
+            return Err("regulation period must be positive".into());
+        }
+        if self.classes.len() != num_threads {
+            return Err(format!(
+                "regulation declares {} classes for {num_threads} threads",
+                self.classes.len()
+            ));
+        }
+        for (i, c) in self.classes.iter().enumerate() {
+            match c.wcet {
+                Some(0) => {
+                    return Err(format!("class {i}: wcet bound must be positive"));
+                }
+                Some(_) if !c.rt => {
+                    return Err(format!("class {i}: wcet bound requires a real-time class"));
+                }
+                _ => {}
+            }
+            if !c.rt && c.budget != 0 {
+                return Err(format!(
+                    "class {i}: best-effort classes carry no budget, got {}",
+                    c.budget
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of a [`crate::controller::MemoryController`].
 ///
 /// # Example
@@ -245,6 +376,16 @@ pub struct McConfig {
     /// streak counter are cleared (BLISS paper: 10000). Ignored by other
     /// schedulers.
     pub bliss_clear_interval: u64,
+    /// Real-time mode (ISSUE 9): per-thread bank partitioning plus
+    /// token-bucket bandwidth regulation, prioritizing in-budget
+    /// real-time requests over best-effort traffic. `None` (the
+    /// default) disables regulation entirely. Requires
+    /// [`ScanKind::Linear`] (dynamic tiers, like BLISS's) and is
+    /// mutually exclusive with [`SchedulerKind::Bliss`], whose blacklist
+    /// would fight the regulator for the tier bit. Set via
+    /// [`McConfig::with_regulation`], which downgrades the scan kind
+    /// automatically.
+    pub regulation: Option<RegulationConfig>,
 }
 
 impl McConfig {
@@ -278,7 +419,18 @@ impl McConfig {
             starvation_threshold: None,
             bliss_threshold: 4,
             bliss_clear_interval: 10_000,
+            regulation: None,
         }
+    }
+
+    /// Enables real-time regulation, downgrading `scan` to
+    /// [`ScanKind::Linear`] (the tier bit regulation drives is a
+    /// linear-scan feature; the indexed path bakes static keys). See
+    /// [`RegulationConfig`] for an example.
+    pub fn with_regulation(mut self, regulation: RegulationConfig) -> Self {
+        self.regulation = Some(regulation);
+        self.scan = ScanKind::Linear;
+        self
     }
 
     /// The widest scan kind `scheduler` supports: indexed for everything
@@ -396,6 +548,21 @@ impl McConfig {
         }
         if self.bliss_clear_interval == 0 {
             return Err("bliss_clear_interval must be positive".into());
+        }
+        if let Some(reg) = &self.regulation {
+            reg.validate(self.shares.len())?;
+            if self.scheduler == SchedulerKind::Bliss {
+                return Err(
+                    "regulation is mutually exclusive with SchedulerKind::Bliss \
+                     (both drive the priority tier)"
+                        .into(),
+                );
+            }
+            if self.scan == ScanKind::Indexed {
+                return Err(
+                    "regulation requires ScanKind::Linear (use McConfig::with_regulation)".into(),
+                );
+            }
         }
         Ok(())
     }
@@ -547,6 +714,69 @@ mod tests {
         .validate()
         .is_err());
         ShareTree::symmetric(64, 64).validate().unwrap();
+    }
+
+    fn rt_reg(period: u64) -> RegulationConfig {
+        RegulationConfig::new(period)
+            .rt_class(8, Some(4_000))
+            .best_effort()
+            .best_effort()
+    }
+
+    #[test]
+    fn regulation_builder_downgrades_scan_and_validates() {
+        let cfg = McConfig::paper(3, SchedulerKind::FqVftf).with_regulation(rt_reg(10_000));
+        assert_eq!(cfg.scan, ScanKind::Linear);
+        cfg.validate().unwrap();
+        let reg = cfg.regulation.as_ref().unwrap();
+        assert!(reg.partition);
+        assert_eq!(reg.classes.len(), 3);
+        assert!(reg.classes[0].rt && !reg.classes[1].rt);
+    }
+
+    #[test]
+    fn regulation_rejects_indexed_scan_bliss_and_bad_shapes() {
+        let mut cfg = McConfig::paper(3, SchedulerKind::FqVftf).with_regulation(rt_reg(10_000));
+        cfg.scan = ScanKind::Indexed;
+        assert!(cfg.validate().unwrap_err().contains("ScanKind::Linear"));
+
+        let bliss = McConfig::paper(3, SchedulerKind::Bliss).with_regulation(rt_reg(10_000));
+        assert!(bliss.validate().unwrap_err().contains("Bliss"));
+
+        // Class count must match the thread count.
+        let wide = McConfig::paper(4, SchedulerKind::FqVftf).with_regulation(rt_reg(10_000));
+        assert!(wide.validate().is_err());
+
+        // Period, zero-wcet, wcet-on-best-effort, budget-on-best-effort.
+        assert!(rt_reg(0).validate(3).is_err());
+        let zero_wcet = RegulationConfig::new(100).rt_class(1, Some(0));
+        assert!(zero_wcet.validate(1).is_err());
+        let be_wcet = RegulationConfig {
+            period: 100,
+            partition: true,
+            classes: vec![ClassSpec {
+                rt: false,
+                budget: 0,
+                wcet: Some(10),
+            }],
+        };
+        assert!(be_wcet.validate(1).is_err());
+        let be_budget = RegulationConfig {
+            period: 100,
+            partition: true,
+            classes: vec![ClassSpec {
+                rt: false,
+                budget: 3,
+                wcet: None,
+            }],
+        };
+        assert!(be_budget.validate(1).is_err());
+
+        // Zero-budget RT classes are explicitly allowed (pure demotion).
+        RegulationConfig::new(100)
+            .rt_class(0, None)
+            .validate(1)
+            .unwrap();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::config::McConfig;
 use crate::policy::{
     BufferSharing, Priority, RefreshPolicy, RowPolicy, ScanKind, SchedulerKind, VftBinding,
 };
+use crate::regulate::RegulatorState;
 use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
 use crate::select::{BankQueue, Pending};
 use crate::slowdown::SlowdownEstimator;
@@ -250,6 +251,9 @@ pub struct MemoryController {
     /// BLISS blacklist state, present exactly when
     /// `config.scheduler == SchedulerKind::Bliss`.
     bliss: Option<BlissState>,
+    /// Real-time token-bucket regulator, present exactly when
+    /// `config.regulation` is set ([`crate::regulate`], ISSUE 9).
+    regulate: Option<RegulatorState>,
 }
 
 impl MemoryController {
@@ -290,6 +294,7 @@ impl MemoryController {
                 config.bliss_clear_interval,
             )
         });
+        let regulate = config.regulation.as_ref().map(RegulatorState::new);
         Ok(MemoryController {
             map: AddressMap::new(geometry, config.line_bytes),
             dram: DramDevice::new(geometry, timing),
@@ -318,6 +323,7 @@ impl MemoryController {
             watchdog,
             slowdown,
             bliss,
+            regulate,
         })
     }
 
@@ -410,6 +416,12 @@ impl MemoryController {
     /// The BLISS blacklist state, when the BLISS scheduler is configured.
     pub fn bliss_state(&self) -> Option<&BlissState> {
         self.bliss.as_ref()
+    }
+
+    /// The real-time regulator state, when `McConfig::regulation` is set
+    /// (see [`crate::regulate`]).
+    pub fn regulator_state(&self) -> Option<&RegulatorState> {
+        self.regulate.as_ref()
     }
 
     /// Number of requests currently buffered (not yet fully serviced).
@@ -558,7 +570,23 @@ impl MemoryController {
         if kind == RequestKind::Write {
             self.wr_used += 1;
         }
-        let addr = self.map.decode(phys);
+        let mut addr = self.map.decode(phys);
+        // Real-time bank partitioning (ISSUE 9): fold the decoded global
+        // bank into the submitting thread's private contiguous slice, so
+        // no foreign thread can ever conflict on this thread's rows. Row
+        // and column are untouched — within its slice the thread keeps the
+        // XOR mapping's conflict behaviour.
+        if let Some(reg) = &self.config.regulation {
+            if reg.partition {
+                let g = *self.dram.geometry();
+                let (start, len) =
+                    g.partition_slice(thread.as_u32(), self.config.num_threads() as u32);
+                let global = self.global_bank(addr.rank, addr.bank) as u32;
+                let folded = start + (global % len);
+                addr.rank = RankId::new(folded / g.banks);
+                addr.bank = BankId::new(folded % g.banks);
+            }
+        }
         let id = RequestId::new(self.next_id);
         self.next_id += self.id_stride;
         let req = MemoryRequest {
@@ -768,6 +796,12 @@ impl MemoryController {
             // per-cycle runs.
             ev.consider(DramCycle::new(b.next_clear()));
         }
+        if let Some(rg) = &self.regulate {
+            // A replenish boundary can promote a demoted thread back to
+            // the premium tier: the boundary cycle must be stepped, never
+            // skipped, or a fast-forwarded run would restore the tier late.
+            ev.consider(DramCycle::new(rg.next_replenish()));
+        }
         ev.earliest()
     }
 
@@ -876,6 +910,17 @@ impl MemoryController {
         // memoized proposals were ranked under, so every bank cache drops.
         if let Some(b) = self.bliss.as_mut() {
             if b.maybe_clear(now.as_u64()) {
+                for cache in &mut self.bank_cache {
+                    cache.valid = false;
+                }
+            }
+        }
+        // Regulator replenish boundary: refill every token bucket before
+        // scheduling, so the boundary cycle already schedules with the
+        // restored tiers. A refill can promote a demoted thread, changing
+        // the tier bits memoized proposals were ranked under.
+        if let Some(rg) = self.regulate.as_mut() {
+            if rg.maybe_replenish(now.as_u64()) {
                 for cache in &mut self.bank_cache {
                     cache.valid = false;
                 }
@@ -1119,6 +1164,26 @@ impl MemoryController {
                     alone_cycles: alone,
                 });
             }
+            // WCET verification hook (ISSUE 9): a regulated completion
+            // above its class's configured bound is counted and reported.
+            // The release gates assert this never happens.
+            if let Some(rg) = self.regulate.as_mut() {
+                if let Some(bound) = rg.wcet_bound(c.thread.as_u32()) {
+                    if c.latency() > bound {
+                        rg.note_violation();
+                        if O::ENABLED {
+                            obs.on_event(&Event::BoundExceeded {
+                                cycle: now.as_u64(),
+                                thread: c.thread.as_u32(),
+                                id: c.id.as_u64(),
+                                is_write: false,
+                                latency: c.latency(),
+                                bound,
+                            });
+                        }
+                    }
+                }
+            }
             out.push(c);
         }
     }
@@ -1185,6 +1250,7 @@ impl MemoryController {
         let ctx = SchedCtx {
             blacklist: self.bliss.as_ref().map(BlissState::blacklist),
             est: (kind == SchedulerKind::SdVftf).then_some(&self.slowdown),
+            reg: self.regulate.as_ref(),
         };
 
         // Masked sweep: a bank outside `occupied ∪ open` has an empty
@@ -1390,6 +1456,16 @@ impl MemoryController {
                 }
             }
         }
+        // The regulator also counts one bank service per CAS. Exhausting a
+        // bucket demotes the thread to the best-effort tier, which changes
+        // the tier bits every memoized proposal was ranked under.
+        if let Some(rg) = self.regulate.as_mut() {
+            if rg.consume(req.thread.as_u32()) {
+                for cache in &mut self.bank_cache {
+                    cache.valid = false;
+                }
+            }
+        }
         let ts = self.stats.thread_mut(req.thread);
         ts.bus_busy_cycles += timing.burst;
         match pending.ras_issued {
@@ -1433,6 +1509,23 @@ impl MemoryController {
                         bytes: self.config.line_bytes,
                         alone_cycles: alone,
                     });
+                }
+                if let Some(rg) = self.regulate.as_mut() {
+                    if let Some(bound) = rg.wcet_bound(req.thread.as_u32()) {
+                        if completion.latency() > bound {
+                            rg.note_violation();
+                            if O::ENABLED {
+                                obs.on_event(&Event::BoundExceeded {
+                                    cycle: now.as_u64(),
+                                    thread: req.thread.as_u32(),
+                                    id: req.id.as_u64(),
+                                    is_write: true,
+                                    latency: completion.latency(),
+                                    bound,
+                                });
+                            }
+                        }
+                    }
                 }
                 out.push(completion);
             }
@@ -1506,9 +1599,10 @@ pub(crate) fn get_completion(r: &mut SectionReader<'_>) -> Result<Completion, Sn
 ///   command log, fault cursors and cached episode deadlines, watchdog
 ///   progress clocks plus the incremental `next_due` trigger, the
 ///   inversion-lock edge detectors, the step/skip counters, the slowdown
-///   estimator (SD-VFTF's key scaling depends on it), and the BLISS
-///   blacklist (streak, flags, next clearing boundary) — every bit of
-///   state a resumed run's behaviour or reporting depends on.
+///   estimator (SD-VFTF's key scaling depends on it), the BLISS
+///   blacklist (streak, flags, next clearing boundary), and the real-time
+///   regulator (token usage, next replenish boundary, violation count) —
+///   every bit of state a resumed run's behaviour or reporting depends on.
 /// * **Rebuilt**: configuration (validated via the envelope fingerprint and
 ///   per-field checks), the address map, fault episode *timelines* (a pure
 ///   function of plan and seed, already present in the identically-built
@@ -1583,6 +1677,10 @@ impl Snapshot for MemoryController {
         w.put_bool(self.bliss.is_some());
         if let Some(b) = &self.bliss {
             b.save(w);
+        }
+        w.put_bool(self.regulate.is_some());
+        if let Some(rg) = &self.regulate {
+            rg.save(w);
         }
     }
 
@@ -1723,6 +1821,15 @@ impl Snapshot for MemoryController {
         if let Some(b) = &mut self.bliss {
             b.restore(r)?;
         }
+        let has_regulate = r.get_bool()?;
+        if has_regulate != self.regulate.is_some() {
+            return Err(r.malformed(
+                "snapshot and controller disagree on real-time regulation".to_string(),
+            ));
+        }
+        if let Some(rg) = &mut self.regulate {
+            rg.restore(r)?;
+        }
         // Derived occupancy counters are recomputed from the restored
         // structures (cheaper to re-derive than to cross-validate), and
         // the scheduler memo is dropped: the first post-resume pass
@@ -1798,16 +1905,27 @@ fn classify(p: &Pending, open_row: Option<RowId>, ready: ReadyClasses) -> (bool,
 ///   the most-slowed-down thread sorts first. Keys are static once bound
 ///   (the estimator only advances on completions), preserving the select
 ///   index invariants.
+/// * `reg` is `Some` exactly when the real-time regulator is active:
+///   threads that are not in budget (best-effort classes and exhausted
+///   real-time buckets) rank at tier 1, so every in-budget real-time
+///   request beats every best-effort request at both the bank and channel
+///   schedulers (Linear-only, like BLISS).
 #[derive(Clone, Copy)]
 struct SchedCtx<'a> {
     blacklist: Option<&'a [bool]>,
     est: Option<&'a SlowdownEstimator>,
+    reg: Option<&'a RegulatorState>,
 }
 
 impl SchedCtx<'_> {
-    /// The BLISS priority tier of `thread`: 1 when blacklisted, else 0.
+    /// The priority tier of `thread`: 1 when BLISS-blacklisted or outside
+    /// its real-time budget, else 0. BLISS and regulation are mutually
+    /// exclusive (`McConfig::validate`), so at most one source demotes.
     fn tier(&self, thread: ThreadId) -> u8 {
-        u8::from(self.blacklist.is_some_and(|bl| bl[thread.as_usize()]))
+        u8::from(
+            self.blacklist.is_some_and(|bl| bl[thread.as_usize()])
+                || self.reg.is_some_and(|r| !r.in_budget(thread.as_u32())),
+        )
     }
 }
 
@@ -1877,13 +1995,20 @@ fn propose_linear<O: Observer>(
                 }
             }
             let (slot, key, id) = best.expect("non-empty queue");
+            let winner = queue.get(slot).req.thread;
             let cmd = next_command(&queue.get(slot).req, open_row, rank, bank);
             if ready.allows(&cmd) {
+                // The locked pick keeps its thread's tier at the channel
+                // scheduler: a no-op for plain FQ-VFTF (no tier source is
+                // active there), but essential under regulation — a locked
+                // best-effort pick must not outrank a ready in-budget
+                // real-time command from another bank, or the WCET
+                // channel-interference term would be unsound.
                 return Some(Proposal {
                     cmd,
                     prio: Priority {
                         ready: true,
-                        tier: 0,
+                        tier: ctx.tier(winner),
                         cas: cmd.is_cas(),
                         key,
                         id,

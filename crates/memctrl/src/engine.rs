@@ -509,7 +509,12 @@ fn get_submit_event(r: &mut SectionReader<'_>) -> Result<SubmitEvent, SnapshotEr
 /// interrupted run had already consumed.
 impl Snapshot for SubmitPort {
     fn save(&self, w: &mut SectionWriter) {
-        w.put_seq_len(self.events.len());
+        // A bare count, not an in-band sequence: the queue's payload is
+        // rebuilt from the schedule, so `seq_len`'s elements-fit-in-
+        // remaining-bytes sanity check would misfire whenever the queued
+        // count exceeds the section's trailing byte count (dense
+        // schedules checkpointed early). Same wire bytes either way.
+        w.put_u64(self.events.len() as u64);
         w.put_u32(self.head_retries);
         w.put_u64(self.head_ready_at);
         w.put_seq_len(self.rejected.len());
@@ -519,7 +524,7 @@ impl Snapshot for SubmitPort {
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
-        let remaining = r.seq_len()?;
+        let remaining = r.get_u64()? as usize;
         if remaining > self.events.len() {
             return Err(r.malformed(format!(
                 "{remaining} queued submissions exceed the rebuilt schedule's {}",
@@ -1151,6 +1156,84 @@ pub fn adversarial_workload(
     events
 }
 
+/// Generates a deterministic *regulated* schedule for real-time mode
+/// (ISSUE 9): each thread with an `rt` class in `reg` submits at most its
+/// per-period `budget` requests per regulator window (front-loaded,
+/// row-local reads over a small footprint — the arrival curve the WCET
+/// bound of [`crate::wcet::bound_for`] assumes), while best-effort
+/// threads flood at `be_intensity` with a bank-camping access pattern
+/// (30% writes). Under [`McConfig::regulation`] with partitioning the
+/// controller folds every address into the issuing thread's bank slice,
+/// so the camping pressure lands on the shared bus and rank-wide timing
+/// windows — exactly the interference the analytic bound charges for.
+/// Events are emitted in non-decreasing cycle order, as the engine
+/// requires.
+pub fn realtime_workload(
+    reg: &crate::config::RegulationConfig,
+    num_threads: u32,
+    cycles: u64,
+    be_intensity: f64,
+    seed: u64,
+) -> Vec<SubmitEvent> {
+    let period = reg.period.max(1);
+    let mut rng = SimRng::new(seed);
+    let mut events = Vec::new();
+    // Requests submitted by each RT thread in the current window.
+    let mut window_used = vec![0u64; num_threads as usize];
+    let mut window = u64::MAX;
+    let mut be_col = vec![0u64; num_threads as usize];
+    for c in 1..=cycles {
+        let w = (c - 1) / period;
+        if w != window {
+            window = w;
+            window_used.fill(0);
+        }
+        for t in 0..num_threads {
+            let class = reg.classes.get(t as usize);
+            let rt = class.is_some_and(|cl| cl.rt);
+            if rt {
+                let budget = class.map_or(0, |cl| cl.budget);
+                if window_used[t as usize] >= budget {
+                    continue;
+                }
+                // Front-load the window (4x the uniform rate, capped by
+                // the budget check above) so the backlog the bound's
+                // `period` term covers is actually exercised.
+                let p = (4.0 * budget as f64 / period as f64).min(1.0);
+                if rng.chance(p) {
+                    window_used[t as usize] += 1;
+                    // Small row-local footprint: 64 lines per thread.
+                    let phys = (u64::from(t) << 20) | (rng.next_below(64) * 64);
+                    events.push(SubmitEvent {
+                        at: DramCycle::new(c),
+                        thread: ThreadId::new(t),
+                        kind: RequestKind::Read,
+                        phys,
+                    });
+                }
+            } else if rng.chance(be_intensity) {
+                // Best-effort aggressor: camp on one hot region, marching
+                // columns so a ready CAS is almost always available.
+                let kind = if rng.chance(0.3) {
+                    RequestKind::Write
+                } else {
+                    RequestKind::Read
+                };
+                let col = be_col[t as usize];
+                be_col[t as usize] = col.wrapping_add(1);
+                let phys = (u64::from(t) << 20) | ((col % 64) * 64);
+                events.push(SubmitEvent {
+                    at: DramCycle::new(c),
+                    thread: ThreadId::new(t),
+                    kind,
+                    phys,
+                });
+            }
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1271,6 +1354,38 @@ mod tests {
         assert!(qos.iter().all(|e| e.phys < (1 << 10) * 64));
         // Sorted by cycle, as the engine requires.
         assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn realtime_workload_respects_budgets() {
+        use crate::config::RegulationConfig;
+        let reg = RegulationConfig::new(400)
+            .rt_class(4, None)
+            .rt_class(2, None)
+            .best_effort()
+            .best_effort();
+        let events = realtime_workload(&reg, 4, 4_000, 0.8, 47);
+        // Sorted by cycle, as the engine requires.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        // Each RT thread never exceeds its budget in any regulator window.
+        for (t, budget) in [(0u32, 4u64), (1, 2)] {
+            for w in 0..10 {
+                let in_window = events
+                    .iter()
+                    .filter(|e| e.thread == ThreadId::new(t) && (e.at.as_u64() - 1) / 400 == w)
+                    .count() as u64;
+                assert!(
+                    in_window <= budget,
+                    "thread {t} submitted {in_window} > budget {budget} in window {w}"
+                );
+            }
+        }
+        // RT traffic is read-only; best-effort floods far harder.
+        let rt: Vec<_> = events.iter().filter(|e| e.thread.as_u32() < 2).collect();
+        let be = events.len() - rt.len();
+        assert!(rt.iter().all(|e| e.kind == RequestKind::Read));
+        assert!(!rt.is_empty());
+        assert!(be > rt.len() * 10, "{be} vs {}", rt.len());
     }
 
     #[test]

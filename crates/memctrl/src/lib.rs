@@ -53,11 +53,13 @@ pub mod engine;
 pub mod multichannel;
 pub mod policy;
 pub mod port;
+pub mod regulate;
 pub mod request;
 pub mod select;
 pub mod slowdown;
 pub mod stats;
 pub mod vtms;
+pub mod wcet;
 
 /// Convenient re-exports of the crate's primary types.
 pub mod prelude {
@@ -65,24 +67,28 @@ pub mod prelude {
     pub use crate::bliss::BlissState;
     pub use crate::buffers::{Nack, ThreadBuffers};
     pub use crate::cmdlog::{CommandLog, CommandRecord};
-    pub use crate::config::{McConfig, ShareTree, TenantSpec, UnsupportedScanError};
+    pub use crate::config::{
+        ClassSpec, McConfig, RegulationConfig, ShareTree, TenantSpec, UnsupportedScanError,
+    };
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
-        adversarial_workload, interference_workload, resume_parallel, resume_serial,
-        simulate_parallel, simulate_parallel_checkpointed, simulate_parallel_lockstep,
-        simulate_serial, simulate_serial_checkpointed, synthetic_workload, EngineReport,
-        EngineSpec, RetryPolicy, SubmitEvent,
+        adversarial_workload, interference_workload, realtime_workload, resume_parallel,
+        resume_serial, simulate_parallel, simulate_parallel_checkpointed,
+        simulate_parallel_lockstep, simulate_serial, simulate_serial_checkpointed,
+        synthetic_workload, EngineReport, EngineSpec, RetryPolicy, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
     pub use crate::policy::{
         InversionBound, Priority, RowPolicy, ScanKind, SchedulerKind, VftBinding,
     };
     pub use crate::port::MemoryPort;
+    pub use crate::regulate::RegulatorState;
     pub use crate::request::{MemoryRequest, RequestId, RequestKind, ThreadId};
     pub use crate::select::{IndexedHeap, SelKey, TournamentTree};
     pub use crate::slowdown::SlowdownEstimator;
     pub use crate::stats::{McStats, ThreadStats};
     pub use crate::vtms::{bank_service, update_service, Vtms};
+    pub use crate::wcet::{bound_for, breakdown_for, WcetBreakdown};
     pub use fqms_obs::{
         Event, EventRing, MetricsSink, NullObserver, Observations, Observer, ThreadSink,
         TracingObserver,

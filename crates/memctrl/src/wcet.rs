@@ -1,0 +1,316 @@
+//! Analytic worst-case access latency for the regulated real-time mode
+//! (ISSUE 9).
+//!
+//! Derives a closed-form per-request latency bound from the paper's
+//! Table 6 timing parameters, the bank-partition geometry, and the
+//! [`crate::config::RegulationConfig`] budgets, in the style of the
+//! WCET-bounded SDRAM arbiters of PAPERS.md (Dynamic Priority Queue,
+//! Per-Bank Bandwidth Regulation). The derivation is term-by-term in
+//! DESIGN.md §18; the short version:
+//!
+//! * **own service + backlog** — with bank partitioning, only the
+//!   thread's own (≤ budget) requests share its banks, each costing at
+//!   most a conflict service plus the data burst, plus per-command
+//!   non-preemptive channel blocking from already-issued best-effort
+//!   commands,
+//! * **cross-RT channel interference** — other in-budget real-time
+//!   threads can beat the request on the shared channel, but regulation
+//!   caps them at their budgets per period,
+//! * **refresh** — every `tREFI` window can stall the rank for
+//!   `tRFC + tRP`,
+//! * **regulator delay** — service spill across a period boundary can
+//!   demote the thread for at most one period,
+//! * **`extra_blocking`** — caller-supplied allowance for injected
+//!   faults (e.g. refresh-pressure windows from a
+//!   [`fqms_sim::fault::FaultPlan`]).
+//!
+//! The interference and refresh terms depend on the window length they
+//! are charged over, so the bound is the least fixed point of the
+//! response-time recurrence, computed by saturating iteration
+//! ([`bound_for`] returns `None` if it fails to converge — the
+//! configuration is then not schedulable and no bound is claimed).
+//!
+//! **Validity assumptions** (enforced by the release gate's workload,
+//! documented in DESIGN.md §18): bank partitioning is enabled and the
+//! partition slices do not overlap (threads ≤ total banks), and each
+//! real-time thread submits at most `budget` requests per period. The
+//! bound is deliberately conservative — tightness is traded for an
+//! argument every term of which survives adversarial best-effort floods,
+//! NACK storms, and refresh pressure (verified empirically by
+//! `tests/rt_wcet.rs` and the `latency_cdf` gate).
+
+use crate::config::RegulationConfig;
+use fqms_dram::device::Geometry;
+use fqms_dram::timing::TimingParams;
+
+/// Iteration cap for the response-time fixed point; configurations that
+/// have not converged by then are declared unschedulable.
+const MAX_ITERATIONS: u32 = 256;
+
+/// Bounds above this are meaningless for a simulator with bounded
+/// horizons; treat them as divergence.
+const BOUND_CAP: u64 = 1 << 48;
+
+/// The per-term decomposition of a computed bound (all in DRAM cycles),
+/// for documentation, figures, and debugging. `total()` is the value
+/// [`bound_for`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcetBreakdown {
+    /// Own worst-case bank service + backlog: `budget` requests, each a
+    /// row conflict plus the data burst plus per-command blocking.
+    pub own_service: u64,
+    /// Cross-RT channel interference accrued over the response window.
+    pub rt_interference: u64,
+    /// Refresh stalls accrued over the response window.
+    pub refresh: u64,
+    /// One replenish period: worst-case demotion from service spilling
+    /// across a period boundary.
+    pub regulator_delay: u64,
+    /// Caller-supplied allowance for injected faults.
+    pub extra_blocking: u64,
+}
+
+impl WcetBreakdown {
+    /// The total bound (saturating sum of the terms).
+    pub fn total(&self) -> u64 {
+        self.own_service
+            .saturating_add(self.rt_interference)
+            .saturating_add(self.refresh)
+            .saturating_add(self.regulator_delay)
+            .saturating_add(self.extra_blocking)
+    }
+}
+
+/// Analytic worst-case latency bound, in DRAM cycles, for an in-budget
+/// request of real-time thread `thread` under `reg`, with an
+/// `extra_blocking` allowance for injected faults.
+///
+/// Returns `None` when no bound can be claimed: the thread is not a
+/// real-time class, its budget is zero (pure best-effort demotion),
+/// partitioning is disabled or the partition slices would overlap
+/// (`classes.len() > geometry.total_banks()`), or the response-time
+/// iteration diverges.
+///
+/// # Example
+///
+/// ```
+/// use fqms_dram::device::Geometry;
+/// use fqms_dram::timing::TimingParams;
+/// use fqms_memctrl::config::RegulationConfig;
+/// use fqms_memctrl::wcet::bound_for;
+///
+/// let reg = RegulationConfig::new(10_000)
+///     .rt_class(8, None)      // thread 0: 8 requests / 10k cycles
+///     .best_effort()          // thread 1: unregulated aggressor
+///     .best_effort();         // thread 2: unregulated aggressor
+/// let bound = bound_for(
+///     &TimingParams::ddr2_800(),
+///     &Geometry::paper(),
+///     &reg,
+///     0,
+///     0,
+/// )
+/// .expect("thread 0 is a budgeted RT class");
+/// assert!(bound > 0);
+/// // Best-effort threads carry no bound.
+/// assert_eq!(
+///     bound_for(&TimingParams::ddr2_800(), &Geometry::paper(), &reg, 1, 0),
+///     None
+/// );
+/// ```
+pub fn bound_for(
+    timing: &TimingParams,
+    geometry: &Geometry,
+    reg: &RegulationConfig,
+    thread: u32,
+    extra_blocking: u64,
+) -> Option<u64> {
+    breakdown_for(timing, geometry, reg, thread, extra_blocking).map(|b| b.total())
+}
+
+/// Like [`bound_for`], but returns the per-term [`WcetBreakdown`].
+pub fn breakdown_for(
+    timing: &TimingParams,
+    geometry: &Geometry,
+    reg: &RegulationConfig,
+    thread: u32,
+    extra_blocking: u64,
+) -> Option<WcetBreakdown> {
+    let t = thread as usize;
+    let class = reg.classes.get(t)?;
+    if !class.rt || class.budget == 0 || reg.period == 0 {
+        return None;
+    }
+    // The intra-bank terms assume no foreign thread ever touches this
+    // thread's banks: partitioning must be on and injective.
+    if !reg.partition || reg.classes.len() as u64 > u64::from(geometry.total_banks()) {
+        return None;
+    }
+
+    // Worst own bank service: precharge a conflicting row, activate,
+    // CAS, and occupy the data bus for the burst.
+    let s_worst = timing.service_conflict().saturating_add(timing.burst);
+    // Non-preemptive blocking per command issue: a best-effort command
+    // issued the cycle before ours became ready can hold the channel for
+    // a write's data + turnaround, and its activate can push ours by
+    // tRRD (plus the four-activate window when enabled). Tiers cannot
+    // preempt a command already in flight.
+    let c_np = timing
+        .t_wl
+        .saturating_add(timing.burst)
+        .saturating_add(timing.t_wtr)
+        .saturating_add(timing.t_rrd)
+        .saturating_add(timing.t_faw);
+    // Up to three commands per request (precharge, activate, CAS), each
+    // exposed to one non-preemptive hold.
+    let per_request = s_worst.saturating_add(c_np.saturating_mul(3));
+    let own_service = class.budget.saturating_mul(per_request);
+
+    // Each competing in-budget RT service can cost us a bus burst, a
+    // CAS gap, an activate gap, and three channel-issue slots.
+    let rt_budget_other: u64 = reg
+        .classes
+        .iter()
+        .enumerate()
+        .filter(|&(i, c)| i != t && c.rt)
+        .map(|(_, c)| c.budget)
+        .fold(0u64, |a, b| a.saturating_add(b));
+    let c_rt = timing
+        .burst
+        .saturating_add(timing.t_ccd)
+        .saturating_add(timing.t_rrd)
+        .saturating_add(3);
+    let refresh_stall = timing.t_rfc.saturating_add(timing.t_rp);
+
+    // Least fixed point of
+    //   W = own + (W/period + 1) * R_other * c_rt
+    //         + (W/tREFI + 1) * (tRFC + tRP) + period + extra.
+    let base = own_service
+        .saturating_add(reg.period)
+        .saturating_add(extra_blocking);
+    let mut w = base;
+    for _ in 0..MAX_ITERATIONS {
+        let rt_interference = (w / reg.period)
+            .saturating_add(1)
+            .saturating_mul(rt_budget_other)
+            .saturating_mul(c_rt);
+        let refresh = (w / timing.t_refi)
+            .saturating_add(1)
+            .saturating_mul(refresh_stall);
+        let next = base.saturating_add(rt_interference).saturating_add(refresh);
+        if next > BOUND_CAP {
+            return None;
+        }
+        if next == w {
+            return Some(WcetBreakdown {
+                own_service,
+                rt_interference,
+                refresh,
+                regulator_delay: reg.period,
+                extra_blocking,
+            });
+        }
+        w = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(budget: u64, others: usize) -> RegulationConfig {
+        let mut r = RegulationConfig::new(10_000).rt_class(budget, None);
+        for _ in 0..others {
+            r = r.best_effort();
+        }
+        r
+    }
+
+    #[test]
+    fn bound_exists_for_budgeted_rt_thread() {
+        let b = bound_for(
+            &TimingParams::ddr2_800(),
+            &Geometry::paper(),
+            &reg(8, 2),
+            0,
+            0,
+        )
+        .unwrap();
+        // Must at least cover the backlog's raw service plus a refresh
+        // stall plus the regulator period.
+        let t = TimingParams::ddr2_800();
+        assert!(b >= 8 * (t.service_conflict() + t.burst) + t.t_rfc + 10_000);
+        assert!(b < 1 << 20, "bound should be finite and sane, got {b}");
+    }
+
+    #[test]
+    fn best_effort_and_zero_budget_carry_no_bound() {
+        let t = TimingParams::ddr2_800();
+        let g = Geometry::paper();
+        assert_eq!(bound_for(&t, &g, &reg(8, 2), 1, 0), None);
+        assert_eq!(bound_for(&t, &g, &reg(0, 2), 0, 0), None);
+        assert_eq!(bound_for(&t, &g, &reg(8, 2), 9, 0), None);
+    }
+
+    #[test]
+    fn unpartitioned_or_overlapping_modes_carry_no_bound() {
+        let t = TimingParams::ddr2_800();
+        let g = Geometry::paper();
+        let mut unpart = reg(8, 2);
+        unpart.partition = false;
+        assert_eq!(bound_for(&t, &g, &unpart, 0, 0), None);
+        // 9 classes over 8 banks: slices overlap, intra-bank term unsound.
+        assert_eq!(bound_for(&t, &g, &reg(8, 8), 0, 0), None);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_budget_interference_and_faults() {
+        let t = TimingParams::ddr2_800();
+        let g = Geometry::paper();
+        let base = bound_for(&t, &g, &reg(4, 2), 0, 0).unwrap();
+        let bigger_budget = bound_for(&t, &g, &reg(8, 2), 0, 0).unwrap();
+        assert!(bigger_budget > base);
+        let with_rt_rival = bound_for(
+            &t,
+            &g,
+            &RegulationConfig::new(10_000)
+                .rt_class(4, None)
+                .rt_class(4, None)
+                .best_effort(),
+            0,
+            0,
+        )
+        .unwrap();
+        assert!(with_rt_rival > base);
+        let with_faults = bound_for(&t, &g, &reg(4, 2), 0, 5_000).unwrap();
+        assert_eq!(with_faults, base + 5_000);
+    }
+
+    #[test]
+    fn breakdown_terms_sum_to_the_bound() {
+        let t = TimingParams::ddr2_800();
+        let g = Geometry::paper();
+        let r = RegulationConfig::new(10_000)
+            .rt_class(6, None)
+            .rt_class(3, None)
+            .best_effort();
+        let b = breakdown_for(&t, &g, &r, 0, 123).unwrap();
+        assert_eq!(Some(b.total()), bound_for(&t, &g, &r, 0, 123));
+        assert_eq!(b.regulator_delay, 10_000);
+        assert_eq!(b.extra_blocking, 123);
+        assert!(b.rt_interference > 0, "thread 1's budget must show up");
+        assert!(b.refresh >= t.t_rfc + t.t_rp);
+    }
+
+    #[test]
+    fn saturating_inputs_never_panic() {
+        let mut t = TimingParams::ddr2_800();
+        t.t_rfc = u64::MAX / 2;
+        t.t_refi = u64::MAX;
+        let g = Geometry::paper();
+        // Diverges (or saturates) — must return None, not overflow.
+        let r = RegulationConfig::new(1).rt_class(u64::MAX, None);
+        assert_eq!(bound_for(&t, &g, &r, 0, u64::MAX), None);
+    }
+}

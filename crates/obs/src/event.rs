@@ -149,6 +149,24 @@ pub enum Event {
         /// Cycles since the thread last made progress.
         stalled_for: u64,
     },
+    /// A regulated real-time request completed with a latency above its
+    /// class's configured WCET bound (ISSUE 9). Under a sound bound and a
+    /// conforming workload this never fires — the release gates assert a
+    /// zero count.
+    BoundExceeded {
+        /// Completion cycle of the offending request.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// Request id.
+        id: u64,
+        /// True for writebacks.
+        is_write: bool,
+        /// Observed controller-resident latency in DRAM cycles.
+        latency: u64,
+        /// The configured analytic bound it exceeded.
+        bound: u64,
+    },
 }
 
 impl Event {
@@ -163,7 +181,8 @@ impl Event {
             | Event::Completed { cycle, .. }
             | Event::FaultInjected { cycle, .. }
             | Event::RequestDropped { cycle, .. }
-            | Event::StarvationDetected { cycle, .. } => cycle,
+            | Event::StarvationDetected { cycle, .. }
+            | Event::BoundExceeded { cycle, .. } => cycle,
         }
     }
 }
@@ -418,6 +437,22 @@ fn put_event(w: &mut SectionWriter, e: &Event) {
             w.put_u32(thread);
             w.put_u64(stalled_for);
         }
+        Event::BoundExceeded {
+            cycle,
+            thread,
+            id,
+            is_write,
+            latency,
+            bound,
+        } => {
+            w.put_u8(9);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(id);
+            w.put_bool(is_write);
+            w.put_u64(latency);
+            w.put_u64(bound);
+        }
     }
 }
 
@@ -480,6 +515,14 @@ fn get_event(r: &mut SectionReader<'_>) -> Result<Event, SnapshotError> {
             cycle: r.get_u64()?,
             thread: r.get_u32()?,
             stalled_for: r.get_u64()?,
+        },
+        9 => Event::BoundExceeded {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            id: r.get_u64()?,
+            is_write: r.get_bool()?,
+            latency: r.get_u64()?,
+            bound: r.get_u64()?,
         },
         tag => return Err(r.malformed(format!("unknown event tag {tag}"))),
     })
@@ -634,6 +677,14 @@ mod tests {
                 cycle: 9,
                 thread: 0,
                 stalled_for: 4_000,
+            },
+            Event::BoundExceeded {
+                cycle: 10,
+                thread: 0,
+                id: 0,
+                is_write: false,
+                latency: 9_000,
+                bound: 8_000,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -107,6 +107,9 @@ pub struct MetricsSink {
     pub inversion_locks: u64,
     /// Fault episodes injected on the channel (all classes).
     pub faults_injected: u64,
+    /// Regulated completions observed above their class's WCET bound
+    /// (ISSUE 9) — the release gates assert this stays zero.
+    pub bound_violations: u64,
 }
 
 impl MetricsSink {
@@ -118,6 +121,7 @@ impl MetricsSink {
             commands_issued: 0,
             inversion_locks: 0,
             faults_injected: 0,
+            bound_violations: 0,
         }
     }
 
@@ -199,6 +203,7 @@ impl MetricsSink {
             Event::StarvationDetected { thread, .. } => {
                 self.thread_mut(thread).starvations += 1;
             }
+            Event::BoundExceeded { .. } => self.bound_violations += 1,
         }
     }
 
@@ -216,6 +221,7 @@ impl MetricsSink {
         self.commands_issued += other.commands_issued;
         self.inversion_locks += other.inversion_locks;
         self.faults_injected += other.faults_injected;
+        self.bound_violations += other.bound_violations;
     }
 
     /// Zeroes every aggregate, keeping the thread count.
@@ -321,6 +327,7 @@ impl Snapshot for MetricsSink {
         w.put_u64(self.commands_issued);
         w.put_u64(self.inversion_locks);
         w.put_u64(self.faults_injected);
+        w.put_u64(self.bound_violations);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -335,6 +342,7 @@ impl Snapshot for MetricsSink {
         self.commands_issued = r.get_u64()?;
         self.inversion_locks = r.get_u64()?;
         self.faults_injected = r.get_u64()?;
+        self.bound_violations = r.get_u64()?;
         Ok(())
     }
 }

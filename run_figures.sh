@@ -22,9 +22,40 @@ cd "$(dirname "$0")"
 export FQMS_RUNLEN="${FQMS_RUNLEN:-standard}" FQMS_SEED="${FQMS_SEED:-42}"
 RES="${FQMS_RESULTS_DIR:-results}"
 RESUME=0
+usage() {
+  cat <<'EOF'
+usage: ./run_figures.sh [--resume]
+
+Regenerates every paper table/figure and the extension studies into a
+results directory (default: results/).
+
+options:
+  --resume      keep the existing manifest and skip binaries already
+                completed with the same seed/runlen (bit-identical)
+  --help, -h    this text
+
+environment:
+  FQMS_RUNLEN=quick|standard|full   per-run instruction budget
+  FQMS_SEED=<n>                     master seed (default 42)
+  FQMS_SKIP_CI=1                    skip the CI preflight (fmt+build+tests)
+  FQMS_RESULTS_DIR=<dir>            output directory (default results)
+  FQMS_BINS="fig1 fig4 ..."         subset of figure binaries to run
+  FQMS_MAX_ATTEMPTS=<n>             attempts per binary (default 2)
+  FQMS_TIMEOUT=<secs>               wall-clock budget per attempt (0 = none)
+
+figure binaries (the default set, in run order):
+  tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline
+  ablation_inversion ablation_design ablation_buffers channels energy
+  frequency timeline seeds faults speedup scaling frontier latency_cdf
+
+schedulers swept where a binary takes the whole family (SchedulerKind):
+  Fcfs FrFcfs FrVftf FqVftf Bliss SdVftf
+EOF
+}
 for arg in "$@"; do
   case "$arg" in
     --resume) RESUME=1 ;;
+    --help|-h) usage; exit 0 ;;
     *) echo "run_figures.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,7 +73,7 @@ fi
 
 DEFAULT_BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
       ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
-      faults speedup scaling frontier"
+      faults speedup scaling frontier latency_cdf"
 BINS="${FQMS_BINS:-$DEFAULT_BINS}"
 MAX_ATTEMPTS="${FQMS_MAX_ATTEMPTS:-2}"
 TIMEOUT_S="${FQMS_TIMEOUT:-0}"
