@@ -27,7 +27,7 @@ cargo test -q --release --offline -p fqms-memctrl \
   --test checkpoint_differential --test retry_policy \
   --test select_differential --test hierarchy_conservation \
   --test blacklist_properties --test freerun_differential \
-  --test rt_wcet
+  --test rt_wcet --test overload_differential
 cargo test -q --release --offline -p fqms-sim --test freerun_properties
 
 echo "=== speedup smoke gate: free-run parallel never slower + >=5x over cycle-by-cycle ==="
@@ -73,6 +73,22 @@ FQMS_RUNLEN=quick FQMS_BENCH_PR9="$CDF_TMP/BENCH_pr9.json" \
 rm -rf "$CDF_TMP"
 echo "latency_cdf smoke gate OK"
 
+echo "=== overload smoke gate: flood tail bounded + conservation + control effective ==="
+# The overload binary exits nonzero when the QoS thread's p99 under the
+# streaming flood exceeds the tail factor over its unloaded p99 (or is
+# worse than the uncontrolled flood) with control on, when any cell
+# violates `completed + dropped + rejected + shed + unsubmitted ==
+# submitted`, or when a control-on cell never throttled/shed (see
+# crates/bench/src/bin/overload.rs and DESIGN.md §19).
+OVERLOAD_TMP="$(mktemp -d)"
+FQMS_RUNLEN=quick FQMS_BENCH_PR10="$OVERLOAD_TMP/BENCH_pr10.json" \
+  cargo run --release -q --offline -p fqms-bench --bin overload \
+  > "$OVERLOAD_TMP/overload.tsv" 2> "$OVERLOAD_TMP/overload.log" || {
+  echo "overload smoke gate FAILED:"; tail -5 "$OVERLOAD_TMP/overload.log"
+  rm -rf "$OVERLOAD_TMP"; exit 1; }
+rm -rf "$OVERLOAD_TMP"
+echo "overload smoke gate OK"
+
 echo "=== doc consistency: every scheduler + figure bin appears in README ==="
 # The README's scheduler family table and figure index drift silently when
 # a variant or binary is added; fail the build instead. Variants come from
@@ -91,6 +107,15 @@ DOC_BINS="$(sed -n '/^DEFAULT_BINS=/,/"$/p' run_figures.sh \
 for b in $DOC_BINS; do
   grep -qw "$b" README.md || {
     echo "doc check FAILED: figure bin '$b' missing from README.md"; DOC_FAIL=1; }
+done
+# The back-pressure taxonomy is API surface: every Nack variant must be
+# documented in the README's overload-control section.
+NACKS="$(sed -n '/^pub enum Nack/,/^}/p' crates/memctrl/src/buffers.rs \
+  | grep -oE '^    [A-Z][A-Za-z]+' | tr -d ' ')"
+[ -n "$NACKS" ] || { echo "doc check FAILED: no Nack variants parsed"; exit 1; }
+for n in $NACKS; do
+  grep -qw "$n" README.md || {
+    echo "doc check FAILED: Nack::$n missing from README.md"; DOC_FAIL=1; }
 done
 [ "$DOC_FAIL" = "0" ] || exit 1
 echo "doc consistency OK"

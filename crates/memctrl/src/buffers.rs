@@ -13,13 +13,80 @@
 use crate::request::RequestKind;
 use fqms_sim::snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotError};
 
-/// Reason a request was refused admission.
+/// The request class an overload-control shed decision applies to
+/// (ISSUE 10). Premium / real-time threads are never shed; these classes
+/// name the best-effort traffic the tiered shedder drops at each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedClass {
+    /// A best-effort writeback, shed in the `Degraded` state: write data
+    /// is the least latency-critical traffic, so it is sacrificed first.
+    BestEffortWrite,
+    /// Any best-effort request, shed in the deeper `Shedding` state.
+    BestEffort,
+}
+
+impl ShedClass {
+    /// Stable wire encoding used by the flat observability event
+    /// (`fqms_obs::Event::Shed { class }`).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ShedClass::BestEffortWrite => 0,
+            ShedClass::BestEffort => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ShedClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedClass::BestEffortWrite => f.write_str("best-effort write"),
+            ShedClass::BestEffort => f.write_str("best-effort"),
+        }
+    }
+}
+
+/// Typed back-pressure: why a request was refused admission, and what the
+/// requester should do about it.
+///
+/// The taxonomy distinguishes three fundamentally different signals:
+///
+/// * **Buffer full** (`TransactionBufferFull` / `WriteBufferFull`) — the
+///   thread's static partition has no free entry. Transient; retry once
+///   an in-flight request completes.
+/// * **`Throttled`** — the overload controller classified the thread as a
+///   bandwidth hog and its admission tokens for the current period are
+///   exhausted. Retry no earlier than `retry_after` cycles from now, when
+///   the token bucket replenishes.
+/// * **`Shed`** — the controller is saturated and deliberately dropped
+///   the request to protect premium traffic. Terminal: the request will
+///   never be admitted; do **not** retry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Nack {
     /// The thread's transaction buffer partition is full.
     TransactionBufferFull,
     /// The thread's write buffer partition is full.
     WriteBufferFull,
+    /// The thread is token-gated by the admission throttle; retrying
+    /// before `retry_after` cycles have elapsed cannot succeed.
+    Throttled {
+        /// Cycles until the thread's tokens replenish (at least 1).
+        retry_after: u64,
+    },
+    /// The request was dropped by the tiered load shedder; `class` names
+    /// the traffic class sacrificed. Terminal — never retried.
+    Shed {
+        /// Which best-effort class the shed decision applied to.
+        class: ShedClass,
+    },
+}
+
+impl Nack {
+    /// True for the buffer-capacity family — the only variants that
+    /// signal genuine buffer back-pressure (and the only pressure the
+    /// saturation detector counts, so shedding cannot feed itself).
+    pub fn is_buffer_full(self) -> bool {
+        matches!(self, Nack::TransactionBufferFull | Nack::WriteBufferFull)
+    }
 }
 
 impl std::fmt::Display for Nack {
@@ -27,6 +94,10 @@ impl std::fmt::Display for Nack {
         match self {
             Nack::TransactionBufferFull => f.write_str("transaction buffer full"),
             Nack::WriteBufferFull => f.write_str("write buffer full"),
+            Nack::Throttled { retry_after } => {
+                write!(f, "throttled; retry after {retry_after} cycles")
+            }
+            Nack::Shed { class } => write!(f, "shed ({class} load shed)"),
         }
     }
 }

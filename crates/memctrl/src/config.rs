@@ -317,6 +317,201 @@ impl RegulationConfig {
     }
 }
 
+/// Admission-throttle knob for [`OverloadConfig`] (ISSUE 10): a
+/// per-thread token bucket driven by the online slowdown estimate.
+///
+/// At every replenish boundary the controller reclassifies threads: a
+/// thread is a **bandwidth hog** when the worst per-thread slowdown in
+/// the system is at least `margin` times its own (hogs run close to
+/// their alone speed precisely because they crowd everyone else out).
+/// Hogs are token-gated — at most `tokens` admissions per `period` —
+/// and refused with [`crate::buffers::Nack::Throttled`] once exhausted.
+/// Non-hog and protected threads are never gated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleConfig {
+    /// Token replenish period in DRAM cycles.
+    pub period: u64,
+    /// Admissions allowed per period while classified a hog (0 gates the
+    /// hog completely until the next boundary).
+    pub tokens: u64,
+    /// Hog-classification ratio: thread `t` is a hog when
+    /// `max_slowdown >= margin * slowdown(t)`. Must be at least 1.0;
+    /// larger margins throttle fewer threads.
+    pub margin: f64,
+}
+
+/// Tiered load-shedding knob for [`OverloadConfig`] (ISSUE 10): a
+/// saturation detector with hysteresis over buffer occupancy and
+/// buffer-full NACK rate.
+///
+/// At every `window` boundary the controller inspects the occupied
+/// transaction-buffer entries and the buffer-full NACKs observed during
+/// the window, then moves **one level** along the ladder
+/// `Normal → Degraded → Shedding`:
+///
+/// * escalate when `occupied >= occupancy_enter` **or**
+///   `window nacks >= nack_enter`,
+/// * de-escalate when `occupied < occupancy_exit` **and**
+///   `window nacks < nack_exit`.
+///
+/// Exit thresholds must sit strictly below their enter counterparts, so
+/// a system hovering at the boundary cannot flap. `Degraded` sheds
+/// best-effort writebacks; `Shedding` sheds all best-effort requests
+/// ([`crate::buffers::ShedClass`]). Only buffer-full NACKs count toward
+/// the detector — the shedder's own refusals never feed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Detector evaluation window in DRAM cycles.
+    pub window: u64,
+    /// Escalate at a boundary when this many transaction-buffer entries
+    /// are occupied.
+    pub occupancy_enter: usize,
+    /// De-escalation requires occupancy strictly below this (must be
+    /// `< occupancy_enter`).
+    pub occupancy_exit: usize,
+    /// Escalate at a boundary when the window saw this many buffer-full
+    /// NACKs.
+    pub nack_enter: u64,
+    /// De-escalation requires window NACKs strictly below this (must be
+    /// `< nack_enter`).
+    pub nack_exit: u64,
+}
+
+/// Overload-control knob for [`McConfig::overload`] (ISSUE 10): a
+/// deterministic admission-side control layer — slowdown-feedback
+/// throttling of bandwidth hogs plus tiered load shedding under
+/// saturation — acting *before* the scheduler ever sees a request.
+/// Orthogonal to the scheduler family and to real-time regulation
+/// (threads in a real-time class are automatically protected).
+///
+/// ```
+/// use fqms_memctrl::config::{McConfig, OverloadConfig};
+/// use fqms_memctrl::policy::SchedulerKind;
+///
+/// let cfg = McConfig::paper(3, SchedulerKind::FqVftf).with_overload(
+///     OverloadConfig::new(3)          // one entry per thread
+///         .throttled(2_000, 8, 2.0)   // hogs: 8 admissions / 2000 cycles
+///         .shedding(1_000, 40, 24, 64, 16)
+///         .protect(0),                // thread 0 is never gated or shed
+/// );
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadConfig {
+    /// Slowdown-feedback admission throttle; `None` disables throttling.
+    pub throttle: Option<ThrottleConfig>,
+    /// Tiered load shedding; `None` disables shedding.
+    pub shed: Option<ShedConfig>,
+    /// Per-thread protection flags (length must equal the thread count):
+    /// protected threads are never classified as hogs and never shed.
+    /// Real-time regulated threads are protected implicitly.
+    pub protected: Vec<bool>,
+}
+
+impl OverloadConfig {
+    /// An inert overload config for `num_threads` threads: no throttle,
+    /// no shedding, nothing protected. Chain [`OverloadConfig::throttled`]
+    /// and/or [`OverloadConfig::shedding`] to arm it.
+    pub fn new(num_threads: usize) -> Self {
+        OverloadConfig {
+            throttle: None,
+            shed: None,
+            protected: vec![false; num_threads],
+        }
+    }
+
+    /// Arms the admission throttle: hog threads get `tokens` admissions
+    /// per `period` cycles; hogs are threads whose slowdown estimate is
+    /// `margin` times below the worst in the system.
+    pub fn throttled(mut self, period: u64, tokens: u64, margin: f64) -> Self {
+        self.throttle = Some(ThrottleConfig {
+            period,
+            tokens,
+            margin,
+        });
+        self
+    }
+
+    /// Arms tiered load shedding with the given detector window and
+    /// hysteresis thresholds (see [`ShedConfig`] for the semantics).
+    pub fn shedding(
+        mut self,
+        window: u64,
+        occupancy_enter: usize,
+        occupancy_exit: usize,
+        nack_enter: u64,
+        nack_exit: u64,
+    ) -> Self {
+        self.shed = Some(ShedConfig {
+            window,
+            occupancy_enter,
+            occupancy_exit,
+            nack_enter,
+            nack_exit,
+        });
+        self
+    }
+
+    /// Marks `thread` as protected: never throttled, never shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range for the configured count.
+    pub fn protect(mut self, thread: usize) -> Self {
+        self.protected[thread] = true;
+        self
+    }
+
+    /// Validates the overload shape against a thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if neither mechanism is armed, the flag
+    /// count disagrees with `num_threads`, a period or window is zero,
+    /// the margin is below 1.0 or not finite, or a hysteresis exit
+    /// threshold is not strictly below its enter threshold.
+    pub fn validate(&self, num_threads: usize) -> Result<(), String> {
+        if self.throttle.is_none() && self.shed.is_none() {
+            return Err("overload config arms neither throttle nor shedding".into());
+        }
+        if self.protected.len() != num_threads {
+            return Err(format!(
+                "overload declares {} protection flags for {num_threads} threads",
+                self.protected.len()
+            ));
+        }
+        if let Some(t) = &self.throttle {
+            if t.period == 0 {
+                return Err("throttle period must be positive".into());
+            }
+            if !(t.margin.is_finite() && t.margin >= 1.0) {
+                return Err(format!(
+                    "throttle margin must be finite and >= 1.0, got {}",
+                    t.margin
+                ));
+            }
+        }
+        if let Some(s) = &self.shed {
+            if s.window == 0 {
+                return Err("shed window must be positive".into());
+            }
+            if s.occupancy_exit >= s.occupancy_enter {
+                return Err(format!(
+                    "shed occupancy hysteresis requires exit < enter, got {} >= {}",
+                    s.occupancy_exit, s.occupancy_enter
+                ));
+            }
+            if s.nack_exit >= s.nack_enter {
+                return Err(format!(
+                    "shed NACK hysteresis requires exit < enter, got {} >= {}",
+                    s.nack_exit, s.nack_enter
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of a [`crate::controller::MemoryController`].
 ///
 /// # Example
@@ -386,6 +581,14 @@ pub struct McConfig {
     /// [`McConfig::with_regulation`], which downgrades the scan kind
     /// automatically.
     pub regulation: Option<RegulationConfig>,
+    /// Overload control (ISSUE 10): slowdown-feedback admission
+    /// throttling plus tiered load shedding in front of the scheduler.
+    /// `None` (the default) disables the layer entirely — the admission
+    /// path is then bit-identical to a controller built before the layer
+    /// existed. Composes with every scheduler and with regulation
+    /// (real-time classes are implicitly protected). Set via
+    /// [`McConfig::with_overload`].
+    pub overload: Option<OverloadConfig>,
 }
 
 impl McConfig {
@@ -420,6 +623,7 @@ impl McConfig {
             bliss_threshold: 4,
             bliss_clear_interval: 10_000,
             regulation: None,
+            overload: None,
         }
     }
 
@@ -430,6 +634,15 @@ impl McConfig {
     pub fn with_regulation(mut self, regulation: RegulationConfig) -> Self {
         self.regulation = Some(regulation);
         self.scan = ScanKind::Linear;
+        self
+    }
+
+    /// Enables overload control (admission throttling and/or tiered
+    /// load shedding). Unlike regulation this is scan-kind agnostic:
+    /// the layer acts purely at admission and never touches the
+    /// scheduling tier. See [`OverloadConfig`] for an example.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
         self
     }
 
@@ -563,6 +776,9 @@ impl McConfig {
                     "regulation requires ScanKind::Linear (use McConfig::with_regulation)".into(),
                 );
             }
+        }
+        if let Some(overload) = &self.overload {
+            overload.validate(self.shares.len())?;
         }
         Ok(())
     }

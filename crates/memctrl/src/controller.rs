@@ -26,6 +26,7 @@ use crate::bliss::BlissState;
 use crate::buffers::{Nack, ThreadBuffers};
 use crate::cmdlog::{CommandLog, CommandRecord};
 use crate::config::McConfig;
+use crate::overload::OverloadState;
 use crate::policy::{
     BufferSharing, Priority, RefreshPolicy, RowPolicy, ScanKind, SchedulerKind, VftBinding,
 };
@@ -254,6 +255,11 @@ pub struct MemoryController {
     /// Real-time token-bucket regulator, present exactly when
     /// `config.regulation` is set ([`crate::regulate`], ISSUE 9).
     regulate: Option<RegulatorState>,
+    /// Overload-control layer (admission throttle + tiered shedder),
+    /// present exactly when `config.overload` is set ([`crate::overload`],
+    /// ISSUE 10). Admission-only: it never alters scheduling tiers, so it
+    /// needs no bank-cache interaction.
+    overload: Option<OverloadState>,
 }
 
 impl MemoryController {
@@ -295,6 +301,10 @@ impl MemoryController {
             )
         });
         let regulate = config.regulation.as_ref().map(RegulatorState::new);
+        let overload = config
+            .overload
+            .as_ref()
+            .map(|o| OverloadState::new(o, config.regulation.as_ref()));
         Ok(MemoryController {
             map: AddressMap::new(geometry, config.line_bytes),
             dram: DramDevice::new(geometry, timing),
@@ -324,6 +334,7 @@ impl MemoryController {
             slowdown,
             bliss,
             regulate,
+            overload,
         })
     }
 
@@ -424,6 +435,12 @@ impl MemoryController {
         self.regulate.as_ref()
     }
 
+    /// The overload-control state, when `McConfig::overload` is set
+    /// (see [`crate::overload`]).
+    pub fn overload_state(&self) -> Option<&OverloadState> {
+        self.overload.as_ref()
+    }
+
     /// Number of requests currently buffered (not yet fully serviced).
     pub fn pending_requests(&self) -> usize {
         debug_assert_eq!(
@@ -474,9 +491,12 @@ impl MemoryController {
     ///
     /// # Errors
     ///
-    /// Returns the [`Nack`] back-pressure signal when the thread's buffer
-    /// partition is full; the request is *not* enqueued and the requester
-    /// must retry. NACKs are counted in the thread's statistics.
+    /// Returns the typed [`Nack`] back-pressure signal when the request is
+    /// refused — buffer-full (retry when an entry frees), [`Nack::Throttled`]
+    /// (retry after the carried delay), or [`Nack::Shed`] (terminal; never
+    /// retry). The request is *not* enqueued. Buffer-full and throttle
+    /// refusals are counted in the thread's NACK statistics; sheds are
+    /// counted separately as drops.
     pub fn try_submit(
         &mut self,
         thread: ThreadId,
@@ -488,14 +508,15 @@ impl MemoryController {
     }
 
     /// [`MemoryController::try_submit`] with an [`Observer`] attached:
-    /// emits [`Event::Nack`] / [`Event::Arrival`] (and, under at-arrival
-    /// binding, [`Event::VftBound`]). With [`NullObserver`] this
-    /// monomorphizes to exactly `try_submit`.
+    /// emits [`Event::Nack`] / [`Event::Throttled`] / [`Event::Shed`] /
+    /// [`Event::Arrival`] (and, under at-arrival binding,
+    /// [`Event::VftBound`]). With [`NullObserver`] this monomorphizes to
+    /// exactly `try_submit`.
     ///
     /// # Errors
     ///
-    /// Returns the [`Nack`] back-pressure signal when the thread's buffer
-    /// partition is full, exactly like [`MemoryController::try_submit`].
+    /// Returns the typed [`Nack`] back-pressure signal when the request is
+    /// refused, exactly like [`MemoryController::try_submit`].
     pub fn try_submit_observed<O: Observer>(
         &mut self,
         thread: ThreadId,
@@ -521,6 +542,11 @@ impl MemoryController {
                     RequestKind::Read => Nack::TransactionBufferFull,
                 };
                 self.stats.thread_mut(thread).nacks += 1;
+                if let Some(ov) = self.overload.as_mut() {
+                    // A NACK storm presents as buffer pressure, so it
+                    // feeds the saturation detector like one.
+                    ov.note_buffer_nack();
+                }
                 if O::ENABLED {
                     obs.on_event(&Event::Nack {
                         cycle: now.as_u64(),
@@ -531,8 +557,62 @@ impl MemoryController {
                 return Err(nack);
             }
         }
+        // Overload control gates admission *before* the buffer checks: a
+        // shed or throttled request must not consume detector signal (the
+        // detector counts only genuine buffer-full NACKs — anti-windup),
+        // and its refusal must be typed so the requester can distinguish
+        // "retry later" from "never retry".
+        if let Some(nack) = self
+            .overload
+            .as_ref()
+            .and_then(|ov| ov.shed_check(thread.as_u32(), kind == RequestKind::Write))
+        {
+            self.overload.as_mut().expect("checked above").note_shed();
+            self.stats.thread_mut(thread).requests_shed += 1;
+            if O::ENABLED {
+                let class = match nack {
+                    Nack::Shed { class } => class.as_u8(),
+                    _ => unreachable!("shed_check returns only Shed"),
+                };
+                obs.on_event(&Event::Shed {
+                    cycle: now.as_u64(),
+                    thread: thread.as_u32(),
+                    is_write: kind == RequestKind::Write,
+                    class,
+                });
+            }
+            return Err(nack);
+        }
+        if let Some(nack) = self
+            .overload
+            .as_ref()
+            .and_then(|ov| ov.throttle_check(thread.as_u32(), now.as_u64()))
+        {
+            self.overload
+                .as_mut()
+                .expect("checked above")
+                .note_throttled();
+            let ts = self.stats.thread_mut(thread);
+            ts.nacks += 1;
+            ts.throttle_nacks += 1;
+            if O::ENABLED {
+                let retry_after = match nack {
+                    Nack::Throttled { retry_after } => retry_after,
+                    _ => unreachable!("throttle_check returns only Throttled"),
+                };
+                obs.on_event(&Event::Throttled {
+                    cycle: now.as_u64(),
+                    thread: thread.as_u32(),
+                    retry_after,
+                });
+            }
+            return Err(nack);
+        }
         if self.config.buffer_sharing == BufferSharing::Shared && !self.shared_pool_has_room(kind) {
             self.stats.thread_mut(thread).nacks += 1;
+            if let Some(ov) = self.overload.as_mut() {
+                ov.note_buffer_nack();
+            }
             let nack = match kind {
                 RequestKind::Write => Nack::WriteBufferFull,
                 RequestKind::Read => Nack::TransactionBufferFull,
@@ -557,6 +637,9 @@ impl MemoryController {
         };
         if let Err(nack) = admit {
             self.stats.thread_mut(thread).nacks += 1;
+            if let Some(ov) = self.overload.as_mut() {
+                ov.note_buffer_nack();
+            }
             if O::ENABLED {
                 obs.on_event(&Event::Nack {
                     cycle: now.as_u64(),
@@ -569,6 +652,11 @@ impl MemoryController {
         self.tx_used += 1;
         if kind == RequestKind::Write {
             self.wr_used += 1;
+        }
+        // Past every gate: a hog-classified thread pays one admission
+        // token (everyone else passes freely).
+        if let Some(ov) = self.overload.as_mut() {
+            ov.consume(thread.as_u32());
         }
         let mut addr = self.map.decode(phys);
         // Real-time bank partitioning (ISSUE 9): fold the decoded global
@@ -802,6 +890,15 @@ impl MemoryController {
             // skipped, or a fast-forwarded run would restore the tier late.
             ev.consider(DramCycle::new(rg.next_replenish()));
         }
+        if let Some(ov) = &self.overload {
+            // Both overload boundaries must be stepped, never skipped: hog
+            // reclassification reads the slowdown estimator *at* the
+            // replenish boundary (a completion between a skipped boundary
+            // and the next submit would change the hog set), and a window
+            // evaluation reads the occupancy *at* the window boundary.
+            ev.consider(DramCycle::new(ov.next_replenish()));
+            ev.consider(DramCycle::new(ov.next_window()));
+        }
         ev.earliest()
     }
 
@@ -923,6 +1020,28 @@ impl MemoryController {
             if rg.maybe_replenish(now.as_u64()) {
                 for cache in &mut self.bank_cache {
                     cache.valid = false;
+                }
+            }
+        }
+        // Overload boundaries: refill admission tokens / reclassify hogs,
+        // and walk the saturation ladder — before scheduling, so the
+        // boundary cycle already admits under the new state. Admission-only
+        // state: no memoized proposal depends on it, so no cache drop.
+        if let Some(ov) = self.overload.as_mut() {
+            ov.maybe_replenish(now.as_u64(), &self.slowdown);
+            if let Some((from, to)) = ov.maybe_evaluate(now.as_u64(), self.tx_used) {
+                if O::ENABLED {
+                    if to > from {
+                        obs.on_event(&Event::SaturationEntered {
+                            cycle: now.as_u64(),
+                            level: to.as_u8(),
+                        });
+                    } else {
+                        obs.on_event(&Event::SaturationExited {
+                            cycle: now.as_u64(),
+                            level: to.as_u8(),
+                        });
+                    }
                 }
             }
         }
@@ -1600,9 +1719,11 @@ pub(crate) fn get_completion(r: &mut SectionReader<'_>) -> Result<Completion, Sn
 ///   progress clocks plus the incremental `next_due` trigger, the
 ///   inversion-lock edge detectors, the step/skip counters, the slowdown
 ///   estimator (SD-VFTF's key scaling depends on it), the BLISS
-///   blacklist (streak, flags, next clearing boundary), and the real-time
-///   regulator (token usage, next replenish boundary, violation count) —
-///   every bit of state a resumed run's behaviour or reporting depends on.
+///   blacklist (streak, flags, next clearing boundary), the real-time
+///   regulator (token usage, next replenish boundary, violation count),
+///   and the overload layer (hog flags, token usage, saturation level,
+///   window NACK counter, both boundary clocks) — every bit of state a
+///   resumed run's behaviour or reporting depends on.
 /// * **Rebuilt**: configuration (validated via the envelope fingerprint and
 ///   per-field checks), the address map, fault episode *timelines* (a pure
 ///   function of plan and seed, already present in the identically-built
@@ -1681,6 +1802,10 @@ impl Snapshot for MemoryController {
         w.put_bool(self.regulate.is_some());
         if let Some(rg) = &self.regulate {
             rg.save(w);
+        }
+        w.put_bool(self.overload.is_some());
+        if let Some(ov) = &self.overload {
+            ov.save(w);
         }
     }
 
@@ -1829,6 +1954,15 @@ impl Snapshot for MemoryController {
         }
         if let Some(rg) = &mut self.regulate {
             rg.restore(r)?;
+        }
+        let has_overload = r.get_bool()?;
+        if has_overload != self.overload.is_some() {
+            return Err(
+                r.malformed("snapshot and controller disagree on overload control".to_string())
+            );
+        }
+        if let Some(ov) = &mut self.overload {
+            ov.restore(r)?;
         }
         // Derived occupancy counters are recomputed from the restored
         // structures (cheaper to re-derive than to cross-validate), and

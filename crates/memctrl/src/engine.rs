@@ -39,6 +39,7 @@
 //! ```
 
 use crate::address_map::AddressMap;
+use crate::buffers::Nack;
 use crate::cmdlog::CommandLog;
 use crate::config::McConfig;
 use crate::controller::{Completion, MemoryController};
@@ -50,7 +51,7 @@ use fqms_dram::command::BankId;
 use fqms_dram::command::{ColId, DramAddress, RankId, RowId};
 use fqms_dram::device::Geometry;
 use fqms_dram::timing::TimingParams;
-use fqms_obs::{NullObserver, Observations, Observer, TracingObserver};
+use fqms_obs::{Event, NullObserver, Observations, Observer, TracingObserver};
 use fqms_sim::clock::DramCycle;
 use fqms_sim::fault::FaultPlan;
 use fqms_sim::parallel::{for_each_shard, run_lockstep, run_parallel, run_serial, Shard};
@@ -220,6 +221,9 @@ struct SubmitPort {
     head_ready_at: u64,
     /// Requests abandoned after exhausting `max_retries`.
     rejected: Vec<SubmitEvent>,
+    /// Requests terminally dropped by the controller's load shedder
+    /// ([`Nack::Shed`]); never retried.
+    shed: Vec<SubmitEvent>,
 }
 
 /// One channel plus its pre-routed slice of the submission schedule —
@@ -278,31 +282,56 @@ fn drive<O: Observer>(
                 break; // not due yet, or backing off
             }
             let ev = *ev;
-            if mc
-                .try_submit_observed(ev.thread, ev.kind, ev.phys, cycle, obs)
-                .is_ok()
-            {
-                port.events.pop_front();
-                port.head_retries = 0;
-                port.head_ready_at = 0;
-            } else {
-                port.head_retries += 1;
-                if port
-                    .retry
-                    .max_retries
-                    .is_some_and(|max| port.head_retries > max)
-                {
-                    // Bounded retry exhausted: abandon the head so the
-                    // port drains instead of wedging; the next event may
-                    // still submit this cycle.
-                    port.rejected.push(ev);
+            match mc.try_submit_observed(ev.thread, ev.kind, ev.phys, cycle, obs) {
+                Ok(_) => {
+                    port.events.pop_front();
+                    port.head_retries = 0;
+                    port.head_ready_at = 0;
+                }
+                Err(Nack::Shed { .. }) => {
+                    // Terminal refusal: the controller's load shedder
+                    // dropped the request and retrying cannot help. Drain
+                    // past it; the next event may still submit this cycle.
+                    port.shed.push(ev);
                     port.events.pop_front();
                     port.head_retries = 0;
                     port.head_ready_at = 0;
                     continue;
                 }
-                port.head_ready_at = now + port.retry.delay(port.head_retries);
-                break; // head-of-line NACK: retry after the backoff
+                Err(nack) => {
+                    port.head_retries += 1;
+                    if port
+                        .retry
+                        .max_retries
+                        .is_some_and(|max| port.head_retries > max)
+                    {
+                        // Bounded retry exhausted: abandon the head so the
+                        // port drains instead of wedging; the next event may
+                        // still submit this cycle.
+                        if O::ENABLED {
+                            obs.on_event(&Event::Rejected {
+                                cycle: now,
+                                thread: ev.thread.as_u32(),
+                                is_write: ev.kind == RequestKind::Write,
+                            });
+                        }
+                        port.rejected.push(ev);
+                        port.events.pop_front();
+                        port.head_retries = 0;
+                        port.head_ready_at = 0;
+                        continue;
+                    }
+                    // A throttled head knows exactly when tokens return:
+                    // honour the larger of the policy backoff and the
+                    // controller's own retry-after hint (retrying earlier
+                    // is provably futile).
+                    let mut delay = port.retry.delay(port.head_retries);
+                    if let Nack::Throttled { retry_after } = nack {
+                        delay = delay.max(retry_after);
+                    }
+                    port.head_ready_at = now + delay;
+                    break; // head-of-line NACK: retry after the backoff
+                }
             }
         }
         mc.step_into(cycle, completions, obs);
@@ -356,6 +385,12 @@ pub struct EngineReport {
     /// Requests abandoned per channel after exhausting the retry policy
     /// (always empty under [`RetryPolicy::immediate`]).
     pub rejected: Vec<Vec<SubmitEvent>>,
+    /// Requests terminally dropped per channel by the overload layer's
+    /// load shedder (always empty when [`McConfig::overload`] is unset).
+    /// Together with completions, fault drops, and rejections these
+    /// account for every submitted event:
+    /// `completed + dropped + rejected + shed == submitted`.
+    pub shed: Vec<Vec<SubmitEvent>>,
     /// Controller cycles actually simulated, summed over channels.
     /// Diagnostic only: differs between fast-forward and reference runs
     /// even though every semantic field is bit-identical.
@@ -373,6 +408,16 @@ impl EngineReport {
     /// Total completed requests across channels.
     pub fn total_completed(&self) -> usize {
         self.completions.iter().map(Vec::len).sum()
+    }
+
+    /// Total requests abandoned by the retry policy across channels.
+    pub fn total_rejected(&self) -> usize {
+        self.rejected.iter().map(Vec::len).sum()
+    }
+
+    /// Total requests shed by the overload layer across channels.
+    pub fn total_shed(&self) -> usize {
+        self.shed.iter().map(Vec::len).sum()
     }
 
     /// Fraction of simulated time covered by skipped cycles (0.0 when
@@ -413,6 +458,7 @@ fn build_shards(spec: &EngineSpec, events: &[SubmitEvent]) -> Result<Vec<Channel
                 head_retries: 0,
                 head_ready_at: 0,
                 rejected: Vec::new(),
+                shed: Vec::new(),
             },
             completions: Vec::new(),
             obs: spec
@@ -445,6 +491,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
     let mut bus_busy_cycles = 0;
     let mut unsubmitted = 0;
     let mut rejected = Vec::with_capacity(shards.len());
+    let mut shed = Vec::with_capacity(shards.len());
     let mut stepped_cycles = 0;
     let mut skipped_cycles = 0;
     let mut observations = spec.event_capacity.map(|_| Observations::default());
@@ -455,6 +502,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         bus_busy_cycles += shard.mc.dram().bus_busy_cycles();
         unsubmitted += shard.port.events.len();
         rejected.push(shard.port.rejected);
+        shed.push(shard.port.shed);
         stepped_cycles += shard.mc.stepped_cycles();
         skipped_cycles += shard.mc.skipped_cycles();
         if let Some(log) = shard.mc.command_log() {
@@ -477,6 +525,7 @@ fn merge(spec: &EngineSpec, shards: Vec<ChannelShard>, cycles: u64) -> EngineRep
         bus_busy_cycles,
         unsubmitted,
         rejected,
+        shed,
         stepped_cycles,
         skipped_cycles,
         observations,
@@ -521,6 +570,10 @@ impl Snapshot for SubmitPort {
         for ev in &self.rejected {
             put_submit_event(w, ev);
         }
+        w.put_seq_len(self.shed.len());
+        for ev in &self.shed {
+            put_submit_event(w, ev);
+        }
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -542,6 +595,12 @@ impl Snapshot for SubmitPort {
             rejected.push(get_submit_event(r)?);
         }
         self.rejected = rejected;
+        let n = r.seq_len()?;
+        let mut shed = Vec::with_capacity(n);
+        for _ in 0..n {
+            shed.push(get_submit_event(r)?);
+        }
+        self.shed = shed;
         Ok(())
     }
 }
@@ -1463,6 +1522,7 @@ mod tests {
                 resumed.rejected, reference.rejected,
                 "kill {kill_at}: rejected"
             );
+            assert_eq!(resumed.shed, reference.shed, "kill {kill_at}: shed");
             assert_eq!(
                 resumed.stepped_cycles, reference.stepped_cycles,
                 "kill {kill_at}: stepped"

@@ -51,6 +51,7 @@ pub mod config;
 pub mod controller;
 pub mod engine;
 pub mod multichannel;
+pub mod overload;
 pub mod policy;
 pub mod port;
 pub mod regulate;
@@ -65,10 +66,11 @@ pub mod wcet;
 pub mod prelude {
     pub use crate::address_map::AddressMap;
     pub use crate::bliss::BlissState;
-    pub use crate::buffers::{Nack, ThreadBuffers};
+    pub use crate::buffers::{Nack, ShedClass, ThreadBuffers};
     pub use crate::cmdlog::{CommandLog, CommandRecord};
     pub use crate::config::{
-        ClassSpec, McConfig, RegulationConfig, ShareTree, TenantSpec, UnsupportedScanError,
+        ClassSpec, McConfig, OverloadConfig, RegulationConfig, ShareTree, ShedConfig, TenantSpec,
+        ThrottleConfig, UnsupportedScanError,
     };
     pub use crate::controller::{Completion, MemoryController};
     pub use crate::engine::{
@@ -78,6 +80,7 @@ pub mod prelude {
         synthetic_workload, EngineReport, EngineSpec, RetryPolicy, SubmitEvent,
     };
     pub use crate::multichannel::MultiChannelController;
+    pub use crate::overload::{OverloadState, SaturationLevel};
     pub use crate::policy::{
         InversionBound, Priority, RowPolicy, ScanKind, SchedulerKind, VftBinding,
     };

@@ -16,8 +16,90 @@ pub trait MemoryPort {
     ///
     /// # Errors
     ///
-    /// Returns [`Nack`] when the thread's buffer partition (on the
-    /// routing channel) is full; the requester must retry later.
+    /// Returns the typed [`Nack`] back-pressure taxonomy; each variant
+    /// asks the requester for a different reaction.
+    ///
+    /// [`Nack::TransactionBufferFull`] / [`Nack::WriteBufferFull`] — the
+    /// thread's buffer partition (on the routing channel) is full.
+    /// Transient: retry once an in-flight request completes.
+    ///
+    /// ```
+    /// use fqms_memctrl::prelude::*;
+    /// use fqms_dram::prelude::*;
+    /// use fqms_sim::clock::DramCycle;
+    ///
+    /// let cfg = McConfig::paper(1, SchedulerKind::FrFcfs);
+    /// let mut mc = MemoryController::new(
+    ///     cfg, Geometry::paper(), TimingParams::ddr2_800(),
+    /// ).unwrap();
+    /// for i in 0..16 {
+    ///     // Fill the paper's 16-entry transaction partition.
+    ///     mc.submit(ThreadId::new(0), RequestKind::Read, 0x40 * i, DramCycle::new(0))
+    ///         .unwrap();
+    /// }
+    /// assert_eq!(
+    ///     mc.submit(ThreadId::new(0), RequestKind::Read, 0x8000, DramCycle::new(0)),
+    ///     Err(Nack::TransactionBufferFull),
+    /// );
+    /// ```
+    ///
+    /// [`Nack::Throttled`] — the overload controller classified the
+    /// thread as a bandwidth hog and its admission tokens for the period
+    /// are exhausted. Retry no earlier than the carried `retry_after`
+    /// cycles; retrying sooner is provably futile.
+    ///
+    /// ```
+    /// use fqms_memctrl::prelude::*;
+    /// use fqms_dram::prelude::*;
+    /// use fqms_sim::clock::DramCycle;
+    ///
+    /// // Margin 1.0 classifies every unprotected thread a hog at the
+    /// // first replenish boundary; zero tokens gate them outright.
+    /// let cfg = McConfig::paper(2, SchedulerKind::FqVftf)
+    ///     .with_overload(OverloadConfig::new(2).throttled(100, 0, 1.0));
+    /// let mut mc = MemoryController::new(
+    ///     cfg, Geometry::paper(), TimingParams::ddr2_800(),
+    /// ).unwrap();
+    /// for c in 1..=100u64 {
+    ///     mc.step(DramCycle::new(c)); // cross the boundary at cycle 100
+    /// }
+    /// match mc.submit(ThreadId::new(0), RequestKind::Read, 0x1000, DramCycle::new(101)) {
+    ///     Err(Nack::Throttled { retry_after }) => {
+    ///         assert_eq!(retry_after, 99); // tokens return at cycle 200
+    ///     }
+    ///     other => panic!("expected a throttle NACK, got {other:?}"),
+    /// }
+    /// ```
+    ///
+    /// [`Nack::Shed`] — the controller is saturated and deliberately
+    /// dropped the request to protect premium traffic. Terminal: never
+    /// retry; the carried [`crate::buffers::ShedClass`] names the class
+    /// sacrificed.
+    ///
+    /// ```
+    /// use fqms_memctrl::prelude::*;
+    /// use fqms_dram::prelude::*;
+    /// use fqms_sim::clock::DramCycle;
+    ///
+    /// // One occupied entry trips the detector at the 2-cycle window
+    /// // boundary; thread 0 is protected, thread 1 is best-effort.
+    /// let cfg = McConfig::paper(2, SchedulerKind::FqVftf)
+    ///     .with_overload(OverloadConfig::new(2).shedding(2, 1, 0, 10, 1).protect(0));
+    /// let mut mc = MemoryController::new(
+    ///     cfg, Geometry::paper(), TimingParams::ddr2_800(),
+    /// ).unwrap();
+    /// mc.submit(ThreadId::new(1), RequestKind::Read, 0x1000, DramCycle::new(0)).unwrap();
+    /// mc.step(DramCycle::new(1));
+    /// mc.step(DramCycle::new(2)); // detector escalates to Degraded here
+    /// assert_eq!(
+    ///     mc.submit(ThreadId::new(1), RequestKind::Write, 0x2000, DramCycle::new(3)),
+    ///     Err(Nack::Shed { class: ShedClass::BestEffortWrite }),
+    /// );
+    /// // Degraded sheds only best-effort *writes*; reads still pass, and
+    /// // the protected thread is untouched at every level.
+    /// assert!(mc.submit(ThreadId::new(1), RequestKind::Read, 0x3000, DramCycle::new(3)).is_ok());
+    /// assert!(mc.submit(ThreadId::new(0), RequestKind::Write, 0x4000, DramCycle::new(3)).is_ok());
+    /// ```
     fn submit(
         &mut self,
         thread: ThreadId,

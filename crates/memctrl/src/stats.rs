@@ -31,6 +31,12 @@ pub struct ThreadStats {
     pub requests_dropped: u64,
     /// Starvation-watchdog firings (one per detected stall episode).
     pub starvations: u64,
+    /// Requests refused by the admission throttle (a subset of `nacks`:
+    /// every throttle refusal also counts as a NACK).
+    pub throttle_nacks: u64,
+    /// Requests dropped terminally by the tiered load shedder. Not part
+    /// of `nacks` — a shed is a drop-class refusal, never retried.
+    pub requests_shed: u64,
     /// Estimated cycles this thread's completed requests would have taken
     /// running *alone* (intrinsic closed-bank DRAM service model; see
     /// DESIGN.md §16 for the model's known bias).
@@ -99,6 +105,8 @@ impl ThreadStats {
         self.row_conflicts += other.row_conflicts;
         self.requests_dropped += other.requests_dropped;
         self.starvations += other.starvations;
+        self.throttle_nacks += other.throttle_nacks;
+        self.requests_shed += other.requests_shed;
         self.alone_cycles_est += other.alone_cycles_est;
         self.shared_cycles += other.shared_cycles;
     }
@@ -227,6 +235,8 @@ impl Snapshot for ThreadStats {
         w.put_u64(self.row_conflicts);
         w.put_u64(self.requests_dropped);
         w.put_u64(self.starvations);
+        w.put_u64(self.throttle_nacks);
+        w.put_u64(self.requests_shed);
         w.put_u64(self.alone_cycles_est);
         w.put_u64(self.shared_cycles);
     }
@@ -244,6 +254,8 @@ impl Snapshot for ThreadStats {
         self.row_conflicts = r.get_u64()?;
         self.requests_dropped = r.get_u64()?;
         self.starvations = r.get_u64()?;
+        self.throttle_nacks = r.get_u64()?;
+        self.requests_shed = r.get_u64()?;
         self.alone_cycles_est = r.get_u64()?;
         self.shared_cycles = r.get_u64()?;
         Ok(())
@@ -329,6 +341,8 @@ mod tests {
             row_conflicts: 29,
             requests_dropped: 31,
             starvations: 37,
+            throttle_nacks: 47,
+            requests_shed: 53,
             alone_cycles_est: 41,
             shared_cycles: 43,
         };
@@ -349,6 +363,8 @@ mod tests {
                 row_conflicts: 58,
                 requests_dropped: 62,
                 starvations: 74,
+                throttle_nacks: 94,
+                requests_shed: 106,
                 alone_cycles_est: 82,
                 shared_cycles: 86,
             }

@@ -17,8 +17,11 @@ use std::collections::VecDeque;
 ///
 /// Within a cycle, events are emitted in simulation order: completions
 /// drained first, then fault and watchdog events ([`Event::FaultInjected`]
-/// / [`Event::RequestDropped`] / [`Event::StarvationDetected`]), then
-/// admission events, then scheduling events ([`Event::VftBound`] /
+/// / [`Event::RequestDropped`] / [`Event::StarvationDetected`]) and
+/// overload-control transitions ([`Event::SaturationEntered`] /
+/// [`Event::SaturationExited`]), then admission events ([`Event::Arrival`]
+/// / [`Event::Nack`] / [`Event::Throttled`] / [`Event::Shed`] /
+/// [`Event::Rejected`]), then scheduling events ([`Event::VftBound`] /
 /// [`Event::InversionLock`]), then the issued command, then write
 /// completions (writes complete at CAS issue).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,6 +170,56 @@ pub enum Event {
         /// The configured analytic bound it exceeded.
         bound: u64,
     },
+    /// A submission was refused by the admission throttle (ISSUE 10): the
+    /// thread is classified a bandwidth hog and its tokens for the current
+    /// period are exhausted. The requester backs off and retries.
+    Throttled {
+        /// Refusal cycle.
+        cycle: u64,
+        /// Throttled thread index.
+        thread: u32,
+        /// Cycles until the thread's token bucket replenishes.
+        retry_after: u64,
+    },
+    /// A submission was dropped by the tiered load shedder (ISSUE 10).
+    /// Terminal: the request is never admitted and never retried.
+    Shed {
+        /// Shed cycle.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// True for writebacks.
+        is_write: bool,
+        /// Shed class wire encoding (0 = best-effort write, 1 = any
+        /// best-effort request; mirrors `fqms_memctrl::buffers::ShedClass`).
+        class: u8,
+    },
+    /// A submission port abandoned a request after exhausting its retry
+    /// budget (ISSUE 10): the request counts as `rejected` in the
+    /// conservation law and will never complete.
+    Rejected {
+        /// Abandonment cycle.
+        cycle: u64,
+        /// Owning thread index.
+        thread: u32,
+        /// True for writebacks.
+        is_write: bool,
+    },
+    /// The overload saturation detector escalated (ISSUE 10). Emitted
+    /// once per level change at a detector window boundary.
+    SaturationEntered {
+        /// Boundary cycle of the transition.
+        cycle: u64,
+        /// The level entered (1 = Degraded, 2 = Shedding).
+        level: u8,
+    },
+    /// The overload saturation detector de-escalated (ISSUE 10).
+    SaturationExited {
+        /// Boundary cycle of the transition.
+        cycle: u64,
+        /// The level settled to (0 = Normal, 1 = Degraded).
+        level: u8,
+    },
 }
 
 impl Event {
@@ -182,7 +235,12 @@ impl Event {
             | Event::FaultInjected { cycle, .. }
             | Event::RequestDropped { cycle, .. }
             | Event::StarvationDetected { cycle, .. }
-            | Event::BoundExceeded { cycle, .. } => cycle,
+            | Event::BoundExceeded { cycle, .. }
+            | Event::Throttled { cycle, .. }
+            | Event::Shed { cycle, .. }
+            | Event::Rejected { cycle, .. }
+            | Event::SaturationEntered { cycle, .. }
+            | Event::SaturationExited { cycle, .. } => cycle,
         }
     }
 }
@@ -453,6 +511,48 @@ fn put_event(w: &mut SectionWriter, e: &Event) {
             w.put_u64(latency);
             w.put_u64(bound);
         }
+        Event::Throttled {
+            cycle,
+            thread,
+            retry_after,
+        } => {
+            w.put_u8(10);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_u64(retry_after);
+        }
+        Event::Shed {
+            cycle,
+            thread,
+            is_write,
+            class,
+        } => {
+            w.put_u8(11);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_bool(is_write);
+            w.put_u8(class);
+        }
+        Event::Rejected {
+            cycle,
+            thread,
+            is_write,
+        } => {
+            w.put_u8(12);
+            w.put_u64(cycle);
+            w.put_u32(thread);
+            w.put_bool(is_write);
+        }
+        Event::SaturationEntered { cycle, level } => {
+            w.put_u8(13);
+            w.put_u64(cycle);
+            w.put_u8(level);
+        }
+        Event::SaturationExited { cycle, level } => {
+            w.put_u8(14);
+            w.put_u64(cycle);
+            w.put_u8(level);
+        }
     }
 }
 
@@ -523,6 +623,30 @@ fn get_event(r: &mut SectionReader<'_>) -> Result<Event, SnapshotError> {
             is_write: r.get_bool()?,
             latency: r.get_u64()?,
             bound: r.get_u64()?,
+        },
+        10 => Event::Throttled {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            retry_after: r.get_u64()?,
+        },
+        11 => Event::Shed {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            is_write: r.get_bool()?,
+            class: r.get_u8()?,
+        },
+        12 => Event::Rejected {
+            cycle: r.get_u64()?,
+            thread: r.get_u32()?,
+            is_write: r.get_bool()?,
+        },
+        13 => Event::SaturationEntered {
+            cycle: r.get_u64()?,
+            level: r.get_u8()?,
+        },
+        14 => Event::SaturationExited {
+            cycle: r.get_u64()?,
+            level: r.get_u8()?,
         },
         tag => return Err(r.malformed(format!("unknown event tag {tag}"))),
     })
@@ -685,6 +809,30 @@ mod tests {
                 is_write: false,
                 latency: 9_000,
                 bound: 8_000,
+            },
+            Event::Throttled {
+                cycle: 11,
+                thread: 0,
+                retry_after: 500,
+            },
+            Event::Shed {
+                cycle: 12,
+                thread: 0,
+                is_write: true,
+                class: 0,
+            },
+            Event::Rejected {
+                cycle: 13,
+                thread: 0,
+                is_write: false,
+            },
+            Event::SaturationEntered {
+                cycle: 14,
+                level: 1,
+            },
+            Event::SaturationExited {
+                cycle: 15,
+                level: 0,
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -11,7 +11,7 @@ use fqms_sim::stats::Log2Histogram;
 use std::fmt::Write as _;
 
 /// Column header for [`metrics_tsv`] rows.
-pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\talone_est\tshared\tslowdown\tread_lat_hist";
+pub const TSV_HEADER: &str = "#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\trejected\tshed\tthrottled\talone_est\tshared\tslowdown\tread_lat_hist";
 
 fn histogram_cell(h: &Log2Histogram) -> String {
     if h.count() == 0 {
@@ -35,7 +35,7 @@ fn histogram_cell(h: &Log2Histogram) -> String {
 
 fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> String {
     format!(
-        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{drops}\t{starved}\t{alone_est}\t{shared}\t{slowdown:.3}\t{hist}",
+        "{label}\t{scheduler}\t{thread}\t{reads}\t{writes}\t{nacks}\t{bytes}\t{rl_mean:.3}\t{rl_p50}\t{rl_p95}\t{rl_max}\t{wl_mean:.3}\t{qd_mean:.3}\t{qd_max}\t{drift_mean:.3}\t{drift_max:.3}\t{drops}\t{starved}\t{rejected}\t{shed}\t{throttled}\t{alone_est}\t{shared}\t{slowdown:.3}\t{hist}",
         reads = t.reads_completed,
         writes = t.writes_completed,
         nacks = t.nacks,
@@ -51,6 +51,9 @@ fn thread_row(label: &str, scheduler: &str, thread: &str, t: &ThreadSink) -> Str
         drift_max = if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
         drops = t.requests_dropped,
         starved = t.starvations,
+        rejected = t.rejected,
+        shed = t.shed,
+        throttled = t.throttled,
         alone_est = t.alone_cycles_est,
         shared = t.shared_cycles,
         slowdown = t.slowdown(),
@@ -78,11 +81,13 @@ pub fn metrics_tsv(label: &str, scheduler: &str, sink: &MetricsSink) -> String {
     // gauges are the cross-thread merge.
     let _ = writeln!(
         out,
-        "{row}\t# commands={cmds} inversion_locks={locks} faults={faults} max_slowdown={maxsd:.3} hspeedup={hsp:.3}",
+        "{row}\t# commands={cmds} inversion_locks={locks} faults={faults} sat_in={sat_in} sat_out={sat_out} max_slowdown={maxsd:.3} hspeedup={hsp:.3}",
         row = thread_row(label, scheduler, "all", &totals),
         cmds = sink.commands_issued,
         locks = sink.inversion_locks,
         faults = sink.faults_injected,
+        sat_in = sink.saturation_entries,
+        sat_out = sink.saturation_exits,
         maxsd = sink.max_slowdown(),
         hsp = sink.harmonic_speedup(),
     );
@@ -130,6 +135,7 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
             "\"queue_depth\":{{\"mean\":{:.6},\"max\":{}}},",
             "\"vft_drift\":{{\"count\":{},\"mean\":{:.6},\"max\":{:.6}}},",
             "\"drops\":{},\"starved\":{},",
+            "\"rejected\":{},\"shed\":{},\"throttled\":{},",
             "\"alone_cycles_est\":{},\"shared_cycles\":{},\"slowdown\":{:.6}}}"
         ),
         thread,
@@ -151,6 +157,9 @@ fn thread_json(thread: u32, t: &ThreadSink) -> String {
         if t.vft_drift.count() == 0 { 0.0 } else { t.vft_drift.max() },
         t.requests_dropped,
         t.starvations,
+        t.rejected,
+        t.shed,
+        t.throttled,
         t.alone_cycles_est,
         t.shared_cycles,
         t.slowdown(),
@@ -164,6 +173,7 @@ pub fn metrics_json(label: &str, scheduler: &str, sink: &MetricsSink) -> String 
         concat!(
             "{{\"label\":\"{}\",\"scheduler\":\"{}\",\"commands_issued\":{},",
             "\"inversion_locks\":{},\"faults_injected\":{},",
+            "\"saturation_entries\":{},\"saturation_exits\":{},",
             "\"max_slowdown\":{:.6},\"harmonic_speedup\":{:.6},\"threads\":[{}]}}"
         ),
         json_escape(label),
@@ -171,6 +181,8 @@ pub fn metrics_json(label: &str, scheduler: &str, sink: &MetricsSink) -> String 
         sink.commands_issued,
         sink.inversion_locks,
         sink.faults_injected,
+        sink.saturation_entries,
+        sink.saturation_exits,
         sink.max_slowdown(),
         sink.harmonic_speedup(),
         threads.join(",")
@@ -342,6 +354,70 @@ mod tests {
         assert!(json.contains("\"alone_cycles_est\":14,\"shared_cycles\":300,"));
         assert!(json.contains("\"max_slowdown\":21.428571,"));
         assert!(json.contains("\"harmonic_speedup\":"));
+    }
+
+    #[test]
+    fn overload_columns_round_trip_through_both_exporters() {
+        // Satellite 2 (ISSUE 10): rejected/shed/throttled are first-class
+        // columns, and the per-thread TSV totals agree with the sink's
+        // counters (conservation accounting reads these back).
+        let mut sink = sample_sink();
+        sink.observe(&Event::Throttled {
+            cycle: 20,
+            thread: 1,
+            retry_after: 64,
+        });
+        sink.observe(&Event::Shed {
+            cycle: 21,
+            thread: 1,
+            is_write: true,
+            class: 0,
+        });
+        sink.observe(&Event::Shed {
+            cycle: 22,
+            thread: 1,
+            is_write: false,
+            class: 1,
+        });
+        sink.observe(&Event::Rejected {
+            cycle: 23,
+            thread: 0,
+            is_write: false,
+        });
+        sink.observe(&Event::SaturationEntered {
+            cycle: 24,
+            level: 1,
+        });
+        sink.observe(&Event::SaturationExited {
+            cycle: 30,
+            level: 0,
+        });
+        for col in ["rejected", "shed", "throttled"] {
+            assert!(
+                TSV_HEADER.split('\t').any(|c| c == col),
+                "missing column {col}"
+            );
+        }
+        let rej_col = TSV_HEADER
+            .split('\t')
+            .position(|c| c == "rejected")
+            .unwrap();
+        let tsv = metrics_tsv("m", "s", &sink);
+        let rows: Vec<Vec<&str>> = tsv.lines().map(|l| l.split('\t').collect()).collect();
+        assert_eq!(rows[0][rej_col..rej_col + 3], ["1", "0", "0"]);
+        assert_eq!(rows[1][rej_col..rej_col + 3], ["0", "2", "1"]);
+        // "all" row sums the per-thread columns — the conservation check in
+        // the bench gates relies on this agreement.
+        assert_eq!(rows[2][rej_col..rej_col + 3], ["1", "2", "1"]);
+        // A throttle refusal is a NACK; a shed is not (it is a drop-class
+        // terminal refusal). Thread 1 had one buffer NACK + one throttle.
+        let nacks_col = TSV_HEADER.split('\t').position(|c| c == "nacks").unwrap();
+        assert_eq!(rows[1][nacks_col], "2");
+        assert!(tsv.contains("sat_in=1 sat_out=1"));
+        let json = metrics_json("m", "s", &sink);
+        assert!(json.contains("\"rejected\":0,\"shed\":2,\"throttled\":1,"));
+        assert!(json.contains("\"rejected\":1,\"shed\":0,\"throttled\":0,"));
+        assert!(json.contains("\"saturation_entries\":1,\"saturation_exits\":1,"));
     }
 
     #[test]

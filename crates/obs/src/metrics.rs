@@ -47,6 +47,15 @@ pub struct ThreadSink {
     /// Measured shared latency cycles summed over completions (the
     /// slowdown numerator).
     pub shared_cycles: u64,
+    /// Requests abandoned by a submission port after retry exhaustion
+    /// (ISSUE 10): the `rejected` term of the conservation law.
+    pub rejected: u64,
+    /// Requests dropped by the tiered load shedder (ISSUE 10): the
+    /// `shed` term of the conservation law.
+    pub shed: u64,
+    /// Admission-throttle refusals (ISSUE 10); the requester retries,
+    /// so one logical request may count many times.
+    pub throttled: u64,
 }
 
 impl ThreadSink {
@@ -92,6 +101,9 @@ impl ThreadSink {
         self.starvations += other.starvations;
         self.alone_cycles_est += other.alone_cycles_est;
         self.shared_cycles += other.shared_cycles;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.throttled += other.throttled;
     }
 }
 
@@ -110,6 +122,10 @@ pub struct MetricsSink {
     /// Regulated completions observed above their class's WCET bound
     /// (ISSUE 9) — the release gates assert this stays zero.
     pub bound_violations: u64,
+    /// Overload saturation-detector escalations (ISSUE 10).
+    pub saturation_entries: u64,
+    /// Overload saturation-detector de-escalations (ISSUE 10).
+    pub saturation_exits: u64,
 }
 
 impl MetricsSink {
@@ -122,6 +138,8 @@ impl MetricsSink {
             inversion_locks: 0,
             faults_injected: 0,
             bound_violations: 0,
+            saturation_entries: 0,
+            saturation_exits: 0,
         }
     }
 
@@ -204,6 +222,15 @@ impl MetricsSink {
                 self.thread_mut(thread).starvations += 1;
             }
             Event::BoundExceeded { .. } => self.bound_violations += 1,
+            Event::Throttled { thread, .. } => {
+                let t = self.thread_mut(thread);
+                t.nacks += 1;
+                t.throttled += 1;
+            }
+            Event::Shed { thread, .. } => self.thread_mut(thread).shed += 1,
+            Event::Rejected { thread, .. } => self.thread_mut(thread).rejected += 1,
+            Event::SaturationEntered { .. } => self.saturation_entries += 1,
+            Event::SaturationExited { .. } => self.saturation_exits += 1,
         }
     }
 
@@ -222,6 +249,8 @@ impl MetricsSink {
         self.inversion_locks += other.inversion_locks;
         self.faults_injected += other.faults_injected;
         self.bound_violations += other.bound_violations;
+        self.saturation_entries += other.saturation_entries;
+        self.saturation_exits += other.saturation_exits;
     }
 
     /// Zeroes every aggregate, keeping the thread count.
@@ -295,6 +324,9 @@ impl Snapshot for ThreadSink {
         w.put_u64(self.starvations);
         w.put_u64(self.alone_cycles_est);
         w.put_u64(self.shared_cycles);
+        w.put_u64(self.rejected);
+        w.put_u64(self.shed);
+        w.put_u64(self.throttled);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -312,6 +344,9 @@ impl Snapshot for ThreadSink {
         self.starvations = r.get_u64()?;
         self.alone_cycles_est = r.get_u64()?;
         self.shared_cycles = r.get_u64()?;
+        self.rejected = r.get_u64()?;
+        self.shed = r.get_u64()?;
+        self.throttled = r.get_u64()?;
         Ok(())
     }
 }
@@ -328,6 +363,8 @@ impl Snapshot for MetricsSink {
         w.put_u64(self.inversion_locks);
         w.put_u64(self.faults_injected);
         w.put_u64(self.bound_violations);
+        w.put_u64(self.saturation_entries);
+        w.put_u64(self.saturation_exits);
     }
 
     fn restore(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
@@ -343,6 +380,8 @@ impl Snapshot for MetricsSink {
         self.inversion_locks = r.get_u64()?;
         self.faults_injected = r.get_u64()?;
         self.bound_violations = r.get_u64()?;
+        self.saturation_entries = r.get_u64()?;
+        self.saturation_exits = r.get_u64()?;
         Ok(())
     }
 }
@@ -489,6 +528,36 @@ mod tests {
         let idle = MetricsSink::new(4);
         assert_eq!(idle.max_slowdown(), 1.0);
         assert_eq!(idle.harmonic_speedup(), 1.0);
+    }
+
+    #[test]
+    fn overload_events_fold_into_counters() {
+        let mut sink = MetricsSink::new(2);
+        sink.observe(&Event::Throttled {
+            cycle: 1,
+            thread: 0,
+            retry_after: 99,
+        });
+        sink.observe(&Event::Shed {
+            cycle: 2,
+            thread: 1,
+            is_write: true,
+            class: 0,
+        });
+        sink.observe(&Event::Rejected {
+            cycle: 3,
+            thread: 0,
+            is_write: false,
+        });
+        sink.observe(&Event::SaturationEntered { cycle: 4, level: 1 });
+        sink.observe(&Event::SaturationExited { cycle: 5, level: 0 });
+        assert_eq!(sink.thread(0).throttled, 1);
+        assert_eq!(sink.thread(0).nacks, 1, "a throttle refusal is a NACK");
+        assert_eq!(sink.thread(1).shed, 1);
+        assert_eq!(sink.thread(1).nacks, 0, "a shed is a drop, not a NACK");
+        assert_eq!(sink.thread(0).rejected, 1);
+        assert_eq!(sink.saturation_entries, 1);
+        assert_eq!(sink.saturation_exits, 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@ figure binaries (the default set, in run order):
   tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline
   ablation_inversion ablation_design ablation_buffers channels energy
   frequency timeline seeds faults speedup scaling frontier latency_cdf
+  overload
 
 schedulers swept where a binary takes the whole family (SchedulerKind):
   Fcfs FrFcfs FrVftf FqVftf Bliss SdVftf
@@ -73,12 +74,12 @@ fi
 
 DEFAULT_BINS="tables workloads fig1 fig4 fig5 fig6 fig7 fig8 fig9 headline \
       ablation_inversion ablation_design ablation_buffers channels energy frequency timeline seeds \
-      faults speedup scaling frontier latency_cdf"
+      faults speedup scaling frontier latency_cdf overload"
 BINS="${FQMS_BINS:-$DEFAULT_BINS}"
 MAX_ATTEMPTS="${FQMS_MAX_ATTEMPTS:-2}"
 TIMEOUT_S="${FQMS_TIMEOUT:-0}"
 # Header must match fqms_obs::TSV_HEADER (checked by tests/observability.rs).
-SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\talone_est\tshared\tslowdown\tread_lat_hist')"
+SIDECAR_HEADER="$(printf '#label\tscheduler\tthread\treads\twrites\tnacks\tbytes\tread_lat_mean\tread_lat_p50\tread_lat_p95\tread_lat_max\twrite_lat_mean\tqdepth_mean\tqdepth_max\tvft_drift_mean\tvft_drift_max\tdrops\tstarved\trejected\tshed\tthrottled\talone_est\tshared\tslowdown\tread_lat_hist')"
 
 # Build once up front so per-binary attempts measure the run, not the
 # compile, and a broken build aborts before any output is disturbed.
